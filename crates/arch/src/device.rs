@@ -1,0 +1,204 @@
+//! Evaluation device descriptions (paper Table II).
+//!
+//! The paper evaluates on two Bittware boards: one with an Intel
+//! Arria 10 GX 1150 and one with an Intel Stratix 10 GX 2800. Part of each
+//! device is reserved by the Board Support Package (≈25% on the Stratix),
+//! so both *total* and *available* resources are modeled. The Stratix
+//! additionally features the HyperFlex register architecture, which lifts
+//! achievable clock frequencies (paper Sec. VI-B).
+
+use serde::{Deserialize, Serialize};
+
+use crate::memory::MemorySystem;
+use crate::resources::Resources;
+
+/// Identifier of a modeled FPGA device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Device {
+    /// Intel Arria 10 GX 1150 (Bittware 385A-style board, 2 DDR banks).
+    Arria10Gx1150,
+    /// Intel Stratix 10 GX 2800 (Bittware 520N-style board, 4 DDR banks).
+    Stratix10Gx2800,
+    /// Xilinx Alveo U280 — the paper's stated future-work target
+    /// ("we intend to extend FBLAS to cover Xilinx FPGAs", Sec. VI) and
+    /// the HBM-class device its Sec. VI-B scaling study anticipates
+    /// ("memory interfaces faster than the one offered by the testbed,
+    /// e.g., HBM"). 8 GB of HBM2 in 32 pseudo-channels of ~14.4 GB/s
+    /// (460 GB/s aggregate) plus 2 DDR4 banks.
+    AlveoU280,
+}
+
+impl Device {
+    /// The paper's two evaluation devices.
+    pub const PAPER: [Device; 2] = [Device::Arria10Gx1150, Device::Stratix10Gx2800];
+
+    /// All modeled devices, including the future-work Alveo U280.
+    pub const ALL: [Device; 3] =
+        [Device::Arria10Gx1150, Device::Stratix10Gx2800, Device::AlveoU280];
+
+    /// Short display name as used in the paper's figures.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Device::Arria10Gx1150 => "Arria",
+            Device::Stratix10Gx2800 => "Stratix",
+            Device::AlveoU280 => "Alveo",
+        }
+    }
+
+    /// Full model description.
+    pub fn model(self) -> DeviceModel {
+        match self {
+            // Paper Table II, Arria 10 GX 1150 row.
+            Device::Arria10Gx1150 => DeviceModel {
+                device: self,
+                name: "Intel Arria 10 GX 1150",
+                total: Resources::new(427_000, 1_700_000, 2_700, 1_518),
+                available: Resources::new(392_000, 1_500_000, 2_400, 1_518),
+                dram_banks: 2,
+                dram_bank_bytes: 8 * (1 << 30),
+                // DDR4 single-module peak on this board class.
+                dram_bank_bandwidth: 17.0e9,
+                hyperflex: false,
+            },
+            // Paper Table II, Stratix 10 GX 2800 row. ~25% of resources
+            // reserved by the BSP.
+            Device::Stratix10Gx2800 => DeviceModel {
+                device: self,
+                name: "Intel Stratix 10 GX 2800",
+                total: Resources::new(933_000, 3_700_000, 11_700, 5_760),
+                available: Resources::new(692_000, 2_800_000, 8_900, 4_468),
+                dram_banks: 4,
+                dram_bank_bytes: 8 * (1 << 30),
+                // Paper Sec. VI-A: "the peak bandwidth of a single bank is
+                // 19.2 GB/s".
+                dram_bank_bandwidth: 19.2e9,
+                hyperflex: true,
+            },
+            // Xilinx Alveo U280 (XCU280): public datasheet figures for
+            // the user-visible resources, expressed in this crate's
+            // Intel-flavored units (CLB-LUT pairs as "ALMs", URAM+BRAM
+            // as M20K-equivalents). HBM2: 8 GB in 32 pseudo-channels.
+            Device::AlveoU280 => DeviceModel {
+                device: self,
+                name: "Xilinx Alveo U280",
+                total: Resources::new(1_304_000 / 2, 2_607_000, 9_024, 9_024),
+                available: Resources::new(1_080_000 / 2, 2_160_000, 8_000, 8_490),
+                dram_banks: 32,
+                dram_bank_bytes: 256 * (1 << 20),
+                dram_bank_bandwidth: 14.375e9,
+                hyperflex: false,
+            },
+        }
+    }
+
+    /// Memory system with the device's default (non-interleaved) DDR
+    /// configuration. Per the paper's BSP advice, automatic interleaving
+    /// is disabled on the Stratix and buffers are manually placed.
+    pub fn memory(self) -> MemorySystem {
+        let m = self.model();
+        MemorySystem::new(m.dram_banks, m.dram_bank_bandwidth, m.dram_bank_bytes, false)
+    }
+}
+
+impl std::fmt::Display for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.model().name)
+    }
+}
+
+/// Static description of one FPGA board.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Which device this describes.
+    pub device: Device,
+    /// Marketing name.
+    pub name: &'static str,
+    /// Total on-chip resources (paper Table II "Total" rows).
+    pub total: Resources,
+    /// Resources left for user designs after the BSP reservation
+    /// (paper Table II "Avail." rows).
+    pub available: Resources,
+    /// Number of off-chip DDR banks.
+    pub dram_banks: usize,
+    /// Capacity of each DDR bank in bytes.
+    pub dram_bank_bytes: u64,
+    /// Peak bandwidth of a single DDR bank in bytes/second.
+    pub dram_bank_bandwidth: f64,
+    /// Whether the device has the HyperFlex register architecture.
+    pub hyperflex: bool,
+}
+
+impl DeviceModel {
+    /// Does a design with the given resource demand place & route on this
+    /// device? Mirrors the vendor compiler's fit check.
+    pub fn fits(&self, demand: &Resources) -> bool {
+        demand.fits_in(&self.available)
+    }
+
+    /// Aggregate peak DRAM bandwidth across all banks, bytes/second.
+    pub fn total_dram_bandwidth(&self) -> f64 {
+        self.dram_banks as f64 * self.dram_bank_bandwidth
+    }
+
+    /// Total DRAM capacity in bytes.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.dram_banks as u64 * self.dram_bank_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_totals_match_paper() {
+        let a = Device::Arria10Gx1150.model();
+        assert_eq!(a.total.alms, 427_000);
+        assert_eq!(a.total.dsps, 1_518);
+        assert_eq!(a.available.m20ks, 2_400);
+        assert_eq!(a.dram_banks, 2);
+
+        let s = Device::Stratix10Gx2800.model();
+        assert_eq!(s.total.dsps, 5_760);
+        assert_eq!(s.available.dsps, 4_468);
+        assert_eq!(s.available.alms, 692_000);
+        assert_eq!(s.dram_banks, 4);
+        assert!(s.hyperflex && !a.hyperflex);
+    }
+
+    #[test]
+    fn bsp_reservation_is_visible() {
+        for d in Device::ALL {
+            let m = d.model();
+            assert!(m.available.alms <= m.total.alms);
+            assert!(m.available.m20ks <= m.total.m20ks);
+        }
+        // Stratix BSP reserves roughly 25% of ALMs.
+        let s = Device::Stratix10Gx2800.model();
+        let reserved = 1.0 - s.available.alms as f64 / s.total.alms as f64;
+        assert!(reserved > 0.2 && reserved < 0.3, "reserved = {reserved}");
+    }
+
+    #[test]
+    fn fit_check_uses_available_not_total() {
+        let s = Device::Stratix10Gx2800.model();
+        // Demand between available and total DSPs must not fit.
+        let demand = Resources::new(0, 0, 0, 5_000);
+        assert!(!s.fits(&demand));
+        assert!(s.fits(&Resources::new(0, 0, 0, 4_468)));
+    }
+
+    #[test]
+    fn dram_aggregates() {
+        let s = Device::Stratix10Gx2800.model();
+        assert!((s.total_dram_bandwidth() - 4.0 * 19.2e9).abs() < 1.0);
+        assert_eq!(s.total_dram_bytes(), 4 * 8 * (1 << 30));
+        assert_eq!(Device::Stratix10Gx2800.memory().bank_count(), 4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Device::Arria10Gx1150.short_name(), "Arria");
+        assert!(Device::Stratix10Gx2800.to_string().contains("Stratix 10"));
+    }
+}

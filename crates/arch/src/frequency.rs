@@ -1,0 +1,145 @@
+//! Achieved clock frequency model.
+//!
+//! The paper reports synthesized frequencies per design (Tables III–VI):
+//! Arria 10 Level-1/2 modules run around 130–150 MHz and its systolic GEMM
+//! designs at 197–222 MHz; Stratix 10 Level-1/2 modules reach 347–370 MHz
+//! *with HyperFlex* (the register retiming technology, Sec. VI-B) while
+//! its GEMM designs, for which the used compiler version could not enable
+//! HyperFlex, run at 216–260 MHz. Larger designs close timing at lower
+//! frequencies — visible as the utilization-correlated spread within each
+//! class.
+//!
+//! We model this as a per-(device, routine-class) base frequency, an
+//! optional HyperFlex uplift, and a linear derating in the design's
+//! binding resource-utilization fraction. Constants are fitted to the
+//! Table III/IV rows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::Device;
+
+/// Coarse class of a routine for frequency purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutineClass {
+    /// Streaming Level-1/Level-2 modules (DOT, GEMV, compositions thereof).
+    Streaming,
+    /// Systolic Level-3 designs (GEMM, SYRK, TRSM).
+    Systolic,
+}
+
+/// HyperFlex uplift factor on eligible designs (Stratix 10 only): the
+/// ratio between the paper's HyperFlex streaming designs (≈358–370 MHz)
+/// and comparable non-HyperFlex designs (≈220–238 MHz).
+pub const HYPERFLEX_UPLIFT: f64 = 1.6;
+
+/// Linear frequency derating per unit of binding resource utilization:
+/// fuller devices close timing at lower clock rates.
+pub const UTILIZATION_DERATE: f64 = 0.25;
+
+/// Frequency model for a device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyModel {
+    device: Device,
+}
+
+impl FrequencyModel {
+    /// Model for the given device.
+    pub fn new(device: Device) -> Self {
+        FrequencyModel { device }
+    }
+
+    /// Base (uncongested, non-HyperFlex) frequency in Hz for a routine
+    /// class on this device.
+    pub fn base_hz(&self, class: RoutineClass) -> f64 {
+        match (self.device, class) {
+            (Device::Arria10Gx1150, RoutineClass::Streaming) => 160.0e6,
+            (Device::Arria10Gx1150, RoutineClass::Systolic) => 240.0e6,
+            (Device::Stratix10Gx2800, RoutineClass::Streaming) => 230.0e6,
+            (Device::Stratix10Gx2800, RoutineClass::Systolic) => 280.0e6,
+            // UltraScale+ kernel clocks typically close 250–300 MHz on
+            // HLS designs of this class (future-work device; no paper
+            // calibration available).
+            (Device::AlveoU280, RoutineClass::Streaming) => 300.0e6,
+            (Device::AlveoU280, RoutineClass::Systolic) => 280.0e6,
+        }
+    }
+
+    /// Achieved frequency in Hz for a design of the given class, with
+    /// HyperFlex requested or not, at the given binding utilization
+    /// fraction (0..1). Returns `(freq_hz, hyperflex_used)`.
+    ///
+    /// HyperFlex only applies on devices that have it, and per the paper
+    /// the evaluated compiler version could not enable it for systolic
+    /// GEMM designs (striped memory accesses inferred as unaligned).
+    pub fn achieved_hz(
+        &self,
+        class: RoutineClass,
+        hyperflex_requested: bool,
+        utilization: f64,
+    ) -> (f64, bool) {
+        let util = utilization.clamp(0.0, 1.0);
+        let hyperflex_used = hyperflex_requested
+            && self.device.model().hyperflex
+            && class == RoutineClass::Streaming;
+        let base = self.base_hz(class) * if hyperflex_used { HYPERFLEX_UPLIFT } else { 1.0 };
+        (base * (1.0 - UTILIZATION_DERATE * util), hyperflex_used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mhz(hz: f64) -> f64 {
+        hz / 1.0e6
+    }
+
+    #[test]
+    fn arria_sdot_near_150mhz() {
+        // Table III: Arria SDOT at 21.8% DSP utilization runs at 150 MHz.
+        let m = FrequencyModel::new(Device::Arria10Gx1150);
+        let (f, hf) = m.achieved_hz(RoutineClass::Streaming, true, 0.218);
+        assert!(!hf, "Arria has no HyperFlex");
+        assert!((mhz(f) - 150.0).abs() < 10.0, "got {} MHz", mhz(f));
+    }
+
+    #[test]
+    fn stratix_streaming_with_hyperflex_above_340mhz() {
+        // Table III: Stratix SDOT/SGEMV with HyperFlex at 347–358 MHz.
+        let m = FrequencyModel::new(Device::Stratix10Gx2800);
+        let (f, hf) = m.achieved_hz(RoutineClass::Streaming, true, 0.18);
+        assert!(hf);
+        assert!(mhz(f) > 340.0 && mhz(f) < 380.0, "got {} MHz", mhz(f));
+    }
+
+    #[test]
+    fn stratix_systolic_denied_hyperflex() {
+        // Paper: HyperFlex not enabled for GEMM with this compiler
+        // version; SGEMM at 86% utilization ran at 216 MHz.
+        let m = FrequencyModel::new(Device::Stratix10Gx2800);
+        let (f, hf) = m.achieved_hz(RoutineClass::Systolic, true, 0.86);
+        assert!(!hf);
+        assert!((mhz(f) - 216.0).abs() < 15.0, "got {} MHz", mhz(f));
+    }
+
+    #[test]
+    fn fuller_designs_run_slower() {
+        let m = FrequencyModel::new(Device::Stratix10Gx2800);
+        let (f_small, _) = m.achieved_hz(RoutineClass::Systolic, false, 0.26);
+        let (f_big, _) = m.achieved_hz(RoutineClass::Systolic, false, 0.86);
+        assert!(f_small > f_big);
+        // Table III: DGEMM (26%) 260 MHz vs SGEMM (86%) 216 MHz.
+        assert!((mhz(f_small) - 260.0).abs() < 15.0, "got {} MHz", mhz(f_small));
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let m = FrequencyModel::new(Device::Arria10Gx1150);
+        let (f_over, _) = m.achieved_hz(RoutineClass::Streaming, false, 1.7);
+        let (f_one, _) = m.achieved_hz(RoutineClass::Streaming, false, 1.0);
+        assert_eq!(f_over, f_one);
+        let (f_neg, _) = m.achieved_hz(RoutineClass::Streaming, false, -0.5);
+        let (f_zero, _) = m.achieved_hz(RoutineClass::Streaming, false, 0.0);
+        assert_eq!(f_neg, f_zero);
+    }
+}

@@ -1,0 +1,51 @@
+//! # fblas-arch — FPGA architecture models
+//!
+//! Software models of everything the FBLAS paper (De Matteis et al.,
+//! SC 2020) obtains from hardware or vendor tooling:
+//!
+//! * [`device`] — the two evaluation boards (Intel Arria 10 GX 1150 and
+//!   Stratix 10 GX 2800) with total and BSP-available resources
+//!   (paper Table II).
+//! * [`resources`] — resource vectors (ALM/FF/M20K/DSP), accounting, and
+//!   the fit check that reproduces the paper's "compiler fails placement"
+//!   limits (e.g. DDOT capped at W = 128).
+//! * [`workdepth`] — the work & depth model of Sec. IV-A: application
+//!   work/depth and circuit work/depth for map and map-reduce circuits,
+//!   plus the optimal-vectorization-width formulas of Sec. IV-B.
+//! * [`estimator`] — circuit work → LUT/FF/DSP/M20K estimates using the
+//!   linear coefficients the paper reports in Table I.
+//! * [`frequency`] — achieved clock frequency per device and routine
+//!   class, including the Stratix 10 HyperFlex uplift.
+//! * [`power`] — board power model fitted to the paper's Table III.
+//! * [`memory`] — DDR bank model with optional interleaving and
+//!   bank-sharing contention (the effect behind the AXPYDOT anomaly in
+//!   Fig. 11).
+//! * [`roofline`] — attainable throughput given compute and bandwidth
+//!   ceilings, used for the "expected performance" bars of Fig. 10.
+//!
+//! All constants are calibrated against the numbers printed in the paper
+//! and carry the table/section they come from in their doc comments.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod estimator;
+pub mod frequency;
+pub mod memory;
+pub mod power;
+pub mod precision;
+pub mod resources;
+pub mod roofline;
+pub mod workdepth;
+
+pub use device::{Device, DeviceModel};
+pub use estimator::{
+    design_overhead, estimate_circuit, interface_module, CircuitClass, OpCosts, ResourceEstimate,
+};
+pub use frequency::{FrequencyModel, RoutineClass};
+pub use memory::{BankAssignment, MemorySystem};
+pub use power::PowerModel;
+pub use precision::Precision;
+pub use resources::Resources;
+pub use roofline::attainable_flops;
+pub use workdepth::{optimal_width, optimal_width_tiled, WorkDepth};

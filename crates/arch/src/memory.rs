@@ -1,0 +1,217 @@
+//! Off-chip DDR memory model: banks, interleaving, and contention.
+//!
+//! The evaluation boards expose multiple independent DDR banks
+//! (2 on the Arria board, 4 on the Stratix board — paper Table II). Due
+//! to a BSP limitation, automatic memory interleaving was disabled on the
+//! Stratix and buffers had to be manually allocated to banks
+//! (Sec. VI-A). This has a visible performance consequence the model must
+//! capture: in the host-layer AXPYDOT, the `z` vector is *read and
+//! written in the same memory module*, halving the effective bandwidth of
+//! that phase and pushing the measured streaming speedup from the
+//! expected 3× to 4× (Sec. VI-C).
+//!
+//! [`MemorySystem`] tracks buffer→bank assignments and computes the
+//! bandwidth each concurrently active stream obtains: streams sharing a
+//! bank split its bandwidth equally; with interleaving enabled, all
+//! streams share the aggregate bandwidth equally.
+
+use serde::{Deserialize, Serialize};
+
+/// Assignment of a logical buffer to a DDR bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BankAssignment {
+    /// Index of the DDR bank holding the buffer.
+    pub bank: usize,
+}
+
+/// A multi-bank DDR memory system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemorySystem {
+    banks: usize,
+    bank_bandwidth: f64,
+    bank_bytes: u64,
+    interleaved: bool,
+}
+
+impl MemorySystem {
+    /// Create a memory system of `banks` DDR banks, each with the given
+    /// peak bandwidth (bytes/s) and capacity (bytes).
+    ///
+    /// # Panics
+    /// Panics if `banks == 0` or `bank_bandwidth <= 0`.
+    pub fn new(banks: usize, bank_bandwidth: f64, bank_bytes: u64, interleaved: bool) -> Self {
+        assert!(banks > 0, "memory system needs at least one bank");
+        assert!(bank_bandwidth > 0.0, "bank bandwidth must be positive");
+        MemorySystem { banks, bank_bandwidth, bank_bytes, interleaved }
+    }
+
+    /// Number of DDR banks.
+    pub fn bank_count(&self) -> usize {
+        self.banks
+    }
+
+    /// Peak bandwidth of a single bank, bytes/s.
+    pub fn bank_bandwidth(&self) -> f64 {
+        self.bank_bandwidth
+    }
+
+    /// Capacity of a single bank, bytes.
+    pub fn bank_bytes(&self) -> u64 {
+        self.bank_bytes
+    }
+
+    /// Aggregate peak bandwidth across banks, bytes/s.
+    pub fn total_bandwidth(&self) -> f64 {
+        self.banks as f64 * self.bank_bandwidth
+    }
+
+    /// Whether automatic interleaving is enabled (data striped across all
+    /// banks; every stream shares the aggregate bandwidth).
+    pub fn interleaved(&self) -> bool {
+        self.interleaved
+    }
+
+    /// Enable/disable interleaving (the `-no-interleaving` compile flag).
+    pub fn set_interleaved(&mut self, interleaved: bool) {
+        self.interleaved = interleaved;
+    }
+
+    /// Round-robin assignment of `n` buffers across banks — the manual
+    /// placement a careful user performs when interleaving is off.
+    pub fn round_robin(&self, n: usize) -> Vec<BankAssignment> {
+        (0..n).map(|i| BankAssignment { bank: i % self.banks }).collect()
+    }
+
+    /// Bandwidth (bytes/s) obtained by each of a set of *concurrently
+    /// active* streams, given the bank each stream touches.
+    ///
+    /// Non-interleaved: streams split the bandwidth of their bank evenly.
+    /// Interleaved: all streams split the aggregate bandwidth evenly.
+    ///
+    /// # Panics
+    /// Panics if any assignment references a bank out of range.
+    pub fn stream_bandwidths(&self, assignments: &[BankAssignment]) -> Vec<f64> {
+        for a in assignments {
+            assert!(a.bank < self.banks, "bank {} out of range ({} banks)", a.bank, self.banks);
+        }
+        if assignments.is_empty() {
+            return Vec::new();
+        }
+        if self.interleaved {
+            let per = self.total_bandwidth() / assignments.len() as f64;
+            return vec![per.min(self.total_bandwidth()); assignments.len()];
+        }
+        let mut per_bank = vec![0usize; self.banks];
+        for a in assignments {
+            per_bank[a.bank] += 1;
+        }
+        assignments
+            .iter()
+            .map(|a| self.bank_bandwidth / per_bank[a.bank] as f64)
+            .collect()
+    }
+
+    /// Slowest stream bandwidth of a set of concurrent streams — the rate
+    /// that gates a composition whose modules consume all streams in
+    /// lockstep.
+    pub fn bottleneck_bandwidth(&self, assignments: &[BankAssignment]) -> f64 {
+        self.stream_bandwidths(assignments)
+            .into_iter()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys4() -> MemorySystem {
+        MemorySystem::new(4, 19.2e9, 8 << 30, false)
+    }
+
+    #[test]
+    fn exclusive_streams_get_full_bank_bandwidth() {
+        let m = sys4();
+        let bw = m.stream_bandwidths(&m.round_robin(4));
+        assert_eq!(bw.len(), 4);
+        for b in bw {
+            assert!((b - 19.2e9).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn sharing_a_bank_halves_bandwidth() {
+        // The AXPYDOT effect: read and write of z on the same bank.
+        let m = sys4();
+        let shared = [BankAssignment { bank: 0 }, BankAssignment { bank: 0 }];
+        let bw = m.stream_bandwidths(&shared);
+        assert!((bw[0] - 9.6e9).abs() < 1.0);
+        assert!((bw[1] - 9.6e9).abs() < 1.0);
+        assert!((m.bottleneck_bandwidth(&shared) - 9.6e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn interleaving_shares_aggregate_bandwidth() {
+        let mut m = sys4();
+        m.set_interleaved(true);
+        assert!(m.interleaved());
+        let bw = m.stream_bandwidths(&[
+            BankAssignment { bank: 0 },
+            BankAssignment { bank: 0 },
+            BankAssignment { bank: 0 },
+        ]);
+        // 4 * 19.2 / 3 = 25.6 GB/s per stream.
+        for b in bw {
+            assert!((b - 25.6e9).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_buffers() {
+        let m = sys4();
+        let a = m.round_robin(6);
+        assert_eq!(a[0].bank, 0);
+        assert_eq!(a[3].bank, 3);
+        assert_eq!(a[4].bank, 0);
+    }
+
+    #[test]
+    fn bottleneck_is_min_over_streams() {
+        let m = sys4();
+        let mixed = [
+            BankAssignment { bank: 0 },
+            BankAssignment { bank: 0 },
+            BankAssignment { bank: 1 },
+        ];
+        let bn = m.bottleneck_bandwidth(&mixed);
+        assert!((bn - 9.6e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_stream_set_is_empty() {
+        let m = sys4();
+        assert!(m.stream_bandwidths(&[]).is_empty());
+        assert_eq!(m.bottleneck_bandwidth(&[]), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_bank_rejected() {
+        let m = sys4();
+        let _ = m.stream_bandwidths(&[BankAssignment { bank: 9 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        let _ = MemorySystem::new(0, 1.0, 1, false);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sys4();
+        assert_eq!(m.bank_count(), 4);
+        assert_eq!(m.bank_bytes(), 8 << 30);
+        assert!((m.total_bandwidth() - 4.0 * 19.2e9).abs() < 1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Floating-point precision descriptors.
+//!
+//! The two evaluation FPGAs have hardened *single*-precision floating point
+//! DSP blocks: one DSP starts one f32 addition and one f32 multiplication
+//! per clock cycle (paper Sec. IV-A). Neither device has hardened *double*
+//! precision units, so f64 arithmetic is assembled from multiple DSPs plus
+//! soft logic — the paper reports 4 DSPs per operation and roughly an
+//! order of magnitude more logic (Sec. VI-B), which is what penalizes
+//! DGEMM in Table IV.
+
+use serde::{Deserialize, Serialize};
+
+/// Floating-point precision of a routine instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE-754 binary32 (`float` / BLAS `s` prefix).
+    Single,
+    /// IEEE-754 binary64 (`double` / BLAS `d` prefix).
+    Double,
+}
+
+impl Precision {
+    /// Size of one element in bytes (the `S` of the Sec. IV-B width
+    /// formula `W = ceil(B / (2·S·F))`).
+    pub fn elem_bytes(self) -> u64 {
+        match self {
+            Precision::Single => 4,
+            Precision::Double => 8,
+        }
+    }
+
+    /// DSP blocks needed per floating-point operation: 1 for hardened f32,
+    /// 4 for assembled f64 (paper Sec. VI-B).
+    pub fn dsps_per_op(self) -> u64 {
+        match self {
+            Precision::Single => 1,
+            Precision::Double => 4,
+        }
+    }
+
+    /// Multiplier on soft-logic (LUT/FF) cost relative to single precision.
+    /// The paper reports "one order of magnitude higher" logic for f64
+    /// (Sec. VI-B; compare SDOT 9.7K vs DDOT 121K ALMs in Table III —
+    /// a ~12× ratio once the W-independent base is removed).
+    pub fn logic_factor(self) -> f64 {
+        match self {
+            Precision::Single => 1.0,
+            Precision::Double => 12.0,
+        }
+    }
+
+    /// Whether the device's DSPs natively support accumulation at this
+    /// precision. True for f32 on Arria 10 / Stratix 10; false for f64,
+    /// which needs the two-stage interleaved accumulation circuit of
+    /// Sec. III-A to reach II = 1.
+    pub fn native_accumulation(self) -> bool {
+        matches!(self, Precision::Single)
+    }
+
+    /// BLAS routine-name prefix (`s` / `d`).
+    pub fn blas_prefix(self) -> char {
+        match self {
+            Precision::Single => 's',
+            Precision::Double => 'd',
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Precision::Single => write!(f, "single"),
+            Precision::Double => write!(f, "double"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_sizes() {
+        assert_eq!(Precision::Single.elem_bytes(), 4);
+        assert_eq!(Precision::Double.elem_bytes(), 8);
+    }
+
+    #[test]
+    fn double_precision_is_costlier() {
+        assert!(Precision::Double.dsps_per_op() > Precision::Single.dsps_per_op());
+        assert!(Precision::Double.logic_factor() > Precision::Single.logic_factor());
+        assert!(!Precision::Double.native_accumulation());
+        assert!(Precision::Single.native_accumulation());
+    }
+
+    #[test]
+    fn blas_prefixes() {
+        assert_eq!(Precision::Single.blas_prefix(), 's');
+        assert_eq!(Precision::Double.blas_prefix(), 'd');
+        assert_eq!(Precision::Single.to_string(), "single");
+    }
+}

@@ -1,0 +1,242 @@
+//! Resource vectors and accounting.
+//!
+//! FPGA designs consume four resource classes (paper Sec. VI-A): adaptive
+//! logic modules (ALMs, each containing look-up tables), flip-flop
+//! registers (FFs), M20K on-chip memory blocks, and hardened DSP units.
+//! A design is realizable only if its total consumption fits within the
+//! resources the Board Support Package leaves available — when it does
+//! not, the vendor compiler fails placement/routing, which is how the
+//! paper's maximum design sizes arise (e.g. DDOT capped at W = 128,
+//! systolic arrays capped at 40×80 / 16×16 on the Stratix).
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of LUTs per ALM used when converting estimator LUT counts to
+/// ALM occupancy. Intel ALMs host two combinational LUT outputs.
+pub const LUTS_PER_ALM: f64 = 2.0;
+
+/// A vector of FPGA resource quantities.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resources {
+    /// Adaptive logic modules.
+    pub alms: u64,
+    /// Flip-flop registers.
+    pub ffs: u64,
+    /// M20K on-chip RAM blocks (20 kbit each).
+    pub m20ks: u64,
+    /// Hardened DSP units.
+    pub dsps: u64,
+}
+
+impl Resources {
+    /// The zero vector.
+    pub const ZERO: Resources = Resources { alms: 0, ffs: 0, m20ks: 0, dsps: 0 };
+
+    /// Construct from explicit quantities.
+    pub fn new(alms: u64, ffs: u64, m20ks: u64, dsps: u64) -> Self {
+        Resources { alms, ffs, m20ks, dsps }
+    }
+
+    /// Construct from a LUT count plus the other quantities, converting
+    /// LUTs to ALMs at [`LUTS_PER_ALM`].
+    pub fn from_luts(luts: u64, ffs: u64, m20ks: u64, dsps: u64) -> Self {
+        Resources { alms: (luts as f64 / LUTS_PER_ALM).ceil() as u64, ffs, m20ks, dsps }
+    }
+
+    /// Component-wise `self <= other`: does a design needing `self` fit in
+    /// a budget of `other`?
+    pub fn fits_in(&self, budget: &Resources) -> bool {
+        self.alms <= budget.alms
+            && self.ffs <= budget.ffs
+            && self.m20ks <= budget.m20ks
+            && self.dsps <= budget.dsps
+    }
+
+    /// Largest utilization fraction across the four classes, against the
+    /// given budget. Returns `f64::INFINITY` if the budget has a zero
+    /// entry that `self` needs.
+    pub fn max_utilization(&self, budget: &Resources) -> f64 {
+        fn frac(used: u64, avail: u64) -> f64 {
+            if used == 0 {
+                0.0
+            } else if avail == 0 {
+                f64::INFINITY
+            } else {
+                used as f64 / avail as f64
+            }
+        }
+        frac(self.alms, budget.alms)
+            .max(frac(self.ffs, budget.ffs))
+            .max(frac(self.m20ks, budget.m20ks))
+            .max(frac(self.dsps, budget.dsps))
+    }
+
+    /// Per-class utilization percentages `(alm%, ff%, m20k%, dsp%)`, as
+    /// printed in the paper's Table III.
+    pub fn utilization_pct(&self, budget: &Resources) -> (f64, f64, f64, f64) {
+        fn pct(used: u64, avail: u64) -> f64 {
+            if avail == 0 { 0.0 } else { 100.0 * used as f64 / avail as f64 }
+        }
+        (
+            pct(self.alms, budget.alms),
+            pct(self.ffs, budget.ffs),
+            pct(self.m20ks, budget.m20ks),
+            pct(self.dsps, budget.dsps),
+        )
+    }
+
+    /// Saturating subtraction: the budget left after allocating `other`.
+    pub fn saturating_sub(&self, other: &Resources) -> Resources {
+        Resources {
+            alms: self.alms.saturating_sub(other.alms),
+            ffs: self.ffs.saturating_sub(other.ffs),
+            m20ks: self.m20ks.saturating_sub(other.m20ks),
+            dsps: self.dsps.saturating_sub(other.dsps),
+        }
+    }
+
+    /// Scale every component by an integer factor (replication of a
+    /// circuit, e.g. PE count in a systolic array).
+    pub fn scaled(&self, factor: u64) -> Resources {
+        Resources {
+            alms: self.alms * factor,
+            ffs: self.ffs * factor,
+            m20ks: self.m20ks * factor,
+            dsps: self.dsps * factor,
+        }
+    }
+
+    /// Scale every component by a float factor, rounding up.
+    pub fn scaled_f(&self, factor: f64) -> Resources {
+        assert!(factor >= 0.0, "resource scale factor must be non-negative");
+        Resources {
+            alms: (self.alms as f64 * factor).ceil() as u64,
+            ffs: (self.ffs as f64 * factor).ceil() as u64,
+            m20ks: (self.m20ks as f64 * factor).ceil() as u64,
+            dsps: (self.dsps as f64 * factor).ceil() as u64,
+        }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            alms: self.alms + rhs.alms,
+            ffs: self.ffs + rhs.ffs,
+            m20ks: self.m20ks + rhs.m20ks,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for Resources {
+    type Output = Resources;
+    fn mul(self, factor: u64) -> Resources {
+        self.scaled(factor)
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for Resources {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ALM {} | FF {} | M20K {} | DSP {}",
+            self.alms, self.ffs, self.m20ks, self.dsps
+        )
+    }
+}
+
+/// Capacity of one M20K block in bytes (20 kbit).
+pub const M20K_BYTES: u64 = 20 * 1024 / 8;
+
+/// Number of M20K blocks needed to hold `elements` of `elem_bytes` each.
+///
+/// On-chip buffers (tile storage, shift registers) are built from M20K
+/// blocks; this is why tile sizes must be compile-time constants in the
+/// paper (Sec. III-A3) — they set the number of memory blocks instantiated.
+pub fn m20ks_for_buffer(elements: u64, elem_bytes: u64) -> u64 {
+    let bytes = elements * elem_bytes;
+    bytes.div_ceil(M20K_BYTES).max(if bytes > 0 { 1 } else { 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_and_scaling() {
+        let a = Resources::new(10, 20, 3, 4);
+        let b = Resources::new(1, 2, 3, 4);
+        assert_eq!(a + b, Resources::new(11, 22, 6, 8));
+        assert_eq!(b.scaled(3), Resources::new(3, 6, 9, 12));
+        assert_eq!(b * 2, Resources::new(2, 4, 6, 8));
+        let total: Resources = [a, b, b].into_iter().sum();
+        assert_eq!(total, Resources::new(12, 24, 9, 12));
+    }
+
+    #[test]
+    fn fit_check_is_component_wise() {
+        let budget = Resources::new(100, 100, 100, 100);
+        assert!(Resources::new(100, 1, 1, 1).fits_in(&budget));
+        assert!(!Resources::new(101, 1, 1, 1).fits_in(&budget));
+        assert!(!Resources::new(1, 1, 1, 101).fits_in(&budget));
+    }
+
+    #[test]
+    fn utilization_tracks_binding_resource() {
+        let budget = Resources::new(1000, 1000, 100, 100);
+        let used = Resources::new(100, 100, 90, 10);
+        assert!((used.max_utilization(&budget) - 0.9).abs() < 1e-12);
+        let (alm, ff, m20k, dsp) = used.utilization_pct(&budget);
+        assert!((alm - 10.0).abs() < 1e-9);
+        assert!((ff - 10.0).abs() < 1e-9);
+        assert!((m20k - 90.0).abs() < 1e-9);
+        assert!((dsp - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn luts_convert_to_alms() {
+        let r = Resources::from_luts(98, 192, 0, 2);
+        assert_eq!(r.alms, 49);
+    }
+
+    #[test]
+    fn m20k_buffer_sizing() {
+        assert_eq!(m20ks_for_buffer(0, 4), 0);
+        assert_eq!(m20ks_for_buffer(1, 4), 1);
+        // 1024 f32 = 4096 bytes = 2 blocks of 2560 bytes.
+        assert_eq!(m20ks_for_buffer(1024, 4), 2);
+        // 1024x1024 f32 tile = 4 MiB = 1638.4 -> 1639 blocks.
+        assert_eq!(m20ks_for_buffer(1024 * 1024, 4), 1639);
+    }
+
+    #[test]
+    fn saturating_sub_never_underflows() {
+        let a = Resources::new(5, 5, 5, 5);
+        let b = Resources::new(10, 1, 10, 1);
+        assert_eq!(a.saturating_sub(&b), Resources::new(0, 4, 0, 4));
+    }
+
+    #[test]
+    fn zero_budget_means_infinite_utilization() {
+        let used = Resources::new(0, 0, 0, 1);
+        assert!(used.max_utilization(&Resources::ZERO).is_infinite());
+        assert_eq!(Resources::ZERO.max_utilization(&Resources::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Roofline-style attainable-performance analysis.
+//!
+//! The paper evaluates each design against its *expected performance*:
+//! "the number of used DSPs multiplied by the frequency of the
+//! synthesized design" (Sec. VI-B) — i.e. the compute ceiling assuming
+//! every DSP initiates an operation each cycle. A memory-fed module is
+//! additionally capped by the arrival bandwidth: the same balance that
+//! drives the optimal-width formula of Sec. IV-B. This module provides
+//! both ceilings and their minimum.
+
+/// Floating-point operations each MAC-capable DSP lane contributes per
+/// cycle (a multiply and an add).
+pub const FLOPS_PER_MAC: f64 = 2.0;
+
+/// Compute ceiling of a design in ops/s: one operation initiated per DSP
+/// per cycle — the paper's "expected performance" bars in Fig. 10.
+pub fn expected_ops(dsps: u64, freq_hz: f64) -> f64 {
+    dsps as f64 * freq_hz
+}
+
+/// Compute ceiling in flops/s of `macs` multiply-accumulate lanes.
+pub fn compute_peak_flops(macs: u64, freq_hz: f64) -> f64 {
+    macs as f64 * FLOPS_PER_MAC * freq_hz
+}
+
+/// Memory ceiling in flops/s at `bandwidth` bytes/s and an arithmetic
+/// intensity of `flops_per_byte`.
+pub fn memory_peak_flops(bandwidth: f64, flops_per_byte: f64) -> f64 {
+    bandwidth * flops_per_byte
+}
+
+/// Attainable throughput: the lower of the compute and memory ceilings.
+pub fn attainable_flops(compute_peak: f64, bandwidth: f64, flops_per_byte: f64) -> f64 {
+    compute_peak.min(memory_peak_flops(bandwidth, flops_per_byte))
+}
+
+/// Is a kernel with the given arithmetic intensity memory bound on a
+/// machine with the given balance point?
+pub fn is_memory_bound(compute_peak: f64, bandwidth: f64, flops_per_byte: f64) -> bool {
+    memory_peak_flops(bandwidth, flops_per_byte) < compute_peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stratix_sgemm_peak_matches_paper() {
+        // 40×80 systolic array at 216 MHz: 2·3200·216e6 = 1.38 Tflop/s,
+        // of which the paper measures 1.28 Tflop/s (Sec. VI-B).
+        let peak = compute_peak_flops(3200, 216.0e6);
+        assert!((peak - 1.3824e12).abs() < 1e6);
+    }
+
+    #[test]
+    fn expected_ops_is_dsp_times_frequency() {
+        assert_eq!(expected_ops(328, 358.0e6), 328.0 * 358.0e6);
+    }
+
+    #[test]
+    fn dot_is_memory_bound_from_dram() {
+        // DOT: 2N flops over 2N·4 bytes = 0.25 flops/byte (f32). From one
+        // 19.2 GB/s bank that caps at 4.8 Gflop/s, far below even a
+        // W=16 compute ceiling at 350 MHz (11.2 Gflop/s).
+        let compute = compute_peak_flops(16, 350.0e6);
+        assert!(is_memory_bound(compute, 19.2e9, 0.25));
+        let att = attainable_flops(compute, 19.2e9, 0.25);
+        assert!((att - 4.8e9).abs() < 1e3);
+    }
+
+    #[test]
+    fn gemm_is_compute_bound() {
+        // Tiled GEMM has high arithmetic intensity; the compute ceiling
+        // binds.
+        let compute = compute_peak_flops(3200, 216.0e6);
+        assert!(!is_memory_bound(compute, 4.0 * 19.2e9, 100.0));
+        assert_eq!(attainable_flops(compute, 4.0 * 19.2e9, 100.0), compute);
+    }
+}

@@ -1,0 +1,201 @@
+//! Work & depth model (paper Sec. IV-A) and optimal circuit dimensioning
+//! (paper Sec. IV-B).
+//!
+//! The *application* work/depth (`AW`, `AD`) characterize the algorithm;
+//! the *circuit* work/depth (`CW`, `CD`) characterize the unrolled inner
+//! loop that is synthesized into hardware: `CW` is proportional to the
+//! computational resources consumed, `CD` is the pipeline latency.
+//!
+//! For the two circuit shapes appearing in FBLAS:
+//!
+//! * **map** (SCAL, AXPY, GER, SYR, …): `CW = W · ops_per_lane`,
+//!   `CD = Σ op latencies` of one lane (independent lanes).
+//! * **map-reduce** (DOT, GEMV, TRSV, GEMM, …): `CW = 2W` (W multiplies +
+//!   W−1 adds + 1 accumulate), `CD = log2(W)·L_A + L_M`.
+
+use crate::precision::Precision;
+
+/// A (work, depth) pair, in operations and cycles respectively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkDepth {
+    /// Total number of operations.
+    pub work: u64,
+    /// Length of the longest dependency chain, in cycles.
+    pub depth: u64,
+}
+
+impl WorkDepth {
+    /// Application work/depth of an N-element map with per-element
+    /// operation latency `op_latency` (e.g. SCAL: `AW = N`, `AD = L_M`).
+    pub fn map_application(n: u64, op_latency: u64) -> Self {
+        WorkDepth { work: n, depth: op_latency }
+    }
+
+    /// Application work/depth of an N-element reduction-style computation
+    /// (e.g. DOT: `AW = 2N − 1`, `AD = log2(N)·L_A + L_M`).
+    pub fn reduce_application(n: u64, add_latency: u64, mul_latency: u64) -> Self {
+        let depth = if n == 0 {
+            0
+        } else {
+            ceil_log2(n) * add_latency + mul_latency
+        };
+        WorkDepth { work: (2 * n).saturating_sub(1), depth }
+    }
+
+    /// Circuit work/depth of a W-wide *map* inner loop performing
+    /// `ops_per_lane` chained operations of latency `lane_latency` total.
+    pub fn map_circuit(w: u64, ops_per_lane: u64, lane_latency: u64) -> Self {
+        WorkDepth { work: w * ops_per_lane, depth: lane_latency }
+    }
+
+    /// Circuit work/depth of a W-wide *map-reduce* inner loop:
+    /// `CW = 2W`, `CD = log2(W)·L_A + L_M`.
+    pub fn reduce_circuit(w: u64, add_latency: u64, mul_latency: u64) -> Self {
+        let depth = if w <= 1 {
+            mul_latency
+        } else {
+            ceil_log2(w) * add_latency + mul_latency
+        };
+        WorkDepth { work: 2 * w, depth }
+    }
+}
+
+/// Ceiling of log2 for positive integers; `ceil_log2(1) == 0`.
+pub fn ceil_log2(n: u64) -> u64 {
+    assert!(n > 0, "log2 of zero");
+    64 - (n - 1).leading_zeros() as u64
+}
+
+/// Optimal vectorization width for an *untiled* streaming module
+/// (paper Sec. IV-B): `W = ceil(B / (k·S·F))` where `B` is the arrival
+/// bandwidth in bytes/s, `k` the operands consumed per clock per lane
+/// (1 for SCAL, 2 for DOT), `S` the element size, `F` the clock frequency.
+///
+/// The returned width is rounded up to the next power of two, as widths
+/// are powers of two in the paper's designs (Table I, Fig. 10).
+pub fn optimal_width(bandwidth: f64, freq_hz: f64, precision: Precision, operands_per_lane: u64) -> u64 {
+    assert!(bandwidth >= 0.0 && freq_hz > 0.0 && operands_per_lane > 0);
+    let s = precision.elem_bytes() as f64;
+    let w = (bandwidth / (operands_per_lane as f64 * s * freq_hz)).ceil() as u64;
+    w.max(1).next_power_of_two()
+}
+
+/// Optimal vectorization width for a *tiled* Level-2 module (paper
+/// Sec. IV-B): `W = ceil(B·T / (F·S·(1+T)))` with `T = T_N·T_M` the tile
+/// element count. As `T → ∞` this approaches `B/(F·S)` — double the
+/// untiled two-operand width, because the vector operand is reused from
+/// on-chip memory and only the matrix stream consumes bandwidth.
+pub fn optimal_width_tiled(
+    bandwidth: f64,
+    freq_hz: f64,
+    precision: Precision,
+    tile_elems: u64,
+) -> u64 {
+    assert!(bandwidth >= 0.0 && freq_hz > 0.0 && tile_elems > 0);
+    let s = precision.elem_bytes() as f64;
+    let t = tile_elems as f64;
+    let w = (bandwidth * t / (freq_hz * s * (1.0 + t))).ceil() as u64;
+    w.max(1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn scal_application_model() {
+        // Paper: AW = N, AD = L_M.
+        let wd = WorkDepth::map_application(1000, 6);
+        assert_eq!(wd.work, 1000);
+        assert_eq!(wd.depth, 6);
+    }
+
+    #[test]
+    fn dot_application_model() {
+        // Paper: AW = 2N − 1, AD = log2(N)·L_A + L_M.
+        let wd = WorkDepth::reduce_application(1024, 6, 6);
+        assert_eq!(wd.work, 2047);
+        assert_eq!(wd.depth, 10 * 6 + 6);
+    }
+
+    #[test]
+    fn scal_circuit_model() {
+        // Paper Fig. 4: CW = W, CD = L_M.
+        let wd = WorkDepth::map_circuit(4, 1, 6);
+        assert_eq!(wd.work, 4);
+        assert_eq!(wd.depth, 6);
+    }
+
+    #[test]
+    fn dot_circuit_model() {
+        // Paper Fig. 5: CW = 2W, CD = log2(W)·L_A + L_M.
+        let wd = WorkDepth::reduce_circuit(4, 6, 6);
+        assert_eq!(wd.work, 8);
+        assert_eq!(wd.depth, 2 * 6 + 6);
+        // Doubling W adds one adder level: depth grows logarithmically.
+        let wd2 = WorkDepth::reduce_circuit(8, 6, 6);
+        assert_eq!(wd2.depth - wd.depth, 6);
+    }
+
+    #[test]
+    fn reduce_circuit_degenerate_width() {
+        let wd = WorkDepth::reduce_circuit(1, 6, 6);
+        assert_eq!(wd.depth, 6);
+        assert_eq!(wd.work, 2);
+    }
+
+    #[test]
+    fn optimal_width_dot_example() {
+        // DOT consumes 2W operands/cycle. At B = 19.2 GB/s, F = 300 MHz,
+        // f32: W = ceil(19.2e9 / (2·4·300e6)) = ceil(8) = 8.
+        let w = optimal_width(19.2e9, 300.0e6, Precision::Single, 2);
+        assert_eq!(w, 8);
+        // SCAL consumes W operands/cycle: twice the width.
+        let w = optimal_width(19.2e9, 300.0e6, Precision::Single, 1);
+        assert_eq!(w, 16);
+    }
+
+    #[test]
+    fn optimal_width_rounds_to_power_of_two() {
+        let w = optimal_width(20.0e9, 300.0e6, Precision::Single, 2);
+        // Raw value ceil(8.33) = 9 -> next pow2 = 16.
+        assert_eq!(w, 16);
+    }
+
+    #[test]
+    fn tiled_width_approaches_double_the_untiled() {
+        let b = 19.2e9;
+        let f = 300.0e6;
+        // Untiled GEMV serves W from A and W from x: k = 2.
+        let untiled = optimal_width(b, f, Precision::Single, 2);
+        // Large tiles: x amortized, only A consumes bandwidth.
+        let tiled = optimal_width_tiled(b, f, Precision::Single, 1024 * 1024);
+        assert_eq!(tiled, 2 * untiled);
+    }
+
+    #[test]
+    fn tiny_tiles_do_not_help() {
+        // T = 1 means x is replayed for every element: W halves back.
+        let b = 19.2e9;
+        let f = 300.0e6;
+        let w = optimal_width_tiled(b, f, Precision::Single, 1);
+        assert_eq!(w, optimal_width(b, f, Precision::Single, 2));
+    }
+
+    #[test]
+    fn double_precision_halves_width() {
+        let ws = optimal_width(19.2e9, 300.0e6, Precision::Single, 2);
+        let wd = optimal_width(19.2e9, 300.0e6, Precision::Double, 2);
+        assert_eq!(ws, 2 * wd);
+    }
+}

@@ -1,0 +1,35 @@
+//! Ablation: streaming composition vs host-layer execution
+//! (DESIGN.md §5.3, paper Fig. 11) — functional end-to-end runs of
+//! AXPYDOT in both variants on the dataflow substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fblas_arch::Device;
+use fblas_core::apps::{axpydot_host_layer, axpydot_streaming};
+use fblas_core::host::Fpga;
+
+fn bench(c: &mut Criterion) {
+    let fpga = Fpga::new(Device::Stratix10Gx2800);
+    let n = 8_192usize;
+    let w = fpga.alloc_from("w", vec![2.0f32; n]);
+    let v = fpga.alloc_from("v", vec![1.0f32; n]);
+    let u = fpga.alloc_from("u", vec![0.5f32; n]);
+
+    let mut g = c.benchmark_group("axpydot");
+    g.sample_size(10);
+    g.bench_function("streaming", |b| {
+        b.iter(|| {
+            let (beta, _) = axpydot_streaming(&fpga, &w, &v, &u, 1.0, 16).unwrap();
+            std::hint::black_box(beta)
+        });
+    });
+    g.bench_function("host_layer", |b| {
+        b.iter(|| {
+            let (_z, beta, _) = axpydot_host_layer(&fpga, &w, &v, &u, 1.0, 16).unwrap();
+            std::hint::black_box(beta)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! CPU comparator benchmarks: serial vs multi-threaded fblas-refblas
+//! kernels (the machinery behind the CPU columns of Tables IV–VI).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fblas_refblas as refblas;
+use fblas_refblas::parallel::default_threads;
+
+fn bench(c: &mut Criterion) {
+    let threads = default_threads();
+
+    let n = 1 << 20;
+    let x: Vec<f32> = (0..n).map(|i| (i % 17) as f32).collect();
+    let y: Vec<f32> = (0..n).map(|i| (i % 13) as f32).collect();
+    let mut g = c.benchmark_group("cpu_dot_1M");
+    g.sample_size(20);
+    g.bench_function("serial", |b| {
+        b.iter(|| std::hint::black_box(refblas::level1::dot(&x, &y)));
+    });
+    g.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+        b.iter(|| std::hint::black_box(refblas::parallel::dot(&x, &y, t)));
+    });
+    g.finish();
+
+    let m = 512;
+    let a: Vec<f64> = (0..m * m).map(|i| (i % 23) as f64).collect();
+    let xv: Vec<f64> = (0..m).map(|i| (i % 7) as f64).collect();
+    let mut yv = vec![0.0f64; m];
+    let mut g = c.benchmark_group("cpu_gemv_512");
+    g.sample_size(20);
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            refblas::level2::gemv(refblas::Trans::No, m, m, 1.0, &a, &xv, 0.0, &mut yv);
+            std::hint::black_box(&yv);
+        });
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| {
+            refblas::parallel::gemv(m, m, 1.0, &a, &xv, 0.0, &mut yv, threads);
+            std::hint::black_box(&yv);
+        });
+    });
+    g.finish();
+
+    let k = 128;
+    let ma: Vec<f32> = (0..k * k).map(|i| (i % 31) as f32).collect();
+    let mb: Vec<f32> = (0..k * k).map(|i| (i % 29) as f32).collect();
+    let mut mc = vec![0.0f32; k * k];
+    let mut g = c.benchmark_group("cpu_gemm_128");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            refblas::level3::gemm(
+                refblas::Trans::No,
+                refblas::Trans::No,
+                k,
+                k,
+                k,
+                1.0,
+                &ma,
+                &mb,
+                0.0,
+                &mut mc,
+            );
+            std::hint::black_box(&mc);
+        });
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| {
+            refblas::parallel::gemm(
+                refblas::Trans::No,
+                refblas::Trans::No,
+                k,
+                k,
+                k,
+                1.0,
+                &ma,
+                &mb,
+                0.0,
+                &mut mc,
+                threads,
+            );
+            std::hint::black_box(&mc);
+        });
+    });
+    g.finish();
+
+    // Batched tiny problems (the Table V CPU side).
+    let dim = 4;
+    let batch = 4096;
+    let sz = dim * dim;
+    let ba: Vec<f32> = (0..batch * sz).map(|i| (i % 11) as f32).collect();
+    let bb: Vec<f32> = (0..batch * sz).map(|i| (i % 9) as f32).collect();
+    let mut bc = vec![0.0f32; batch * sz];
+    let mut g = c.benchmark_group("cpu_batched_gemm_4x4");
+    g.sample_size(20);
+    g.bench_function("batch_4096", |b| {
+        b.iter(|| {
+            refblas::batched::gemm_batched(dim, batch, 1.0, &ba, &bb, 0.0, &mut bc, threads);
+            std::hint::black_box(&bc);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

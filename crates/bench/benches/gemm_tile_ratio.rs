@@ -1,0 +1,54 @@
+//! Ablation: systolic compute/memory tile ratio (DESIGN.md §5.4,
+//! paper Fig. 10 right) — functional systolic GEMM runs at several
+//! ratios, plus the efficiency-model evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fblas_core::host::DeviceBuffer;
+use fblas_core::routines::gemm::{read_gemm_a, read_gemm_b, store_c, Gemm, SystolicShape};
+use fblas_hlssim::{channel, Simulation};
+
+fn run_gemm(size: usize, ratio: usize) {
+    let shape = SystolicShape::new(4, 4);
+    let cfg = Gemm::new(size, size, size, shape, 4 * ratio, 4 * ratio);
+    let mut sim = Simulation::new();
+    let a = DeviceBuffer::from_vec("a", vec![0.5f32; size * size], 0);
+    let b = DeviceBuffer::from_vec("b", vec![1.5f32; size * size], 1);
+    let c_buf = DeviceBuffer::from_vec("c", vec![0.0f32; size * size], 2);
+    let (ta, ra) = channel(sim.ctx(), 512, "a");
+    let (tb, rb) = channel(sim.ctx(), 512, "b");
+    let (tc, rc) = channel(sim.ctx(), 512, "c");
+    read_gemm_a(&mut sim, &a, cfg, ta);
+    read_gemm_b(&mut sim, &b, cfg, tb);
+    cfg.attach(&mut sim, ra, rb, tc);
+    store_c(&mut sim, &c_buf, cfg, 1.0, 0.0, rc);
+    sim.run().unwrap();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_tile_ratio");
+    g.sample_size(10);
+    for ratio in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, &r| {
+            b.iter(|| run_gemm(32, r));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("gemm_efficiency_model");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| {
+        b.iter(|| {
+            let shape = SystolicShape::new(40, 80);
+            let mut acc = 0.0;
+            for ratio in 1..=12usize {
+                let cfg = Gemm::new(4800, 4800, 4800, shape, 40 * ratio, 80 * ratio);
+                acc += cfg.efficiency();
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation: tiles-by-rows vs tiles-by-columns GEMV (DESIGN.md §5.1,
+//! paper Sec. III-B). The two variants have different I/O complexities
+//! and replay patterns; this bench runs both functionally end to end
+//! (readers → module → writers/replay).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fblas_core::helpers::writers::replay_vector_through_memory;
+use fblas_core::helpers::{read_matrix, read_vector, read_vector_replayed, write_vector};
+use fblas_core::host::DeviceBuffer;
+use fblas_core::routines::gemv::{Gemv, GemvVariant};
+use fblas_hlssim::{channel, Simulation};
+
+fn run_gemv(variant: GemvVariant, n: usize, t: usize, w: usize) {
+    let cfg = Gemv::new(variant, n, n, t, t, w);
+    let mut sim = Simulation::new();
+    let a = DeviceBuffer::from_vec("a", vec![0.5f32; n * n], 0);
+    let x = DeviceBuffer::from_vec("x", vec![1.0f32; cfg.x_len()], 1);
+    let y = DeviceBuffer::from_vec("y", vec![2.0f32; cfg.y_len()], 2);
+    let out = DeviceBuffer::<f32>::zeroed("out", cfg.y_len(), 3);
+    let (ta, ra) = channel(sim.ctx(), 256, "a");
+    let (tx, rx) = channel(sim.ctx(), 64, "x");
+    let (tyi, ryi) = channel(sim.ctx(), 64, "yi");
+    let (tyo, ryo) = channel(sim.ctx(), 64, "yo");
+    read_matrix(&mut sim, &a, n, n, cfg.a_tiling(), ta, 1);
+    read_vector_replayed(&mut sim, &x, tx, cfg.x_repetitions());
+    cfg.attach(&mut sim, 1.0, 0.0, ra, rx, ryi, tyo);
+    if cfg.y_rounds() == 1 {
+        read_vector(&mut sim, &y, tyi);
+        write_vector(&mut sim, &out, cfg.y_len(), ryo);
+    } else {
+        replay_vector_through_memory(&mut sim, &y, &out, cfg.y_len(), cfg.y_rounds(), tyi, ryo);
+    }
+    sim.run().unwrap();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemv_tiling");
+    g.sample_size(10);
+    let (n, t, w) = (96usize, 32usize, 8usize);
+    for (label, variant) in [
+        ("rows", GemvVariant::RowStreamed),
+        ("cols", GemvVariant::ColStreamed),
+        ("trans_rows", GemvVariant::TransRowStreamed),
+        ("trans_cols", GemvVariant::TransColStreamed),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &variant, |b, &v| {
+            b.iter(|| run_gemv(v, n, t, w));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation: DDR interleaving on/off (DESIGN.md §5.5, paper Sec. VI-A
+//! and VI-C) — evaluates the memory model's effect on routine timing
+//! estimates, including the bank-contention case behind the AXPYDOT
+//! anomaly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fblas_arch::{BankAssignment, Device, MemorySystem};
+use fblas_bench::model;
+
+fn bench(c: &mut Criterion) {
+    let dev = Device::Stratix10Gx2800;
+
+    let mut g = c.benchmark_group("interleaving_model");
+    g.sample_size(20);
+    g.bench_function("dot_16M_banked", |b| {
+        b.iter(|| std::hint::black_box(model::dot_time::<f32>(dev, 16 << 20, 32, true, false).seconds));
+    });
+    g.bench_function("dot_16M_interleaved", |b| {
+        b.iter(|| std::hint::black_box(model::dot_time::<f32>(dev, 16 << 20, 32, true, true).seconds));
+    });
+    g.bench_function("axpydot_contended", |b| {
+        b.iter(|| std::hint::black_box(model::axpydot_times::<f32>(dev, 16 << 20, 16)));
+    });
+    g.finish();
+
+    // Also sanity-assert the ablation direction once (cheap, not timed):
+    let banked = model::dot_time::<f32>(dev, 16 << 20, 32, true, false).seconds;
+    let interleaved = model::dot_time::<f32>(dev, 16 << 20, 32, true, true).seconds;
+    assert!(
+        interleaved < banked,
+        "interleaving must speed up the two-stream DOT ({interleaved} vs {banked})"
+    );
+    let m = MemorySystem::new(4, 19.2e9, 8 << 30, false);
+    let shared = m.stream_bandwidths(&[BankAssignment { bank: 0 }, BankAssignment { bank: 0 }]);
+    assert!((shared[0] - 9.6e9).abs() < 1.0, "bank sharing halves bandwidth");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

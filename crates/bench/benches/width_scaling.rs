@@ -1,0 +1,63 @@
+//! Ablation: vectorization width W (DESIGN.md §5.2).
+//!
+//! Benchmarks the functional dataflow simulation of the DOT module at
+//! several widths. In the *model*, W trades resources for cycles; in the
+//! *simulator*, W only changes the reduction grouping, so wall time is
+//! roughly flat — this bench documents the substrate's throughput and
+//! guards against regressions in the channel hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fblas_core::routines::Dot;
+use fblas_hlssim::{channel, ModuleKind, Simulation};
+
+fn run_dot(n: usize, w: usize) -> f32 {
+    let mut sim = Simulation::new();
+    let (tx, rx) = channel(sim.ctx(), 256, "x");
+    let (ty, ry) = channel(sim.ctx(), 256, "y");
+    let (tr, rr) = channel(sim.ctx(), 1, "r");
+    sim.add_module("sx", ModuleKind::Interface, move || {
+        tx.push_iter((0..n).map(|i| (i % 7) as f32))
+    });
+    sim.add_module("sy", ModuleKind::Interface, move || {
+        ty.push_iter((0..n).map(|i| (i % 5) as f32))
+    });
+    Dot::new(n, w).attach(&mut sim, rx, ry, tr);
+    let out = std::sync::Arc::new(std::sync::Mutex::new(0.0f32));
+    let out2 = out.clone();
+    sim.add_module("res", ModuleKind::Interface, move || {
+        *out2.lock().unwrap() = rr.pop()?;
+        Ok(())
+    });
+    sim.run().unwrap();
+    let v = *out.lock().unwrap();
+    v
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dot_width");
+    g.sample_size(10);
+    let n = 16_384;
+    for w in [1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| std::hint::black_box(run_dot(n, w)));
+        });
+    }
+    g.finish();
+
+    // The model side: cycle counts must halve as W doubles.
+    let mut g = c.benchmark_group("dot_width_model");
+    g.sample_size(10);
+    g.bench_function("cost_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for w in [16usize, 32, 64, 128, 256] {
+                acc += Dot::new(100_000_000, w).cost::<f32>().cycles();
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

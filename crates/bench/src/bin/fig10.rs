@@ -1,0 +1,188 @@
+//! Regenerates paper Fig. 10: scaling of individual modules.
+//!
+//! * left  — DOT GOps/s vs vectorization width (input generated
+//!   on-chip, N = 100M);
+//! * middle — GEMV GOps/s vs width (tiles 1024×1024);
+//! * right — GEMM GOps/s vs compute/memory tile ratio for the paper's
+//!   systolic arrays.
+//!
+//! "Expected performance" is the paper's bar: every DSP lane initiating
+//! work each cycle at the achieved frequency.
+//!
+//! ```text
+//! cargo run --release -p fblas-bench --bin fig10 [dot|gemv|gemm|all]
+//! ```
+
+use fblas_arch::{design_overhead, Device, FrequencyModel, RoutineClass};
+use fblas_core::routines::gemm::{Gemm, SystolicShape};
+use fblas_core::routines::gemv::{Gemv, GemvVariant};
+use fblas_core::routines::Dot;
+use fblas_core::scalar::Scalar;
+
+const N_DOT: usize = 100_000_000;
+const WIDTHS: [usize; 5] = [16, 32, 64, 128, 256];
+
+fn freq_for(device: Device, util: f64, class: RoutineClass) -> (f64, bool) {
+    FrequencyModel::new(device).achieved_hz(class, true, util)
+}
+
+/// The paper's compiler could place double-precision streaming designs
+/// only up to W = 128 (routing congestion of the soft f64 operators —
+/// Sec. VI-B). The linear resource model alone does not capture
+/// congestion, so the cap is applied explicitly.
+const MAX_W_DOUBLE: usize = 128;
+
+fn panel_dot<T: Scalar>(device: Device) {
+    let prefix = T::PRECISION.blas_prefix().to_ascii_uppercase();
+    for w in WIDTHS {
+        if T::PRECISION == fblas_arch::Precision::Double && w > MAX_W_DOUBLE {
+            println!(
+                "{:<7} {}DOT  W={:<4} not placeable in the paper (f64 routing congestion)",
+                device.short_name(),
+                prefix,
+                w
+            );
+            continue;
+        }
+        let m = Dot::new(N_DOT, w);
+        let est = m.estimate::<T>();
+        let total = est.resources + design_overhead(device, true);
+        if !device.model().fits(&total) {
+            println!(
+                "{:<7} {}DOT  W={:<4} does not place ({} DSPs needed) — paper hits the same wall",
+                device.short_name(),
+                prefix,
+                w,
+                total.dsps
+            );
+            continue;
+        }
+        let util = total.max_utilization(&device.model().available);
+        let (f, hf) = freq_for(device, util, RoutineClass::Streaming);
+        let secs = m.cost::<T>().cycles() as f64 / f;
+        let gops = (2.0 * N_DOT as f64 - 1.0) / secs / 1e9;
+        let expected = 2.0 * w as f64 * f / 1e9;
+        println!(
+            "{:<7} {}DOT  W={:<4} {:>7.1} GOps/s  (expected {:>7.1}, {:.0} MHz{})",
+            device.short_name(),
+            prefix,
+            w,
+            gops,
+            expected,
+            f / 1e6,
+            if hf { ", HyperFlex" } else { "" }
+        );
+    }
+}
+
+fn panel_gemv<T: Scalar>(device: Device) {
+    let prefix = T::PRECISION.blas_prefix().to_ascii_uppercase();
+    let n = 16_384usize;
+    for w in WIDTHS {
+        if T::PRECISION == fblas_arch::Precision::Double && w > MAX_W_DOUBLE {
+            println!(
+                "{:<7} {}GEMV W={:<4} not placeable in the paper (f64 routing congestion)",
+                device.short_name(),
+                prefix,
+                w
+            );
+            continue;
+        }
+        let g = Gemv::new(GemvVariant::RowStreamed, n, n, 1024, 1024, w);
+        let est = g.estimate::<T>();
+        let total = est.resources + design_overhead(device, true);
+        if !device.model().fits(&total) {
+            println!(
+                "{:<7} {}GEMV W={:<4} does not place — paper hits the same wall",
+                device.short_name(),
+                prefix,
+                w
+            );
+            continue;
+        }
+        let util = total.max_utilization(&device.model().available);
+        let (f, hf) = freq_for(device, util, RoutineClass::Streaming);
+        let secs = g.cost::<T>().cycles() as f64 / f;
+        let gops = 2.0 * (n as f64) * (n as f64) / secs / 1e9;
+        let expected = 2.0 * w as f64 * f / 1e9;
+        println!(
+            "{:<7} {}GEMV W={:<4} {:>7.1} GOps/s  (expected {:>7.1}, {:.0} MHz{})",
+            device.short_name(),
+            prefix,
+            w,
+            gops,
+            expected,
+            f / 1e6,
+            if hf { ", HyperFlex" } else { "" }
+        );
+    }
+}
+
+fn panel_gemm<T: Scalar>(device: Device, pr: usize, pc: usize) {
+    let prefix = T::PRECISION.blas_prefix().to_ascii_uppercase();
+    for ratio in [3usize, 6, 9, 12] {
+        let (tr, tc) = (pr * ratio, pc * ratio);
+        let size = 5 * tr.max(tc); // paper: matrices 5x the memory tile
+        let g = Gemm::new(size, size, size, SystolicShape::new(pr, pc), tr, tc);
+        let est = g.estimate::<T>();
+        let total = est.resources + design_overhead(device, false);
+        if !device.model().fits(&total) {
+            println!(
+                "{:<7} {}GEMM {}x{} ratio {:<3} does not place",
+                device.short_name(),
+                prefix,
+                pr,
+                pc,
+                ratio
+            );
+            continue;
+        }
+        let util = total.max_utilization(&device.model().available);
+        let (f, _) = freq_for(device, util, RoutineClass::Systolic);
+        let secs = g.cost::<T>().cycles() as f64 / f;
+        let gflops = g.flops() as f64 / secs / 1e9;
+        let expected = 2.0 * (pr * pc) as f64 * f / 1e9;
+        println!(
+            "{:<7} {}GEMM {:>2}x{:<3} ratio {:<3} {:>8.1} GOps/s  (expected {:>8.1}, {:.0} MHz, eff {:.1}%)",
+            device.short_name(),
+            prefix,
+            pr,
+            pc,
+            ratio,
+            gflops,
+            expected,
+            f / 1e6,
+            100.0 * g.efficiency()
+        );
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+
+    if which == "dot" || which == "all" {
+        println!("=== Fig. 10 (left): DOT, N = 100M, data generated on-chip ===");
+        for dev in Device::PAPER {
+            panel_dot::<f32>(dev);
+            panel_dot::<f64>(dev);
+        }
+        println!();
+    }
+    if which == "gemv" || which == "all" {
+        println!("=== Fig. 10 (middle): GEMV, tiles 1024x1024 ===");
+        for dev in Device::PAPER {
+            panel_gemv::<f32>(dev);
+            panel_gemv::<f64>(dev);
+        }
+        println!();
+    }
+    if which == "gemm" || which == "all" {
+        println!("=== Fig. 10 (right): GEMM vs compute/memory tile ratio ===");
+        // Paper's array sizes: the largest that place on each device.
+        panel_gemm::<f32>(Device::Arria10Gx1150, 32, 32);
+        panel_gemm::<f64>(Device::Arria10Gx1150, 16, 8);
+        panel_gemm::<f32>(Device::Stratix10Gx2800, 40, 80);
+        panel_gemm::<f64>(Device::Stratix10Gx2800, 16, 16);
+        println!("\n(paper peak: 1.28 Tflop/s single precision on the Stratix 40x80 array)");
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerates paper Fig. 11: speedup of streaming compositions over
+//! host-layer execution (Stratix 10, W = 16, tiles 1024×1024).
+//!
+//! ```text
+//! cargo run --release -p fblas-bench --bin fig11
+//! ```
+
+use fblas_arch::Device;
+use fblas_bench::model;
+
+fn main() {
+    let dev = Device::Stratix10Gx2800;
+    println!("=== Fig. 11: streaming composition speedups (Stratix, f32, W=16) ===\n");
+
+    println!("AXPYDOT (paper: ~4x at all sizes; expected 3x + z-bank contention)");
+    for n in [2usize << 20, 4 << 20, 8 << 20, 16 << 20] {
+        let (s, h) = model::axpydot_times::<f32>(dev, n, 16);
+        println!(
+            "  N = {:>4}M : streaming {:>9.0} us, host {:>9.0} us, speedup {:.2}x",
+            n >> 20,
+            s * 1e6,
+            h * 1e6,
+            h / s
+        );
+    }
+
+    // The bandwidth model yields the ideal I/O-ratio bound (2.0x: A is
+    // read once instead of twice). The paper's interface modules only
+    // saturate 87% of a bank, giving its expected 1.7x and measured
+    // <= 1.45x — same direction, ours is the idealized ceiling.
+    println!("\nBICG (paper: expected 1.7x, measured up to 1.45x; model = 2.0x ceiling)");
+    for n in [1024usize, 2048, 4096, 8192] {
+        let (s, h) = model::bicg_times::<f32>(dev, n, 1024, 1024, 16);
+        println!(
+            "  {:>4}x{:<4} : streaming {:>9.0} us, host {:>9.0} us, speedup {:.2}x",
+            n,
+            n,
+            s * 1e6,
+            h * 1e6,
+            h / s
+        );
+    }
+
+    println!("\nGEMVER (paper: ~2.5-3x; 8N^2 -> 3N^2 I/O, 5N^2 -> 2N^2 cycles)");
+    for n in [1024usize, 2048, 4096, 8192] {
+        let (s, h) = model::gemver_times::<f32>(dev, n, 1024, 1024, 16);
+        println!(
+            "  {:>4}x{:<4} : streaming {:>9.0} us, host {:>9.0} us, speedup {:.2}x",
+            n,
+            n,
+            s * 1e6,
+            h * 1e6,
+            h / s
+        );
+    }
+
+    println!("\n(functional equivalence of streaming and host-layer variants is");
+    println!("established by `tests/streaming_compositions.rs` at verification sizes)");
+}

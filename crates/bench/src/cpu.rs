@@ -1,0 +1,226 @@
+//! CPU comparator timing (the paper's MKL-on-Xeon columns).
+//!
+//! Measurements use `fblas-refblas` with its multi-threaded kernels.
+//! Problem sizes beyond what a test machine can reasonably hold or
+//! finish (the paper's 48K×48K GEMM runs for minutes even on MKL) are
+//! measured at a feasible size and extrapolated linearly in flops; the
+//! measurement basis is carried in the result so every table prints it.
+
+use std::time::Instant;
+
+use fblas_refblas as refblas;
+use fblas_refblas::Real;
+
+/// A (possibly extrapolated) CPU timing.
+#[derive(Debug, Clone)]
+pub struct CpuTime {
+    /// Estimated seconds at the target size.
+    pub seconds: f64,
+    /// Human-readable measurement basis, e.g. `measured` or
+    /// `extrapolated from N=2^24`.
+    pub basis: String,
+}
+
+/// Best-of-`reps` wall time of a closure.
+pub fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn seq<T: Real>(n: usize, seed: f64) -> Vec<T> {
+    (0..n).map(|i| T::from_f64(((i as f64 + seed) * 0.61803).sin())).collect()
+}
+
+/// Parallel DOT at target size `n` (measured directly up to 2^24,
+/// extrapolated linearly beyond).
+pub fn dot_time<T: Real>(n: usize, threads: usize) -> CpuTime {
+    let cap = 1 << 24;
+    let m = n.min(cap);
+    let x = seq::<T>(m, 0.0);
+    let y = seq::<T>(m, 1.0);
+    let secs = best_of(3, || {
+        std::hint::black_box(refblas::parallel::dot(&x, &y, threads));
+    });
+    scale(secs, m as f64, n as f64, "N")
+}
+
+/// Parallel GEMV at target `n × n` (measured up to 4096², extrapolated
+/// by element count beyond).
+pub fn gemv_time<T: Real>(n: usize, threads: usize) -> CpuTime {
+    let cap = 4096;
+    let m = n.min(cap);
+    let a = seq::<T>(m * m, 0.0);
+    let x = seq::<T>(m, 1.0);
+    let mut y = seq::<T>(m, 2.0);
+    let secs = best_of(3, || {
+        refblas::parallel::gemv(m, m, T::ONE, &a, &x, T::ZERO, &mut y, threads);
+        std::hint::black_box(&y);
+    });
+    scale(secs, (m * m) as f64, (n * n) as f64, "N^2")
+}
+
+/// Parallel GEMM at target `n³` (measured up to 512³, extrapolated by
+/// flop count beyond — the paper's 8K–48K sizes are far past what the
+/// reference kernel finishes in harness time).
+pub fn gemm_time<T: Real>(n: usize, threads: usize) -> CpuTime {
+    let cap = 512;
+    let m = n.min(cap);
+    let a = seq::<T>(m * m, 0.0);
+    let b = seq::<T>(m * m, 1.0);
+    let mut c = vec![T::ZERO; m * m];
+    let secs = best_of(2, || {
+        refblas::parallel::gemm(
+            refblas::Trans::No,
+            refblas::Trans::No,
+            m,
+            m,
+            m,
+            T::ONE,
+            &a,
+            &b,
+            T::ZERO,
+            &mut c,
+            threads,
+        );
+        std::hint::black_box(&c);
+    });
+    scale(secs, (m as f64).powi(3), (n as f64).powi(3), "N^3")
+}
+
+/// Batched tiny GEMM, measured directly (cheap at any paper size).
+pub fn batched_gemm_time<T: Real>(dim: usize, batch: usize, threads: usize) -> CpuTime {
+    let sz = dim * dim;
+    let a = seq::<T>(batch * sz, 0.0);
+    let b = seq::<T>(batch * sz, 1.0);
+    let mut c = vec![T::ZERO; batch * sz];
+    let secs = best_of(3, || {
+        refblas::batched::gemm_batched(dim, batch, T::ONE, &a, &b, T::ZERO, &mut c, threads);
+        std::hint::black_box(&c);
+    });
+    CpuTime { seconds: secs, basis: "measured".into() }
+}
+
+/// Batched tiny TRSM, measured directly.
+pub fn batched_trsm_time<T: Real>(dim: usize, batch: usize, threads: usize) -> CpuTime {
+    let sz = dim * dim;
+    let mut a = vec![T::ZERO; batch * sz];
+    for p in 0..batch {
+        for i in 0..dim {
+            for j in 0..=i {
+                a[p * sz + i * dim + j] = T::from_f64(0.2 + 0.1 * (i + j) as f64);
+            }
+            a[p * sz + i * dim + i] += T::from_f64(2.0);
+        }
+    }
+    let mut b = seq::<T>(batch * sz, 3.0);
+    let secs = best_of(3, || {
+        refblas::batched::trsm_batched(
+            refblas::Uplo::Lower,
+            refblas::Diag::NonUnit,
+            dim,
+            batch,
+            T::ONE,
+            &a,
+            &mut b,
+            threads,
+        );
+        std::hint::black_box(&b);
+    });
+    CpuTime { seconds: secs, basis: "measured".into() }
+}
+
+/// AXPYDOT at target `n`, measured up to 2^24.
+pub fn axpydot_time<T: Real>(n: usize) -> CpuTime {
+    let cap = 1 << 24;
+    let m = n.min(cap);
+    let w = seq::<T>(m, 0.0);
+    let v = seq::<T>(m, 1.0);
+    let u = seq::<T>(m, 2.0);
+    let secs = best_of(3, || {
+        std::hint::black_box(refblas::apps::axpydot(&w, &v, &u, T::from_f64(0.9)));
+    });
+    scale(secs, m as f64, n as f64, "N")
+}
+
+/// BICG at target `n × n`, measured up to 4096².
+pub fn bicg_time<T: Real>(n: usize) -> CpuTime {
+    let cap = 4096;
+    let m = n.min(cap);
+    let a = seq::<T>(m * m, 0.0);
+    let p = seq::<T>(m, 1.0);
+    let r = seq::<T>(m, 2.0);
+    let secs = best_of(2, || {
+        std::hint::black_box(refblas::apps::bicg(m, m, &a, &p, &r));
+    });
+    scale(secs, (m * m) as f64, (n * n) as f64, "N^2")
+}
+
+/// GEMVER at target `n × n`, measured up to 2048².
+pub fn gemver_time<T: Real>(n: usize) -> CpuTime {
+    let cap = 2048;
+    let m = n.min(cap);
+    let a = seq::<T>(m * m, 0.0);
+    let u1 = seq::<T>(m, 1.0);
+    let v1 = seq::<T>(m, 2.0);
+    let u2 = seq::<T>(m, 3.0);
+    let v2 = seq::<T>(m, 4.0);
+    let y = seq::<T>(m, 5.0);
+    let z = seq::<T>(m, 6.0);
+    let secs = best_of(2, || {
+        std::hint::black_box(refblas::apps::gemver(
+            m,
+            T::from_f64(1.1),
+            T::from_f64(0.9),
+            &a,
+            &u1,
+            &v1,
+            &u2,
+            &v2,
+            &y,
+            &z,
+        ));
+    });
+    scale(secs, (m * m) as f64, (n * n) as f64, "N^2")
+}
+
+fn scale(measured: f64, measured_work: f64, target_work: f64, unit: &str) -> CpuTime {
+    if (target_work - measured_work).abs() < 1e-9 {
+        CpuTime { seconds: measured, basis: "measured".into() }
+    } else {
+        CpuTime {
+            seconds: measured * target_work / measured_work,
+            basis: format!("extrapolated ({unit} scaling, basis {measured_work:.3e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_sizes_are_marked_measured() {
+        let t = dot_time::<f32>(1 << 16, 2);
+        assert_eq!(t.basis, "measured");
+        assert!(t.seconds > 0.0);
+    }
+
+    #[test]
+    fn oversized_problems_are_extrapolated() {
+        let t = gemm_time::<f32>(2048, 2);
+        assert!(t.basis.contains("extrapolated"));
+        let direct = gemm_time::<f32>(256, 2);
+        assert!(t.seconds > direct.seconds);
+    }
+
+    #[test]
+    fn batched_is_measured_directly() {
+        let t = batched_gemm_time::<f64>(4, 1024, 2);
+        assert_eq!(t.basis, "measured");
+    }
+}

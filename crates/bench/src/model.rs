@@ -1,0 +1,415 @@
+//! FPGA execution-time models at paper-scale problem sizes.
+//!
+//! These wrap the same primitives the core library uses —
+//! [`fblas_core::perf::estimate_time`] over the routine cost models and
+//! the DDR bank model — with the stream/bank layouts of the evaluation
+//! configurations, so the harness binaries can evaluate Tables IV–VI
+//! and Figs. 10–11 at sizes that would be impractical to push through
+//! the functional simulator element by element.
+
+use fblas_arch::{Device, RoutineClass};
+use fblas_core::perf::{estimate_time, StreamDemand, TimingEstimate};
+use fblas_core::routines::gemm::{Gemm, SystolicShape};
+use fblas_core::routines::gemv::{Gemv, GemvVariant};
+use fblas_core::routines::level3::{Side, Trsm};
+use fblas_core::routines::{Axpy, Diag, Dot, Ger, Trans, Uplo, VecCopy};
+use fblas_core::scalar::Scalar;
+use fblas_hlssim::{streamed_cycles, PipelineCost};
+
+fn banked(device: Device, ix: usize) -> usize {
+    ix % device.model().dram_banks
+}
+
+/// The device's memory system with interleaving on or off. Table IV/V/VI
+/// runs interleave data across the DDR modules (Sec. VI-D); the Fig. 11
+/// composition study runs with interleaving disabled (BSP limitation,
+/// Sec. VI-C).
+pub fn memory(device: Device, interleaved: bool) -> fblas_arch::MemorySystem {
+    let mut m = device.memory();
+    m.set_interleaved(interleaved);
+    m
+}
+
+fn eb<T: Scalar>() -> u64 {
+    T::PRECISION.elem_bytes()
+}
+
+/// DOT of `n` elements at width `w`. With `from_dram`, both operands
+/// stream from distinct DDR banks; otherwise they are generated on-chip
+/// (the Fig. 10 configuration) and the estimate is compute bound.
+pub fn dot_time<T: Scalar>(
+    device: Device,
+    n: usize,
+    w: usize,
+    from_dram: bool,
+    interleaved: bool,
+) -> TimingEstimate {
+    let m = Dot::new(n, w);
+    let streams = if from_dram {
+        vec![
+            StreamDemand::new(banked(device, 0), n as u64 * eb::<T>()),
+            StreamDemand::new(banked(device, 1), n as u64 * eb::<T>()),
+        ]
+    } else {
+        Vec::new()
+    };
+    estimate_time(
+        device,
+        RoutineClass::Streaming,
+        true,
+        &m.estimate::<T>(),
+        if from_dram { 3 } else { 1 },
+        eb::<T>(),
+        m.cost::<T>(),
+        &streams,
+        &memory(device, interleaved),
+    )
+}
+
+/// GEMV (`n × m`, tiles `tn × tm`, width `w`), operands in DRAM unless
+/// `from_dram` is false (matrix generated on-chip, Fig. 10 middle).
+#[allow(clippy::too_many_arguments)]
+pub fn gemv_time<T: Scalar>(
+    device: Device,
+    n: usize,
+    m: usize,
+    tn: usize,
+    tm: usize,
+    w: usize,
+    from_dram: bool,
+    interleaved: bool,
+) -> TimingEstimate {
+    let g = Gemv::new(GemvVariant::RowStreamed, n, m, tn.min(n), tm.min(m), w);
+    let streams = if from_dram {
+        vec![
+            StreamDemand::new(banked(device, 0), (n * m) as u64 * eb::<T>()),
+            StreamDemand::new(banked(device, 1), (m * g.x_repetitions()) as u64 * eb::<T>()),
+            StreamDemand::new(banked(device, 2), 2 * n as u64 * eb::<T>()),
+        ]
+    } else {
+        Vec::new()
+    };
+    estimate_time(
+        device,
+        RoutineClass::Streaming,
+        true,
+        &g.estimate::<T>(),
+        if from_dram { 4 } else { 1 },
+        eb::<T>(),
+        g.cost::<T>(),
+        &streams,
+        &memory(device, interleaved),
+    )
+}
+
+/// Systolic GEMM on a `pr × pc` array with compute/memory tile ratio
+/// `ratio`, square `size³` problem, operands interleaved across banks
+/// (the Table IV configuration).
+pub fn gemm_time<T: Scalar>(
+    device: Device,
+    size: usize,
+    pr: usize,
+    pc: usize,
+    ratio: usize,
+    interleaved: bool,
+) -> TimingEstimate {
+    let shape = SystolicShape::new(pr, pc);
+    let g = Gemm::new(size, size, size, shape, pr * ratio, pc * ratio);
+    let bytes = (size * size) as u64 * eb::<T>();
+    let streams = vec![
+        StreamDemand::new(banked(device, 0), bytes * g.tile_cols() as u64),
+        StreamDemand::new(banked(device, 1), bytes * g.tile_rows() as u64),
+        StreamDemand::new(banked(device, 2), 2 * bytes),
+    ];
+    estimate_time(
+        device,
+        RoutineClass::Systolic,
+        true,
+        &g.estimate::<T>(),
+        3,
+        eb::<T>(),
+        g.cost::<T>(),
+        &streams,
+        &memory(device, interleaved),
+    )
+}
+
+/// Fully unrolled batched GEMM of `batch` problems of size `dim`
+/// (Table V): one problem enters the array every `dim` cycles; traffic
+/// is three matrices per problem plus the C read.
+pub fn batched_gemm_time<T: Scalar>(
+    device: Device,
+    dim: usize,
+    batch: usize,
+    interleaved: bool,
+) -> TimingEstimate {
+    let g = Gemm::fully_unrolled(dim);
+    let est = g.estimate::<T>();
+    let cost = PipelineCost::pipelined(est.latency, (batch * dim) as u64);
+    let sz = (dim * dim * batch) as u64 * eb::<T>();
+    let streams = vec![
+        StreamDemand::new(banked(device, 0), sz),
+        StreamDemand::new(banked(device, 1), sz),
+        StreamDemand::new(banked(device, 2), 2 * sz),
+    ];
+    estimate_time(device, RoutineClass::Systolic, true, &est, 3, eb::<T>(), cost, &streams, &memory(device, interleaved))
+}
+
+/// Fully unrolled batched left TRSM (Table V).
+pub fn batched_trsm_time<T: Scalar>(
+    device: Device,
+    dim: usize,
+    batch: usize,
+    interleaved: bool,
+) -> TimingEstimate {
+    let t = Trsm::new(dim, dim, Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, dim);
+    let est = t.estimate::<T>();
+    let cost = PipelineCost::pipelined(est.latency, (batch * dim) as u64);
+    let tri = (dim * (dim + 1) / 2 * batch) as u64 * eb::<T>();
+    let sz = (dim * dim * batch) as u64 * eb::<T>();
+    let streams = vec![
+        StreamDemand::new(banked(device, 0), tri),
+        StreamDemand::new(banked(device, 1), 2 * sz),
+    ];
+    estimate_time(device, RoutineClass::Systolic, true, &est, 3, eb::<T>(), cost, &streams, &memory(device, interleaved))
+}
+
+/// AXPYDOT: returns `(streaming, host_layer)` times (Fig. 11 left,
+/// Table VI).
+pub fn axpydot_times<T: Scalar>(device: Device, n: usize, w: usize) -> (f64, f64) {
+    axpydot_times_mem::<T>(device, n, w, false)
+}
+
+/// AXPYDOT with explicit interleaving control (Table VI uses it on).
+pub fn axpydot_times_mem<T: Scalar>(device: Device, n: usize, w: usize, interleaved: bool) -> (f64, f64) {
+    let axpy = Axpy::new(n, w);
+    let dot = Dot::new(n, w);
+    let copy = VecCopy::new(n, w);
+    let nb = n as u64 * eb::<T>();
+    let mem = memory(device, interleaved);
+
+    // Streaming: w, v, u from three banks; z never leaves the chip.
+    let circuit = axpy.estimate::<T>().merge(dot.estimate::<T>());
+    let cost = PipelineCost::pipelined(streamed_cycles(&[axpy.cost::<T>(), dot.cost::<T>()]), 0);
+    let streams = [
+        StreamDemand::new(banked(device, 0), nb),
+        StreamDemand::new(banked(device, 1), nb),
+        StreamDemand::new(banked(device, 2), nb),
+    ];
+    let t_s = estimate_time(device, RoutineClass::Streaming, true, &circuit, 4, eb::<T>(), cost, &streams, &mem);
+
+    // Host layer: COPY (w -> z), AXPY (z read+write on one bank), DOT.
+    let zb = banked(device, 3);
+    let t_copy = estimate_time(
+        device,
+        RoutineClass::Streaming,
+        true,
+        &copy.estimate::<T>(),
+        2,
+        eb::<T>(),
+        copy.cost::<T>(),
+        &[StreamDemand::new(banked(device, 0), nb), StreamDemand::new(zb, nb)],
+        &mem,
+    );
+    let t_axpy = estimate_time(
+        device,
+        RoutineClass::Streaming,
+        true,
+        &axpy.estimate::<T>(),
+        3,
+        eb::<T>(),
+        axpy.cost::<T>(),
+        &[StreamDemand::new(banked(device, 1), nb), StreamDemand::new(zb, 2 * nb)],
+        &mem,
+    );
+    let t_dot = estimate_time(
+        device,
+        RoutineClass::Streaming,
+        true,
+        &dot.estimate::<T>(),
+        3,
+        eb::<T>(),
+        dot.cost::<T>(),
+        &[StreamDemand::new(zb, nb), StreamDemand::new(banked(device, 2), nb)],
+        &mem,
+    );
+    (t_s.seconds, t_copy.seconds + t_axpy.seconds + t_dot.seconds)
+}
+
+/// BICG: returns `(streaming, host_layer)` times.
+pub fn bicg_times<T: Scalar>(device: Device, n: usize, tn: usize, tm: usize, w: usize) -> (f64, f64) {
+    bicg_times_mem::<T>(device, n, tn, tm, w, false)
+}
+
+/// BICG with explicit interleaving control.
+pub fn bicg_times_mem<T: Scalar>(device: Device, n: usize, tn: usize, tm: usize, w: usize, interleaved: bool) -> (f64, f64) {
+    let g1 = Gemv::new(GemvVariant::RowStreamed, n, n, tn.min(n), tm.min(n), w);
+    let g2 = Gemv::new(GemvVariant::TransRowStreamed, n, n, tn.min(n), tm.min(n), w);
+    let e = eb::<T>();
+    let mem = memory(device, interleaved);
+    let nn = (n * n) as u64 * e;
+
+    let circuit = g1.estimate::<T>().merge(g2.estimate::<T>());
+    let cost = PipelineCost::pipelined(streamed_cycles(&[g1.cost::<T>(), g2.cost::<T>()]), 0);
+    let streams = [
+        StreamDemand::new(banked(device, 0), nn),
+        StreamDemand::new(banked(device, 1), (n * g1.x_repetitions()) as u64 * e),
+        StreamDemand::new(banked(device, 2), n as u64 * e),
+        StreamDemand::new(banked(device, 3), n as u64 * e),
+        StreamDemand::new(banked(device, 1), (2 * n * g2.y_rounds()) as u64 * e),
+    ];
+    let t_s = estimate_time(device, RoutineClass::Streaming, true, &circuit, 5, e, cost, &streams, &mem);
+
+    // Host layer: two GEMV calls, A read twice.
+    let per_call = |g: &Gemv| {
+        let streams = [
+            StreamDemand::new(banked(device, 0), nn),
+            StreamDemand::new(banked(device, 1), (n * g.x_repetitions()) as u64 * e),
+            StreamDemand::new(banked(device, 2), 2 * n as u64 * e),
+        ];
+        estimate_time(device, RoutineClass::Streaming, true, &g.estimate::<T>(), 4, e, g.cost::<T>(), &streams, &mem)
+            .seconds
+    };
+    let g2h = Gemv::new(GemvVariant::TransColStreamed, n, n, tn.min(n), tm.min(n), w);
+    (t_s.seconds, per_call(&g1) + per_call(&g2h))
+}
+
+/// GEMVER: returns `(streaming, host_layer)` times.
+pub fn gemver_times<T: Scalar>(device: Device, n: usize, tn: usize, tm: usize, w: usize) -> (f64, f64) {
+    gemver_times_mem::<T>(device, n, tn, tm, w, false)
+}
+
+/// GEMVER with explicit interleaving control.
+pub fn gemver_times_mem<T: Scalar>(device: Device, n: usize, tn: usize, tm: usize, w: usize, interleaved: bool) -> (f64, f64) {
+    let e = eb::<T>();
+    let mem = memory(device, interleaved);
+    let nn = (n * n) as u64 * e;
+    let nv = n as u64 * e;
+    let ger = Ger::new(n, n, tn.min(n), tm.min(n), w);
+    let gemv_t = Gemv::new(GemvVariant::TransRowStreamed, n, n, tn.min(n), tm.min(n), w);
+    let gemv = Gemv::new(GemvVariant::RowStreamed, n, n, tn.min(n), tm.min(n), w);
+    let copy = VecCopy::new(n * n, w);
+
+    // Streaming component 1: A -> GER -> GER -> (store B, GEMVt).
+    let c1_circuit = ger.estimate::<T>().merge(ger.estimate::<T>()).merge(gemv_t.estimate::<T>());
+    let c1_cost = PipelineCost::pipelined(
+        streamed_cycles(&[ger.cost::<T>(), ger.cost::<T>(), gemv_t.cost::<T>()]),
+        0,
+    );
+    let c1_streams = [
+        StreamDemand::new(banked(device, 0), nn),
+        StreamDemand::new(banked(device, 1), nn),
+        StreamDemand::new(banked(device, 2), (2 * n * gemv_t.y_rounds()) as u64 * e),
+    ];
+    let t1 = estimate_time(device, RoutineClass::Streaming, true, &c1_circuit, 8, e, c1_cost, &c1_streams, &mem);
+    // Component 2: one GEMV pass over B.
+    let c2_streams = [
+        StreamDemand::new(banked(device, 1), nn),
+        StreamDemand::new(banked(device, 2), (n * gemv.x_repetitions()) as u64 * e),
+        StreamDemand::new(banked(device, 3), nv),
+    ];
+    let t2 = estimate_time(
+        device,
+        RoutineClass::Streaming,
+        true,
+        &gemv.estimate::<T>(),
+        4,
+        e,
+        gemv.cost::<T>(),
+        &c2_streams,
+        &mem,
+    );
+    let t_stream = t1.seconds + t2.seconds;
+
+    // Host layer: COPY(A->B), 2x GER, COPY(z->x), GEMVt, GEMV.
+    let t_copy_b = estimate_time(
+        device,
+        RoutineClass::Streaming,
+        true,
+        &copy.estimate::<T>(),
+        2,
+        e,
+        copy.cost::<T>(),
+        &[StreamDemand::new(banked(device, 0), nn), StreamDemand::new(banked(device, 1), nn)],
+        &mem,
+    );
+    let ger_streams = [
+        StreamDemand::new(banked(device, 1), 2 * nn),
+        StreamDemand::new(banked(device, 2), nv),
+        StreamDemand::new(banked(device, 3), (n * ger.y_repetitions()) as u64 * e),
+    ];
+    let t_ger = estimate_time(device, RoutineClass::Streaming, true, &ger.estimate::<T>(), 4, e, ger.cost::<T>(), &ger_streams, &mem);
+    let gemv_streams = [
+        StreamDemand::new(banked(device, 1), nn),
+        StreamDemand::new(banked(device, 2), (n * gemv.x_repetitions()) as u64 * e),
+        StreamDemand::new(banked(device, 3), 2 * nv),
+    ];
+    let t_gemv = estimate_time(device, RoutineClass::Streaming, true, &gemv.estimate::<T>(), 4, e, gemv.cost::<T>(), &gemv_streams, &mem);
+    let copy_v = VecCopy::new(n, w);
+    let t_copy_x = estimate_time(
+        device,
+        RoutineClass::Streaming,
+        true,
+        &copy_v.estimate::<T>(),
+        2,
+        e,
+        copy_v.cost::<T>(),
+        &[StreamDemand::new(banked(device, 2), nv), StreamDemand::new(banked(device, 3), nv)],
+        &mem,
+    );
+    let t_host = t_copy_b.seconds + 2.0 * t_ger.seconds + t_copy_x.seconds + 2.0 * t_gemv.seconds;
+    (t_stream, t_host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_from_dram_is_memory_bound() {
+        let t = dot_time::<f32>(Device::Stratix10Gx2800, 1 << 24, 32, true, false);
+        assert!(t.memory_bound);
+        let t = dot_time::<f32>(Device::Stratix10Gx2800, 1 << 24, 32, false, false);
+        assert!(!t.memory_bound, "on-chip generation removes the DRAM cap");
+    }
+
+    #[test]
+    fn wider_dot_is_faster_when_compute_bound() {
+        let t16 = dot_time::<f32>(Device::Stratix10Gx2800, 100_000_000, 16, false, false);
+        let t256 = dot_time::<f32>(Device::Stratix10Gx2800, 100_000_000, 256, false, false);
+        assert!(t256.seconds < t16.seconds / 8.0);
+    }
+
+    #[test]
+    fn composition_speedups_in_paper_ranges() {
+        let dev = Device::Stratix10Gx2800;
+        let (s, h) = axpydot_times::<f32>(dev, 16 << 20, 16);
+        let speedup = h / s;
+        assert!(speedup > 3.0 && speedup < 5.0, "axpydot {speedup}");
+
+        let (s, h) = bicg_times::<f32>(dev, 8192, 1024, 1024, 64);
+        let speedup = h / s;
+        assert!(speedup > 1.1 && speedup < 2.2, "bicg {speedup}");
+
+        let (s, h) = gemver_times::<f32>(dev, 8192, 2048, 2048, 32);
+        let speedup = h / s;
+        assert!(speedup > 1.5 && speedup < 4.5, "gemver {speedup}");
+    }
+
+    #[test]
+    fn batched_times_scale_with_batch() {
+        let dev = Device::Stratix10Gx2800;
+        let t8 = batched_gemm_time::<f32>(dev, 4, 8 << 10, true);
+        let t32 = batched_gemm_time::<f32>(dev, 4, 32 << 10, true);
+        assert!(t32.seconds > 3.0 * t8.seconds && t32.seconds < 5.0 * t8.seconds);
+        let t = batched_trsm_time::<f32>(dev, 4, 8 << 10, true);
+        assert!(t.seconds > 0.0);
+    }
+
+    #[test]
+    fn gemm_time_reasonable_at_paper_scale() {
+        // SGEMM 8K^3 on the 40x80 Stratix array: paper measures 1.01 s.
+        let t = gemm_time::<f32>(Device::Stratix10Gx2800, 8192, 40, 80, 12, true);
+        assert!(t.seconds > 0.4 && t.seconds < 2.5, "got {}", t.seconds);
+    }
+}

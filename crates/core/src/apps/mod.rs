@@ -1,0 +1,42 @@
+//! Composed applications from the paper's evaluation (Sec. V, Fig. 11,
+//! Table VI): AXPYDOT, BICG, ATAX, and GEMVER, each in a *streaming*
+//! variant (modules chained through on-chip FIFOs) and a *host-layer*
+//! variant (routines invoked one by one, communicating through DRAM).
+//!
+//! Each app also exposes its MDAG for the Sec.-V validity analysis and
+//! its I/O-operation counts, so the paper's analytical claims
+//! (AXPYDOT 7N → 3N+1, GEMVER 8N² → 3N², …) are checkable against the
+//! built graphs.
+
+pub mod atax;
+pub mod axpydot;
+pub mod bicg;
+pub mod gemver;
+
+pub use atax::{
+    atax_host_layer, atax_invalid_streaming, atax_mdag, atax_streaming,
+    atax_streaming_independent_reads,
+};
+pub use axpydot::{axpydot_host_layer, axpydot_mdag, axpydot_streaming};
+pub use bicg::{bicg_host_layer, bicg_mdag, bicg_streaming};
+pub use gemver::{gemver_host_layer, gemver_mdag, gemver_streaming};
+
+/// Outcome of running a composed application: functional results live
+/// in the device buffers passed by the caller; this carries the cost
+/// side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppReport {
+    /// Estimated execution time in seconds (per the paper's models).
+    pub seconds: f64,
+    /// Total off-chip I/O operations (elements read + written).
+    pub io_elements: u64,
+    /// Number of modules configured on the device.
+    pub modules: usize,
+}
+
+impl AppReport {
+    /// Estimated time in microseconds.
+    pub fn micros(&self) -> f64 {
+        self.seconds * 1.0e6
+    }
+}

@@ -1,0 +1,690 @@
+//! Spec validation and kernel generation.
+
+use fblas_arch::{Precision, ResourceEstimate};
+
+use super::spec::{RoutineSpec, SpecFile};
+use crate::routines::gemm::SystolicShape;
+use crate::routines::gemv::{Gemv, GemvVariant};
+use crate::routines::level3::Side;
+use crate::routines::{
+    Asum, Axpy, Diag, Dot, Ger, Iamax, Nrm2, Rot, Rotg, Rotm, Rotmg, Scal, Sdsdot, Swap, Syr,
+    Syr2, Syr2k, Syrk, Trans, Trsm, Trsv, Uplo, VecCopy,
+};
+
+/// Errors produced while validating a specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// The JSON could not be parsed.
+    Json(String),
+    /// The `blas_name` is not one of the 22 offered routines (with an
+    /// `s`/`d` prefix).
+    UnknownRoutine(String),
+    /// A parameter is invalid for the named routine.
+    Invalid {
+        /// The routine being generated.
+        routine: String,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodegenError::Json(e) => write!(f, "specification JSON error: {e}"),
+            CodegenError::UnknownRoutine(n) => write!(f, "unknown routine `{n}`"),
+            CodegenError::Invalid { routine, reason } => {
+                write!(f, "invalid spec for `{routine}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// The routine a spec instantiates (precision carried separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum RoutineKind {
+    Rotg,
+    Rotmg,
+    Rot,
+    Rotm,
+    Swap,
+    Scal,
+    Copy,
+    Axpy,
+    Dot,
+    Sdsdot,
+    Nrm2,
+    Asum,
+    Iamax,
+    Gemv,
+    Trsv,
+    Ger,
+    Syr,
+    Syr2,
+    Gemm,
+    Syrk,
+    Syr2k,
+    Trsm,
+}
+
+impl RoutineKind {
+    /// All 22 routines of the FBLAS release (paper Sec. VI).
+    pub const ALL: [RoutineKind; 22] = [
+        RoutineKind::Rotg,
+        RoutineKind::Rotmg,
+        RoutineKind::Rot,
+        RoutineKind::Rotm,
+        RoutineKind::Swap,
+        RoutineKind::Scal,
+        RoutineKind::Copy,
+        RoutineKind::Axpy,
+        RoutineKind::Dot,
+        RoutineKind::Sdsdot,
+        RoutineKind::Nrm2,
+        RoutineKind::Asum,
+        RoutineKind::Iamax,
+        RoutineKind::Gemv,
+        RoutineKind::Trsv,
+        RoutineKind::Ger,
+        RoutineKind::Syr,
+        RoutineKind::Syr2,
+        RoutineKind::Gemm,
+        RoutineKind::Syrk,
+        RoutineKind::Syr2k,
+        RoutineKind::Trsm,
+    ];
+
+    /// BLAS base name (no precision prefix).
+    pub fn base_name(self) -> &'static str {
+        match self {
+            RoutineKind::Rotg => "rotg",
+            RoutineKind::Rotmg => "rotmg",
+            RoutineKind::Rot => "rot",
+            RoutineKind::Rotm => "rotm",
+            RoutineKind::Swap => "swap",
+            RoutineKind::Scal => "scal",
+            RoutineKind::Copy => "copy",
+            RoutineKind::Axpy => "axpy",
+            RoutineKind::Dot => "dot",
+            RoutineKind::Sdsdot => "sdsdot",
+            RoutineKind::Nrm2 => "nrm2",
+            RoutineKind::Asum => "asum",
+            RoutineKind::Iamax => "iamax",
+            RoutineKind::Gemv => "gemv",
+            RoutineKind::Trsv => "trsv",
+            RoutineKind::Ger => "ger",
+            RoutineKind::Syr => "syr",
+            RoutineKind::Syr2 => "syr2",
+            RoutineKind::Gemm => "gemm",
+            RoutineKind::Syrk => "syrk",
+            RoutineKind::Syr2k => "syr2k",
+            RoutineKind::Trsm => "trsm",
+        }
+    }
+
+    /// BLAS level of the routine.
+    pub fn level(self) -> u8 {
+        match self {
+            RoutineKind::Gemv
+            | RoutineKind::Trsv
+            | RoutineKind::Ger
+            | RoutineKind::Syr
+            | RoutineKind::Syr2 => 2,
+            RoutineKind::Gemm | RoutineKind::Syrk | RoutineKind::Syr2k | RoutineKind::Trsm => 3,
+            _ => 1,
+        }
+    }
+}
+
+/// Parse a `blas_name` like `sdot`/`dgemv` into precision and kind.
+pub fn parse_blas_name(name: &str) -> Result<(Precision, RoutineKind), CodegenError> {
+    let lower = name.to_ascii_lowercase();
+    // Special spellings first: `sdsdot` is single precision by
+    // definition, and IAMAX carries the classic `i` prefix.
+    match lower.as_str() {
+        "sdsdot" => return Ok((Precision::Single, RoutineKind::Sdsdot)),
+        "isamax" | "siamax" => return Ok((Precision::Single, RoutineKind::Iamax)),
+        "idamax" | "diamax" => return Ok((Precision::Double, RoutineKind::Iamax)),
+        _ => {}
+    }
+    if lower.len() < 2 {
+        return Err(CodegenError::UnknownRoutine(name.to_string()));
+    }
+    let (prefix, rest) = lower.split_at(1);
+    let prec = match prefix {
+        "s" => Precision::Single,
+        "d" => Precision::Double,
+        _ => return Err(CodegenError::UnknownRoutine(name.to_string())),
+    };
+    match RoutineKind::ALL.into_iter().find(|k| k.base_name() == rest) {
+        Some(k) => Ok((prec, k)),
+        None => Err(CodegenError::UnknownRoutine(name.to_string())),
+    }
+}
+
+/// A generated kernel: the validated configuration summary, a resource
+/// estimate, and the pseudo-OpenCL listing.
+#[derive(Debug, Clone)]
+pub struct GeneratedKernel {
+    /// Kernel name (the `user_name`, or the BLAS name).
+    pub name: String,
+    /// Routine kind.
+    pub kind: RoutineKind,
+    /// Precision.
+    pub precision: Precision,
+    /// Vectorization width.
+    pub width: usize,
+    /// Tile sizes (Level 2/3).
+    pub tiles: Option<(usize, usize)>,
+    /// Systolic shape (GEMM family).
+    pub systolic: Option<(usize, usize)>,
+    /// Circuit resource/latency estimate for the configuration.
+    pub estimate: ResourceEstimate,
+    /// Pseudo-OpenCL kernel source.
+    pub source: String,
+}
+
+fn ctype(p: Precision) -> &'static str {
+    match p {
+        Precision::Single => "float",
+        Precision::Double => "double",
+    }
+}
+
+fn invalid(spec: &RoutineSpec, reason: impl Into<String>) -> CodegenError {
+    CodegenError::Invalid { routine: spec.blas_name.clone(), reason: reason.into() }
+}
+
+fn parse_uplo(spec: &RoutineSpec) -> Result<Uplo, CodegenError> {
+    match spec.uplo.as_deref() {
+        Some("upper") | Some("Upper") => Ok(Uplo::Upper),
+        Some("lower") | Some("Lower") => Ok(Uplo::Lower),
+        Some(other) => Err(invalid(spec, format!("uplo must be upper/lower, got `{other}`"))),
+        None => Err(invalid(spec, "missing `uplo`")),
+    }
+}
+
+/// Generate one kernel from a spec.
+///
+/// ```
+/// use fblas_core::codegen::{generate, RoutineKind, RoutineSpec};
+///
+/// let mut spec = RoutineSpec::named("sdot");
+/// spec.width = 32;
+/// let kernel = generate(&spec).unwrap();
+/// assert_eq!(kernel.kind, RoutineKind::Dot);
+/// assert_eq!(kernel.estimate.resources.dsps, 32);
+/// assert!(kernel.source.contains("#pragma unroll"));
+/// ```
+pub fn generate(spec: &RoutineSpec) -> Result<GeneratedKernel, CodegenError> {
+    let (precision, kind) = parse_blas_name(&spec.blas_name)?;
+    if spec.width == 0 {
+        return Err(invalid(spec, "width must be at least 1"));
+    }
+    let w = spec.width;
+    // Reference problem size used only for cost-model instantiation;
+    // routines accept arbitrary runtime sizes (paper Sec. VI).
+    const REF_N: usize = 4096;
+    let tiles = match (spec.tile_n, spec.tile_m) {
+        (Some(tn), Some(tm)) => {
+            if tn == 0 || tm == 0 {
+                return Err(invalid(spec, "tile sizes must be at least 1"));
+            }
+            Some((tn, tm))
+        }
+        (None, None) => None,
+        _ => return Err(invalid(spec, "tile_n and tile_m must be given together")),
+    };
+    let default_tiles = tiles.unwrap_or((1024, 1024));
+    let (tn, tm) = default_tiles;
+
+    let t = ctype(precision);
+    let name = spec.kernel_name().to_string();
+
+    let (estimate, source, systolic) = match kind {
+        RoutineKind::Rotg => (Rotg.estimate_p(precision), source_scalar(&name, t, "rotg"), None),
+        RoutineKind::Rotmg => (Rotmg.estimate_p(precision), source_scalar(&name, t, "rotmg"), None),
+        RoutineKind::Rot => (
+            Rot::new(REF_N, w).estimate_p(precision),
+            source_map2(&name, t, w, "x[i] = c*xv + s*yv; y[i] = c*yv - s*xv;"),
+            None,
+        ),
+        RoutineKind::Rotm => (
+            Rotm::new(REF_N, w).estimate_p(precision),
+            source_map2(&name, t, w, "x[i] = h11*xv + h12*yv; y[i] = h21*xv + h22*yv;"),
+            None,
+        ),
+        RoutineKind::Swap => (
+            Swap::new(REF_N, w).estimate_p(precision),
+            source_map2(&name, t, w, "x[i] = yv; y[i] = xv;"),
+            None,
+        ),
+        RoutineKind::Scal => (
+            Scal::new(REF_N, w).estimate_p(precision),
+            source_map1(&name, t, w, "out[i] = alpha * pop(ch_x);"),
+            None,
+        ),
+        RoutineKind::Copy => (
+            VecCopy::new(REF_N, w).estimate_p(precision),
+            source_map1(&name, t, w, "out[i] = pop(ch_x);"),
+            None,
+        ),
+        RoutineKind::Axpy => (
+            Axpy::new(REF_N, w).estimate_p(precision),
+            source_map2(&name, t, w, "out[i] = alpha * xv + yv;"),
+            None,
+        ),
+        RoutineKind::Dot => (
+            Dot::new(REF_N, w).estimate_p(precision),
+            source_reduce(&name, t, w, "acc += pop(ch_x) * pop(ch_y);"),
+            None,
+        ),
+        RoutineKind::Sdsdot => (
+            Sdsdot::new(REF_N, w).estimate_p(precision),
+            source_reduce(&name, "double", w, "acc += (double)pop(ch_x) * (double)pop(ch_y);"),
+            None,
+        ),
+        RoutineKind::Nrm2 => (
+            Nrm2::new(REF_N, w).estimate_p(precision),
+            source_reduce(&name, t, w, "acc += v * v; /* v = pop(ch_x) */"),
+            None,
+        ),
+        RoutineKind::Asum => (
+            Asum::new(REF_N, w).estimate_p(precision),
+            source_reduce(&name, t, w, "acc += fabs(pop(ch_x));"),
+            None,
+        ),
+        RoutineKind::Iamax => (
+            Iamax::new(REF_N, w).estimate_p(precision),
+            source_reduce(&name, t, w, "if (fabs(v) > best) { best = fabs(v); idx = i; }"),
+            None,
+        ),
+        RoutineKind::Gemv => {
+            let transposed = spec.transposed.unwrap_or(false);
+            let by_rows = match spec.tiles_by.as_deref() {
+                Some("rows") | None => true,
+                Some("cols") => false,
+                Some(other) => {
+                    return Err(invalid(spec, format!("tiles_by must be rows/cols, got `{other}`")))
+                }
+            };
+            let variant = match (transposed, by_rows) {
+                (false, true) => GemvVariant::RowStreamed,
+                (false, false) => GemvVariant::ColStreamed,
+                (true, true) => GemvVariant::TransRowStreamed,
+                (true, false) => GemvVariant::TransColStreamed,
+            };
+            let g = Gemv::new(variant, REF_N, REF_N, tn.min(REF_N), tm.min(REF_N), w);
+            (g.estimate_p(precision), source_gemv(&name, t, w, tn, tm, variant), None)
+        }
+        RoutineKind::Trsv => {
+            let uplo = parse_uplo(spec)?;
+            let diag = if spec.unit_diag.unwrap_or(false) { Diag::Unit } else { Diag::NonUnit };
+            let trans = if spec.transposed.unwrap_or(false) { Trans::Yes } else { Trans::No };
+            let m = Trsv::new(REF_N, w, uplo, trans, diag);
+            (m.estimate_p(precision), source_scalar(&name, t, "trsv"), None)
+        }
+        RoutineKind::Ger => {
+            let g = Ger::new(REF_N, REF_N, tn.min(REF_N), tm.min(REF_N), w);
+            (
+                g.estimate_p(precision),
+                source_map1(&name, t, w, "out[i] = pop(ch_A) + alpha * x_blk[r] * y_blk[c];"),
+                None,
+            )
+        }
+        RoutineKind::Syr => {
+            let uplo = parse_uplo(spec)?;
+            let s = Syr::new(REF_N, tn.min(REF_N), tm.min(REF_N), w, uplo);
+            (
+                s.estimate_p(precision),
+                source_map1(&name, t, w, "out[i] = in_tri ? a + alpha*x_blk[r]*x_blk[c] : a;"),
+                None,
+            )
+        }
+        RoutineKind::Syr2 => {
+            let uplo = parse_uplo(spec)?;
+            let s = Syr2::new(REF_N, tn.min(REF_N), tm.min(REF_N), w, uplo);
+            (
+                s.estimate_p(precision),
+                source_map1(
+                    &name,
+                    t,
+                    w,
+                    "out[i] = in_tri ? a + alpha*(x_blk[r]*y_blk[c] + y_blk[r]*x_blk[c]) : a;",
+                ),
+                None,
+            )
+        }
+        RoutineKind::Gemm | RoutineKind::Syrk | RoutineKind::Syr2k => {
+            let pr = spec.systolic_rows.unwrap_or(4);
+            let pc = spec.systolic_cols.unwrap_or(4);
+            if pr == 0 || pc == 0 {
+                return Err(invalid(spec, "systolic dimensions must be at least 1"));
+            }
+            let (gtr, gtc) = tiles.unwrap_or((4 * pr, 4 * pc));
+            if gtr % pr != 0 || gtc % pc != 0 {
+                return Err(invalid(
+                    spec,
+                    format!("tiles ({gtr}x{gtc}) must be multiples of the systolic array ({pr}x{pc})"),
+                ));
+            }
+            let shape = SystolicShape::new(pr, pc);
+            let est = match kind {
+                RoutineKind::Syrk => {
+                    let uplo = parse_uplo(spec)?;
+                    let trans = if spec.transposed.unwrap_or(false) { Trans::Yes } else { Trans::No };
+                    Syrk::new(REF_N, REF_N, trans, uplo, shape, gtr, gtc).estimate_p(precision)
+                }
+                RoutineKind::Syr2k => {
+                    let uplo = parse_uplo(spec)?;
+                    let trans = if spec.transposed.unwrap_or(false) { Trans::Yes } else { Trans::No };
+                    Syr2k::new(REF_N, REF_N, trans, uplo, shape, gtr, gtc).estimate_p(precision)
+                }
+                _ => crate::routines::Gemm::new(REF_N, REF_N, REF_N, shape, gtr, gtc)
+                    .estimate_p(precision),
+            };
+            return Ok(GeneratedKernel {
+                name: name.clone(),
+                kind,
+                precision,
+                width: w,
+                tiles: Some((gtr, gtc)),
+                systolic: Some((pr, pc)),
+                estimate: est,
+                source: source_systolic(&name, t, pr, pc, gtr, gtc),
+            });
+        }
+        RoutineKind::Trsm => {
+            let uplo = parse_uplo(spec)?;
+            let diag = if spec.unit_diag.unwrap_or(false) { Diag::Unit } else { Diag::NonUnit };
+            let trans = if spec.transposed.unwrap_or(false) { Trans::Yes } else { Trans::No };
+            let side = match spec.side.as_deref() {
+                Some("left") | None => Side::Left,
+                Some("right") => Side::Right,
+                Some(other) => {
+                    return Err(invalid(spec, format!("side must be left/right, got `{other}`")))
+                }
+            };
+            let m = Trsm::new(tn.min(REF_N), tm.min(REF_N), side, uplo, trans, diag, w);
+            (m.estimate_p(precision), source_scalar(&name, t, "trsm"), None)
+        }
+    };
+
+    Ok(GeneratedKernel {
+        name,
+        kind,
+        precision,
+        width: w,
+        tiles: if kind.level() >= 2 { Some(default_tiles) } else { None },
+        systolic,
+        estimate,
+        source,
+    })
+}
+
+/// Generate every kernel of a JSON specification file.
+pub fn generate_spec_file(json: &str) -> Result<Vec<GeneratedKernel>, CodegenError> {
+    let spec = SpecFile::from_json(json).map_err(|e| CodegenError::Json(e.to_string()))?;
+    spec.routines.iter().map(generate).collect()
+}
+
+// ---------------- source templates ----------------
+
+fn source_map1(name: &str, t: &str, w: usize, body: &str) -> String {
+    format!(
+        "__kernel void {name}(const {t} alpha, const int N) {{\n\
+         \x20 for (int it = 0; it < N / {w}; it++) {{\n\
+         \x20   #pragma unroll\n\
+         \x20   for (int i = 0; i < {w}; i++) {{\n\
+         \x20     {body}\n\
+         \x20     push(ch_out, out[i]);\n\
+         \x20   }}\n\
+         \x20 }}\n}}\n"
+    )
+}
+
+fn source_map2(name: &str, t: &str, w: usize, body: &str) -> String {
+    format!(
+        "__kernel void {name}(const int N) {{\n\
+         \x20 for (int it = 0; it < N / {w}; it++) {{\n\
+         \x20   #pragma unroll\n\
+         \x20   for (int i = 0; i < {w}; i++) {{\n\
+         \x20     {t} xv = pop(ch_x); {t} yv = pop(ch_y);\n\
+         \x20     {body}\n\
+         \x20     push(ch_out_x, x[i]); push(ch_out_y, y[i]);\n\
+         \x20   }}\n\
+         \x20 }}\n}}\n"
+    )
+}
+
+fn source_reduce(name: &str, t: &str, w: usize, body: &str) -> String {
+    format!(
+        "__kernel void {name}(const int N) {{\n\
+         \x20 {t} res = 0;\n\
+         \x20 for (int it = 0; it < N / {w}; it++) {{\n\
+         \x20   {t} acc = 0;\n\
+         \x20   #pragma unroll\n\
+         \x20   for (int i = 0; i < {w}; i++) {{\n\
+         \x20     {body}\n\
+         \x20   }}\n\
+         \x20   res += acc;\n\
+         \x20 }}\n\
+         \x20 push(ch_res, res);\n}}\n"
+    )
+}
+
+fn source_gemv(name: &str, t: &str, w: usize, tn: usize, tm: usize, variant: GemvVariant) -> String {
+    format!(
+        "// GEMV variant: {variant:?} (tiles {tn}x{tm})\n\
+         __kernel void {name}(const {t} alpha, const {t} beta,\n\
+         \x20                 const int N, const int M) {{\n\
+         \x20 {t} x_blk[{tm}]; {t} y_blk[{tn}];\n\
+         \x20 for (int bi = 0; bi < N / {tn}; bi++)\n\
+         \x20   for (int bj = 0; bj < M / {tm}; bj++)\n\
+         \x20     for (int i = 0; i < {tn}; i++)\n\
+         \x20       for (int j = 0; j < {tm} / {w}; j++) {{\n\
+         \x20         #pragma unroll\n\
+         \x20         for (int ww = 0; ww < {w}; ww++)\n\
+         \x20           acc += pop(ch_A) * x_blk[j * {w} + ww];\n\
+         \x20       }}\n}}\n"
+    )
+}
+
+fn source_systolic(name: &str, t: &str, pr: usize, pc: usize, tr: usize, tc: usize) -> String {
+    format!(
+        "// Systolic array {pr}x{pc}, memory tile {tr}x{tc} (paper Fig. 3)\n\
+         __kernel void {name}(const int N, const int M, const int K) {{\n\
+         \x20 {t} C_local[{tr}][{tc}];\n\
+         \x20 // feeders -> PE grid -> drainers, constant fan-out per PE\n\
+         \x20 for (int k = 0; k < K; k++) {{\n\
+         \x20   #pragma unroll\n\
+         \x20   for (int pi = 0; pi < {pr}; pi++)\n\
+         \x20     #pragma unroll\n\
+         \x20     for (int pj = 0; pj < {pc}; pj++)\n\
+         \x20       PE(pi, pj); // C += A_fwd * B_fwd\n\
+         \x20 }}\n}}\n"
+    )
+}
+
+fn source_scalar(name: &str, t: &str, what: &str) -> String {
+    format!(
+        "// {what} scalar/sequential datapath\n\
+         __kernel void {name}() {{\n\
+         \x20 {t} v = pop(ch_in);\n\
+         \x20 /* {what} arithmetic (divide / sqrt cores) */\n\
+         \x20 push(ch_out, v);\n}}\n"
+    )
+}
+
+// ---------------- estimate adapters ----------------
+//
+// The routine structs expose `estimate::<T>()`; codegen works from a
+// runtime `Precision` value, so each struct gains a tiny adapter here.
+
+trait EstimateP {
+    fn estimate_p(&self, p: Precision) -> ResourceEstimate;
+}
+
+macro_rules! impl_estimate_p {
+    ($($ty:ty),+ $(,)?) => {
+        $(impl EstimateP for $ty {
+            fn estimate_p(&self, p: Precision) -> ResourceEstimate {
+                match p {
+                    Precision::Single => self.estimate::<f32>(),
+                    Precision::Double => self.estimate::<f64>(),
+                }
+            }
+        })+
+    };
+}
+
+impl_estimate_p!(
+    Rotg,
+    Rotmg,
+    Rot,
+    Rotm,
+    Swap,
+    Scal,
+    VecCopy,
+    Axpy,
+    Dot,
+    Sdsdot,
+    Nrm2,
+    Asum,
+    Iamax,
+    Gemv,
+    Trsv,
+    Ger,
+    Syr,
+    Syr2,
+    crate::routines::Gemm,
+    Syrk,
+    Syr2k,
+    Trsm,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_22_routine_names_in_both_precisions() {
+        for kind in RoutineKind::ALL {
+            for (prefix, prec) in [("s", Precision::Single), ("d", Precision::Double)] {
+                // sdsdot has no `d` variant; isamax/idamax use the i prefix.
+                let name = match kind {
+                    RoutineKind::Sdsdot => {
+                        if prec == Precision::Double {
+                            continue;
+                        }
+                        "sdsdot".to_string()
+                    }
+                    RoutineKind::Iamax => format!("i{prefix}amax"),
+                    _ => format!("{prefix}{}", kind.base_name()),
+                };
+                let (p, k) = parse_blas_name(&name).unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert_eq!(k, kind, "{name}");
+                assert_eq!(p, prec, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected()
+    {
+        assert!(matches!(parse_blas_name("zgemm"), Err(CodegenError::UnknownRoutine(_))));
+        assert!(matches!(parse_blas_name("sfoo"), Err(CodegenError::UnknownRoutine(_))));
+        assert!(matches!(parse_blas_name(""), Err(CodegenError::UnknownRoutine(_))));
+    }
+
+    #[test]
+    fn generates_a_dot_kernel() {
+        let mut spec = RoutineSpec::named("sdot");
+        spec.width = 32;
+        let k = generate(&spec).unwrap();
+        assert_eq!(k.kind, RoutineKind::Dot);
+        assert_eq!(k.width, 32);
+        assert_eq!(k.estimate.resources.dsps, 32);
+        assert!(k.source.contains("#pragma unroll"));
+        assert!(k.source.contains("res += acc"));
+        assert!(k.tiles.is_none());
+    }
+
+    #[test]
+    fn generates_gemv_variants() {
+        let mut spec = RoutineSpec::named("dgemv");
+        spec.tile_n = Some(512);
+        spec.tile_m = Some(512);
+        spec.transposed = Some(true);
+        spec.tiles_by = Some("cols".into());
+        let k = generate(&spec).unwrap();
+        assert_eq!(k.kind, RoutineKind::Gemv);
+        assert_eq!(k.precision, Precision::Double);
+        assert_eq!(k.tiles, Some((512, 512)));
+        assert!(k.source.contains("TransColStreamed"));
+    }
+
+    #[test]
+    fn gemm_requires_compatible_tiles() {
+        let mut spec = RoutineSpec::named("sgemm");
+        spec.systolic_rows = Some(8);
+        spec.systolic_cols = Some(8);
+        spec.tile_n = Some(12); // not a multiple of 8
+        spec.tile_m = Some(16);
+        match generate(&spec) {
+            Err(CodegenError::Invalid { reason, .. }) => assert!(reason.contains("multiples")),
+            other => panic!("unexpected: {other:?}"),
+        }
+        spec.tile_n = Some(16);
+        let k = generate(&spec).unwrap();
+        assert_eq!(k.systolic, Some((8, 8)));
+        assert_eq!(k.estimate.resources.dsps, 64);
+        assert!(k.source.contains("PE(pi, pj)"));
+    }
+
+    #[test]
+    fn triangular_routines_need_uplo() {
+        let spec = RoutineSpec::named("strsv");
+        match generate(&spec) {
+            Err(CodegenError::Invalid { reason, .. }) => assert!(reason.contains("uplo")),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let mut spec = RoutineSpec::named("strsv");
+        spec.uplo = Some("lower".into());
+        assert!(generate(&spec).is_ok());
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        let mut spec = RoutineSpec::named("sscal");
+        spec.width = 0;
+        assert!(matches!(generate(&spec), Err(CodegenError::Invalid { .. })));
+    }
+
+    #[test]
+    fn spec_file_end_to_end() {
+        let json = r#"{
+          "routines": [
+            { "blas_name": "sdot", "width": 16 },
+            { "blas_name": "saxpy", "width": 8 },
+            { "blas_name": "ssyr", "uplo": "upper", "tile_n": 64, "tile_m": 64 }
+          ]
+        }"#;
+        let kernels = generate_spec_file(json).unwrap();
+        assert_eq!(kernels.len(), 3);
+        assert_eq!(kernels[2].kind, RoutineKind::Syr);
+        // Broken JSON surfaces as a Json error.
+        assert!(matches!(generate_spec_file("{"), Err(CodegenError::Json(_))));
+    }
+
+    #[test]
+    fn double_precision_estimates_cost_more() {
+        let s = generate(&RoutineSpec::named("sdot")).unwrap();
+        let d = generate(&RoutineSpec::named("ddot")).unwrap();
+        assert!(d.estimate.resources.dsps > s.estimate.resources.dsps);
+        assert!(d.estimate.luts > s.estimate.luts);
+    }
+}

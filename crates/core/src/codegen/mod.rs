@@ -1,0 +1,22 @@
+//! The code-generator analog (paper Sec. II-C).
+//!
+//! FBLAS ships a template-based generator: the programmer writes a JSON
+//! *routines specification file* naming the routines to instantiate and
+//! their functional parameters (transposition, triangle) and
+//! non-functional parameters (vectorization width, tile sizes); the
+//! generator emits synthesizable OpenCL kernels plus the helper kernels
+//! that read/write DRAM.
+//!
+//! Here the same JSON dialect is parsed ([`spec`]) and validated, and
+//! for each routine the generator ([`generator`]) produces
+//!
+//! * the checked module configuration (the structs of
+//!   [`crate::routines`], ready to attach to a simulation), and
+//! * a pseudo-OpenCL listing of the kernel that would be synthesized —
+//!   the human-inspectable artifact of the original tool.
+
+pub mod generator;
+pub mod spec;
+
+pub use generator::{generate, generate_spec_file, CodegenError, GeneratedKernel, RoutineKind};
+pub use spec::{RoutineSpec, SpecFile};

@@ -1,0 +1,160 @@
+//! The JSON routines-specification dialect.
+//!
+//! A specification file lists routine instantiations, e.g.:
+//!
+//! ```json
+//! {
+//!   "routines": [
+//!     { "blas_name": "sdot", "user_name": "my_dot", "width": 32 },
+//!     { "blas_name": "dgemv", "width": 16, "tile_n": 1024,
+//!       "tile_m": 1024, "transposed": false, "tiles_by": "rows" },
+//!     { "blas_name": "sgemm", "systolic_rows": 32, "systolic_cols": 32,
+//!       "tile_n": 128, "tile_m": 128 }
+//!   ]
+//! }
+//! ```
+//!
+//! `blas_name` follows the classical convention: precision prefix
+//! (`s`/`d`) plus routine name. Functional parameters (`transposed`,
+//! `uplo`, …) change the routine's semantics; non-functional parameters
+//! (`width`, tiles, systolic shape) trade resources for performance
+//! (paper Sec. II-C).
+
+use serde::{Deserialize, Serialize};
+
+/// Default vectorization width when the spec omits it.
+pub fn default_width() -> usize {
+    16
+}
+
+/// A routines specification file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecFile {
+    /// Routine instantiations to generate.
+    pub routines: Vec<RoutineSpec>,
+}
+
+impl SpecFile {
+    /// Parse a specification file from its JSON text.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serialize back to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialization cannot fail")
+    }
+}
+
+/// One routine instantiation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutineSpec {
+    /// Classical BLAS name with precision prefix (`sdot`, `dgemv`, …).
+    pub blas_name: String,
+    /// Optional user-facing kernel name (defaults to `blas_name`).
+    #[serde(default)]
+    pub user_name: Option<String>,
+    /// Vectorization width `W` (non-functional).
+    #[serde(default = "default_width")]
+    pub width: usize,
+    /// Tile height `T_N` (Level 2/3; non-functional).
+    #[serde(default)]
+    pub tile_n: Option<usize>,
+    /// Tile width `T_M` (Level 2/3; non-functional).
+    #[serde(default)]
+    pub tile_m: Option<usize>,
+    /// Transposition flag (functional, Level-2/3 routines).
+    #[serde(default)]
+    pub transposed: Option<bool>,
+    /// Referenced triangle, `"upper"`/`"lower"` (functional).
+    #[serde(default)]
+    pub uplo: Option<String>,
+    /// Unit-diagonal flag (functional, triangular solves).
+    #[serde(default)]
+    pub unit_diag: Option<bool>,
+    /// Factor side for TRSM, `"left"`/`"right"` (functional).
+    #[serde(default)]
+    pub side: Option<String>,
+    /// Matrix streaming order, `"rows"`/`"cols"` (GEMV variants).
+    #[serde(default)]
+    pub tiles_by: Option<String>,
+    /// Systolic array rows `P_R` (GEMM-family).
+    #[serde(default)]
+    pub systolic_rows: Option<usize>,
+    /// Systolic array columns `P_C` (GEMM-family).
+    #[serde(default)]
+    pub systolic_cols: Option<usize>,
+}
+
+impl RoutineSpec {
+    /// A minimal spec with defaults for everything but the name.
+    pub fn named(blas_name: impl Into<String>) -> Self {
+        RoutineSpec {
+            blas_name: blas_name.into(),
+            user_name: None,
+            width: default_width(),
+            tile_n: None,
+            tile_m: None,
+            transposed: None,
+            uplo: None,
+            unit_diag: None,
+            side: None,
+            tiles_by: None,
+            systolic_rows: None,
+            systolic_cols: None,
+        }
+    }
+
+    /// The kernel name the generator will emit.
+    pub fn kernel_name(&self) -> &str {
+        self.user_name.as_deref().unwrap_or(&self.blas_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_doc_example() {
+        let json = r#"{
+          "routines": [
+            { "blas_name": "sdot", "user_name": "my_dot", "width": 32 },
+            { "blas_name": "dgemv", "width": 16, "tile_n": 1024,
+              "tile_m": 1024, "transposed": false, "tiles_by": "rows" },
+            { "blas_name": "sgemm", "systolic_rows": 32, "systolic_cols": 32,
+              "tile_n": 128, "tile_m": 128 }
+          ]
+        }"#;
+        let spec = SpecFile::from_json(json).unwrap();
+        assert_eq!(spec.routines.len(), 3);
+        assert_eq!(spec.routines[0].kernel_name(), "my_dot");
+        assert_eq!(spec.routines[0].width, 32);
+        assert_eq!(spec.routines[1].tile_n, Some(1024));
+        assert_eq!(spec.routines[1].transposed, Some(false));
+        assert_eq!(spec.routines[2].systolic_rows, Some(32));
+    }
+
+    #[test]
+    fn width_defaults_to_16() {
+        let spec = SpecFile::from_json(r#"{"routines":[{"blas_name":"saxpy"}]}"#).unwrap();
+        assert_eq!(spec.routines[0].width, 16);
+        assert_eq!(spec.routines[0].kernel_name(), "saxpy");
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut spec = RoutineSpec::named("strsv");
+        spec.uplo = Some("lower".into());
+        spec.unit_diag = Some(true);
+        let file = SpecFile { routines: vec![spec] };
+        let back = SpecFile::from_json(&file.to_json()).unwrap();
+        assert_eq!(back, file);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(SpecFile::from_json("{not json").is_err());
+        assert!(SpecFile::from_json(r#"{"routines": 3}"#).is_err());
+    }
+}

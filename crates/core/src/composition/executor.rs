@@ -1,0 +1,835 @@
+//! Execution of planner-derived compositions.
+//!
+//! [`execute_plan`] closes the loop on the planner: each
+//! [`PlannedComponent`](super::planner::PlannedComponent) is instantiated
+//! as a real dataflow simulation — interface readers with the right
+//! replay counts and tile orders, the computational modules with the
+//! planner's GEMV variants, fan-out stages where an output has several
+//! sinks, DRAM-replay loops for the partial-result variants, and deep
+//! FIFOs where the plan derived them — and run to completion. Components
+//! execute sequentially, communicating through the operand buffers,
+//! exactly as the paper's Fig. 9 schedule does.
+//!
+//! Every operand the program names must be bound to a
+//! [`DeviceBuffer`] of matching shape; outputs are written back to their
+//! buffers (so later components and the host read them), and DOT results
+//! are returned in the outcome's scalar map.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fblas_hlssim::{channel, ModuleKind, Receiver, Sender, SimError, Simulation};
+use parking_lot::Mutex;
+
+use super::planner::{Op, Plan, PlanError, PlannerConfig, Program};
+use crate::helpers::fanout::duplicate_many;
+use crate::helpers::{read_matrix, read_vector_replayed, write_matrix, write_vector};
+use crate::host::buffer::DeviceBuffer;
+use crate::routines::gemv::{Gemv, GemvVariant};
+use crate::routines::{Axpy, Dot, Ger, Scal, VecCopy};
+use crate::scalar::Scalar;
+
+/// Errors raised while executing a plan.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The plan or program is malformed.
+    Plan(PlanError),
+    /// A named operand has no bound buffer.
+    MissingBuffer(String),
+    /// A bound buffer's length disagrees with the declared shape.
+    WrongLength {
+        /// Operand name.
+        operand: String,
+        /// Declared element count.
+        expected: usize,
+        /// Buffer element count.
+        got: usize,
+    },
+    /// The dataflow simulation failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Plan(e) => write!(f, "plan error: {e}"),
+            ExecError::MissingBuffer(n) => write!(f, "no buffer bound for operand `{n}`"),
+            ExecError::WrongLength { operand, expected, got } => {
+                write!(f, "buffer for `{operand}` holds {got} elements, expected {expected}")
+            }
+            ExecError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<SimError> for ExecError {
+    fn from(e: SimError) -> Self {
+        ExecError::Sim(e)
+    }
+}
+
+impl From<PlanError> for ExecError {
+    fn from(e: PlanError) -> Self {
+        ExecError::Plan(e)
+    }
+}
+
+/// Result of executing a plan.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOutcome<T> {
+    /// DOT results by scalar operand name.
+    pub scalars: HashMap<String, T>,
+}
+
+/// Execute every component of `plan` sequentially on the dataflow
+/// simulator. Vector/matrix operands are read from and written to
+/// `buffers`; scalar results are returned.
+pub fn execute_plan<T: Scalar>(
+    program: &Program,
+    plan: &Plan,
+    cfg: &PlannerConfig,
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+) -> Result<ExecOutcome<T>, ExecError> {
+    // Shape-check the bindings up front.
+    for op in program.ops() {
+        for name in op_operands(op) {
+            if let Ok(l) = program.vec_len(name) {
+                check_buffer(buffers, name, l)?;
+            } else if let Ok((n, m)) = program.mat_dims(name) {
+                check_buffer(buffers, name, n * m)?;
+            }
+            // Scalars need no buffer.
+        }
+    }
+
+    let scalars: Arc<Mutex<HashMap<String, T>>> = Arc::new(Mutex::new(HashMap::new()));
+    for component in &plan.components {
+        run_component(program, cfg, &component.ops, &component.gemv_variants, buffers, &scalars)?;
+    }
+    let scalars = Arc::try_unwrap(scalars)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|arc| arc.lock().clone());
+    Ok(ExecOutcome { scalars })
+}
+
+fn op_operands(op: &Op) -> Vec<&str> {
+    let mut v: Vec<&str> = match op {
+        Op::Copy { x, out } | Op::Scal { x, out, .. } => vec![x, out],
+        Op::Axpy { x, y, out, .. } => vec![x, y, out],
+        Op::Dot { x, y, .. } => vec![x, y],
+        Op::Gemv { a, x, y, out, .. } => {
+            let mut v = vec![a.as_str(), x.as_str(), out.as_str()];
+            if let Some(y) = y {
+                v.push(y);
+            }
+            v
+        }
+        Op::Ger { a, x, y, out, .. } => vec![a, x, y, out],
+    };
+    v.dedup();
+    v
+}
+
+fn check_buffer<T: Scalar>(
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+    name: &str,
+    expected: usize,
+) -> Result<(), ExecError> {
+    let buf = buffers.get(name).ok_or_else(|| ExecError::MissingBuffer(name.to_string()))?;
+    if buf.len() != expected {
+        return Err(ExecError::WrongLength {
+            operand: name.to_string(),
+            expected,
+            got: buf.len(),
+        });
+    }
+    Ok(())
+}
+
+fn get_buf<'b, T: Scalar>(
+    buffers: &'b HashMap<String, DeviceBuffer<T>>,
+    name: &str,
+) -> Result<&'b DeviceBuffer<T>, ExecError> {
+    buffers.get(name).ok_or_else(|| ExecError::MissingBuffer(name.to_string()))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_component<T: Scalar>(
+    program: &Program,
+    cfg: &PlannerConfig,
+    ops: &[usize],
+    variants: &HashMap<usize, GemvVariant>,
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+    scalars: &Arc<Mutex<HashMap<String, T>>>,
+) -> Result<(), ExecError> {
+    let mut sim = Simulation::new();
+    let depth = cfg.default_depth as usize;
+
+    // Producer map restricted to this component.
+    let mut in_comp: HashMap<&str, usize> = HashMap::new();
+    for &oi in ops {
+        in_comp.insert(program.ops()[oi].output(), oi);
+    }
+
+    // 1. Vector replay multiplicity each consumer needs from its reader.
+    let x_reps = |oi: usize| -> usize {
+        match (&program.ops()[oi], variants.get(&oi)) {
+            (Op::Gemv { .. }, Some(GemvVariant::RowStreamed)) => {
+                let (n, _) = gemv_dims(program, oi);
+                n.div_ceil(cfg.tn)
+            }
+            (Op::Gemv { .. }, Some(GemvVariant::TransColStreamed)) => {
+                let (_, m) = gemv_dims(program, oi);
+                m.div_ceil(cfg.tm)
+            }
+            _ => 1,
+        }
+    };
+
+    // 2. In-component consumer lists per produced operand.
+    let mut consumers: HashMap<&str, Vec<usize>> = HashMap::new();
+    for &oi in ops {
+        for inp in op_inputs(&program.ops()[oi]) {
+            if in_comp.contains_key(inp) {
+                consumers.entry(inp).or_default().push(oi);
+            }
+        }
+    }
+
+    // 3. Shared *source* matrices: one read + a duplicator.
+    let mut matrix_source_consumers: HashMap<&str, Vec<usize>> = HashMap::new();
+    for &oi in ops {
+        if let Op::Gemv { a, .. } | Op::Ger { a, .. } = &program.ops()[oi] {
+            if !in_comp.contains_key(a.as_str()) {
+                matrix_source_consumers.entry(a.as_str()).or_default().push(oi);
+            }
+        }
+    }
+
+    // Incoming channel per (consumer, operand): receivers the op attach
+    // step will take.
+    let mut incoming: HashMap<(usize, String), Receiver<T>> = HashMap::new();
+
+    for (mat, cons) in &matrix_source_consumers {
+        let (n, m) = program.mat_dims(mat)?;
+        if cons.len() == 1 {
+            // Sole consumer: the reader adopts that consumer's tile
+            // order (a ColStreamed GEMV expects tiles by columns).
+            let oi = cons[0];
+            let tiling = consumer_tiling(program, cfg, oi, variants);
+            let d = edge_depth(program, cfg, oi, mat, &in_comp);
+            let (tx, rx) = channel(sim.ctx(), d, format!("{mat}->{oi}"));
+            read_matrix(&mut sim, get_buf(buffers, mat)?, n, m, tiling, tx, 1);
+            incoming.insert((oi, (*mat).to_string()), rx);
+        } else {
+            // Shared stream: the planner guarantees all consumers agree
+            // on tiles-by-rows.
+            let tiling = crate::tiling::Tiling::new(
+                cfg.tn.min(n.max(1)),
+                cfg.tm.min(m.max(1)),
+                crate::tiling::TileOrder::RowTilesRowMajor,
+            );
+            let (tx, rx) = channel(sim.ctx(), depth, format!("read_{mat}"));
+            read_matrix(&mut sim, get_buf(buffers, mat)?, n, m, tiling, tx, 1);
+            let mut sinks = Vec::new();
+            for &oi in cons.iter() {
+                let d = edge_depth(program, cfg, oi, mat, &in_comp);
+                let (ctx_tx, ctx_rx) = channel(sim.ctx(), d, format!("{mat}->{oi}"));
+                sinks.push(ctx_tx);
+                incoming.insert((oi, (*mat).to_string()), ctx_rx);
+            }
+            duplicate_many(&mut sim, format!("dup_{mat}"), n * m, rx, sinks);
+        }
+    }
+
+    // 4. Attach ops in component order, building source readers and
+    //    output fan-out as we go.
+    for &oi in ops {
+        let op = &program.ops()[oi];
+
+        // --- inputs ---
+        let mut take_input = |sim: &mut Simulation,
+                              name: &str,
+                              reps: usize|
+         -> Result<Receiver<T>, ExecError> {
+            if let Some(rx) = incoming.remove(&(oi, name.to_string())) {
+                return Ok(rx);
+            }
+            // Source vector (or scalar-free) read from DRAM.
+            program.vec_len(name)?;
+            let (tx, rx) = channel(sim.ctx(), depth, format!("{name}->{oi}"));
+            read_vector_replayed(sim, get_buf(buffers, name)?, tx, reps);
+            Ok(rx)
+        };
+
+        // --- output sinks ---
+        // Every vector/matrix output is written to its buffer; outputs
+        // consumed in-component additionally fan out to those consumers.
+        let out_name = op.output().to_string();
+        let out_consumers = consumers.get(out_name.as_str()).cloned().unwrap_or_default();
+
+        match op {
+            Op::Copy { x, .. } | Op::Scal { x, .. } => {
+                let n = program.vec_len(x)?;
+                let rx = take_input(&mut sim, x, 1)?;
+                let tx =
+                    vector_output(&mut sim, program, cfg, buffers, &mut incoming, &out_name, &out_consumers)?;
+                match op {
+                    Op::Scal { alpha, .. } => {
+                        Scal::new(n, cfg.tm.clamp(1, 16)).attach(
+                            &mut sim,
+                            T::from_f64(*alpha),
+                            rx,
+                            tx,
+                        );
+                    }
+                    _ => VecCopy::new(n, 16).attach(&mut sim, rx, tx),
+                }
+            }
+            Op::Axpy { alpha, x, y, .. } => {
+                let n = program.vec_len(x)?;
+                let rx = take_input(&mut sim, x, 1)?;
+                let ry = take_input(&mut sim, y, 1)?;
+                let tx =
+                    vector_output(&mut sim, program, cfg, buffers, &mut incoming, &out_name, &out_consumers)?;
+                Axpy::new(n, 16).attach(&mut sim, T::from_f64(*alpha), rx, ry, tx);
+            }
+            Op::Dot { x, y, out } => {
+                let n = program.vec_len(x)?;
+                let rx = take_input(&mut sim, x, 1)?;
+                let ry = take_input(&mut sim, y, 1)?;
+                let (tr, rr) = channel(sim.ctx(), 1, format!("{out}_res"));
+                Dot::new(n, 16).attach(&mut sim, rx, ry, tr);
+                let out = out.clone();
+                let scalars = scalars.clone();
+                sim.add_module(format!("store_{out}"), ModuleKind::Interface, move || {
+                    let v = rr.pop()?;
+                    scalars.lock().insert(out.clone(), v);
+                    Ok(())
+                });
+            }
+            Op::Gemv { alpha, beta, a, x, y, .. } => {
+                let (n, m) = program.mat_dims(a)?;
+                let variant = variants[&oi];
+                let g = Gemv::new(variant, n, m, cfg.tn.min(n.max(1)), cfg.tm.min(m.max(1)), 16);
+                let ra = take_input(&mut sim, a, 1)?;
+                let rxv = take_input(&mut sim, x, x_reps(oi))?;
+                // Effective beta: 0 when no y operand is given.
+                let eff_beta = if y.is_some() { T::from_f64(*beta) } else { T::ZERO };
+                let y_len = g.y_len();
+                let zeros =
+                    DeviceBuffer::from_vec(format!("{out_name}_zero"), vec![T::ZERO; y_len], 0);
+
+                if g.y_rounds() == 1 {
+                    let ryi = match y {
+                        Some(yn) => take_input(&mut sim, yn, 1)?,
+                        None => {
+                            let (tyi, ryi) =
+                                channel(sim.ctx(), depth, format!("{out_name}_y_in"));
+                            read_vector_replayed(&mut sim, &zeros, tyi, 1);
+                            ryi
+                        }
+                    };
+                    let tx = vector_output(
+                        &mut sim,
+                        program,
+                        cfg,
+                        buffers,
+                        &mut incoming,
+                        &out_name,
+                        &out_consumers,
+                    )?;
+                    g.attach(&mut sim, T::from_f64(*alpha), eff_beta, ra, rxv, ryi, tx);
+                } else {
+                    // The replay initial is read from DRAM by an
+                    // interface module; an in-component producer for it
+                    // is not a valid streaming plan.
+                    if let Some(yn) = y {
+                        if in_comp.contains_key(yn.as_str()) {
+                            return Err(ExecError::Plan(PlanError::ShapeMismatch {
+                                operand: yn.clone(),
+                                expected: "a DRAM-resident β-side operand (partials replay)"
+                                    .into(),
+                            }));
+                        }
+                    }
+                    let initial = match y {
+                        Some(yn) => get_buf(buffers, yn)?.clone(),
+                        None => zeros,
+                    };
+                    // Partial replay through DRAM, with a tap for
+                    // in-component consumers of the final round.
+                    let (tyi, ryi) = channel(sim.ctx(), depth, format!("{out_name}_y_in"));
+                    let (tyo, ryo) = channel(sim.ctx(), depth, format!("{out_name}_y_out"));
+                    g.attach(&mut sim, T::from_f64(*alpha), eff_beta, ra, rxv, ryi, tyo);
+                    let taps = consumer_channels(
+                        &mut sim,
+                        cfg,
+                        &mut incoming,
+                        &out_name,
+                        &out_consumers,
+                    );
+                    replay_with_taps(
+                        &mut sim,
+                        &initial,
+                        get_buf(buffers, &out_name)?,
+                        y_len,
+                        g.y_rounds(),
+                        tyi,
+                        ryo,
+                        taps,
+                    );
+                }
+            }
+            Op::Ger { alpha, a, x, y, .. } => {
+                let (n, m) = program.mat_dims(a)?;
+                let g = Ger::new(n, m, cfg.tn.min(n.max(1)), cfg.tm.min(m.max(1)), 16);
+                let ra = take_input(&mut sim, a, 1)?;
+                let rxv = take_input(&mut sim, x, 1)?;
+                let ryv = take_input(&mut sim, y, g.y_repetitions())?;
+                let tx = matrix_output(
+                    &mut sim,
+                    cfg,
+                    buffers,
+                    &mut incoming,
+                    &out_name,
+                    n,
+                    m,
+                    &out_consumers,
+                )?;
+                g.attach(&mut sim, T::from_f64(*alpha), ra, rxv, ryv, tx);
+            }
+        }
+    }
+
+    sim.run()?;
+    Ok(())
+}
+
+fn op_inputs(op: &Op) -> Vec<&str> {
+    match op {
+        Op::Copy { x, .. } | Op::Scal { x, .. } => vec![x],
+        Op::Axpy { x, y, .. } | Op::Dot { x, y, .. } => vec![x, y],
+        Op::Gemv { a, x, y, .. } => {
+            let mut v = vec![a.as_str(), x.as_str()];
+            if let Some(y) = y {
+                v.push(y);
+            }
+            v
+        }
+        Op::Ger { a, x, y, .. } => vec![a, x, y],
+    }
+}
+
+fn gemv_dims(program: &Program, oi: usize) -> (usize, usize) {
+    match &program.ops()[oi] {
+        Op::Gemv { a, .. } => program.mat_dims(a).expect("checked during planning"),
+        _ => unreachable!("x_reps only queried for GEMV"),
+    }
+}
+
+/// Tile order the matrix reader must use for consumer `oi`.
+fn consumer_tiling(
+    program: &Program,
+    cfg: &PlannerConfig,
+    oi: usize,
+    variants: &HashMap<usize, GemvVariant>,
+) -> crate::tiling::Tiling {
+    match &program.ops()[oi] {
+        Op::Gemv { a, .. } => {
+            let (n, m) = program.mat_dims(a).expect("checked during planning");
+            Gemv::new(
+                variants[&oi],
+                n,
+                m,
+                cfg.tn.min(n.max(1)),
+                cfg.tm.min(m.max(1)),
+                16,
+            )
+            .a_tiling()
+        }
+        Op::Ger { a, .. } => {
+            let (n, m) = program.mat_dims(a).expect("checked during planning");
+            crate::tiling::Tiling::new(
+                cfg.tn.min(n.max(1)),
+                cfg.tm.min(m.max(1)),
+                crate::tiling::TileOrder::RowTilesRowMajor,
+            )
+        }
+        _ => unreachable!("only matrix consumers query tiling"),
+    }
+}
+
+/// FIFO depth for a matrix edge into `oi`: deep when the consumer also
+/// waits for an in-component vector (the ATAX burst), default otherwise.
+fn edge_depth(
+    program: &Program,
+    cfg: &PlannerConfig,
+    oi: usize,
+    mat: &str,
+    in_comp: &HashMap<&str, usize>,
+) -> usize {
+    if let Op::Gemv { a, x, .. } = &program.ops()[oi] {
+        if a == mat && in_comp.contains_key(x.as_str()) {
+            let (_, m) = program.mat_dims(a).expect("checked during planning");
+            return cfg.tn * m + 64;
+        }
+    }
+    cfg.default_depth as usize
+}
+
+/// Create the consumer-side channels for an operand and register them.
+fn consumer_channels<T: Scalar>(
+    sim: &mut Simulation,
+    cfg: &PlannerConfig,
+    incoming: &mut HashMap<(usize, String), Receiver<T>>,
+    name: &str,
+    out_consumers: &[usize],
+) -> Vec<Sender<T>> {
+    let mut sinks = Vec::new();
+    for &ci in out_consumers {
+        let (tx, rx) = channel(sim.ctx(), cfg.default_depth as usize, format!("{name}->{ci}"));
+        incoming.insert((ci, name.to_string()), rx);
+        sinks.push(tx);
+    }
+    sinks
+}
+
+/// Output plumbing for a streamed-once vector: writer + consumers behind
+/// a fan-out stage when needed. Returns the sender the op pushes into.
+fn vector_output<T: Scalar>(
+    sim: &mut Simulation,
+    program: &Program,
+    cfg: &PlannerConfig,
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+    incoming: &mut HashMap<(usize, String), Receiver<T>>,
+    name: &str,
+    out_consumers: &[usize],
+) -> Result<Sender<T>, ExecError> {
+    let n = program.vec_len(name)?;
+    let (w_tx, w_rx) = channel(sim.ctx(), cfg.default_depth as usize, format!("write_{name}"));
+    write_vector(sim, get_buf(buffers, name)?, n, w_rx);
+    let mut sinks = consumer_channels(sim, cfg, incoming, name, out_consumers);
+    if sinks.is_empty() {
+        return Ok(w_tx);
+    }
+    sinks.push(w_tx);
+    let (tx, rx) = channel(sim.ctx(), cfg.default_depth as usize, format!("{name}_fanout"));
+    duplicate_many(sim, format!("dup_{name}"), n, rx, sinks);
+    Ok(tx)
+}
+
+/// Output plumbing for a matrix stream (GER results).
+#[allow(clippy::too_many_arguments)]
+fn matrix_output<T: Scalar>(
+    sim: &mut Simulation,
+    cfg: &PlannerConfig,
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+    incoming: &mut HashMap<(usize, String), Receiver<T>>,
+    name: &str,
+    n: usize,
+    m: usize,
+    out_consumers: &[usize],
+) -> Result<Sender<T>, ExecError> {
+    let tiling = crate::tiling::Tiling::new(
+        cfg.tn.min(n.max(1)),
+        cfg.tm.min(m.max(1)),
+        crate::tiling::TileOrder::RowTilesRowMajor,
+    );
+    let (w_tx, w_rx) = channel(sim.ctx(), cfg.default_depth as usize, format!("write_{name}"));
+    write_matrix(sim, get_buf(buffers, name)?, n, m, tiling, w_rx);
+    let mut sinks = consumer_channels(sim, cfg, incoming, name, out_consumers);
+    if sinks.is_empty() {
+        return Ok(w_tx);
+    }
+    sinks.push(w_tx);
+    let (tx, rx) = channel(sim.ctx(), cfg.default_depth as usize, format!("{name}_fanout"));
+    duplicate_many(sim, format!("dup_{name}"), n * m, rx, sinks);
+    Ok(tx)
+}
+
+/// DRAM-replay loop with taps: like
+/// [`replay_vector_through_memory`](crate::helpers::writers), but the
+/// final round is additionally fanned out to in-component consumers.
+#[allow(clippy::too_many_arguments)]
+fn replay_with_taps<T: Scalar>(
+    sim: &mut Simulation,
+    initial: &DeviceBuffer<T>,
+    result: &DeviceBuffer<T>,
+    n: usize,
+    rounds: usize,
+    to_module: Sender<T>,
+    from_module: Receiver<T>,
+    taps: Vec<Sender<T>>,
+) {
+    let (loop_tx, loop_rx) = channel::<T>(sim.ctx(), n.max(1), format!("replay_{}_dram", initial.name()));
+    let init = initial.clone();
+    sim.add_module(format!("replay_{}_read", init.name()), ModuleKind::Interface, move || {
+        to_module.push_slice(&init.to_host())?;
+        for _ in 0..rounds - 1 {
+            for _ in 0..n {
+                to_module.push(loop_rx.pop()?)?;
+            }
+        }
+        Ok(())
+    });
+    let result = result.clone();
+    sim.add_module(format!("replay_{}_write", result.name()), ModuleKind::Interface, move || {
+        for _ in 0..rounds - 1 {
+            for _ in 0..n {
+                loop_tx.push(from_module.pop()?)?;
+            }
+        }
+        let final_vals = from_module.pop_n(n)?;
+        result.from_host(&final_vals);
+        for tap in &taps {
+            tap.push_slice(&final_vals)?;
+        }
+        Ok(())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composition::{plan, PlannerConfig};
+    use fblas_refblas as refblas;
+
+    fn seq(n: usize, seed: f64) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64 + seed) * 0.357).sin()).collect()
+    }
+
+    fn bind(entries: Vec<(&str, Vec<f64>)>) -> HashMap<String, DeviceBuffer<f64>> {
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, data))| {
+                (name.to_string(), DeviceBuffer::from_vec(name, data, i % 4))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn executes_axpydot_plan() {
+        let n = 97;
+        let mut p = Program::new();
+        p.vector("w", n).vector("v", n).vector("u", n).vector("z", n).scalar("beta");
+        p.op(Op::Axpy { alpha: -0.8, x: "v".into(), y: "w".into(), out: "z".into() });
+        p.op(Op::Dot { x: "z".into(), y: "u".into(), out: "beta".into() });
+        let cfg = PlannerConfig { tn: 8, tm: 8, ..Default::default() };
+        let thep = plan(&p, &cfg).unwrap();
+
+        let wv = seq(n, 0.0);
+        let vv = seq(n, 1.0);
+        let uv = seq(n, 2.0);
+        let bufs = bind(vec![
+            ("w", wv.clone()),
+            ("v", vv.clone()),
+            ("u", uv.clone()),
+            ("z", vec![0.0; n]),
+        ]);
+        let out = execute_plan::<f64>(&p, &thep, &cfg, &bufs).unwrap();
+
+        let (z_ref, beta_ref) = refblas::apps::axpydot(&wv, &vv, &uv, 0.8);
+        let z = bufs["z"].to_host();
+        for i in 0..n {
+            assert!((z[i] - z_ref[i]).abs() < 1e-12, "z[{i}]");
+        }
+        assert!((out.scalars["beta"] - beta_ref).abs() < 1e-9);
+    }
+
+    #[test]
+    fn executes_bicg_plan_with_shared_matrix() {
+        let (n, m) = (26, 18);
+        let mut p = Program::new();
+        p.matrix("A", n, m).vector("p", m).vector("r", n).vector("q", n).vector("s", m);
+        p.op(Op::Gemv {
+            alpha: 1.0,
+            beta: 0.0,
+            a: "A".into(),
+            transposed: false,
+            x: "p".into(),
+            y: None,
+            out: "q".into(),
+        });
+        p.op(Op::Gemv {
+            alpha: 1.0,
+            beta: 0.0,
+            a: "A".into(),
+            transposed: true,
+            x: "r".into(),
+            y: None,
+            out: "s".into(),
+        });
+        let cfg = PlannerConfig { tn: 7, tm: 5, ..Default::default() };
+        let thep = plan(&p, &cfg).unwrap();
+        assert_eq!(thep.components.len(), 1);
+
+        let av = seq(n * m, 0.0);
+        let pv = seq(m, 1.0);
+        let rv = seq(n, 2.0);
+        let bufs = bind(vec![
+            ("A", av.clone()),
+            ("p", pv.clone()),
+            ("r", rv.clone()),
+            ("q", vec![0.0; n]),
+            ("s", vec![0.0; m]),
+        ]);
+        execute_plan::<f64>(&p, &thep, &cfg, &bufs).unwrap();
+
+        let (q_ref, s_ref) = refblas::apps::bicg(n, m, &av, &pv, &rv);
+        let q = bufs["q"].to_host();
+        let s = bufs["s"].to_host();
+        for i in 0..n {
+            assert!((q[i] - q_ref[i]).abs() < 1e-9, "q[{i}]");
+        }
+        for j in 0..m {
+            assert!((s[j] - s_ref[j]).abs() < 1e-9, "s[{j}]");
+        }
+    }
+
+    #[test]
+    fn executes_atax_in_both_planner_modes() {
+        let (n, m) = (24, 15);
+        let build = || {
+            let mut p = Program::new();
+            p.matrix("A", n, m).vector("x", m).vector("t", n).vector("y", m);
+            p.op(Op::Gemv {
+                alpha: 1.0,
+                beta: 0.0,
+                a: "A".into(),
+                transposed: false,
+                x: "x".into(),
+                y: None,
+                out: "t".into(),
+            });
+            p.op(Op::Gemv {
+                alpha: 1.0,
+                beta: 0.0,
+                a: "A".into(),
+                transposed: true,
+                x: "t".into(),
+                y: None,
+                out: "y".into(),
+            });
+            p
+        };
+        let av = seq(n * m, 3.0);
+        let xv = seq(m, 4.0);
+        let y_ref = refblas::apps::atax(n, m, &av, &xv);
+
+        for allow_deep in [false, true] {
+            let p = build();
+            let cfg = PlannerConfig { tn: 6, tm: 5, allow_deep_channels: allow_deep, ..Default::default() };
+            let thep = plan(&p, &cfg).unwrap();
+            assert_eq!(thep.components.len(), if allow_deep { 1 } else { 2 });
+            let bufs = bind(vec![
+                ("A", av.clone()),
+                ("x", xv.clone()),
+                ("t", vec![0.0; n]),
+                ("y", vec![0.0; m]),
+            ]);
+            execute_plan::<f64>(&p, &thep, &cfg, &bufs).unwrap();
+            let y = bufs["y"].to_host();
+            for j in 0..m {
+                assert!(
+                    (y[j] - y_ref[j]).abs() < 1e-9,
+                    "allow_deep={allow_deep} y[{j}]: {} vs {}",
+                    y[j],
+                    y_ref[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn executes_gemver_two_component_plan() {
+        let n = 14;
+        let mut p = Program::new();
+        p.matrix("A", n, n).matrix("B1", n, n).matrix("B", n, n);
+        for v in ["u1", "v1", "u2", "v2", "y", "z", "x", "w"] {
+            p.vector(v, n);
+        }
+        let (alpha, beta) = (1.2, 0.7);
+        p.op(Op::Ger { alpha: 1.0, a: "A".into(), x: "u1".into(), y: "v1".into(), out: "B1".into() });
+        p.op(Op::Ger { alpha: 1.0, a: "B1".into(), x: "u2".into(), y: "v2".into(), out: "B".into() });
+        p.op(Op::Gemv {
+            alpha: beta,
+            beta: 1.0,
+            a: "B".into(),
+            transposed: true,
+            x: "y".into(),
+            y: Some("z".into()),
+            out: "x".into(),
+        });
+        p.op(Op::Gemv {
+            alpha,
+            beta: 0.0,
+            a: "B".into(),
+            transposed: false,
+            x: "x".into(),
+            y: None,
+            out: "w".into(),
+        });
+        let cfg = PlannerConfig { tn: 4, tm: 4, ..Default::default() };
+        let thep = plan(&p, &cfg).unwrap();
+        assert_eq!(thep.components.len(), 2, "{}", thep.describe(&p));
+
+        let av = seq(n * n, 0.0);
+        let u1 = seq(n, 1.0);
+        let v1 = seq(n, 2.0);
+        let u2 = seq(n, 3.0);
+        let v2 = seq(n, 4.0);
+        let yv = seq(n, 5.0);
+        let zv = seq(n, 6.0);
+        let bufs = bind(vec![
+            ("A", av.clone()),
+            ("B1", vec![0.0; n * n]),
+            ("B", vec![0.0; n * n]),
+            ("u1", u1.clone()),
+            ("v1", v1.clone()),
+            ("u2", u2.clone()),
+            ("v2", v2.clone()),
+            ("y", yv.clone()),
+            ("z", zv.clone()),
+            ("x", vec![0.0; n]),
+            ("w", vec![0.0; n]),
+        ]);
+        execute_plan::<f64>(&p, &thep, &cfg, &bufs).unwrap();
+
+        let r = refblas::apps::gemver(n, alpha, beta, &av, &u1, &v1, &u2, &v2, &yv, &zv);
+        let b = bufs["B"].to_host();
+        let x = bufs["x"].to_host();
+        let w = bufs["w"].to_host();
+        for i in 0..n * n {
+            assert!((b[i] - r.b[i]).abs() < 1e-9, "B[{i}]");
+        }
+        for i in 0..n {
+            assert!((x[i] - r.x[i]).abs() < 1e-9, "x[{i}]: {} vs {}", x[i], r.x[i]);
+            assert!((w[i] - r.w[i]).abs() < 1e-9, "w[{i}]");
+        }
+    }
+
+    #[test]
+    fn missing_and_misshapen_buffers_are_reported() {
+        let mut p = Program::new();
+        p.vector("x", 8).vector("o", 8);
+        p.op(Op::Scal { alpha: 2.0, x: "x".into(), out: "o".into() });
+        let cfg = PlannerConfig::default();
+        let thep = plan(&p, &cfg).unwrap();
+
+        let empty: HashMap<String, DeviceBuffer<f64>> = HashMap::new();
+        assert!(matches!(
+            execute_plan::<f64>(&p, &thep, &cfg, &empty),
+            Err(ExecError::MissingBuffer(n)) if n == "x" || n == "o"
+        ));
+
+        let bad = bind(vec![("x", vec![0.0; 8]), ("o", vec![0.0; 3])]);
+        assert!(matches!(
+            execute_plan::<f64>(&p, &thep, &cfg, &bad),
+            Err(ExecError::WrongLength { .. })
+        ));
+    }
+}

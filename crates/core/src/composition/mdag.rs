@@ -1,0 +1,435 @@
+//! Module DAG construction and validity analysis.
+//!
+//! The paper's rules (Sec. V):
+//!
+//! * An **edge** between modules is valid iff the number of elements
+//!   produced equals the number consumed, and in the same order (order
+//!   compatibility is a property of the tiling configurations; here the
+//!   caller records it as a boolean witness on the edge).
+//! * A **multitree** MDAG (at most one path between any pair of
+//!   vertices) with valid edges is always valid.
+//! * A **non-multitree** MDAG can stall forever: when two vertex paths
+//!   lead from `u` to `v`, data buffered along the short path must wait
+//!   for the long path's production pattern — the composition only
+//!   terminates if the channel can hold the burst produced before the
+//!   consumer starts draining (the ATAX example needs depth ≥ N·T_N).
+//!   Each edge therefore carries the `burst_before_consume` its producer
+//!   may emit before the consumer pops, and validation demands
+//!   `channel_depth ≥ burst` on non-multitree graphs.
+
+use fblas_hlssim::ModuleKind;
+
+/// Handle to a node of an [`Mdag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// Handle to an edge of an [`Mdag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(pub usize);
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    kind: ModuleKind,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    from: NodeId,
+    to: NodeId,
+    produced: u64,
+    consumed: u64,
+    order_compatible: bool,
+    channel_depth: u64,
+    burst_before_consume: u64,
+}
+
+/// Result of validating an MDAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Validity {
+    /// The composition terminates.
+    Valid,
+    /// The graph has a cycle — not an MDAG at all.
+    Cyclic,
+    /// An edge's element counts disagree (condition 1 of Sec. V) or the
+    /// producer/consumer orders are incompatible (condition 2).
+    InvalidEdge {
+        /// Offending edge.
+        edge: EdgeId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The graph is not a multitree and a channel is too shallow for the
+    /// burst its producer emits before the consumer drains: the
+    /// composition stalls forever unless the channel is enlarged
+    /// (paper Sec. V-B, ATAX).
+    RequiresChannelDepth {
+        /// Offending edge.
+        edge: EdgeId,
+        /// Minimal FIFO depth that makes the composition terminate.
+        min_depth: u64,
+    },
+}
+
+/// A module DAG under construction/analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Mdag {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl Mdag {
+    /// Empty MDAG.
+    pub fn new() -> Self {
+        Mdag::default()
+    }
+
+    /// Add an interface module (circle in the paper's figures).
+    pub fn add_interface(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(name, ModuleKind::Interface)
+    }
+
+    /// Add a computational module (rectangle).
+    pub fn add_compute(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(name, ModuleKind::Compute)
+    }
+
+    fn add_node(&mut self, name: impl Into<String>, kind: ModuleKind) -> NodeId {
+        self.nodes.push(Node { name: name.into(), kind });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Add an edge carrying `produced` elements from `from`, of which
+    /// `to` consumes `consumed`, over a FIFO of `channel_depth` slots.
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        produced: u64,
+        consumed: u64,
+        channel_depth: u64,
+    ) -> EdgeId {
+        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "node out of range");
+        self.edges.push(Edge {
+            from,
+            to,
+            produced,
+            consumed,
+            order_compatible: true,
+            channel_depth,
+            burst_before_consume: 0,
+        });
+        EdgeId(self.edges.len() - 1)
+    }
+
+    /// Mark an edge's element orders as incompatible (mismatched tiling
+    /// schemes between producer and consumer).
+    pub fn set_order_incompatible(&mut self, edge: EdgeId) {
+        self.edges[edge.0].order_compatible = false;
+    }
+
+    /// Record the burst the producer emits on `edge` before its consumer
+    /// starts draining (relevant on non-multitree graphs).
+    pub fn set_burst_before_consume(&mut self, edge: EdgeId, burst: u64) {
+        self.edges[edge.0].burst_before_consume = burst;
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// Topological order, or `None` if cyclic.
+    fn topo_order(&self) -> Option<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.to.0] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop() {
+            order.push(u);
+            for e in &self.edges {
+                if e.from.0 == u {
+                    indeg[e.to.0] -= 1;
+                    if indeg[e.to.0] == 0 {
+                        queue.push(e.to.0);
+                    }
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Count distinct paths between every ordered pair of nodes
+    /// (saturating at 2 — we only care about "more than one").
+    fn path_counts(&self) -> Option<Vec<Vec<u8>>> {
+        let order = self.topo_order()?;
+        let n = self.nodes.len();
+        let mut counts = vec![vec![0u8; n]; n];
+        // Parallel edges between the same pair already mean two paths.
+        for s in 0..n {
+            // DP in topological order: paths[v] = Σ over edges (u→v) of
+            // paths[u], seeded with paths[s] = 1.
+            let mut paths = vec![0u8; n];
+            paths[s] = 1;
+            for &u in &order {
+                if paths[u] == 0 {
+                    continue;
+                }
+                for e in &self.edges {
+                    if e.from.0 == u {
+                        paths[e.to.0] = paths[e.to.0].saturating_add(paths[u]).min(2);
+                    }
+                }
+            }
+            paths[s] = 0;
+            counts[s] = paths;
+        }
+        Some(counts)
+    }
+
+    /// Is the MDAG a multitree (at most one path between any pair)?
+    /// Returns `None` for cyclic graphs.
+    pub fn is_multitree(&self) -> Option<bool> {
+        let counts = self.path_counts()?;
+        Some(counts.iter().all(|row| row.iter().all(|&c| c <= 1)))
+    }
+
+    /// Ordered node pairs connected by more than one path.
+    pub fn multipath_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        match self.path_counts() {
+            None => Vec::new(),
+            Some(counts) => {
+                let mut out = Vec::new();
+                for (u, row) in counts.iter().enumerate() {
+                    for (v, &c) in row.iter().enumerate() {
+                        if c >= 2 {
+                            out.push((NodeId(u), NodeId(v)));
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Validate the composition per the paper's rules.
+    pub fn validate(&self) -> Validity {
+        let Some(multitree) = self.is_multitree() else {
+            return Validity::Cyclic;
+        };
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.produced != e.consumed {
+                return Validity::InvalidEdge {
+                    edge: EdgeId(i),
+                    reason: format!(
+                        "`{}` produces {} elements but `{}` consumes {}",
+                        self.nodes[e.from.0].name, e.produced, self.nodes[e.to.0].name, e.consumed
+                    ),
+                };
+            }
+            if !e.order_compatible {
+                return Validity::InvalidEdge {
+                    edge: EdgeId(i),
+                    reason: format!(
+                        "element orders of `{}` and `{}` are incompatible (mismatched tiling)",
+                        self.nodes[e.from.0].name, self.nodes[e.to.0].name
+                    ),
+                };
+            }
+        }
+        if !multitree {
+            for (i, e) in self.edges.iter().enumerate() {
+                if e.burst_before_consume > e.channel_depth {
+                    return Validity::RequiresChannelDepth {
+                        edge: EdgeId(i),
+                        min_depth: e.burst_before_consume,
+                    };
+                }
+            }
+        }
+        Validity::Valid
+    }
+
+    /// Total off-chip I/O operations: elements crossing edges incident
+    /// to an interface module — the metric the paper uses to compare
+    /// streaming against host-layer execution (e.g. AXPYDOT: 7N → 3N+1).
+    pub fn interface_io_elements(&self) -> u64 {
+        self.edges
+            .iter()
+            .filter(|e| {
+                self.nodes[e.from.0].kind == ModuleKind::Interface
+                    || self.nodes[e.to.0].kind == ModuleKind::Interface
+            })
+            .map(|e| e.produced)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The AXPYDOT streaming MDAG of paper Fig. 6.
+    fn axpydot_mdag(n: u64) -> Mdag {
+        let mut g = Mdag::new();
+        let w = g.add_interface("read_w");
+        let v = g.add_interface("read_v");
+        let u = g.add_interface("read_u");
+        let axpy = g.add_compute("axpy");
+        let dot = g.add_compute("dot");
+        let beta = g.add_interface("write_beta");
+        g.add_edge(w, axpy, n, n, 16);
+        g.add_edge(v, axpy, n, n, 16);
+        g.add_edge(axpy, dot, n, n, 16);
+        g.add_edge(u, dot, n, n, 16);
+        g.add_edge(dot, beta, 1, 1, 1);
+        g
+    }
+
+    #[test]
+    fn axpydot_is_a_valid_multitree() {
+        let g = axpydot_mdag(1000);
+        assert_eq!(g.is_multitree(), Some(true));
+        assert_eq!(g.validate(), Validity::Valid);
+        // 3N + 1 interface I/O (paper Sec. V-A).
+        assert_eq!(g.interface_io_elements(), 3001);
+    }
+
+    /// The BICG MDAG of paper Fig. 7: shared read of A feeding two GEMVs.
+    #[test]
+    fn bicg_shared_read_is_still_a_multitree() {
+        let (n, m) = (64u64, 32u64);
+        let mut g = Mdag::new();
+        let a = g.add_interface("read_A");
+        let p = g.add_interface("read_p");
+        let r = g.add_interface("read_r");
+        let g1 = g.add_compute("gemv");
+        let g2 = g.add_compute("gemv_t");
+        let q = g.add_interface("write_q");
+        let s = g.add_interface("write_s");
+        g.add_edge(a, g1, n * m, n * m, 16);
+        g.add_edge(a, g2, n * m, n * m, 16);
+        g.add_edge(p, g1, m, m, 16);
+        g.add_edge(r, g2, n, n, 16);
+        g.add_edge(g1, q, n, n, 16);
+        g.add_edge(g2, s, m, m, 16);
+        assert_eq!(g.is_multitree(), Some(true));
+        assert_eq!(g.validate(), Validity::Valid);
+        // A read once: NM + M + N + N + M.
+        assert_eq!(g.interface_io_elements(), 2 * n * m + 2 * (n + m));
+    }
+
+    /// The ATAX MDAG of paper Fig. 8: NOT a multitree (two paths from
+    /// read_A's sibling... from the shared interface to the second GEMV).
+    fn atax_mdag(n: u64, m: u64, tn: u64, depth: u64) -> Mdag {
+        let mut g = Mdag::new();
+        let a = g.add_interface("read_A");
+        let x = g.add_interface("read_x");
+        let g1 = g.add_compute("gemv");
+        let g2 = g.add_compute("gemv_t");
+        let y = g.add_interface("write_y");
+        g.add_edge(a, g1, n * m, n * m, 16);
+        let e_a2 = g.add_edge(a, g2, n * m, n * m, depth);
+        g.add_edge(x, g1, m, m, 16);
+        let _t = g.add_edge(g1, g2, n, n, 16);
+        g.add_edge(g2, y, m, m, 16);
+        // The second GEMV cannot consume A until the first produces a
+        // block of results: the A stream bursts N·T_N elements first.
+        g.set_burst_before_consume(e_a2, n * tn);
+        g
+    }
+
+    #[test]
+    fn atax_detected_as_non_multitree_needing_depth() {
+        // a→g2 and a→g1→g2 are two paths from read_A to the second GEMV.
+        let g = atax_mdag(64, 32, 8, 16);
+        assert_eq!(g.is_multitree(), Some(false));
+        assert!(g
+            .multipath_pairs()
+            .iter()
+            .any(|&(u, v)| g.node_name(u) == "read_A" && g.node_name(v) == "gemv_t"));
+        match g.validate() {
+            Validity::RequiresChannelDepth { min_depth, .. } => {
+                assert_eq!(min_depth, 64 * 8);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atax_valid_once_channel_is_sized() {
+        // Paper's fix (a): set the channel size according to input size.
+        let g = atax_mdag(64, 32, 8, 64 * 8);
+        assert_eq!(g.validate(), Validity::Valid);
+    }
+
+    #[test]
+    fn count_mismatch_is_invalid_edge() {
+        let mut g = Mdag::new();
+        let a = g.add_interface("src");
+        let b = g.add_compute("sink");
+        g.add_edge(a, b, 100, 50, 16);
+        match g.validate() {
+            Validity::InvalidEdge { reason, .. } => {
+                assert!(reason.contains("100") && reason.contains("50"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_incompatibility_is_invalid_edge() {
+        let mut g = Mdag::new();
+        let a = g.add_compute("producer");
+        let b = g.add_compute("consumer");
+        let e = g.add_edge(a, b, 10, 10, 4);
+        g.set_order_incompatible(e);
+        match g.validate() {
+            Validity::InvalidEdge { reason, .. } => assert!(reason.contains("tiling")),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut g = Mdag::new();
+        let a = g.add_compute("a");
+        let b = g.add_compute("b");
+        g.add_edge(a, b, 1, 1, 1);
+        g.add_edge(b, a, 1, 1, 1);
+        assert_eq!(g.validate(), Validity::Cyclic);
+        assert_eq!(g.is_multitree(), None);
+    }
+
+    #[test]
+    fn parallel_edges_count_as_two_paths() {
+        let mut g = Mdag::new();
+        let a = g.add_compute("a");
+        let b = g.add_compute("b");
+        g.add_edge(a, b, 5, 5, 4);
+        g.add_edge(a, b, 7, 7, 4);
+        assert_eq!(g.is_multitree(), Some(false));
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_valid() {
+        let g = Mdag::new();
+        assert_eq!(g.validate(), Validity::Valid);
+        assert_eq!(g.interface_io_elements(), 0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

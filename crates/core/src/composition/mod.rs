@@ -1,0 +1,16 @@
+//! Streaming composition analysis (paper Sec. V).
+//!
+//! Computations are modeled as *module DAGs* (MDAGs): vertices are
+//! hardware modules (interface or computational), edges are FIFO
+//! channels. [`mdag`] implements the paper's validity analysis — edge
+//! validity, multitree detection, channel-depth requirements for
+//! non-multitree graphs — plus the I/O-volume accounting used to reason
+//! about the benefit of streaming compositions.
+
+pub mod executor;
+pub mod mdag;
+pub mod planner;
+
+pub use mdag::{EdgeId, Mdag, NodeId, Validity};
+pub use executor::{execute_plan, ExecError, ExecOutcome};
+pub use planner::{interpret, plan, Op, Plan, PlanError, PlannedComponent, PlannerConfig, Program};

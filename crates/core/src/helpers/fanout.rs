@@ -1,0 +1,98 @@
+//! Stream duplication.
+//!
+//! "In many cases, the output of a computational or interface module is
+//! shared between two (or more) computational modules" (paper Sec. V-A) —
+//! BICG's two GEMV modules both consume the single read of `A`. In
+//! hardware this is a small forwarding circuit; here it is a module that
+//! pops once and pushes to every subscriber.
+
+use fblas_hlssim::{ModuleKind, Receiver, Sender, Simulation};
+
+use crate::scalar::Scalar;
+
+/// Add a module duplicating `count` elements from `rx` to both `tx1` and
+/// `tx2`.
+pub fn duplicate<T: Scalar>(
+    sim: &mut Simulation,
+    name: impl Into<String>,
+    count: usize,
+    rx: Receiver<T>,
+    tx1: Sender<T>,
+    tx2: Sender<T>,
+) {
+    sim.add_module(name.into(), ModuleKind::Compute, move || {
+        for _ in 0..count {
+            let v = rx.pop()?;
+            tx1.push(v)?;
+            tx2.push(v)?;
+        }
+        Ok(())
+    });
+}
+
+/// Add a module duplicating `count` elements from `rx` to an arbitrary
+/// set of output channels.
+pub fn duplicate_many<T: Scalar>(
+    sim: &mut Simulation,
+    name: impl Into<String>,
+    count: usize,
+    rx: Receiver<T>,
+    txs: Vec<Sender<T>>,
+) {
+    sim.add_module(name.into(), ModuleKind::Compute, move || {
+        for _ in 0..count {
+            let v = rx.pop()?;
+            for tx in &txs {
+                tx.push(v)?;
+            }
+        }
+        Ok(())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fblas_hlssim::channel;
+
+    #[test]
+    fn duplicate_feeds_both_consumers() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel(sim.ctx(), 4, "in");
+        let (t1, r1) = channel(sim.ctx(), 4, "out1");
+        let (t2, r2) = channel(sim.ctx(), 4, "out2");
+        sim.add_module("src", ModuleKind::Interface, move || tx.push_slice(&[1.0f32, 2.0, 3.0]));
+        duplicate(&mut sim, "dup", 3, rx, t1, t2);
+        sim.add_module("c1", ModuleKind::Compute, move || {
+            assert_eq!(r1.pop_n(3)?, vec![1.0, 2.0, 3.0]);
+            Ok(())
+        });
+        sim.add_module("c2", ModuleKind::Compute, move || {
+            assert_eq!(r2.pop_n(3)?, vec![1.0, 2.0, 3.0]);
+            Ok(())
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn duplicate_many_fans_out() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel(sim.ctx(), 4, "in");
+        let mut receivers = Vec::new();
+        let mut senders = Vec::new();
+        for i in 0..4 {
+            let (t, r) = channel(sim.ctx(), 4, format!("out{i}"));
+            senders.push(t);
+            receivers.push(r);
+        }
+        sim.add_module("src", ModuleKind::Interface, move || tx.push_slice(&[5.0f64, 6.0]));
+        duplicate_many(&mut sim, "dup", 2, rx, senders);
+        for (i, r) in receivers.into_iter().enumerate() {
+            sim.add_module(format!("c{i}"), ModuleKind::Compute, move || {
+                assert_eq!(r.pop_n(2)?, vec![5.0, 6.0]);
+                Ok(())
+            });
+        }
+        sim.run().unwrap();
+    }
+}

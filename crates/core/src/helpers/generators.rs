@@ -1,0 +1,73 @@
+//! On-chip data generators.
+//!
+//! For the module-scaling study (paper Sec. VI-B), "input data is
+//! generated directly on the FPGA, to test the scaling behavior of the
+//! memory bound applications DOT and GEMV, considering vectorization
+//! widths that can exploit memory interfaces faster than the one offered
+//! by the testbed". These modules produce synthetic streams without
+//! touching DRAM.
+
+use fblas_hlssim::{ModuleKind, Sender, Simulation};
+
+use crate::scalar::Scalar;
+
+/// Add an interface module generating `n` elements as `f(i)`.
+pub fn generate_vector<T: Scalar>(
+    sim: &mut Simulation,
+    name: impl Into<String>,
+    n: usize,
+    f: impl Fn(usize) -> T + Send + 'static,
+    tx: Sender<T>,
+) {
+    generate_vector_repeated(sim, name, n, f, tx, 1);
+}
+
+/// Add an interface module generating `n` elements as `f(i)`, repeated
+/// `repetitions` times (generator-side replay).
+pub fn generate_vector_repeated<T: Scalar>(
+    sim: &mut Simulation,
+    name: impl Into<String>,
+    n: usize,
+    f: impl Fn(usize) -> T + Send + 'static,
+    tx: Sender<T>,
+    repetitions: usize,
+) {
+    sim.add_module(name.into(), ModuleKind::Interface, move || {
+        for _ in 0..repetitions {
+            for i in 0..n {
+                tx.push(f(i))?;
+            }
+        }
+        Ok(())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fblas_hlssim::channel;
+
+    #[test]
+    fn generator_produces_f_of_i() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel(sim.ctx(), 8, "g");
+        generate_vector(&mut sim, "gen", 5, |i| i as f32 * 2.0, tx);
+        sim.add_module("check", ModuleKind::Compute, move || {
+            assert_eq!(rx.pop_n(5)?, vec![0.0, 2.0, 4.0, 6.0, 8.0]);
+            Ok(())
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn repeated_generator_replays() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel(sim.ctx(), 2, "g");
+        generate_vector_repeated(&mut sim, "gen", 2, |i| i as f64, tx, 2);
+        sim.add_module("check", ModuleKind::Compute, move || {
+            assert_eq!(rx.pop_n(4)?, vec![0.0, 1.0, 0.0, 1.0]);
+            Ok(())
+        });
+        sim.run().unwrap();
+    }
+}

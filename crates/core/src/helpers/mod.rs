@@ -1,0 +1,26 @@
+//! Interface modules (paper Sec. II-C, V).
+//!
+//! HLS modules work purely on streaming interfaces; when operands live in
+//! DRAM, dedicated *helper kernels* read and inject the data and write
+//! results back. These are the circle-shaped interface nodes of the
+//! paper's MDAG figures. This module provides:
+//!
+//! * [`readers`] — vector readers (with replay), matrix readers for every
+//!   tile order;
+//! * [`writers`] — vector/matrix/scalar writers, and the replay-through-
+//!   memory loop needed by tiles-by-columns GEMV;
+//! * [`fanout`] — stream duplication (one producer feeding two consumers,
+//!   as BICG's shared read of `A`);
+//! * [`generators`] — on-chip data generators, used by the paper to
+//!   benchmark memory-bound modules beyond the testbed's DRAM bandwidth
+//!   (Sec. VI-B).
+
+pub mod fanout;
+pub mod generators;
+pub mod readers;
+pub mod writers;
+
+pub use fanout::duplicate;
+pub use generators::{generate_vector, generate_vector_repeated};
+pub use readers::{read_matrix, read_vector, read_vector_replayed};
+pub use writers::{replay_vector_through_memory, sink, write_matrix, write_scalar, write_vector};

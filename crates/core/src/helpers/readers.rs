@@ -1,0 +1,150 @@
+//! DRAM-reading interface modules.
+
+use fblas_hlssim::{ModuleKind, Sender, Simulation};
+
+use crate::host::buffer::DeviceBuffer;
+use crate::scalar::Scalar;
+use crate::tiling::Tiling;
+
+/// Add an interface module streaming the contents of `buf` once.
+pub fn read_vector<T: Scalar>(sim: &mut Simulation, buf: &DeviceBuffer<T>, tx: Sender<T>) {
+    read_vector_replayed(sim, buf, tx, 1);
+}
+
+/// Add an interface module streaming the contents of `buf` `repetitions`
+/// times back to back.
+///
+/// Replaying from DRAM is how a vector operand is re-sent when a routine's
+/// tiling requires it (e.g. `x` in tiles-by-rows GEMV is replayed
+/// `⌈N/T_N⌉` times, Sec. III-B). Only *interface* modules may replay —
+/// a computational module cannot re-produce its own output stream
+/// (Sec. V, edge-validity condition 1).
+pub fn read_vector_replayed<T: Scalar>(
+    sim: &mut Simulation,
+    buf: &DeviceBuffer<T>,
+    tx: Sender<T>,
+    repetitions: usize,
+) {
+    let buf = buf.clone();
+    let name = format!("read_{}", buf.name());
+    sim.add_module(name, ModuleKind::Interface, move || {
+        let data = buf.to_host();
+        for _ in 0..repetitions {
+            tx.push_slice(&data)?;
+        }
+        Ok(())
+    });
+}
+
+/// Add an interface module streaming an `n × m` row-major matrix from
+/// `buf` in the element order of `tiling`, `repetitions` times.
+///
+/// # Panics (inside the module)
+/// The module fails if `buf` does not hold exactly `n·m` elements.
+pub fn read_matrix<T: Scalar>(
+    sim: &mut Simulation,
+    buf: &DeviceBuffer<T>,
+    n: usize,
+    m: usize,
+    tiling: Tiling,
+    tx: Sender<T>,
+    repetitions: usize,
+) {
+    let buf = buf.clone();
+    let name = format!("read_{}", buf.name());
+    sim.add_module(name.clone(), ModuleKind::Interface, move || {
+        let data = buf.to_host();
+        if data.len() != n * m {
+            return Err(fblas_hlssim::SimError::module(
+                name,
+                format!("matrix buffer holds {} elements, expected {}", data.len(), n * m),
+            ));
+        }
+        let order = tiling.stream_indices(n, m);
+        for _ in 0..repetitions {
+            for &(r, c) in &order {
+                tx.push(data[r * m + c])?;
+            }
+        }
+        Ok(())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiling::TileOrder;
+    use fblas_hlssim::channel;
+
+    #[test]
+    fn vector_reader_streams_contents() {
+        let mut sim = Simulation::new();
+        let buf = DeviceBuffer::from_vec("x", vec![1.0f32, 2.0, 3.0], 0);
+        let (tx, rx) = channel(sim.ctx(), 8, "ch");
+        read_vector(&mut sim, &buf, tx);
+        sim.add_module("check", ModuleKind::Compute, move || {
+            assert_eq!(rx.pop_n(3)?, vec![1.0, 2.0, 3.0]);
+            Ok(())
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn replay_sends_multiple_rounds() {
+        let mut sim = Simulation::new();
+        let buf = DeviceBuffer::from_vec("x", vec![7.0f64, 8.0], 0);
+        let (tx, rx) = channel(sim.ctx(), 2, "ch");
+        read_vector_replayed(&mut sim, &buf, tx, 3);
+        sim.add_module("check", ModuleKind::Compute, move || {
+            assert_eq!(rx.pop_n(6)?, vec![7.0, 8.0, 7.0, 8.0, 7.0, 8.0]);
+            Ok(())
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn matrix_reader_respects_tile_order() {
+        let mut sim = Simulation::new();
+        // 2x2 matrix [[1,2],[3,4]] streamed with 1x1 tiles by columns:
+        // 1, 3, 2, 4.
+        let buf = DeviceBuffer::from_vec("a", vec![1.0f32, 2.0, 3.0, 4.0], 0);
+        let (tx, rx) = channel(sim.ctx(), 4, "ch");
+        read_matrix(
+            &mut sim,
+            &buf,
+            2,
+            2,
+            Tiling::new(1, 1, TileOrder::ColTilesRowMajor),
+            tx,
+            1,
+        );
+        sim.add_module("check", ModuleKind::Compute, move || {
+            assert_eq!(rx.pop_n(4)?, vec![1.0, 3.0, 2.0, 4.0]);
+            Ok(())
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn wrong_matrix_size_is_module_error() {
+        let mut sim = Simulation::new();
+        let buf = DeviceBuffer::from_vec("a", vec![1.0f32; 3], 0);
+        let (tx, rx) = channel::<f32>(sim.ctx(), 4, "ch");
+        read_matrix(
+            &mut sim,
+            &buf,
+            2,
+            2,
+            Tiling::new(2, 2, TileOrder::RowTilesRowMajor),
+            tx,
+            1,
+        );
+        drop(rx);
+        match sim.run() {
+            Err(fblas_hlssim::SimError::Module { detail, .. }) => {
+                assert!(detail.contains("expected 4"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

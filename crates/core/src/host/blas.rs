@@ -1,0 +1,1046 @@
+//! Classical BLAS host calls (paper Sec. II-B).
+//!
+//! Each call builds the module graph for one routine — DRAM readers, the
+//! computational module, writers — runs it functionally on the dataflow
+//! substrate, and returns a [`TimingEstimate`] computed from the paper's
+//! cycle/frequency/bandwidth models. Semantics match the classical BLAS
+//! calls (`sscal`, `ddot`, `sgemv`, …); precision selection is the `T`
+//! type parameter instead of the name prefix.
+
+use fblas_arch::{ResourceEstimate, RoutineClass};
+use fblas_hlssim::{channel, PipelineCost, SimError, Simulation};
+
+use super::buffer::DeviceBuffer;
+use super::context::Fpga;
+use crate::helpers::{
+    read_matrix, read_vector, read_vector_replayed, write_matrix, write_scalar, write_vector,
+};
+use crate::perf::{estimate_time, StreamDemand, TimingEstimate};
+use crate::routines::gemm::{read_gemm_a, read_gemm_b, store_c, Gemm, SystolicShape};
+use crate::routines::gemv::{Gemv, GemvVariant};
+use crate::routines::level3::{read_trsm_triangle, Side, Syr2k, Syrk, Trsm};
+use crate::routines::trsv::read_triangle;
+use crate::routines::{
+    Asum, Axpy, Diag, Dot, Ger, Iamax, Nrm2, Rot, Rotg, Rotm, Rotmg, Scal, Sdsdot, Swap, Syr,
+    Syr2, Trans, Trsv, Uplo, VecCopy,
+};
+use crate::scalar::Scalar;
+
+/// Tile/width tuning of a Level-2 host call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemvTuning {
+    /// Tile height `T_N`.
+    pub tn: usize,
+    /// Tile width `T_M`.
+    pub tm: usize,
+    /// Vectorization width `W`.
+    pub w: usize,
+}
+
+impl Default for GemvTuning {
+    /// The paper's default experimental configuration: 1024×1024 tiles,
+    /// width 16.
+    fn default() -> Self {
+        GemvTuning { tn: 1024, tm: 1024, w: 16 }
+    }
+}
+
+impl GemvTuning {
+    /// Convenience constructor.
+    pub fn new(tn: usize, tm: usize, w: usize) -> Self {
+        GemvTuning { tn, tm, w }
+    }
+
+    /// Tuning clamped so tiles never exceed the problem — useful for
+    /// small functional runs.
+    pub fn clamped(&self, n: usize, m: usize) -> Self {
+        GemvTuning {
+            tn: self.tn.min(n.max(1)),
+            tm: self.tm.min(m.max(1)),
+            w: self.w,
+        }
+    }
+}
+
+fn bytes<T: Scalar>(elems: usize) -> u64 {
+    elems as u64 * T::PRECISION.elem_bytes()
+}
+
+/// Compute the timing estimate for a completed host call.
+fn timing<T: Scalar>(
+    fpga: &Fpga,
+    class: RoutineClass,
+    circuit: &ResourceEstimate,
+    interfaces: usize,
+    cost: PipelineCost,
+    streams: &[StreamDemand],
+) -> TimingEstimate {
+    estimate_time(
+        fpga.device(),
+        class,
+        true, // request HyperFlex; the model decides applicability
+        circuit,
+        interfaces,
+        T::PRECISION.elem_bytes(),
+        cost,
+        streams,
+        fpga.memory(),
+    )
+}
+
+// --------------------------------------------------------------------
+// Level 1
+// --------------------------------------------------------------------
+
+/// Result of a scalar-producing rotation constructor: values plus the
+/// timing estimate.
+pub type RotgResult<T> = ((T, T, T, T), TimingEstimate);
+/// Result of [`rotmg`]: `(d1, d2, x1, param)` plus the timing estimate.
+pub type RotmgResult<T> = ((T, T, T, [T; 5]), TimingEstimate);
+
+/// ROTG: construct a Givens rotation; returns `(r, z, c, s)`.
+pub fn rotg<T: Scalar>(fpga: &Fpga, a: T, b: T) -> Result<RotgResult<T>, SimError> {
+    let mut sim = Simulation::new();
+    let (ti, ri) = channel(sim.ctx(), 2, "rotg_in");
+    let (to, ro) = channel(sim.ctx(), 4, "rotg_out");
+    let out = fpga.alloc::<T>("rotg_out", 4);
+    sim.add_module("host_in", fblas_hlssim::ModuleKind::Interface, move || {
+        ti.push(a)?;
+        ti.push(b)
+    });
+    Rotg.attach(&mut sim, ri, to);
+    write_vector(&mut sim, &out, 4, ro);
+    sim.run()?;
+    let v = out.to_host();
+    let est = Rotg.estimate::<T>();
+    let t = timing::<T>(fpga, RoutineClass::Streaming, &est, 2, Rotg.cost::<T>(), &[]);
+    Ok(((v[0], v[1], v[2], v[3]), t))
+}
+
+/// ROTMG: construct a modified Givens transform; returns
+/// `(d1, d2, x1, param)`.
+pub fn rotmg<T: Scalar>(
+    fpga: &Fpga,
+    d1: T,
+    d2: T,
+    x1: T,
+    y1: T,
+) -> Result<RotmgResult<T>, SimError> {
+    let mut sim = Simulation::new();
+    let (ti, ri) = channel(sim.ctx(), 4, "rotmg_in");
+    let (to, ro) = channel(sim.ctx(), 8, "rotmg_out");
+    let out = fpga.alloc::<T>("rotmg_out", 8);
+    sim.add_module("host_in", fblas_hlssim::ModuleKind::Interface, move || {
+        ti.push_slice(&[d1, d2, x1, y1])
+    });
+    Rotmg.attach(&mut sim, ri, to);
+    write_vector(&mut sim, &out, 8, ro);
+    sim.run()?;
+    let v = out.to_host();
+    let est = Rotmg.estimate::<T>();
+    let t = timing::<T>(fpga, RoutineClass::Streaming, &est, 2, Rotmg.cost::<T>(), &[]);
+    Ok(((v[0], v[1], v[2], [v[3], v[4], v[5], v[6], v[7]]), t))
+}
+
+/// ROT: apply a plane rotation to `x` and `y` in place.
+pub fn rot<T: Scalar>(
+    fpga: &Fpga,
+    x: &DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
+    c: T,
+    s: T,
+    w: usize,
+) -> Result<TimingEstimate, SimError> {
+    let n = x.len();
+    assert_eq!(y.len(), n, "rot: length mismatch");
+    let m = Rot::new(n, w);
+    let mut sim = Simulation::new();
+    let (tx, rx) = channel(sim.ctx(), 64, "x");
+    let (ty, ry) = channel(sim.ctx(), 64, "y");
+    let (tox, rox) = channel(sim.ctx(), 64, "ox");
+    let (toy, roy) = channel(sim.ctx(), 64, "oy");
+    read_vector(&mut sim, x, tx);
+    read_vector(&mut sim, y, ty);
+    m.attach(&mut sim, c, s, rx, ry, tox, toy);
+    write_vector(&mut sim, x, n, rox);
+    write_vector(&mut sim, y, n, roy);
+    sim.run()?;
+    let est = m.estimate::<T>();
+    let streams = [
+        StreamDemand::new(x.bank(), 2 * bytes::<T>(n)),
+        StreamDemand::new(y.bank(), 2 * bytes::<T>(n)),
+    ];
+    Ok(timing::<T>(fpga, RoutineClass::Streaming, &est, 4, m.cost::<T>(), &streams))
+}
+
+/// ROTM: apply a modified Givens transform to `x` and `y` in place.
+pub fn rotm<T: Scalar>(
+    fpga: &Fpga,
+    x: &DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
+    param: [T; 5],
+    w: usize,
+) -> Result<TimingEstimate, SimError> {
+    let n = x.len();
+    assert_eq!(y.len(), n, "rotm: length mismatch");
+    let m = Rotm::new(n, w);
+    let mut sim = Simulation::new();
+    let (tx, rx) = channel(sim.ctx(), 64, "x");
+    let (ty, ry) = channel(sim.ctx(), 64, "y");
+    let (tox, rox) = channel(sim.ctx(), 64, "ox");
+    let (toy, roy) = channel(sim.ctx(), 64, "oy");
+    read_vector(&mut sim, x, tx);
+    read_vector(&mut sim, y, ty);
+    m.attach(&mut sim, param, rx, ry, tox, toy);
+    write_vector(&mut sim, x, n, rox);
+    write_vector(&mut sim, y, n, roy);
+    sim.run()?;
+    let est = m.estimate::<T>();
+    let streams = [
+        StreamDemand::new(x.bank(), 2 * bytes::<T>(n)),
+        StreamDemand::new(y.bank(), 2 * bytes::<T>(n)),
+    ];
+    Ok(timing::<T>(fpga, RoutineClass::Streaming, &est, 4, m.cost::<T>(), &streams))
+}
+
+/// SWAP: exchange `x` and `y`.
+pub fn swap<T: Scalar>(
+    fpga: &Fpga,
+    x: &DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
+    w: usize,
+) -> Result<TimingEstimate, SimError> {
+    let n = x.len();
+    assert_eq!(y.len(), n, "swap: length mismatch");
+    let m = Swap::new(n, w);
+    let mut sim = Simulation::new();
+    let (tx, rx) = channel(sim.ctx(), 64, "x");
+    let (ty, ry) = channel(sim.ctx(), 64, "y");
+    let (tox, rox) = channel(sim.ctx(), 64, "ox");
+    let (toy, roy) = channel(sim.ctx(), 64, "oy");
+    read_vector(&mut sim, x, tx);
+    read_vector(&mut sim, y, ty);
+    m.attach(&mut sim, rx, ry, tox, toy);
+    write_vector(&mut sim, x, n, rox);
+    write_vector(&mut sim, y, n, roy);
+    sim.run()?;
+    let est = m.estimate::<T>();
+    let streams = [
+        StreamDemand::new(x.bank(), 2 * bytes::<T>(n)),
+        StreamDemand::new(y.bank(), 2 * bytes::<T>(n)),
+    ];
+    Ok(timing::<T>(fpga, RoutineClass::Streaming, &est, 4, m.cost::<T>(), &streams))
+}
+
+/// SCAL: `x ← α·x` in place.
+pub fn scal<T: Scalar>(
+    fpga: &Fpga,
+    alpha: T,
+    x: &DeviceBuffer<T>,
+    w: usize,
+) -> Result<TimingEstimate, SimError> {
+    let n = x.len();
+    let m = Scal::new(n, w);
+    let mut sim = Simulation::new();
+    let (tx, rx) = channel(sim.ctx(), 64, "x");
+    let (to, ro) = channel(sim.ctx(), 64, "out");
+    read_vector(&mut sim, x, tx);
+    m.attach(&mut sim, alpha, rx, to);
+    write_vector(&mut sim, x, n, ro);
+    sim.run()?;
+    let est = m.estimate::<T>();
+    let streams = [StreamDemand::new(x.bank(), 2 * bytes::<T>(n))];
+    Ok(timing::<T>(fpga, RoutineClass::Streaming, &est, 2, m.cost::<T>(), &streams))
+}
+
+/// COPY: `y ← x`.
+pub fn copy<T: Scalar>(
+    fpga: &Fpga,
+    x: &DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
+    w: usize,
+) -> Result<TimingEstimate, SimError> {
+    let n = x.len();
+    assert_eq!(y.len(), n, "copy: length mismatch");
+    let m = VecCopy::new(n, w);
+    let mut sim = Simulation::new();
+    let (tx, rx) = channel(sim.ctx(), 64, "x");
+    let (to, ro) = channel(sim.ctx(), 64, "out");
+    read_vector(&mut sim, x, tx);
+    m.attach(&mut sim, rx, to);
+    write_vector(&mut sim, y, n, ro);
+    sim.run()?;
+    let est = m.estimate::<T>();
+    let streams = [
+        StreamDemand::new(x.bank(), bytes::<T>(n)),
+        StreamDemand::new(y.bank(), bytes::<T>(n)),
+    ];
+    Ok(timing::<T>(fpga, RoutineClass::Streaming, &est, 2, m.cost::<T>(), &streams))
+}
+
+/// AXPY: `y ← α·x + y` in place.
+pub fn axpy<T: Scalar>(
+    fpga: &Fpga,
+    alpha: T,
+    x: &DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
+    w: usize,
+) -> Result<TimingEstimate, SimError> {
+    let n = x.len();
+    assert_eq!(y.len(), n, "axpy: length mismatch");
+    let m = Axpy::new(n, w);
+    let mut sim = Simulation::new();
+    let (tx, rx) = channel(sim.ctx(), 64, "x");
+    let (ty, ry) = channel(sim.ctx(), 64, "y");
+    let (to, ro) = channel(sim.ctx(), 64, "out");
+    read_vector(&mut sim, x, tx);
+    read_vector(&mut sim, y, ty);
+    m.attach(&mut sim, alpha, rx, ry, to);
+    write_vector(&mut sim, y, n, ro);
+    sim.run()?;
+    let est = m.estimate::<T>();
+    let streams = [
+        StreamDemand::new(x.bank(), bytes::<T>(n)),
+        StreamDemand::new(y.bank(), 2 * bytes::<T>(n)),
+    ];
+    Ok(timing::<T>(fpga, RoutineClass::Streaming, &est, 3, m.cost::<T>(), &streams))
+}
+
+/// Shared driver for the scalar-producing reductions.
+fn reduction_call<T: Scalar>(
+    fpga: &Fpga,
+    x: &DeviceBuffer<T>,
+    y: Option<&DeviceBuffer<T>>,
+    cost: PipelineCost,
+    est: ResourceEstimate,
+    attach: impl FnOnce(&mut Simulation, fblas_hlssim::Receiver<T>, Option<fblas_hlssim::Receiver<T>>, fblas_hlssim::Sender<T>),
+) -> Result<(T, TimingEstimate), SimError> {
+    let n = x.len();
+    let mut sim = Simulation::new();
+    let (tx, rx) = channel(sim.ctx(), 64, "x");
+    read_vector(&mut sim, x, tx);
+    let ry = y.map(|yb| {
+        let (ty, ry) = channel(sim.ctx(), 64, "y");
+        read_vector(&mut sim, yb, ty);
+        ry
+    });
+    let (tr, rr) = channel(sim.ctx(), 1, "res");
+    attach(&mut sim, rx, ry, tr);
+    let res = fpga.alloc::<T>("res", 1);
+    write_scalar(&mut sim, &res, rr);
+    sim.run()?;
+    let mut streams = vec![StreamDemand::new(x.bank(), bytes::<T>(n))];
+    let mut interfaces = 2;
+    if let Some(yb) = y {
+        streams.push(StreamDemand::new(yb.bank(), bytes::<T>(n)));
+        interfaces += 1;
+    }
+    let t = timing::<T>(fpga, RoutineClass::Streaming, &est, interfaces, cost, &streams);
+    Ok((res.get(0), t))
+}
+
+/// DOT: returns `xᵀy`.
+pub fn dot<T: Scalar>(
+    fpga: &Fpga,
+    x: &DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
+    w: usize,
+) -> Result<(T, TimingEstimate), SimError> {
+    let n = x.len();
+    assert_eq!(y.len(), n, "dot: length mismatch");
+    let m = Dot::new(n, w);
+    reduction_call(fpga, x, Some(y), m.cost::<T>(), m.estimate::<T>(), |sim, rx, ry, tr| {
+        m.attach(sim, rx, ry.expect("dot needs y"), tr)
+    })
+}
+
+/// SDSDOT: returns `sb + xᵀy` with double accumulation.
+pub fn sdsdot<T: Scalar>(
+    fpga: &Fpga,
+    sb: T,
+    x: &DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
+    w: usize,
+) -> Result<(T, TimingEstimate), SimError> {
+    let n = x.len();
+    assert_eq!(y.len(), n, "sdsdot: length mismatch");
+    let m = Sdsdot::new(n, w);
+    reduction_call(fpga, x, Some(y), m.cost::<T>(), m.estimate::<T>(), |sim, rx, ry, tr| {
+        m.attach(sim, sb, rx, ry.expect("sdsdot needs y"), tr)
+    })
+}
+
+/// NRM2: returns `‖x‖₂`.
+pub fn nrm2<T: Scalar>(
+    fpga: &Fpga,
+    x: &DeviceBuffer<T>,
+    w: usize,
+) -> Result<(T, TimingEstimate), SimError> {
+    let m = Nrm2::new(x.len(), w);
+    reduction_call(fpga, x, None, m.cost::<T>(), m.estimate::<T>(), |sim, rx, _ry, tr| {
+        m.attach(sim, rx, tr)
+    })
+}
+
+/// ASUM: returns `Σ|xᵢ|`.
+pub fn asum<T: Scalar>(
+    fpga: &Fpga,
+    x: &DeviceBuffer<T>,
+    w: usize,
+) -> Result<(T, TimingEstimate), SimError> {
+    let m = Asum::new(x.len(), w);
+    reduction_call(fpga, x, None, m.cost::<T>(), m.estimate::<T>(), |sim, rx, _ry, tr| {
+        m.attach(sim, rx, tr)
+    })
+}
+
+/// IAMAX: returns the 0-based index of the first maximum-magnitude
+/// element.
+pub fn iamax<T: Scalar>(
+    fpga: &Fpga,
+    x: &DeviceBuffer<T>,
+    w: usize,
+) -> Result<(usize, TimingEstimate), SimError> {
+    let n = x.len();
+    let m = Iamax::new(n, w);
+    let mut sim = Simulation::new();
+    let (tx, rx) = channel(sim.ctx(), 64, "x");
+    read_vector(&mut sim, x, tx);
+    let (tr, rr) = channel::<usize>(sim.ctx(), 1, "res");
+    m.attach(&mut sim, rx, tr);
+    let out = std::sync::Arc::new(parking_lot::Mutex::new(0usize));
+    let out2 = out.clone();
+    sim.add_module("store_idx", fblas_hlssim::ModuleKind::Interface, move || {
+        *out2.lock() = rr.pop()?;
+        Ok(())
+    });
+    sim.run()?;
+    let streams = [StreamDemand::new(x.bank(), bytes::<T>(n))];
+    let t = timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &m.estimate::<T>(),
+        2,
+        m.cost::<T>(),
+        &streams,
+    );
+    let idx = *out.lock();
+    Ok((idx, t))
+}
+
+// --------------------------------------------------------------------
+// Level 2
+// --------------------------------------------------------------------
+
+/// GEMV: `y ← α·op(A)·x + β·y` in place; `A` is `n × m` row-major.
+#[allow(clippy::too_many_arguments)]
+pub fn gemv<T: Scalar>(
+    fpga: &Fpga,
+    trans: Trans,
+    n: usize,
+    m: usize,
+    alpha: T,
+    a: &DeviceBuffer<T>,
+    x: &DeviceBuffer<T>,
+    beta: T,
+    y: &DeviceBuffer<T>,
+    tuning: &GemvTuning,
+) -> Result<TimingEstimate, SimError> {
+    let tu = tuning.clamped(n, m);
+    // Variants that stream y exactly once (no partial replay through
+    // DRAM) are preferred by the host layer.
+    let variant = match trans {
+        Trans::No => GemvVariant::RowStreamed,
+        Trans::Yes => GemvVariant::TransColStreamed,
+    };
+    let g = Gemv::new(variant, n, m, tu.tn, tu.tm, tu.w);
+    assert_eq!(a.len(), n * m, "gemv: A must be n*m");
+    assert_eq!(x.len(), g.x_len(), "gemv: x length");
+    assert_eq!(y.len(), g.y_len(), "gemv: y length");
+
+    let mut sim = Simulation::new();
+    let (ta, ra) = channel(sim.ctx(), 256, "a");
+    let (txv, rxv) = channel(sim.ctx(), 64, "x");
+    let (tyi, ryi) = channel(sim.ctx(), 64, "y_in");
+    let (tyo, ryo) = channel(sim.ctx(), 64, "y_out");
+    read_matrix(&mut sim, a, n, m, g.a_tiling(), ta, 1);
+    read_vector_replayed(&mut sim, x, txv, g.x_repetitions());
+    read_vector(&mut sim, y, tyi);
+    g.attach(&mut sim, alpha, beta, ra, rxv, ryi, tyo);
+    write_vector(&mut sim, y, g.y_len(), ryo);
+    sim.run()?;
+
+    let streams = [
+        StreamDemand::new(a.bank(), bytes::<T>(n * m)),
+        StreamDemand::new(x.bank(), bytes::<T>(g.x_len() * g.x_repetitions())),
+        StreamDemand::new(y.bank(), 2 * bytes::<T>(g.y_len())),
+    ];
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &g.estimate::<T>(),
+        4,
+        g.cost::<T>(),
+        &streams,
+    ))
+}
+
+/// GER: `A ← α·x·yᵀ + A` in place; `A` is `n × m` row-major.
+#[allow(clippy::too_many_arguments)]
+pub fn ger<T: Scalar>(
+    fpga: &Fpga,
+    n: usize,
+    m: usize,
+    alpha: T,
+    x: &DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
+    a: &DeviceBuffer<T>,
+    tuning: &GemvTuning,
+) -> Result<TimingEstimate, SimError> {
+    let tu = tuning.clamped(n, m);
+    let g = Ger::new(n, m, tu.tn, tu.tm, tu.w);
+    assert_eq!(a.len(), n * m, "ger: A must be n*m");
+    assert_eq!(x.len(), n, "ger: x length");
+    assert_eq!(y.len(), m, "ger: y length");
+
+    let mut sim = Simulation::new();
+    let (ta, ra) = channel(sim.ctx(), 256, "a");
+    let (txv, rxv) = channel(sim.ctx(), 64, "x");
+    let (tyv, ryv) = channel(sim.ctx(), 64, "y");
+    let (to, ro) = channel(sim.ctx(), 256, "a_out");
+    read_matrix(&mut sim, a, n, m, g.a_tiling(), ta, 1);
+    read_vector(&mut sim, x, txv);
+    read_vector_replayed(&mut sim, y, tyv, g.y_repetitions());
+    g.attach(&mut sim, alpha, ra, rxv, ryv, to);
+    write_matrix(&mut sim, a, n, m, g.a_tiling(), ro);
+    sim.run()?;
+
+    let streams = [
+        StreamDemand::new(a.bank(), 2 * bytes::<T>(n * m)),
+        StreamDemand::new(x.bank(), bytes::<T>(n)),
+        StreamDemand::new(y.bank(), bytes::<T>(m * g.y_repetitions())),
+    ];
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &g.estimate::<T>(),
+        4,
+        g.cost::<T>(),
+        &streams,
+    ))
+}
+
+/// SYR: `A ← α·x·xᵀ + A` on the `uplo` triangle; `A` is `n × n`.
+pub fn syr<T: Scalar>(
+    fpga: &Fpga,
+    uplo: Uplo,
+    n: usize,
+    alpha: T,
+    x: &DeviceBuffer<T>,
+    a: &DeviceBuffer<T>,
+    tuning: &GemvTuning,
+) -> Result<TimingEstimate, SimError> {
+    let tu = tuning.clamped(n, n);
+    let s = Syr::new(n, tu.tn, tu.tm, tu.w, uplo);
+    assert_eq!(a.len(), n * n, "syr: A must be n*n");
+    assert_eq!(x.len(), n, "syr: x length");
+
+    let mut sim = Simulation::new();
+    let (ta, ra) = channel(sim.ctx(), 256, "a");
+    let (txr, rxr) = channel(sim.ctx(), 64, "xr");
+    let (txc, rxc) = channel(sim.ctx(), 64, "xc");
+    let (to, ro) = channel(sim.ctx(), 256, "a_out");
+    read_matrix(&mut sim, a, n, n, s.a_tiling(), ta, 1);
+    read_vector(&mut sim, x, txr);
+    read_vector_replayed(&mut sim, x, txc, s.x_col_repetitions());
+    s.attach(&mut sim, alpha, ra, rxr, rxc, to);
+    write_matrix(&mut sim, a, n, n, s.a_tiling(), ro);
+    sim.run()?;
+
+    let streams = [
+        StreamDemand::new(a.bank(), 2 * bytes::<T>(n * n)),
+        StreamDemand::new(x.bank(), bytes::<T>(n * (1 + s.x_col_repetitions()))),
+    ];
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &s.estimate::<T>(),
+        3,
+        s.cost::<T>(),
+        &streams,
+    ))
+}
+
+/// SYR2: `A ← α·x·yᵀ + α·y·xᵀ + A` on the `uplo` triangle.
+#[allow(clippy::too_many_arguments)]
+pub fn syr2<T: Scalar>(
+    fpga: &Fpga,
+    uplo: Uplo,
+    n: usize,
+    alpha: T,
+    x: &DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
+    a: &DeviceBuffer<T>,
+    tuning: &GemvTuning,
+) -> Result<TimingEstimate, SimError> {
+    let tu = tuning.clamped(n, n);
+    let s = Syr2::new(n, tu.tn, tu.tm, tu.w, uplo);
+    assert_eq!(a.len(), n * n, "syr2: A must be n*n");
+    assert_eq!(x.len(), n, "syr2: x length");
+    assert_eq!(y.len(), n, "syr2: y length");
+
+    let mut sim = Simulation::new();
+    let (ta, ra) = channel(sim.ctx(), 256, "a");
+    let (txr, rxr) = channel(sim.ctx(), 64, "xr");
+    let (tyr, ryr) = channel(sim.ctx(), 64, "yr");
+    let (txc, rxc) = channel(sim.ctx(), 64, "xc");
+    let (tyc, ryc) = channel(sim.ctx(), 64, "yc");
+    let (to, ro) = channel(sim.ctx(), 256, "a_out");
+    read_matrix(&mut sim, a, n, n, s.a_tiling(), ta, 1);
+    read_vector(&mut sim, x, txr);
+    read_vector(&mut sim, y, tyr);
+    read_vector_replayed(&mut sim, x, txc, s.col_repetitions());
+    read_vector_replayed(&mut sim, y, tyc, s.col_repetitions());
+    s.attach(&mut sim, alpha, ra, rxr, ryr, rxc, ryc, to);
+    write_matrix(&mut sim, a, n, n, s.a_tiling(), ro);
+    sim.run()?;
+
+    let reps = 1 + s.col_repetitions();
+    let streams = [
+        StreamDemand::new(a.bank(), 2 * bytes::<T>(n * n)),
+        StreamDemand::new(x.bank(), bytes::<T>(n * reps)),
+        StreamDemand::new(y.bank(), bytes::<T>(n * reps)),
+    ];
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &s.estimate::<T>(),
+        4,
+        s.cost::<T>(),
+        &streams,
+    ))
+}
+
+/// TRSV: `x ← op(A)⁻¹·x` in place; `A` is `n × n` row-major with the
+/// `uplo` triangle stored.
+#[allow(clippy::too_many_arguments)]
+pub fn trsv<T: Scalar>(
+    fpga: &Fpga,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    n: usize,
+    a: &DeviceBuffer<T>,
+    x: &DeviceBuffer<T>,
+    w: usize,
+) -> Result<TimingEstimate, SimError> {
+    let t = Trsv::new(n, w, uplo, trans, diag);
+    assert_eq!(a.len(), n * n, "trsv: A must be n*n");
+    assert_eq!(x.len(), n, "trsv: x length");
+
+    let mut sim = Simulation::new();
+    let (ta, ra) = channel(sim.ctx(), 256, "a");
+    let (tb, rb) = channel(sim.ctx(), 64, "b");
+    let (txo, rxo) = channel(sim.ctx(), 64, "x");
+    read_triangle(&mut sim, a, n, uplo, t.reverse_rows(), ta);
+    read_vector(&mut sim, x, tb);
+    t.attach(&mut sim, ra, rb, txo);
+    write_vector(&mut sim, x, n, rxo);
+    sim.run()?;
+
+    let tri = crate::routines::trsv::triangle_len(n);
+    let streams = [
+        StreamDemand::new(a.bank(), bytes::<T>(tri)),
+        StreamDemand::new(x.bank(), 2 * bytes::<T>(n)),
+    ];
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &t.estimate::<T>(),
+        3,
+        t.cost::<T>(),
+        &streams,
+    ))
+}
+
+// --------------------------------------------------------------------
+// Level 3
+// --------------------------------------------------------------------
+
+/// GEMM: `C ← α·A·B + β·C` on the systolic array; `A` is `n × k`,
+/// `B` is `k × m`, `C` is `n × m`, all row-major.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm<T: Scalar>(
+    fpga: &Fpga,
+    n: usize,
+    m: usize,
+    k: usize,
+    alpha: T,
+    a: &DeviceBuffer<T>,
+    b: &DeviceBuffer<T>,
+    beta: T,
+    c: &DeviceBuffer<T>,
+    shape: SystolicShape,
+    tr: usize,
+    tc: usize,
+) -> Result<TimingEstimate, SimError> {
+    let g = Gemm::new(n, m, k, shape, tr, tc);
+    let mut sim = Simulation::new();
+    let (ta, ra) = channel(sim.ctx(), 1024, "a");
+    let (tb, rb) = channel(sim.ctx(), 1024, "b");
+    let (tcs, rc) = channel(sim.ctx(), 1024, "c");
+    read_gemm_a(&mut sim, a, g, ta);
+    read_gemm_b(&mut sim, b, g, tb);
+    g.attach(&mut sim, ra, rb, tcs);
+    store_c(&mut sim, c, g, alpha, beta, rc);
+    sim.run()?;
+
+    // A is re-read once per C-tile column, B once per C-tile row.
+    let streams = [
+        StreamDemand::new(a.bank(), bytes::<T>(n * k * g.tile_cols())),
+        StreamDemand::new(b.bank(), bytes::<T>(k * m * g.tile_rows())),
+        StreamDemand::new(c.bank(), 2 * bytes::<T>(n * m)),
+    ];
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Systolic,
+        &g.estimate::<T>(),
+        3,
+        g.cost::<T>(),
+        &streams,
+    ))
+}
+
+/// SYRK: `C ← α·op(A)·op(A)ᵀ + β·C` on the `uplo` triangle.
+#[allow(clippy::too_many_arguments)]
+pub fn syrk<T: Scalar>(
+    fpga: &Fpga,
+    uplo: Uplo,
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &DeviceBuffer<T>,
+    beta: T,
+    c: &DeviceBuffer<T>,
+    shape: SystolicShape,
+    tr: usize,
+    tc: usize,
+) -> Result<TimingEstimate, SimError> {
+    let s = Syrk::new(n, k, trans, uplo, shape, tr, tc);
+    let mut sim = Simulation::new();
+    let (ta, ra) = channel(sim.ctx(), 1024, "a");
+    let (tb, rb) = channel(sim.ctx(), 1024, "b");
+    let (tcs, rc) = channel(sim.ctx(), 1024, "c");
+    s.read_inputs(&mut sim, a, ta, tb);
+    s.attach(&mut sim, ra, rb, tcs);
+    s.store(&mut sim, c, alpha, beta, rc);
+    sim.run()?;
+
+    let g = s.gemm_cfg();
+    let streams = [
+        StreamDemand::new(a.bank(), 2 * bytes::<T>(n * k * g.tile_cols())),
+        StreamDemand::new(c.bank(), 2 * bytes::<T>(n * n)),
+    ];
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Systolic,
+        &s.estimate::<T>(),
+        3,
+        s.cost::<T>(),
+        &streams,
+    ))
+}
+
+/// SYR2K: `C ← α·(op(A)·op(B)ᵀ + op(B)·op(A)ᵀ) + β·C` on the triangle.
+#[allow(clippy::too_many_arguments)]
+pub fn syr2k<T: Scalar>(
+    fpga: &Fpga,
+    uplo: Uplo,
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &DeviceBuffer<T>,
+    b: &DeviceBuffer<T>,
+    beta: T,
+    c: &DeviceBuffer<T>,
+    shape: SystolicShape,
+    tr: usize,
+    tc: usize,
+) -> Result<TimingEstimate, SimError> {
+    let s = Syr2k::new(n, k, trans, uplo, shape, tr, tc);
+    let mut sim = Simulation::new();
+    s.build(&mut sim, a, b, c, alpha, beta);
+    sim.run()?;
+
+    let g = s.gemm_cfg();
+    let streams = [
+        StreamDemand::new(a.bank(), 2 * bytes::<T>(n * k * g.tile_cols())),
+        StreamDemand::new(b.bank(), 2 * bytes::<T>(n * k * g.tile_cols())),
+        StreamDemand::new(c.bank(), 2 * bytes::<T>(n * n)),
+    ];
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Systolic,
+        &s.estimate::<T>(),
+        5,
+        s.cost::<T>(),
+        &streams,
+    ))
+}
+
+/// TRSM: `B ← α·op(A)⁻¹·B` (Left) or `B ← α·B·op(A)⁻¹` (Right), in
+/// place on the `m × n` buffer `B`.
+#[allow(clippy::too_many_arguments)]
+pub fn trsm<T: Scalar>(
+    fpga: &Fpga,
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &DeviceBuffer<T>,
+    b: &DeviceBuffer<T>,
+    w: usize,
+) -> Result<TimingEstimate, SimError> {
+    let t = Trsm::new(m, n, side, uplo, trans, diag, w);
+    assert_eq!(b.len(), m * n, "trsm: B must be m*n");
+    let ord = t.a_order();
+    assert_eq!(a.len(), ord * ord, "trsm: A dimension");
+
+    let mut sim = Simulation::new();
+    let (ta, ra) = channel(sim.ctx(), 256, "a");
+    let (tb, rb) = channel(sim.ctx(), 256, "b");
+    let (to, ro) = channel(sim.ctx(), 256, "out");
+    read_trsm_triangle(&mut sim, a, ord, uplo, ta);
+    read_matrix(&mut sim, b, m, n, t.b_tiling(), tb, 1);
+    t.attach(&mut sim, alpha, ra, rb, to);
+    write_matrix(&mut sim, b, m, n, t.b_tiling(), ro);
+    sim.run()?;
+
+    let tri = crate::routines::trsv::triangle_len(ord);
+    let streams = [
+        StreamDemand::new(a.bank(), bytes::<T>(tri)),
+        StreamDemand::new(b.bank(), 2 * bytes::<T>(m * n)),
+    ];
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &t.estimate::<T>(),
+        3,
+        t.cost::<T>(),
+        &streams,
+    ))
+}
+
+/// Batched fully unrolled GEMM (paper Table V): `batch` independent
+/// `dim × dim` products streamed through one fully unrolled array.
+/// Buffers hold the matrices contiguously, batch-major.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_batched<T: Scalar>(
+    fpga: &Fpga,
+    dim: usize,
+    batch: usize,
+    alpha: T,
+    a: &DeviceBuffer<T>,
+    b: &DeviceBuffer<T>,
+    beta: T,
+    c: &DeviceBuffer<T>,
+) -> Result<TimingEstimate, SimError> {
+    let sz = dim * dim;
+    assert_eq!(a.len(), batch * sz, "gemm_batched: A length");
+    assert_eq!(b.len(), batch * sz, "gemm_batched: B length");
+    assert_eq!(c.len(), batch * sz, "gemm_batched: C length");
+    let g = Gemm::fully_unrolled(dim);
+
+    let mut sim = Simulation::new();
+    let (ta, ra) = channel(sim.ctx(), 1024, "a");
+    let (tb, rb) = channel(sim.ctx(), 1024, "b");
+    let (tcs, rc) = channel(sim.ctx(), 1024, "c");
+
+    // Batched Read A: per problem, per k, a T_R column block.
+    let a_buf = a.clone();
+    sim.add_module("read_a_batched", fblas_hlssim::ModuleKind::Interface, move || {
+        let data = a_buf.to_host();
+        for p in 0..batch {
+            let base = p * sz;
+            for kk in 0..dim {
+                for i in 0..dim {
+                    ta.push(data[base + i * dim + kk])?;
+                }
+            }
+        }
+        Ok(())
+    });
+    let b_buf = b.clone();
+    sim.add_module("read_b_batched", fblas_hlssim::ModuleKind::Interface, move || {
+        let data = b_buf.to_host();
+        for p in 0..batch {
+            let base = p * sz;
+            for kk in 0..dim {
+                for j in 0..dim {
+                    tb.push(data[base + kk * dim + j])?;
+                }
+            }
+        }
+        Ok(())
+    });
+    g.attach_batched(&mut sim, batch, ra, rb, tcs);
+    let c_buf = c.clone();
+    sim.add_module("store_c_batched", fblas_hlssim::ModuleKind::Interface, move || {
+        let mut out = c_buf.to_host();
+        for p in 0..batch {
+            let base = p * sz;
+            for idx in 0..sz {
+                let acc = rc.pop()?;
+                out[base + idx] = alpha.mul_add(acc, beta * out[base + idx]);
+            }
+        }
+        c_buf.from_host(&out);
+        Ok(())
+    });
+    sim.run()?;
+
+    // Fully unrolled: a new problem enters every k cycles; DRAM traffic
+    // is 3 matrices per problem (plus the C read for β).
+    let est = g.estimate::<T>();
+    let cost = PipelineCost::pipelined(est.latency, (batch * dim) as u64);
+    let streams = [
+        StreamDemand::new(a.bank(), bytes::<T>(batch * sz)),
+        StreamDemand::new(b.bank(), bytes::<T>(batch * sz)),
+        StreamDemand::new(c.bank(), 2 * bytes::<T>(batch * sz)),
+    ];
+    Ok(timing::<T>(fpga, RoutineClass::Systolic, &est, 3, cost, &streams))
+}
+
+/// Batched fully unrolled left-side TRSM (paper Table V): `batch`
+/// independent `dim × dim` solves streamed through one unrolled solver.
+#[allow(clippy::too_many_arguments)]
+pub fn trsm_batched<T: Scalar>(
+    fpga: &Fpga,
+    uplo: Uplo,
+    diag: Diag,
+    dim: usize,
+    batch: usize,
+    alpha: T,
+    a: &DeviceBuffer<T>,
+    b: &DeviceBuffer<T>,
+) -> Result<TimingEstimate, SimError> {
+    let sz = dim * dim;
+    assert_eq!(a.len(), batch * sz, "trsm_batched: A length");
+    assert_eq!(b.len(), batch * sz, "trsm_batched: B length");
+    let t = Trsm::new(dim, dim, Side::Left, uplo, Trans::No, diag, dim);
+
+    let mut sim = Simulation::new();
+    let (ta, ra) = channel(sim.ctx(), 256, "a");
+    let (tb, rb) = channel(sim.ctx(), 256, "b");
+    let (to, ro) = channel(sim.ctx(), 256, "out");
+
+    let tri = crate::routines::trsv::triangle_len(dim);
+    let a_buf = a.clone();
+    sim.add_module("read_a_batched", fblas_hlssim::ModuleKind::Interface, move || {
+        let data = a_buf.to_host();
+        for p in 0..batch {
+            let base = p * sz;
+            for i in 0..dim {
+                let (lo, hi) = match uplo {
+                    Uplo::Lower => (0, i + 1),
+                    Uplo::Upper => (i, dim),
+                };
+                for j in lo..hi {
+                    ta.push(data[base + i * dim + j])?;
+                }
+            }
+        }
+        Ok(())
+    });
+    let b_buf = b.clone();
+    let b_tiling = t.b_tiling();
+    sim.add_module("read_b_batched", fblas_hlssim::ModuleKind::Interface, move || {
+        let data = b_buf.to_host();
+        for p in 0..batch {
+            let base = p * sz;
+            for &(r, c) in &b_tiling.stream_indices(dim, dim) {
+                tb.push(data[base + r * dim + c])?;
+            }
+        }
+        Ok(())
+    });
+    // One solver module per problem round: the module solves its fixed
+    // shape `batch` times.
+    let cfg = t;
+    sim.add_module("trsm_batched", fblas_hlssim::ModuleKind::Compute, move || {
+        for _ in 0..batch {
+            // Inline one-problem solve: triangle then dim RHS columns.
+            let tri_vals = ra.pop_n(tri)?;
+            let at = |i: usize, j: usize| -> T {
+                match uplo {
+                    Uplo::Lower => tri_vals[i * (i + 1) / 2 + j],
+                    Uplo::Upper => {
+                        let start = i * dim - (i * i - i) / 2;
+                        tri_vals[start + (j - i)]
+                    }
+                }
+            };
+            for _rhs in 0..dim {
+                let mut col = rb.pop_n(dim)?;
+                for v in col.iter_mut() {
+                    *v *= alpha;
+                }
+                match uplo {
+                    Uplo::Lower => {
+                        for i in 0..dim {
+                            let mut acc = col[i];
+                            for j in 0..i {
+                                acc -= at(i, j) * col[j];
+                            }
+                            col[i] = match cfg.diag {
+                                Diag::Unit => acc,
+                                Diag::NonUnit => acc / at(i, i),
+                            };
+                        }
+                    }
+                    Uplo::Upper => {
+                        for i in (0..dim).rev() {
+                            let mut acc = col[i];
+                            for j in i + 1..dim {
+                                acc -= at(i, j) * col[j];
+                            }
+                            col[i] = match cfg.diag {
+                                Diag::Unit => acc,
+                                Diag::NonUnit => acc / at(i, i),
+                            };
+                        }
+                    }
+                }
+                to.push_slice(&col)?;
+            }
+        }
+        Ok(())
+    });
+    let out_buf = b.clone();
+    let b_tiling = t.b_tiling();
+    sim.add_module("store_b_batched", fblas_hlssim::ModuleKind::Interface, move || {
+        let mut out = out_buf.to_host();
+        for p in 0..batch {
+            let base = p * sz;
+            for &(r, c) in &b_tiling.stream_indices(dim, dim) {
+                out[base + r * dim + c] = ro.pop()?;
+            }
+        }
+        out_buf.from_host(&out);
+        Ok(())
+    });
+    sim.run()?;
+
+    let est = t.estimate::<T>();
+    let cost = PipelineCost::pipelined(est.latency, (batch * dim) as u64);
+    let streams = [
+        StreamDemand::new(a.bank(), bytes::<T>(batch * tri)),
+        StreamDemand::new(b.bank(), 2 * bytes::<T>(batch * sz)),
+    ];
+    Ok(timing::<T>(fpga, RoutineClass::Systolic, &est, 3, cost, &streams))
+}

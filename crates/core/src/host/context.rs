@@ -1,0 +1,131 @@
+//! The FPGA context: device handle plus memory allocation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use fblas_arch::{Device, MemorySystem};
+
+use super::buffer::DeviceBuffer;
+
+struct FpgaInner {
+    device: Device,
+    memory: MemorySystem,
+    next_bank: AtomicUsize,
+}
+
+/// Handle to a simulated FPGA board: the target device plus its DDR
+/// memory system. Cheap to clone (shared state), so asynchronous calls
+/// can own one.
+#[derive(Clone)]
+pub struct Fpga {
+    inner: Arc<FpgaInner>,
+}
+
+impl Fpga {
+    /// Open a context on the given device with its default memory
+    /// configuration (interleaving disabled, per the paper's BSP note).
+    pub fn new(device: Device) -> Self {
+        Fpga {
+            inner: Arc::new(FpgaInner {
+                device,
+                memory: device.memory(),
+                next_bank: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Open a context with a custom memory system (e.g. interleaving
+    /// enabled for the interleaving ablation).
+    pub fn with_memory(device: Device, memory: MemorySystem) -> Self {
+        Fpga {
+            inner: Arc::new(FpgaInner { device, memory, next_bank: AtomicUsize::new(0) }),
+        }
+    }
+
+    /// The target device.
+    pub fn device(&self) -> Device {
+        self.inner.device
+    }
+
+    /// The DDR memory system.
+    pub fn memory(&self) -> &MemorySystem {
+        &self.inner.memory
+    }
+
+    /// Allocate a zero-initialized buffer, placing it on the next DDR
+    /// bank round-robin (the manual placement a careful user performs
+    /// when interleaving is off).
+    pub fn alloc<T: Clone + Default + Send + Sync + 'static>(
+        &self,
+        name: impl Into<String>,
+        len: usize,
+    ) -> DeviceBuffer<T> {
+        let bank = self.next_bank();
+        DeviceBuffer::zeroed(name, len, bank)
+    }
+
+    /// Allocate a buffer initialized from host data (round-robin bank).
+    pub fn alloc_from<T: Clone + Send + Sync + 'static>(
+        &self,
+        name: impl Into<String>,
+        data: Vec<T>,
+    ) -> DeviceBuffer<T> {
+        let bank = self.next_bank();
+        DeviceBuffer::from_vec(name, data, bank)
+    }
+
+    /// Allocate a buffer on an explicit DDR bank.
+    pub fn alloc_on<T: Clone + Send + Sync + 'static>(
+        &self,
+        name: impl Into<String>,
+        data: Vec<T>,
+        bank: usize,
+    ) -> DeviceBuffer<T> {
+        assert!(bank < self.inner.memory.bank_count(), "bank out of range");
+        DeviceBuffer::from_vec(name, data, bank)
+    }
+
+    fn next_bank(&self) -> usize {
+        self.inner.next_bank.fetch_add(1, Ordering::Relaxed) % self.inner.memory.bank_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_allocation() {
+        let fpga = Fpga::new(Device::Stratix10Gx2800);
+        let banks: Vec<usize> = (0..6)
+            .map(|i| fpga.alloc::<f32>(format!("b{i}"), 4).bank())
+            .collect();
+        assert_eq!(banks, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn explicit_bank_allocation() {
+        let fpga = Fpga::new(Device::Arria10Gx1150);
+        let b = fpga.alloc_on("x", vec![1.0f64, 2.0], 1);
+        assert_eq!(b.bank(), 1);
+        assert_eq!(b.to_host(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bank out of range")]
+    fn invalid_bank_rejected() {
+        let fpga = Fpga::new(Device::Arria10Gx1150); // 2 banks
+        let _ = fpga.alloc_on("x", vec![0.0f32], 5);
+    }
+
+    #[test]
+    fn clones_share_allocation_state() {
+        let fpga = Fpga::new(Device::Arria10Gx1150);
+        let c = fpga.clone();
+        let b0 = fpga.alloc::<f32>("a", 1).bank();
+        let b1 = c.alloc::<f32>("b", 1).bank();
+        assert_ne!(b0, b1, "round-robin continues across clones");
+        assert_eq!(c.device(), Device::Arria10Gx1150);
+        assert_eq!(fpga.memory().bank_count(), 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Asynchronous host calls.
+//!
+//! "Library calls can be synchronous (return when the computation is
+//! done) or asynchronous (return immediately)" (paper Sec. II-B). An
+//! asynchronous call runs the routine's simulation on a worker thread
+//! and hands back an [`Event`] the host can wait on — the OpenCL event
+//! object of the original flow.
+
+use std::thread::JoinHandle;
+
+/// A pending asynchronous host call.
+pub struct Event<R> {
+    handle: JoinHandle<R>,
+}
+
+impl<R: Send + 'static> Event<R> {
+    /// Block until the call completes and return its result.
+    pub fn wait(self) -> R {
+        self.handle.join().expect("asynchronous FBLAS call panicked")
+    }
+
+    /// Whether the call has already finished (non-blocking probe).
+    pub fn is_complete(&self) -> bool {
+        self.handle.is_finished()
+    }
+}
+
+/// Launch a host call asynchronously. The closure should capture a
+/// cloned [`Fpga`](super::Fpga) handle and the buffers it operates on.
+pub fn enqueue<R: Send + 'static>(f: impl FnOnce() -> R + Send + 'static) -> Event<R> {
+    Event { handle: std::thread::spawn(f) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_returns_result() {
+        let e = enqueue(|| 21 * 2);
+        assert_eq!(e.wait(), 42);
+    }
+
+    #[test]
+    fn is_complete_eventually_true() {
+        let e = enqueue(|| ());
+        while !e.is_complete() {
+            std::thread::yield_now();
+        }
+        e.wait();
+    }
+}

@@ -1,0 +1,53 @@
+//! # fblas-core — streaming BLAS for a simulated FPGA
+//!
+//! A complete Rust reproduction of **FBLAS** (De Matteis, de Fine Licht,
+//! Hoefler: *FBLAS: Streaming Linear Algebra on FPGA*, SC 2020), running
+//! on the software dataflow substrate of [`fblas_hlssim`] instead of
+//! synthesized hardware.
+//!
+//! The crate mirrors the paper's two-layer architecture (paper Fig. 1):
+//!
+//! * **HLS modules** ([`routines`]) — independent streaming computational
+//!   entities, one per BLAS routine, with FIFO interfaces and configurable
+//!   vectorization width and tile sizes. All 22 routines of the paper's
+//!   evaluation are implemented: Level 1 (ROTG, ROTMG, ROT, ROTM, SWAP,
+//!   SCAL, COPY, AXPY, DOT, SDSDOT, NRM2, ASUM, IAMAX), Level 2 (GEMV,
+//!   TRSV, GER, SYR, SYR2) and Level 3 (GEMM — 2D systolic —, SYRK,
+//!   SYR2K, TRSM), in single and double precision.
+//! * **Host API** ([`host`]) — classical BLAS calls (`sscal`, `ddot`,
+//!   `sgemv`, `sgemm`, …) operating on simulated device buffers, with
+//!   synchronous and asynchronous variants.
+//!
+//! Around these sit the paper's supporting systems:
+//!
+//! * [`helpers`] — interface modules (DRAM readers/writers for every tile
+//!   order, fan-out, on-chip generators);
+//! * [`tiling`] — 2D tile orders and the I/O-complexity formulas of
+//!   Sec. III-B;
+//! * [`codegen`] — the code-generator analog: JSON routine specifications
+//!   in, validated module configurations and pseudo-OpenCL kernel
+//!   listings out (Sec. II-C);
+//! * [`composition`] — MDAG construction and validity analysis
+//!   (Sec. V): edge validity, multitree detection, required channel
+//!   depths, and I/O-volume accounting;
+//! * [`apps`] — the composed applications of the evaluation (AXPYDOT,
+//!   BICG, ATAX, GEMVER) in streaming and host-layer variants;
+//! * [`perf`] — the performance estimator combining the cycle model,
+//!   frequency model, and memory-bank contention into execution-time
+//!   estimates for Tables IV–VI and Figs. 10–11.
+
+#![allow(clippy::needless_range_loop)] // explicit indices mirror the math
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod codegen;
+pub mod composition;
+pub mod helpers;
+pub mod host;
+pub mod perf;
+pub mod routines;
+pub mod scalar;
+pub mod tiling;
+
+pub use scalar::Scalar;

@@ -1,0 +1,238 @@
+//! Execution-time estimation.
+//!
+//! Combines the paper's models into a per-design time estimate:
+//!
+//! 1. the pipeline cycle count `C = L + I·M` of the configured modules
+//!    (Sec. IV, [`fblas_hlssim::cycles`]);
+//! 2. the achieved clock frequency, derated by resource utilization and
+//!    lifted by HyperFlex where applicable ([`fblas_arch::frequency`]);
+//! 3. the DRAM ceiling: a design cannot consume operands faster than the
+//!    banks its streams touch can deliver them, including bank-sharing
+//!    contention ([`fblas_arch::memory`]).
+//!
+//! The reported time is the maximum of the compute-pipeline time and the
+//! slowest stream's transfer time — the roofline of Sec. IV-B applied to
+//! a whole design.
+
+use fblas_arch::{
+    design_overhead, BankAssignment, Device, FrequencyModel, MemorySystem, PowerModel,
+    ResourceEstimate, Resources, RoutineClass,
+};
+use fblas_hlssim::PipelineCost;
+
+/// Bytes moved by one DRAM stream of a design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamDemand {
+    /// DDR bank the stream touches.
+    pub bank: usize,
+    /// Total bytes transferred over the run.
+    pub bytes: u64,
+}
+
+impl StreamDemand {
+    /// Construct a stream demand.
+    pub fn new(bank: usize, bytes: u64) -> Self {
+        StreamDemand { bank, bytes }
+    }
+}
+
+/// Complete execution-time estimate for a configured design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingEstimate {
+    /// Target device.
+    pub device: Device,
+    /// Estimated execution time in seconds.
+    pub seconds: f64,
+    /// Pipeline cycles of the compute-bound path.
+    pub compute_cycles: u64,
+    /// Achieved clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Whether HyperFlex was applied.
+    pub hyperflex: bool,
+    /// Whether the estimate is memory-bound (DRAM ceiling dominated).
+    pub memory_bound: bool,
+    /// Total design resources, including the per-design overhead.
+    pub resources: Resources,
+    /// Estimated board power in watts.
+    pub power_w: f64,
+}
+
+impl TimingEstimate {
+    /// Time in microseconds (the unit of the paper's Tables IV–VI).
+    pub fn micros(&self) -> f64 {
+        self.seconds * 1.0e6
+    }
+}
+
+/// Estimate the execution time of a design.
+///
+/// * `cost` — the pipeline cost of the design's critical module chain
+///   (use [`fblas_hlssim::streamed_cycles`] for compositions);
+/// * `circuit` — summed resource estimate of all computational modules;
+/// * `interfaces` — number of DRAM interface modules (adds their
+///   resources);
+/// * `streams` — per-stream DRAM traffic with bank placement;
+/// * `class`/`hyperflex` — frequency-model inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_time(
+    device: Device,
+    class: RoutineClass,
+    hyperflex: bool,
+    circuit: &ResourceEstimate,
+    interfaces: usize,
+    elem_bytes: u64,
+    cost: PipelineCost,
+    streams: &[StreamDemand],
+    memory: &MemorySystem,
+) -> TimingEstimate {
+    let model = device.model();
+    let precision = if elem_bytes > 4 {
+        fblas_arch::Precision::Double
+    } else {
+        fblas_arch::Precision::Single
+    };
+    let mut total = circuit.resources + design_overhead(device, hyperflex);
+    for _ in 0..interfaces {
+        total += fblas_arch::interface_module(precision, 16);
+    }
+
+    let util = total.max_utilization(&model.available).min(1.0);
+    let (freq_hz, hyperflex_used) =
+        FrequencyModel::new(device).achieved_hz(class, hyperflex, util);
+
+    let compute_secs = cost.cycles() as f64 / freq_hz;
+
+    // DRAM ceiling. With interleaving, every transfer is striped across
+    // all banks, so the aggregate byte volume moves at the aggregate
+    // bandwidth. Without interleaving, concurrent streams split the
+    // bandwidth of the bank they live on, and the run cannot finish
+    // before the slowest stream has moved its bytes.
+    let mem_secs = if memory.interleaved() {
+        streams.iter().map(|s| s.bytes).sum::<u64>() as f64 / memory.total_bandwidth()
+    } else {
+        let assignments: Vec<BankAssignment> =
+            streams.iter().map(|s| BankAssignment { bank: s.bank }).collect();
+        let bws = memory.stream_bandwidths(&assignments);
+        streams
+            .iter()
+            .zip(&bws)
+            .map(|(s, bw)| s.bytes as f64 / bw)
+            .fold(0.0f64, f64::max)
+    };
+
+    let memory_bound = mem_secs > compute_secs;
+    let seconds = compute_secs.max(mem_secs);
+
+    TimingEstimate {
+        device,
+        seconds,
+        compute_cycles: cost.cycles(),
+        freq_hz,
+        hyperflex: hyperflex_used,
+        memory_bound,
+        resources: total,
+        power_w: PowerModel::new(device).board_power_w(&total),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fblas_arch::{estimate_circuit, CircuitClass, Precision};
+
+    fn dot_setup(w: u64, n: u64) -> (ResourceEstimate, PipelineCost) {
+        let est = estimate_circuit(CircuitClass::MapReduce { w }, Precision::Single);
+        let cost = PipelineCost::pipelined(est.latency, n / w);
+        (est, cost)
+    }
+
+    #[test]
+    fn compute_bound_when_fed_on_chip() {
+        // No DRAM streams: the pipeline time stands alone.
+        let (est, cost) = dot_setup(64, 1 << 24);
+        let mem = Device::Stratix10Gx2800.memory();
+        let t = estimate_time(
+            Device::Stratix10Gx2800,
+            RoutineClass::Streaming,
+            true,
+            &est,
+            0,
+            4,
+            cost,
+            &[],
+            &mem,
+        );
+        assert!(!t.memory_bound);
+        assert!(t.hyperflex);
+        assert!(t.freq_hz > 300.0e6);
+        assert!((t.seconds - t.compute_cycles as f64 / t.freq_hz).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_when_streams_exceed_pipeline() {
+        // Huge W makes compute trivial; DRAM transfer dominates.
+        let n: u64 = 1 << 26;
+        let (est, cost) = dot_setup(256, n);
+        let mem = Device::Stratix10Gx2800.memory();
+        let streams = [StreamDemand::new(0, 4 * n), StreamDemand::new(1, 4 * n)];
+        let t = estimate_time(
+            Device::Stratix10Gx2800,
+            RoutineClass::Streaming,
+            true,
+            &est,
+            2,
+            4,
+            cost,
+            &streams,
+            &mem,
+        );
+        assert!(t.memory_bound);
+        // 2^26 * 4 bytes at 19.2 GB/s ≈ 14 ms.
+        assert!((t.seconds - (4.0 * n as f64) / 19.2e9).abs() / t.seconds < 1e-6);
+    }
+
+    #[test]
+    fn bank_sharing_slows_the_run() {
+        let n: u64 = 1 << 26;
+        let (est, cost) = dot_setup(256, n);
+        let mem = Device::Stratix10Gx2800.memory();
+        let separate = [StreamDemand::new(0, 4 * n), StreamDemand::new(1, 4 * n)];
+        let shared = [StreamDemand::new(0, 4 * n), StreamDemand::new(0, 4 * n)];
+        let args = |s: &[StreamDemand]| {
+            estimate_time(
+                Device::Stratix10Gx2800,
+                RoutineClass::Streaming,
+                true,
+                &est,
+                2,
+                4,
+                cost,
+                s,
+                &mem,
+            )
+        };
+        let t_sep = args(&separate);
+        let t_shared = args(&shared);
+        assert!(t_shared.seconds > 1.9 * t_sep.seconds);
+    }
+
+    #[test]
+    fn power_and_micros_are_populated() {
+        let (est, cost) = dot_setup(16, 1 << 20);
+        let mem = Device::Arria10Gx1150.memory();
+        let t = estimate_time(
+            Device::Arria10Gx1150,
+            RoutineClass::Streaming,
+            false,
+            &est,
+            3,
+            4,
+            cost,
+            &[StreamDemand::new(0, 4 << 20)],
+            &mem,
+        );
+        assert!(t.power_w > 40.0 && t.power_w < 60.0);
+        assert!((t.micros() - t.seconds * 1e6).abs() < 1e-9);
+        assert!(!t.hyperflex, "Arria has no HyperFlex");
+    }
+}

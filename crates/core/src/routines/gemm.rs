@@ -1,0 +1,452 @@
+//! GEMM: 2D systolic matrix-matrix multiply (paper Sec. III-C, Fig. 3).
+//!
+//! A `P_R × P_C` grid of processing elements computes one `T_R × T_C`
+//! tile of `C` at a time (`T_R`, `T_C` multiples of `P_R`, `P_C`): helper
+//! kernels *Read A* / *Read B* fetch operands from DRAM, feeders forward
+//! them along the first row and column of PEs, each PE multiplies and
+//! accumulates one `A`/`B` element pair per clock, and drainers collect
+//! finished tiles toward *Store C*. Each PE has constant fan-out, which
+//! is what lets the design scale to thousands of PEs where naive
+//! unrolling would not (Sec. III-C).
+//!
+//! On Intel FPGAs the paper expresses the whole array as a single kernel
+//! with a fully unrolled PE loop; the simulation mirrors that: one module
+//! performs the systolic schedule (same per-element accumulation order),
+//! with the feed/drain helpers as separate interface modules.
+//!
+//! Matrix dimensions need not divide the tile sizes: feeders zero-pad
+//! the streams at the edges and *Store C* discards padding — exactly how
+//! the hardware handles arbitrary sizes with a fixed array.
+
+use fblas_arch::{estimate_circuit, CircuitClass, ResourceEstimate};
+use fblas_hlssim::{ModuleKind, PipelineCost, Receiver, Sender, Simulation};
+
+use crate::host::buffer::DeviceBuffer;
+use crate::scalar::Scalar;
+
+/// Dimensions of the systolic PE grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SystolicShape {
+    /// PE rows `P_R`.
+    pub pr: usize,
+    /// PE columns `P_C`.
+    pub pc: usize,
+}
+
+impl SystolicShape {
+    /// Create a PE grid shape.
+    ///
+    /// # Panics
+    /// Panics if a dimension is zero.
+    pub fn new(pr: usize, pc: usize) -> Self {
+        assert!(pr >= 1 && pc >= 1, "systolic dimensions must be at least 1");
+        SystolicShape { pr, pc }
+    }
+
+    /// Total processing elements.
+    pub fn pes(&self) -> usize {
+        self.pr * self.pc
+    }
+}
+
+/// Calibration constant of the tile-ratio efficiency model: PEs idle
+/// during tile feed/drain phases, with the lost fraction shrinking
+/// quadratically in the compute/memory tile ratio (fits the Fig. 10
+/// right panel, where large arrays need large memory tiles to approach
+/// expected performance).
+const DRAIN_OVERHEAD: f64 = 2.0;
+
+/// A configured systolic GEMM computing `C ← α·A·B + β·C` with `A` of
+/// shape `n × k`, `B` of shape `k × m`, `C` of shape `n × m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gemm {
+    /// Rows of `C` (and `A`).
+    pub n: usize,
+    /// Columns of `C` (and rows of... columns of `B`).
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// PE grid.
+    pub shape: SystolicShape,
+    /// Memory tile rows `T_R` (multiple of `P_R`).
+    pub tr: usize,
+    /// Memory tile columns `T_C` (multiple of `P_C`).
+    pub tc: usize,
+}
+
+impl Gemm {
+    /// Configure a systolic GEMM.
+    ///
+    /// # Panics
+    /// Panics if the memory tile is not a positive multiple of the PE
+    /// grid in each dimension.
+    pub fn new(n: usize, m: usize, k: usize, shape: SystolicShape, tr: usize, tc: usize) -> Self {
+        assert!(
+            tr >= shape.pr && tr.is_multiple_of(shape.pr),
+            "T_R must be a positive multiple of P_R"
+        );
+        assert!(
+            tc >= shape.pc && tc.is_multiple_of(shape.pc),
+            "T_C must be a positive multiple of P_C"
+        );
+        Gemm { n, m, k, shape, tr, tc }
+    }
+
+    /// A fully unrolled small GEMM (paper Sec. III-A2/Table V): the PE
+    /// grid covers the whole `dim × dim` problem, so a new input can be
+    /// accepted every cycle.
+    pub fn fully_unrolled(dim: usize) -> Self {
+        let shape = SystolicShape::new(dim, dim);
+        Gemm { n: dim, m: dim, k: dim, shape, tr: dim, tc: dim }
+    }
+
+    /// Compute/memory tile ratio `T_R/P_R` (equal to `T_C/P_C` in the
+    /// paper's sweeps when both scale together; the geometric mean covers
+    /// asymmetric configurations).
+    pub fn tile_ratio(&self) -> f64 {
+        let rr = self.tr as f64 / self.shape.pr as f64;
+        let rc = self.tc as f64 / self.shape.pc as f64;
+        (rr * rc).sqrt()
+    }
+
+    /// Number of C-tile rows (zero-padded).
+    pub fn tile_rows(&self) -> usize {
+        self.n.div_ceil(self.tr)
+    }
+
+    /// Number of C-tile columns (zero-padded).
+    pub fn tile_cols(&self) -> usize {
+        self.m.div_ceil(self.tc)
+    }
+
+    /// PE utilization efficiency as a function of the tile ratio:
+    /// `1 / (1 + c/r²)` — small memory tiles spend proportionally more
+    /// cycles feeding and draining (Fig. 10 right).
+    pub fn efficiency(&self) -> f64 {
+        let r = self.tile_ratio();
+        1.0 / (1.0 + DRAIN_OVERHEAD / (r * r))
+    }
+
+    /// Attach the systolic-array module. Streams:
+    ///
+    /// * `ch_a` — per C-tile, per `k`-step: `T_R` column elements of `A`
+    ///   (zero-padded), from [`read_gemm_a`];
+    /// * `ch_b` — per C-tile, per `k`-step: `T_C` row elements of `B`,
+    ///   from [`read_gemm_b`];
+    /// * `ch_c` — per C-tile: `T_R × T_C` accumulated values, row-major
+    ///   drain order, consumed by [`store_c`].
+    pub fn attach<T: Scalar>(
+        &self,
+        sim: &mut Simulation,
+        ch_a: Receiver<T>,
+        ch_b: Receiver<T>,
+        ch_c: Sender<T>,
+    ) {
+        self.attach_batched(sim, 1, ch_a, ch_b, ch_c);
+    }
+
+    /// Attach the systolic module processing `rounds` back-to-back
+    /// problems of this shape from the same streams — the batched mode
+    /// of paper Table V, where a fully unrolled small GEMM starts a new
+    /// problem as soon as the previous one drains.
+    pub fn attach_batched<T: Scalar>(
+        &self,
+        sim: &mut Simulation,
+        rounds: usize,
+        ch_a: Receiver<T>,
+        ch_b: Receiver<T>,
+        ch_c: Sender<T>,
+    ) {
+        let cfg = *self;
+        sim.add_module("gemm_systolic", ModuleKind::Compute, move || {
+            let (tr, tc) = (cfg.tr, cfg.tc);
+            let mut ctile = vec![T::ZERO; tr * tc];
+            for _round in 0..rounds {
+                for _ti in 0..cfg.tile_rows() {
+                    for _tj in 0..cfg.tile_cols() {
+                        ctile.iter_mut().for_each(|v| *v = T::ZERO);
+                        for _kk in 0..cfg.k {
+                            let ablock = ch_a.pop_n(tr)?;
+                            let bblock = ch_b.pop_n(tc)?;
+                            // The PE grid: PE (i mod P_R, j mod P_C)
+                            // performs this MAC; every C element
+                            // accumulates once per k-step, identical to
+                            // the hardware order.
+                            for i in 0..tr {
+                                let a = ablock[i];
+                                let row = &mut ctile[i * tc..(i + 1) * tc];
+                                for (c, b) in row.iter_mut().zip(&bblock) {
+                                    *c = a.mul_add(*b, *c);
+                                }
+                            }
+                        }
+                        ch_c.push_slice(&ctile)?;
+                    }
+                }
+            }
+            Ok(())
+        });
+    }
+
+    /// Circuit resource estimate: the PE array plus the C-tile and
+    /// feeder buffers.
+    pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
+        estimate_circuit(
+            CircuitClass::Systolic { rows: self.shape.pr as u64, cols: self.shape.pc as u64 },
+            T::PRECISION,
+        )
+        // C tile storage plus double-buffered feeders on both edges.
+        .with_buffer((self.tr * self.tc + 2 * (self.tr + self.tc)) as u64, T::PRECISION)
+    }
+
+    /// Pipeline cost: `⌈N/T_R⌉·⌈M/T_C⌉·K·(T_R·T_C)/(P_R·P_C)` MAC steps
+    /// divided by the tile-ratio efficiency.
+    pub fn cost<T: Scalar>(&self) -> PipelineCost {
+        let tiles = (self.tile_rows() * self.tile_cols()) as u64;
+        let per_tile = self.k as u64 * (self.tr * self.tc) as u64 / self.shape.pes() as u64;
+        let ideal = tiles * per_tile;
+        let actual = (ideal as f64 / self.efficiency()).ceil() as u64;
+        PipelineCost::pipelined(self.estimate::<T>().latency, actual)
+    }
+
+    /// Useful floating-point operations (2·N·M·K).
+    pub fn flops(&self) -> u64 {
+        2 * self.n as u64 * self.m as u64 * self.k as u64
+    }
+}
+
+/// Add the *Read A* interface module: for each C-tile, for each `k`,
+/// stream the `T_R` elements `A[ti·T_R .. ti·T_R+T_R][k]` (zero-padded
+/// past row `n`). `A` is `n × k` row-major in `buf`.
+pub fn read_gemm_a<T: Scalar>(
+    sim: &mut Simulation,
+    buf: &DeviceBuffer<T>,
+    cfg: Gemm,
+    tx: Sender<T>,
+) {
+    let buf = buf.clone();
+    sim.add_module("read_a", ModuleKind::Interface, move || {
+        let data = buf.to_host();
+        if data.len() != cfg.n * cfg.k {
+            return Err(fblas_hlssim::SimError::module(
+                "read_a",
+                format!("A holds {} elements, expected {}", data.len(), cfg.n * cfg.k),
+            ));
+        }
+        for ti in 0..cfg.tile_rows() {
+            for _tj in 0..cfg.tile_cols() {
+                for kk in 0..cfg.k {
+                    for i in 0..cfg.tr {
+                        let r = ti * cfg.tr + i;
+                        let v = if r < cfg.n { data[r * cfg.k + kk] } else { T::ZERO };
+                        tx.push(v)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Add the *Read B* interface module: for each C-tile, for each `k`,
+/// stream the `T_C` elements `B[k][tj·T_C .. tj·T_C+T_C]` (zero-padded
+/// past column `m`). `B` is `k × m` row-major in `buf`.
+pub fn read_gemm_b<T: Scalar>(
+    sim: &mut Simulation,
+    buf: &DeviceBuffer<T>,
+    cfg: Gemm,
+    tx: Sender<T>,
+) {
+    let buf = buf.clone();
+    sim.add_module("read_b", ModuleKind::Interface, move || {
+        let data = buf.to_host();
+        if data.len() != cfg.k * cfg.m {
+            return Err(fblas_hlssim::SimError::module(
+                "read_b",
+                format!("B holds {} elements, expected {}", data.len(), cfg.k * cfg.m),
+            ));
+        }
+        for _ti in 0..cfg.tile_rows() {
+            for tj in 0..cfg.tile_cols() {
+                for kk in 0..cfg.k {
+                    for j in 0..cfg.tc {
+                        let c = tj * cfg.tc + j;
+                        let v = if c < cfg.m { data[kk * cfg.m + c] } else { T::ZERO };
+                        tx.push(v)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Add the *Store C* interface module: pops drained `T_R × T_C` tiles,
+/// discards padding, and writes `C ← α·acc + β·C_old` into the row-major
+/// `n × m` buffer.
+pub fn store_c<T: Scalar>(
+    sim: &mut Simulation,
+    buf: &DeviceBuffer<T>,
+    cfg: Gemm,
+    alpha: T,
+    beta: T,
+    rx: Receiver<T>,
+) {
+    let buf = buf.clone();
+    sim.add_module("store_c", ModuleKind::Interface, move || {
+        if buf.len() != cfg.n * cfg.m {
+            return Err(fblas_hlssim::SimError::module(
+                "store_c",
+                format!("C holds {} elements, expected {}", buf.len(), cfg.n * cfg.m),
+            ));
+        }
+        let mut c = buf.to_host();
+        for ti in 0..cfg.tile_rows() {
+            for tj in 0..cfg.tile_cols() {
+                for i in 0..cfg.tr {
+                    for j in 0..cfg.tc {
+                        let acc = rx.pop()?;
+                        let (r, col) = (ti * cfg.tr + i, tj * cfg.tc + j);
+                        if r < cfg.n && col < cfg.m {
+                            let idx = r * cfg.m + col;
+                            c[idx] = alpha.mul_add(acc, beta * c[idx]);
+                        }
+                    }
+                }
+            }
+        }
+        buf.from_host(&c);
+        Ok(())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fblas_hlssim::channel;
+
+    fn seq(n: usize, seed: f64) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64 + seed) * 0.231).sin()).collect()
+    }
+
+    fn dense_gemm(n: usize, m: usize, k: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut c = vec![0.0f64; n * m];
+        for i in 0..n {
+            for l in 0..k {
+                let av = a[i * k + l];
+                for j in 0..m {
+                    c[i * m + j] += av * b[l * m + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn run_gemm(cfg: Gemm, alpha: f64, beta: f64, a: &[f64], b: &[f64], c0: &[f64]) -> Vec<f64> {
+        let mut sim = Simulation::new();
+        let a_buf = DeviceBuffer::from_vec("a", a.to_vec(), 0);
+        let b_buf = DeviceBuffer::from_vec("b", b.to_vec(), 1);
+        let c_buf = DeviceBuffer::from_vec("c", c0.to_vec(), 2);
+        let (ta, ra) = channel(sim.ctx(), 256, "a");
+        let (tb, rb) = channel(sim.ctx(), 256, "b");
+        let (tc, rc) = channel(sim.ctx(), 256, "c");
+        read_gemm_a(&mut sim, &a_buf, cfg, ta);
+        read_gemm_b(&mut sim, &b_buf, cfg, tb);
+        cfg.attach(&mut sim, ra, rb, tc);
+        store_c(&mut sim, &c_buf, cfg, alpha, beta, rc);
+        sim.run().unwrap();
+        c_buf.to_host()
+    }
+
+    fn check(cfg: Gemm, alpha: f64, beta: f64) {
+        let a = seq(cfg.n * cfg.k, 1.0);
+        let b = seq(cfg.k * cfg.m, 2.0);
+        let c0 = seq(cfg.n * cfg.m, 3.0);
+        let got = run_gemm(cfg, alpha, beta, &a, &b, &c0);
+        let prod = dense_gemm(cfg.n, cfg.m, cfg.k, &a, &b);
+        for i in 0..cfg.n * cfg.m {
+            let exp = alpha * prod[i] + beta * c0[i];
+            assert!(
+                (got[i] - exp).abs() < 1e-9,
+                "n={} m={} k={} tr={} tc={} idx {i}: {} vs {exp}",
+                cfg.n,
+                cfg.m,
+                cfg.k,
+                cfg.tr,
+                cfg.tc,
+                got[i]
+            );
+        }
+    }
+
+    #[test]
+    fn exact_tiles() {
+        check(Gemm::new(8, 8, 8, SystolicShape::new(2, 2), 4, 4), 1.0, 0.0);
+    }
+
+    #[test]
+    fn alpha_beta_combination() {
+        check(Gemm::new(4, 6, 5, SystolicShape::new(2, 3), 4, 6), 1.3, 0.6);
+    }
+
+    #[test]
+    fn ragged_edges_are_zero_padded() {
+        check(Gemm::new(7, 5, 3, SystolicShape::new(2, 2), 4, 4), 1.0, 1.0);
+        check(Gemm::new(5, 9, 6, SystolicShape::new(2, 2), 4, 6), 2.0, 0.0);
+    }
+
+    #[test]
+    fn single_pe_grid() {
+        check(Gemm::new(3, 3, 3, SystolicShape::new(1, 1), 3, 3), 1.0, 0.0);
+    }
+
+    #[test]
+    fn fully_unrolled_small() {
+        let cfg = Gemm::fully_unrolled(4);
+        assert_eq!(cfg.shape.pes(), 16);
+        assert_eq!(cfg.tile_ratio(), 1.0);
+        check(cfg, 1.0, 0.0);
+    }
+
+    #[test]
+    fn efficiency_grows_with_tile_ratio() {
+        let shape = SystolicShape::new(4, 4);
+        let small = Gemm::new(64, 64, 64, shape, 4, 4);
+        let big = Gemm::new(64, 64, 64, shape, 32, 32);
+        assert!(big.efficiency() > small.efficiency());
+        assert!(big.efficiency() > 0.95, "ratio 8 should be near peak");
+        assert!(small.efficiency() < 0.4, "ratio 1 pays heavy drain cost");
+    }
+
+    #[test]
+    fn cost_scales_with_problem_and_inverse_pes() {
+        let shape2 = SystolicShape::new(2, 2);
+        let shape4 = SystolicShape::new(4, 4);
+        let small = Gemm::new(64, 64, 64, shape2, 16, 16);
+        let big = Gemm::new(64, 64, 64, shape4, 32, 32);
+        // 4x the PEs at comparable efficiency: ~4x fewer cycles.
+        let r = small.cost::<f32>().cycles() as f64 / big.cost::<f32>().cycles() as f64;
+        assert!(r > 3.0 && r < 5.5, "speedup ratio {r}");
+    }
+
+    #[test]
+    fn estimate_counts_pes_and_tile_buffers() {
+        let cfg = Gemm::new(1024, 1024, 1024, SystolicShape::new(8, 4), 32, 16);
+        let e = cfg.estimate::<f32>();
+        assert_eq!(e.resources.dsps, 32, "one DSP per PE in f32");
+        assert!(e.resources.m20ks >= 1);
+        let ed = cfg.estimate::<f64>();
+        assert_eq!(ed.resources.dsps, 128, "4 DSPs per PE in f64");
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(Gemm::new(4, 5, 6, SystolicShape::new(1, 1), 4, 5).flops(), 240);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of P_R")]
+    fn tile_must_be_multiple_of_grid() {
+        let _ = Gemm::new(8, 8, 8, SystolicShape::new(3, 2), 4, 4);
+    }
+}

@@ -1,0 +1,514 @@
+//! GEMV: streaming matrix-vector multiply (paper Sec. III-B, Fig. 2).
+//!
+//! The way `A` is tiled and streamed determines which vector operand must
+//! be *replayed* and therefore the routine's I/O complexity — the paper's
+//! central Level-2 example. Four variants are provided:
+//!
+//! | variant             | computes      | `A` stream        | replayed operand |
+//! |---------------------|---------------|-------------------|------------------|
+//! | [`RowStreamed`]     | `αAx + βy`    | tiles by rows     | `x` (⌈N/T_N⌉×)   |
+//! | [`ColStreamed`]     | `αAx + βy`    | tiles by columns  | `y` (⌈M/T_M⌉×)   |
+//! | [`TransRowStreamed`]| `αAᵀx + βy`   | tiles by rows     | `y` (⌈N/T_N⌉×)   |
+//! | [`TransColStreamed`]| `αAᵀx + βy`   | tiles by columns  | `x` (⌈M/T_M⌉×)   |
+//!
+//! `x`-replay is performed by the *interface* module re-reading DRAM
+//! (legal); `y`-replay writes partial results out and re-reads them —
+//! the [`replay_vector_through_memory`](crate::helpers::writers)
+//! helper. A compute module can never replay (Sec. V edge-validity), which
+//! is what makes certain compositions (BICG) work only with matching
+//! variants.
+//!
+//! [`RowStreamed`]: GemvVariant::RowStreamed
+//! [`ColStreamed`]: GemvVariant::ColStreamed
+//! [`TransRowStreamed`]: GemvVariant::TransRowStreamed
+//! [`TransColStreamed`]: GemvVariant::TransColStreamed
+
+use fblas_arch::{estimate_circuit, CircuitClass, ResourceEstimate};
+use fblas_hlssim::{ModuleKind, PipelineCost, Receiver, Sender, SimError, Simulation};
+
+use super::validate_width;
+use crate::scalar::{tree_sum, Scalar};
+use crate::tiling::{gemv_io_tiles_by_cols, gemv_io_tiles_by_rows, TileOrder, Tiling};
+
+/// Streaming/compute variant of the GEMV module (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GemvVariant {
+    /// `y = αAx + βy`, `A` in tiles by rows (paper Fig. 2 left).
+    RowStreamed,
+    /// `y = αAx + βy`, `A` in tiles by columns (paper Fig. 2 right).
+    ColStreamed,
+    /// `y = αAᵀx + βy`, `A` in tiles by rows.
+    TransRowStreamed,
+    /// `y = αAᵀx + βy`, `A` in tiles by columns.
+    TransColStreamed,
+}
+
+impl GemvVariant {
+    /// Does this variant apply the transpose of the streamed matrix?
+    pub fn transposed(self) -> bool {
+        matches!(self, GemvVariant::TransRowStreamed | GemvVariant::TransColStreamed)
+    }
+}
+
+/// A configured GEMV module over an `n × m` matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gemv {
+    /// Streaming variant.
+    pub variant: GemvVariant,
+    /// Rows of the stored matrix `A`.
+    pub n: usize,
+    /// Columns of the stored matrix `A`.
+    pub m: usize,
+    /// Tile height `T_N`.
+    pub tn: usize,
+    /// Tile width `T_M`.
+    pub tm: usize,
+    /// Vectorization width `W`.
+    pub w: usize,
+}
+
+impl Gemv {
+    /// Configure a GEMV module.
+    ///
+    /// # Panics
+    /// Panics if `w` or a tile dimension is zero.
+    pub fn new(variant: GemvVariant, n: usize, m: usize, tn: usize, tm: usize, w: usize) -> Self {
+        validate_width(w);
+        assert!(tn >= 1 && tm >= 1, "tile dimensions must be at least 1");
+        Gemv { variant, n, m, tn, tm, w }
+    }
+
+    /// The tiling the `A` reader must use to feed this module.
+    pub fn a_tiling(&self) -> Tiling {
+        let order = match self.variant {
+            GemvVariant::RowStreamed | GemvVariant::TransRowStreamed => TileOrder::RowTilesRowMajor,
+            GemvVariant::ColStreamed | GemvVariant::TransColStreamed => TileOrder::ColTilesRowMajor,
+        };
+        Tiling::new(self.tn, self.tm, order)
+    }
+
+    /// Number of tile rows `⌈N/T_N⌉`.
+    pub fn tile_rows(&self) -> usize {
+        self.n.div_ceil(self.tn)
+    }
+
+    /// Number of tile columns `⌈M/T_M⌉`.
+    pub fn tile_cols(&self) -> usize {
+        self.m.div_ceil(self.tm)
+    }
+
+    /// Length of the `x` operand (input vector).
+    pub fn x_len(&self) -> usize {
+        if self.variant.transposed() {
+            self.n
+        } else {
+            self.m
+        }
+    }
+
+    /// Length of the `y` operand (output vector).
+    pub fn y_len(&self) -> usize {
+        if self.variant.transposed() {
+            self.m
+        } else {
+            self.n
+        }
+    }
+
+    /// How many times the interface module must send `x` (replay count).
+    pub fn x_repetitions(&self) -> usize {
+        match self.variant {
+            GemvVariant::RowStreamed => self.tile_rows(),
+            GemvVariant::ColStreamed => 1,
+            GemvVariant::TransRowStreamed => 1,
+            GemvVariant::TransColStreamed => self.tile_cols(),
+        }
+    }
+
+    /// How many rounds `y` makes through the module (1 = streamed once;
+    /// >1 = partial results replayed through memory).
+    pub fn y_rounds(&self) -> usize {
+        match self.variant {
+            GemvVariant::RowStreamed => 1,
+            GemvVariant::ColStreamed => self.tile_cols(),
+            GemvVariant::TransRowStreamed => self.tile_rows(),
+            GemvVariant::TransColStreamed => 1,
+        }
+    }
+
+    /// Total I/O operations of this configuration (paper Sec. III-B).
+    pub fn io_ops(&self) -> u64 {
+        match self.variant {
+            GemvVariant::RowStreamed => gemv_io_tiles_by_rows(self.n, self.m, self.tn),
+            GemvVariant::ColStreamed => gemv_io_tiles_by_cols(self.n, self.m, self.tm),
+            // Transposed variants are the mirror images.
+            GemvVariant::TransColStreamed => gemv_io_tiles_by_cols(self.m, self.n, self.tm),
+            GemvVariant::TransRowStreamed => gemv_io_tiles_by_rows(self.m, self.n, self.tn),
+        }
+    }
+
+    /// Attach the module.
+    ///
+    /// * `ch_a` — matrix stream in the order of [`a_tiling`](Self::a_tiling);
+    /// * `ch_x` — input vector, sent [`x_repetitions`](Self::x_repetitions)
+    ///   times;
+    /// * `ch_y_in` — incoming `y` (original values on the first round,
+    ///   partials on later rounds);
+    /// * `ch_y_out` — outgoing `y` blocks ([`y_rounds`](Self::y_rounds)
+    ///   rounds; the last round carries the final result).
+    #[allow(clippy::too_many_arguments)]
+    pub fn attach<T: Scalar>(
+        &self,
+        sim: &mut Simulation,
+        alpha: T,
+        beta: T,
+        ch_a: Receiver<T>,
+        ch_x: Receiver<T>,
+        ch_y_in: Receiver<T>,
+        ch_y_out: Sender<T>,
+    ) {
+        let cfg = *self;
+        let name = if cfg.variant.transposed() { "gemv_t" } else { "gemv" };
+        sim.add_module(name, ModuleKind::Compute, move || match cfg.variant {
+            GemvVariant::RowStreamed => cfg.run_row_streamed(alpha, beta, &ch_a, &ch_x, &ch_y_in, &ch_y_out),
+            GemvVariant::ColStreamed => cfg.run_col_streamed(alpha, beta, &ch_a, &ch_x, &ch_y_in, &ch_y_out),
+            GemvVariant::TransRowStreamed => {
+                cfg.run_trans_row_streamed(alpha, beta, &ch_a, &ch_x, &ch_y_in, &ch_y_out)
+            }
+            GemvVariant::TransColStreamed => {
+                cfg.run_trans_col_streamed(alpha, beta, &ch_a, &ch_x, &ch_y_in, &ch_y_out)
+            }
+        });
+    }
+
+    /// Dot of one within-tile matrix row segment against an `x` block,
+    /// W-chunked with the hardware's tree-reduction order.
+    fn row_dot<T: Scalar>(
+        &self,
+        ch_a: &Receiver<T>,
+        xblock: &[T],
+    ) -> Result<T, SimError> {
+        let mut acc = T::ZERO;
+        let mut products = Vec::with_capacity(self.w);
+        let mut j = 0;
+        while j < xblock.len() {
+            let take = (xblock.len() - j).min(self.w);
+            products.clear();
+            for x in &xblock[j..j + take] {
+                products.push(ch_a.pop()? * *x);
+            }
+            acc += tree_sum(&products);
+            j += take;
+        }
+        Ok(acc)
+    }
+
+    fn run_row_streamed<T: Scalar>(
+        &self,
+        alpha: T,
+        beta: T,
+        ch_a: &Receiver<T>,
+        ch_x: &Receiver<T>,
+        ch_y_in: &Receiver<T>,
+        ch_y_out: &Sender<T>,
+    ) -> Result<(), SimError> {
+        for bi in 0..self.tile_rows() {
+            let rows = tile_extent(bi, self.tn, self.n);
+            let y0 = ch_y_in.pop_n(rows)?;
+            let mut acc = vec![T::ZERO; rows];
+            for bj in 0..self.tile_cols() {
+                let cols = tile_extent(bj, self.tm, self.m);
+                let xblock = ch_x.pop_n(cols)?;
+                for a in acc.iter_mut().take(rows) {
+                    *a += self.row_dot(ch_a, &xblock)?;
+                }
+            }
+            for i in 0..rows {
+                ch_y_out.push(alpha.mul_add(acc[i], beta * y0[i]))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn run_col_streamed<T: Scalar>(
+        &self,
+        alpha: T,
+        beta: T,
+        ch_a: &Receiver<T>,
+        ch_x: &Receiver<T>,
+        ch_y_in: &Receiver<T>,
+        ch_y_out: &Sender<T>,
+    ) -> Result<(), SimError> {
+        for bj in 0..self.tile_cols() {
+            let cols = tile_extent(bj, self.tm, self.m);
+            let xblock = ch_x.pop_n(cols)?;
+            for bi in 0..self.tile_rows() {
+                let rows = tile_extent(bi, self.tn, self.n);
+                let mut yp = ch_y_in.pop_n(rows)?;
+                if bj == 0 {
+                    for v in yp.iter_mut() {
+                        *v *= beta;
+                    }
+                }
+                for ypi in yp.iter_mut().take(rows) {
+                    let acc = self.row_dot(ch_a, &xblock)?;
+                    *ypi = alpha.mul_add(acc, *ypi);
+                }
+                ch_y_out.push_slice(&yp)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn run_trans_row_streamed<T: Scalar>(
+        &self,
+        alpha: T,
+        beta: T,
+        ch_a: &Receiver<T>,
+        ch_x: &Receiver<T>,
+        ch_y_in: &Receiver<T>,
+        ch_y_out: &Sender<T>,
+    ) -> Result<(), SimError> {
+        for bi in 0..self.tile_rows() {
+            let rows = tile_extent(bi, self.tn, self.n);
+            let xblock = ch_x.pop_n(rows)?;
+            for bj in 0..self.tile_cols() {
+                let cols = tile_extent(bj, self.tm, self.m);
+                let mut yp = ch_y_in.pop_n(cols)?;
+                if bi == 0 {
+                    for v in yp.iter_mut() {
+                        *v *= beta;
+                    }
+                }
+                // Tile-local accumulation: tacc[j] = Σ_i a_ij·x_i.
+                let mut tacc = vec![T::ZERO; cols];
+                for xi in xblock.iter().take(rows) {
+                    for t in tacc.iter_mut().take(cols) {
+                        let a = ch_a.pop()?;
+                        *t = a.mul_add(*xi, *t);
+                    }
+                }
+                for j in 0..cols {
+                    yp[j] = alpha.mul_add(tacc[j], yp[j]);
+                }
+                ch_y_out.push_slice(&yp)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn run_trans_col_streamed<T: Scalar>(
+        &self,
+        alpha: T,
+        beta: T,
+        ch_a: &Receiver<T>,
+        ch_x: &Receiver<T>,
+        ch_y_in: &Receiver<T>,
+        ch_y_out: &Sender<T>,
+    ) -> Result<(), SimError> {
+        for bj in 0..self.tile_cols() {
+            let cols = tile_extent(bj, self.tm, self.m);
+            let mut acc = vec![T::ZERO; cols];
+            for bi in 0..self.tile_rows() {
+                let rows = tile_extent(bi, self.tn, self.n);
+                let xblock = ch_x.pop_n(rows)?;
+                for xi in xblock.iter().take(rows) {
+                    for a_j in acc.iter_mut().take(cols) {
+                        let a = ch_a.pop()?;
+                        *a_j = a.mul_add(*xi, *a_j);
+                    }
+                }
+            }
+            let y0 = ch_y_in.pop_n(cols)?;
+            for j in 0..cols {
+                ch_y_out.push(alpha.mul_add(acc[j], beta * y0[j]))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Circuit resource estimate: the `W`-wide reduction datapath plus
+    /// the on-chip tile buffers for the vector operands.
+    pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
+        estimate_circuit(CircuitClass::MapReduce { w: self.w as u64 }, T::PRECISION)
+            // x-block and y-block tile buffers.
+            .with_buffer((self.tm + self.tn) as u64, T::PRECISION)
+    }
+
+    /// Pipeline cost: the matrix stream dominates — `M = ⌈N·M/W⌉`
+    /// iterations at `I = 1`.
+    pub fn cost<T: Scalar>(&self) -> PipelineCost {
+        let elems = self.n as u64 * self.m as u64;
+        PipelineCost::pipelined(self.estimate::<T>().latency, elems.div_ceil(self.w as u64))
+    }
+}
+
+/// Extent of tile `b` of size `t` over an axis of length `total`
+/// (handles the ragged last tile).
+fn tile_extent(b: usize, t: usize, total: usize) -> usize {
+    let start = b * t;
+    t.min(total - start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::{read_matrix, read_vector_replayed};
+    use crate::helpers::writers::{replay_vector_through_memory, write_vector};
+    use crate::host::buffer::DeviceBuffer;
+    use fblas_hlssim::channel;
+
+    #[allow(clippy::too_many_arguments)]
+    fn dense_gemv(trans: bool, n: usize, m: usize, alpha: f64, a: &[f64], x: &[f64], beta: f64, y: &[f64]) -> Vec<f64> {
+        if !trans {
+            (0..n)
+                .map(|i| {
+                    let acc: f64 = (0..m).map(|j| a[i * m + j] * x[j]).sum();
+                    alpha * acc + beta * y[i]
+                })
+                .collect()
+        } else {
+            (0..m)
+                .map(|j| {
+                    let acc: f64 = (0..n).map(|i| a[i * m + j] * x[i]).sum();
+                    alpha * acc + beta * y[j]
+                })
+                .collect()
+        }
+    }
+
+    fn seq(n: usize, seed: f64) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64 + seed) * 0.437).sin()).collect()
+    }
+
+    /// Run a full reader→gemv→writer pipeline and return y.
+    fn run_gemv(cfg: Gemv, alpha: f64, beta: f64, a: &[f64], x: &[f64], y: &[f64]) -> Vec<f64> {
+        let mut sim = Simulation::new();
+        let a_buf = DeviceBuffer::from_vec("a", a.to_vec(), 0);
+        let x_buf = DeviceBuffer::from_vec("x", x.to_vec(), 0);
+        let y_buf = DeviceBuffer::from_vec("y", y.to_vec(), 0);
+        let out_buf = DeviceBuffer::<f64>::zeroed("y_out", cfg.y_len(), 0);
+
+        let (ta, ra) = channel(sim.ctx(), 64, "a");
+        let (txv, rxv) = channel(sim.ctx(), 64, "x");
+        let (ty_in, ry_in) = channel(sim.ctx(), 64, "y_in");
+        let (ty_out, ry_out) = channel(sim.ctx(), 64, "y_out");
+
+        read_matrix(&mut sim, &a_buf, cfg.n, cfg.m, cfg.a_tiling(), ta, 1);
+        read_vector_replayed(&mut sim, &x_buf, txv, cfg.x_repetitions());
+        cfg.attach(&mut sim, alpha, beta, ra, rxv, ry_in, ty_out);
+        if cfg.y_rounds() == 1 {
+            crate::helpers::read_vector(&mut sim, &y_buf, ty_in);
+            write_vector(&mut sim, &out_buf, cfg.y_len(), ry_out);
+        } else {
+            replay_vector_through_memory(
+                &mut sim,
+                &y_buf,
+                &out_buf,
+                cfg.y_len(),
+                cfg.y_rounds(),
+                ty_in,
+                ry_out,
+            );
+        }
+        sim.run().unwrap();
+        out_buf.to_host()
+    }
+
+    fn check_variant(variant: GemvVariant, n: usize, m: usize, tn: usize, tm: usize, w: usize) {
+        let cfg = Gemv::new(variant, n, m, tn, tm, w);
+        let a = seq(n * m, 1.0);
+        let x = seq(cfg.x_len(), 2.0);
+        let y = seq(cfg.y_len(), 3.0);
+        let (alpha, beta) = (1.3, 0.7);
+        let got = run_gemv(cfg, alpha, beta, &a, &x, &y);
+        let exp = dense_gemv(variant.transposed(), n, m, alpha, &a, &x, beta, &y);
+        for i in 0..got.len() {
+            assert!(
+                (got[i] - exp[i]).abs() < 1e-9,
+                "{variant:?} n={n} m={m} tn={tn} tm={tm} w={w} idx {i}: {} vs {}",
+                got[i],
+                exp[i]
+            );
+        }
+    }
+
+    #[test]
+    fn row_streamed_exact_tiles() {
+        check_variant(GemvVariant::RowStreamed, 8, 12, 4, 6, 2);
+    }
+
+    #[test]
+    fn row_streamed_ragged_tiles() {
+        check_variant(GemvVariant::RowStreamed, 7, 11, 3, 4, 4);
+    }
+
+    #[test]
+    fn col_streamed_exact_and_ragged() {
+        check_variant(GemvVariant::ColStreamed, 8, 12, 4, 6, 3);
+        check_variant(GemvVariant::ColStreamed, 9, 10, 4, 3, 2);
+    }
+
+    #[test]
+    fn trans_row_streamed() {
+        check_variant(GemvVariant::TransRowStreamed, 8, 12, 4, 6, 2);
+        check_variant(GemvVariant::TransRowStreamed, 7, 5, 3, 2, 1);
+    }
+
+    #[test]
+    fn trans_col_streamed() {
+        check_variant(GemvVariant::TransColStreamed, 8, 12, 4, 6, 4);
+        check_variant(GemvVariant::TransColStreamed, 5, 9, 2, 4, 2);
+    }
+
+    #[test]
+    fn single_tile_covers_whole_matrix() {
+        check_variant(GemvVariant::RowStreamed, 6, 8, 6, 8, 2);
+        check_variant(GemvVariant::ColStreamed, 6, 8, 6, 8, 2);
+    }
+
+    #[test]
+    fn replay_counts_match_paper() {
+        let g = Gemv::new(GemvVariant::RowStreamed, 1024, 2048, 256, 512, 16);
+        assert_eq!(g.x_repetitions(), 4); // ⌈1024/256⌉
+        assert_eq!(g.y_rounds(), 1);
+        let g = Gemv::new(GemvVariant::ColStreamed, 1024, 2048, 256, 512, 16);
+        assert_eq!(g.x_repetitions(), 1);
+        assert_eq!(g.y_rounds(), 4); // ⌈2048/512⌉
+    }
+
+    #[test]
+    fn io_complexities_match_section3b() {
+        let (n, m, t) = (1024usize, 1024usize, 128usize);
+        let row = Gemv::new(GemvVariant::RowStreamed, n, m, t, t, 16).io_ops();
+        let col = Gemv::new(GemvVariant::ColStreamed, n, m, t, t, 16).io_ops();
+        assert_eq!(row, (n * m + m * (n / t) + 2 * n) as u64);
+        assert_eq!(col, (n * m + m + 2 * n * (m / t)) as u64);
+    }
+
+    #[test]
+    fn estimate_includes_tile_buffers() {
+        let g = Gemv::new(GemvVariant::RowStreamed, 4096, 4096, 1024, 1024, 16);
+        let e = g.estimate::<f32>();
+        assert!(e.resources.m20ks >= 4, "tile buffers in M20K: {}", e.resources.m20ks);
+        assert_eq!(e.resources.dsps, 16);
+    }
+
+    #[test]
+    fn cost_counts_matrix_stream() {
+        let g = Gemv::new(GemvVariant::RowStreamed, 1024, 1024, 256, 256, 16);
+        assert_eq!(g.cost::<f32>().iterations, 1024 * 1024 / 16);
+    }
+
+    #[test]
+    fn a_tiling_orders() {
+        assert!(Gemv::new(GemvVariant::RowStreamed, 4, 4, 2, 2, 1)
+            .a_tiling()
+            .order
+            .tiles_by_rows());
+        assert!(!Gemv::new(GemvVariant::ColStreamed, 4, 4, 2, 2, 1)
+            .a_tiling()
+            .order
+            .tiles_by_rows());
+    }
+}

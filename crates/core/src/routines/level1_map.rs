@@ -1,0 +1,523 @@
+//! Level-1 map-class modules: SCAL, COPY, SWAP, AXPY, ROT, ROTM.
+//!
+//! These routines apply independent per-element operations (paper
+//! Sec. IV-A classifies them as *map* computations): the inner loop is
+//! unrolled `W`-wide into independent lanes, so circuit work grows
+//! linearly in `W` while circuit depth stays constant — the SCAL column
+//! of Table I.
+
+use fblas_arch::{estimate_circuit, CircuitClass, ResourceEstimate};
+use fblas_hlssim::{ModuleKind, PipelineCost, Receiver, Sender, Simulation};
+
+use super::{outer_iterations, validate_width};
+use crate::scalar::Scalar;
+
+/// SCAL: stream `x` through a `W`-lane multiplier, producing `α·x`
+/// (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scal {
+    /// Vector length.
+    pub n: usize,
+    /// Vectorization width `W`.
+    pub w: usize,
+}
+
+impl Scal {
+    /// Configure a SCAL module.
+    pub fn new(n: usize, w: usize) -> Self {
+        validate_width(w);
+        Scal { n, w }
+    }
+
+    /// Attach the module: pops `n` from `ch_x`, pushes `n` scaled values.
+    pub fn attach<T: Scalar>(
+        &self,
+        sim: &mut Simulation,
+        alpha: T,
+        ch_x: Receiver<T>,
+        ch_out: Sender<T>,
+    ) {
+        let Scal { n, w } = *self;
+        sim.add_module("scal", ModuleKind::Compute, move || {
+            let mut remaining = n;
+            while remaining > 0 {
+                let take = remaining.min(w);
+                // One outer iteration: W independent multiply lanes.
+                for _ in 0..take {
+                    let x = ch_x.pop()?;
+                    ch_out.push(alpha * x)?;
+                }
+                remaining -= take;
+            }
+            Ok(())
+        });
+    }
+
+    /// Circuit resource estimate (Table I SCAL coefficients).
+    pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
+        estimate_circuit(CircuitClass::Map { w: self.w as u64, ops_per_lane: 1 }, T::PRECISION)
+    }
+
+    /// Pipeline cost: `C = L + ⌈N/W⌉`.
+    pub fn cost<T: Scalar>(&self) -> PipelineCost {
+        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+    }
+}
+
+/// COPY: forward `x` unchanged (used to preserve an input the classic
+/// BLAS sequence would overwrite, e.g. in AXPYDOT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VecCopy {
+    /// Vector length.
+    pub n: usize,
+    /// Vectorization width `W`.
+    pub w: usize,
+}
+
+impl VecCopy {
+    /// Configure a COPY module.
+    pub fn new(n: usize, w: usize) -> Self {
+        validate_width(w);
+        VecCopy { n, w }
+    }
+
+    /// Attach the module: pops `n` elements, pushes them unchanged.
+    pub fn attach<T: Scalar>(&self, sim: &mut Simulation, ch_x: Receiver<T>, ch_out: Sender<T>) {
+        let n = self.n;
+        sim.add_module("copy", ModuleKind::Compute, move || {
+            for _ in 0..n {
+                ch_out.push(ch_x.pop()?)?;
+            }
+            Ok(())
+        });
+    }
+
+    /// Circuit resource estimate: pure routing, no arithmetic lanes.
+    pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
+        estimate_circuit(CircuitClass::Map { w: self.w as u64, ops_per_lane: 0 }, T::PRECISION)
+    }
+
+    /// Pipeline cost: `C = L + ⌈N/W⌉`.
+    pub fn cost<T: Scalar>(&self) -> PipelineCost {
+        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+    }
+}
+
+/// SWAP: exchange two streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Swap {
+    /// Vector length.
+    pub n: usize,
+    /// Vectorization width `W`.
+    pub w: usize,
+}
+
+impl Swap {
+    /// Configure a SWAP module.
+    pub fn new(n: usize, w: usize) -> Self {
+        validate_width(w);
+        Swap { n, w }
+    }
+
+    /// Attach the module: forwards `x` to `out_y` and `y` to `out_x`.
+    pub fn attach<T: Scalar>(
+        &self,
+        sim: &mut Simulation,
+        ch_x: Receiver<T>,
+        ch_y: Receiver<T>,
+        ch_out_x: Sender<T>,
+        ch_out_y: Sender<T>,
+    ) {
+        let n = self.n;
+        sim.add_module("swap", ModuleKind::Compute, move || {
+            for _ in 0..n {
+                let x = ch_x.pop()?;
+                let y = ch_y.pop()?;
+                ch_out_x.push(y)?;
+                ch_out_y.push(x)?;
+            }
+            Ok(())
+        });
+    }
+
+    /// Circuit resource estimate: routing only.
+    pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
+        estimate_circuit(CircuitClass::Map { w: self.w as u64, ops_per_lane: 0 }, T::PRECISION)
+    }
+
+    /// Pipeline cost: `C = L + ⌈N/W⌉`.
+    pub fn cost<T: Scalar>(&self) -> PipelineCost {
+        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+    }
+}
+
+/// AXPY: `out = α·x + y`, one fused multiply-add lane per width unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Axpy {
+    /// Vector length.
+    pub n: usize,
+    /// Vectorization width `W`.
+    pub w: usize,
+}
+
+impl Axpy {
+    /// Configure an AXPY module.
+    pub fn new(n: usize, w: usize) -> Self {
+        validate_width(w);
+        Axpy { n, w }
+    }
+
+    /// Attach the module: pops `n` from `x` and `y`, pushes `α·x + y`.
+    pub fn attach<T: Scalar>(
+        &self,
+        sim: &mut Simulation,
+        alpha: T,
+        ch_x: Receiver<T>,
+        ch_y: Receiver<T>,
+        ch_out: Sender<T>,
+    ) {
+        let n = self.n;
+        sim.add_module("axpy", ModuleKind::Compute, move || {
+            for _ in 0..n {
+                let x = ch_x.pop()?;
+                let y = ch_y.pop()?;
+                ch_out.push(alpha.mul_add(x, y))?;
+            }
+            Ok(())
+        });
+    }
+
+    /// Circuit resource estimate: `W` fused mul-add lanes, one DSP each.
+    pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
+        estimate_circuit(
+            CircuitClass::MapFused { w: self.w as u64, macs_per_lane: 1 },
+            T::PRECISION,
+        )
+    }
+
+    /// Pipeline cost: `C = L + ⌈N/W⌉`.
+    pub fn cost<T: Scalar>(&self) -> PipelineCost {
+        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+    }
+}
+
+/// ROT: apply a plane rotation to a pair of streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rot {
+    /// Vector length.
+    pub n: usize,
+    /// Vectorization width `W`.
+    pub w: usize,
+}
+
+impl Rot {
+    /// Configure a ROT module.
+    pub fn new(n: usize, w: usize) -> Self {
+        validate_width(w);
+        Rot { n, w }
+    }
+
+    /// Attach the module: `x' = c·x + s·y`, `y' = c·y − s·x`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn attach<T: Scalar>(
+        &self,
+        sim: &mut Simulation,
+        c: T,
+        s: T,
+        ch_x: Receiver<T>,
+        ch_y: Receiver<T>,
+        ch_out_x: Sender<T>,
+        ch_out_y: Sender<T>,
+    ) {
+        let n = self.n;
+        sim.add_module("rot", ModuleKind::Compute, move || {
+            for _ in 0..n {
+                let x = ch_x.pop()?;
+                let y = ch_y.pop()?;
+                ch_out_x.push(c.mul_add(x, s * y))?;
+                ch_out_y.push(c.mul_add(y, -(s * x)))?;
+            }
+            Ok(())
+        });
+    }
+
+    /// Circuit resource estimate: two fused mul-add pairs per lane.
+    pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
+        estimate_circuit(
+            CircuitClass::MapFused { w: self.w as u64, macs_per_lane: 2 },
+            T::PRECISION,
+        )
+    }
+
+    /// Pipeline cost: `C = L + ⌈N/W⌉`.
+    pub fn cost<T: Scalar>(&self) -> PipelineCost {
+        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+    }
+}
+
+/// ROTM: apply a modified Givens transformation (netlib `param`
+/// encoding: `[flag, h11, h21, h12, h22]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rotm {
+    /// Vector length.
+    pub n: usize,
+    /// Vectorization width `W`.
+    pub w: usize,
+}
+
+/// Decode a netlib ROTM `param` array into the effective 2×2 matrix
+/// `(h11, h12, h21, h22)`, or `None` for the identity flag.
+pub fn decode_rotm_param<T: Scalar>(param: &[T; 5]) -> Option<(T, T, T, T)> {
+    let flag = param[0].to_f64();
+    if flag == -2.0 {
+        None
+    } else if flag == -1.0 {
+        Some((param[1], param[3], param[2], param[4]))
+    } else if flag == 0.0 {
+        Some((T::ONE, param[3], param[2], T::ONE))
+    } else {
+        // flag == 1.0
+        Some((param[1], T::ONE, -T::ONE, param[4]))
+    }
+}
+
+impl Rotm {
+    /// Configure a ROTM module.
+    pub fn new(n: usize, w: usize) -> Self {
+        validate_width(w);
+        Rotm { n, w }
+    }
+
+    /// Attach the module: applies H to the `(x, y)` stream pair.
+    pub fn attach<T: Scalar>(
+        &self,
+        sim: &mut Simulation,
+        param: [T; 5],
+        ch_x: Receiver<T>,
+        ch_y: Receiver<T>,
+        ch_out_x: Sender<T>,
+        ch_out_y: Sender<T>,
+    ) {
+        let n = self.n;
+        sim.add_module("rotm", ModuleKind::Compute, move || {
+            match decode_rotm_param(&param) {
+                None => {
+                    for _ in 0..n {
+                        ch_out_x.push(ch_x.pop()?)?;
+                        ch_out_y.push(ch_y.pop()?)?;
+                    }
+                }
+                Some((h11, h12, h21, h22)) => {
+                    for _ in 0..n {
+                        let x = ch_x.pop()?;
+                        let y = ch_y.pop()?;
+                        ch_out_x.push(x * h11 + y * h12)?;
+                        ch_out_y.push(x * h21 + y * h22)?;
+                    }
+                }
+            }
+            Ok(())
+        });
+    }
+
+    /// Circuit resource estimate: two fused mul-add pairs per lane.
+    pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
+        estimate_circuit(
+            CircuitClass::MapFused { w: self.w as u64, macs_per_lane: 2 },
+            T::PRECISION,
+        )
+    }
+
+    /// Pipeline cost: `C = L + ⌈N/W⌉`.
+    pub fn cost<T: Scalar>(&self) -> PipelineCost {
+        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fblas_hlssim::channel;
+
+    fn run_unary<T: Scalar>(
+        n: usize,
+        input: Vec<T>,
+        attach: impl FnOnce(&mut Simulation, Receiver<T>, Sender<T>),
+    ) -> Vec<T> {
+        let mut sim = Simulation::new();
+        let (tx_in, rx_in) = channel(sim.ctx(), 16, "in");
+        let (tx_out, rx_out) = channel(sim.ctx(), 16, "out");
+        sim.add_module("src", ModuleKind::Interface, move || tx_in.push_slice(&input));
+        attach(&mut sim, rx_in, tx_out);
+        let out = DeviceCollect::new(n);
+        let sink = out.clone();
+        sim.add_module("sink", ModuleKind::Interface, move || sink.fill(rx_out));
+        sim.run().unwrap();
+        out.take()
+    }
+
+    /// Small helper collecting module output in tests.
+    #[derive(Clone)]
+    struct DeviceCollect<T> {
+        data: std::sync::Arc<parking_lot::Mutex<Vec<T>>>,
+        n: usize,
+    }
+
+    impl<T: Scalar> DeviceCollect<T> {
+        fn new(n: usize) -> Self {
+            DeviceCollect { data: Default::default(), n }
+        }
+        fn fill(&self, rx: Receiver<T>) -> Result<(), fblas_hlssim::SimError> {
+            let v = rx.pop_n(self.n)?;
+            *self.data.lock() = v;
+            Ok(())
+        }
+        fn take(&self) -> Vec<T> {
+            std::mem::take(&mut self.data.lock())
+        }
+    }
+
+    #[test]
+    fn scal_scales() {
+        let out = run_unary(5, vec![1.0f32, 2.0, 3.0, 4.0, 5.0], |sim, rx, tx| {
+            Scal::new(5, 2).attach(sim, 3.0, rx, tx);
+        });
+        assert_eq!(out, vec![3.0, 6.0, 9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn scal_zero_length() {
+        let out = run_unary(0, Vec::<f64>::new(), |sim, rx, tx| {
+            Scal::new(0, 4).attach(sim, 2.0, rx, tx);
+        });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn copy_forwards() {
+        let out = run_unary(3, vec![1.5f64, -2.5, 0.0], |sim, rx, tx| {
+            VecCopy::new(3, 8).attach(sim, rx, tx);
+        });
+        assert_eq!(out, vec![1.5, -2.5, 0.0]);
+    }
+
+    #[test]
+    fn swap_crosses_streams() {
+        let mut sim = Simulation::new();
+        let (txx, rxx) = channel(sim.ctx(), 8, "x");
+        let (txy, rxy) = channel(sim.ctx(), 8, "y");
+        let (tox, rox) = channel(sim.ctx(), 8, "ox");
+        let (toy, roy) = channel(sim.ctx(), 8, "oy");
+        sim.add_module("sx", ModuleKind::Interface, move || txx.push_slice(&[1.0f32, 2.0]));
+        sim.add_module("sy", ModuleKind::Interface, move || txy.push_slice(&[9.0f32, 8.0]));
+        Swap::new(2, 1).attach(&mut sim, rxx, rxy, tox, toy);
+        sim.add_module("cx", ModuleKind::Interface, move || {
+            assert_eq!(rox.pop_n(2)?, vec![9.0, 8.0]);
+            Ok(())
+        });
+        sim.add_module("cy", ModuleKind::Interface, move || {
+            assert_eq!(roy.pop_n(2)?, vec![1.0, 2.0]);
+            Ok(())
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn axpy_fused() {
+        let mut sim = Simulation::new();
+        let (txx, rxx) = channel(sim.ctx(), 8, "x");
+        let (txy, rxy) = channel(sim.ctx(), 8, "y");
+        let (to, ro) = channel(sim.ctx(), 8, "o");
+        sim.add_module("sx", ModuleKind::Interface, move || txx.push_slice(&[1.0f64, 2.0, 3.0]));
+        sim.add_module("sy", ModuleKind::Interface, move || txy.push_slice(&[10.0f64, 20.0, 30.0]));
+        Axpy::new(3, 2).attach(&mut sim, 2.0, rxx, rxy, to);
+        sim.add_module("c", ModuleKind::Interface, move || {
+            assert_eq!(ro.pop_n(3)?, vec![12.0, 24.0, 36.0]);
+            Ok(())
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn rot_preserves_norm() {
+        let mut sim = Simulation::new();
+        let theta = 0.6f64;
+        let (c, s) = (theta.cos(), theta.sin());
+        let (txx, rxx) = channel(sim.ctx(), 8, "x");
+        let (txy, rxy) = channel(sim.ctx(), 8, "y");
+        let (tox, rox) = channel(sim.ctx(), 8, "ox");
+        let (toy, roy) = channel(sim.ctx(), 8, "oy");
+        sim.add_module("sx", ModuleKind::Interface, move || txx.push_slice(&[3.0f64]));
+        sim.add_module("sy", ModuleKind::Interface, move || txy.push_slice(&[4.0f64]));
+        Rot::new(1, 1).attach(&mut sim, c, s, rxx, rxy, tox, toy);
+        sim.add_module("check", ModuleKind::Interface, move || {
+            let x = rox.pop()?;
+            let y = roy.pop()?;
+            assert!((x * x + y * y - 25.0).abs() < 1e-12);
+            Ok(())
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn rotm_flag_variants() {
+        // Identity flag forwards unchanged.
+        assert_eq!(decode_rotm_param(&[-2.0f64, 1.0, 2.0, 3.0, 4.0]), None);
+        // Full matrix uses all four entries.
+        assert_eq!(
+            decode_rotm_param(&[-1.0f64, 1.0, 2.0, 3.0, 4.0]),
+            Some((1.0, 3.0, 2.0, 4.0))
+        );
+        // Off-diagonal has implicit ones.
+        assert_eq!(
+            decode_rotm_param(&[0.0f64, 9.0, 2.0, 3.0, 9.0]),
+            Some((1.0, 3.0, 2.0, 1.0))
+        );
+        // Diagonal has implicit ±1 off-diagonal.
+        assert_eq!(
+            decode_rotm_param(&[1.0f64, 5.0, 9.0, 9.0, 6.0]),
+            Some((5.0, 1.0, -1.0, 6.0))
+        );
+    }
+
+    #[test]
+    fn rotm_applies_full_matrix() {
+        let mut sim = Simulation::new();
+        let (txx, rxx) = channel(sim.ctx(), 8, "x");
+        let (txy, rxy) = channel(sim.ctx(), 8, "y");
+        let (tox, rox) = channel(sim.ctx(), 8, "ox");
+        let (toy, roy) = channel(sim.ctx(), 8, "oy");
+        sim.add_module("sx", ModuleKind::Interface, move || txx.push_slice(&[1.0f64, 0.0]));
+        sim.add_module("sy", ModuleKind::Interface, move || txy.push_slice(&[0.0f64, 1.0]));
+        // param = [-1, h11=1, h21=3, h12=2, h22=4].
+        Rotm::new(2, 1).attach(&mut sim, [-1.0, 1.0, 3.0, 2.0, 4.0], rxx, rxy, tox, toy);
+        sim.add_module("check", ModuleKind::Interface, move || {
+            assert_eq!(rox.pop_n(2)?, vec![1.0, 2.0]); // columns of H
+            assert_eq!(roy.pop_n(2)?, vec![3.0, 4.0]);
+            Ok(())
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn estimates_scale_with_width() {
+        let small = Scal::new(1024, 4).estimate::<f32>();
+        let big = Scal::new(1024, 16).estimate::<f32>();
+        assert_eq!(big.resources.dsps, 4 * small.resources.dsps);
+        assert_eq!(small.latency, big.latency, "map latency is W-independent");
+        // AXPY uses one DSP per lane (fused mul-add).
+        assert_eq!(Axpy::new(10, 8).estimate::<f32>().resources.dsps, 8);
+        // Copy/Swap burn no DSPs.
+        assert_eq!(VecCopy::new(10, 8).estimate::<f32>().resources.dsps, 0);
+        assert_eq!(Swap::new(10, 8).estimate::<f64>().resources.dsps, 0);
+    }
+
+    #[test]
+    fn costs_follow_c_equals_l_plus_m() {
+        let scal = Scal::new(1000, 4);
+        let cost = scal.cost::<f32>();
+        assert_eq!(cost.iterations, 250);
+        assert_eq!(cost.initiation_interval, 1);
+        assert_eq!(cost.cycles(), scal.estimate::<f32>().latency + 250);
+    }
+}

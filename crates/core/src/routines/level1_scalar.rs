@@ -1,0 +1,298 @@
+//! Level-1 scalar-only modules: ROTG and ROTMG.
+//!
+//! These construct Givens rotations from a handful of scalars — no
+//! vectorization applies. Their circuits are dominated by a divider and
+//! (for ROTG) a square root, and they exist in FBLAS for completeness of
+//! the Level-1 interface.
+
+use fblas_arch::{OpCosts, ResourceEstimate, Resources};
+use fblas_hlssim::{ModuleKind, PipelineCost, Receiver, Sender, Simulation};
+
+use crate::scalar::Scalar;
+
+/// ROTG: pops `(a, b)`, pushes `(r, z, c, s)` of the Givens rotation
+/// annihilating `b` (netlib semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rotg;
+
+/// Compute the Givens rotation `(r, z, c, s)` for `(a, b)` —
+/// the arithmetic shared by the module and the host layer.
+pub fn rotg_kernel<T: Scalar>(a: T, b: T) -> (T, T, T, T) {
+    let roe = if a.abs() > b.abs() { a } else { b };
+    let scale = a.abs() + b.abs();
+    if scale == T::ZERO {
+        return (T::ZERO, T::ZERO, T::ONE, T::ZERO);
+    }
+    let sa = a / scale;
+    let sb = b / scale;
+    let r = (scale * (sa * sa + sb * sb).sqrt()).copysign(roe);
+    let c = a / r;
+    let s = b / r;
+    let z = if a.abs() > b.abs() {
+        s
+    } else if c != T::ZERO {
+        T::ONE / c
+    } else {
+        T::ONE
+    };
+    (r, z, c, s)
+}
+
+impl Rotg {
+    /// Attach the module.
+    pub fn attach<T: Scalar>(&self, sim: &mut Simulation, ch_in: Receiver<T>, ch_out: Sender<T>) {
+        sim.add_module("rotg", ModuleKind::Compute, move || {
+            let a = ch_in.pop()?;
+            let b = ch_in.pop()?;
+            let (r, z, c, s) = rotg_kernel(a, b);
+            ch_out.push(r)?;
+            ch_out.push(z)?;
+            ch_out.push(c)?;
+            ch_out.push(s)?;
+            Ok(())
+        });
+    }
+
+    /// Circuit resource estimate: two dividers and a square root.
+    pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
+        let div = OpCosts::div(T::PRECISION);
+        let sqrt = OpCosts::sqrt(T::PRECISION);
+        let luts = 2 * div.luts + sqrt.luts;
+        ResourceEstimate {
+            luts,
+            resources: Resources::from_luts(
+                luts,
+                2 * div.ffs + sqrt.ffs,
+                0,
+                2 * div.dsps + sqrt.dsps,
+            ),
+            latency: div.latency + sqrt.latency,
+        }
+    }
+
+    /// Pipeline cost: a single iteration through the scalar datapath.
+    pub fn cost<T: Scalar>(&self) -> PipelineCost {
+        PipelineCost::pipelined(self.estimate::<T>().latency, 1)
+    }
+}
+
+/// ROTMG: pops `(d1, d2, x1, y1)`, pushes
+/// `(d1', d2', x1', flag, h11, h21, h12, h22)` — the netlib `param`
+/// layout flattened onto the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rotmg;
+
+/// The ROTMG arithmetic: returns `(d1, d2, x1, param)` with `param` in
+/// netlib order `[flag, h11, h21, h12, h22]`.
+pub fn rotmg_kernel<T: Scalar>(mut d1: T, mut d2: T, mut x1: T, y1: T) -> (T, T, T, [T; 5]) {
+    let gam = T::from_f64(4096.0);
+    let gamsq = gam * gam;
+    let rgamsq = T::ONE / gamsq;
+
+    let zeroed = |_: ()| {
+        (
+            T::ZERO,
+            T::ZERO,
+            T::ZERO,
+            [-T::ONE, T::ZERO, T::ZERO, T::ZERO, T::ZERO],
+        )
+    };
+
+    if d1 < T::ZERO {
+        return zeroed(());
+    }
+    let p2 = d2 * y1;
+    if p2 == T::ZERO {
+        return (d1, d2, x1, [-(T::ONE + T::ONE), T::ZERO, T::ZERO, T::ZERO, T::ZERO]);
+    }
+    let p1 = d1 * x1;
+    let q2 = p2 * y1;
+    let q1 = p1 * x1;
+
+    let mut flag;
+    let (mut h11, mut h12, mut h21, mut h22);
+    if q1.abs() > q2.abs() {
+        h21 = -y1 / x1;
+        h12 = p2 / p1;
+        let u = T::ONE - h12 * h21;
+        if u <= T::ZERO {
+            return zeroed(());
+        }
+        flag = T::ZERO;
+        d1 /= u;
+        d2 /= u;
+        x1 *= u;
+        h11 = T::ONE;
+        h22 = T::ONE;
+    } else {
+        if q2 < T::ZERO {
+            return zeroed(());
+        }
+        flag = T::ONE;
+        h11 = p1 / p2;
+        h22 = x1 / y1;
+        let u = T::ONE + h11 * h22;
+        let tmp = d2 / u;
+        d2 = d1 / u;
+        d1 = tmp;
+        x1 = y1 * u;
+        h12 = T::ONE;
+        h21 = -T::ONE;
+    }
+
+    while d1 != T::ZERO && (d1 <= rgamsq || d1 >= gamsq) {
+        flag = -T::ONE;
+        if d1 <= rgamsq {
+            d1 *= gamsq;
+            x1 /= gam;
+            h11 /= gam;
+            h12 /= gam;
+        } else {
+            d1 /= gamsq;
+            x1 *= gam;
+            h11 *= gam;
+            h12 *= gam;
+        }
+    }
+    while d2 != T::ZERO && (d2.abs() <= rgamsq || d2.abs() >= gamsq) {
+        flag = -T::ONE;
+        if d2.abs() <= rgamsq {
+            d2 *= gamsq;
+            h21 /= gam;
+            h22 /= gam;
+        } else {
+            d2 /= gamsq;
+            h21 *= gam;
+            h22 *= gam;
+        }
+    }
+
+    // Blank out implicit entries per flag, netlib-style.
+    let param = if flag.to_f64() == 0.0 {
+        [flag, T::ZERO, h21, h12, T::ZERO]
+    } else if flag.to_f64() == 1.0 {
+        [flag, h11, T::ZERO, T::ZERO, h22]
+    } else {
+        [flag, h11, h21, h12, h22]
+    };
+    (d1, d2, x1, param)
+}
+
+impl Rotmg {
+    /// Attach the module.
+    pub fn attach<T: Scalar>(&self, sim: &mut Simulation, ch_in: Receiver<T>, ch_out: Sender<T>) {
+        sim.add_module("rotmg", ModuleKind::Compute, move || {
+            let d1 = ch_in.pop()?;
+            let d2 = ch_in.pop()?;
+            let x1 = ch_in.pop()?;
+            let y1 = ch_in.pop()?;
+            let (d1, d2, x1, param) = rotmg_kernel(d1, d2, x1, y1);
+            for v in [d1, d2, x1] {
+                ch_out.push(v)?;
+            }
+            for v in param {
+                ch_out.push(v)?;
+            }
+            Ok(())
+        });
+    }
+
+    /// Circuit resource estimate: several dividers and the rescaling
+    /// comparators.
+    pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
+        let div = OpCosts::div(T::PRECISION);
+        let luts = 4 * div.luts + 600;
+        ResourceEstimate {
+            luts,
+            resources: Resources::from_luts(luts, 4 * div.ffs + 1200, 0, 4 * div.dsps),
+            latency: 2 * div.latency,
+        }
+    }
+
+    /// Pipeline cost: a single iteration through the scalar datapath.
+    pub fn cost<T: Scalar>(&self) -> PipelineCost {
+        PipelineCost::pipelined(self.estimate::<T>().latency, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fblas_hlssim::channel;
+
+    #[test]
+    fn rotg_module_streams_result() {
+        let mut sim = Simulation::new();
+        let (ti, ri) = channel(sim.ctx(), 4, "in");
+        let (to, ro) = channel(sim.ctx(), 4, "out");
+        sim.add_module("src", ModuleKind::Interface, move || ti.push_slice(&[3.0f64, 4.0]));
+        Rotg.attach(&mut sim, ri, to);
+        sim.add_module("check", ModuleKind::Interface, move || {
+            let v = ro.pop_n(4)?;
+            let (r, _z, c, s) = (v[0], v[1], v[2], v[3]);
+            assert!((r.abs() - 5.0).abs() < 1e-12);
+            assert!((c * 4.0 - s * 3.0 - (c * 4.0 - s * 3.0)).abs() < 1e-12);
+            assert!((-s * 3.0 + c * 4.0).abs() < 1e-12, "b must be annihilated");
+            Ok(())
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn rotg_kernel_zero_case() {
+        let (r, z, c, s) = rotg_kernel(0.0f32, 0.0);
+        assert_eq!((r, z, c, s), (0.0, 0.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn rotmg_kernel_annihilates() {
+        for &(d1, d2, x1, y1) in
+            &[(2.0f64, 3.0, 1.5, 0.5), (1.0, 1.0, 1.0, 2.0), (0.5, 4.0, -1.0, 0.25)]
+        {
+            let (_d1n, _d2n, x1n, param) = rotmg_kernel(d1, d2, x1, y1);
+            let dec = crate::routines::level1_map::decode_rotm_param(&param).unwrap();
+            let (h11, h12, h21, h22) = dec;
+            let xr = x1 * h11 + y1 * h12;
+            let yr = x1 * h21 + y1 * h22;
+            assert!(yr.abs() < 1e-10, "({d1},{d2},{x1},{y1}): yr = {yr}");
+            assert!((xr - x1n).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rotmg_module_streams_eight_outputs() {
+        let mut sim = Simulation::new();
+        let (ti, ri) = channel(sim.ctx(), 4, "in");
+        let (to, ro) = channel(sim.ctx(), 8, "out");
+        sim.add_module("src", ModuleKind::Interface, move || {
+            ti.push_slice(&[2.0f64, 3.0, 1.5, 0.5])
+        });
+        Rotmg.attach(&mut sim, ri, to);
+        sim.add_module("check", ModuleKind::Interface, move || {
+            let v = ro.pop_n(8)?;
+            // d1', d2' positive, flag is one of {-2,-1,0,1}.
+            assert!(v[0] > 0.0 && v[1] > 0.0);
+            assert!([-2.0, -1.0, 0.0, 1.0].contains(&v[3]));
+            Ok(())
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn rotmg_negative_d1_zeroes() {
+        let (d1, d2, x1, param) = rotmg_kernel(-1.0f64, 1.0, 1.0, 1.0);
+        assert_eq!((d1, d2, x1), (0.0, 0.0, 0.0));
+        assert_eq!(param[0], -1.0);
+    }
+
+    #[test]
+    fn estimates_have_div_and_sqrt_costs() {
+        let rg = Rotg.estimate::<f32>();
+        assert!(rg.resources.dsps >= 6);
+        assert!(rg.latency >= 50);
+        let rm = Rotmg.estimate::<f64>();
+        assert!(rm.resources.dsps >= 8);
+        assert_eq!(Rotg.cost::<f32>().iterations, 1);
+        assert_eq!(Rotmg.cost::<f32>().iterations, 1);
+    }
+}

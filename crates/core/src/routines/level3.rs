@@ -1,0 +1,820 @@
+//! Level-3 routines beyond GEMM: SYRK, SYR2K, TRSM.
+//!
+//! Per the paper (Sec. VI), specialized matrix structure is "implemented
+//! in terms of the generic routines": SYRK and SYR2K reuse the systolic
+//! GEMM datapath with transposed-role readers and a triangle-aware
+//! *Store C*; TRSM buffers the triangular factor on-chip and streams the
+//! right-hand sides through a solve datapath.
+
+use fblas_arch::{estimate_circuit, CircuitClass, OpCosts, ResourceEstimate};
+use fblas_hlssim::{ModuleKind, PipelineCost, Receiver, Sender, Simulation};
+
+use super::gemm::{Gemm, SystolicShape};
+use super::trsv::triangle_len;
+use super::{validate_width, Diag, Trans, Uplo};
+use crate::host::buffer::DeviceBuffer;
+use crate::scalar::Scalar;
+use crate::tiling::{TileOrder, Tiling};
+
+/// Side of the triangular factor in TRSM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Side {
+    /// Solve `op(A)·X = α·B`.
+    Left,
+    /// Solve `X·op(A) = α·B`.
+    Right,
+}
+
+/// SYRK: `C ← α·op(A)·op(A)ᵀ + β·C` on the `uplo` triangle, computed on
+/// the systolic GEMM array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Syrk {
+    /// Order of `C`.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// `No`: `A` is `n × k`, computes `A·Aᵀ`. `Yes`: `A` is `k × n`,
+    /// computes `Aᵀ·A`.
+    pub trans: Trans,
+    /// Updated triangle.
+    pub uplo: Uplo,
+    /// PE grid.
+    pub shape: SystolicShape,
+    /// Memory tile rows.
+    pub tr: usize,
+    /// Memory tile columns.
+    pub tc: usize,
+}
+
+impl Syrk {
+    /// Configure a SYRK.
+    pub fn new(
+        n: usize,
+        k: usize,
+        trans: Trans,
+        uplo: Uplo,
+        shape: SystolicShape,
+        tr: usize,
+        tc: usize,
+    ) -> Self {
+        // Dimension checks are delegated to the underlying GEMM config.
+        let _ = Gemm::new(n, n, k, shape, tr, tc);
+        Syrk { n, k, trans, uplo, shape, tr, tc }
+    }
+
+    /// The underlying systolic GEMM configuration (`C` is `n × n`).
+    pub fn gemm_cfg(&self) -> Gemm {
+        Gemm::new(self.n, self.n, self.k, self.shape, self.tr, self.tc)
+    }
+
+    /// Attach the compute module (the systolic array itself).
+    pub fn attach<T: Scalar>(
+        &self,
+        sim: &mut Simulation,
+        ch_a: Receiver<T>,
+        ch_b: Receiver<T>,
+        ch_c: Sender<T>,
+    ) {
+        self.gemm_cfg().attach(sim, ch_a, ch_b, ch_c);
+    }
+
+    /// Add the two operand readers: the same `A` buffer streamed in the
+    /// GEMM "A role" and, transposed, in the "B role".
+    pub fn read_inputs<T: Scalar>(
+        &self,
+        sim: &mut Simulation,
+        a_buf: &DeviceBuffer<T>,
+        tx_a: Sender<T>,
+        tx_b: Sender<T>,
+    ) {
+        let cfg = self.gemm_cfg();
+        let trans = self.trans;
+        let (n, k) = (self.n, self.k);
+        let a1 = a_buf.clone();
+        sim.add_module("read_syrk_a", ModuleKind::Interface, move || {
+            let data = a1.to_host();
+            let get = |r: usize, kk: usize| -> T {
+                match trans {
+                    Trans::No => data[r * k + kk],    // A is n×k
+                    Trans::Yes => data[kk * n + r],   // A is k×n
+                }
+            };
+            stream_a_role(&cfg, get, &tx_a)
+        });
+        let a2 = a_buf.clone();
+        sim.add_module("read_syrk_b", ModuleKind::Interface, move || {
+            let data = a2.to_host();
+            // B role carries op(A)ᵀ: element (kk, c) = op(A)[c][kk].
+            let get = |kk: usize, c: usize| -> T {
+                match trans {
+                    Trans::No => data[c * k + kk],
+                    Trans::Yes => data[kk * n + c],
+                }
+            };
+            stream_b_role(&cfg, get, &tx_b)
+        });
+    }
+
+    /// Add the triangle-aware *Store C*: `C ← α·acc + β·C` inside the
+    /// `uplo` triangle; elements outside are left untouched (BLAS
+    /// semantics: the other triangle is not referenced).
+    pub fn store<T: Scalar>(
+        &self,
+        sim: &mut Simulation,
+        c_buf: &DeviceBuffer<T>,
+        alpha: T,
+        beta: T,
+        rx: Receiver<T>,
+    ) {
+        store_triangle(sim, c_buf, self.gemm_cfg(), self.uplo, alpha, beta, rx);
+    }
+
+    /// Circuit resource estimate (the systolic array).
+    pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
+        self.gemm_cfg().estimate::<T>()
+    }
+
+    /// Pipeline cost (full-array schedule; the generic implementation
+    /// computes both triangles and keeps one).
+    pub fn cost<T: Scalar>(&self) -> PipelineCost {
+        self.gemm_cfg().cost::<T>()
+    }
+}
+
+/// SYR2K: `C ← α·(A·Bᵀ + B·Aᵀ) + β·C` on the `uplo` triangle, computed
+/// as two systolic products drained into a combining store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Syr2k {
+    /// Order of `C`.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// `No`: operands are `n × k`. `Yes`: operands are `k × n` and the
+    /// products transpose (`AᵀB + BᵀA`).
+    pub trans: Trans,
+    /// Updated triangle.
+    pub uplo: Uplo,
+    /// PE grid (used by each of the two products).
+    pub shape: SystolicShape,
+    /// Memory tile rows.
+    pub tr: usize,
+    /// Memory tile columns.
+    pub tc: usize,
+}
+
+impl Syr2k {
+    /// Configure a SYR2K.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        n: usize,
+        k: usize,
+        trans: Trans,
+        uplo: Uplo,
+        shape: SystolicShape,
+        tr: usize,
+        tc: usize,
+    ) -> Self {
+        let _ = Gemm::new(n, n, k, shape, tr, tc);
+        Syr2k { n, k, trans, uplo, shape, tr, tc }
+    }
+
+    /// The GEMM configuration of each of the two products.
+    pub fn gemm_cfg(&self) -> Gemm {
+        Gemm::new(self.n, self.n, self.k, self.shape, self.tr, self.tc)
+    }
+
+    /// Attach the full SYR2K pipeline: readers for both products, two
+    /// systolic modules, and the combining triangle store. This is a
+    /// streaming composition of two GEMM modules executing in parallel —
+    /// inter-module parallelism on one configured design (Sec. V).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build<T: Scalar>(
+        &self,
+        sim: &mut Simulation,
+        a_buf: &DeviceBuffer<T>,
+        b_buf: &DeviceBuffer<T>,
+        c_buf: &DeviceBuffer<T>,
+        alpha: T,
+        beta: T,
+    ) {
+        let cfg = self.gemm_cfg();
+        let trans = self.trans;
+        let (n, k) = (self.n, self.k);
+
+        // op(A)·op(B)ᵀ product.
+        let (ta1, ra1) = fblas_hlssim::channel(sim.ctx(), 256, "syr2k_a1");
+        let (tb1, rb1) = fblas_hlssim::channel(sim.ctx(), 256, "syr2k_b1");
+        let (tc1, rc1) = fblas_hlssim::channel(sim.ctx(), 256, "syr2k_c1");
+        // op(B)·op(A)ᵀ product.
+        let (ta2, ra2) = fblas_hlssim::channel(sim.ctx(), 256, "syr2k_a2");
+        let (tb2, rb2) = fblas_hlssim::channel(sim.ctx(), 256, "syr2k_b2");
+        let (tc2, rc2) = fblas_hlssim::channel(sim.ctx(), 256, "syr2k_c2");
+
+        let op_get = move |data: &[T], r: usize, kk: usize| -> T {
+            match trans {
+                Trans::No => data[r * k + kk],
+                Trans::Yes => data[kk * n + r],
+            }
+        };
+
+        let (a1, b1) = (a_buf.clone(), b_buf.clone());
+        sim.add_module("read_syr2k_a1", ModuleKind::Interface, move || {
+            let d = a1.to_host();
+            stream_a_role(&cfg, |r, kk| op_get(&d, r, kk), &ta1)
+        });
+        sim.add_module("read_syr2k_b1", ModuleKind::Interface, move || {
+            let d = b1.to_host();
+            stream_b_role(&cfg, |kk, c| op_get(&d, c, kk), &tb1)
+        });
+        let (a2, b2) = (a_buf.clone(), b_buf.clone());
+        sim.add_module("read_syr2k_a2", ModuleKind::Interface, move || {
+            let d = b2.to_host();
+            stream_a_role(&cfg, |r, kk| op_get(&d, r, kk), &ta2)
+        });
+        sim.add_module("read_syr2k_b2", ModuleKind::Interface, move || {
+            let d = a2.to_host();
+            stream_b_role(&cfg, |kk, c| op_get(&d, c, kk), &tb2)
+        });
+
+        cfg.attach(sim, ra1, rb1, tc1);
+        cfg.attach(sim, ra2, rb2, tc2);
+
+        // Combining store: C ← α(acc1 + acc2) + βC on the triangle.
+        let c = c_buf.clone();
+        let uplo = self.uplo;
+        sim.add_module("store_syr2k", ModuleKind::Interface, move || {
+            let mut out = c.to_host();
+            for ti in 0..cfg.tile_rows() {
+                for tj in 0..cfg.tile_cols() {
+                    for i in 0..cfg.tr {
+                        for j in 0..cfg.tc {
+                            let acc = rc1.pop()? + rc2.pop()?;
+                            let (r, col) = (ti * cfg.tr + i, tj * cfg.tc + j);
+                            if r < cfg.n && col < cfg.m {
+                                let in_tri = match uplo {
+                                    Uplo::Upper => col >= r,
+                                    Uplo::Lower => col <= r,
+                                };
+                                if in_tri {
+                                    let idx = r * cfg.m + col;
+                                    out[idx] = alpha.mul_add(acc, beta * out[idx]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            c.from_host(&out);
+            Ok(())
+        });
+    }
+
+    /// Circuit resource estimate: two systolic arrays.
+    pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
+        let one = self.gemm_cfg().estimate::<T>();
+        one.merge(one)
+    }
+
+    /// Pipeline cost: the two products run in parallel.
+    pub fn cost<T: Scalar>(&self) -> PipelineCost {
+        self.gemm_cfg().cost::<T>()
+    }
+}
+
+/// Stream a matrix in the GEMM "A role" order (per C-tile, per k: a
+/// `T_R` column block) using an element getter, zero-padding the edges.
+fn stream_a_role<T: Scalar>(
+    cfg: &Gemm,
+    get: impl Fn(usize, usize) -> T,
+    tx: &Sender<T>,
+) -> Result<(), fblas_hlssim::SimError> {
+    for ti in 0..cfg.tile_rows() {
+        for _tj in 0..cfg.tile_cols() {
+            for kk in 0..cfg.k {
+                for i in 0..cfg.tr {
+                    let r = ti * cfg.tr + i;
+                    let v = if r < cfg.n { get(r, kk) } else { T::ZERO };
+                    tx.push(v)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Stream a matrix in the GEMM "B role" order (per C-tile, per k: a
+/// `T_C` row block) using an element getter, zero-padding the edges.
+fn stream_b_role<T: Scalar>(
+    cfg: &Gemm,
+    get: impl Fn(usize, usize) -> T,
+    tx: &Sender<T>,
+) -> Result<(), fblas_hlssim::SimError> {
+    for _ti in 0..cfg.tile_rows() {
+        for tj in 0..cfg.tile_cols() {
+            for kk in 0..cfg.k {
+                for j in 0..cfg.tc {
+                    let c = tj * cfg.tc + j;
+                    let v = if c < cfg.m { get(kk, c) } else { T::ZERO };
+                    tx.push(v)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Triangle-aware *Store C* shared by SYRK (and usable standalone).
+fn store_triangle<T: Scalar>(
+    sim: &mut Simulation,
+    buf: &DeviceBuffer<T>,
+    cfg: Gemm,
+    uplo: Uplo,
+    alpha: T,
+    beta: T,
+    rx: Receiver<T>,
+) {
+    let buf = buf.clone();
+    sim.add_module("store_c_tri", ModuleKind::Interface, move || {
+        let mut c = buf.to_host();
+        for ti in 0..cfg.tile_rows() {
+            for tj in 0..cfg.tile_cols() {
+                for i in 0..cfg.tr {
+                    for j in 0..cfg.tc {
+                        let acc = rx.pop()?;
+                        let (r, col) = (ti * cfg.tr + i, tj * cfg.tc + j);
+                        if r < cfg.n && col < cfg.m {
+                            let in_tri = match uplo {
+                                Uplo::Upper => col >= r,
+                                Uplo::Lower => col <= r,
+                            };
+                            if in_tri {
+                                let idx = r * cfg.m + col;
+                                c[idx] = alpha.mul_add(acc, beta * c[idx]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        buf.from_host(&c);
+        Ok(())
+    });
+}
+
+/// TRSM: `B ← α·op(A)⁻¹·B` (Left) or `B ← α·B·op(A)⁻¹` (Right), with the
+/// triangular factor buffered on-chip and the right-hand sides streamed
+/// through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trsm {
+    /// Rows of `B`.
+    pub m: usize,
+    /// Columns of `B`.
+    pub n: usize,
+    /// Factor side.
+    pub side: Side,
+    /// Stored triangle of `A`.
+    pub uplo: Uplo,
+    /// Transpose flag for `A`.
+    pub trans: Trans,
+    /// Unit-diagonal flag.
+    pub diag: Diag,
+    /// Vectorization width of the update lanes.
+    pub w: usize,
+}
+
+impl Trsm {
+    /// Configure a TRSM.
+    pub fn new(m: usize, n: usize, side: Side, uplo: Uplo, trans: Trans, diag: Diag, w: usize) -> Self {
+        validate_width(w);
+        Trsm { m, n, side, uplo, trans, diag, w }
+    }
+
+    /// Order of the triangular factor (`m` for Left, `n` for Right).
+    pub fn a_order(&self) -> usize {
+        match self.side {
+            Side::Left => self.m,
+            Side::Right => self.n,
+        }
+    }
+
+    /// The tiling the `B` reader/writer must use: column-major streaming
+    /// for Left (each solve works on one column of `B`), row-major for
+    /// Right (each solve works on one row).
+    pub fn b_tiling(&self) -> Tiling {
+        match self.side {
+            Side::Left => Tiling::new(self.m, 1, TileOrder::ColTilesRowMajor),
+            Side::Right => Tiling::new(1, self.n, TileOrder::RowTilesRowMajor),
+        }
+    }
+
+    /// Number of independent solves streamed through the module.
+    pub fn rhs_count(&self) -> usize {
+        match self.side {
+            Side::Left => self.n,
+            Side::Right => self.m,
+        }
+    }
+
+    /// Attach the module: `ch_a` carries the stored triangle (natural
+    /// row order, ascending columns, `tri(len)` elements); `ch_b` the
+    /// right-hand sides in [`b_tiling`](Self::b_tiling) order; `ch_out`
+    /// receives solutions in the same order.
+    pub fn attach<T: Scalar>(
+        &self,
+        sim: &mut Simulation,
+        alpha: T,
+        ch_a: Receiver<T>,
+        ch_b: Receiver<T>,
+        ch_out: Sender<T>,
+    ) {
+        let cfg = *self;
+        sim.add_module("trsm", ModuleKind::Compute, move || {
+            let ord = cfg.a_order();
+            // Buffer the stored triangle on-chip (this is what bounds
+            // fully streaming TRSM to on-chip capacity).
+            let tri = ch_a.pop_n(triangle_len(ord))?;
+            let at = |i: usize, j: usize| -> T {
+                // Stored element (i, j) of the uplo triangle.
+                match cfg.uplo {
+                    Uplo::Lower => {
+                        debug_assert!(j <= i);
+                        tri[i * (i + 1) / 2 + j]
+                    }
+                    Uplo::Upper => {
+                        debug_assert!(j >= i);
+                        // Row i starts after rows 0..i-1, of lengths
+                        // ord-r each: Σ_{r<i}(ord−r) = i·ord − i(i−1)/2.
+                        let start = i * ord - (i * i - i) / 2;
+                        tri[start + (j - i)]
+                    }
+                }
+            };
+            // Effective op(A) element accessor.
+            let a_elem = |i: usize, j: usize| -> T {
+                match cfg.trans {
+                    Trans::No => at(i, j),
+                    Trans::Yes => at(j, i),
+                }
+            };
+            let effective_upper = matches!(
+                (cfg.uplo, cfg.trans),
+                (Uplo::Upper, Trans::No) | (Uplo::Lower, Trans::Yes)
+            );
+            for _rhs in 0..cfg.rhs_count() {
+                let mut b = ch_b.pop_n(ord)?;
+                for v in b.iter_mut() {
+                    *v *= alpha;
+                }
+                // For Side::Right the system is op(A)ᵀ·xᵀ = bᵀ, which
+                // flips the effective triangle once more.
+                let upper = match cfg.side {
+                    Side::Left => effective_upper,
+                    Side::Right => !effective_upper,
+                };
+                let el = |i: usize, j: usize| -> T {
+                    match cfg.side {
+                        Side::Left => a_elem(i, j),
+                        Side::Right => a_elem(j, i),
+                    }
+                };
+                if upper {
+                    for i in (0..ord).rev() {
+                        let mut acc = b[i];
+                        for j in i + 1..ord {
+                            acc -= el(i, j) * b[j];
+                        }
+                        b[i] = match cfg.diag {
+                            Diag::Unit => acc,
+                            Diag::NonUnit => acc / el(i, i),
+                        };
+                    }
+                } else {
+                    for i in 0..ord {
+                        let mut acc = b[i];
+                        for j in 0..i {
+                            acc -= el(i, j) * b[j];
+                        }
+                        b[i] = match cfg.diag {
+                            Diag::Unit => acc,
+                            Diag::NonUnit => acc / el(i, i),
+                        };
+                    }
+                }
+                ch_out.push_slice(&b)?;
+            }
+            Ok(())
+        });
+    }
+
+    /// Circuit resource estimate: update lanes, a divider, and the
+    /// on-chip triangle buffer.
+    pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
+        let lanes = estimate_circuit(
+            CircuitClass::MapFused { w: self.w as u64, macs_per_lane: 1 },
+            T::PRECISION,
+        );
+        let div = OpCosts::div(T::PRECISION);
+        let luts = lanes.luts + div.luts;
+        ResourceEstimate {
+            luts,
+            resources: lanes.resources
+                + fblas_arch::Resources::from_luts(div.luts, div.ffs, 0, div.dsps),
+            latency: lanes.latency + div.latency,
+        }
+        .with_buffer(triangle_len(self.a_order()) as u64, T::PRECISION)
+    }
+
+    /// Pipeline cost: triangle load + per-solve dependency chains.
+    pub fn cost<T: Scalar>(&self) -> PipelineCost {
+        let ord = self.a_order() as u64;
+        let div_lat = OpCosts::div(T::PRECISION).latency;
+        let tri = triangle_len(self.a_order()) as u64;
+        let per_solve = (ord * ord / 2).div_ceil(self.w as u64) + ord * div_lat;
+        let iterations = tri.div_ceil(self.w as u64) + self.rhs_count() as u64 * per_solve;
+        PipelineCost::pipelined(self.estimate::<T>().latency, iterations)
+    }
+}
+
+/// Add an interface module streaming the stored `uplo` triangle of a
+/// full row-major `ord × ord` matrix in the order [`Trsm::attach`]
+/// expects (natural row order, ascending columns).
+pub fn read_trsm_triangle<T: Scalar>(
+    sim: &mut Simulation,
+    buf: &DeviceBuffer<T>,
+    ord: usize,
+    uplo: Uplo,
+    tx: Sender<T>,
+) {
+    super::trsv::read_triangle(sim, buf, ord, uplo, false, tx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::{read_matrix, write_matrix};
+    use fblas_hlssim::channel;
+
+    fn seq(n: usize, seed: f64) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64 + seed) * 0.173).sin()).collect()
+    }
+
+    fn dense_gemm_tt(
+        n: usize,
+        m: usize,
+        k: usize,
+        a_get: impl Fn(usize, usize) -> f64,
+        b_get: impl Fn(usize, usize) -> f64,
+    ) -> Vec<f64> {
+        let mut c = vec![0.0f64; n * m];
+        for i in 0..n {
+            for j in 0..m {
+                for l in 0..k {
+                    c[i * m + j] += a_get(i, l) * b_get(l, j);
+                }
+            }
+        }
+        c
+    }
+
+    fn run_syrk(cfg: Syrk, alpha: f64, beta: f64, a: &[f64], c0: &[f64]) -> Vec<f64> {
+        let mut sim = Simulation::new();
+        let a_buf = DeviceBuffer::from_vec("a", a.to_vec(), 0);
+        let c_buf = DeviceBuffer::from_vec("c", c0.to_vec(), 1);
+        let (ta, ra) = channel(sim.ctx(), 256, "a");
+        let (tb, rb) = channel(sim.ctx(), 256, "b");
+        let (tcc, rc) = channel(sim.ctx(), 256, "c");
+        cfg.read_inputs(&mut sim, &a_buf, ta, tb);
+        cfg.attach(&mut sim, ra, rb, tcc);
+        cfg.store(&mut sim, &c_buf, alpha, beta, rc);
+        sim.run().unwrap();
+        c_buf.to_host()
+    }
+
+    #[test]
+    fn syrk_no_trans_updates_triangle_only() {
+        let (n, k) = (6, 4);
+        let cfg = Syrk::new(n, k, Trans::No, Uplo::Upper, SystolicShape::new(2, 2), 2, 2);
+        let a = seq(n * k, 1.0);
+        let c0 = seq(n * n, 2.0);
+        let got = run_syrk(cfg, 1.5, 0.5, &a, &c0);
+        let prod = dense_gemm_tt(n, n, k, |i, l| a[i * k + l], |l, j| a[j * k + l]);
+        for i in 0..n {
+            for j in 0..n {
+                let exp = if j >= i {
+                    1.5 * prod[i * n + j] + 0.5 * c0[i * n + j]
+                } else {
+                    c0[i * n + j]
+                };
+                assert!((got[i * n + j] - exp).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_trans_computes_ata() {
+        let (n, k) = (4, 7);
+        let cfg = Syrk::new(n, k, Trans::Yes, Uplo::Lower, SystolicShape::new(2, 2), 4, 4);
+        let a = seq(k * n, 3.0); // k×n
+        let c0 = vec![0.0f64; n * n];
+        let got = run_syrk(cfg, 1.0, 0.0, &a, &c0);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut exp = 0.0;
+                for l in 0..k {
+                    exp += a[l * n + i] * a[l * n + j];
+                }
+                assert!((got[i * n + j] - exp).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn syr2k_matches_dense() {
+        let (n, k) = (5, 3);
+        let cfg = Syr2k::new(n, k, Trans::No, Uplo::Upper, SystolicShape::new(1, 1), 2, 2);
+        let a = seq(n * k, 1.0);
+        let b = seq(n * k, 2.0);
+        let c0 = seq(n * n, 3.0);
+
+        let mut sim = Simulation::new();
+        let a_buf = DeviceBuffer::from_vec("a", a.clone(), 0);
+        let b_buf = DeviceBuffer::from_vec("b", b.clone(), 1);
+        let c_buf = DeviceBuffer::from_vec("c", c0.clone(), 2);
+        cfg.build(&mut sim, &a_buf, &b_buf, &c_buf, 0.8, 0.4);
+        sim.run().unwrap();
+        let got = c_buf.to_host();
+
+        for i in 0..n {
+            for j in 0..n {
+                let exp = if j >= i {
+                    let mut acc = 0.0;
+                    for l in 0..k {
+                        acc += a[i * k + l] * b[j * k + l] + b[i * k + l] * a[j * k + l];
+                    }
+                    0.8 * acc + 0.4 * c0[i * n + j]
+                } else {
+                    c0[i * n + j]
+                };
+                assert!((got[i * n + j] - exp).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    fn tri_matrix(ord: usize, uplo: Uplo) -> Vec<f64> {
+        let mut a = vec![0.0f64; ord * ord];
+        for i in 0..ord {
+            for j in 0..ord {
+                let stored = match uplo {
+                    Uplo::Upper => j >= i,
+                    Uplo::Lower => j <= i,
+                };
+                if stored {
+                    a[i * ord + j] = 0.1 + 0.05 * (i + 2 * j) as f64;
+                }
+            }
+            a[i * ord + i] += 2.0;
+        }
+        a
+    }
+
+    fn run_trsm(cfg: Trsm, alpha: f64, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut sim = Simulation::new();
+        let a_buf = DeviceBuffer::from_vec("a", a.to_vec(), 0);
+        let b_buf = DeviceBuffer::from_vec("b", b.to_vec(), 1);
+        let out = DeviceBuffer::<f64>::zeroed("x", cfg.m * cfg.n, 2);
+        let (ta, ra) = channel(sim.ctx(), 256, "a");
+        let (tb, rb) = channel(sim.ctx(), 256, "b");
+        let (to, ro) = channel(sim.ctx(), 256, "o");
+        read_trsm_triangle(&mut sim, &a_buf, cfg.a_order(), cfg.uplo, ta);
+        read_matrix(&mut sim, &b_buf, cfg.m, cfg.n, cfg.b_tiling(), tb, 1);
+        cfg.attach(&mut sim, alpha, ra, rb, to);
+        write_matrix(&mut sim, &out, cfg.m, cfg.n, cfg.b_tiling(), ro);
+        sim.run().unwrap();
+        out.to_host()
+    }
+
+    /// Dense op(A)·X or X·op(A) for building test right-hand sides.
+    fn apply_tri(
+        cfg: &Trsm,
+        a: &[f64],
+        x: &[f64],
+    ) -> Vec<f64> {
+        let ord = cfg.a_order();
+        let (m, n) = (cfg.m, cfg.n);
+        let mut b = vec![0.0f64; m * n];
+        let el = |i: usize, j: usize| -> f64 {
+            let (r, c) = match cfg.trans {
+                Trans::No => (i, j),
+                Trans::Yes => (j, i),
+            };
+            let stored = match cfg.uplo {
+                Uplo::Upper => c >= r,
+                Uplo::Lower => c <= r,
+            };
+            if !stored {
+                return 0.0;
+            }
+            if r == c && cfg.diag == Diag::Unit {
+                1.0
+            } else {
+                a[r * ord + c]
+            }
+        };
+        match cfg.side {
+            Side::Left => {
+                for i in 0..m {
+                    for j in 0..n {
+                        for l in 0..m {
+                            b[i * n + j] += el(i, l) * x[l * n + j];
+                        }
+                    }
+                }
+            }
+            Side::Right => {
+                for i in 0..m {
+                    for j in 0..n {
+                        for l in 0..n {
+                            b[i * n + j] += x[i * n + l] * el(l, j);
+                        }
+                    }
+                }
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn trsm_left_all_flag_combinations() {
+        for uplo in [Uplo::Upper, Uplo::Lower] {
+            for trans in [Trans::No, Trans::Yes] {
+                for diag in [Diag::Unit, Diag::NonUnit] {
+                    let cfg = Trsm::new(5, 3, Side::Left, uplo, trans, diag, 2);
+                    let a = tri_matrix(5, uplo);
+                    let x = seq(5 * 3, 7.0);
+                    let b = apply_tri(&cfg, &a, &x);
+                    let got = run_trsm(cfg, 1.0, &a, &b);
+                    for idx in 0..x.len() {
+                        assert!(
+                            (got[idx] - x[idx]).abs() < 1e-9,
+                            "{uplo:?}/{trans:?}/{diag:?} idx {idx}: {} vs {}",
+                            got[idx],
+                            x[idx]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_right_solves() {
+        for uplo in [Uplo::Upper, Uplo::Lower] {
+            for trans in [Trans::No, Trans::Yes] {
+                let cfg = Trsm::new(3, 4, Side::Right, uplo, trans, Diag::NonUnit, 1);
+                let a = tri_matrix(4, uplo);
+                let x = seq(3 * 4, 9.0);
+                let b = apply_tri(&cfg, &a, &x);
+                let got = run_trsm(cfg, 1.0, &a, &b);
+                for idx in 0..x.len() {
+                    assert!(
+                        (got[idx] - x[idx]).abs() < 1e-9,
+                        "{uplo:?}/{trans:?} idx {idx}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_alpha_scales_rhs() {
+        let cfg = Trsm::new(2, 2, Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1);
+        let a = vec![2.0f64, 0.0, 0.0, 4.0];
+        let b = vec![2.0f64, 4.0, 8.0, 16.0];
+        let got = run_trsm(cfg, 3.0, &a, &b);
+        assert_eq!(got, vec![3.0, 6.0, 6.0, 12.0]);
+    }
+
+    #[test]
+    fn fully_unrolled_trsm_4x4_for_batched_mode() {
+        // The Table V workload shape: tiny 4×4 solves.
+        let cfg = Trsm::new(4, 4, Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 4);
+        let a = tri_matrix(4, Uplo::Lower);
+        let x = seq(16, 1.0);
+        let b = apply_tri(&cfg, &a, &x);
+        let got = run_trsm(cfg, 1.0, &a, &b);
+        for idx in 0..16 {
+            assert!((got[idx] - x[idx]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn estimates_and_costs() {
+        let syrk = Syrk::new(64, 64, Trans::No, Uplo::Upper, SystolicShape::new(4, 4), 8, 8);
+        assert_eq!(syrk.estimate::<f32>().resources.dsps, 16);
+        let syr2k = Syr2k::new(64, 64, Trans::No, Uplo::Upper, SystolicShape::new(4, 4), 8, 8);
+        assert_eq!(syr2k.estimate::<f32>().resources.dsps, 32, "two arrays");
+        let trsm = Trsm::new(64, 8, Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 4);
+        assert!(trsm.estimate::<f32>().resources.m20ks >= 4, "triangle buffer");
+        assert!(trsm.cost::<f32>().iterations > 0);
+    }
+}

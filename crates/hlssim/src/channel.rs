@@ -1,0 +1,406 @@
+//! Bounded single-producer/single-consumer FIFO channels.
+//!
+//! These are the software equivalent of the HLS `channel`/`stream` FIFOs the
+//! FBLAS paper builds on: typed, bounded queues with blocking semantics on
+//! both ends. A `push` into a full channel and a `pop` from an empty channel
+//! block — this is the *backpressure* that makes module composition behave
+//! like the hardware (an under-dimensioned downstream module slows its
+//! producers, Sec. IV-B; an invalid composition stalls, Sec. V-B).
+//!
+//! Channels are registered with a [`SimContext`](crate::SimContext) so the
+//! simulation watchdog can observe global progress (a monotonically
+//! increasing *epoch*, bumped on every successful transfer) and the number
+//! of threads currently blocked. Blocking waits use short timed waits and
+//! re-check the context poison flag, so stall detection never needs to
+//! enumerate channels to wake sleepers.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::SimError;
+use crate::simulation::{ChannelProbe, CtxShared, SimContext};
+
+/// How long a blocked channel operation sleeps before re-checking the
+/// poison flag. Keeps teardown latency low without busy-waiting.
+const WAIT_SLICE: Duration = Duration::from_millis(2);
+
+/// Occupancy and stall statistics for one channel, taken as a snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Total elements transferred through the channel.
+    pub transferred: u64,
+    /// Highest queue occupancy observed.
+    pub max_occupancy: usize,
+    /// Number of times the producer found the channel full and had to wait.
+    pub full_stalls: u64,
+    /// Number of times the consumer found the channel empty and had to wait.
+    pub empty_stalls: u64,
+}
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    sender_alive: bool,
+    receiver_alive: bool,
+    stats: ChannelStats,
+}
+
+struct ChannelCore<T> {
+    ctx: Arc<CtxShared>,
+    name: String,
+    capacity: usize,
+    state: Mutex<ChanState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+/// RAII registration of "this thread is blocked on a channel operation".
+///
+/// A thread counts as blocked from its first unfulfilled wait until the
+/// operation completes or errors — *not* per wait slice — so the watchdog
+/// sees a stable `blocked == live` condition during a genuine deadlock.
+struct BlockGuard<'a>(&'a CtxShared);
+
+impl<'a> BlockGuard<'a> {
+    fn new(ctx: &'a CtxShared) -> Self {
+        ctx.blocked.fetch_add(1, Ordering::AcqRel);
+        BlockGuard(ctx)
+    }
+}
+
+impl Drop for BlockGuard<'_> {
+    fn drop(&mut self) {
+        self.0.blocked.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl<T> ChannelCore<T> {
+    fn poisoned(&self) -> bool {
+        self.ctx.poisoned.load(Ordering::Acquire)
+    }
+}
+
+impl<T: Send + 'static> ChannelProbe for ChannelCore<T> {
+    fn probe_name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn probe_stats(&self) -> ChannelStats {
+        self.state.lock().stats.clone()
+    }
+}
+
+/// Producer endpoint of a bounded SPSC channel.
+///
+/// Not [`Clone`]: the single-producer discipline of hardware FIFOs is
+/// enforced by the type system.
+pub struct Sender<T> {
+    core: Arc<ChannelCore<T>>,
+}
+
+/// Consumer endpoint of a bounded SPSC channel.
+pub struct Receiver<T> {
+    core: Arc<ChannelCore<T>>,
+}
+
+/// Create a bounded SPSC channel registered with `ctx`.
+///
+/// `capacity` is the FIFO depth (must be ≥ 1); `name` identifies the channel
+/// in error messages and statistics. In the paper's terms this instantiates
+/// an on-chip FIFO buffer of the given depth between two modules.
+///
+/// # Panics
+/// Panics if `capacity == 0` — hardware FIFOs have at least one slot.
+pub fn channel<T: Send + 'static>(
+    ctx: &SimContext,
+    capacity: usize,
+    name: impl Into<String>,
+) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity >= 1, "channel capacity must be at least 1");
+    let core = Arc::new(ChannelCore {
+        ctx: ctx.shared(),
+        name: name.into(),
+        capacity,
+        state: Mutex::new(ChanState {
+            queue: VecDeque::with_capacity(capacity.min(1 << 16)),
+            sender_alive: true,
+            receiver_alive: true,
+            stats: ChannelStats::default(),
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    ctx.register_probe(core.clone());
+    (Sender { core: core.clone() }, Receiver { core })
+}
+
+impl<T> Sender<T> {
+    /// Push one element, blocking while the FIFO is full.
+    ///
+    /// Fails with [`SimError::Poisoned`] if the simulation was torn down
+    /// (e.g. after stall detection) and [`SimError::Disconnected`] if the
+    /// consumer is gone — which for fixed-count BLAS streams means the
+    /// producer and consumer disagree on element counts (an invalid edge).
+    pub fn push(&self, value: T) -> Result<(), SimError> {
+        let core = &self.core;
+        let mut blocked: Option<BlockGuard<'_>> = None;
+        let mut st = core.state.lock();
+        loop {
+            if core.poisoned() {
+                return Err(SimError::Poisoned);
+            }
+            if !st.receiver_alive {
+                return Err(SimError::Disconnected { channel: core.name.clone() });
+            }
+            if st.queue.len() < core.capacity {
+                st.queue.push_back(value);
+                st.stats.transferred += 1;
+                let occ = st.queue.len();
+                if occ > st.stats.max_occupancy {
+                    st.stats.max_occupancy = occ;
+                }
+                core.ctx.epoch.fetch_add(1, Ordering::Release);
+                core.not_empty.notify_one();
+                return Ok(());
+            }
+            st.stats.full_stalls += 1;
+            if blocked.is_none() {
+                blocked = Some(BlockGuard::new(&core.ctx));
+            }
+            core.not_full.wait_for(&mut st, WAIT_SLICE);
+        }
+    }
+
+    /// Push every element of an iterator, in order.
+    pub fn push_iter<I: IntoIterator<Item = T>>(&self, iter: I) -> Result<(), SimError> {
+        for v in iter {
+            self.push(v)?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot of this channel's statistics.
+    pub fn stats(&self) -> ChannelStats {
+        self.core.state.lock().stats.clone()
+    }
+
+    /// The channel's configured FIFO depth.
+    pub fn capacity(&self) -> usize {
+        self.core.capacity
+    }
+
+    /// The channel's name.
+    pub fn name(&self) -> &str {
+        &self.core.name
+    }
+}
+
+impl<T: Clone> Sender<T> {
+    /// Push every element of a slice, in order.
+    pub fn push_slice(&self, values: &[T]) -> Result<(), SimError> {
+        for v in values {
+            self.push(v.clone())?;
+        }
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Pop one element, blocking while the FIFO is empty.
+    ///
+    /// Fails with [`SimError::Disconnected`] if the FIFO is empty and the
+    /// producer endpoint has been dropped: the consumer expected more
+    /// elements than were produced (count-mismatched composition).
+    pub fn pop(&self) -> Result<T, SimError> {
+        let core = &self.core;
+        let mut blocked: Option<BlockGuard<'_>> = None;
+        let mut st = core.state.lock();
+        loop {
+            if core.poisoned() {
+                return Err(SimError::Poisoned);
+            }
+            if let Some(v) = st.queue.pop_front() {
+                core.ctx.epoch.fetch_add(1, Ordering::Release);
+                core.not_full.notify_one();
+                return Ok(v);
+            }
+            if !st.sender_alive {
+                return Err(SimError::Disconnected { channel: core.name.clone() });
+            }
+            st.stats.empty_stalls += 1;
+            if blocked.is_none() {
+                blocked = Some(BlockGuard::new(&core.ctx));
+            }
+            core.not_empty.wait_for(&mut st, WAIT_SLICE);
+        }
+    }
+
+    /// Pop exactly `n` elements into a fresh `Vec`.
+    pub fn pop_n(&self, n: usize) -> Result<Vec<T>, SimError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.pop()?);
+        }
+        Ok(out)
+    }
+
+    /// Pop elements until the producer disconnects, collecting everything.
+    ///
+    /// Unlike [`pop`](Self::pop), a disconnect here is the *expected* end of
+    /// stream. Any other error is propagated.
+    pub fn drain(&self) -> Result<Vec<T>, SimError> {
+        let mut out = Vec::new();
+        loop {
+            match self.pop() {
+                Ok(v) => out.push(v),
+                Err(SimError::Disconnected { .. }) => return Ok(out),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Snapshot of this channel's statistics.
+    pub fn stats(&self) -> ChannelStats {
+        self.core.state.lock().stats.clone()
+    }
+
+    /// The channel's name.
+    pub fn name(&self) -> &str {
+        &self.core.name
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.core.state.lock();
+        st.sender_alive = false;
+        self.core.not_empty.notify_one();
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.core.state.lock();
+        st.receiver_alive = false;
+        self.core.not_full.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimContext;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let ctx = SimContext::new();
+        let (tx, rx) = channel::<u32>(&ctx, 4, "ch");
+        thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100 {
+                    tx.push(i).unwrap();
+                }
+            });
+            let got = rx.pop_n(100).unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn capacity_bounds_occupancy() {
+        let ctx = SimContext::new();
+        let (tx, rx) = channel::<u8>(&ctx, 3, "ch");
+        thread::scope(|s| {
+            s.spawn(move || tx.push_iter(0..50).unwrap());
+            let all = rx.pop_n(50).unwrap();
+            assert_eq!(all.len(), 50);
+            assert!(rx.stats().max_occupancy <= 3);
+        });
+    }
+
+    #[test]
+    fn producer_blocks_when_full() {
+        let ctx = SimContext::new();
+        let (tx, rx) = channel::<u8>(&ctx, 1, "ch");
+        thread::scope(|s| {
+            s.spawn(move || {
+                tx.push(1).unwrap();
+                tx.push(2).unwrap(); // must wait until consumer pops
+            });
+            thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.pop().unwrap(), 1);
+            assert_eq!(rx.pop().unwrap(), 2);
+            assert!(rx.stats().full_stalls >= 1);
+        });
+    }
+
+    #[test]
+    fn pop_after_sender_drop_reports_disconnect() {
+        let ctx = SimContext::new();
+        let (tx, rx) = channel::<u8>(&ctx, 2, "ch_x");
+        tx.push(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop().unwrap(), 7);
+        match rx.pop() {
+            Err(SimError::Disconnected { channel }) => assert_eq!(channel, "ch_x"),
+            other => panic!("expected disconnect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_after_receiver_drop_reports_disconnect() {
+        let ctx = SimContext::new();
+        let (tx, rx) = channel::<u8>(&ctx, 2, "ch_y");
+        drop(rx);
+        assert!(matches!(tx.push(1), Err(SimError::Disconnected { .. })));
+    }
+
+    #[test]
+    fn drain_collects_until_eos() {
+        let ctx = SimContext::new();
+        let (tx, rx) = channel::<u32>(&ctx, 8, "ch");
+        thread::scope(|s| {
+            s.spawn(move || {
+                tx.push_slice(&[1, 2, 3]).unwrap();
+            });
+            assert_eq!(rx.drain().unwrap(), vec![1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn poisoning_unblocks_a_stuck_producer() {
+        let ctx = SimContext::new();
+        let (tx, _rx) = channel::<u8>(&ctx, 1, "ch");
+        let ctx2 = ctx.clone();
+        thread::scope(|s| {
+            let h = s.spawn(move || {
+                tx.push(1).unwrap();
+                tx.push(2) // blocks: capacity 1, nobody pops
+            });
+            thread::sleep(Duration::from_millis(20));
+            ctx2.poison();
+            assert_eq!(h.join().unwrap(), Err(SimError::Poisoned));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let ctx = SimContext::new();
+        let _ = channel::<u8>(&ctx, 0, "bad");
+    }
+
+    #[test]
+    fn stats_track_transfers() {
+        let ctx = SimContext::new();
+        let (tx, rx) = channel::<u8>(&ctx, 16, "ch");
+        tx.push_slice(&[1, 2, 3, 4]).unwrap();
+        let _ = rx.pop_n(4).unwrap();
+        assert_eq!(tx.stats().transferred, 4);
+        assert_eq!(tx.stats().max_occupancy, 4);
+    }
+}

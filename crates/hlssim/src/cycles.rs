@@ -1,0 +1,153 @@
+//! Pipeline cycle cost model (paper Sec. IV and V-A).
+//!
+//! A fully pipelined circuit with latency `L`, initiation interval `I`, and
+//! `M` input iterations completes in `C = L + I·M` cycles. FBLAS modules are
+//! built with pipeline-enabling transformations so `I = 1` throughout.
+//!
+//! For a *streaming composition* of modules (Sec. V-A) executing in pipeline
+//! parallel, the completion time collapses from the sum of per-module
+//! completion times to the sum of latencies plus the slowest module's
+//! iteration count:
+//!
+//! ```text
+//! C_sequential = Σ (L_i + I_i · M_i)
+//! C_streamed   = Σ L_i + max_i (I_i · M_i)
+//! ```
+//!
+//! which is the paper's `(L_copy + N) + (L_dot + N) + (L_axpy + N)` →
+//! `L_copy + L_axpy + L_dot + N` reduction for AXPYDOT.
+
+/// Cost descriptor of one fully pipelined module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineCost {
+    /// Pipeline latency `L` in cycles — the circuit depth `CD` of Sec. IV-A.
+    pub latency: u64,
+    /// Initiation interval `I`; 1 for all FBLAS modules.
+    pub initiation_interval: u64,
+    /// Number of pipeline iterations `M` (inner-loop trip count after
+    /// vectorization, e.g. `N/W` for SCAL/DOT).
+    pub iterations: u64,
+}
+
+impl PipelineCost {
+    /// A perfectly pipelined module (`I = 1`).
+    pub fn pipelined(latency: u64, iterations: u64) -> Self {
+        PipelineCost { latency, initiation_interval: 1, iterations }
+    }
+
+    /// Total cycles to completion: `C = L + I·M`.
+    pub fn cycles(&self) -> u64 {
+        self.latency + self.initiation_interval * self.iterations
+    }
+
+    /// Execution time in seconds at clock frequency `freq_hz`.
+    pub fn seconds(&self, freq_hz: f64) -> f64 {
+        cycles_to_seconds(self.cycles(), freq_hz)
+    }
+}
+
+/// Convert a cycle count to seconds at the given clock frequency.
+pub fn cycles_to_seconds(cycles: u64, freq_hz: f64) -> f64 {
+    assert!(freq_hz > 0.0, "frequency must be positive");
+    cycles as f64 / freq_hz
+}
+
+/// Completion cycles of a streaming composition of pipelined modules:
+/// `Σ L_i + max_i (I_i · M_i)`. Returns 0 for an empty slice.
+pub fn streamed_cycles(costs: &[PipelineCost]) -> u64 {
+    let latency_sum: u64 = costs.iter().map(|c| c.latency).sum();
+    let max_iters = costs
+        .iter()
+        .map(|c| c.initiation_interval * c.iterations)
+        .max()
+        .unwrap_or(0);
+    latency_sum + max_iters
+}
+
+/// Aggregated cost comparison between running a set of modules one-by-one
+/// through the host layer and running them as a streaming composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositionCost {
+    /// `Σ (L_i + I_i·M_i)` — modules executed back-to-back.
+    pub sequential_cycles: u64,
+    /// `Σ L_i + max_i (I_i·M_i)` — modules executing in pipeline parallel.
+    pub streamed_cycles: u64,
+}
+
+impl CompositionCost {
+    /// Compute both costs from per-module descriptors.
+    pub fn of(costs: &[PipelineCost]) -> Self {
+        CompositionCost {
+            sequential_cycles: costs.iter().map(PipelineCost::cycles).sum(),
+            streamed_cycles: streamed_cycles(costs),
+        }
+    }
+
+    /// Cycle-count speedup of streaming over sequential execution.
+    pub fn speedup(&self) -> f64 {
+        if self.streamed_cycles == 0 {
+            return 1.0;
+        }
+        self.sequential_cycles as f64 / self.streamed_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_pipeline_formula() {
+        // SCAL with W=4: C = L_M + N/W (paper Sec. IV-A).
+        let c = PipelineCost::pipelined(6, 1000 / 4);
+        assert_eq!(c.cycles(), 6 + 250);
+    }
+
+    #[test]
+    fn initiation_interval_scales_iterations() {
+        let c = PipelineCost { latency: 10, initiation_interval: 2, iterations: 100 };
+        assert_eq!(c.cycles(), 10 + 200);
+    }
+
+    #[test]
+    fn seconds_at_frequency() {
+        let c = PipelineCost::pipelined(0, 300_000_000);
+        let t = c.seconds(300.0e6);
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency")]
+    fn zero_frequency_rejected() {
+        let _ = cycles_to_seconds(1, 0.0);
+    }
+
+    #[test]
+    fn axpydot_reduction_matches_paper() {
+        // Paper Sec. V-A: sequential (L_copy+N)+(L_dot+N)+(L_axpy+N)
+        // collapses to L_copy+L_axpy+L_dot+N; for large N speedup -> 3.
+        let n = 1_000_000u64;
+        let copy = PipelineCost::pipelined(20, n);
+        let axpy = PipelineCost::pipelined(30, n);
+        let dot = PipelineCost::pipelined(60, n);
+        let cc = CompositionCost::of(&[copy, axpy, dot]);
+        assert_eq!(cc.sequential_cycles, 20 + 30 + 60 + 3 * n);
+        assert_eq!(cc.streamed_cycles, 20 + 30 + 60 + n);
+        assert!((cc.speedup() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn streamed_cycles_empty_is_zero() {
+        assert_eq!(streamed_cycles(&[]), 0);
+        let cc = CompositionCost::of(&[]);
+        assert_eq!(cc.speedup(), 1.0);
+    }
+
+    #[test]
+    fn streamed_bounded_below_by_slowest_stage() {
+        let fast = PipelineCost::pipelined(5, 10);
+        let slow = PipelineCost::pipelined(5, 10_000);
+        let s = streamed_cycles(&[fast, slow]);
+        assert_eq!(s, 10 + 10_000);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type shared by channels, modules, and the simulation runner.
+
+use std::fmt;
+
+/// Errors surfaced by the dataflow simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The composition deadlocked: every live module was blocked on a
+    /// channel operation and no global progress happened for the grace
+    /// period. This is the deterministic rendering of the paper's
+    /// "the composition would stall forever" (Sec. V-B).
+    Stall {
+        /// Human-readable description of where the stall was observed.
+        detail: String,
+    },
+    /// A channel was poisoned (by stall detection or by a peer module
+    /// failing); the pending operation cannot complete.
+    Poisoned,
+    /// A `pop` found the channel empty with the producer gone, or a `push`
+    /// found the consumer gone. For BLAS modules all element counts are
+    /// statically known, so a disconnect mid-stream indicates a protocol
+    /// mismatch between producer and consumer (e.g. incompatible tiling
+    /// schemes — an *invalid edge* in the paper's MDAG terminology).
+    Disconnected {
+        /// Name of the channel on which the mismatch was detected.
+        channel: String,
+    },
+    /// A module returned an application-level error.
+    Module {
+        /// Name of the failing module.
+        module: String,
+        /// Error description.
+        detail: String,
+    },
+}
+
+impl SimError {
+    /// Convenience constructor for module-level failures.
+    pub fn module(module: impl Into<String>, detail: impl Into<String>) -> Self {
+        SimError::Module {
+            module: module.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stall { detail } => write!(f, "composition stalled: {detail}"),
+            SimError::Poisoned => write!(f, "channel poisoned during teardown"),
+            SimError::Disconnected { channel } => {
+                write!(f, "channel `{channel}` disconnected mid-stream (protocol mismatch)")
+            }
+            SimError::Module { module, detail } => {
+                write!(f, "module `{module}` failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SimError::Stall { detail: "all 3 modules blocked".into() };
+        assert!(e.to_string().contains("stalled"));
+        let e = SimError::Disconnected { channel: "ch_x".into() };
+        assert!(e.to_string().contains("ch_x"));
+        let e = SimError::module("dot", "bad N");
+        assert!(e.to_string().contains("dot") && e.to_string().contains("bad N"));
+        assert_eq!(SimError::Poisoned.to_string(), "channel poisoned during teardown");
+    }
+
+    #[test]
+    fn equality_distinguishes_variants() {
+        assert_ne!(
+            SimError::Poisoned,
+            SimError::Stall { detail: String::new() }
+        );
+        assert_eq!(
+            SimError::module("a", "b"),
+            SimError::Module { module: "a".into(), detail: "b".into() }
+        );
+    }
+}

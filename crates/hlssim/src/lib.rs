@@ -1,0 +1,40 @@
+//! # fblas-hlssim — streaming dataflow simulator substrate
+//!
+//! This crate is the software stand-in for the FPGA fabric targeted by the
+//! FBLAS paper (De Matteis et al., SC 2020). The paper's HLS modules are
+//! independent hardware circuits that exchange data through typed, bounded,
+//! single-producer/single-consumer FIFO *channels*. Everything that matters
+//! for the paper's composition semantics — backpressure, pipeline-parallel
+//! execution of simultaneously configured modules, and the possibility of a
+//! composition that "stalls forever" (Sec. V-B) — is channel semantics, and
+//! is reproduced here exactly:
+//!
+//! * [`channel`] provides the bounded SPSC FIFO ([`Sender`] / [`Receiver`])
+//!   with blocking `push`/`pop` and poisoning for orderly teardown.
+//! * [`Simulation`] runs a set of [`Module`]s concurrently (one OS thread per
+//!   module, mirroring the spatial concurrency of circuits) and watches a
+//!   global progress epoch: when every live module is blocked on a channel
+//!   operation and no progress has occurred for a grace period, the run is
+//!   declared *stalled* and every channel is poisoned, turning the paper's
+//!   "stalls forever" into a deterministic [`SimError::Stall`].
+//! * [`cycles`] implements the paper's pipeline cost model `C = L + I·M`
+//!   (Sec. IV) and the sequential-vs-streamed completion-time formulas of
+//!   Sec. V-A, used by the benchmark harness to regenerate the figures.
+//!
+//! The simulator computes *real numerics*: data actually flows through the
+//! FIFOs and modules perform the same reduction shapes (e.g. the W-way
+//! unrolled accumulation tree of DOT) as the synthesized circuits.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod cycles;
+pub mod error;
+pub mod module;
+pub mod simulation;
+
+pub use channel::{channel, ChannelStats, Receiver, Sender};
+pub use cycles::{streamed_cycles, CompositionCost, PipelineCost};
+pub use error::SimError;
+pub use module::{ModuleKind, ModuleSpec};
+pub use simulation::{SimContext, Simulation, SimulationReport};

@@ -1,0 +1,483 @@
+//! Concurrent execution of module graphs with stall detection.
+//!
+//! Each module runs on its own OS thread, mirroring the true spatial
+//! concurrency of circuits configured simultaneously on the FPGA. A
+//! watchdog on the calling thread observes two global counters maintained
+//! by the channels: a progress *epoch* (bumped on every successful
+//! transfer) and the number of threads currently *blocked* on a channel
+//! operation. When every live module is blocked and the epoch has not
+//! moved for a grace period, the composition has deadlocked — the paper's
+//! "stalls forever" (Sec. V-B) — and the watchdog poisons the context,
+//! unblocking everyone with [`SimError::Poisoned`] and reporting
+//! [`SimError::Stall`] to the caller.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::channel::ChannelStats;
+use crate::error::SimError;
+use crate::module::{ModuleKind, ModuleSpec};
+
+/// Type-erased view of a live channel, registered at creation so the
+/// runner can snapshot FIFO statistics into the report — the software
+/// analog of dropping signal taps on the hardware FIFOs to size them.
+pub(crate) trait ChannelProbe: Send + Sync {
+    /// Channel name.
+    fn probe_name(&self) -> String;
+    /// Statistics snapshot.
+    fn probe_stats(&self) -> ChannelStats;
+}
+
+/// Shared simulation-wide state observed by channels and the watchdog.
+pub(crate) struct CtxShared {
+    /// Bumped on every successful channel transfer.
+    pub(crate) epoch: AtomicU64,
+    /// Number of threads currently blocked in a channel wait.
+    pub(crate) blocked: AtomicUsize,
+    /// Number of module threads still running.
+    pub(crate) live: AtomicUsize,
+    /// Once set, all channel operations fail with `Poisoned`.
+    pub(crate) poisoned: AtomicBool,
+    /// Probes of every channel created against this context. Strong
+    /// references: a channel's statistics outlive its endpoints so the
+    /// final report can include them (the context itself is dropped
+    /// when the run ends).
+    pub(crate) probes: Mutex<Vec<Arc<dyn ChannelProbe>>>,
+}
+
+/// Handle to the shared state; create channels against it and pass it to a
+/// [`Simulation`].
+#[derive(Clone)]
+pub struct SimContext {
+    shared: Arc<CtxShared>,
+}
+
+impl SimContext {
+    /// Create a fresh context with zeroed counters.
+    pub fn new() -> Self {
+        SimContext {
+            shared: Arc::new(CtxShared {
+                epoch: AtomicU64::new(0),
+                blocked: AtomicUsize::new(0),
+                live: AtomicUsize::new(0),
+                poisoned: AtomicBool::new(false),
+                probes: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Snapshot the statistics of every channel created against this
+    /// context that is still alive, in creation order.
+    pub fn channel_stats(&self) -> Vec<(String, ChannelStats)> {
+        self.shared
+            .probes
+            .lock()
+            .iter()
+            .map(|p| (p.probe_name(), p.probe_stats()))
+            .collect()
+    }
+
+    pub(crate) fn shared(&self) -> Arc<CtxShared> {
+        self.shared.clone()
+    }
+
+    pub(crate) fn register_probe(&self, probe: Arc<dyn ChannelProbe>) {
+        self.shared.probes.lock().push(probe);
+    }
+
+    /// Poison the context: every pending and future channel operation on
+    /// channels created from this context fails with
+    /// [`SimError::Poisoned`]. Used by the watchdog; also available for
+    /// external cancellation.
+    pub fn poison(&self) {
+        self.shared.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether the context has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Current progress epoch (total successful channel transfers).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+}
+
+impl Default for SimContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Outcome of a completed (non-stalled) simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Names of the modules that ran.
+    pub modules: Vec<String>,
+    /// Wall-clock duration of the concurrent run.
+    pub wall_time: Duration,
+    /// Total channel transfers across the whole run.
+    pub transfers: u64,
+    /// Per-channel FIFO statistics (name, stats), in creation order —
+    /// occupancy high-water marks and stall counts for FIFO sizing.
+    pub channel_stats: Vec<(String, ChannelStats)>,
+}
+
+/// A set of modules plus the context their channels were created against.
+///
+/// Typical use:
+/// ```
+/// use fblas_hlssim::{channel, Simulation, ModuleKind};
+///
+/// let mut sim = Simulation::new();
+/// let (tx, rx) = channel::<f32>(sim.ctx(), 16, "ch");
+/// sim.add_module("producer", ModuleKind::Interface, move || {
+///     tx.push_iter((0..100).map(|i| i as f32))
+/// });
+/// sim.add_module("consumer", ModuleKind::Compute, move || {
+///     let v = rx.pop_n(100)?;
+///     assert_eq!(v.len(), 100);
+///     Ok(())
+/// });
+/// sim.run().unwrap();
+/// ```
+pub struct Simulation {
+    ctx: SimContext,
+    modules: Vec<ModuleSpec>,
+    grace: Duration,
+}
+
+/// Default stall-detection grace period: the watchdog requires the epoch to
+/// be frozen with all live modules blocked for this long before declaring a
+/// stall. Long enough to be robust against scheduling noise, short enough
+/// for tests that deliberately construct invalid compositions.
+const DEFAULT_GRACE: Duration = Duration::from_millis(250);
+
+impl Simulation {
+    /// Create an empty simulation with its own fresh [`SimContext`].
+    pub fn new() -> Self {
+        Simulation { ctx: SimContext::new(), modules: Vec::new(), grace: DEFAULT_GRACE }
+    }
+
+    /// Create a simulation over an existing context.
+    pub fn with_ctx(ctx: SimContext) -> Self {
+        Simulation { ctx, modules: Vec::new(), grace: DEFAULT_GRACE }
+    }
+
+    /// The context channels must be created against.
+    pub fn ctx(&self) -> &SimContext {
+        &self.ctx
+    }
+
+    /// Override the stall-detection grace period.
+    pub fn set_grace(&mut self, grace: Duration) {
+        self.grace = grace;
+    }
+
+    /// Add a module from its parts.
+    pub fn add_module(
+        &mut self,
+        name: impl Into<String>,
+        kind: ModuleKind,
+        body: impl FnOnce() -> Result<(), SimError> + Send + 'static,
+    ) -> &mut Self {
+        self.modules.push(ModuleSpec::new(name, kind, body));
+        self
+    }
+
+    /// Add a prepared [`ModuleSpec`].
+    pub fn add_spec(&mut self, spec: ModuleSpec) -> &mut Self {
+        self.modules.push(spec);
+        self
+    }
+
+    /// Number of modules registered so far.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Run all modules concurrently to completion.
+    ///
+    /// Returns the first module error encountered, or [`SimError::Stall`]
+    /// if the watchdog detected a deadlocked composition. On success the
+    /// report carries the wall time and total transfer count.
+    pub fn run(self) -> Result<SimulationReport, SimError> {
+        let Simulation { ctx, modules, grace } = self;
+        let shared = ctx.shared();
+        let names: Vec<String> = modules.iter().map(|m| m.name.clone()).collect();
+        let n = modules.len();
+        shared.live.store(n, Ordering::Release);
+
+        let start = Instant::now();
+        let mut stalled = false;
+        let mut results: Vec<Option<Result<(), SimError>>> = Vec::new();
+        results.resize_with(n, || None);
+
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n);
+            for spec in modules {
+                let shared = shared.clone();
+                let name = spec.name.clone();
+                handles.push(s.spawn(move || {
+                    // A panicking module must still decrement `live`, or
+                    // the watchdog can never conclude anything about the
+                    // remaining modules.
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(spec.body))
+                        .unwrap_or_else(|_| {
+                            Err(SimError::module(name, "module thread panicked"))
+                        });
+                    shared.live.fetch_sub(1, Ordering::AcqRel);
+                    r
+                }));
+            }
+
+            // Watchdog: poll until all threads finish or a stall is seen.
+            let poll = Duration::from_millis(5);
+            let mut last_epoch = shared.epoch.load(Ordering::Acquire);
+            let mut frozen_since = Instant::now();
+            loop {
+                if shared.live.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                std::thread::sleep(poll);
+                let epoch = shared.epoch.load(Ordering::Acquire);
+                let live = shared.live.load(Ordering::Acquire);
+                let blocked = shared.blocked.load(Ordering::Acquire);
+                if epoch != last_epoch || live == 0 || blocked < live {
+                    last_epoch = epoch;
+                    frozen_since = Instant::now();
+                    continue;
+                }
+                if frozen_since.elapsed() >= grace {
+                    stalled = true;
+                    shared.poisoned.store(true, Ordering::Release);
+                    break;
+                }
+            }
+
+            for (i, h) in handles.into_iter().enumerate() {
+                results[i] = Some(h.join().unwrap_or_else(|_| {
+                    Err(SimError::module(names[i].clone(), "module thread panicked"))
+                }));
+            }
+        });
+
+        let wall_time = start.elapsed();
+
+        if stalled {
+            let blocked: Vec<&str> = names
+                .iter()
+                .zip(&results)
+                .filter(|(_, r)| matches!(r, Some(Err(_))))
+                .map(|(n, _)| n.as_str())
+                .collect();
+            return Err(SimError::Stall {
+                detail: format!(
+                    "no channel progress for {:?}; blocked modules: [{}]",
+                    grace,
+                    blocked.join(", ")
+                ),
+            });
+        }
+
+        // Surface the first real module error (ignoring poison cascades).
+        let mut saw_poison = false;
+        for r in results.into_iter().flatten() {
+            match r {
+                Ok(()) => {}
+                Err(SimError::Poisoned) => saw_poison = true,
+                Err(e) => return Err(e),
+            }
+        }
+        // Poison without any primary failure means the run was cancelled
+        // externally via `SimContext::poison` — not a successful
+        // completion.
+        if saw_poison {
+            return Err(SimError::Poisoned);
+        }
+
+        let channel_stats = SimContext { shared: shared.clone() }.channel_stats();
+        Ok(SimulationReport {
+            modules: names,
+            wall_time,
+            transfers: shared.epoch.load(Ordering::Acquire),
+            channel_stats,
+        })
+    }
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel;
+
+    #[test]
+    fn two_module_pipeline_completes() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel::<u64>(sim.ctx(), 8, "ch");
+        sim.add_module("src", ModuleKind::Interface, move || tx.push_iter(0..1000));
+        sim.add_module("sink", ModuleKind::Compute, move || {
+            let v = rx.pop_n(1000)?;
+            assert_eq!(v[999], 999);
+            Ok(())
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.modules.len(), 2);
+        assert!(report.transfers >= 2000); // each element: 1 push + 1 pop
+    }
+
+    #[test]
+    fn three_stage_chain_streams_through() {
+        let mut sim = Simulation::new();
+        let (tx1, rx1) = channel::<f64>(sim.ctx(), 4, "a");
+        let (tx2, rx2) = channel::<f64>(sim.ctx(), 4, "b");
+        sim.add_module("src", ModuleKind::Interface, move || {
+            tx1.push_iter((0..500).map(f64::from))
+        });
+        sim.add_module("scale", ModuleKind::Compute, move || {
+            for _ in 0..500 {
+                tx2.push(rx1.pop()? * 2.0)?;
+            }
+            Ok(())
+        });
+        sim.add_module("sink", ModuleKind::Interface, move || {
+            let v = rx2.pop_n(500)?;
+            assert!((v[499] - 998.0).abs() < 1e-12);
+            Ok(())
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn deadlocked_composition_is_reported_as_stall() {
+        // Two modules, each waiting for the other to send first: the
+        // canonical invalid composition.
+        let mut sim = Simulation::new();
+        let (tx_ab, rx_ab) = channel::<u8>(sim.ctx(), 1, "a_to_b");
+        let (tx_ba, rx_ba) = channel::<u8>(sim.ctx(), 1, "b_to_a");
+        sim.add_module("a", ModuleKind::Compute, move || {
+            let v = rx_ba.pop()?; // waits for b
+            tx_ab.push(v)?;
+            Ok(())
+        });
+        sim.add_module("b", ModuleKind::Compute, move || {
+            let v = rx_ab.pop()?; // waits for a
+            tx_ba.push(v)?;
+            Ok(())
+        });
+        match sim.run() {
+            Err(SimError::Stall { detail }) => {
+                assert!(detail.contains("blocked modules"));
+            }
+            other => panic!("expected stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undersized_channel_between_replaying_modules_stalls() {
+        // Miniature ATAX pattern (paper Sec. V-B): a producer pushes N
+        // elements; the consumer needs the first element again after
+        // consuming all N (replay), which only works if the FIFO can hold
+        // all N. With a small FIFO the producer blocks and the pair stalls.
+        let n = 64usize;
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel::<u32>(sim.ctx(), 4, "small");
+        let (res_tx, res_rx) = channel::<u32>(sim.ctx(), 1, "res");
+        sim.add_module("producer", ModuleKind::Interface, move || {
+            tx.push_iter(0..(2 * n as u32)) // wants to send everything twice
+        });
+        sim.add_module("consumer", ModuleKind::Compute, move || {
+            // Consumes only n elements, then waits on `res` that nobody
+            // feeds until the producer finishes (which it can't).
+            let first_pass = rx.pop_n(n)?;
+            let _ = res_rx.pop()?; // never arrives
+            drop(first_pass);
+            Ok(())
+        });
+        sim.add_module("never", ModuleKind::Compute, move || {
+            // Keeps the `res` channel open forever without ever pushing:
+            // emulates a module whose producing condition never arrives.
+            std::mem::forget(res_tx);
+            Ok(())
+        });
+        // The `never` module exits immediately, so live drops to 2, both
+        // blocked => stall.
+        match sim.run() {
+            Err(SimError::Stall { .. }) => {}
+            other => panic!("expected stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn module_error_is_propagated() {
+        let mut sim = Simulation::new();
+        sim.add_module("bad", ModuleKind::Compute, || {
+            Err(SimError::module("bad", "boom"))
+        });
+        match sim.run() {
+            Err(SimError::Module { module, detail }) => {
+                assert_eq!(module, "bad");
+                assert_eq!(detail, "boom");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn module_panic_is_converted_to_error() {
+        let mut sim = Simulation::new();
+        sim.add_module("panics", ModuleKind::Compute, || panic!("oops"));
+        match sim.run() {
+            Err(SimError::Module { detail, .. }) => assert!(detail.contains("panicked")),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_simulation_completes_immediately() {
+        let report = Simulation::new().run().unwrap();
+        assert!(report.modules.is_empty());
+        assert_eq!(report.transfers, 0);
+        assert!(report.channel_stats.is_empty());
+    }
+
+    #[test]
+    fn report_carries_per_channel_statistics() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel::<u32>(sim.ctx(), 4, "probed");
+        sim.add_module("src", ModuleKind::Interface, move || tx.push_iter(0..100));
+        sim.add_module("sink", ModuleKind::Compute, move || rx.pop_n(100).map(|_| ()));
+        let report = sim.run().unwrap();
+        assert_eq!(report.channel_stats.len(), 1);
+        let (name, stats) = &report.channel_stats[0];
+        assert_eq!(name, "probed");
+        assert_eq!(stats.transferred, 100);
+        assert!(stats.max_occupancy <= 4);
+    }
+
+    #[test]
+    fn count_mismatch_is_disconnect_not_stall() {
+        // Producer sends fewer elements than the consumer expects: the
+        // consumer must see a Disconnected error naming the channel.
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel::<u8>(sim.ctx(), 8, "short");
+        sim.add_module("src", ModuleKind::Interface, move || tx.push_iter(0..10));
+        sim.add_module("sink", ModuleKind::Compute, move || {
+            rx.pop_n(20).map(|_| ())
+        });
+        match sim.run() {
+            Err(SimError::Disconnected { channel }) => assert_eq!(channel, "short"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

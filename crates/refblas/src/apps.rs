@@ -1,0 +1,196 @@
+//! Reference implementations of the composed applications used in the
+//! paper's streaming-composition evaluation (Sec. V, Fig. 11, Table VI).
+//!
+//! These are the "updated set of BLAS subprograms" of Blackford et al.
+//! that FBLAS implements by chaining streaming modules; here they are
+//! computed directly on the CPU, serving as oracle and comparator.
+
+use crate::level1::{axpy, copy, dot};
+use crate::level2::{gemv, ger};
+use crate::real::Real;
+use crate::types::Trans;
+
+/// AXPYDOT: `z = w − α·v`, `β = zᵀu`. Returns `(z, β)`.
+///
+/// # Panics
+/// Panics if the vectors differ in length.
+pub fn axpydot<T: Real>(w: &[T], v: &[T], u: &[T], alpha: T) -> (Vec<T>, T) {
+    assert_eq!(w.len(), v.len(), "axpydot: w/v length");
+    assert_eq!(w.len(), u.len(), "axpydot: w/u length");
+    let mut z = vec![T::ZERO; w.len()];
+    copy(w, &mut z);
+    axpy(-alpha, v, &mut z);
+    let beta = dot(&z, u);
+    (z, beta)
+}
+
+/// BICG: `q = A·p`, `s = Aᵀ·r` with `A` of shape `n × m` row-major,
+/// `p` of length `m`, `r` of length `n`. Returns `(q, s)` of lengths
+/// `n` and `m`.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn bicg<T: Real>(n: usize, m: usize, a: &[T], p: &[T], r: &[T]) -> (Vec<T>, Vec<T>) {
+    assert_eq!(a.len(), n * m, "bicg: A must be n*m");
+    assert_eq!(p.len(), m, "bicg: p length");
+    assert_eq!(r.len(), n, "bicg: r length");
+    let mut q = vec![T::ZERO; n];
+    gemv(Trans::No, n, m, T::ONE, a, p, T::ZERO, &mut q);
+    let mut s = vec![T::ZERO; m];
+    gemv(Trans::Yes, n, m, T::ONE, a, r, T::ZERO, &mut s);
+    (q, s)
+}
+
+/// ATAX: `y = Aᵀ·(A·x)` with `A` of shape `m × n` row-major, `x` of
+/// length `n`. Returns `y` of length `n`.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn atax<T: Real>(m: usize, n: usize, a: &[T], x: &[T]) -> Vec<T> {
+    assert_eq!(a.len(), m * n, "atax: A must be m*n");
+    assert_eq!(x.len(), n, "atax: x length");
+    let mut t = vec![T::ZERO; m];
+    gemv(Trans::No, m, n, T::ONE, a, x, T::ZERO, &mut t);
+    let mut y = vec![T::ZERO; n];
+    gemv(Trans::Yes, m, n, T::ONE, a, &t, T::ZERO, &mut y);
+    y
+}
+
+/// Result of [`gemver`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemverResult<T> {
+    /// `B = A + u1·v1ᵀ + u2·v2ᵀ`.
+    pub b: Vec<T>,
+    /// `x = β·Bᵀ·y + z`.
+    pub x: Vec<T>,
+    /// `w = α·B·x`.
+    pub w: Vec<T>,
+}
+
+/// GEMVER (paper Sec. V-C): `B = A + u1·v1ᵀ + u2·v2ᵀ`,
+/// `x = β·Bᵀ·y + z`, `w = α·B·x`, all square of order `n`.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn gemver<T: Real>(
+    n: usize,
+    alpha: T,
+    beta: T,
+    a: &[T],
+    u1: &[T],
+    v1: &[T],
+    u2: &[T],
+    v2: &[T],
+    y: &[T],
+    z: &[T],
+) -> GemverResult<T> {
+    assert_eq!(a.len(), n * n, "gemver: A must be n*n");
+    for (name, v) in [("u1", u1), ("v1", v1), ("u2", u2), ("v2", v2), ("y", y), ("z", z)] {
+        assert_eq!(v.len(), n, "gemver: {name} length");
+    }
+    let mut b = a.to_vec();
+    ger(n, n, T::ONE, u1, v1, &mut b);
+    ger(n, n, T::ONE, u2, v2, &mut b);
+
+    let mut x = z.to_vec();
+    gemv(Trans::Yes, n, n, beta, &b, y, T::ONE, &mut x);
+
+    let mut w = vec![T::ZERO; n];
+    gemv(Trans::No, n, n, alpha, &b, &x, T::ZERO, &mut w);
+
+    GemverResult { b, x, w }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, seed: f64) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64 + seed) * 0.313).sin()).collect()
+    }
+
+    #[test]
+    fn axpydot_small_known() {
+        let w = vec![5.0f64, 6.0];
+        let v = vec![1.0f64, 2.0];
+        let u = vec![1.0f64, 1.0];
+        let (z, beta) = axpydot(&w, &v, &u, 2.0);
+        assert_eq!(z, vec![3.0, 2.0]);
+        assert_eq!(beta, 5.0);
+    }
+
+    #[test]
+    fn bicg_matches_direct_gemvs() {
+        let (n, m) = (5, 7);
+        let a = seq(n * m, 0.0);
+        let p = seq(m, 1.0);
+        let r = seq(n, 2.0);
+        let (q, s) = bicg(n, m, &a, &p, &r);
+        for i in 0..n {
+            let direct: f64 = (0..m).map(|j| a[i * m + j] * p[j]).sum();
+            assert!((q[i] - direct).abs() < 1e-12);
+        }
+        for j in 0..m {
+            let direct: f64 = (0..n).map(|i| a[i * m + j] * r[i]).sum();
+            assert!((s[j] - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn atax_is_gram_matrix_action() {
+        let (m, n) = (6, 4);
+        let a = seq(m * n, 3.0);
+        let x = seq(n, 4.0);
+        let y = atax(m, n, &a, &x);
+        // Direct AᵀA x.
+        for j in 0..n {
+            let mut acc = 0.0;
+            for i in 0..m {
+                let mut ax = 0.0;
+                for l in 0..n {
+                    ax += a[i * n + l] * x[l];
+                }
+                acc += a[i * n + j] * ax;
+            }
+            assert!((y[j] - acc).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemver_components_consistent() {
+        let n = 5;
+        let a = seq(n * n, 0.0);
+        let u1 = seq(n, 1.0);
+        let v1 = seq(n, 2.0);
+        let u2 = seq(n, 3.0);
+        let v2 = seq(n, 4.0);
+        let y = seq(n, 5.0);
+        let z = seq(n, 6.0);
+        let (alpha, beta) = (1.3, 0.7);
+        let r = gemver(n, alpha, beta, &a, &u1, &v1, &u2, &v2, &y, &z);
+        // B spot check.
+        for i in 0..n {
+            for j in 0..n {
+                let exp = a[i * n + j] + u1[i] * v1[j] + u2[i] * v2[j];
+                assert!((r.b[i * n + j] - exp).abs() < 1e-12);
+            }
+        }
+        // x = β Bᵀ y + z.
+        for j in 0..n {
+            let mut acc = z[j];
+            for i in 0..n {
+                acc += beta * r.b[i * n + j] * y[i];
+            }
+            assert!((r.x[j] - acc).abs() < 1e-12);
+        }
+        // w = α B x.
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += alpha * r.b[i * n + j] * r.x[j];
+            }
+            assert!((r.w[i] - acc).abs() < 1e-12);
+        }
+    }
+}

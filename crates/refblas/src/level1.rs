@@ -1,0 +1,524 @@
+//! Reference implementations of the BLAS Level-1 routines offered by
+//! FBLAS: ROTG, ROTMG, ROT, ROTM, SWAP, SCAL, COPY, AXPY, DOT, SDSDOT,
+//! NRM2, ASUM, IAMAX (paper Sec. VI).
+//!
+//! Semantics follow the netlib reference BLAS. Vectors are contiguous
+//! slices (increment 1); FBLAS streams vectors contiguously, so
+//! non-unit strides never arise in the reproduction.
+
+use crate::real::Real;
+use crate::types::{RotmFlag, RotmParam};
+
+/// Output of [`rotg`]: the Givens rotation annihilating the second
+/// component of `(a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Givens<T> {
+    /// The rotated first component `r` (overwrites `a` in classic BLAS).
+    pub r: T,
+    /// The reconstruction scalar `z` (overwrites `b`).
+    pub z: T,
+    /// Cosine of the rotation.
+    pub c: T,
+    /// Sine of the rotation.
+    pub s: T,
+}
+
+/// Construct a Givens plane rotation zeroing `b` (netlib `?rotg`).
+pub fn rotg<T: Real>(a: T, b: T) -> Givens<T> {
+    let roe = if a.abs() > b.abs() { a } else { b };
+    let scale = a.abs() + b.abs();
+    if scale == T::ZERO {
+        return Givens { r: T::ZERO, z: T::ZERO, c: T::ONE, s: T::ZERO };
+    }
+    let sa = a / scale;
+    let sb = b / scale;
+    let r = (scale * (sa * sa + sb * sb).sqrt()).copysign(roe);
+    let c = a / r;
+    let s = b / r;
+    let z = if a.abs() > b.abs() {
+        s
+    } else if c != T::ZERO {
+        T::ONE / c
+    } else {
+        T::ONE
+    };
+    Givens { r, z, c, s }
+}
+
+/// Output of [`rotmg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RotmgResult<T> {
+    /// Updated first diagonal scaling factor.
+    pub d1: T,
+    /// Updated second diagonal scaling factor.
+    pub d2: T,
+    /// Updated first component.
+    pub x1: T,
+    /// The modified-Givens transform.
+    pub param: RotmParam<T>,
+}
+
+/// Construct a modified Givens transformation (netlib `?rotmg`): given the
+/// scaled vector `(sqrt(d1)·x1, sqrt(d2)·y1)`, produce `H` and updated
+/// scales such that applying `H` annihilates the second component.
+pub fn rotmg<T: Real>(mut d1: T, mut d2: T, mut x1: T, y1: T) -> RotmgResult<T> {
+    let gam = T::from_f64(4096.0);
+    let gamsq = gam * gam;
+    let rgamsq = T::ONE / gamsq;
+
+    let (mut h11, mut h12, mut h21, mut h22);
+    let mut flag;
+
+    if d1 < T::ZERO {
+        // The netlib "zero H, D and X1" error path.
+        return RotmgResult {
+            d1: T::ZERO,
+            d2: T::ZERO,
+            x1: T::ZERO,
+            param: RotmParam {
+                flag: RotmFlag::Full,
+                h11: T::ZERO,
+                h12: T::ZERO,
+                h21: T::ZERO,
+                h22: T::ZERO,
+            },
+        };
+    }
+    let p2 = d2 * y1;
+    if p2 == T::ZERO {
+        return RotmgResult {
+            d1,
+            d2,
+            x1,
+            param: RotmParam {
+                flag: RotmFlag::Identity,
+                h11: T::ZERO,
+                h12: T::ZERO,
+                h21: T::ZERO,
+                h22: T::ZERO,
+            },
+        };
+    }
+    let p1 = d1 * x1;
+    let q2 = p2 * y1;
+    let q1 = p1 * x1;
+
+    if q1.abs() > q2.abs() {
+        h21 = -y1 / x1;
+        h12 = p2 / p1;
+        let u = T::ONE - h12 * h21;
+        if u > T::ZERO {
+            flag = RotmFlag::OffDiagonal;
+            d1 /= u;
+            d2 /= u;
+            x1 *= u;
+            h11 = T::ONE;
+            h22 = T::ONE;
+        } else {
+            // Numerically impossible for |q1| > |q2| with exact
+            // arithmetic; netlib zeroes everything defensively.
+            return RotmgResult {
+                d1: T::ZERO,
+                d2: T::ZERO,
+                x1: T::ZERO,
+                param: RotmParam {
+                    flag: RotmFlag::Full,
+                    h11: T::ZERO,
+                    h12: T::ZERO,
+                    h21: T::ZERO,
+                    h22: T::ZERO,
+                },
+            };
+        }
+    } else {
+        if q2 < T::ZERO {
+            return RotmgResult {
+                d1: T::ZERO,
+                d2: T::ZERO,
+                x1: T::ZERO,
+                param: RotmParam {
+                    flag: RotmFlag::Full,
+                    h11: T::ZERO,
+                    h12: T::ZERO,
+                    h21: T::ZERO,
+                    h22: T::ZERO,
+                },
+            };
+        }
+        flag = RotmFlag::Diagonal;
+        h11 = p1 / p2;
+        h22 = x1 / y1;
+        let u = T::ONE + h11 * h22;
+        let tmp = d2 / u;
+        d2 = d1 / u;
+        d1 = tmp;
+        x1 = y1 * u;
+        h12 = T::ONE;
+        h21 = -T::ONE;
+    }
+
+    // Rescaling of d1 (netlib scaling loops), keeping the factors within
+    // [1/gam², gam²].
+    while d1 != T::ZERO && (d1 <= rgamsq || d1 >= gamsq) {
+        flag = RotmFlag::Full;
+        if d1 <= rgamsq {
+            d1 *= gamsq;
+            x1 /= gam;
+            h11 /= gam;
+            h12 /= gam;
+        } else {
+            d1 /= gamsq;
+            x1 *= gam;
+            h11 *= gam;
+            h12 *= gam;
+        }
+    }
+    // Rescaling of d2.
+    while d2 != T::ZERO && (d2.abs() <= rgamsq || d2.abs() >= gamsq) {
+        flag = RotmFlag::Full;
+        if d2.abs() <= rgamsq {
+            d2 *= gamsq;
+            h21 /= gam;
+            h22 /= gam;
+        } else {
+            d2 /= gamsq;
+            h21 *= gam;
+            h22 *= gam;
+        }
+    }
+
+    let param = match flag {
+        RotmFlag::Full => RotmParam { flag, h11, h12, h21, h22 },
+        RotmFlag::OffDiagonal => {
+            RotmParam { flag, h11: T::ZERO, h12, h21, h22: T::ZERO }
+        }
+        RotmFlag::Diagonal => RotmParam { flag, h11, h12: T::ZERO, h21: T::ZERO, h22 },
+        RotmFlag::Identity => RotmParam {
+            flag,
+            h11: T::ZERO,
+            h12: T::ZERO,
+            h21: T::ZERO,
+            h22: T::ZERO,
+        },
+    };
+    RotmgResult { d1, d2, x1, param }
+}
+
+/// Apply a plane rotation to vector pair `(x, y)`:
+/// `xᵢ ← c·xᵢ + s·yᵢ`, `yᵢ ← c·yᵢ − s·xᵢ`.
+///
+/// # Panics
+/// Panics if `x` and `y` have different lengths.
+pub fn rot<T: Real>(x: &mut [T], y: &mut [T], c: T, s: T) {
+    assert_eq!(x.len(), y.len(), "rot: length mismatch");
+    for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
+        let t = c * *xi + s * *yi;
+        *yi = c * *yi - s * *xi;
+        *xi = t;
+    }
+}
+
+/// Apply a modified Givens transformation `H` to `(x, y)` (netlib `?rotm`).
+///
+/// # Panics
+/// Panics if `x` and `y` have different lengths.
+pub fn rotm<T: Real>(x: &mut [T], y: &mut [T], param: &RotmParam<T>) {
+    assert_eq!(x.len(), y.len(), "rotm: length mismatch");
+    let (h11, h12, h21, h22) = match param.flag {
+        RotmFlag::Identity => return,
+        RotmFlag::Full => (param.h11, param.h12, param.h21, param.h22),
+        RotmFlag::OffDiagonal => (T::ONE, param.h12, param.h21, T::ONE),
+        RotmFlag::Diagonal => (param.h11, T::ONE, -T::ONE, param.h22),
+    };
+    for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
+        let w = *xi;
+        let z = *yi;
+        *xi = w * h11 + z * h12;
+        *yi = w * h21 + z * h22;
+    }
+}
+
+/// Exchange the contents of two vectors.
+///
+/// # Panics
+/// Panics if `x` and `y` have different lengths.
+pub fn swap<T: Real>(x: &mut [T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "swap: length mismatch");
+    x.swap_with_slice(y);
+}
+
+/// Scale a vector in place: `x ← α·x`.
+pub fn scal<T: Real>(alpha: T, x: &mut [T]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Copy `x` into `y`.
+///
+/// # Panics
+/// Panics if `x` and `y` have different lengths.
+pub fn copy<T: Real>(x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "copy: length mismatch");
+    y.copy_from_slice(x);
+}
+
+/// `y ← α·x + y`.
+///
+/// # Panics
+/// Panics if `x` and `y` have different lengths.
+pub fn axpy<T: Real>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = alpha.mul_add(*xi, *yi);
+    }
+}
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Panics if `x` and `y` have different lengths.
+pub fn dot<T: Real>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+/// `sb + xᵀy` computed with double-precision accumulation (netlib
+/// `sdsdot`; single precision only, as in BLAS).
+///
+/// # Panics
+/// Panics if `x` and `y` have different lengths.
+pub fn sdsdot(sb: f32, x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "sdsdot: length mismatch");
+    let acc: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&a, &b)| a as f64 * b as f64)
+        .sum::<f64>()
+        + sb as f64;
+    acc as f32
+}
+
+/// Euclidean norm `‖x‖₂`, computed with the netlib scale/ssq recurrence to
+/// avoid intermediate overflow/underflow.
+pub fn nrm2<T: Real>(x: &[T]) -> T {
+    let mut scale = T::ZERO;
+    let mut ssq = T::ONE;
+    for &xi in x {
+        if xi != T::ZERO {
+            let absxi = xi.abs();
+            if scale < absxi {
+                let r = scale / absxi;
+                ssq = T::ONE + ssq * r * r;
+                scale = absxi;
+            } else {
+                let r = absxi / scale;
+                ssq += r * r;
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Sum of absolute values `Σ|xᵢ|`.
+pub fn asum<T: Real>(x: &[T]) -> T {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Index (0-based) of the first element with maximum absolute value;
+/// `None` for an empty vector.
+///
+/// Classic BLAS returns a 1-based index and 0 for `n = 0`; the FBLAS host
+/// layer converts. `None` makes the empty case unambiguous in Rust.
+pub fn iamax<T: Real>(x: &[T]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut best_abs = x[0].abs();
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        let a = v.abs();
+        if a > best_abs {
+            best = i;
+            best_abs = a;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn rotg_annihilates_b() {
+        let g = rotg(3.0f64, 4.0);
+        // r = ±5, and applying the rotation to (a, b) zeroes b.
+        assert!(close(g.r.abs(), 5.0, 1e-12));
+        let b_rot = -g.s * 3.0 + g.c * 4.0;
+        assert!(b_rot.abs() < 1e-12);
+        assert!(close(g.c * g.c + g.s * g.s, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn rotg_zero_input() {
+        let g = rotg(0.0f32, 0.0);
+        assert_eq!(g.c, 1.0);
+        assert_eq!(g.s, 0.0);
+        assert_eq!(g.r, 0.0);
+    }
+
+    #[test]
+    fn rotg_sign_convention() {
+        // roe follows the larger-magnitude input.
+        let g = rotg(-6.0f64, 2.0);
+        assert!(g.r < 0.0);
+        let g = rotg(2.0f64, -6.0);
+        assert!(g.r < 0.0);
+    }
+
+    #[test]
+    fn rot_is_orthogonal() {
+        let mut x = vec![1.0f64, 2.0, 3.0];
+        let mut y = vec![4.0f64, 5.0, 6.0];
+        let n_before = dot(&x, &x) + dot(&y, &y);
+        let theta = 0.7f64;
+        rot(&mut x, &mut y, theta.cos(), theta.sin());
+        let n_after = dot(&x, &x) + dot(&y, &y);
+        assert!(close(n_before, n_after, 1e-12));
+    }
+
+    #[test]
+    fn rotmg_annihilates_second_component() {
+        for &(d1, d2, x1, y1) in &[
+            (2.0f64, 3.0, 1.5, 0.5),
+            (1.0, 1.0, 1.0, 2.0),
+            (0.5, 4.0, -1.0, 0.25),
+            (3.0, 0.1, 0.2, 5.0),
+        ] {
+            let r = rotmg(d1, d2, x1, y1);
+            let mut xv = [x1];
+            let mut yv = [y1];
+            rotm(&mut xv, &mut yv, &r.param);
+            // The second component of H·(x1, y1) must vanish.
+            assert!(
+                yv[0].abs() < 1e-10,
+                "rotmg({d1},{d2},{x1},{y1}): residual {}",
+                yv[0]
+            );
+            assert!(close(xv[0], r.x1, 1e-10), "x1 update mismatch");
+        }
+    }
+
+    #[test]
+    fn rotmg_preserves_weighted_norm() {
+        // d1·x1² + d2·y1² is invariant under the modified rotation.
+        let (d1, d2, x1, y1) = (2.0f64, 3.0, 1.5, 0.5);
+        let before = d1 * x1 * x1 + d2 * y1 * y1;
+        let r = rotmg(d1, d2, x1, y1);
+        let after = r.d1 * r.x1 * r.x1; // y' = 0
+        assert!(close(before, after, 1e-10));
+    }
+
+    #[test]
+    fn rotmg_negative_d1_zeroes_everything() {
+        let r = rotmg(-1.0f64, 1.0, 1.0, 1.0);
+        assert_eq!(r.d1, 0.0);
+        assert_eq!(r.d2, 0.0);
+        assert_eq!(r.x1, 0.0);
+    }
+
+    #[test]
+    fn rotmg_zero_p2_is_identity() {
+        let r = rotmg(1.0f64, 1.0, 2.0, 0.0);
+        assert_eq!(r.param.flag, RotmFlag::Identity);
+        assert_eq!(r.x1, 2.0);
+    }
+
+    #[test]
+    fn rotmg_rescaling_kicks_in_for_tiny_d1() {
+        let r = rotmg(1.0e-10f64, 1.0, 1.0, 0.5);
+        assert_eq!(r.param.flag, RotmFlag::Full);
+        let mut xv = [1.0];
+        let mut yv = [0.5];
+        rotm(&mut xv, &mut yv, &r.param);
+        assert!(yv[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotm_identity_flag_is_noop() {
+        let mut x = vec![1.0f32, 2.0];
+        let mut y = vec![3.0f32, 4.0];
+        let p = RotmParam { flag: RotmFlag::Identity, h11: 9.0, h12: 9.0, h21: 9.0, h22: 9.0 };
+        rotm(&mut x, &mut y, &p);
+        assert_eq!(x, vec![1.0, 2.0]);
+        assert_eq!(y, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn swap_copy_scal() {
+        let mut x = vec![1.0f64, 2.0, 3.0];
+        let mut y = vec![4.0f64, 5.0, 6.0];
+        swap(&mut x, &mut y);
+        assert_eq!(x, vec![4.0, 5.0, 6.0]);
+        assert_eq!(y, vec![1.0, 2.0, 3.0]);
+        let mut z = vec![0.0f64; 3];
+        copy(&x, &mut z);
+        assert_eq!(z, x);
+        scal(2.0, &mut z);
+        assert_eq!(z, vec![8.0, 10.0, 12.0]);
+        scal(0.0, &mut z);
+        assert_eq!(z, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn axpy_and_dot() {
+        let x = vec![1.0f64, 2.0, 3.0];
+        let mut y = vec![10.0f64, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+        assert_eq!(dot(&x, &x), 14.0);
+        assert_eq!(dot::<f64>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn sdsdot_uses_double_accumulation() {
+        // Large cancellation that f32 accumulation would lose.
+        let x = vec![1.0e7f32, 1.0, -1.0e7];
+        let y = vec![1.0f32, 1.0, 1.0];
+        let r = sdsdot(0.5, &x, &y);
+        assert_eq!(r, 1.5);
+    }
+
+    #[test]
+    fn nrm2_basic_and_overflow_safe() {
+        assert!(close(nrm2(&[3.0f64, 4.0]).to_f64(), 5.0, 1e-12));
+        assert_eq!(nrm2::<f64>(&[]), 0.0);
+        // Values whose squares overflow f32: the scaled recurrence must
+        // still produce a finite, correct result.
+        let big = 1.0e30f32;
+        let n = nrm2(&[big, big]);
+        assert!(n.is_finite());
+        assert!(close(n as f64, (2.0f64).sqrt() * 1.0e30, 1e-6));
+    }
+
+    #[test]
+    fn asum_and_iamax() {
+        let x = vec![-1.0f64, 3.0, -2.0];
+        assert_eq!(asum(&x), 6.0);
+        assert_eq!(iamax(&x), Some(1));
+        assert_eq!(iamax::<f64>(&[]), None);
+        // First occurrence on ties.
+        assert_eq!(iamax(&[2.0f64, -2.0, 2.0]), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = dot(&[1.0f64], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,312 @@
+//! Reference implementations of the BLAS Level-2 routines offered by
+//! FBLAS: GEMV, TRSV, GER, SYR, SYR2 (paper Sec. VI).
+//!
+//! Matrices are dense, row-major `rows × cols` slices.
+
+use crate::real::Real;
+use crate::types::{Diag, Trans, Uplo};
+
+/// General matrix-vector multiply: `y ← α·op(A)·x + β·y`, where `A` is
+/// `m × n` row-major; `op(A)` is `A` or `Aᵀ` per `trans`.
+///
+/// With `trans == No`, `x` has `n` elements and `y` has `m`; transposed,
+/// the roles swap.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn gemv<T: Real>(
+    trans: Trans,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    x: &[T],
+    beta: T,
+    y: &mut [T],
+) {
+    assert_eq!(a.len(), m * n, "gemv: A must be m*n");
+    let (xn, yn) = match trans {
+        Trans::No => (n, m),
+        Trans::Yes => (m, n),
+    };
+    assert_eq!(x.len(), xn, "gemv: x length");
+    assert_eq!(y.len(), yn, "gemv: y length");
+
+    match trans {
+        Trans::No => {
+            for i in 0..m {
+                let row = &a[i * n..(i + 1) * n];
+                let mut acc = T::ZERO;
+                for j in 0..n {
+                    acc = row[j].mul_add(x[j], acc);
+                }
+                y[i] = alpha * acc + beta * y[i];
+            }
+        }
+        Trans::Yes => {
+            // Compute β·y first, then accumulate columns to stay cache
+            // friendly over the row-major storage.
+            for yj in y.iter_mut() {
+                *yj *= beta;
+            }
+            for i in 0..m {
+                let row = &a[i * n..(i + 1) * n];
+                let axi = alpha * x[i];
+                for j in 0..n {
+                    y[j] = axi.mul_add(row[j], y[j]);
+                }
+            }
+        }
+    }
+}
+
+/// Rank-1 update: `A ← α·x·yᵀ + A`, `A` is `m × n` row-major.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn ger<T: Real>(m: usize, n: usize, alpha: T, x: &[T], y: &[T], a: &mut [T]) {
+    assert_eq!(a.len(), m * n, "ger: A must be m*n");
+    assert_eq!(x.len(), m, "ger: x length");
+    assert_eq!(y.len(), n, "ger: y length");
+    for i in 0..m {
+        let axi = alpha * x[i];
+        let row = &mut a[i * n..(i + 1) * n];
+        for j in 0..n {
+            row[j] = axi.mul_add(y[j], row[j]);
+        }
+    }
+}
+
+/// Symmetric rank-1 update: `A ← α·x·xᵀ + A`, touching only the `uplo`
+/// triangle of the `n × n` matrix `A`.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn syr<T: Real>(uplo: Uplo, n: usize, alpha: T, x: &[T], a: &mut [T]) {
+    assert_eq!(a.len(), n * n, "syr: A must be n*n");
+    assert_eq!(x.len(), n, "syr: x length");
+    for i in 0..n {
+        let axi = alpha * x[i];
+        let (lo, hi) = match uplo {
+            Uplo::Upper => (i, n),
+            Uplo::Lower => (0, i + 1),
+        };
+        for j in lo..hi {
+            a[i * n + j] = axi.mul_add(x[j], a[i * n + j]);
+        }
+    }
+}
+
+/// Symmetric rank-2 update: `A ← α·x·yᵀ + α·y·xᵀ + A`, touching only the
+/// `uplo` triangle.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn syr2<T: Real>(uplo: Uplo, n: usize, alpha: T, x: &[T], y: &[T], a: &mut [T]) {
+    assert_eq!(a.len(), n * n, "syr2: A must be n*n");
+    assert_eq!(x.len(), n, "syr2: x length");
+    assert_eq!(y.len(), n, "syr2: y length");
+    for i in 0..n {
+        let axi = alpha * x[i];
+        let ayi = alpha * y[i];
+        let (lo, hi) = match uplo {
+            Uplo::Upper => (i, n),
+            Uplo::Lower => (0, i + 1),
+        };
+        for j in lo..hi {
+            a[i * n + j] = axi.mul_add(y[j], ayi.mul_add(x[j], a[i * n + j]));
+        }
+    }
+}
+
+/// Triangular solve: `x ← op(A)⁻¹·x`, where `A` is `n × n` triangular
+/// (row-major) with the `uplo` triangle stored and an optional implicit
+/// unit diagonal.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn trsv<T: Real>(uplo: Uplo, trans: Trans, diag: Diag, n: usize, a: &[T], x: &mut [T]) {
+    assert_eq!(a.len(), n * n, "trsv: A must be n*n");
+    assert_eq!(x.len(), n, "trsv: x length");
+    // op(A) upper ⇔ backward substitution; op(A) lower ⇔ forward.
+    let effective_upper = match (uplo, trans) {
+        (Uplo::Upper, Trans::No) | (Uplo::Lower, Trans::Yes) => true,
+        (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes) => false,
+    };
+    let elem = |i: usize, j: usize| -> T {
+        match trans {
+            Trans::No => a[i * n + j],
+            Trans::Yes => a[j * n + i],
+        }
+    };
+    if effective_upper {
+        for ii in (0..n).rev() {
+            let mut acc = x[ii];
+            for j in ii + 1..n {
+                acc -= elem(ii, j) * x[j];
+            }
+            x[ii] = match diag {
+                Diag::Unit => acc,
+                Diag::NonUnit => acc / elem(ii, ii),
+            };
+        }
+    } else {
+        for ii in 0..n {
+            let mut acc = x[ii];
+            for j in 0..ii {
+                acc -= elem(ii, j) * x[j];
+            }
+            x[ii] = match diag {
+                Diag::Unit => acc,
+                Diag::NonUnit => acc / elem(ii, ii),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level1::dot;
+
+    fn close_slice(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemv_no_trans() {
+        // A = [[1,2],[3,4],[5,6]], x = [1,1], y = [1,1,1].
+        let a = vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = vec![1.0f64, 1.0];
+        let mut y = vec![1.0f64, 1.0, 1.0];
+        gemv(Trans::No, 3, 2, 2.0, &a, &x, 10.0, &mut y);
+        close_slice(&y, &[16.0, 24.0, 32.0], 1e-12);
+    }
+
+    #[test]
+    fn gemv_trans() {
+        let a = vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = vec![1.0f64, 1.0, 1.0];
+        let mut y = vec![0.0f64, 0.0];
+        gemv(Trans::Yes, 3, 2, 1.0, &a, &x, 0.0, &mut y);
+        close_slice(&y, &[9.0, 12.0], 1e-12);
+    }
+
+    #[test]
+    fn gemv_beta_zero_ignores_y_contents() {
+        let a = vec![1.0f64; 4];
+        let x = vec![1.0f64, 1.0];
+        let mut y = vec![123.0f64, 456.0];
+        gemv(Trans::No, 2, 2, 1.0, &a, &x, 0.0, &mut y);
+        close_slice(&y, &[2.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn ger_rank1() {
+        let mut a = vec![0.0f64; 6];
+        ger(2, 3, 2.0, &[1.0, 2.0], &[1.0, 10.0, 100.0], &mut a);
+        close_slice(&a, &[2.0, 20.0, 200.0, 4.0, 40.0, 400.0], 1e-12);
+    }
+
+    #[test]
+    fn syr_updates_only_requested_triangle() {
+        let n = 3;
+        let x = vec![1.0f64, 2.0, 3.0];
+        let mut up = vec![0.0f64; 9];
+        syr(Uplo::Upper, n, 1.0, &x, &mut up);
+        // Upper triangle has x_i x_j, strictly-lower stays zero.
+        assert_eq!(up[2], 3.0); // (0,2)
+        assert_eq!(up[2 * 3 + 0], 0.0);
+        assert_eq!(up[1 * 3 + 1], 4.0);
+
+        let mut lo = vec![0.0f64; 9];
+        syr(Uplo::Lower, n, 1.0, &x, &mut lo);
+        assert_eq!(lo[2 * 3 + 0], 3.0);
+        assert_eq!(lo[2], 0.0); // (0,2)
+    }
+
+    #[test]
+    fn syr2_matches_two_gers_on_triangle() {
+        let n = 3;
+        let x = vec![1.0f64, -2.0, 0.5];
+        let y = vec![2.0f64, 1.0, -1.0];
+        let mut a = vec![0.0f64; 9];
+        syr2(Uplo::Upper, n, 1.5, &x, &y, &mut a);
+        let mut full = vec![0.0f64; 9];
+        ger(n, n, 1.5, &x, &y, &mut full);
+        ger(n, n, 1.5, &y, &x, &mut full);
+        for i in 0..n {
+            for j in i..n {
+                assert!((a[i * n + j] - full[i * n + j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trsv_upper_and_lower_roundtrip() {
+        // Build a well-conditioned triangular matrix, multiply, solve back.
+        let n = 4;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if j >= i {
+                    a[i * n + j] = 1.0 + (i + 2 * j) as f64 * 0.1;
+                }
+            }
+            a[i * n + i] += 3.0;
+        }
+        let x0 = vec![1.0f64, -2.0, 3.0, 0.5];
+        // b = U x0
+        let mut b = vec![0.0f64; n];
+        gemv(Trans::No, n, n, 1.0, &a, &x0, 0.0, &mut b);
+        trsv(Uplo::Upper, Trans::No, Diag::NonUnit, n, &a, &mut b);
+        close_slice(&b, &x0, 1e-10);
+
+        // Transposed: solve Uᵀ x = b2.
+        let mut b2 = vec![0.0f64; n];
+        gemv(Trans::Yes, n, n, 1.0, &a, &x0, 0.0, &mut b2);
+        trsv(Uplo::Upper, Trans::Yes, Diag::NonUnit, n, &a, &mut b2);
+        close_slice(&b2, &x0, 1e-10);
+    }
+
+    #[test]
+    fn trsv_unit_diagonal_ignores_stored_diag() {
+        let n = 3;
+        // Lower unit-triangular with garbage on the diagonal.
+        let a = vec![
+            99.0f64, 0.0, 0.0, //
+            2.0, 77.0, 0.0, //
+            3.0, 4.0, 55.0,
+        ];
+        let x0 = vec![1.0f64, 2.0, 3.0];
+        // b = L1 x0 where L1 has ones on the diagonal.
+        let b = vec![1.0, 2.0 * 1.0 + 2.0, 3.0 * 1.0 + 4.0 * 2.0 + 3.0];
+        let mut x = b;
+        trsv(Uplo::Lower, Trans::No, Diag::Unit, n, &a, &mut x);
+        close_slice(&x, &x0, 1e-12);
+    }
+
+    #[test]
+    fn gemv_consistent_with_dot() {
+        let m = 5;
+        let n = 7;
+        let a: Vec<f64> = (0..m * n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.91).cos()).collect();
+        let mut y = vec![0.0f64; m];
+        gemv(Trans::No, m, n, 1.0, &a, &x, 0.0, &mut y);
+        for i in 0..m {
+            let row = &a[i * n..(i + 1) * n];
+            assert!((y[i] - dot(row, &x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gemv: x length")]
+    fn gemv_bad_x_panics() {
+        let mut y = vec![0.0f64; 2];
+        gemv(Trans::No, 2, 2, 1.0, &[0.0; 4], &[0.0; 3], 0.0, &mut y);
+    }
+}

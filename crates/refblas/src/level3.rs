@@ -1,0 +1,478 @@
+//! Reference implementations of the BLAS Level-3 routines offered by
+//! FBLAS: GEMM, SYRK, SYR2K, TRSM (paper Sec. VI).
+//!
+//! Matrices are dense, row-major.
+
+use crate::real::Real;
+use crate::types::{Diag, Side, Trans, Uplo};
+
+/// General matrix multiply: `C ← α·op(A)·op(B) + β·C` with `op(A)` of
+/// shape `m × k`, `op(B)` of shape `k × n`, `C` of shape `m × n`.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn gemm<T: Real>(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    beta: T,
+    c: &mut [T],
+) {
+    match transa {
+        Trans::No => assert_eq!(a.len(), m * k, "gemm: A must be m*k"),
+        Trans::Yes => assert_eq!(a.len(), k * m, "gemm: A must be k*m"),
+    }
+    match transb {
+        Trans::No => assert_eq!(b.len(), k * n, "gemm: B must be k*n"),
+        Trans::Yes => assert_eq!(b.len(), n * k, "gemm: B must be n*k"),
+    }
+    assert_eq!(c.len(), m * n, "gemm: C must be m*n");
+
+    let a_at = |i: usize, l: usize| -> T {
+        match transa {
+            Trans::No => a[i * k + l],
+            Trans::Yes => a[l * m + i],
+        }
+    };
+    let b_at = |l: usize, j: usize| -> T {
+        match transb {
+            Trans::No => b[l * n + j],
+            Trans::Yes => b[j * k + l],
+        }
+    };
+
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = T::ZERO;
+            for l in 0..k {
+                acc = a_at(i, l).mul_add(b_at(l, j), acc);
+            }
+            c[i * n + j] = alpha * acc + beta * c[i * n + j];
+        }
+    }
+}
+
+/// Symmetric rank-k update: `C ← α·op(A)·op(A)ᵀ + β·C` (trans = No) or
+/// `C ← α·op(A)ᵀ·op(A) + β·C` (trans = Yes), touching only the `uplo`
+/// triangle of the `n × n` matrix `C`. `A` is `n × k` (No) or `k × n`
+/// (Yes), row-major.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn syrk<T: Real>(
+    uplo: Uplo,
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    beta: T,
+    c: &mut [T],
+) {
+    match trans {
+        Trans::No => assert_eq!(a.len(), n * k, "syrk: A must be n*k"),
+        Trans::Yes => assert_eq!(a.len(), k * n, "syrk: A must be k*n"),
+    }
+    assert_eq!(c.len(), n * n, "syrk: C must be n*n");
+    let a_at = |i: usize, l: usize| -> T {
+        match trans {
+            Trans::No => a[i * k + l],
+            Trans::Yes => a[l * n + i],
+        }
+    };
+    for i in 0..n {
+        let (lo, hi) = match uplo {
+            Uplo::Upper => (i, n),
+            Uplo::Lower => (0, i + 1),
+        };
+        for j in lo..hi {
+            let mut acc = T::ZERO;
+            for l in 0..k {
+                acc = a_at(i, l).mul_add(a_at(j, l), acc);
+            }
+            c[i * n + j] = alpha * acc + beta * c[i * n + j];
+        }
+    }
+}
+
+/// Symmetric rank-2k update: `C ← α·op(A)·op(B)ᵀ + α·op(B)·op(A)ᵀ + β·C`,
+/// touching only the `uplo` triangle.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn syr2k<T: Real>(
+    uplo: Uplo,
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    beta: T,
+    c: &mut [T],
+) {
+    match trans {
+        Trans::No => {
+            assert_eq!(a.len(), n * k, "syr2k: A must be n*k");
+            assert_eq!(b.len(), n * k, "syr2k: B must be n*k");
+        }
+        Trans::Yes => {
+            assert_eq!(a.len(), k * n, "syr2k: A must be k*n");
+            assert_eq!(b.len(), k * n, "syr2k: B must be k*n");
+        }
+    }
+    assert_eq!(c.len(), n * n, "syr2k: C must be n*n");
+    let at = |m: &[T], i: usize, l: usize| -> T {
+        match trans {
+            Trans::No => m[i * k + l],
+            Trans::Yes => m[l * n + i],
+        }
+    };
+    for i in 0..n {
+        let (lo, hi) = match uplo {
+            Uplo::Upper => (i, n),
+            Uplo::Lower => (0, i + 1),
+        };
+        for j in lo..hi {
+            let mut acc = T::ZERO;
+            for l in 0..k {
+                acc = at(a, i, l).mul_add(at(b, j, l), acc);
+                acc = at(b, i, l).mul_add(at(a, j, l), acc);
+            }
+            c[i * n + j] = alpha * acc + beta * c[i * n + j];
+        }
+    }
+}
+
+/// Triangular solve with multiple right-hand sides:
+/// `B ← α·op(A)⁻¹·B` (side = Left) or `B ← α·B·op(A)⁻¹` (side = Right),
+/// where `A` is triangular (`m × m` for Left, `n × n` for Right) and `B`
+/// is `m × n`, all row-major, solved in place.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn trsm<T: Real>(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    b: &mut [T],
+) {
+    let adim = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    assert_eq!(a.len(), adim * adim, "trsm: A dimension");
+    assert_eq!(b.len(), m * n, "trsm: B must be m*n");
+
+    for v in b.iter_mut() {
+        *v *= alpha;
+    }
+
+    let elem = |i: usize, j: usize| -> T {
+        match trans {
+            Trans::No => a[i * adim + j],
+            Trans::Yes => a[j * adim + i],
+        }
+    };
+    let effective_upper = match (uplo, trans) {
+        (Uplo::Upper, Trans::No) | (Uplo::Lower, Trans::Yes) => true,
+        (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes) => false,
+    };
+
+    match side {
+        Side::Left => {
+            // Solve op(A)·X = B column-block-wise over rows of B.
+            if effective_upper {
+                for i in (0..m).rev() {
+                    for l in i + 1..m {
+                        let f = elem(i, l);
+                        for j in 0..n {
+                            let t = b[l * n + j];
+                            b[i * n + j] -= f * t;
+                        }
+                    }
+                    if diag == Diag::NonUnit {
+                        let d = elem(i, i);
+                        for j in 0..n {
+                            b[i * n + j] /= d;
+                        }
+                    }
+                }
+            } else {
+                for i in 0..m {
+                    for l in 0..i {
+                        let f = elem(i, l);
+                        for j in 0..n {
+                            let t = b[l * n + j];
+                            b[i * n + j] -= f * t;
+                        }
+                    }
+                    if diag == Diag::NonUnit {
+                        let d = elem(i, i);
+                        for j in 0..n {
+                            b[i * n + j] /= d;
+                        }
+                    }
+                }
+            }
+        }
+        Side::Right => {
+            // Solve X·op(A) = B row-wise: for each row r of B, solve
+            // op(A)ᵀ·xᵀ = rᵀ, i.e. a TRSV with flipped triangle.
+            if effective_upper {
+                // X·U = B: forward over columns.
+                for i in 0..m {
+                    for j in 0..n {
+                        let mut acc = b[i * n + j];
+                        for l in 0..j {
+                            acc -= b[i * n + l] * elem(l, j);
+                        }
+                        b[i * n + j] = match diag {
+                            Diag::Unit => acc,
+                            Diag::NonUnit => acc / elem(j, j),
+                        };
+                    }
+                }
+            } else {
+                // X·L = B: backward over columns.
+                for i in 0..m {
+                    for j in (0..n).rev() {
+                        let mut acc = b[i * n + j];
+                        for l in j + 1..n {
+                            acc -= b[i * n + l] * elem(l, j);
+                        }
+                        b[i * n + j] = match diag {
+                            Diag::Unit => acc,
+                            Diag::NonUnit => acc / elem(j, j),
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close_slice(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    fn seq_matrix(rows: usize, cols: usize, seed: f64) -> Vec<f64> {
+        (0..rows * cols).map(|i| ((i as f64 + seed) * 0.37).sin()).collect()
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let n = 3;
+        let mut eye = vec![0.0f64; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let b = seq_matrix(n, n, 1.0);
+        let mut c = vec![0.0f64; n * n];
+        gemm(Trans::No, Trans::No, n, n, n, 1.0, &eye, &b, 0.0, &mut c);
+        close_slice(&c, &b, 1e-14);
+    }
+
+    #[test]
+    fn gemm_small_known() {
+        // [[1,2],[3,4]] x [[5,6],[7,8]] = [[19,22],[43,50]].
+        let a = vec![1.0f64, 2.0, 3.0, 4.0];
+        let b = vec![5.0f64, 6.0, 7.0, 8.0];
+        let mut c = vec![1.0f64; 4];
+        gemm(Trans::No, Trans::No, 2, 2, 2, 1.0, &a, &b, 100.0, &mut c);
+        close_slice(&c, &[119.0, 122.0, 143.0, 150.0], 1e-12);
+    }
+
+    #[test]
+    fn gemm_transpose_variants_agree() {
+        let (m, n, k) = (4, 5, 3);
+        let a = seq_matrix(m, k, 0.0);
+        let b = seq_matrix(k, n, 9.0);
+        let mut c_ref = vec![0.0f64; m * n];
+        gemm(Trans::No, Trans::No, m, n, k, 1.0, &a, &b, 0.0, &mut c_ref);
+
+        // Build explicit transposes and verify all four flag combinations
+        // produce the same product.
+        let mut at = vec![0.0f64; k * m];
+        for i in 0..m {
+            for l in 0..k {
+                at[l * m + i] = a[i * k + l];
+            }
+        }
+        let mut bt = vec![0.0f64; n * k];
+        for l in 0..k {
+            for j in 0..n {
+                bt[j * k + l] = b[l * n + j];
+            }
+        }
+        for (ta, tb, aa, bb) in [
+            (Trans::Yes, Trans::No, &at, &b),
+            (Trans::No, Trans::Yes, &a, &bt),
+            (Trans::Yes, Trans::Yes, &at, &bt),
+        ] {
+            let mut c = vec![0.0f64; m * n];
+            gemm(ta, tb, m, n, k, 1.0, aa, bb, 0.0, &mut c);
+            close_slice(&c, &c_ref, 1e-12);
+        }
+    }
+
+    #[test]
+    fn syrk_matches_explicit_product() {
+        let (n, k) = (4, 6);
+        let a = seq_matrix(n, k, 3.0);
+        let mut c = vec![0.0f64; n * n];
+        syrk(Uplo::Upper, Trans::No, n, k, 2.0, &a, 0.0, &mut c);
+        // Reference: full A·Aᵀ.
+        let mut at = vec![0.0f64; k * n];
+        for i in 0..n {
+            for l in 0..k {
+                at[l * n + i] = a[i * k + l];
+            }
+        }
+        let mut full = vec![0.0f64; n * n];
+        gemm(Trans::No, Trans::No, n, n, k, 2.0, &a, &at, 0.0, &mut full);
+        for i in 0..n {
+            for j in i..n {
+                assert!((c[i * n + j] - full[i * n + j]).abs() < 1e-12);
+            }
+            for j in 0..i {
+                assert_eq!(c[i * n + j], 0.0, "lower triangle untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_trans_matches_ata() {
+        let (n, k) = (3, 5);
+        let a = seq_matrix(k, n, 7.0); // k×n for trans=Yes
+        let mut c = vec![0.0f64; n * n];
+        syrk(Uplo::Lower, Trans::Yes, n, k, 1.0, &a, 0.0, &mut c);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    acc += a[l * n + i] * a[l * n + j];
+                }
+                assert!((c[i * n + j] - acc).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn syr2k_symmetry_property() {
+        let (n, k) = (4, 3);
+        let a = seq_matrix(n, k, 1.0);
+        let b = seq_matrix(n, k, 2.0);
+        let mut c_up = vec![0.0f64; n * n];
+        let mut c_lo = vec![0.0f64; n * n];
+        syr2k(Uplo::Upper, Trans::No, n, k, 1.0, &a, &b, 0.0, &mut c_up);
+        syr2k(Uplo::Lower, Trans::No, n, k, 1.0, &a, &b, 0.0, &mut c_lo);
+        for i in 0..n {
+            for j in i..n {
+                assert!((c_up[i * n + j] - c_lo[j * n + i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_left_solves_system() {
+        let m = 4;
+        let n = 3;
+        let mut a = vec![0.0f64; m * m];
+        for i in 0..m {
+            for j in i..m {
+                a[i * m + j] = 0.3 + (i + j) as f64 * 0.1;
+            }
+            a[i * m + i] += 2.0;
+        }
+        let x = seq_matrix(m, n, 5.0);
+        // B = A·X
+        let mut bmat = vec![0.0f64; m * n];
+        gemm(Trans::No, Trans::No, m, n, m, 1.0, &a, &x, 0.0, &mut bmat);
+        trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, m, n, 1.0, &a, &mut bmat);
+        close_slice(&bmat, &x, 1e-10);
+    }
+
+    #[test]
+    fn trsm_right_solves_system() {
+        let m = 3;
+        let n = 4;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                a[i * n + j] = 0.2 + (2 * i + j) as f64 * 0.07;
+            }
+            a[i * n + i] += 2.5;
+        }
+        let x = seq_matrix(m, n, 11.0);
+        // B = X·A (A lower): b_{ij} = Σ_l x_{il} a_{lj}
+        let mut bmat = vec![0.0f64; m * n];
+        gemm(Trans::No, Trans::No, m, n, n, 1.0, &x, &a, 0.0, &mut bmat);
+        trsm(Side::Right, Uplo::Lower, Trans::No, Diag::NonUnit, m, n, 1.0, &a, &mut bmat);
+        close_slice(&bmat, &x, 1e-10);
+    }
+
+    #[test]
+    fn trsm_transposed_and_unit_diag() {
+        let m = 4;
+        let n = 2;
+        let mut a = vec![0.0f64; m * m];
+        for i in 0..m {
+            for j in 0..i {
+                a[i * m + j] = 0.1 * (i as f64 + 1.0) + 0.05 * j as f64;
+            }
+            a[i * m + i] = 42.0; // garbage: unit diag must ignore it
+        }
+        // op(A) = Aᵀ (upper unit-triangular effective).
+        let x = seq_matrix(m, n, 2.0);
+        // Compute B = Aᵀ_unit · X manually.
+        let mut bmat = vec![0.0f64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = x[i * n + j]; // unit diagonal
+                for l in i + 1..m {
+                    acc += a[l * m + i] * x[l * n + j];
+                }
+                bmat[i * n + j] = acc;
+            }
+        }
+        trsm(Side::Left, Uplo::Lower, Trans::Yes, Diag::Unit, m, n, 1.0, &a, &mut bmat);
+        close_slice(&bmat, &x, 1e-10);
+    }
+
+    #[test]
+    fn trsm_alpha_scaling() {
+        let m = 2;
+        let n = 2;
+        let a = vec![2.0f64, 0.0, 0.0, 4.0];
+        let mut b = vec![2.0f64, 4.0, 8.0, 16.0];
+        trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, m, n, 3.0, &a, &mut b);
+        close_slice(&b, &[3.0, 6.0, 6.0, 12.0], 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm: C must be m*n")]
+    fn gemm_bad_c_panics() {
+        let mut c = vec![0.0f64; 3];
+        gemm(Trans::No, Trans::No, 2, 2, 2, 1.0, &[0.0; 4], &[0.0; 4], 0.0, &mut c);
+    }
+}

@@ -1,0 +1,34 @@
+//! # fblas-refblas — CPU reference BLAS
+//!
+//! A from-scratch CPU implementation of the 22 BLAS routines offered by
+//! FBLAS (paper Sec. VI), playing two roles in the reproduction:
+//!
+//! 1. **Correctness oracle** — the streaming FPGA-simulated routines in
+//!    `fblas-core` are validated against these straightforward
+//!    implementations (netlib reference semantics).
+//! 2. **CPU comparator** — the paper's Tables IV–VI compare FBLAS against
+//!    Intel MKL on a 10-core Xeon; [`parallel`] provides multi-threaded
+//!    variants (std scoped threads) and [`batched`] the batched small
+//!    GEMM/TRSM of Table V, filling the same role.
+//!
+//! Matrices are dense, row-major, with the leading dimension equal to the
+//! column count: a `rows × cols` matrix is a `&[T]` of exactly
+//! `rows·cols` elements.
+
+#![allow(clippy::too_many_arguments)] // BLAS signatures are what they are
+#![allow(clippy::needless_range_loop)] // explicit indices mirror the math
+#![allow(clippy::identity_op)] // row*stride + col kept explicit in tests
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod batched;
+pub mod level1;
+pub mod level2;
+pub mod level3;
+pub mod parallel;
+pub mod real;
+pub mod types;
+
+pub use real::Real;
+pub use types::{Diag, RotmFlag, Side, Trans, Uplo};

@@ -1,0 +1,235 @@
+//! Multi-threaded CPU variants of the comparator routines.
+//!
+//! The paper's CPU baseline is Intel MKL running in parallel on a 10-core
+//! Xeon E5-2630 v4 ("we considered the best parallel execution time",
+//! Sec. VI-D). These implementations use std scoped threads with static
+//! row-block partitioning — not MKL-grade, but a legitimate parallel
+//! baseline whose scaling role in Tables IV–VI is the same.
+
+use std::thread;
+
+use crate::level3::gemm as gemm_serial;
+use crate::real::Real;
+use crate::types::Trans;
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Split `n` items into at most `parts` contiguous ranges of near-equal
+/// size. Returns only non-empty ranges.
+fn partition(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        if len > 0 {
+            out.push(start..start + len);
+        }
+        start += len;
+    }
+    out
+}
+
+/// Parallel dot product `xᵀy` over `threads` workers.
+///
+/// # Panics
+/// Panics if `x` and `y` have different lengths.
+pub fn dot<T: Real>(x: &[T], y: &[T], threads: usize) -> T {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let ranges = partition(x.len(), threads);
+    if ranges.len() <= 1 {
+        return crate::level1::dot(x, y);
+    }
+    thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let xs = &x[r.clone()];
+                let ys = &y[r];
+                s.spawn(move || crate::level1::dot(xs, ys))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("dot worker")).sum()
+    })
+}
+
+/// Parallel `y ← α·A·x + β·y` (non-transposed), rows of `A` partitioned
+/// across workers. `A` is `m × n` row-major.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn gemv<T: Real>(
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    x: &[T],
+    beta: T,
+    y: &mut [T],
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * n, "gemv: A must be m*n");
+    assert_eq!(x.len(), n, "gemv: x length");
+    assert_eq!(y.len(), m, "gemv: y length");
+    let ranges = partition(m, threads);
+    if ranges.len() <= 1 {
+        crate::level2::gemv(Trans::No, m, n, alpha, a, x, beta, y);
+        return;
+    }
+    thread::scope(|s| {
+        // Split y into disjoint row blocks, one per worker.
+        let mut rest: &mut [T] = y;
+        let mut offset = 0usize;
+        for r in ranges {
+            let (block, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let rows = &a[r.start * n..r.end * n];
+            let nrows = r.len();
+            debug_assert_eq!(offset, r.start);
+            offset = r.end;
+            s.spawn(move || {
+                crate::level2::gemv(Trans::No, nrows, n, alpha, rows, x, beta, block);
+            });
+        }
+    });
+}
+
+/// Parallel `C ← α·op(A)·op(B) + β·C`, rows of `C` partitioned across
+/// workers.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm<T: Real>(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    beta: T,
+    c: &mut [T],
+    threads: usize,
+) {
+    assert_eq!(c.len(), m * n, "gemm: C must be m*n");
+    let ranges = partition(m, threads);
+    if ranges.len() <= 1 || transa == Trans::Yes {
+        // Transposed-A row blocks are not contiguous in A; fall back.
+        gemm_serial(transa, transb, m, n, k, alpha, a, b, beta, c);
+        return;
+    }
+    thread::scope(|s| {
+        let mut rest: &mut [T] = c;
+        for r in ranges {
+            let (block, tail) = rest.split_at_mut(r.len() * n);
+            rest = tail;
+            let a_rows = &a[r.start * k..r.end * k];
+            let nrows = r.len();
+            s.spawn(move || {
+                gemm_serial(Trans::No, transb, nrows, n, k, alpha, a_rows, b, beta, block);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, seed: f64) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64 + seed) * 0.193).sin()).collect()
+    }
+
+    #[test]
+    fn partition_covers_everything() {
+        for n in [0usize, 1, 7, 100] {
+            for p in [1usize, 3, 8, 200] {
+                let rs = partition(n, p);
+                let total: usize = rs.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "n={n} p={p}");
+                // Contiguous and ordered.
+                let mut pos = 0;
+                for r in rs {
+                    assert_eq!(r.start, pos);
+                    assert!(!r.is_empty());
+                    pos = r.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_dot_matches_serial() {
+        let x = seq(10_001, 0.0);
+        let y = seq(10_001, 3.0);
+        let serial = crate::level1::dot(&x, &y);
+        for t in [1, 2, 4, 16] {
+            let par = dot(&x, &y, t);
+            assert!((par - serial).abs() < 1e-9, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn parallel_gemv_matches_serial() {
+        let (m, n) = (57, 33);
+        let a = seq(m * n, 1.0);
+        let x = seq(n, 2.0);
+        let mut y_ref = seq(m, 5.0);
+        let mut y_par = y_ref.clone();
+        crate::level2::gemv(Trans::No, m, n, 1.3, &a, &x, 0.7, &mut y_ref);
+        gemv(m, n, 1.3, &a, &x, 0.7, &mut y_par, 4);
+        for i in 0..m {
+            assert!((y_ref[i] - y_par[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_matches_serial() {
+        let (m, n, k) = (23, 17, 11);
+        let a = seq(m * k, 1.0);
+        let b = seq(k * n, 2.0);
+        let mut c_ref = seq(m * n, 3.0);
+        let mut c_par = c_ref.clone();
+        gemm_serial(Trans::No, Trans::No, m, n, k, 0.9, &a, &b, 0.4, &mut c_ref);
+        gemm(Trans::No, Trans::No, m, n, k, 0.9, &a, &b, 0.4, &mut c_par, 5);
+        for i in 0..m * n {
+            assert!((c_ref[i] - c_par[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transposed_a_falls_back_correctly() {
+        let (m, n, k) = (6, 4, 5);
+        let at = seq(k * m, 1.0);
+        let b = seq(k * n, 2.0);
+        let mut c_ref = vec![0.0f64; m * n];
+        let mut c_par = vec![0.0f64; m * n];
+        gemm_serial(Trans::Yes, Trans::No, m, n, k, 1.0, &at, &b, 0.0, &mut c_ref);
+        gemm(Trans::Yes, Trans::No, m, n, k, 1.0, &at, &b, 0.0, &mut c_par, 4);
+        assert_eq!(c_ref, c_par);
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let (m, n) = (3, 2);
+        let a = seq(m * n, 0.0);
+        let x = seq(n, 1.0);
+        let mut y = vec![0.0f64; m];
+        gemv(m, n, 1.0, &a, &x, 0.0, &mut y, 64);
+        let mut y_ref = vec![0.0f64; m];
+        crate::level2::gemv(Trans::No, m, n, 1.0, &a, &x, 0.0, &mut y_ref);
+        assert_eq!(y, y_ref);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Minimal real-number abstraction over `f32`/`f64`.
+//!
+//! The standard library has no common trait for float arithmetic and
+//! external numeric-trait crates are out of scope, so this small trait
+//! carries exactly what the BLAS routines need.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real floating-point scalar (`f32` or `f64`).
+pub trait Real:
+    Copy
+    + Debug
+    + Display
+    + PartialOrd
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// The constant 2.
+    const TWO: Self;
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add `self * a + b` (used where the simulated DSP
+    /// initiates a multiply and an add in one cycle).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Conversion from `f64` (for constants and test tolerances).
+    fn from_f64(v: f64) -> Self;
+    /// Conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Machine epsilon.
+    fn epsilon() -> Self;
+    /// Copysign: magnitude of `self`, sign of `sign`.
+    fn copysign(self, sign: Self) -> Self;
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn epsilon() -> Self {
+                <$t>::EPSILON
+            }
+            #[inline]
+            fn copysign(self, sign: Self) -> Self {
+                <$t>::copysign(self, sign)
+            }
+        }
+    };
+}
+
+impl_real!(f32);
+impl_real!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_ops<T: Real>() -> T {
+        let a = T::from_f64(3.0);
+        let b = T::from_f64(-4.0);
+        (a * a + b * b).sqrt()
+    }
+
+    #[test]
+    fn works_for_both_precisions() {
+        assert!((generic_ops::<f32>() - 5.0).abs() < 1e-6);
+        assert!((generic_ops::<f64>() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constants_and_helpers() {
+        assert_eq!(f32::ZERO + f32::ONE, 1.0);
+        assert_eq!(f64::TWO, 2.0);
+        assert_eq!((-3.5f64).abs(), 3.5);
+        assert_eq!(2.0f32.mul_add(3.0, 4.0), 10.0);
+        assert_eq!(5.0f64.copysign(-1.0), -5.0);
+        assert!(f32::epsilon() > 0.0);
+        assert_eq!(Real::to_f64(1.5f32), 1.5);
+    }
+}

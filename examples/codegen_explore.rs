@@ -1,0 +1,74 @@
+//! Code generator exploration: JSON routine specs to kernels and
+//! space/time trade-offs (paper Sec. II-C and IV).
+//!
+//! Parses a routines-specification file, prints the generated
+//! pseudo-OpenCL and resource estimates, checks which configurations
+//! place-and-route on each device, and applies the optimal-width
+//! formulas of Sec. IV-B.
+//!
+//! ```text
+//! cargo run --release --example codegen_explore
+//! ```
+
+use fblas_arch::{design_overhead, optimal_width, optimal_width_tiled, Device, Precision};
+use fblas_core::codegen::{generate_spec_file, RoutineKind};
+
+const SPEC: &str = r#"{
+  "routines": [
+    { "blas_name": "sdot",  "user_name": "stream_dot", "width": 64 },
+    { "blas_name": "ddot",  "width": 128 },
+    { "blas_name": "sgemv", "width": 16, "tile_n": 1024, "tile_m": 1024,
+      "tiles_by": "rows" },
+    { "blas_name": "strsv", "uplo": "lower", "width": 8 },
+    { "blas_name": "sgemm", "systolic_rows": 40, "systolic_cols": 80,
+      "tile_n": 240, "tile_m": 480 },
+    { "blas_name": "dgemm", "systolic_rows": 16, "systolic_cols": 16,
+      "tile_n": 96, "tile_m": 96 }
+  ]
+}"#;
+
+fn main() {
+    let kernels = generate_spec_file(SPEC).expect("spec must be valid");
+
+    println!("generated {} kernels\n", kernels.len());
+    for k in &kernels {
+        println!(
+            "== {} ({:?}, {} precision, W = {}{}{})",
+            k.name,
+            k.kind,
+            k.precision,
+            k.width,
+            k.tiles.map(|(a, b)| format!(", tiles {a}x{b}")).unwrap_or_default(),
+            k.systolic.map(|(a, b)| format!(", systolic {a}x{b}")).unwrap_or_default(),
+        );
+        println!(
+            "   estimate: {} | latency {} cycles",
+            k.estimate.resources, k.estimate.latency
+        );
+        for dev in Device::ALL {
+            let total = k.estimate.resources + design_overhead(dev, true);
+            let fits = dev.model().fits(&total);
+            println!(
+                "   {:<8}: {} (max util {:.1}%)",
+                dev.short_name(),
+                if fits { "fits" } else { "DOES NOT FIT" },
+                100.0 * total.max_utilization(&dev.model().available).min(9.99)
+            );
+        }
+        if k.kind == RoutineKind::Dot {
+            println!("--- kernel source ---\n{}", k.source);
+        }
+        println!();
+    }
+
+    // Sec. IV-B: dimension the circuit for the available bandwidth.
+    let stratix = Device::Stratix10Gx2800.model();
+    let f = 350.0e6;
+    println!("optimal widths at {:.0} MHz:", f / 1e6);
+    let w = optimal_width(stratix.dram_bank_bandwidth, f, Precision::Single, 2);
+    println!("  DOT from one bank ({:.1} GB/s): W = {w}", stratix.dram_bank_bandwidth / 1e9);
+    let w = optimal_width(stratix.total_dram_bandwidth(), f, Precision::Single, 2);
+    println!("  DOT from all banks ({:.1} GB/s): W = {w}", stratix.total_dram_bandwidth() / 1e9);
+    let w = optimal_width_tiled(stratix.dram_bank_bandwidth, f, Precision::Single, 1024 * 1024);
+    println!("  tiled GEMV from one bank: W = {w} (tiling doubles the width)");
+}

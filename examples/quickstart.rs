@@ -1,0 +1,58 @@
+//! Quickstart: the FBLAS host API on a simulated Stratix 10.
+//!
+//! Mirrors the classical OpenCL flow of the paper (Sec. II-B): open a
+//! device context, allocate buffers in FPGA DRAM, invoke BLAS routines,
+//! read results back. Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fblas_arch::Device;
+use fblas_core::host::{blas, enqueue, Fpga, GemvTuning};
+use fblas_core::routines::Trans;
+
+fn main() {
+    // 1. Open a context on the simulated board.
+    let fpga = Fpga::new(Device::Stratix10Gx2800);
+    println!("device: {}", fpga.device());
+    println!(
+        "DDR: {} banks x {:.1} GB/s\n",
+        fpga.memory().bank_count(),
+        fpga.memory().bank_bandwidth() / 1e9
+    );
+
+    // 2. Allocate device buffers and transfer data (f32 = the `s`
+    //    routines; use f64 buffers for the `d` variants).
+    let n = 4096usize;
+    let x = fpga.alloc_from("x", (0..n).map(|i| (i % 7) as f32).collect::<Vec<_>>());
+    let y = fpga.alloc_from("y", vec![1.0f32; n]);
+
+    // 3. Level 1: SCAL, AXPY, DOT.
+    let t = blas::scal(&fpga, 0.5, &x, 16).expect("scal");
+    println!("sscal : {:>10.2} us  ({:.0} MHz, {} DSPs)", t.micros(), t.freq_hz / 1e6, t.resources.dsps);
+
+    let t = blas::axpy(&fpga, 2.0, &x, &y, 16).expect("axpy");
+    println!("saxpy : {:>10.2} us  (memory bound: {})", t.micros(), t.memory_bound);
+
+    let (d, t) = blas::dot(&fpga, &x, &y, 32).expect("dot");
+    println!("sdot  : {:>10.2} us  -> {:.3}", t.micros(), d);
+
+    // 4. Level 2: GEMV with the paper's default tuning (1024x1024
+    //    tiles, width 16), clamped to the problem.
+    let m = 512usize;
+    let a = fpga.alloc_from("A", (0..m * m).map(|i| ((i % 13) as f32) * 0.1).collect::<Vec<_>>());
+    let xv = fpga.alloc_from("xv", vec![1.0f32; m]);
+    let yv = fpga.alloc_from("yv", vec![0.0f32; m]);
+    let t = blas::gemv(&fpga, Trans::No, m, m, 1.0, &a, &xv, 0.0, &yv, &GemvTuning::default())
+        .expect("gemv");
+    println!("sgemv : {:>10.2} us  (power {:.1} W)", t.micros(), t.power_w);
+    println!("y[0..4] = {:?}", &yv.to_host()[..4]);
+
+    // 5. Asynchronous call: enqueue NRM2 and wait on the event.
+    let fpga2 = fpga.clone();
+    let x2 = x.clone();
+    let ev = enqueue(move || blas::nrm2(&fpga2, &x2, 16));
+    let (norm, t) = ev.wait().expect("nrm2");
+    println!("snrm2 : {:>10.2} us  -> {:.3} (async)", t.micros(), norm);
+}

@@ -1,0 +1,140 @@
+//! Integration: the code generator across the full routine matrix, and
+//! generated configurations that actually run on the simulator.
+
+use fblas_arch::{Device, Precision};
+use fblas_core::codegen::{generate, generate_spec_file, CodegenError, RoutineKind, RoutineSpec, SpecFile};
+
+fn spec_for(kind: RoutineKind, prefix: char) -> RoutineSpec {
+    let name = match kind {
+        RoutineKind::Sdsdot => "sdsdot".to_string(),
+        RoutineKind::Iamax => format!("i{prefix}amax"),
+        _ => format!("{prefix}{}", kind.base_name()),
+    };
+    let mut s = RoutineSpec::named(name);
+    if matches!(
+        kind,
+        RoutineKind::Trsv | RoutineKind::Syr | RoutineKind::Syr2 | RoutineKind::Syrk | RoutineKind::Syr2k | RoutineKind::Trsm
+    ) {
+        s.uplo = Some("lower".into());
+    }
+    if kind.level() >= 2 {
+        s.tile_n = Some(64);
+        s.tile_m = Some(64);
+    }
+    if matches!(kind, RoutineKind::Gemm | RoutineKind::Syrk | RoutineKind::Syr2k) {
+        s.systolic_rows = Some(8);
+        s.systolic_cols = Some(8);
+    }
+    s
+}
+
+#[test]
+fn all_22_routines_generate_in_both_precisions() {
+    let mut count = 0;
+    for kind in RoutineKind::ALL {
+        for prefix in ['s', 'd'] {
+            if kind == RoutineKind::Sdsdot && prefix == 'd' {
+                continue; // single precision only, per BLAS
+            }
+            let spec = spec_for(kind, prefix);
+            let k = generate(&spec).unwrap_or_else(|e| panic!("{}: {e}", spec.blas_name));
+            assert_eq!(k.kind, kind);
+            assert_eq!(
+                k.precision,
+                if prefix == 's' || kind == RoutineKind::Sdsdot {
+                    Precision::Single
+                } else {
+                    Precision::Double
+                }
+            );
+            assert!(!k.source.is_empty());
+            assert!(k.estimate.latency > 0);
+            count += 1;
+        }
+    }
+    assert_eq!(count, 43, "22 routines x 2 precisions - sdsdot");
+}
+
+#[test]
+fn generated_estimates_fit_or_fail_placement_like_the_paper() {
+    // DOT at W=256 f32 fits both devices; DDOT at 256 is too large for
+    // the Arria-class DSP budget once the design overhead is added —
+    // the paper could only place DDOT up to W=128 on the Stratix.
+    let mut s = RoutineSpec::named("sdot");
+    s.width = 256;
+    let k = generate(&s).unwrap();
+    for dev in Device::PAPER {
+        let total = k.estimate.resources + fblas_arch::design_overhead(dev, true);
+        assert!(dev.model().fits(&total), "{dev:?} must fit SDOT W=256");
+    }
+
+    let mut d = RoutineSpec::named("ddot");
+    d.width = 128;
+    let k128 = generate(&d).unwrap();
+    let stratix = Device::Stratix10Gx2800.model();
+    let total =
+        k128.estimate.resources + fblas_arch::design_overhead(Device::Stratix10Gx2800, true);
+    assert!(stratix.fits(&total), "DDOT W=128 fits the Stratix (paper max)");
+}
+
+#[test]
+fn spec_file_json_round_trip_preserves_everything() {
+    let file = SpecFile {
+        routines: vec![spec_for(RoutineKind::Gemv, 's'), spec_for(RoutineKind::Gemm, 'd')],
+    };
+    let json = file.to_json();
+    let kernels = generate_spec_file(&json).unwrap();
+    assert_eq!(kernels.len(), 2);
+    assert_eq!(kernels[0].kind, RoutineKind::Gemv);
+    assert_eq!(kernels[1].kind, RoutineKind::Gemm);
+    assert_eq!(kernels[1].precision, Precision::Double);
+}
+
+#[test]
+fn invalid_specs_give_helpful_errors() {
+    // Unknown routine.
+    let bad = r#"{"routines":[{"blas_name":"sfoo"}]}"#;
+    assert!(matches!(
+        generate_spec_file(bad),
+        Err(CodegenError::UnknownRoutine(n)) if n == "sfoo"
+    ));
+    // Half-specified tiles.
+    let mut s = RoutineSpec::named("sgemv");
+    s.tile_n = Some(64);
+    assert!(matches!(generate(&s), Err(CodegenError::Invalid { .. })));
+    // Bad uplo value.
+    let mut s = spec_for(RoutineKind::Trsv, 's');
+    s.uplo = Some("diagonal".into());
+    match generate(&s) {
+        Err(CodegenError::Invalid { reason, .. }) => assert!(reason.contains("upper/lower")),
+        other => panic!("unexpected: {other:?}"),
+    }
+}
+
+#[test]
+fn generated_dot_config_runs_on_the_simulator() {
+    // Use the generated width to configure and run an actual module.
+    let mut s = RoutineSpec::named("sdot");
+    s.width = 8;
+    let k = generate(&s).unwrap();
+
+    use fblas_core::routines::Dot;
+    use fblas_hlssim::{channel, ModuleKind, Simulation};
+    let mut sim = Simulation::new();
+    let (tx, rx) = channel(sim.ctx(), 32, "x");
+    let (ty, ry) = channel(sim.ctx(), 32, "y");
+    let (tr, rr) = channel(sim.ctx(), 1, "r");
+    sim.add_module("sx", ModuleKind::Interface, move || {
+        tx.push_iter((0..64).map(|i| i as f32))
+    });
+    sim.add_module("sy", ModuleKind::Interface, move || {
+        ty.push_iter(std::iter::repeat_n(2.0f32, 64))
+    });
+    Dot::new(64, k.width).attach(&mut sim, rx, ry, tr);
+    sim.add_module("check", ModuleKind::Interface, move || {
+        let r = rr.pop()?;
+        assert_eq!(r, 2.0 * (63.0 * 64.0 / 2.0));
+        Ok(())
+    });
+    sim.run().unwrap();
+}

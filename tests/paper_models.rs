@@ -1,0 +1,171 @@
+//! Integration: the paper's analytical claims, checked end to end
+//! against the implemented models (Sections III–V, Tables I–II).
+
+#![allow(clippy::needless_range_loop)] // explicit indices mirror the math
+
+use fblas_arch::{
+    design_overhead, estimate_circuit, optimal_width, optimal_width_tiled, CircuitClass, Device,
+    FrequencyModel, Precision, RoutineClass,
+};
+use fblas_core::routines::gemm::{Gemm, SystolicShape};
+use fblas_core::routines::{Dot, Scal};
+use fblas_core::tiling::{gemv_io_tiles_by_cols, gemv_io_tiles_by_rows};
+use fblas_hlssim::{CompositionCost, PipelineCost};
+
+/// Paper Table I: SCAL resources are exactly linear in W with the
+/// published coefficients; DOT tracks them within tolerance.
+#[test]
+fn table1_reproduction() {
+    for (w, luts, ffs, dsps) in
+        [(2u64, 98, 192, 2u64), (16, 784, 1536, 16), (64, 3136, 6144, 64)]
+    {
+        let e = Scal::new(1024, w as usize).estimate::<f32>();
+        assert_eq!(e.luts, luts);
+        assert_eq!(e.resources.ffs, ffs);
+        assert_eq!(e.resources.dsps, dsps);
+        assert_eq!(e.latency, 50);
+    }
+    for (w, dsps, lat) in [(2usize, 2u64, 82u64), (16, 16, 93), (64, 64, 105)] {
+        let e = Dot::new(1024, w).estimate::<f32>();
+        assert_eq!(e.resources.dsps, dsps);
+        assert!((e.latency as i64 - lat as i64).unsigned_abs() <= 4);
+    }
+}
+
+/// Paper Table II: device resources as published.
+#[test]
+fn table2_reproduction() {
+    let a = Device::Arria10Gx1150.model();
+    assert_eq!((a.total.alms, a.total.dsps), (427_000, 1_518));
+    assert_eq!(a.dram_banks, 2);
+    let s = Device::Stratix10Gx2800.model();
+    assert_eq!((s.total.alms, s.total.dsps), (933_000, 5_760));
+    assert_eq!((s.available.alms, s.available.dsps), (692_000, 4_468));
+    assert_eq!(s.dram_banks, 4);
+    assert!((s.dram_bank_bandwidth - 19.2e9).abs() < 1.0);
+}
+
+/// Sec. IV-A: `C = L + I·M`, and doubling W halves the iteration count
+/// while only adding one adder level of latency for DOT.
+#[test]
+fn cycle_model_scaling() {
+    let n = 1 << 20;
+    let c64 = Dot::new(n, 64).cost::<f32>();
+    let c128 = Dot::new(n, 128).cost::<f32>();
+    assert_eq!(c64.iterations, 2 * c128.iterations);
+    assert!(c128.latency > c64.latency);
+    assert!(c128.latency - c64.latency <= 8);
+    assert!(c128.cycles() < c64.cycles());
+}
+
+/// Sec. IV-B: the optimal-width formulas, including the tiled GEMV
+/// doubling.
+#[test]
+fn optimal_width_formulas() {
+    let b = 19.2e9;
+    let f = 300.0e6;
+    assert_eq!(optimal_width(b, f, Precision::Single, 2), 8);
+    assert_eq!(optimal_width(b, f, Precision::Single, 1), 16);
+    assert_eq!(optimal_width(b, f, Precision::Double, 2), 4);
+    let untiled = optimal_width(b, f, Precision::Single, 2);
+    let tiled = optimal_width_tiled(b, f, Precision::Single, 1 << 20);
+    assert_eq!(tiled, 2 * untiled, "large tiles double the affordable width");
+}
+
+/// Sec. III-B: GEMV I/O complexities and the crossover between the two
+/// tilings.
+#[test]
+fn gemv_io_complexities() {
+    let (n, m) = (4096usize, 4096usize);
+    for t in [64usize, 256, 1024] {
+        assert_eq!(
+            gemv_io_tiles_by_rows(n, m, t),
+            (n * m + m * n.div_ceil(t) + 2 * n) as u64
+        );
+        assert_eq!(
+            gemv_io_tiles_by_cols(n, m, t),
+            (n * m + m + 2 * n * m.div_ceil(t)) as u64
+        );
+    }
+    // For square problems and equal tiles the two are comparable; for a
+    // wide matrix (m >> n) the by-rows variant moves less data.
+    let wide_rows = gemv_io_tiles_by_rows(64, 1 << 20, 64);
+    let wide_cols = gemv_io_tiles_by_cols(64, 1 << 20, 64);
+    assert!(wide_rows < wide_cols);
+}
+
+/// Sec. V-A: streaming composition reduces AXPYDOT's completion from 3N
+/// to N (plus latencies), i.e. speedup → 3 in the cycle model.
+#[test]
+fn composition_cycle_reduction() {
+    let n = 10_000_000u64;
+    let copy = PipelineCost::pipelined(50, n);
+    let axpy = PipelineCost::pipelined(56, n);
+    let dot = PipelineCost::pipelined(90, n);
+    let cc = CompositionCost::of(&[copy, axpy, dot]);
+    let speedup = cc.speedup();
+    assert!((speedup - 3.0).abs() < 1e-4, "speedup {speedup}");
+}
+
+/// Sec. VI-B: systolic array sizes of the paper fit their devices, and
+/// the peak throughput reproduces the published 1.28 Tflop/s within
+/// modeling tolerance.
+#[test]
+fn systolic_peak_performance() {
+    // Stratix 40x80 single precision, largest memory tiles of Fig. 10.
+    let shape = SystolicShape::new(40, 80);
+    let g = Gemm::new(4800, 4800, 4800, shape, 480, 960);
+    let est = g.estimate::<f32>();
+    let dev = Device::Stratix10Gx2800.model();
+    let total = est.resources + design_overhead(Device::Stratix10Gx2800, false);
+    assert!(dev.fits(&total), "paper's largest SGEMM must place: {total}");
+
+    let util = total.max_utilization(&dev.available);
+    let (freq, hf) =
+        FrequencyModel::new(Device::Stratix10Gx2800).achieved_hz(RoutineClass::Systolic, true, util);
+    assert!(!hf, "GEMM could not use HyperFlex in the paper");
+    let secs = g.cost::<f32>().cycles() as f64 / freq;
+    let tflops = g.flops() as f64 / secs / 1e12;
+    // Paper: 1.28 Tflop/s measured (93% of its 1.38 expected). Our
+    // frequency model lands at ~230 MHz vs the measured 216 MHz, so the
+    // modeled peak sits ~13% above — same order, same shape.
+    assert!(
+        tflops > 1.0 && tflops < 1.55,
+        "peak {tflops} Tflop/s vs paper 1.28"
+    );
+
+    // The double-precision array is capped at 16x16 by DSP demand: a
+    // 40x80 f64 array cannot place.
+    let big_d = estimate_circuit(CircuitClass::Systolic { rows: 40, cols: 80 }, Precision::Double);
+    assert!(!dev.fits(&big_d.resources), "f64 40x80 exceeds the device");
+    let ok_d = estimate_circuit(CircuitClass::Systolic { rows: 16, cols: 16 }, Precision::Double);
+    let total_d = ok_d.resources + design_overhead(Device::Stratix10Gx2800, false);
+    assert!(dev.fits(&total_d), "f64 16x16 places (paper's choice)");
+}
+
+/// Sec. VI-B: the paper's Arria systolic sizes also place on the Arria.
+#[test]
+fn arria_systolic_sizes_place() {
+    let dev = Device::Arria10Gx1150.model();
+    let s32 = estimate_circuit(CircuitClass::Systolic { rows: 32, cols: 32 }, Precision::Single);
+    let total = s32.resources + design_overhead(Device::Arria10Gx1150, false);
+    assert!(dev.fits(&total), "Arria SGEMM 32x32: {total}");
+    let d16x8 = estimate_circuit(CircuitClass::Systolic { rows: 16, cols: 8 }, Precision::Double);
+    let total = d16x8.resources + design_overhead(Device::Arria10Gx1150, false);
+    assert!(dev.fits(&total), "Arria DGEMM 16x8: {total}");
+}
+
+/// Fig. 10 (right): efficiency increases monotonically with the
+/// compute/memory tile ratio and approaches 1.
+#[test]
+fn gemm_tile_ratio_monotonicity() {
+    let shape = SystolicShape::new(8, 8);
+    let mut last = 0.0;
+    for ratio in [1usize, 2, 3, 4, 6, 8, 12] {
+        let g = Gemm::new(2048, 2048, 2048, shape, 8 * ratio, 8 * ratio);
+        let e = g.efficiency();
+        assert!(e > last, "efficiency must grow with ratio");
+        last = e;
+    }
+    assert!(last > 0.97);
+}

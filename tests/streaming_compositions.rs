@@ -1,0 +1,191 @@
+//! Integration: the composed applications against the CPU reference,
+//! plus the Sec.-V validity analysis agreeing with runtime behaviour.
+
+#![allow(clippy::needless_range_loop)] // explicit indices mirror the math
+
+use fblas_arch::Device;
+use fblas_core::apps::{
+    atax_host_layer, atax_invalid_streaming, atax_mdag, atax_streaming, axpydot_host_layer,
+    axpydot_mdag, axpydot_streaming, bicg_host_layer, bicg_mdag, bicg_streaming,
+    gemver_host_layer, gemver_mdag, gemver_streaming,
+};
+use fblas_core::composition::Validity;
+use fblas_core::host::{Fpga, GemvTuning};
+use fblas_hlssim::SimError;
+use fblas_refblas::apps as refapps;
+
+fn seq(n: usize, seed: f64) -> Vec<f64> {
+    (0..n).map(|i| ((i as f64 + seed) * 0.277).sin()).collect()
+}
+
+#[test]
+fn axpydot_streaming_and_host_agree_with_reference() {
+    let fpga = Fpga::new(Device::Stratix10Gx2800);
+    let n = 513;
+    let wv = seq(n, 0.0);
+    let vv = seq(n, 1.0);
+    let uv = seq(n, 2.0);
+    let alpha = 1.25;
+    let (z_ref, beta_ref) = refapps::axpydot(&wv, &vv, &uv, alpha);
+
+    let w = fpga.alloc_from("w", wv);
+    let v = fpga.alloc_from("v", vv);
+    let u = fpga.alloc_from("u", uv);
+    let (beta_s, rep_s) = axpydot_streaming(&fpga, &w, &v, &u, alpha, 8).unwrap();
+    let (z_h, beta_h, rep_h) = axpydot_host_layer(&fpga, &w, &v, &u, alpha, 8).unwrap();
+
+    assert!((beta_s - beta_ref).abs() < 1e-9);
+    assert!((beta_h - beta_ref).abs() < 1e-9);
+    for i in 0..n {
+        assert!((z_h[i] - z_ref[i]).abs() < 1e-12);
+    }
+    assert!(rep_s.io_elements < rep_h.io_elements);
+    assert!(rep_s.seconds < rep_h.seconds);
+}
+
+#[test]
+fn bicg_matches_reference() {
+    let fpga = Fpga::new(Device::Stratix10Gx2800);
+    let (n, m) = (33, 21);
+    let av = seq(n * m, 0.0);
+    let pv = seq(m, 1.0);
+    let rv = seq(n, 2.0);
+    let (q_ref, s_ref) = refapps::bicg(n, m, &av, &pv, &rv);
+
+    let a = fpga.alloc_from("a", av);
+    let p = fpga.alloc_from("p", pv);
+    let r = fpga.alloc_from("r", rv);
+    let q = fpga.alloc::<f64>("q", n);
+    let s = fpga.alloc::<f64>("s", m);
+    let tuning = GemvTuning::new(8, 8, 4);
+    bicg_streaming(&fpga, n, m, &a, &p, &r, &q, &s, &tuning).unwrap();
+    let (qg, sg) = (q.to_host(), s.to_host());
+    for i in 0..n {
+        assert!((qg[i] - q_ref[i]).abs() < 1e-9, "q[{i}]");
+    }
+    for j in 0..m {
+        assert!((sg[j] - s_ref[j]).abs() < 1e-9, "s[{j}]");
+    }
+
+    // Host layer produces the same values.
+    let q2 = fpga.alloc::<f64>("q2", n);
+    let s2 = fpga.alloc::<f64>("s2", m);
+    bicg_host_layer(&fpga, n, m, &a, &p, &r, &q2, &s2, &tuning).unwrap();
+    for i in 0..n {
+        assert!((q2.get(i) - q_ref[i]).abs() < 1e-9);
+    }
+    for j in 0..m {
+        assert!((s2.get(j) - s_ref[j]).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn atax_variants_match_reference_and_analysis() {
+    let fpga = Fpga::new(Device::Stratix10Gx2800);
+    let (n, m) = (30, 20);
+    let av = seq(n * m, 3.0);
+    let xv = seq(m, 4.0);
+    let y_ref = refapps::atax(n, m, &av, &xv);
+
+    let a = fpga.alloc_from("a", av);
+    let x = fpga.alloc_from("x", xv);
+    let y = fpga.alloc::<f64>("y", m);
+    let tuning = GemvTuning::new(10, 10, 2);
+
+    atax_streaming(&fpga, n, m, &a, &x, &y, &tuning).unwrap();
+    let got = y.to_host();
+    for j in 0..m {
+        assert!((got[j] - y_ref[j]).abs() < 1e-9, "streaming y[{j}]");
+    }
+
+    let y2 = fpga.alloc::<f64>("y2", m);
+    atax_host_layer(&fpga, n, m, &a, &x, &y2, &tuning).unwrap();
+    for j in 0..m {
+        assert!((y2.get(j) - y_ref[j]).abs() < 1e-9, "host y[{j}]");
+    }
+
+    // The undersized composition stalls; the analysis predicts it.
+    match atax_invalid_streaming(&fpga, n, m, &a, &x, &y, &tuning) {
+        Err(SimError::Stall { .. }) => {}
+        other => panic!("expected stall, got {other:?}"),
+    }
+    match atax_mdag(n as u64, m as u64, 10, 16).validate() {
+        Validity::RequiresChannelDepth { min_depth, .. } => {
+            assert_eq!(min_depth, 10 * m as u64);
+        }
+        other => panic!("analysis disagrees: {other:?}"),
+    }
+}
+
+#[test]
+fn gemver_matches_reference() {
+    let fpga = Fpga::new(Device::Stratix10Gx2800);
+    let n = 16;
+    let av = seq(n * n, 0.0);
+    let u1v = seq(n, 1.0);
+    let v1v = seq(n, 2.0);
+    let u2v = seq(n, 3.0);
+    let v2v = seq(n, 4.0);
+    let yv = seq(n, 5.0);
+    let zv = seq(n, 6.0);
+    let (alpha, beta) = (0.9, 1.1);
+    let r = refapps::gemver(n, alpha, beta, &av, &u1v, &v1v, &u2v, &v2v, &yv, &zv);
+
+    let a = fpga.alloc_from("a", av);
+    let u1 = fpga.alloc_from("u1", u1v);
+    let v1 = fpga.alloc_from("v1", v1v);
+    let u2 = fpga.alloc_from("u2", u2v);
+    let v2 = fpga.alloc_from("v2", v2v);
+    let y = fpga.alloc_from("y", yv);
+    let z = fpga.alloc_from("z", zv);
+    let b = fpga.alloc::<f64>("b", n * n);
+    let x = fpga.alloc::<f64>("x", n);
+    let w = fpga.alloc::<f64>("w", n);
+    let tuning = GemvTuning::new(4, 4, 2);
+
+    for streaming in [true, false] {
+        let rep = if streaming {
+            gemver_streaming(&fpga, n, alpha, beta, &a, &u1, &v1, &u2, &v2, &y, &z, &b, &x, &w, &tuning)
+                .unwrap()
+        } else {
+            gemver_host_layer(&fpga, n, alpha, beta, &a, &u1, &v1, &u2, &v2, &y, &z, &b, &x, &w, &tuning)
+                .unwrap()
+        };
+        let (bg, xg, wg) = (b.to_host(), x.to_host(), w.to_host());
+        for i in 0..n * n {
+            assert!((bg[i] - r.b[i]).abs() < 1e-9, "streaming={streaming} B[{i}]");
+        }
+        for i in 0..n {
+            assert!((xg[i] - r.x[i]).abs() < 1e-9, "streaming={streaming} x[{i}]");
+            assert!((wg[i] - r.w[i]).abs() < 1e-9, "streaming={streaming} w[{i}]");
+        }
+        assert!(rep.seconds > 0.0);
+    }
+}
+
+#[test]
+fn all_app_mdags_validate_as_documented() {
+    assert_eq!(axpydot_mdag(1000).validate(), Validity::Valid);
+    assert_eq!(bicg_mdag(100, 50).validate(), Validity::Valid);
+    assert_eq!(gemver_mdag(64).validate(), Validity::Valid);
+    // ATAX needs the sized channel.
+    assert!(matches!(
+        atax_mdag(100, 50, 10, 16).validate(),
+        Validity::RequiresChannelDepth { .. }
+    ));
+    assert_eq!(atax_mdag(100, 50, 10, 10 * 50 + 64).validate(), Validity::Valid);
+}
+
+#[test]
+fn io_reductions_match_paper_formulas() {
+    // AXPYDOT: 7N → 3N + 1.
+    let n = 4096u64;
+    assert_eq!(axpydot_mdag(n).interface_io_elements(), 3 * n + 1);
+    // BICG: A contributes NM once in the streamed graph.
+    let g = bicg_mdag(256, 128);
+    assert_eq!(g.interface_io_elements(), 256 * 128 + 2 * (256 + 128));
+    // GEMVER component 1: A in, B out, 4 rank-1 vectors, y in, x out.
+    let g = gemver_mdag(128);
+    let n = 128u64;
+    assert_eq!(g.interface_io_elements(), 2 * n * n + 6 * n);
+}
