@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI gate: build, tests, lints, formatting, and the bench-output schema.
+# Run from the repository root. Fails fast on the first broken step.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q"
+cargo test -q
+
+step "cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "BENCH_*.json schema"
+# table1 is the cheapest bin (pure model, no CPU measurement); its output
+# must match the stable schema every bench binary shares.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+FBLAS_BENCH_DIR="$tmpdir" cargo run --release -q -p fblas-bench --bin table1 >/dev/null
+python3 - "$tmpdir/BENCH_table1.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, "schema_version must be 1"
+assert isinstance(doc["bench"], str)
+assert isinstance(doc["rows"], list) and doc["rows"], "rows must be a non-empty list"
+for i, row in enumerate(doc["rows"]):
+    assert isinstance(row, dict), f"row {i} must be an object"
+    for k, v in row.items():
+        assert isinstance(v, (int, float, str)), f"row {i} field {k} must be number or string"
+print(f"BENCH_table1.json ok: {len(doc['rows'])} rows")
+EOF
+
+printf '\nci.sh: all checks passed\n'

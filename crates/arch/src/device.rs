@@ -33,8 +33,11 @@ impl Device {
     pub const PAPER: [Device; 2] = [Device::Arria10Gx1150, Device::Stratix10Gx2800];
 
     /// All modeled devices, including the future-work Alveo U280.
-    pub const ALL: [Device; 3] =
-        [Device::Arria10Gx1150, Device::Stratix10Gx2800, Device::AlveoU280];
+    pub const ALL: [Device; 3] = [
+        Device::Arria10Gx1150,
+        Device::Stratix10Gx2800,
+        Device::AlveoU280,
+    ];
 
     /// Short display name as used in the paper's figures.
     pub fn short_name(self) -> &'static str {
@@ -96,7 +99,12 @@ impl Device {
     /// is disabled on the Stratix and buffers are manually placed.
     pub fn memory(self) -> MemorySystem {
         let m = self.model();
-        MemorySystem::new(m.dram_banks, m.dram_bank_bandwidth, m.dram_bank_bytes, false)
+        MemorySystem::new(
+            m.dram_banks,
+            m.dram_bank_bandwidth,
+            m.dram_bank_bytes,
+            false,
+        )
     }
 }
 

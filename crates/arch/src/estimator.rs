@@ -72,12 +72,28 @@ pub struct OpCosts {
 impl OpCosts {
     /// Hardened multiply.
     pub fn mul(p: Precision) -> Self {
-        scale_op(OpCosts { luts: MAP_LUT_PER_OP, ffs: MAP_FF_PER_OP, dsps: 1, latency: MUL_LATENCY }, p)
+        scale_op(
+            OpCosts {
+                luts: MAP_LUT_PER_OP,
+                ffs: MAP_FF_PER_OP,
+                dsps: 1,
+                latency: MUL_LATENCY,
+            },
+            p,
+        )
     }
 
     /// Hardened add.
     pub fn add(p: Precision) -> Self {
-        scale_op(OpCosts { luts: 20, ffs: 40, dsps: 1, latency: ADD_LATENCY }, p)
+        scale_op(
+            OpCosts {
+                luts: 20,
+                ffs: 40,
+                dsps: 1,
+                latency: ADD_LATENCY,
+            },
+            p,
+        )
     }
 
     /// Fused multiply-accumulate lane as laid down in a reduction tree:
@@ -97,12 +113,28 @@ impl OpCosts {
 
     /// Floating-point divide (iterative IP core).
     pub fn div(p: Precision) -> Self {
-        scale_op(OpCosts { luts: 400, ffs: 800, dsps: 2, latency: 28 }, p)
+        scale_op(
+            OpCosts {
+                luts: 400,
+                ffs: 800,
+                dsps: 2,
+                latency: 28,
+            },
+            p,
+        )
     }
 
     /// Floating-point square root (iterative IP core).
     pub fn sqrt(p: Precision) -> Self {
-        scale_op(OpCosts { luts: 300, ffs: 600, dsps: 2, latency: 28 }, p)
+        scale_op(
+            OpCosts {
+                luts: 300,
+                ffs: 600,
+                dsps: 2,
+                latency: 28,
+            },
+            p,
+        )
     }
 }
 
@@ -216,14 +248,25 @@ pub fn estimate_circuit(class: CircuitClass, precision: Precision) -> ResourceEs
             let latency = REDUCE_BASE_LATENCY + REDUCE_LATENCY_PER_LEVEL * levels;
             // Non-native (double) accumulation needs the two-stage
             // interleaved accumulator of Sec. III-A: extra buffering.
-            let m20ks = if precision.native_accumulation() { 0 } else { 2 };
+            let m20ks = if precision.native_accumulation() {
+                0
+            } else {
+                2
+            };
             ResourceEstimate::from_parts(luts, ffs, m20ks, dsps, latency)
         }
         CircuitClass::MapFused { w, macs_per_lane } => {
             let macs = w * macs_per_lane;
             let mac = OpCosts::mac(precision);
-            let latency = MAP_PIPELINE_OVERHEAD + (MUL_LATENCY + ADD_LATENCY) * macs_per_lane.max(1);
-            ResourceEstimate::from_parts(mac.luts * macs, mac.ffs * macs, 0, mac.dsps * macs, latency)
+            let latency =
+                MAP_PIPELINE_OVERHEAD + (MUL_LATENCY + ADD_LATENCY) * macs_per_lane.max(1);
+            ResourceEstimate::from_parts(
+                mac.luts * macs,
+                mac.ffs * macs,
+                0,
+                mac.dsps * macs,
+                latency,
+            )
         }
         CircuitClass::Systolic { rows, cols } => {
             let pes = rows * cols;
@@ -312,7 +355,11 @@ mod tests {
             let lut_err = (e.luts as f64 - luts as f64).abs() / luts as f64;
             let ff_err = (e.resources.ffs as f64 - ffs as f64).abs() / ffs as f64;
             assert!(lut_err < 0.07, "W={w}: LUT {} vs paper {luts}", e.luts);
-            assert!(ff_err < 0.12, "W={w}: FF {} vs paper {ffs}", e.resources.ffs);
+            assert!(
+                ff_err < 0.12,
+                "W={w}: FF {} vs paper {ffs}",
+                e.resources.ffs
+            );
             assert_eq!(e.resources.dsps, dsps, "W={w}");
             assert!(
                 (e.latency as i64 - lat as i64).unsigned_abs() <= 4,
@@ -336,13 +383,22 @@ mod tests {
         let s = estimate_circuit(CircuitClass::MapReduce { w: 16 }, Precision::Single);
         let d = estimate_circuit(CircuitClass::MapReduce { w: 16 }, Precision::Double);
         assert_eq!(d.resources.dsps, 4 * s.resources.dsps);
-        assert!(d.luts > 8 * s.luts, "f64 logic should be ~an order of magnitude up");
-        assert!(d.resources.m20ks > 0, "f64 accumulation needs interleaving buffers");
+        assert!(
+            d.luts > 8 * s.luts,
+            "f64 logic should be ~an order of magnitude up"
+        );
+        assert!(
+            d.resources.m20ks > 0,
+            "f64 accumulation needs interleaving buffers"
+        );
     }
 
     #[test]
     fn systolic_dsps_equal_pe_count_in_single_precision() {
-        let e = estimate_circuit(CircuitClass::Systolic { rows: 40, cols: 80 }, Precision::Single);
+        let e = estimate_circuit(
+            CircuitClass::Systolic { rows: 40, cols: 80 },
+            Precision::Single,
+        );
         assert_eq!(e.resources.dsps, 3_200);
         // Latency includes the feed/drain wavefront across the array.
         assert!(e.latency > 120);
@@ -368,7 +424,13 @@ mod tests {
 
     #[test]
     fn merge_sums_resources_takes_max_latency() {
-        let a = estimate_circuit(CircuitClass::Map { w: 4, ops_per_lane: 1 }, Precision::Single);
+        let a = estimate_circuit(
+            CircuitClass::Map {
+                w: 4,
+                ops_per_lane: 1,
+            },
+            Precision::Single,
+        );
         let b = estimate_circuit(CircuitClass::MapReduce { w: 4 }, Precision::Single);
         let m = a.merge(b);
         assert_eq!(m.luts, a.luts + b.luts);

@@ -81,7 +81,12 @@ impl FrequencyModel {
         let hyperflex_used = hyperflex_requested
             && self.device.model().hyperflex
             && class == RoutineClass::Streaming;
-        let base = self.base_hz(class) * if hyperflex_used { HYPERFLEX_UPLIFT } else { 1.0 };
+        let base = self.base_hz(class)
+            * if hyperflex_used {
+                HYPERFLEX_UPLIFT
+            } else {
+                1.0
+            };
         (base * (1.0 - UTILIZATION_DERATE * util), hyperflex_used)
     }
 }
@@ -129,7 +134,11 @@ mod tests {
         let (f_big, _) = m.achieved_hz(RoutineClass::Systolic, false, 0.86);
         assert!(f_small > f_big);
         // Table III: DGEMM (26%) 260 MHz vs SGEMM (86%) 216 MHz.
-        assert!((mhz(f_small) - 260.0).abs() < 15.0, "got {} MHz", mhz(f_small));
+        assert!(
+            (mhz(f_small) - 260.0).abs() < 15.0,
+            "got {} MHz",
+            mhz(f_small)
+        );
     }
 
     #[test]

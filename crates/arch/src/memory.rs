@@ -42,7 +42,12 @@ impl MemorySystem {
     pub fn new(banks: usize, bank_bandwidth: f64, bank_bytes: u64, interleaved: bool) -> Self {
         assert!(banks > 0, "memory system needs at least one bank");
         assert!(bank_bandwidth > 0.0, "bank bandwidth must be positive");
-        MemorySystem { banks, bank_bandwidth, bank_bytes, interleaved }
+        MemorySystem {
+            banks,
+            bank_bandwidth,
+            bank_bytes,
+            interleaved,
+        }
     }
 
     /// Number of DDR banks.
@@ -79,7 +84,11 @@ impl MemorySystem {
     /// Round-robin assignment of `n` buffers across banks — the manual
     /// placement a careful user performs when interleaving is off.
     pub fn round_robin(&self, n: usize) -> Vec<BankAssignment> {
-        (0..n).map(|i| BankAssignment { bank: i % self.banks }).collect()
+        (0..n)
+            .map(|i| BankAssignment {
+                bank: i % self.banks,
+            })
+            .collect()
     }
 
     /// Bandwidth (bytes/s) obtained by each of a set of *concurrently
@@ -92,7 +101,12 @@ impl MemorySystem {
     /// Panics if any assignment references a bank out of range.
     pub fn stream_bandwidths(&self, assignments: &[BankAssignment]) -> Vec<f64> {
         for a in assignments {
-            assert!(a.bank < self.banks, "bank {} out of range ({} banks)", a.bank, self.banks);
+            assert!(
+                a.bank < self.banks,
+                "bank {} out of range ({} banks)",
+                a.bank,
+                self.banks
+            );
         }
         if assignments.is_empty() {
             return Vec::new();

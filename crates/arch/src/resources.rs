@@ -33,17 +33,32 @@ pub struct Resources {
 
 impl Resources {
     /// The zero vector.
-    pub const ZERO: Resources = Resources { alms: 0, ffs: 0, m20ks: 0, dsps: 0 };
+    pub const ZERO: Resources = Resources {
+        alms: 0,
+        ffs: 0,
+        m20ks: 0,
+        dsps: 0,
+    };
 
     /// Construct from explicit quantities.
     pub fn new(alms: u64, ffs: u64, m20ks: u64, dsps: u64) -> Self {
-        Resources { alms, ffs, m20ks, dsps }
+        Resources {
+            alms,
+            ffs,
+            m20ks,
+            dsps,
+        }
     }
 
     /// Construct from a LUT count plus the other quantities, converting
     /// LUTs to ALMs at [`LUTS_PER_ALM`].
     pub fn from_luts(luts: u64, ffs: u64, m20ks: u64, dsps: u64) -> Self {
-        Resources { alms: (luts as f64 / LUTS_PER_ALM).ceil() as u64, ffs, m20ks, dsps }
+        Resources {
+            alms: (luts as f64 / LUTS_PER_ALM).ceil() as u64,
+            ffs,
+            m20ks,
+            dsps,
+        }
     }
 
     /// Component-wise `self <= other`: does a design needing `self` fit in
@@ -78,7 +93,11 @@ impl Resources {
     /// printed in the paper's Table III.
     pub fn utilization_pct(&self, budget: &Resources) -> (f64, f64, f64, f64) {
         fn pct(used: u64, avail: u64) -> f64 {
-            if avail == 0 { 0.0 } else { 100.0 * used as f64 / avail as f64 }
+            if avail == 0 {
+                0.0
+            } else {
+                100.0 * used as f64 / avail as f64
+            }
         }
         (
             pct(self.alms, budget.alms),
@@ -172,7 +191,9 @@ pub const M20K_BYTES: u64 = 20 * 1024 / 8;
 /// paper (Sec. III-A3) — they set the number of memory blocks instantiated.
 pub fn m20ks_for_buffer(elements: u64, elem_bytes: u64) -> u64 {
     let bytes = elements * elem_bytes;
-    bytes.div_ceil(M20K_BYTES).max(if bytes > 0 { 1 } else { 0 })
+    bytes
+        .div_ceil(M20K_BYTES)
+        .max(if bytes > 0 { 1 } else { 0 })
 }
 
 #[cfg(test)]

@@ -28,7 +28,10 @@ impl WorkDepth {
     /// Application work/depth of an N-element map with per-element
     /// operation latency `op_latency` (e.g. SCAL: `AW = N`, `AD = L_M`).
     pub fn map_application(n: u64, op_latency: u64) -> Self {
-        WorkDepth { work: n, depth: op_latency }
+        WorkDepth {
+            work: n,
+            depth: op_latency,
+        }
     }
 
     /// Application work/depth of an N-element reduction-style computation
@@ -39,13 +42,19 @@ impl WorkDepth {
         } else {
             ceil_log2(n) * add_latency + mul_latency
         };
-        WorkDepth { work: (2 * n).saturating_sub(1), depth }
+        WorkDepth {
+            work: (2 * n).saturating_sub(1),
+            depth,
+        }
     }
 
     /// Circuit work/depth of a W-wide *map* inner loop performing
     /// `ops_per_lane` chained operations of latency `lane_latency` total.
     pub fn map_circuit(w: u64, ops_per_lane: u64, lane_latency: u64) -> Self {
-        WorkDepth { work: w * ops_per_lane, depth: lane_latency }
+        WorkDepth {
+            work: w * ops_per_lane,
+            depth: lane_latency,
+        }
     }
 
     /// Circuit work/depth of a W-wide *map-reduce* inner loop:
@@ -73,7 +82,12 @@ pub fn ceil_log2(n: u64) -> u64 {
 ///
 /// The returned width is rounded up to the next power of two, as widths
 /// are powers of two in the paper's designs (Table I, Fig. 10).
-pub fn optimal_width(bandwidth: f64, freq_hz: f64, precision: Precision, operands_per_lane: u64) -> u64 {
+pub fn optimal_width(
+    bandwidth: f64,
+    freq_hz: f64,
+    precision: Precision,
+    operands_per_lane: u64,
+) -> u64 {
     assert!(bandwidth >= 0.0 && freq_hz > 0.0 && operands_per_lane > 0);
     let s = precision.elem_bytes() as f64;
     let w = (bandwidth / (operands_per_lane as f64 * s * freq_hz)).ceil() as u64;

@@ -13,10 +13,14 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("interleaving_model");
     g.sample_size(20);
     g.bench_function("dot_16M_banked", |b| {
-        b.iter(|| std::hint::black_box(model::dot_time::<f32>(dev, 16 << 20, 32, true, false).seconds));
+        b.iter(|| {
+            std::hint::black_box(model::dot_time::<f32>(dev, 16 << 20, 32, true, false).seconds)
+        });
     });
     g.bench_function("dot_16M_interleaved", |b| {
-        b.iter(|| std::hint::black_box(model::dot_time::<f32>(dev, 16 << 20, 32, true, true).seconds));
+        b.iter(|| {
+            std::hint::black_box(model::dot_time::<f32>(dev, 16 << 20, 32, true, true).seconds)
+        });
     });
     g.bench_function("axpydot_contended", |b| {
         b.iter(|| std::hint::black_box(model::axpydot_times::<f32>(dev, 16 << 20, 16)));
@@ -32,7 +36,10 @@ fn bench(c: &mut Criterion) {
     );
     let m = MemorySystem::new(4, 19.2e9, 8 << 30, false);
     let shared = m.stream_bandwidths(&[BankAssignment { bank: 0 }, BankAssignment { bank: 0 }]);
-    assert!((shared[0] - 9.6e9).abs() < 1.0, "bank sharing halves bandwidth");
+    assert!(
+        (shared[0] - 9.6e9).abs() < 1.0,
+        "bank sharing halves bandwidth"
+    );
 }
 
 criterion_group!(benches, bench);

@@ -14,6 +14,7 @@
 //! ```
 
 use fblas_arch::{design_overhead, Device, FrequencyModel, RoutineClass};
+use fblas_bench::metrics::{BenchReport, Cell};
 use fblas_core::routines::gemm::{Gemm, SystolicShape};
 use fblas_core::routines::gemv::{Gemv, GemvVariant};
 use fblas_core::routines::Dot;
@@ -32,7 +33,7 @@ fn freq_for(device: Device, util: f64, class: RoutineClass) -> (f64, bool) {
 /// congestion, so the cap is applied explicitly.
 const MAX_W_DOUBLE: usize = 128;
 
-fn panel_dot<T: Scalar>(device: Device) {
+fn panel_dot<T: Scalar>(device: Device, report: &mut BenchReport) {
     let prefix = T::PRECISION.blas_prefix().to_ascii_uppercase();
     for w in WIDTHS {
         if T::PRECISION == fblas_arch::Precision::Double && w > MAX_W_DOUBLE {
@@ -62,6 +63,15 @@ fn panel_dot<T: Scalar>(device: Device) {
         let secs = m.cost::<T>().cycles() as f64 / f;
         let gops = (2.0 * N_DOT as f64 - 1.0) / secs / 1e9;
         let expected = 2.0 * w as f64 * f / 1e9;
+        report.add_row([
+            ("panel", Cell::from("dot")),
+            ("device", Cell::from(device.short_name())),
+            ("precision", Cell::from(prefix.to_string())),
+            ("w", Cell::from(w)),
+            ("gops", Cell::from(gops)),
+            ("expected_gops", Cell::from(expected)),
+            ("freq_mhz", Cell::from(f / 1e6)),
+        ]);
         println!(
             "{:<7} {}DOT  W={:<4} {:>7.1} GOps/s  (expected {:>7.1}, {:.0} MHz{})",
             device.short_name(),
@@ -75,7 +85,7 @@ fn panel_dot<T: Scalar>(device: Device) {
     }
 }
 
-fn panel_gemv<T: Scalar>(device: Device) {
+fn panel_gemv<T: Scalar>(device: Device, report: &mut BenchReport) {
     let prefix = T::PRECISION.blas_prefix().to_ascii_uppercase();
     let n = 16_384usize;
     for w in WIDTHS {
@@ -105,6 +115,15 @@ fn panel_gemv<T: Scalar>(device: Device) {
         let secs = g.cost::<T>().cycles() as f64 / f;
         let gops = 2.0 * (n as f64) * (n as f64) / secs / 1e9;
         let expected = 2.0 * w as f64 * f / 1e9;
+        report.add_row([
+            ("panel", Cell::from("gemv")),
+            ("device", Cell::from(device.short_name())),
+            ("precision", Cell::from(prefix.to_string())),
+            ("w", Cell::from(w)),
+            ("gops", Cell::from(gops)),
+            ("expected_gops", Cell::from(expected)),
+            ("freq_mhz", Cell::from(f / 1e6)),
+        ]);
         println!(
             "{:<7} {}GEMV W={:<4} {:>7.1} GOps/s  (expected {:>7.1}, {:.0} MHz{})",
             device.short_name(),
@@ -118,7 +137,7 @@ fn panel_gemv<T: Scalar>(device: Device) {
     }
 }
 
-fn panel_gemm<T: Scalar>(device: Device, pr: usize, pc: usize) {
+fn panel_gemm<T: Scalar>(device: Device, pr: usize, pc: usize, report: &mut BenchReport) {
     let prefix = T::PRECISION.blas_prefix().to_ascii_uppercase();
     for ratio in [3usize, 6, 9, 12] {
         let (tr, tc) = (pr * ratio, pc * ratio);
@@ -142,6 +161,16 @@ fn panel_gemm<T: Scalar>(device: Device, pr: usize, pc: usize) {
         let secs = g.cost::<T>().cycles() as f64 / f;
         let gflops = g.flops() as f64 / secs / 1e9;
         let expected = 2.0 * (pr * pc) as f64 * f / 1e9;
+        report.add_row([
+            ("panel", Cell::from("gemm")),
+            ("device", Cell::from(device.short_name())),
+            ("precision", Cell::from(prefix.to_string())),
+            ("array", Cell::from(format!("{pr}x{pc}"))),
+            ("ratio", Cell::from(ratio)),
+            ("gops", Cell::from(gflops)),
+            ("expected_gops", Cell::from(expected)),
+            ("freq_mhz", Cell::from(f / 1e6)),
+        ]);
         println!(
             "{:<7} {}GEMM {:>2}x{:<3} ratio {:<3} {:>8.1} GOps/s  (expected {:>8.1}, {:.0} MHz, eff {:.1}%)",
             device.short_name(),
@@ -159,30 +188,33 @@ fn panel_gemm<T: Scalar>(device: Device, pr: usize, pc: usize) {
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut report = BenchReport::new("fig10");
+    report.meta("selection", which.clone());
 
     if which == "dot" || which == "all" {
         println!("=== Fig. 10 (left): DOT, N = 100M, data generated on-chip ===");
         for dev in Device::PAPER {
-            panel_dot::<f32>(dev);
-            panel_dot::<f64>(dev);
+            panel_dot::<f32>(dev, &mut report);
+            panel_dot::<f64>(dev, &mut report);
         }
         println!();
     }
     if which == "gemv" || which == "all" {
         println!("=== Fig. 10 (middle): GEMV, tiles 1024x1024 ===");
         for dev in Device::PAPER {
-            panel_gemv::<f32>(dev);
-            panel_gemv::<f64>(dev);
+            panel_gemv::<f32>(dev, &mut report);
+            panel_gemv::<f64>(dev, &mut report);
         }
         println!();
     }
     if which == "gemm" || which == "all" {
         println!("=== Fig. 10 (right): GEMM vs compute/memory tile ratio ===");
         // Paper's array sizes: the largest that place on each device.
-        panel_gemm::<f32>(Device::Arria10Gx1150, 32, 32);
-        panel_gemm::<f64>(Device::Arria10Gx1150, 16, 8);
-        panel_gemm::<f32>(Device::Stratix10Gx2800, 40, 80);
-        panel_gemm::<f64>(Device::Stratix10Gx2800, 16, 16);
+        panel_gemm::<f32>(Device::Arria10Gx1150, 32, 32, &mut report);
+        panel_gemm::<f64>(Device::Arria10Gx1150, 16, 8, &mut report);
+        panel_gemm::<f32>(Device::Stratix10Gx2800, 40, 80, &mut report);
+        panel_gemm::<f64>(Device::Stratix10Gx2800, 16, 16, &mut report);
         println!("\n(paper peak: 1.28 Tflop/s single precision on the Stratix 40x80 array)");
     }
+    report.write().expect("write BENCH_fig10.json");
 }

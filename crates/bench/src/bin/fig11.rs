@@ -6,15 +6,28 @@
 //! ```
 
 use fblas_arch::Device;
+use fblas_bench::metrics::{BenchReport, Cell};
 use fblas_bench::model;
 
 fn main() {
+    let mut report = BenchReport::new("fig11");
+    report
+        .meta("device", "Stratix 10")
+        .meta("precision", "f32")
+        .meta("w", 16u64);
     let dev = Device::Stratix10Gx2800;
     println!("=== Fig. 11: streaming composition speedups (Stratix, f32, W=16) ===\n");
 
     println!("AXPYDOT (paper: ~4x at all sizes; expected 3x + z-bank contention)");
     for n in [2usize << 20, 4 << 20, 8 << 20, 16 << 20] {
         let (s, h) = model::axpydot_times::<f32>(dev, n, 16);
+        report.add_row([
+            ("kernel", Cell::from("AXPYDOT")),
+            ("n", Cell::from(n)),
+            ("streaming_s", Cell::from(s)),
+            ("host_s", Cell::from(h)),
+            ("speedup", Cell::from(h / s)),
+        ]);
         println!(
             "  N = {:>4}M : streaming {:>9.0} us, host {:>9.0} us, speedup {:.2}x",
             n >> 20,
@@ -31,6 +44,13 @@ fn main() {
     println!("\nBICG (paper: expected 1.7x, measured up to 1.45x; model = 2.0x ceiling)");
     for n in [1024usize, 2048, 4096, 8192] {
         let (s, h) = model::bicg_times::<f32>(dev, n, 1024, 1024, 16);
+        report.add_row([
+            ("kernel", Cell::from("BICG")),
+            ("n", Cell::from(n)),
+            ("streaming_s", Cell::from(s)),
+            ("host_s", Cell::from(h)),
+            ("speedup", Cell::from(h / s)),
+        ]);
         println!(
             "  {:>4}x{:<4} : streaming {:>9.0} us, host {:>9.0} us, speedup {:.2}x",
             n,
@@ -44,6 +64,13 @@ fn main() {
     println!("\nGEMVER (paper: ~2.5-3x; 8N^2 -> 3N^2 I/O, 5N^2 -> 2N^2 cycles)");
     for n in [1024usize, 2048, 4096, 8192] {
         let (s, h) = model::gemver_times::<f32>(dev, n, 1024, 1024, 16);
+        report.add_row([
+            ("kernel", Cell::from("GEMVER")),
+            ("n", Cell::from(n)),
+            ("streaming_s", Cell::from(s)),
+            ("host_s", Cell::from(h)),
+            ("speedup", Cell::from(h / s)),
+        ]);
         println!(
             "  {:>4}x{:<4} : streaming {:>9.0} us, host {:>9.0} us, speedup {:.2}x",
             n,
@@ -56,4 +83,5 @@ fn main() {
 
     println!("\n(functional equivalence of streaming and host-layer variants is");
     println!("established by `tests/streaming_compositions.rs` at verification sizes)");
+    report.write().expect("write BENCH_fig11.json");
 }

@@ -14,9 +14,11 @@
 //! ```
 
 use fblas_arch::{optimal_width, Device, Precision};
+use fblas_bench::metrics::{BenchReport, Cell};
 use fblas_bench::model;
 
 fn main() {
+    let mut report = BenchReport::new("hbm_scaling");
     let hbm = Device::AlveoU280;
     let ddr = Device::Stratix10Gx2800;
     let m_hbm = hbm.model();
@@ -39,7 +41,10 @@ fn main() {
     for (label, prec) in [("f32", Precision::Single), ("f64", Precision::Double)] {
         let w_ddr = optimal_width(ddr.model().total_dram_bandwidth(), f, prec, 2);
         let w_hbm = optimal_width(m_hbm.total_dram_bandwidth(), f, prec, 2);
-        println!("optimal DOT width ({label}, {:.0} MHz): DDR {w_ddr} -> HBM {w_hbm}", f / 1e6);
+        println!(
+            "optimal DOT width ({label}, {:.0} MHz): DDR {w_ddr} -> HBM {w_hbm}",
+            f / 1e6
+        );
     }
     println!();
 
@@ -49,12 +54,26 @@ fn main() {
     println!("DOT, N = 256M elements, streamed from memory (interleaved):");
     for (dev, w) in [(ddr, 32usize), (hbm, 256)] {
         let t = model::dot_time::<f32>(dev, n, w, true, true);
+        report.add_row([
+            ("routine", Cell::from("DOT")),
+            ("device", Cell::from(dev.short_name())),
+            ("w", Cell::from(w)),
+            ("seconds", Cell::from(t.seconds)),
+            (
+                "memory_bound",
+                Cell::from(if t.memory_bound { 1u64 } else { 0 }),
+            ),
+        ]);
         println!(
             "  {:<8} W={:<4}: {:>8.1} ms ({}, {:.0} MHz)",
             dev.short_name(),
             w,
             t.seconds * 1e3,
-            if t.memory_bound { "memory bound" } else { "compute bound" },
+            if t.memory_bound {
+                "memory bound"
+            } else {
+                "compute bound"
+            },
             t.freq_hz / 1e6
         );
     }
@@ -62,12 +81,26 @@ fn main() {
     println!("\nGEMV 32Kx32K f32, tiles 2048x2048, streamed from memory:");
     for (dev, w) in [(ddr, 64usize), (hbm, 256)] {
         let t = model::gemv_time::<f32>(dev, 32_768, 32_768, 2048, 2048, w, true, true);
+        report.add_row([
+            ("routine", Cell::from("GEMV")),
+            ("device", Cell::from(dev.short_name())),
+            ("w", Cell::from(w)),
+            ("seconds", Cell::from(t.seconds)),
+            (
+                "memory_bound",
+                Cell::from(if t.memory_bound { 1u64 } else { 0 }),
+            ),
+        ]);
         println!(
             "  {:<8} W={:<4}: {:>8.1} ms ({})",
             dev.short_name(),
             w,
             t.seconds * 1e3,
-            if t.memory_bound { "memory bound" } else { "compute bound" }
+            if t.memory_bound {
+                "memory bound"
+            } else {
+                "compute bound"
+            }
         );
     }
 
@@ -77,6 +110,13 @@ fn main() {
     println!("so the ~4x streaming win persists:");
     for dev in [ddr, hbm] {
         let (s, h) = model::axpydot_times::<f32>(dev, 16 << 20, 16);
+        report.add_row([
+            ("routine", Cell::from("AXPYDOT")),
+            ("device", Cell::from(dev.short_name())),
+            ("streaming_s", Cell::from(s)),
+            ("host_s", Cell::from(h)),
+            ("speedup", Cell::from(h / s)),
+        ]);
         println!(
             "  {:<8}: streaming {:>7.0} us vs host {:>7.0} us -> {:.2}x",
             dev.short_name(),
@@ -85,4 +125,5 @@ fn main() {
             h / s
         );
     }
+    report.write().expect("write BENCH_hbm_scaling.json");
 }

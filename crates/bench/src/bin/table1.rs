@@ -7,6 +7,7 @@
 //! ```
 
 use fblas_arch::Device;
+use fblas_bench::metrics::BenchReport;
 use fblas_core::routines::{Dot, Scal};
 
 /// Paper Table I reference values: (W, LUTs, FFs, DSPs, latency).
@@ -60,13 +61,34 @@ fn main() {
         "W", "LUTs", "FFs", "DSPs", "Lat", "LUTs", "FFs", "DSPs", "Lat"
     );
     println!("     |          SCAL              |            DOT            |");
+    let mut report = BenchReport::new("table1");
+    report.meta("precision", "f32").meta("n", 1u64 << 20);
     for i in 0..6 {
         let (w, ..) = PAPER_SCAL[i];
         let s = Scal::new(1 << 20, w).estimate::<f32>();
         let d = Dot::new(1 << 20, w).estimate::<f32>();
+        report.add_row([
+            ("w", w as u64),
+            ("scal_luts", s.luts),
+            ("scal_ffs", s.resources.ffs),
+            ("scal_dsps", s.resources.dsps),
+            ("scal_latency", s.latency),
+            ("dot_luts", d.luts),
+            ("dot_ffs", d.resources.ffs),
+            ("dot_dsps", d.resources.dsps),
+            ("dot_latency", d.latency),
+        ]);
         println!(
             "{:>4} | {:>6} {:>6} {:>5} {:>4} | {:>6} {:>6} {:>5} {:>4} |",
-            w, s.luts, s.resources.ffs, s.resources.dsps, s.latency, d.luts, d.resources.ffs, d.resources.dsps, d.latency
+            w,
+            s.luts,
+            s.resources.ffs,
+            s.resources.dsps,
+            s.latency,
+            d.luts,
+            d.resources.ffs,
+            d.resources.dsps,
+            d.latency
         );
         let (pw, pl, pf, pd, plat) = PAPER_SCAL[i];
         let (_, ql, qf, qd, qlat) = PAPER_DOT[i];
@@ -78,4 +100,5 @@ fn main() {
     }
     println!("\nSCAL reproduces the paper exactly (the published coefficients");
     println!("are the model); DOT tracks within ~7% on logic, exactly on DSPs.");
+    report.write().expect("write BENCH_table1.json");
 }

@@ -13,6 +13,7 @@ use fblas_arch::{
     design_overhead, interface_module, Device, FrequencyModel, PowerModel, ResourceEstimate,
     Resources, RoutineClass,
 };
+use fblas_bench::metrics::{BenchReport, Cell};
 use fblas_core::routines::gemm::{Gemm, SystolicShape};
 use fblas_core::routines::gemv::{Gemv, GemvVariant};
 use fblas_core::routines::Dot;
@@ -25,15 +26,78 @@ const PAPER: [PaperRow; 12] = [
     PaperRow("Arria   SDOT ", 9_756, 15_620, 1, 331, 150, 47.3, false),
     PaperRow("Arria   DDOT ", 121_400, 208_300, 3, 512, 150, 47.9, false),
     PaperRow("Arria   SGEMV", 21_560, 40_000, 210, 284, 145, 48.1, false),
-    PaperRow("Arria   DGEMV", 135_900, 286_700, 216, 520, 132, 48.6, false),
-    PaperRow("Arria   SGEMM", 102_400, 263_600, 1_970, 1_086, 197, 52.1, false),
-    PaperRow("Arria   DGEMM", 135_800, 280_000, 658, 622, 222, 49.1, false),
-    PaperRow("Stratix SDOT ", 123_100, 386_300, 1_028, 328, 358, 68.7, true),
+    PaperRow(
+        "Arria   DGEMV",
+        135_900,
+        286_700,
+        216,
+        520,
+        132,
+        48.6,
+        false,
+    ),
+    PaperRow(
+        "Arria   SGEMM",
+        102_400,
+        263_600,
+        1_970,
+        1_086,
+        197,
+        52.1,
+        false,
+    ),
+    PaperRow(
+        "Arria   DGEMM",
+        135_800,
+        280_000,
+        658,
+        622,
+        222,
+        49.1,
+        false,
+    ),
+    PaperRow(
+        "Stratix SDOT ",
+        123_100,
+        386_300,
+        1_028,
+        328,
+        358,
+        68.7,
+        true,
+    ),
     PaperRow("Stratix DDOT ", 235_100, 682_700, 773, 512, 366, 68.8, true),
-    PaperRow("Stratix SGEMV", 123_400, 352_600, 1_246, 274, 347, 68.0, true),
+    PaperRow(
+        "Stratix SGEMV",
+        123_400,
+        352_600,
+        1_246,
+        274,
+        347,
+        68.0,
+        true,
+    ),
     PaperRow("Stratix DGEMV", 275_700, 831_900, 999, 520, 347, 69.7, true),
-    PaperRow("Stratix SGEMM", 328_500, 1_031_000, 7_767, 3_270, 216, 70.5, false),
-    PaperRow("Stratix DGEMM", 450_900, 1_054_000, 2_077, 1_166, 260, 67.5, false),
+    PaperRow(
+        "Stratix SGEMM",
+        328_500,
+        1_031_000,
+        7_767,
+        3_270,
+        216,
+        70.5,
+        false,
+    ),
+    PaperRow(
+        "Stratix DGEMM",
+        450_900,
+        1_054_000,
+        2_077,
+        1_166,
+        260,
+        67.5,
+        false,
+    ),
 ];
 
 fn full_design<T: Scalar>(
@@ -56,9 +120,15 @@ fn row<T: Scalar>(
     interfaces: usize,
     class: RoutineClass,
     paper: &PaperRow,
+    report: &mut BenchReport,
 ) {
     let hf_requested = class == RoutineClass::Streaming;
-    let total = full_design::<T>(device, est, interfaces, hf_requested && device.model().hyperflex);
+    let total = full_design::<T>(
+        device,
+        est,
+        interfaces,
+        hf_requested && device.model().hyperflex,
+    );
     let avail = device.model().available;
     let util = total.max_utilization(&avail);
     let (f, hf) = FrequencyModel::new(device).achieved_hz(class, hf_requested, util);
@@ -88,9 +158,22 @@ fn row<T: Scalar>(
         if paper.7 { "H" } else { " " },
         paper.6
     );
+    report.add_row([
+        ("module", Cell::from(label.trim())),
+        ("alms", Cell::from(total.alms)),
+        ("ffs", Cell::from(total.ffs)),
+        ("m20ks", Cell::from(total.m20ks)),
+        ("dsps", Cell::from(total.dsps)),
+        ("freq_mhz", Cell::from(f / 1e6)),
+        ("power_w", Cell::from(p)),
+        ("paper_alms", Cell::from(paper.1)),
+        ("paper_freq_mhz", Cell::from(paper.5)),
+        ("paper_power_w", Cell::from(paper.6)),
+    ]);
 }
 
 fn main() {
+    let mut report = BenchReport::new("table3");
     println!("=== Table III: module resources, frequency (MHz), power (W) ===\n");
     println!(
         "{:<14} | {:<58} | {:>5} {:>5} |",
@@ -107,6 +190,7 @@ fn main() {
             3,
             RoutineClass::Streaming,
             &PAPER[base],
+            &mut report,
         );
         row::<f64>(
             PAPER[base + 1].0,
@@ -115,23 +199,28 @@ fn main() {
             3,
             RoutineClass::Streaming,
             &PAPER[base + 1],
+            &mut report,
         );
         // GEMV: same widths, 1024x1024 tiles, 4 interfaces.
         row::<f32>(
             PAPER[base + 2].0,
             device,
-            Gemv::new(GemvVariant::RowStreamed, 1 << 14, 1 << 14, 1024, 1024, 256).estimate::<f32>(),
+            Gemv::new(GemvVariant::RowStreamed, 1 << 14, 1 << 14, 1024, 1024, 256)
+                .estimate::<f32>(),
             4,
             RoutineClass::Streaming,
             &PAPER[base + 2],
+            &mut report,
         );
         row::<f64>(
             PAPER[base + 3].0,
             device,
-            Gemv::new(GemvVariant::RowStreamed, 1 << 14, 1 << 14, 1024, 1024, 128).estimate::<f64>(),
+            Gemv::new(GemvVariant::RowStreamed, 1 << 14, 1 << 14, 1024, 1024, 128)
+                .estimate::<f64>(),
             4,
             RoutineClass::Streaming,
             &PAPER[base + 3],
+            &mut report,
         );
         // GEMM: the paper's largest arrays per device/precision.
         let (s_arr, d_arr) = match device {
@@ -154,6 +243,7 @@ fn main() {
             3,
             RoutineClass::Systolic,
             &PAPER[base + 4],
+            &mut report,
         );
         let dg = Gemm::new(
             10 * d_arr.0,
@@ -170,9 +260,11 @@ fn main() {
             3,
             RoutineClass::Systolic,
             &PAPER[base + 5],
+            &mut report,
         );
     }
     println!("\nDSP counts track the paper (they are structural); logic and BRAM");
     println!("follow the calibrated Table-I coefficients plus the HyperFlex");
     println!("overhead model, so Stratix rows carry the paper's large fixed cost.");
+    report.write().expect("write BENCH_table3.json");
 }

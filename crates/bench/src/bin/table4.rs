@@ -11,6 +11,7 @@
 //! ```
 
 use fblas_arch::{Device, PowerModel};
+use fblas_bench::metrics::{BenchReport, Cell};
 use fblas_bench::{cpu, fmt_time, model};
 use fblas_refblas::parallel::default_threads;
 
@@ -19,6 +20,8 @@ fn size_k(n: usize) -> String {
 }
 
 fn main() {
+    let mut report = BenchReport::new("table4");
+    report.meta("device", "Stratix 10");
     let dev = Device::Stratix10Gx2800;
     let threads = default_threads();
     println!("=== Table IV: CPU vs FPGA, single routines (Stratix 10) ===");
@@ -36,10 +39,26 @@ fn main() {
         ('D', 128 << 20, 16, 28_250.0),
     ] {
         let (c, f) = if prec == 'S' {
-            (cpu::dot_time::<f32>(n, threads), model::dot_time::<f32>(dev, n, w, true, true))
+            (
+                cpu::dot_time::<f32>(n, threads),
+                model::dot_time::<f32>(dev, n, w, true, true),
+            )
         } else {
-            (cpu::dot_time::<f64>(n, threads), model::dot_time::<f64>(dev, n, w, true, true))
+            (
+                cpu::dot_time::<f64>(n, threads),
+                model::dot_time::<f64>(dev, n, w, true, true),
+            )
         };
+        report.add_row([
+            ("routine", Cell::from("DOT")),
+            ("precision", Cell::from(prec.to_string())),
+            ("n", Cell::from(n)),
+            ("cpu_s", Cell::from(c.seconds)),
+            ("fpga_s", Cell::from(f.seconds)),
+            ("fpga_mhz", Cell::from(f.freq_hz / 1e6)),
+            ("fpga_power_w", Cell::from(f.power_w)),
+            ("paper_fpga_us", Cell::from(paper_us)),
+        ]);
         println!(
             "{:<6} {:<2} {:>9}M | {:>12} {:>6.1} | {:>12} {:>5.0} {:>5.1} | {:>10}",
             "DOT",
@@ -62,10 +81,26 @@ fn main() {
         ('D', 32_768, 32, 120_357.0),
     ] {
         let (c, f) = if prec == 'S' {
-            (cpu::gemv_time::<f32>(n, threads), model::gemv_time::<f32>(dev, n, n, 2048, 2048, w, true, true))
+            (
+                cpu::gemv_time::<f32>(n, threads),
+                model::gemv_time::<f32>(dev, n, n, 2048, 2048, w, true, true),
+            )
         } else {
-            (cpu::gemv_time::<f64>(n, threads), model::gemv_time::<f64>(dev, n, n, 2048, 2048, w, true, true))
+            (
+                cpu::gemv_time::<f64>(n, threads),
+                model::gemv_time::<f64>(dev, n, n, 2048, 2048, w, true, true),
+            )
         };
+        report.add_row([
+            ("routine", Cell::from("GEMV")),
+            ("precision", Cell::from(prec.to_string())),
+            ("n", Cell::from(n)),
+            ("cpu_s", Cell::from(c.seconds)),
+            ("fpga_s", Cell::from(f.seconds)),
+            ("fpga_mhz", Cell::from(f.freq_hz / 1e6)),
+            ("fpga_power_w", Cell::from(f.power_w)),
+            ("paper_fpga_us", Cell::from(paper_us)),
+        ]);
         println!(
             "{:<6} {:<2} {:>6}Kx{} | {:>12} {:>6.1} | {:>12} {:>5.0} {:>5.1} | {:>10}",
             "GEMV",
@@ -89,10 +124,27 @@ fn main() {
         ('D', 24_576, 203.0),
     ] {
         let (c, f) = if prec == 'S' {
-            (cpu::gemm_time::<f32>(n, threads), model::gemm_time::<f32>(dev, n, 40, 80, 12, true))
+            (
+                cpu::gemm_time::<f32>(n, threads),
+                model::gemm_time::<f32>(dev, n, 40, 80, 12, true),
+            )
         } else {
-            (cpu::gemm_time::<f64>(n, threads), model::gemm_time::<f64>(dev, n, 16, 16, 24, true))
+            (
+                cpu::gemm_time::<f64>(n, threads),
+                model::gemm_time::<f64>(dev, n, 16, 16, 24, true),
+            )
         };
+        report.add_row([
+            ("routine", Cell::from("GEMM")),
+            ("precision", Cell::from(prec.to_string())),
+            ("n", Cell::from(n)),
+            ("cpu_s", Cell::from(c.seconds)),
+            ("cpu_basis", Cell::from(c.basis.clone())),
+            ("fpga_s", Cell::from(f.seconds)),
+            ("fpga_mhz", Cell::from(f.freq_hz / 1e6)),
+            ("fpga_power_w", Cell::from(f.power_w)),
+            ("paper_fpga_s", Cell::from(paper_secs)),
+        ]);
         println!(
             "{:<6} {:<2} {:>6}Kx{} | {:>12} {:>6.1} | {:>12} {:>5.0} {:>5.1} | {:>10}",
             "GEMM",
@@ -115,4 +167,5 @@ fn main() {
     println!("\nShape to check against the paper: FPGA beats the CPU on the");
     println!("memory-bound routines (DOT, GEMV) and on SGEMM, while DGEMM");
     println!("loses due to the missing hardened double-precision units.");
+    report.write().expect("write BENCH_table4.json");
 }

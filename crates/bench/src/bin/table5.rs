@@ -6,10 +6,13 @@
 //! ```
 
 use fblas_arch::Device;
+use fblas_bench::metrics::{BenchReport, Cell};
 use fblas_bench::{cpu, model};
 use fblas_refblas::parallel::default_threads;
 
 fn main() {
+    let mut report = BenchReport::new("table5");
+    report.meta("device", "Stratix 10").meta("dim", 4u64);
     let dev = Device::Stratix10Gx2800;
     let threads = default_threads();
     let dim = 4usize;
@@ -37,6 +40,15 @@ fn main() {
                 model::batched_gemm_time::<f64>(dev, dim, batch, true),
             )
         };
+        report.add_row([
+            ("routine", Cell::from("GEMM")),
+            ("precision", Cell::from(prec.to_string())),
+            ("batch", Cell::from(batch)),
+            ("cpu_us", Cell::from(c.seconds * 1e6)),
+            ("fpga_us", Cell::from(f.seconds * 1e6)),
+            ("fpga_mhz", Cell::from(f.freq_hz / 1e6)),
+            ("paper_fpga_us", Cell::from(paper_us)),
+        ]);
         println!(
             "{:<5} {:<2} {:>5}K | {:>10.1} | {:>10.1} {:>5.0} | {:>10.1}",
             "GEMM",
@@ -66,6 +78,15 @@ fn main() {
                 model::batched_trsm_time::<f64>(dev, dim, batch, true),
             )
         };
+        report.add_row([
+            ("routine", Cell::from("TRSM")),
+            ("precision", Cell::from(prec.to_string())),
+            ("batch", Cell::from(batch)),
+            ("cpu_us", Cell::from(c.seconds * 1e6)),
+            ("fpga_us", Cell::from(f.seconds * 1e6)),
+            ("fpga_mhz", Cell::from(f.freq_hz / 1e6)),
+            ("paper_fpga_us", Cell::from(paper_us)),
+        ]);
         println!(
             "{:<5} {:<2} {:>5}K | {:>10.1} | {:>10.1} {:>5.0} | {:>10.1}",
             "TRSM",
@@ -81,4 +102,5 @@ fn main() {
     println!("\nShape to check: the fully unrolled circuits saturate DRAM, so");
     println!("the FPGA wins at the larger batch sizes (\"a good fit provided");
     println!("enough memory bandwidth is available\", Sec. VI-D).");
+    report.write().expect("write BENCH_table5.json");
 }

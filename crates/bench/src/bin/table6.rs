@@ -6,9 +6,12 @@
 //! ```
 
 use fblas_arch::Device;
+use fblas_bench::metrics::{BenchReport, Cell};
 use fblas_bench::{cpu, fmt_time, model};
 
 fn main() {
+    let mut report = BenchReport::new("table6");
+    report.meta("device", "Stratix 10");
     let dev = Device::Stratix10Gx2800;
     println!("=== Table VI: CPU vs FPGA, composed kernels (Stratix 10) ===\n");
     println!(
@@ -24,10 +27,24 @@ fn main() {
         ('D', 16 << 20, 7_297.0),
     ] {
         let (c, (s, _h)) = if prec == 'S' {
-            (cpu::axpydot_time::<f32>(n), model::axpydot_times_mem::<f32>(dev, n, 32, true))
+            (
+                cpu::axpydot_time::<f32>(n),
+                model::axpydot_times_mem::<f32>(dev, n, 32, true),
+            )
         } else {
-            (cpu::axpydot_time::<f64>(n), model::axpydot_times_mem::<f64>(dev, n, 16, true))
+            (
+                cpu::axpydot_time::<f64>(n),
+                model::axpydot_times_mem::<f64>(dev, n, 16, true),
+            )
         };
+        report.add_row([
+            ("kernel", Cell::from("AXPYDOT")),
+            ("precision", Cell::from(prec.to_string())),
+            ("n", Cell::from(n)),
+            ("cpu_s", Cell::from(c.seconds)),
+            ("fpga_s", Cell::from(s)),
+            ("paper_fpga_us", Cell::from(paper_us)),
+        ]);
         println!(
             "{:<8} {:<2} {:>8}M | {:>12} | {:>12} | {:>12}",
             "AXPYDOT",
@@ -47,10 +64,24 @@ fn main() {
         ('D', 8_192, 9_939.0),
     ] {
         let (c, (s, _h)) = if prec == 'S' {
-            (cpu::bicg_time::<f32>(n), model::bicg_times_mem::<f32>(dev, n, 2048, 2048, 64, true))
+            (
+                cpu::bicg_time::<f32>(n),
+                model::bicg_times_mem::<f32>(dev, n, 2048, 2048, 64, true),
+            )
         } else {
-            (cpu::bicg_time::<f64>(n), model::bicg_times_mem::<f64>(dev, n, 2048, 2048, 32, true))
+            (
+                cpu::bicg_time::<f64>(n),
+                model::bicg_times_mem::<f64>(dev, n, 2048, 2048, 32, true),
+            )
         };
+        report.add_row([
+            ("kernel", Cell::from("BICG")),
+            ("precision", Cell::from(prec.to_string())),
+            ("n", Cell::from(n)),
+            ("cpu_s", Cell::from(c.seconds)),
+            ("fpga_s", Cell::from(s)),
+            ("paper_fpga_us", Cell::from(paper_us)),
+        ]);
         println!(
             "{:<8} {:<2} {:>9} | {:>12} | {:>12} | {:>12}",
             "BICG",
@@ -70,10 +101,24 @@ fn main() {
         ('D', 8_192, 64_115.0),
     ] {
         let (c, (s, _h)) = if prec == 'S' {
-            (cpu::gemver_time::<f32>(n), model::gemver_times_mem::<f32>(dev, n, 2048, 2048, 32, true))
+            (
+                cpu::gemver_time::<f32>(n),
+                model::gemver_times_mem::<f32>(dev, n, 2048, 2048, 32, true),
+            )
         } else {
-            (cpu::gemver_time::<f64>(n), model::gemver_times_mem::<f64>(dev, n, 2048, 2048, 16, true))
+            (
+                cpu::gemver_time::<f64>(n),
+                model::gemver_times_mem::<f64>(dev, n, 2048, 2048, 16, true),
+            )
         };
+        report.add_row([
+            ("kernel", Cell::from("GEMVER")),
+            ("precision", Cell::from(prec.to_string())),
+            ("n", Cell::from(n)),
+            ("cpu_s", Cell::from(c.seconds)),
+            ("fpga_s", Cell::from(s)),
+            ("paper_fpga_us", Cell::from(paper_us)),
+        ]);
         println!(
             "{:<8} {:<2} {:>9} | {:>12} | {:>12} | {:>12}",
             "GEMVER",
@@ -88,4 +133,5 @@ fn main() {
     println!("\nShape to check: the memory-intensive composed kernels run on the");
     println!("FPGA in times lower than or comparable to the CPU (Sec. VI-D),");
     println!("at ~30% lower board power (see the power model in fblas-arch).");
+    report.write().expect("write BENCH_table6.json");
 }

@@ -33,7 +33,9 @@ pub fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 }
 
 fn seq<T: Real>(n: usize, seed: f64) -> Vec<T> {
-    (0..n).map(|i| T::from_f64(((i as f64 + seed) * 0.61803).sin())).collect()
+    (0..n)
+        .map(|i| T::from_f64(((i as f64 + seed) * 0.61803).sin()))
+        .collect()
 }
 
 /// Parallel DOT at target size `n` (measured directly up to 2^24,
@@ -102,7 +104,10 @@ pub fn batched_gemm_time<T: Real>(dim: usize, batch: usize, threads: usize) -> C
         refblas::batched::gemm_batched(dim, batch, T::ONE, &a, &b, T::ZERO, &mut c, threads);
         std::hint::black_box(&c);
     });
-    CpuTime { seconds: secs, basis: "measured".into() }
+    CpuTime {
+        seconds: secs,
+        basis: "measured".into(),
+    }
 }
 
 /// Batched tiny TRSM, measured directly.
@@ -131,7 +136,10 @@ pub fn batched_trsm_time<T: Real>(dim: usize, batch: usize, threads: usize) -> C
         );
         std::hint::black_box(&b);
     });
-    CpuTime { seconds: secs, basis: "measured".into() }
+    CpuTime {
+        seconds: secs,
+        basis: "measured".into(),
+    }
 }
 
 /// AXPYDOT at target `n`, measured up to 2^24.
@@ -190,7 +198,10 @@ pub fn gemver_time<T: Real>(n: usize) -> CpuTime {
 
 fn scale(measured: f64, measured_work: f64, target_work: f64, unit: &str) -> CpuTime {
     if (target_work - measured_work).abs() < 1e-9 {
-        CpuTime { seconds: measured, basis: "measured".into() }
+        CpuTime {
+            seconds: measured,
+            basis: "measured".into(),
+        }
     } else {
         CpuTime {
             seconds: measured * target_work / measured_work,

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod cpu;
+pub mod metrics;
 pub mod model;
 
 /// Pretty-print seconds in the paper's table units (microseconds, or

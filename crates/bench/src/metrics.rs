@@ -1,0 +1,229 @@
+//! Machine-readable benchmark output.
+//!
+//! Every harness binary prints its human-readable table *and* writes a
+//! `BENCH_<name>.json` file with the same numbers, so regressions can be
+//! diffed mechanically and CI can assert the schema stays stable.
+//!
+//! The schema is deliberately small and versioned:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bench": "table1",
+//!   "producer": "fblas-bench",
+//!   "meta": { "device": "Stratix 10", ... },
+//!   "rows": [ { "w": 16, "luts": 784, ... }, ... ]
+//! }
+//! ```
+//!
+//! `rows` is a flat list of objects whose values are numbers or strings;
+//! nothing nests deeper, so any JSON consumer can load it into a table.
+//! The output directory defaults to the current directory and can be
+//! redirected with `FBLAS_BENCH_DIR`.
+
+use std::path::PathBuf;
+
+use serde::Value;
+
+/// Schema version stamped into every report.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One benchmark's worth of rows, accumulated then written as JSON.
+pub struct BenchReport {
+    name: String,
+    meta: Vec<(String, Value)>,
+    rows: Vec<Value>,
+}
+
+/// A cell value: number or string.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// Unsigned integer cell.
+    U(u64),
+    /// Float cell.
+    F(f64),
+    /// Text cell.
+    S(String),
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::U(v)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::U(v as u64)
+    }
+}
+
+impl From<u32> for Cell {
+    fn from(v: u32) -> Self {
+        Cell::U(v as u64)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::F(v)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(v: &str) -> Self {
+        Cell::S(v.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(v: String) -> Self {
+        Cell::S(v)
+    }
+}
+
+impl From<Cell> for Value {
+    fn from(c: Cell) -> Value {
+        match c {
+            Cell::U(v) => Value::U64(v),
+            Cell::F(v) => Value::F64(v),
+            Cell::S(v) => Value::Str(v),
+        }
+    }
+}
+
+impl BenchReport {
+    /// Start an empty report for the benchmark called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchReport {
+            name: name.into(),
+            meta: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Attach run-level metadata (device, precision, ...).
+    pub fn meta(&mut self, key: impl Into<String>, value: impl Into<Cell>) -> &mut Self {
+        self.meta.push((key.into(), value.into().into()));
+        self
+    }
+
+    /// Append one row of (column, value) cells.
+    pub fn add_row<K: Into<String>, C: Into<Cell>>(
+        &mut self,
+        fields: impl IntoIterator<Item = (K, C)>,
+    ) -> &mut Self {
+        self.rows.push(Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into().into()))
+                .collect(),
+        ));
+        self
+    }
+
+    /// Number of rows accumulated so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The report as a JSON value tree.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("schema_version".to_string(), Value::U64(SCHEMA_VERSION)),
+            ("bench".to_string(), Value::Str(self.name.clone())),
+            (
+                "producer".to_string(),
+                Value::Str("fblas-bench".to_string()),
+            ),
+            ("meta".to_string(), Value::Object(self.meta.clone())),
+            ("rows".to_string(), Value::Array(self.rows.clone())),
+        ])
+    }
+
+    /// The report as pretty-printed JSON text.
+    pub fn json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("value tree always serializes")
+    }
+
+    /// The file this report writes to: `BENCH_<name>.json` in
+    /// `FBLAS_BENCH_DIR` (or the current directory when unset).
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var("FBLAS_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        PathBuf::from(dir).join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Write the report, returning the path written. Also announces the
+    /// file on stdout so table output and artifact stay associated.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(&path, self.json())?;
+        println!("\n[bench metrics] wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+/// Check that a parsed JSON document matches the `BENCH_*.json` schema.
+/// Returns a description of the first violation, if any.
+pub fn validate_schema(doc: &Value) -> Result<(), String> {
+    if doc.get("schema_version").and_then(Value::as_u64) != Some(SCHEMA_VERSION) {
+        return Err(format!("schema_version must be {SCHEMA_VERSION}"));
+    }
+    if doc.get("bench").and_then(Value::as_str).is_none() {
+        return Err("missing string field `bench`".to_string());
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing array field `rows`".to_string())?;
+    for (i, row) in rows.iter().enumerate() {
+        let obj = row
+            .as_object()
+            .ok_or_else(|| format!("row {i} is not an object"))?;
+        for (k, v) in obj {
+            match v {
+                Value::U64(_) | Value::I64(_) | Value::F64(_) | Value::Str(_) => {}
+                _ => return Err(format!("row {i} field `{k}` must be a number or string")),
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_and_validates() {
+        let mut report = BenchReport::new("unit");
+        report.meta("device", "test");
+        report.add_row([("w", Cell::U(16)), ("latency", Cell::F(50.5))]);
+        report.add_row([("w", Cell::U(32)), ("latency", Cell::F(51.0))]);
+        assert_eq!(report.len(), 2);
+
+        let doc: Value = serde_json::from_str(&report.json()).unwrap();
+        validate_schema(&doc).unwrap();
+        assert_eq!(doc.get("bench").and_then(Value::as_str), Some("unit"));
+        let rows = doc.get("rows").and_then(Value::as_array).unwrap();
+        assert_eq!(rows[0].get("w").and_then(Value::as_u64), Some(16));
+    }
+
+    #[test]
+    fn validator_rejects_nested_rows() {
+        let doc: Value =
+            serde_json::from_str(r#"{"schema_version":1,"bench":"x","rows":[{"bad":[1,2]}]}"#)
+                .unwrap();
+        assert!(validate_schema(&doc).is_err());
+    }
+}

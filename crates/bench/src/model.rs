@@ -83,7 +83,10 @@ pub fn gemv_time<T: Scalar>(
     let streams = if from_dram {
         vec![
             StreamDemand::new(banked(device, 0), (n * m) as u64 * eb::<T>()),
-            StreamDemand::new(banked(device, 1), (m * g.x_repetitions()) as u64 * eb::<T>()),
+            StreamDemand::new(
+                banked(device, 1),
+                (m * g.x_repetitions()) as u64 * eb::<T>(),
+            ),
             StreamDemand::new(banked(device, 2), 2 * n as u64 * eb::<T>()),
         ]
     } else {
@@ -152,7 +155,17 @@ pub fn batched_gemm_time<T: Scalar>(
         StreamDemand::new(banked(device, 1), sz),
         StreamDemand::new(banked(device, 2), 2 * sz),
     ];
-    estimate_time(device, RoutineClass::Systolic, true, &est, 3, eb::<T>(), cost, &streams, &memory(device, interleaved))
+    estimate_time(
+        device,
+        RoutineClass::Systolic,
+        true,
+        &est,
+        3,
+        eb::<T>(),
+        cost,
+        &streams,
+        &memory(device, interleaved),
+    )
 }
 
 /// Fully unrolled batched left TRSM (Table V).
@@ -162,7 +175,15 @@ pub fn batched_trsm_time<T: Scalar>(
     batch: usize,
     interleaved: bool,
 ) -> TimingEstimate {
-    let t = Trsm::new(dim, dim, Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, dim);
+    let t = Trsm::new(
+        dim,
+        dim,
+        Side::Left,
+        Uplo::Lower,
+        Trans::No,
+        Diag::NonUnit,
+        dim,
+    );
     let est = t.estimate::<T>();
     let cost = PipelineCost::pipelined(est.latency, (batch * dim) as u64);
     let tri = (dim * (dim + 1) / 2 * batch) as u64 * eb::<T>();
@@ -171,7 +192,17 @@ pub fn batched_trsm_time<T: Scalar>(
         StreamDemand::new(banked(device, 0), tri),
         StreamDemand::new(banked(device, 1), 2 * sz),
     ];
-    estimate_time(device, RoutineClass::Systolic, true, &est, 3, eb::<T>(), cost, &streams, &memory(device, interleaved))
+    estimate_time(
+        device,
+        RoutineClass::Systolic,
+        true,
+        &est,
+        3,
+        eb::<T>(),
+        cost,
+        &streams,
+        &memory(device, interleaved),
+    )
 }
 
 /// AXPYDOT: returns `(streaming, host_layer)` times (Fig. 11 left,
@@ -181,7 +212,12 @@ pub fn axpydot_times<T: Scalar>(device: Device, n: usize, w: usize) -> (f64, f64
 }
 
 /// AXPYDOT with explicit interleaving control (Table VI uses it on).
-pub fn axpydot_times_mem<T: Scalar>(device: Device, n: usize, w: usize, interleaved: bool) -> (f64, f64) {
+pub fn axpydot_times_mem<T: Scalar>(
+    device: Device,
+    n: usize,
+    w: usize,
+    interleaved: bool,
+) -> (f64, f64) {
     let axpy = Axpy::new(n, w);
     let dot = Dot::new(n, w);
     let copy = VecCopy::new(n, w);
@@ -196,7 +232,17 @@ pub fn axpydot_times_mem<T: Scalar>(device: Device, n: usize, w: usize, interlea
         StreamDemand::new(banked(device, 1), nb),
         StreamDemand::new(banked(device, 2), nb),
     ];
-    let t_s = estimate_time(device, RoutineClass::Streaming, true, &circuit, 4, eb::<T>(), cost, &streams, &mem);
+    let t_s = estimate_time(
+        device,
+        RoutineClass::Streaming,
+        true,
+        &circuit,
+        4,
+        eb::<T>(),
+        cost,
+        &streams,
+        &mem,
+    );
 
     // Host layer: COPY (w -> z), AXPY (z read+write on one bank), DOT.
     let zb = banked(device, 3);
@@ -208,7 +254,10 @@ pub fn axpydot_times_mem<T: Scalar>(device: Device, n: usize, w: usize, interlea
         2,
         eb::<T>(),
         copy.cost::<T>(),
-        &[StreamDemand::new(banked(device, 0), nb), StreamDemand::new(zb, nb)],
+        &[
+            StreamDemand::new(banked(device, 0), nb),
+            StreamDemand::new(zb, nb),
+        ],
         &mem,
     );
     let t_axpy = estimate_time(
@@ -219,7 +268,10 @@ pub fn axpydot_times_mem<T: Scalar>(device: Device, n: usize, w: usize, interlea
         3,
         eb::<T>(),
         axpy.cost::<T>(),
-        &[StreamDemand::new(banked(device, 1), nb), StreamDemand::new(zb, 2 * nb)],
+        &[
+            StreamDemand::new(banked(device, 1), nb),
+            StreamDemand::new(zb, 2 * nb),
+        ],
         &mem,
     );
     let t_dot = estimate_time(
@@ -230,19 +282,35 @@ pub fn axpydot_times_mem<T: Scalar>(device: Device, n: usize, w: usize, interlea
         3,
         eb::<T>(),
         dot.cost::<T>(),
-        &[StreamDemand::new(zb, nb), StreamDemand::new(banked(device, 2), nb)],
+        &[
+            StreamDemand::new(zb, nb),
+            StreamDemand::new(banked(device, 2), nb),
+        ],
         &mem,
     );
     (t_s.seconds, t_copy.seconds + t_axpy.seconds + t_dot.seconds)
 }
 
 /// BICG: returns `(streaming, host_layer)` times.
-pub fn bicg_times<T: Scalar>(device: Device, n: usize, tn: usize, tm: usize, w: usize) -> (f64, f64) {
+pub fn bicg_times<T: Scalar>(
+    device: Device,
+    n: usize,
+    tn: usize,
+    tm: usize,
+    w: usize,
+) -> (f64, f64) {
     bicg_times_mem::<T>(device, n, tn, tm, w, false)
 }
 
 /// BICG with explicit interleaving control.
-pub fn bicg_times_mem<T: Scalar>(device: Device, n: usize, tn: usize, tm: usize, w: usize, interleaved: bool) -> (f64, f64) {
+pub fn bicg_times_mem<T: Scalar>(
+    device: Device,
+    n: usize,
+    tn: usize,
+    tm: usize,
+    w: usize,
+    interleaved: bool,
+) -> (f64, f64) {
     let g1 = Gemv::new(GemvVariant::RowStreamed, n, n, tn.min(n), tm.min(n), w);
     let g2 = Gemv::new(GemvVariant::TransRowStreamed, n, n, tn.min(n), tm.min(n), w);
     let e = eb::<T>();
@@ -258,7 +326,17 @@ pub fn bicg_times_mem<T: Scalar>(device: Device, n: usize, tn: usize, tm: usize,
         StreamDemand::new(banked(device, 3), n as u64 * e),
         StreamDemand::new(banked(device, 1), (2 * n * g2.y_rounds()) as u64 * e),
     ];
-    let t_s = estimate_time(device, RoutineClass::Streaming, true, &circuit, 5, e, cost, &streams, &mem);
+    let t_s = estimate_time(
+        device,
+        RoutineClass::Streaming,
+        true,
+        &circuit,
+        5,
+        e,
+        cost,
+        &streams,
+        &mem,
+    );
 
     // Host layer: two GEMV calls, A read twice.
     let per_call = |g: &Gemv| {
@@ -267,20 +345,43 @@ pub fn bicg_times_mem<T: Scalar>(device: Device, n: usize, tn: usize, tm: usize,
             StreamDemand::new(banked(device, 1), (n * g.x_repetitions()) as u64 * e),
             StreamDemand::new(banked(device, 2), 2 * n as u64 * e),
         ];
-        estimate_time(device, RoutineClass::Streaming, true, &g.estimate::<T>(), 4, e, g.cost::<T>(), &streams, &mem)
-            .seconds
+        estimate_time(
+            device,
+            RoutineClass::Streaming,
+            true,
+            &g.estimate::<T>(),
+            4,
+            e,
+            g.cost::<T>(),
+            &streams,
+            &mem,
+        )
+        .seconds
     };
     let g2h = Gemv::new(GemvVariant::TransColStreamed, n, n, tn.min(n), tm.min(n), w);
     (t_s.seconds, per_call(&g1) + per_call(&g2h))
 }
 
 /// GEMVER: returns `(streaming, host_layer)` times.
-pub fn gemver_times<T: Scalar>(device: Device, n: usize, tn: usize, tm: usize, w: usize) -> (f64, f64) {
+pub fn gemver_times<T: Scalar>(
+    device: Device,
+    n: usize,
+    tn: usize,
+    tm: usize,
+    w: usize,
+) -> (f64, f64) {
     gemver_times_mem::<T>(device, n, tn, tm, w, false)
 }
 
 /// GEMVER with explicit interleaving control.
-pub fn gemver_times_mem<T: Scalar>(device: Device, n: usize, tn: usize, tm: usize, w: usize, interleaved: bool) -> (f64, f64) {
+pub fn gemver_times_mem<T: Scalar>(
+    device: Device,
+    n: usize,
+    tn: usize,
+    tm: usize,
+    w: usize,
+    interleaved: bool,
+) -> (f64, f64) {
     let e = eb::<T>();
     let mem = memory(device, interleaved);
     let nn = (n * n) as u64 * e;
@@ -291,7 +392,10 @@ pub fn gemver_times_mem<T: Scalar>(device: Device, n: usize, tn: usize, tm: usiz
     let copy = VecCopy::new(n * n, w);
 
     // Streaming component 1: A -> GER -> GER -> (store B, GEMVt).
-    let c1_circuit = ger.estimate::<T>().merge(ger.estimate::<T>()).merge(gemv_t.estimate::<T>());
+    let c1_circuit = ger
+        .estimate::<T>()
+        .merge(ger.estimate::<T>())
+        .merge(gemv_t.estimate::<T>());
     let c1_cost = PipelineCost::pipelined(
         streamed_cycles(&[ger.cost::<T>(), ger.cost::<T>(), gemv_t.cost::<T>()]),
         0,
@@ -301,7 +405,17 @@ pub fn gemver_times_mem<T: Scalar>(device: Device, n: usize, tn: usize, tm: usiz
         StreamDemand::new(banked(device, 1), nn),
         StreamDemand::new(banked(device, 2), (2 * n * gemv_t.y_rounds()) as u64 * e),
     ];
-    let t1 = estimate_time(device, RoutineClass::Streaming, true, &c1_circuit, 8, e, c1_cost, &c1_streams, &mem);
+    let t1 = estimate_time(
+        device,
+        RoutineClass::Streaming,
+        true,
+        &c1_circuit,
+        8,
+        e,
+        c1_cost,
+        &c1_streams,
+        &mem,
+    );
     // Component 2: one GEMV pass over B.
     let c2_streams = [
         StreamDemand::new(banked(device, 1), nn),
@@ -330,7 +444,10 @@ pub fn gemver_times_mem<T: Scalar>(device: Device, n: usize, tn: usize, tm: usiz
         2,
         e,
         copy.cost::<T>(),
-        &[StreamDemand::new(banked(device, 0), nn), StreamDemand::new(banked(device, 1), nn)],
+        &[
+            StreamDemand::new(banked(device, 0), nn),
+            StreamDemand::new(banked(device, 1), nn),
+        ],
         &mem,
     );
     let ger_streams = [
@@ -338,13 +455,33 @@ pub fn gemver_times_mem<T: Scalar>(device: Device, n: usize, tn: usize, tm: usiz
         StreamDemand::new(banked(device, 2), nv),
         StreamDemand::new(banked(device, 3), (n * ger.y_repetitions()) as u64 * e),
     ];
-    let t_ger = estimate_time(device, RoutineClass::Streaming, true, &ger.estimate::<T>(), 4, e, ger.cost::<T>(), &ger_streams, &mem);
+    let t_ger = estimate_time(
+        device,
+        RoutineClass::Streaming,
+        true,
+        &ger.estimate::<T>(),
+        4,
+        e,
+        ger.cost::<T>(),
+        &ger_streams,
+        &mem,
+    );
     let gemv_streams = [
         StreamDemand::new(banked(device, 1), nn),
         StreamDemand::new(banked(device, 2), (n * gemv.x_repetitions()) as u64 * e),
         StreamDemand::new(banked(device, 3), 2 * nv),
     ];
-    let t_gemv = estimate_time(device, RoutineClass::Streaming, true, &gemv.estimate::<T>(), 4, e, gemv.cost::<T>(), &gemv_streams, &mem);
+    let t_gemv = estimate_time(
+        device,
+        RoutineClass::Streaming,
+        true,
+        &gemv.estimate::<T>(),
+        4,
+        e,
+        gemv.cost::<T>(),
+        &gemv_streams,
+        &mem,
+    );
     let copy_v = VecCopy::new(n, w);
     let t_copy_x = estimate_time(
         device,
@@ -354,7 +491,10 @@ pub fn gemver_times_mem<T: Scalar>(device: Device, n: usize, tn: usize, tm: usiz
         2,
         e,
         copy_v.cost::<T>(),
-        &[StreamDemand::new(banked(device, 2), nv), StreamDemand::new(banked(device, 3), nv)],
+        &[
+            StreamDemand::new(banked(device, 2), nv),
+            StreamDemand::new(banked(device, 3), nv),
+        ],
         &mem,
     );
     let t_host = t_copy_b.seconds + 2.0 * t_ger.seconds + t_copy_x.seconds + 2.0 * t_gemv.seconds;

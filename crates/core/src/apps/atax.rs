@@ -116,7 +116,9 @@ pub fn atax_streaming<T: Scalar>(
         streamed_cycles(&[g1.cost::<T>(), g2.cost::<T>()]),
         0,
     );
-    let circuit = g1.estimate::<T>().merge(g2.estimate::<T>())
+    let circuit = g1
+        .estimate::<T>()
+        .merge(g2.estimate::<T>())
         // The oversized FIFO is real on-chip storage.
         .with_buffer(depth as u64, T::PRECISION);
     let eb = T::PRECISION.elem_bytes();
@@ -161,7 +163,11 @@ pub fn atax_invalid_streaming<T: Scalar>(
     sim.run()?;
     // Unreachable for any problem larger than the FIFO; kept for
     // completeness on degenerate sizes.
-    Ok(AppReport { seconds: 0.0, io_elements: 0, modules })
+    Ok(AppReport {
+        seconds: 0.0,
+        io_elements: 0,
+        modules,
+    })
 }
 
 /// Streaming ATAX with *independent matrix reads*: the paper's third
@@ -257,7 +263,18 @@ pub fn atax_host_layer<T: Scalar>(
     let t_buf = fpga.alloc::<T>("t", n);
     let t1 = blas::gemv(fpga, Trans::No, n, m, T::ONE, a, x, T::ZERO, &t_buf, tuning)?;
     y_out.from_host(&vec![T::ZERO; m]);
-    let t2 = blas::gemv(fpga, Trans::Yes, n, m, T::ONE, a, &t_buf, T::ZERO, y_out, tuning)?;
+    let t2 = blas::gemv(
+        fpga,
+        Trans::Yes,
+        n,
+        m,
+        T::ONE,
+        a,
+        &t_buf,
+        T::ZERO,
+        y_out,
+        tuning,
+    )?;
     let tu = tuning.clamped(n, m);
     Ok(AppReport {
         seconds: t1.seconds + t2.seconds,
@@ -307,7 +324,12 @@ mod tests {
         let exp = reference_atax(n, m, &av, &xv);
         let got = y.to_host();
         for j in 0..m {
-            assert!((got[j] - exp[j]).abs() < 1e-9, "y[{j}]: {} vs {}", got[j], exp[j]);
+            assert!(
+                (got[j] - exp[j]).abs() < 1e-9,
+                "y[{j}]: {} vs {}",
+                got[j],
+                exp[j]
+            );
         }
         assert!(rep.modules >= 7);
     }

@@ -17,7 +17,9 @@ use fblas_hlssim::{channel, streamed_cycles, PipelineCost, SimError, Simulation}
 use super::AppReport;
 use crate::composition::Mdag;
 use crate::helpers::writers::replay_vector_through_memory;
-use crate::helpers::{duplicate, read_matrix, read_vector, read_vector_replayed, write_matrix, write_vector};
+use crate::helpers::{
+    duplicate, read_matrix, read_vector, read_vector_replayed, write_matrix, write_vector,
+};
 use crate::host::blas::{self, GemvTuning};
 use crate::host::{DeviceBuffer, Fpga};
 use crate::perf::{estimate_time, StreamDemand};
@@ -77,7 +79,14 @@ pub fn gemver_streaming<T: Scalar>(
 ) -> Result<AppReport, SimError> {
     let tu = tuning.clamped(n, n);
     assert_eq!(a.len(), n * n, "gemver: A must be n*n");
-    for (name, buf) in [("u1", u1), ("v1", v1), ("u2", u2), ("v2", v2), ("y", y), ("z", z)] {
+    for (name, buf) in [
+        ("u1", u1),
+        ("v1", v1),
+        ("u2", u2),
+        ("v2", v2),
+        ("y", y),
+        ("z", z),
+    ] {
         assert_eq!(buf.len(), n, "gemver: {name} length");
     }
     assert_eq!(b_out.len(), n * n, "gemver: B length");
@@ -220,9 +229,31 @@ pub fn gemver_host_layer<T: Scalar>(
     let t_ger1 = blas::ger(fpga, n, n, T::ONE, u1, v1, b_out, tuning)?;
     let t_ger2 = blas::ger(fpga, n, n, T::ONE, u2, v2, b_out, tuning)?;
     let t_copy_x = blas::copy(fpga, z, x_out, tuning.w)?;
-    let t_gemv_t = blas::gemv(fpga, Trans::Yes, n, n, beta, b_out, y, T::ONE, x_out, tuning)?;
+    let t_gemv_t = blas::gemv(
+        fpga,
+        Trans::Yes,
+        n,
+        n,
+        beta,
+        b_out,
+        y,
+        T::ONE,
+        x_out,
+        tuning,
+    )?;
     w_out.from_host(&vec![T::ZERO; n]);
-    let t_gemv = blas::gemv(fpga, Trans::No, n, n, alpha, b_out, x_out, T::ZERO, w_out, tuning)?;
+    let t_gemv = blas::gemv(
+        fpga,
+        Trans::No,
+        n,
+        n,
+        alpha,
+        b_out,
+        x_out,
+        T::ZERO,
+        w_out,
+        tuning,
+    )?;
     Ok(AppReport {
         seconds: t_copy_b.seconds
             + t_ger1.seconds
@@ -307,11 +338,15 @@ mod tests {
         let w = fpga.alloc::<f64>("w", n);
         let tuning = GemvTuning::new(4, 4, 2);
         let rep = if streaming {
-            gemver_streaming(&fpga, n, alpha, beta, &a, &u1, &v1, &u2, &v2, &y, &z, &b, &x, &w, &tuning)
-                .unwrap()
+            gemver_streaming(
+                &fpga, n, alpha, beta, &a, &u1, &v1, &u2, &v2, &y, &z, &b, &x, &w, &tuning,
+            )
+            .unwrap()
         } else {
-            gemver_host_layer(&fpga, n, alpha, beta, &a, &u1, &v1, &u2, &v2, &y, &z, &b, &x, &w, &tuning)
-                .unwrap()
+            gemver_host_layer(
+                &fpga, n, alpha, beta, &a, &u1, &v1, &u2, &v2, &y, &z, &b, &x, &w, &tuning,
+            )
+            .unwrap()
         };
         ((b.to_host(), x.to_host(), w.to_host()), rep)
     }
@@ -326,7 +361,12 @@ mod tests {
             assert!((b[i] - b_ref[i]).abs() < 1e-9, "B[{i}]");
         }
         for i in 0..n {
-            assert!((x[i] - x_ref[i]).abs() < 1e-9, "x[{i}]: {} vs {}", x[i], x_ref[i]);
+            assert!(
+                (x[i] - x_ref[i]).abs() < 1e-9,
+                "x[{i}]: {} vs {}",
+                x[i],
+                x_ref[i]
+            );
             assert!((w[i] - w_ref[i]).abs() < 1e-9, "w[{i}]");
         }
         assert!(rep.modules > 10);

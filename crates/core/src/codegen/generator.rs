@@ -7,8 +7,8 @@ use crate::routines::gemm::SystolicShape;
 use crate::routines::gemv::{Gemv, GemvVariant};
 use crate::routines::level3::Side;
 use crate::routines::{
-    Asum, Axpy, Diag, Dot, Ger, Iamax, Nrm2, Rot, Rotg, Rotm, Rotmg, Scal, Sdsdot, Swap, Syr,
-    Syr2, Syr2k, Syrk, Trans, Trsm, Trsv, Uplo, VecCopy,
+    Asum, Axpy, Diag, Dot, Ger, Iamax, Nrm2, Rot, Rotg, Rotm, Rotmg, Scal, Sdsdot, Swap, Syr, Syr2,
+    Syr2k, Syrk, Trans, Trsm, Trsv, Uplo, VecCopy,
 };
 
 /// Errors produced while validating a specification.
@@ -195,14 +195,20 @@ fn ctype(p: Precision) -> &'static str {
 }
 
 fn invalid(spec: &RoutineSpec, reason: impl Into<String>) -> CodegenError {
-    CodegenError::Invalid { routine: spec.blas_name.clone(), reason: reason.into() }
+    CodegenError::Invalid {
+        routine: spec.blas_name.clone(),
+        reason: reason.into(),
+    }
 }
 
 fn parse_uplo(spec: &RoutineSpec) -> Result<Uplo, CodegenError> {
     match spec.uplo.as_deref() {
         Some("upper") | Some("Upper") => Ok(Uplo::Upper),
         Some("lower") | Some("Lower") => Ok(Uplo::Lower),
-        Some(other) => Err(invalid(spec, format!("uplo must be upper/lower, got `{other}`"))),
+        Some(other) => Err(invalid(
+            spec,
+            format!("uplo must be upper/lower, got `{other}`"),
+        )),
         None => Err(invalid(spec, "missing `uplo`")),
     }
 }
@@ -245,8 +251,16 @@ pub fn generate(spec: &RoutineSpec) -> Result<GeneratedKernel, CodegenError> {
     let name = spec.kernel_name().to_string();
 
     let (estimate, source, systolic) = match kind {
-        RoutineKind::Rotg => (Rotg.estimate_p(precision), source_scalar(&name, t, "rotg"), None),
-        RoutineKind::Rotmg => (Rotmg.estimate_p(precision), source_scalar(&name, t, "rotmg"), None),
+        RoutineKind::Rotg => (
+            Rotg.estimate_p(precision),
+            source_scalar(&name, t, "rotg"),
+            None,
+        ),
+        RoutineKind::Rotmg => (
+            Rotmg.estimate_p(precision),
+            source_scalar(&name, t, "rotmg"),
+            None,
+        ),
         RoutineKind::Rot => (
             Rot::new(REF_N, w).estimate_p(precision),
             source_map2(&name, t, w, "x[i] = c*xv + s*yv; y[i] = c*yv - s*xv;"),
@@ -254,7 +268,12 @@ pub fn generate(spec: &RoutineSpec) -> Result<GeneratedKernel, CodegenError> {
         ),
         RoutineKind::Rotm => (
             Rotm::new(REF_N, w).estimate_p(precision),
-            source_map2(&name, t, w, "x[i] = h11*xv + h12*yv; y[i] = h21*xv + h22*yv;"),
+            source_map2(
+                &name,
+                t,
+                w,
+                "x[i] = h11*xv + h12*yv; y[i] = h21*xv + h22*yv;",
+            ),
             None,
         ),
         RoutineKind::Swap => (
@@ -284,7 +303,12 @@ pub fn generate(spec: &RoutineSpec) -> Result<GeneratedKernel, CodegenError> {
         ),
         RoutineKind::Sdsdot => (
             Sdsdot::new(REF_N, w).estimate_p(precision),
-            source_reduce(&name, "double", w, "acc += (double)pop(ch_x) * (double)pop(ch_y);"),
+            source_reduce(
+                &name,
+                "double",
+                w,
+                "acc += (double)pop(ch_x) * (double)pop(ch_y);",
+            ),
             None,
         ),
         RoutineKind::Nrm2 => (
@@ -299,7 +323,12 @@ pub fn generate(spec: &RoutineSpec) -> Result<GeneratedKernel, CodegenError> {
         ),
         RoutineKind::Iamax => (
             Iamax::new(REF_N, w).estimate_p(precision),
-            source_reduce(&name, t, w, "if (fabs(v) > best) { best = fabs(v); idx = i; }"),
+            source_reduce(
+                &name,
+                t,
+                w,
+                "if (fabs(v) > best) { best = fabs(v); idx = i; }",
+            ),
             None,
         ),
         RoutineKind::Gemv => {
@@ -308,7 +337,10 @@ pub fn generate(spec: &RoutineSpec) -> Result<GeneratedKernel, CodegenError> {
                 Some("rows") | None => true,
                 Some("cols") => false,
                 Some(other) => {
-                    return Err(invalid(spec, format!("tiles_by must be rows/cols, got `{other}`")))
+                    return Err(invalid(
+                        spec,
+                        format!("tiles_by must be rows/cols, got `{other}`"),
+                    ))
                 }
             };
             let variant = match (transposed, by_rows) {
@@ -318,20 +350,41 @@ pub fn generate(spec: &RoutineSpec) -> Result<GeneratedKernel, CodegenError> {
                 (true, false) => GemvVariant::TransColStreamed,
             };
             let g = Gemv::new(variant, REF_N, REF_N, tn.min(REF_N), tm.min(REF_N), w);
-            (g.estimate_p(precision), source_gemv(&name, t, w, tn, tm, variant), None)
+            (
+                g.estimate_p(precision),
+                source_gemv(&name, t, w, tn, tm, variant),
+                None,
+            )
         }
         RoutineKind::Trsv => {
             let uplo = parse_uplo(spec)?;
-            let diag = if spec.unit_diag.unwrap_or(false) { Diag::Unit } else { Diag::NonUnit };
-            let trans = if spec.transposed.unwrap_or(false) { Trans::Yes } else { Trans::No };
+            let diag = if spec.unit_diag.unwrap_or(false) {
+                Diag::Unit
+            } else {
+                Diag::NonUnit
+            };
+            let trans = if spec.transposed.unwrap_or(false) {
+                Trans::Yes
+            } else {
+                Trans::No
+            };
             let m = Trsv::new(REF_N, w, uplo, trans, diag);
-            (m.estimate_p(precision), source_scalar(&name, t, "trsv"), None)
+            (
+                m.estimate_p(precision),
+                source_scalar(&name, t, "trsv"),
+                None,
+            )
         }
         RoutineKind::Ger => {
             let g = Ger::new(REF_N, REF_N, tn.min(REF_N), tm.min(REF_N), w);
             (
                 g.estimate_p(precision),
-                source_map1(&name, t, w, "out[i] = pop(ch_A) + alpha * x_blk[r] * y_blk[c];"),
+                source_map1(
+                    &name,
+                    t,
+                    w,
+                    "out[i] = pop(ch_A) + alpha * x_blk[r] * y_blk[c];",
+                ),
                 None,
             )
         }
@@ -340,7 +393,12 @@ pub fn generate(spec: &RoutineSpec) -> Result<GeneratedKernel, CodegenError> {
             let s = Syr::new(REF_N, tn.min(REF_N), tm.min(REF_N), w, uplo);
             (
                 s.estimate_p(precision),
-                source_map1(&name, t, w, "out[i] = in_tri ? a + alpha*x_blk[r]*x_blk[c] : a;"),
+                source_map1(
+                    &name,
+                    t,
+                    w,
+                    "out[i] = in_tri ? a + alpha*x_blk[r]*x_blk[c] : a;",
+                ),
                 None,
             )
         }
@@ -368,19 +426,29 @@ pub fn generate(spec: &RoutineSpec) -> Result<GeneratedKernel, CodegenError> {
             if gtr % pr != 0 || gtc % pc != 0 {
                 return Err(invalid(
                     spec,
-                    format!("tiles ({gtr}x{gtc}) must be multiples of the systolic array ({pr}x{pc})"),
+                    format!(
+                        "tiles ({gtr}x{gtc}) must be multiples of the systolic array ({pr}x{pc})"
+                    ),
                 ));
             }
             let shape = SystolicShape::new(pr, pc);
             let est = match kind {
                 RoutineKind::Syrk => {
                     let uplo = parse_uplo(spec)?;
-                    let trans = if spec.transposed.unwrap_or(false) { Trans::Yes } else { Trans::No };
+                    let trans = if spec.transposed.unwrap_or(false) {
+                        Trans::Yes
+                    } else {
+                        Trans::No
+                    };
                     Syrk::new(REF_N, REF_N, trans, uplo, shape, gtr, gtc).estimate_p(precision)
                 }
                 RoutineKind::Syr2k => {
                     let uplo = parse_uplo(spec)?;
-                    let trans = if spec.transposed.unwrap_or(false) { Trans::Yes } else { Trans::No };
+                    let trans = if spec.transposed.unwrap_or(false) {
+                        Trans::Yes
+                    } else {
+                        Trans::No
+                    };
                     Syr2k::new(REF_N, REF_N, trans, uplo, shape, gtr, gtc).estimate_p(precision)
                 }
                 _ => crate::routines::Gemm::new(REF_N, REF_N, REF_N, shape, gtr, gtc)
@@ -399,17 +467,32 @@ pub fn generate(spec: &RoutineSpec) -> Result<GeneratedKernel, CodegenError> {
         }
         RoutineKind::Trsm => {
             let uplo = parse_uplo(spec)?;
-            let diag = if spec.unit_diag.unwrap_or(false) { Diag::Unit } else { Diag::NonUnit };
-            let trans = if spec.transposed.unwrap_or(false) { Trans::Yes } else { Trans::No };
+            let diag = if spec.unit_diag.unwrap_or(false) {
+                Diag::Unit
+            } else {
+                Diag::NonUnit
+            };
+            let trans = if spec.transposed.unwrap_or(false) {
+                Trans::Yes
+            } else {
+                Trans::No
+            };
             let side = match spec.side.as_deref() {
                 Some("left") | None => Side::Left,
                 Some("right") => Side::Right,
                 Some(other) => {
-                    return Err(invalid(spec, format!("side must be left/right, got `{other}`")))
+                    return Err(invalid(
+                        spec,
+                        format!("side must be left/right, got `{other}`"),
+                    ))
                 }
             };
             let m = Trsm::new(tn.min(REF_N), tm.min(REF_N), side, uplo, trans, diag, w);
-            (m.estimate_p(precision), source_scalar(&name, t, "trsm"), None)
+            (
+                m.estimate_p(precision),
+                source_scalar(&name, t, "trsm"),
+                None,
+            )
         }
     };
 
@@ -418,7 +501,11 @@ pub fn generate(spec: &RoutineSpec) -> Result<GeneratedKernel, CodegenError> {
         kind,
         precision,
         width: w,
-        tiles: if kind.level() >= 2 { Some(default_tiles) } else { None },
+        tiles: if kind.level() >= 2 {
+            Some(default_tiles)
+        } else {
+            None
+        },
         systolic,
         estimate,
         source,
@@ -476,7 +563,14 @@ fn source_reduce(name: &str, t: &str, w: usize, body: &str) -> String {
     )
 }
 
-fn source_gemv(name: &str, t: &str, w: usize, tn: usize, tm: usize, variant: GemvVariant) -> String {
+fn source_gemv(
+    name: &str,
+    t: &str,
+    w: usize,
+    tn: usize,
+    tm: usize,
+    variant: GemvVariant,
+) -> String {
     format!(
         "// GEMV variant: {variant:?} (tiles {tn}x{tm})\n\
          __kernel void {name}(const {t} alpha, const {t} beta,\n\
@@ -593,11 +687,19 @@ mod tests {
     }
 
     #[test]
-    fn unknown_names_are_rejected()
-    {
-        assert!(matches!(parse_blas_name("zgemm"), Err(CodegenError::UnknownRoutine(_))));
-        assert!(matches!(parse_blas_name("sfoo"), Err(CodegenError::UnknownRoutine(_))));
-        assert!(matches!(parse_blas_name(""), Err(CodegenError::UnknownRoutine(_))));
+    fn unknown_names_are_rejected() {
+        assert!(matches!(
+            parse_blas_name("zgemm"),
+            Err(CodegenError::UnknownRoutine(_))
+        ));
+        assert!(matches!(
+            parse_blas_name("sfoo"),
+            Err(CodegenError::UnknownRoutine(_))
+        ));
+        assert!(matches!(
+            parse_blas_name(""),
+            Err(CodegenError::UnknownRoutine(_))
+        ));
     }
 
     #[test]
@@ -677,7 +779,10 @@ mod tests {
         assert_eq!(kernels.len(), 3);
         assert_eq!(kernels[2].kind, RoutineKind::Syr);
         // Broken JSON surfaces as a Json error.
-        assert!(matches!(generate_spec_file("{"), Err(CodegenError::Json(_))));
+        assert!(matches!(
+            generate_spec_file("{"),
+            Err(CodegenError::Json(_))
+        ));
     }
 
     #[test]

@@ -147,7 +147,9 @@ mod tests {
         let mut spec = RoutineSpec::named("strsv");
         spec.uplo = Some("lower".into());
         spec.unit_diag = Some(true);
-        let file = SpecFile { routines: vec![spec] };
+        let file = SpecFile {
+            routines: vec![spec],
+        };
         let back = SpecFile::from_json(&file.to_json()).unwrap();
         assert_eq!(back, file);
     }

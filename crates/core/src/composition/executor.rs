@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use fblas_hlssim::{channel, ModuleKind, Receiver, Sender, SimError, Simulation};
+use fblas_trace::{ModuleScope, Tracer};
 use parking_lot::Mutex;
 
 use super::planner::{Op, Plan, PlanError, PlannerConfig, Program};
@@ -54,8 +55,15 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::Plan(e) => write!(f, "plan error: {e}"),
             ExecError::MissingBuffer(n) => write!(f, "no buffer bound for operand `{n}`"),
-            ExecError::WrongLength { operand, expected, got } => {
-                write!(f, "buffer for `{operand}` holds {got} elements, expected {expected}")
+            ExecError::WrongLength {
+                operand,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "buffer for `{operand}` holds {got} elements, expected {expected}"
+                )
             }
             ExecError::Sim(e) => write!(f, "simulation error: {e}"),
         }
@@ -92,6 +100,21 @@ pub fn execute_plan<T: Scalar>(
     cfg: &PlannerConfig,
     buffers: &HashMap<String, DeviceBuffer<T>>,
 ) -> Result<ExecOutcome<T>, ExecError> {
+    execute_plan_traced(program, plan, cfg, buffers, None)
+}
+
+/// [`execute_plan`] with an optional tracer attached to every component's
+/// simulation: each component gets its own span lane (`component:<index>`)
+/// on the executing thread, every module inside it gets a trace lane, and
+/// the watchdog samples channel occupancies. Pass `None` for the
+/// zero-overhead untraced path.
+pub fn execute_plan_traced<T: Scalar>(
+    program: &Program,
+    plan: &Plan,
+    cfg: &PlannerConfig,
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+    tracer: Option<&Tracer>,
+) -> Result<ExecOutcome<T>, ExecError> {
     // Shape-check the bindings up front.
     for op in program.ops() {
         for name in op_operands(op) {
@@ -105,8 +128,22 @@ pub fn execute_plan<T: Scalar>(
     }
 
     let scalars: Arc<Mutex<HashMap<String, T>>> = Arc::new(Mutex::new(HashMap::new()));
-    for component in &plan.components {
-        run_component(program, cfg, &component.ops, &component.gemv_variants, buffers, &scalars)?;
+    for (ix, component) in plan.components.iter().enumerate() {
+        // One span lane per component on this thread; module lanes are
+        // created inside the simulation's worker threads.
+        let _component_span = ModuleScope::enter(&format!("component:{ix}"), tracer);
+        if let Some(t) = tracer {
+            t.metrics().counter_add("exec.components", 1);
+        }
+        run_component(
+            program,
+            cfg,
+            &component.ops,
+            &component.gemv_variants,
+            buffers,
+            &scalars,
+            tracer,
+        )?;
     }
     let scalars = Arc::try_unwrap(scalars)
         .map(|m| m.into_inner())
@@ -137,7 +174,9 @@ fn check_buffer<T: Scalar>(
     name: &str,
     expected: usize,
 ) -> Result<(), ExecError> {
-    let buf = buffers.get(name).ok_or_else(|| ExecError::MissingBuffer(name.to_string()))?;
+    let buf = buffers
+        .get(name)
+        .ok_or_else(|| ExecError::MissingBuffer(name.to_string()))?;
     if buf.len() != expected {
         return Err(ExecError::WrongLength {
             operand: name.to_string(),
@@ -152,7 +191,9 @@ fn get_buf<'b, T: Scalar>(
     buffers: &'b HashMap<String, DeviceBuffer<T>>,
     name: &str,
 ) -> Result<&'b DeviceBuffer<T>, ExecError> {
-    buffers.get(name).ok_or_else(|| ExecError::MissingBuffer(name.to_string()))
+    buffers
+        .get(name)
+        .ok_or_else(|| ExecError::MissingBuffer(name.to_string()))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -163,8 +204,12 @@ fn run_component<T: Scalar>(
     variants: &HashMap<usize, GemvVariant>,
     buffers: &HashMap<String, DeviceBuffer<T>>,
     scalars: &Arc<Mutex<HashMap<String, T>>>,
+    tracer: Option<&Tracer>,
 ) -> Result<(), ExecError> {
     let mut sim = Simulation::new();
+    if let Some(t) = tracer {
+        sim.set_tracer(t.clone());
+    }
     let depth = cfg.default_depth as usize;
 
     // Producer map restricted to this component.
@@ -203,7 +248,10 @@ fn run_component<T: Scalar>(
     for &oi in ops {
         if let Op::Gemv { a, .. } | Op::Ger { a, .. } = &program.ops()[oi] {
             if !in_comp.contains_key(a.as_str()) {
-                matrix_source_consumers.entry(a.as_str()).or_default().push(oi);
+                matrix_source_consumers
+                    .entry(a.as_str())
+                    .or_default()
+                    .push(oi);
             }
         }
     }
@@ -250,32 +298,40 @@ fn run_component<T: Scalar>(
         let op = &program.ops()[oi];
 
         // --- inputs ---
-        let mut take_input = |sim: &mut Simulation,
-                              name: &str,
-                              reps: usize|
-         -> Result<Receiver<T>, ExecError> {
-            if let Some(rx) = incoming.remove(&(oi, name.to_string())) {
-                return Ok(rx);
-            }
-            // Source vector (or scalar-free) read from DRAM.
-            program.vec_len(name)?;
-            let (tx, rx) = channel(sim.ctx(), depth, format!("{name}->{oi}"));
-            read_vector_replayed(sim, get_buf(buffers, name)?, tx, reps);
-            Ok(rx)
-        };
+        let mut take_input =
+            |sim: &mut Simulation, name: &str, reps: usize| -> Result<Receiver<T>, ExecError> {
+                if let Some(rx) = incoming.remove(&(oi, name.to_string())) {
+                    return Ok(rx);
+                }
+                // Source vector (or scalar-free) read from DRAM.
+                program.vec_len(name)?;
+                let (tx, rx) = channel(sim.ctx(), depth, format!("{name}->{oi}"));
+                read_vector_replayed(sim, get_buf(buffers, name)?, tx, reps);
+                Ok(rx)
+            };
 
         // --- output sinks ---
         // Every vector/matrix output is written to its buffer; outputs
         // consumed in-component additionally fan out to those consumers.
         let out_name = op.output().to_string();
-        let out_consumers = consumers.get(out_name.as_str()).cloned().unwrap_or_default();
+        let out_consumers = consumers
+            .get(out_name.as_str())
+            .cloned()
+            .unwrap_or_default();
 
         match op {
             Op::Copy { x, .. } | Op::Scal { x, .. } => {
                 let n = program.vec_len(x)?;
                 let rx = take_input(&mut sim, x, 1)?;
-                let tx =
-                    vector_output(&mut sim, program, cfg, buffers, &mut incoming, &out_name, &out_consumers)?;
+                let tx = vector_output(
+                    &mut sim,
+                    program,
+                    cfg,
+                    buffers,
+                    &mut incoming,
+                    &out_name,
+                    &out_consumers,
+                )?;
                 match op {
                     Op::Scal { alpha, .. } => {
                         Scal::new(n, cfg.tm.clamp(1, 16)).attach(
@@ -292,8 +348,15 @@ fn run_component<T: Scalar>(
                 let n = program.vec_len(x)?;
                 let rx = take_input(&mut sim, x, 1)?;
                 let ry = take_input(&mut sim, y, 1)?;
-                let tx =
-                    vector_output(&mut sim, program, cfg, buffers, &mut incoming, &out_name, &out_consumers)?;
+                let tx = vector_output(
+                    &mut sim,
+                    program,
+                    cfg,
+                    buffers,
+                    &mut incoming,
+                    &out_name,
+                    &out_consumers,
+                )?;
                 Axpy::new(n, 16).attach(&mut sim, T::from_f64(*alpha), rx, ry, tx);
             }
             Op::Dot { x, y, out } => {
@@ -310,14 +373,32 @@ fn run_component<T: Scalar>(
                     Ok(())
                 });
             }
-            Op::Gemv { alpha, beta, a, x, y, .. } => {
+            Op::Gemv {
+                alpha,
+                beta,
+                a,
+                x,
+                y,
+                ..
+            } => {
                 let (n, m) = program.mat_dims(a)?;
                 let variant = variants[&oi];
-                let g = Gemv::new(variant, n, m, cfg.tn.min(n.max(1)), cfg.tm.min(m.max(1)), 16);
+                let g = Gemv::new(
+                    variant,
+                    n,
+                    m,
+                    cfg.tn.min(n.max(1)),
+                    cfg.tm.min(m.max(1)),
+                    16,
+                );
                 let ra = take_input(&mut sim, a, 1)?;
                 let rxv = take_input(&mut sim, x, x_reps(oi))?;
                 // Effective beta: 0 when no y operand is given.
-                let eff_beta = if y.is_some() { T::from_f64(*beta) } else { T::ZERO };
+                let eff_beta = if y.is_some() {
+                    T::from_f64(*beta)
+                } else {
+                    T::ZERO
+                };
                 let y_len = g.y_len();
                 let zeros =
                     DeviceBuffer::from_vec(format!("{out_name}_zero"), vec![T::ZERO; y_len], 0);
@@ -326,8 +407,7 @@ fn run_component<T: Scalar>(
                     let ryi = match y {
                         Some(yn) => take_input(&mut sim, yn, 1)?,
                         None => {
-                            let (tyi, ryi) =
-                                channel(sim.ctx(), depth, format!("{out_name}_y_in"));
+                            let (tyi, ryi) = channel(sim.ctx(), depth, format!("{out_name}_y_in"));
                             read_vector_replayed(&mut sim, &zeros, tyi, 1);
                             ryi
                         }
@@ -350,8 +430,7 @@ fn run_component<T: Scalar>(
                         if in_comp.contains_key(yn.as_str()) {
                             return Err(ExecError::Plan(PlanError::ShapeMismatch {
                                 operand: yn.clone(),
-                                expected: "a DRAM-resident β-side operand (partials replay)"
-                                    .into(),
+                                expected: "a DRAM-resident β-side operand (partials replay)".into(),
                             }));
                         }
                     }
@@ -364,13 +443,8 @@ fn run_component<T: Scalar>(
                     let (tyi, ryi) = channel(sim.ctx(), depth, format!("{out_name}_y_in"));
                     let (tyo, ryo) = channel(sim.ctx(), depth, format!("{out_name}_y_out"));
                     g.attach(&mut sim, T::from_f64(*alpha), eff_beta, ra, rxv, ryi, tyo);
-                    let taps = consumer_channels(
-                        &mut sim,
-                        cfg,
-                        &mut incoming,
-                        &out_name,
-                        &out_consumers,
-                    );
+                    let taps =
+                        consumer_channels(&mut sim, cfg, &mut incoming, &out_name, &out_consumers);
                     replay_with_taps(
                         &mut sim,
                         &initial,
@@ -490,7 +564,11 @@ fn consumer_channels<T: Scalar>(
 ) -> Vec<Sender<T>> {
     let mut sinks = Vec::new();
     for &ci in out_consumers {
-        let (tx, rx) = channel(sim.ctx(), cfg.default_depth as usize, format!("{name}->{ci}"));
+        let (tx, rx) = channel(
+            sim.ctx(),
+            cfg.default_depth as usize,
+            format!("{name}->{ci}"),
+        );
         incoming.insert((ci, name.to_string()), rx);
         sinks.push(tx);
     }
@@ -509,14 +587,22 @@ fn vector_output<T: Scalar>(
     out_consumers: &[usize],
 ) -> Result<Sender<T>, ExecError> {
     let n = program.vec_len(name)?;
-    let (w_tx, w_rx) = channel(sim.ctx(), cfg.default_depth as usize, format!("write_{name}"));
+    let (w_tx, w_rx) = channel(
+        sim.ctx(),
+        cfg.default_depth as usize,
+        format!("write_{name}"),
+    );
     write_vector(sim, get_buf(buffers, name)?, n, w_rx);
     let mut sinks = consumer_channels(sim, cfg, incoming, name, out_consumers);
     if sinks.is_empty() {
         return Ok(w_tx);
     }
     sinks.push(w_tx);
-    let (tx, rx) = channel(sim.ctx(), cfg.default_depth as usize, format!("{name}_fanout"));
+    let (tx, rx) = channel(
+        sim.ctx(),
+        cfg.default_depth as usize,
+        format!("{name}_fanout"),
+    );
     duplicate_many(sim, format!("dup_{name}"), n, rx, sinks);
     Ok(tx)
 }
@@ -538,14 +624,22 @@ fn matrix_output<T: Scalar>(
         cfg.tm.min(m.max(1)),
         crate::tiling::TileOrder::RowTilesRowMajor,
     );
-    let (w_tx, w_rx) = channel(sim.ctx(), cfg.default_depth as usize, format!("write_{name}"));
+    let (w_tx, w_rx) = channel(
+        sim.ctx(),
+        cfg.default_depth as usize,
+        format!("write_{name}"),
+    );
     write_matrix(sim, get_buf(buffers, name)?, n, m, tiling, w_rx);
     let mut sinks = consumer_channels(sim, cfg, incoming, name, out_consumers);
     if sinks.is_empty() {
         return Ok(w_tx);
     }
     sinks.push(w_tx);
-    let (tx, rx) = channel(sim.ctx(), cfg.default_depth as usize, format!("{name}_fanout"));
+    let (tx, rx) = channel(
+        sim.ctx(),
+        cfg.default_depth as usize,
+        format!("{name}_fanout"),
+    );
     duplicate_many(sim, format!("dup_{name}"), n * m, rx, sinks);
     Ok(tx)
 }
@@ -564,31 +658,43 @@ fn replay_with_taps<T: Scalar>(
     from_module: Receiver<T>,
     taps: Vec<Sender<T>>,
 ) {
-    let (loop_tx, loop_rx) = channel::<T>(sim.ctx(), n.max(1), format!("replay_{}_dram", initial.name()));
+    let (loop_tx, loop_rx) = channel::<T>(
+        sim.ctx(),
+        n.max(1),
+        format!("replay_{}_dram", initial.name()),
+    );
     let init = initial.clone();
-    sim.add_module(format!("replay_{}_read", init.name()), ModuleKind::Interface, move || {
-        to_module.push_slice(&init.to_host())?;
-        for _ in 0..rounds - 1 {
-            for _ in 0..n {
-                to_module.push(loop_rx.pop()?)?;
+    sim.add_module(
+        format!("replay_{}_read", init.name()),
+        ModuleKind::Interface,
+        move || {
+            to_module.push_slice(&init.to_host())?;
+            for _ in 0..rounds - 1 {
+                for _ in 0..n {
+                    to_module.push(loop_rx.pop()?)?;
+                }
             }
-        }
-        Ok(())
-    });
+            Ok(())
+        },
+    );
     let result = result.clone();
-    sim.add_module(format!("replay_{}_write", result.name()), ModuleKind::Interface, move || {
-        for _ in 0..rounds - 1 {
-            for _ in 0..n {
-                loop_tx.push(from_module.pop()?)?;
+    sim.add_module(
+        format!("replay_{}_write", result.name()),
+        ModuleKind::Interface,
+        move || {
+            for _ in 0..rounds - 1 {
+                for _ in 0..n {
+                    loop_tx.push(from_module.pop()?)?;
+                }
             }
-        }
-        let final_vals = from_module.pop_n(n)?;
-        result.from_host(&final_vals);
-        for tap in &taps {
-            tap.push_slice(&final_vals)?;
-        }
-        Ok(())
-    });
+            let final_vals = from_module.pop_n(n)?;
+            result.from_host(&final_vals);
+            for tap in &taps {
+                tap.push_slice(&final_vals)?;
+            }
+            Ok(())
+        },
+    );
 }
 
 #[cfg(test)]
@@ -605,9 +711,7 @@ mod tests {
         entries
             .into_iter()
             .enumerate()
-            .map(|(i, (name, data))| {
-                (name.to_string(), DeviceBuffer::from_vec(name, data, i % 4))
-            })
+            .map(|(i, (name, data))| (name.to_string(), DeviceBuffer::from_vec(name, data, i % 4)))
             .collect()
     }
 
@@ -615,10 +719,27 @@ mod tests {
     fn executes_axpydot_plan() {
         let n = 97;
         let mut p = Program::new();
-        p.vector("w", n).vector("v", n).vector("u", n).vector("z", n).scalar("beta");
-        p.op(Op::Axpy { alpha: -0.8, x: "v".into(), y: "w".into(), out: "z".into() });
-        p.op(Op::Dot { x: "z".into(), y: "u".into(), out: "beta".into() });
-        let cfg = PlannerConfig { tn: 8, tm: 8, ..Default::default() };
+        p.vector("w", n)
+            .vector("v", n)
+            .vector("u", n)
+            .vector("z", n)
+            .scalar("beta");
+        p.op(Op::Axpy {
+            alpha: -0.8,
+            x: "v".into(),
+            y: "w".into(),
+            out: "z".into(),
+        });
+        p.op(Op::Dot {
+            x: "z".into(),
+            y: "u".into(),
+            out: "beta".into(),
+        });
+        let cfg = PlannerConfig {
+            tn: 8,
+            tm: 8,
+            ..Default::default()
+        };
         let thep = plan(&p, &cfg).unwrap();
 
         let wv = seq(n, 0.0);
@@ -644,7 +765,11 @@ mod tests {
     fn executes_bicg_plan_with_shared_matrix() {
         let (n, m) = (26, 18);
         let mut p = Program::new();
-        p.matrix("A", n, m).vector("p", m).vector("r", n).vector("q", n).vector("s", m);
+        p.matrix("A", n, m)
+            .vector("p", m)
+            .vector("r", n)
+            .vector("q", n)
+            .vector("s", m);
         p.op(Op::Gemv {
             alpha: 1.0,
             beta: 0.0,
@@ -663,7 +788,11 @@ mod tests {
             y: None,
             out: "s".into(),
         });
-        let cfg = PlannerConfig { tn: 7, tm: 5, ..Default::default() };
+        let cfg = PlannerConfig {
+            tn: 7,
+            tm: 5,
+            ..Default::default()
+        };
         let thep = plan(&p, &cfg).unwrap();
         assert_eq!(thep.components.len(), 1);
 
@@ -695,7 +824,10 @@ mod tests {
         let (n, m) = (24, 15);
         let build = || {
             let mut p = Program::new();
-            p.matrix("A", n, m).vector("x", m).vector("t", n).vector("y", m);
+            p.matrix("A", n, m)
+                .vector("x", m)
+                .vector("t", n)
+                .vector("y", m);
             p.op(Op::Gemv {
                 alpha: 1.0,
                 beta: 0.0,
@@ -722,7 +854,12 @@ mod tests {
 
         for allow_deep in [false, true] {
             let p = build();
-            let cfg = PlannerConfig { tn: 6, tm: 5, allow_deep_channels: allow_deep, ..Default::default() };
+            let cfg = PlannerConfig {
+                tn: 6,
+                tm: 5,
+                allow_deep_channels: allow_deep,
+                ..Default::default()
+            };
             let thep = plan(&p, &cfg).unwrap();
             assert_eq!(thep.components.len(), if allow_deep { 1 } else { 2 });
             let bufs = bind(vec![
@@ -753,8 +890,20 @@ mod tests {
             p.vector(v, n);
         }
         let (alpha, beta) = (1.2, 0.7);
-        p.op(Op::Ger { alpha: 1.0, a: "A".into(), x: "u1".into(), y: "v1".into(), out: "B1".into() });
-        p.op(Op::Ger { alpha: 1.0, a: "B1".into(), x: "u2".into(), y: "v2".into(), out: "B".into() });
+        p.op(Op::Ger {
+            alpha: 1.0,
+            a: "A".into(),
+            x: "u1".into(),
+            y: "v1".into(),
+            out: "B1".into(),
+        });
+        p.op(Op::Ger {
+            alpha: 1.0,
+            a: "B1".into(),
+            x: "u2".into(),
+            y: "v2".into(),
+            out: "B".into(),
+        });
         p.op(Op::Gemv {
             alpha: beta,
             beta: 1.0,
@@ -773,7 +922,11 @@ mod tests {
             y: None,
             out: "w".into(),
         });
-        let cfg = PlannerConfig { tn: 4, tm: 4, ..Default::default() };
+        let cfg = PlannerConfig {
+            tn: 4,
+            tm: 4,
+            ..Default::default()
+        };
         let thep = plan(&p, &cfg).unwrap();
         assert_eq!(thep.components.len(), 2, "{}", thep.describe(&p));
 
@@ -807,7 +960,12 @@ mod tests {
             assert!((b[i] - r.b[i]).abs() < 1e-9, "B[{i}]");
         }
         for i in 0..n {
-            assert!((x[i] - r.x[i]).abs() < 1e-9, "x[{i}]: {} vs {}", x[i], r.x[i]);
+            assert!(
+                (x[i] - r.x[i]).abs() < 1e-9,
+                "x[{i}]: {} vs {}",
+                x[i],
+                r.x[i]
+            );
             assert!((w[i] - r.w[i]).abs() < 1e-9, "w[{i}]");
         }
     }
@@ -816,7 +974,11 @@ mod tests {
     fn missing_and_misshapen_buffers_are_reported() {
         let mut p = Program::new();
         p.vector("x", 8).vector("o", 8);
-        p.op(Op::Scal { alpha: 2.0, x: "x".into(), out: "o".into() });
+        p.op(Op::Scal {
+            alpha: 2.0,
+            x: "x".into(),
+            out: "o".into(),
+        });
         let cfg = PlannerConfig::default();
         let thep = plan(&p, &cfg).unwrap();
 

@@ -95,7 +95,10 @@ impl Mdag {
     }
 
     fn add_node(&mut self, name: impl Into<String>, kind: ModuleKind) -> NodeId {
-        self.nodes.push(Node { name: name.into(), kind });
+        self.nodes.push(Node {
+            name: name.into(),
+            kind,
+        });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -109,7 +112,10 @@ impl Mdag {
         consumed: u64,
         channel_depth: u64,
     ) -> EdgeId {
-        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "node out of range");
+        assert!(
+            from.0 < self.nodes.len() && to.0 < self.nodes.len(),
+            "node out of range"
+        );
         self.edges.push(Edge {
             from,
             to,

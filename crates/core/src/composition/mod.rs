@@ -11,6 +11,6 @@ pub mod executor;
 pub mod mdag;
 pub mod planner;
 
+pub use executor::{execute_plan, execute_plan_traced, ExecError, ExecOutcome};
 pub use mdag::{EdgeId, Mdag, NodeId, Validity};
-pub use executor::{execute_plan, ExecError, ExecOutcome};
 pub use planner::{interpret, plan, Op, Plan, PlanError, PlannedComponent, PlannerConfig, Program};

@@ -139,8 +139,12 @@ impl Op {
             Op::Scal { .. } => "scal",
             Op::Axpy { .. } => "axpy",
             Op::Dot { .. } => "dot",
-            Op::Gemv { transposed: false, .. } => "gemv",
-            Op::Gemv { transposed: true, .. } => "gemv_t",
+            Op::Gemv {
+                transposed: false, ..
+            } => "gemv",
+            Op::Gemv {
+                transposed: true, ..
+            } => "gemv_t",
             Op::Ger { .. } => "ger",
         }
     }
@@ -291,7 +295,14 @@ impl Program {
                         });
                     }
                 }
-                Op::Gemv { a, transposed, x, y, out, .. } => {
+                Op::Gemv {
+                    a,
+                    transposed,
+                    x,
+                    y,
+                    out,
+                    ..
+                } => {
                     let (n, m) = self.mat_dims(a)?;
                     let (xl, yl) = if *transposed { (n, m) } else { (m, n) };
                     if self.vec_len(x)? != xl {
@@ -393,7 +404,9 @@ pub fn interpret(
     let order = program.topo_order()?;
     let mut env: HashMap<String, Vec<f64>> = inputs.clone();
     let fetch = |env: &HashMap<String, Vec<f64>>, name: &str| -> Result<Vec<f64>, PlanError> {
-        env.get(name).cloned().ok_or_else(|| PlanError::UnknownOperand(name.to_string()))
+        env.get(name)
+            .cloned()
+            .ok_or_else(|| PlanError::UnknownOperand(name.to_string()))
     };
     for oi in order {
         match &program.ops[oi] {
@@ -417,7 +430,15 @@ pub fn interpret(
                 let d: f64 = xv.iter().zip(&yv).map(|(a, b)| a * b).sum();
                 env.insert(out.clone(), vec![d]);
             }
-            Op::Gemv { alpha, beta, a, transposed, x, y, out } => {
+            Op::Gemv {
+                alpha,
+                beta,
+                a,
+                transposed,
+                x,
+                y,
+                out,
+            } => {
                 let (n, m) = program.mat_dims(a)?;
                 let av = fetch(&env, a)?;
                 let xv = fetch(&env, x)?;
@@ -444,7 +465,13 @@ pub fn interpret(
                     .collect();
                 env.insert(out.clone(), v);
             }
-            Op::Ger { alpha, a, x, y, out } => {
+            Op::Ger {
+                alpha,
+                a,
+                x,
+                y,
+                out,
+            } => {
                 let (n, m) = program.mat_dims(a)?;
                 let mut av = fetch(&env, a)?;
                 let xv = fetch(&env, x)?;
@@ -478,7 +505,12 @@ pub struct PlannerConfig {
 
 impl Default for PlannerConfig {
     fn default() -> Self {
-        PlannerConfig { tn: 1024, tm: 1024, allow_deep_channels: false, default_depth: 64 }
+        PlannerConfig {
+            tn: 1024,
+            tm: 1024,
+            allow_deep_channels: false,
+            default_depth: 64,
+        }
     }
 }
 
@@ -604,13 +636,18 @@ pub fn plan(program: &Program, cfg: &PlannerConfig) -> Result<Plan, PlanError> {
             .collect();
         for &oi in ops {
             let out = program.ops[oi].output();
-            if later.iter().any(|&l| program.ops[l].inputs().contains(&out)) {
+            if later
+                .iter()
+                .any(|&l| program.ops[l].inputs().contains(&out))
+            {
                 c.materialized.push(out.to_string());
             }
         }
         planned.push(c);
     }
-    Ok(Plan { components: planned })
+    Ok(Plan {
+        components: planned,
+    })
 }
 
 /// Choose variants, build and validate the MDAG for one candidate
@@ -622,9 +659,8 @@ fn build_component(
     ops: &[usize],
     cfg: &PlannerConfig,
 ) -> Result<PlannedComponent, PlanError> {
-    let in_component = |name: &str| -> Option<usize> {
-        producers.get(name).copied().filter(|p| ops.contains(p))
-    };
+    let in_component =
+        |name: &str| -> Option<usize> { producers.get(name).copied().filter(|p| ops.contains(p)) };
 
     // 1. GEMV variant selection.
     //    - x produced in-component cannot be replayed: transposed ops
@@ -665,9 +701,7 @@ fn build_component(
     //     the row-streamed variant applies.
     for &oi in ops {
         if let Op::Gemv { a, .. } = &program.ops[oi] {
-            if variants.get(&oi) == Some(&GemvVariant::ColStreamed)
-                && in_component(a).is_some()
-            {
+            if variants.get(&oi) == Some(&GemvVariant::ColStreamed) && in_component(a).is_some() {
                 return Err(PlanError::ShapeMismatch {
                     operand: a.clone(),
                     expected: "a DRAM-resident matrix (tiles-by-columns consumer)".into(),
@@ -713,7 +747,10 @@ fn build_component(
     let mut g = Mdag::new();
     let mut op_nodes: HashMap<usize, NodeId> = HashMap::new();
     for &oi in ops {
-        op_nodes.insert(oi, g.add_compute(format!("{}#{oi}", program.ops[oi].name())));
+        op_nodes.insert(
+            oi,
+            g.add_compute(format!("{}#{oi}", program.ops[oi].name())),
+        );
     }
     let mut source_nodes: HashMap<&str, NodeId> = HashMap::new();
     let mut deep_channels: Vec<(String, u64)> = Vec::new();
@@ -805,7 +842,13 @@ fn build_component(
             _ => 1,
         };
         let sink = g.add_interface(format!("write_{out}"));
-        g.add_edge(op_nodes[&oi], sink, elems * write_mult, elems * write_mult, cfg.default_depth);
+        g.add_edge(
+            op_nodes[&oi],
+            sink,
+            elems * write_mult,
+            elems * write_mult,
+            cfg.default_depth,
+        );
     }
 
     match g.validate() {
@@ -845,8 +888,17 @@ mod tests {
             .vector("u", n)
             .vector("z", n)
             .scalar("beta");
-        p.op(Op::Axpy { alpha: -1.0, x: "v".into(), y: "w".into(), out: "z".into() });
-        p.op(Op::Dot { x: "z".into(), y: "u".into(), out: "beta".into() });
+        p.op(Op::Axpy {
+            alpha: -1.0,
+            x: "v".into(),
+            y: "w".into(),
+            out: "z".into(),
+        });
+        p.op(Op::Dot {
+            x: "z".into(),
+            y: "u".into(),
+            out: "beta".into(),
+        });
         p
     }
 
@@ -908,7 +960,10 @@ mod tests {
 
     fn atax_program(n: usize, m: usize) -> Program {
         let mut p = Program::new();
-        p.matrix("A", n, m).vector("x", m).vector("t", n).vector("y", m);
+        p.matrix("A", n, m)
+            .vector("x", m)
+            .vector("t", n)
+            .vector("y", m);
         p.op(Op::Gemv {
             alpha: 1.0,
             beta: 0.0,
@@ -933,7 +988,10 @@ mod tests {
     #[test]
     fn atax_splits_without_deep_channels() {
         let p = atax_program(4096, 4096);
-        let cfg = PlannerConfig { allow_deep_channels: false, ..Default::default() };
+        let cfg = PlannerConfig {
+            allow_deep_channels: false,
+            ..Default::default()
+        };
         let plan = plan(&p, &cfg).unwrap();
         assert_eq!(plan.components.len(), 2, "{}", plan.describe(&p));
         assert_eq!(plan.components[0].materialized, vec!["t".to_string()]);
@@ -942,7 +1000,10 @@ mod tests {
     #[test]
     fn atax_single_component_with_deep_channel() {
         let p = atax_program(4096, 4096);
-        let cfg = PlannerConfig { allow_deep_channels: true, ..Default::default() };
+        let cfg = PlannerConfig {
+            allow_deep_channels: true,
+            ..Default::default()
+        };
         let plan = plan(&p, &cfg).unwrap();
         assert_eq!(plan.components.len(), 1, "{}", plan.describe(&p));
         let c = &plan.components[0];
@@ -955,7 +1016,10 @@ mod tests {
     }
 
     fn plan_split_io(p: &Program) -> u64 {
-        let cfg = PlannerConfig { allow_deep_channels: false, ..Default::default() };
+        let cfg = PlannerConfig {
+            allow_deep_channels: false,
+            ..Default::default()
+        };
         plan(p, &cfg).unwrap().io_elements()
     }
 
@@ -965,8 +1029,20 @@ mod tests {
         for v in ["u1", "v1", "u2", "v2", "y", "z", "x", "w"] {
             p.vector(v, n);
         }
-        p.op(Op::Ger { alpha: 1.0, a: "A".into(), x: "u1".into(), y: "v1".into(), out: "B1".into() });
-        p.op(Op::Ger { alpha: 1.0, a: "B1".into(), x: "u2".into(), y: "v2".into(), out: "B".into() });
+        p.op(Op::Ger {
+            alpha: 1.0,
+            a: "A".into(),
+            x: "u1".into(),
+            y: "v1".into(),
+            out: "B1".into(),
+        });
+        p.op(Op::Ger {
+            alpha: 1.0,
+            a: "B1".into(),
+            x: "u2".into(),
+            y: "v2".into(),
+            out: "B".into(),
+        });
         p.op(Op::Gemv {
             alpha: 0.9,
             beta: 1.0,
@@ -991,7 +1067,10 @@ mod tests {
     #[test]
     fn gemver_reproduces_the_fig9_schedule() {
         let p = gemver_program(4096);
-        let cfg = PlannerConfig { allow_deep_channels: false, ..Default::default() };
+        let cfg = PlannerConfig {
+            allow_deep_channels: false,
+            ..Default::default()
+        };
         let plan = plan(&p, &cfg).unwrap();
         // Fig. 9: component 1 = GER, GER, GEMVt; component 2 = GEMV.
         assert_eq!(plan.components.len(), 2, "{}", plan.describe(&p));
@@ -1011,9 +1090,23 @@ mod tests {
         let n = 64;
         let mut p = Program::new();
         p.matrix("A", n, n).matrix("B", n, n);
-        p.vector("u", n).vector("v", n).vector("x0", n).vector("s", n).vector("out", n);
-        p.op(Op::Ger { alpha: 1.0, a: "A".into(), x: "u".into(), y: "v".into(), out: "B".into() });
-        p.op(Op::Scal { alpha: 2.0, x: "x0".into(), out: "s".into() });
+        p.vector("u", n)
+            .vector("v", n)
+            .vector("x0", n)
+            .vector("s", n)
+            .vector("out", n);
+        p.op(Op::Ger {
+            alpha: 1.0,
+            a: "A".into(),
+            x: "u".into(),
+            y: "v".into(),
+            out: "B".into(),
+        });
+        p.op(Op::Scal {
+            alpha: 2.0,
+            x: "x0".into(),
+            out: "s".into(),
+        });
         p.op(Op::Gemv {
             alpha: 1.0,
             beta: 0.0,
@@ -1023,7 +1116,11 @@ mod tests {
             y: None,
             out: "out".into(),
         });
-        let cfg = PlannerConfig { tn: 16, tm: 16, ..Default::default() };
+        let cfg = PlannerConfig {
+            tn: 16,
+            tm: 16,
+            ..Default::default()
+        };
         let plan = plan(&p, &cfg).unwrap();
         assert!(plan.components.len() >= 2, "{}", plan.describe(&p));
         // The GEMV lands in a later component where both operands come
@@ -1037,7 +1134,11 @@ mod tests {
     fn shape_errors_are_caught() {
         let mut p = Program::new();
         p.vector("x", 8).vector("y", 9).scalar("d");
-        p.op(Op::Dot { x: "x".into(), y: "y".into(), out: "d".into() });
+        p.op(Op::Dot {
+            x: "x".into(),
+            y: "y".into(),
+            out: "d".into(),
+        });
         assert!(matches!(
             plan(&p, &PlannerConfig::default()),
             Err(PlanError::ShapeMismatch { .. })
@@ -1045,7 +1146,11 @@ mod tests {
 
         let mut p = Program::new();
         p.vector("x", 8);
-        p.op(Op::Scal { alpha: 2.0, x: "x".into(), out: "missing".into() });
+        p.op(Op::Scal {
+            alpha: 2.0,
+            x: "x".into(),
+            out: "missing".into(),
+        });
         assert!(matches!(
             plan(&p, &PlannerConfig::default()),
             Err(PlanError::UnknownOperand(_))
@@ -1056,8 +1161,15 @@ mod tests {
     fn multiple_writers_rejected() {
         let mut p = Program::new();
         p.vector("x", 8).vector("o", 8);
-        p.op(Op::Copy { x: "x".into(), out: "o".into() });
-        p.op(Op::Scal { alpha: 2.0, x: "x".into(), out: "o".into() });
+        p.op(Op::Copy {
+            x: "x".into(),
+            out: "o".into(),
+        });
+        p.op(Op::Scal {
+            alpha: 2.0,
+            x: "x".into(),
+            out: "o".into(),
+        });
         assert!(matches!(
             plan(&p, &PlannerConfig::default()),
             Err(PlanError::MultipleWriters(n)) if n == "o"

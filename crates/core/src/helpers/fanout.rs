@@ -61,7 +61,9 @@ mod tests {
         let (tx, rx) = channel(sim.ctx(), 4, "in");
         let (t1, r1) = channel(sim.ctx(), 4, "out1");
         let (t2, r2) = channel(sim.ctx(), 4, "out2");
-        sim.add_module("src", ModuleKind::Interface, move || tx.push_slice(&[1.0f32, 2.0, 3.0]));
+        sim.add_module("src", ModuleKind::Interface, move || {
+            tx.push_slice(&[1.0f32, 2.0, 3.0])
+        });
         duplicate(&mut sim, "dup", 3, rx, t1, t2);
         sim.add_module("c1", ModuleKind::Compute, move || {
             assert_eq!(r1.pop_n(3)?, vec![1.0, 2.0, 3.0]);
@@ -85,7 +87,9 @@ mod tests {
             senders.push(t);
             receivers.push(r);
         }
-        sim.add_module("src", ModuleKind::Interface, move || tx.push_slice(&[5.0f64, 6.0]));
+        sim.add_module("src", ModuleKind::Interface, move || {
+            tx.push_slice(&[5.0f64, 6.0])
+        });
         duplicate_many(&mut sim, "dup", 2, rx, senders);
         for (i, r) in receivers.into_iter().enumerate() {
             sim.add_module(format!("c{i}"), ModuleKind::Compute, move || {

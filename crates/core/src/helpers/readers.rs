@@ -57,7 +57,11 @@ pub fn read_matrix<T: Scalar>(
         if data.len() != n * m {
             return Err(fblas_hlssim::SimError::module(
                 name,
-                format!("matrix buffer holds {} elements, expected {}", data.len(), n * m),
+                format!(
+                    "matrix buffer holds {} elements, expected {}",
+                    data.len(),
+                    n * m
+                ),
             ));
         }
         let order = tiling.stream_indices(n, m);

@@ -21,7 +21,10 @@ pub fn write_vector<T: Scalar>(
         if buf.len() != count {
             return Err(fblas_hlssim::SimError::module(
                 name,
-                format!("output buffer holds {} elements, expected {count}", buf.len()),
+                format!(
+                    "output buffer holds {} elements, expected {count}",
+                    buf.len()
+                ),
             ));
         }
         let data = rx.pop_n(count)?;
@@ -57,7 +60,11 @@ pub fn write_matrix<T: Scalar>(
         if buf.len() != n * m {
             return Err(fblas_hlssim::SimError::module(
                 name,
-                format!("matrix buffer holds {} elements, expected {}", buf.len(), n * m),
+                format!(
+                    "matrix buffer holds {} elements, expected {}",
+                    buf.len(),
+                    n * m
+                ),
             ));
         }
         let order = tiling.stream_indices(n, m);
@@ -73,7 +80,12 @@ pub fn write_matrix<T: Scalar>(
 /// Add an interface module consuming and discarding `count` elements —
 /// a sink for streams whose values are not needed (scaling studies with
 /// generated data, Sec. VI-B).
-pub fn sink<T: Scalar>(sim: &mut Simulation, name: impl Into<String>, count: usize, rx: Receiver<T>) {
+pub fn sink<T: Scalar>(
+    sim: &mut Simulation,
+    name: impl Into<String>,
+    count: usize,
+    rx: Receiver<T>,
+) {
     sim.add_module(name.into(), ModuleKind::Interface, move || {
         for _ in 0..count {
             rx.pop()?;
@@ -121,7 +133,10 @@ pub fn replay_vector_through_memory<T: Scalar>(
         if init2.len() != n {
             return Err(fblas_hlssim::SimError::module(
                 name_in,
-                format!("replay initial buffer must hold {n} elements (got {})", init2.len()),
+                format!(
+                    "replay initial buffer must hold {n} elements (got {})",
+                    init2.len()
+                ),
             ));
         }
         to_module.push_slice(&init2.to_host())?;
@@ -138,7 +153,10 @@ pub fn replay_vector_through_memory<T: Scalar>(
         if result.len() != n {
             return Err(fblas_hlssim::SimError::module(
                 name_out,
-                format!("replay result buffer must hold {n} elements (got {})", result.len()),
+                format!(
+                    "replay result buffer must hold {n} elements (got {})",
+                    result.len()
+                ),
             ));
         }
         for _ in 0..rounds - 1 {
@@ -173,7 +191,9 @@ mod tests {
         let mut sim = Simulation::new();
         let buf = DeviceBuffer::<f32>::zeroed("out", 3, 0);
         let (tx, rx) = channel(sim.ctx(), 4, "ch");
-        sim.add_module("src", ModuleKind::Compute, move || tx.push_slice(&[1.0, 2.0, 3.0]));
+        sim.add_module("src", ModuleKind::Compute, move || {
+            tx.push_slice(&[1.0, 2.0, 3.0])
+        });
         write_vector(&mut sim, &buf, 3, rx);
         sim.run().unwrap();
         assert_eq!(buf.to_host(), vec![1.0, 2.0, 3.0]);
@@ -197,7 +217,9 @@ mod tests {
         let buf = DeviceBuffer::<f32>::zeroed("a", 4, 0);
         let (tx, rx) = channel(sim.ctx(), 4, "ch");
         // Column-order stream of [[1,2],[3,4]] is 1,3,2,4.
-        sim.add_module("src", ModuleKind::Compute, move || tx.push_slice(&[1.0, 3.0, 2.0, 4.0]));
+        sim.add_module("src", ModuleKind::Compute, move || {
+            tx.push_slice(&[1.0, 3.0, 2.0, 4.0])
+        });
         write_matrix(&mut sim, &buf, 2, 2, tiling, rx);
         sim.run().unwrap();
         assert_eq!(buf.to_host(), vec![1.0, 2.0, 3.0, 4.0]);

@@ -21,8 +21,8 @@ use crate::routines::gemv::{Gemv, GemvVariant};
 use crate::routines::level3::{read_trsm_triangle, Side, Syr2k, Syrk, Trsm};
 use crate::routines::trsv::read_triangle;
 use crate::routines::{
-    Asum, Axpy, Diag, Dot, Ger, Iamax, Nrm2, Rot, Rotg, Rotm, Rotmg, Scal, Sdsdot, Swap, Syr,
-    Syr2, Trans, Trsv, Uplo, VecCopy,
+    Asum, Axpy, Diag, Dot, Ger, Iamax, Nrm2, Rot, Rotg, Rotm, Rotmg, Scal, Sdsdot, Swap, Syr, Syr2,
+    Trans, Trsv, Uplo, VecCopy,
 };
 use crate::scalar::Scalar;
 
@@ -41,7 +41,11 @@ impl Default for GemvTuning {
     /// The paper's default experimental configuration: 1024×1024 tiles,
     /// width 16.
     fn default() -> Self {
-        GemvTuning { tn: 1024, tm: 1024, w: 16 }
+        GemvTuning {
+            tn: 1024,
+            tm: 1024,
+            w: 16,
+        }
     }
 }
 
@@ -113,7 +117,14 @@ pub fn rotg<T: Scalar>(fpga: &Fpga, a: T, b: T) -> Result<RotgResult<T>, SimErro
     sim.run()?;
     let v = out.to_host();
     let est = Rotg.estimate::<T>();
-    let t = timing::<T>(fpga, RoutineClass::Streaming, &est, 2, Rotg.cost::<T>(), &[]);
+    let t = timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &est,
+        2,
+        Rotg.cost::<T>(),
+        &[],
+    );
     Ok(((v[0], v[1], v[2], v[3]), t))
 }
 
@@ -138,7 +149,14 @@ pub fn rotmg<T: Scalar>(
     sim.run()?;
     let v = out.to_host();
     let est = Rotmg.estimate::<T>();
-    let t = timing::<T>(fpga, RoutineClass::Streaming, &est, 2, Rotmg.cost::<T>(), &[]);
+    let t = timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &est,
+        2,
+        Rotmg.cost::<T>(),
+        &[],
+    );
     Ok(((v[0], v[1], v[2], [v[3], v[4], v[5], v[6], v[7]]), t))
 }
 
@@ -170,7 +188,14 @@ pub fn rot<T: Scalar>(
         StreamDemand::new(x.bank(), 2 * bytes::<T>(n)),
         StreamDemand::new(y.bank(), 2 * bytes::<T>(n)),
     ];
-    Ok(timing::<T>(fpga, RoutineClass::Streaming, &est, 4, m.cost::<T>(), &streams))
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &est,
+        4,
+        m.cost::<T>(),
+        &streams,
+    ))
 }
 
 /// ROTM: apply a modified Givens transform to `x` and `y` in place.
@@ -200,7 +225,14 @@ pub fn rotm<T: Scalar>(
         StreamDemand::new(x.bank(), 2 * bytes::<T>(n)),
         StreamDemand::new(y.bank(), 2 * bytes::<T>(n)),
     ];
-    Ok(timing::<T>(fpga, RoutineClass::Streaming, &est, 4, m.cost::<T>(), &streams))
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &est,
+        4,
+        m.cost::<T>(),
+        &streams,
+    ))
 }
 
 /// SWAP: exchange `x` and `y`.
@@ -229,7 +261,14 @@ pub fn swap<T: Scalar>(
         StreamDemand::new(x.bank(), 2 * bytes::<T>(n)),
         StreamDemand::new(y.bank(), 2 * bytes::<T>(n)),
     ];
-    Ok(timing::<T>(fpga, RoutineClass::Streaming, &est, 4, m.cost::<T>(), &streams))
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &est,
+        4,
+        m.cost::<T>(),
+        &streams,
+    ))
 }
 
 /// SCAL: `x ← α·x` in place.
@@ -250,7 +289,14 @@ pub fn scal<T: Scalar>(
     sim.run()?;
     let est = m.estimate::<T>();
     let streams = [StreamDemand::new(x.bank(), 2 * bytes::<T>(n))];
-    Ok(timing::<T>(fpga, RoutineClass::Streaming, &est, 2, m.cost::<T>(), &streams))
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &est,
+        2,
+        m.cost::<T>(),
+        &streams,
+    ))
 }
 
 /// COPY: `y ← x`.
@@ -275,7 +321,14 @@ pub fn copy<T: Scalar>(
         StreamDemand::new(x.bank(), bytes::<T>(n)),
         StreamDemand::new(y.bank(), bytes::<T>(n)),
     ];
-    Ok(timing::<T>(fpga, RoutineClass::Streaming, &est, 2, m.cost::<T>(), &streams))
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &est,
+        2,
+        m.cost::<T>(),
+        &streams,
+    ))
 }
 
 /// AXPY: `y ← α·x + y` in place.
@@ -303,7 +356,14 @@ pub fn axpy<T: Scalar>(
         StreamDemand::new(x.bank(), bytes::<T>(n)),
         StreamDemand::new(y.bank(), 2 * bytes::<T>(n)),
     ];
-    Ok(timing::<T>(fpga, RoutineClass::Streaming, &est, 3, m.cost::<T>(), &streams))
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &est,
+        3,
+        m.cost::<T>(),
+        &streams,
+    ))
 }
 
 /// Shared driver for the scalar-producing reductions.
@@ -313,7 +373,12 @@ fn reduction_call<T: Scalar>(
     y: Option<&DeviceBuffer<T>>,
     cost: PipelineCost,
     est: ResourceEstimate,
-    attach: impl FnOnce(&mut Simulation, fblas_hlssim::Receiver<T>, Option<fblas_hlssim::Receiver<T>>, fblas_hlssim::Sender<T>),
+    attach: impl FnOnce(
+        &mut Simulation,
+        fblas_hlssim::Receiver<T>,
+        Option<fblas_hlssim::Receiver<T>>,
+        fblas_hlssim::Sender<T>,
+    ),
 ) -> Result<(T, TimingEstimate), SimError> {
     let n = x.len();
     let mut sim = Simulation::new();
@@ -335,7 +400,14 @@ fn reduction_call<T: Scalar>(
         streams.push(StreamDemand::new(yb.bank(), bytes::<T>(n)));
         interfaces += 1;
     }
-    let t = timing::<T>(fpga, RoutineClass::Streaming, &est, interfaces, cost, &streams);
+    let t = timing::<T>(
+        fpga,
+        RoutineClass::Streaming,
+        &est,
+        interfaces,
+        cost,
+        &streams,
+    );
     Ok((res.get(0), t))
 }
 
@@ -349,9 +421,14 @@ pub fn dot<T: Scalar>(
     let n = x.len();
     assert_eq!(y.len(), n, "dot: length mismatch");
     let m = Dot::new(n, w);
-    reduction_call(fpga, x, Some(y), m.cost::<T>(), m.estimate::<T>(), |sim, rx, ry, tr| {
-        m.attach(sim, rx, ry.expect("dot needs y"), tr)
-    })
+    reduction_call(
+        fpga,
+        x,
+        Some(y),
+        m.cost::<T>(),
+        m.estimate::<T>(),
+        |sim, rx, ry, tr| m.attach(sim, rx, ry.expect("dot needs y"), tr),
+    )
 }
 
 /// SDSDOT: returns `sb + xᵀy` with double accumulation.
@@ -365,9 +442,14 @@ pub fn sdsdot<T: Scalar>(
     let n = x.len();
     assert_eq!(y.len(), n, "sdsdot: length mismatch");
     let m = Sdsdot::new(n, w);
-    reduction_call(fpga, x, Some(y), m.cost::<T>(), m.estimate::<T>(), |sim, rx, ry, tr| {
-        m.attach(sim, sb, rx, ry.expect("sdsdot needs y"), tr)
-    })
+    reduction_call(
+        fpga,
+        x,
+        Some(y),
+        m.cost::<T>(),
+        m.estimate::<T>(),
+        |sim, rx, ry, tr| m.attach(sim, sb, rx, ry.expect("sdsdot needs y"), tr),
+    )
 }
 
 /// NRM2: returns `‖x‖₂`.
@@ -377,9 +459,14 @@ pub fn nrm2<T: Scalar>(
     w: usize,
 ) -> Result<(T, TimingEstimate), SimError> {
     let m = Nrm2::new(x.len(), w);
-    reduction_call(fpga, x, None, m.cost::<T>(), m.estimate::<T>(), |sim, rx, _ry, tr| {
-        m.attach(sim, rx, tr)
-    })
+    reduction_call(
+        fpga,
+        x,
+        None,
+        m.cost::<T>(),
+        m.estimate::<T>(),
+        |sim, rx, _ry, tr| m.attach(sim, rx, tr),
+    )
 }
 
 /// ASUM: returns `Σ|xᵢ|`.
@@ -389,9 +476,14 @@ pub fn asum<T: Scalar>(
     w: usize,
 ) -> Result<(T, TimingEstimate), SimError> {
     let m = Asum::new(x.len(), w);
-    reduction_call(fpga, x, None, m.cost::<T>(), m.estimate::<T>(), |sim, rx, _ry, tr| {
-        m.attach(sim, rx, tr)
-    })
+    reduction_call(
+        fpga,
+        x,
+        None,
+        m.cost::<T>(),
+        m.estimate::<T>(),
+        |sim, rx, _ry, tr| m.attach(sim, rx, tr),
+    )
 }
 
 /// IAMAX: returns the 0-based index of the first maximum-magnitude
@@ -410,10 +502,14 @@ pub fn iamax<T: Scalar>(
     m.attach(&mut sim, rx, tr);
     let out = std::sync::Arc::new(parking_lot::Mutex::new(0usize));
     let out2 = out.clone();
-    sim.add_module("store_idx", fblas_hlssim::ModuleKind::Interface, move || {
-        *out2.lock() = rr.pop()?;
-        Ok(())
-    });
+    sim.add_module(
+        "store_idx",
+        fblas_hlssim::ModuleKind::Interface,
+        move || {
+            *out2.lock() = rr.pop()?;
+            Ok(())
+        },
+    );
     sim.run()?;
     let streams = [StreamDemand::new(x.bank(), bytes::<T>(n))];
     let t = timing::<T>(
@@ -863,45 +959,57 @@ pub fn gemm_batched<T: Scalar>(
 
     // Batched Read A: per problem, per k, a T_R column block.
     let a_buf = a.clone();
-    sim.add_module("read_a_batched", fblas_hlssim::ModuleKind::Interface, move || {
-        let data = a_buf.to_host();
-        for p in 0..batch {
-            let base = p * sz;
-            for kk in 0..dim {
-                for i in 0..dim {
-                    ta.push(data[base + i * dim + kk])?;
+    sim.add_module(
+        "read_a_batched",
+        fblas_hlssim::ModuleKind::Interface,
+        move || {
+            let data = a_buf.to_host();
+            for p in 0..batch {
+                let base = p * sz;
+                for kk in 0..dim {
+                    for i in 0..dim {
+                        ta.push(data[base + i * dim + kk])?;
+                    }
                 }
             }
-        }
-        Ok(())
-    });
+            Ok(())
+        },
+    );
     let b_buf = b.clone();
-    sim.add_module("read_b_batched", fblas_hlssim::ModuleKind::Interface, move || {
-        let data = b_buf.to_host();
-        for p in 0..batch {
-            let base = p * sz;
-            for kk in 0..dim {
-                for j in 0..dim {
-                    tb.push(data[base + kk * dim + j])?;
+    sim.add_module(
+        "read_b_batched",
+        fblas_hlssim::ModuleKind::Interface,
+        move || {
+            let data = b_buf.to_host();
+            for p in 0..batch {
+                let base = p * sz;
+                for kk in 0..dim {
+                    for j in 0..dim {
+                        tb.push(data[base + kk * dim + j])?;
+                    }
                 }
             }
-        }
-        Ok(())
-    });
+            Ok(())
+        },
+    );
     g.attach_batched(&mut sim, batch, ra, rb, tcs);
     let c_buf = c.clone();
-    sim.add_module("store_c_batched", fblas_hlssim::ModuleKind::Interface, move || {
-        let mut out = c_buf.to_host();
-        for p in 0..batch {
-            let base = p * sz;
-            for idx in 0..sz {
-                let acc = rc.pop()?;
-                out[base + idx] = alpha.mul_add(acc, beta * out[base + idx]);
+    sim.add_module(
+        "store_c_batched",
+        fblas_hlssim::ModuleKind::Interface,
+        move || {
+            let mut out = c_buf.to_host();
+            for p in 0..batch {
+                let base = p * sz;
+                for idx in 0..sz {
+                    let acc = rc.pop()?;
+                    out[base + idx] = alpha.mul_add(acc, beta * out[base + idx]);
+                }
             }
-        }
-        c_buf.from_host(&out);
-        Ok(())
-    });
+            c_buf.from_host(&out);
+            Ok(())
+        },
+    );
     sim.run()?;
 
     // Fully unrolled: a new problem enters every k cycles; DRAM traffic
@@ -913,7 +1021,14 @@ pub fn gemm_batched<T: Scalar>(
         StreamDemand::new(b.bank(), bytes::<T>(batch * sz)),
         StreamDemand::new(c.bank(), 2 * bytes::<T>(batch * sz)),
     ];
-    Ok(timing::<T>(fpga, RoutineClass::Systolic, &est, 3, cost, &streams))
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Systolic,
+        &est,
+        3,
+        cost,
+        &streams,
+    ))
 }
 
 /// Batched fully unrolled left-side TRSM (paper Table V): `batch`
@@ -941,99 +1056,115 @@ pub fn trsm_batched<T: Scalar>(
 
     let tri = crate::routines::trsv::triangle_len(dim);
     let a_buf = a.clone();
-    sim.add_module("read_a_batched", fblas_hlssim::ModuleKind::Interface, move || {
-        let data = a_buf.to_host();
-        for p in 0..batch {
-            let base = p * sz;
-            for i in 0..dim {
-                let (lo, hi) = match uplo {
-                    Uplo::Lower => (0, i + 1),
-                    Uplo::Upper => (i, dim),
-                };
-                for j in lo..hi {
-                    ta.push(data[base + i * dim + j])?;
+    sim.add_module(
+        "read_a_batched",
+        fblas_hlssim::ModuleKind::Interface,
+        move || {
+            let data = a_buf.to_host();
+            for p in 0..batch {
+                let base = p * sz;
+                for i in 0..dim {
+                    let (lo, hi) = match uplo {
+                        Uplo::Lower => (0, i + 1),
+                        Uplo::Upper => (i, dim),
+                    };
+                    for j in lo..hi {
+                        ta.push(data[base + i * dim + j])?;
+                    }
                 }
             }
-        }
-        Ok(())
-    });
+            Ok(())
+        },
+    );
     let b_buf = b.clone();
     let b_tiling = t.b_tiling();
-    sim.add_module("read_b_batched", fblas_hlssim::ModuleKind::Interface, move || {
-        let data = b_buf.to_host();
-        for p in 0..batch {
-            let base = p * sz;
-            for &(r, c) in &b_tiling.stream_indices(dim, dim) {
-                tb.push(data[base + r * dim + c])?;
+    sim.add_module(
+        "read_b_batched",
+        fblas_hlssim::ModuleKind::Interface,
+        move || {
+            let data = b_buf.to_host();
+            for p in 0..batch {
+                let base = p * sz;
+                for &(r, c) in &b_tiling.stream_indices(dim, dim) {
+                    tb.push(data[base + r * dim + c])?;
+                }
             }
-        }
-        Ok(())
-    });
+            Ok(())
+        },
+    );
     // One solver module per problem round: the module solves its fixed
     // shape `batch` times.
     let cfg = t;
-    sim.add_module("trsm_batched", fblas_hlssim::ModuleKind::Compute, move || {
-        for _ in 0..batch {
-            // Inline one-problem solve: triangle then dim RHS columns.
-            let tri_vals = ra.pop_n(tri)?;
-            let at = |i: usize, j: usize| -> T {
-                match uplo {
-                    Uplo::Lower => tri_vals[i * (i + 1) / 2 + j],
-                    Uplo::Upper => {
-                        let start = i * dim - (i * i - i) / 2;
-                        tri_vals[start + (j - i)]
-                    }
-                }
-            };
-            for _rhs in 0..dim {
-                let mut col = rb.pop_n(dim)?;
-                for v in col.iter_mut() {
-                    *v *= alpha;
-                }
-                match uplo {
-                    Uplo::Lower => {
-                        for i in 0..dim {
-                            let mut acc = col[i];
-                            for j in 0..i {
-                                acc -= at(i, j) * col[j];
-                            }
-                            col[i] = match cfg.diag {
-                                Diag::Unit => acc,
-                                Diag::NonUnit => acc / at(i, i),
-                            };
+    sim.add_module(
+        "trsm_batched",
+        fblas_hlssim::ModuleKind::Compute,
+        move || {
+            for _ in 0..batch {
+                // Inline one-problem solve: triangle then dim RHS columns.
+                let tri_vals = ra.pop_n(tri)?;
+                let at = |i: usize, j: usize| -> T {
+                    match uplo {
+                        Uplo::Lower => tri_vals[i * (i + 1) / 2 + j],
+                        Uplo::Upper => {
+                            let start = i * dim - (i * i - i) / 2;
+                            tri_vals[start + (j - i)]
                         }
                     }
-                    Uplo::Upper => {
-                        for i in (0..dim).rev() {
-                            let mut acc = col[i];
-                            for j in i + 1..dim {
-                                acc -= at(i, j) * col[j];
+                };
+                for _rhs in 0..dim {
+                    let mut col = rb.pop_n(dim)?;
+                    for v in col.iter_mut() {
+                        *v *= alpha;
+                    }
+                    match uplo {
+                        Uplo::Lower => {
+                            for i in 0..dim {
+                                let mut acc = col[i];
+                                for j in 0..i {
+                                    acc -= at(i, j) * col[j];
+                                }
+                                col[i] = match cfg.diag {
+                                    Diag::Unit => acc,
+                                    Diag::NonUnit => acc / at(i, i),
+                                };
                             }
-                            col[i] = match cfg.diag {
-                                Diag::Unit => acc,
-                                Diag::NonUnit => acc / at(i, i),
-                            };
+                        }
+                        Uplo::Upper => {
+                            for i in (0..dim).rev() {
+                                let mut acc = col[i];
+                                for j in i + 1..dim {
+                                    acc -= at(i, j) * col[j];
+                                }
+                                col[i] = match cfg.diag {
+                                    Diag::Unit => acc,
+                                    Diag::NonUnit => acc / at(i, i),
+                                };
+                            }
                         }
                     }
+                    to.push_slice(&col)?;
                 }
-                to.push_slice(&col)?;
             }
-        }
-        Ok(())
-    });
+            Ok(())
+        },
+    );
     let out_buf = b.clone();
     let b_tiling = t.b_tiling();
-    sim.add_module("store_b_batched", fblas_hlssim::ModuleKind::Interface, move || {
-        let mut out = out_buf.to_host();
-        for p in 0..batch {
-            let base = p * sz;
-            for &(r, c) in &b_tiling.stream_indices(dim, dim) {
-                out[base + r * dim + c] = ro.pop()?;
+    sim.add_module(
+        "store_b_batched",
+        fblas_hlssim::ModuleKind::Interface,
+        move || {
+            let mut out = out_buf.to_host();
+            for p in 0..batch {
+                let base = p * sz;
+                for &(r, c) in &b_tiling.stream_indices(dim, dim) {
+                    out[base + r * dim + c] = ro.pop()?;
+                }
             }
-        }
-        out_buf.from_host(&out);
-        Ok(())
-    });
+            out_buf.from_host(&out);
+            Ok(())
+        },
+    );
     sim.run()?;
 
     let est = t.estimate::<T>();
@@ -1042,5 +1173,12 @@ pub fn trsm_batched<T: Scalar>(
         StreamDemand::new(a.bank(), bytes::<T>(batch * tri)),
         StreamDemand::new(b.bank(), 2 * bytes::<T>(batch * sz)),
     ];
-    Ok(timing::<T>(fpga, RoutineClass::Systolic, &est, 3, cost, &streams))
+    Ok(timing::<T>(
+        fpga,
+        RoutineClass::Systolic,
+        &est,
+        3,
+        cost,
+        &streams,
+    ))
 }

@@ -25,7 +25,11 @@ pub struct DeviceBuffer<T> {
 impl<T: Clone + Send + Sync + 'static> DeviceBuffer<T> {
     /// Wrap host data into a device buffer on the given DDR bank.
     pub fn from_vec(name: impl Into<String>, data: Vec<T>, bank: usize) -> Self {
-        DeviceBuffer { data: Arc::new(RwLock::new(data)), bank, name: name.into() }
+        DeviceBuffer {
+            data: Arc::new(RwLock::new(data)),
+            bank,
+            name: name.into(),
+        }
     }
 
     /// Number of elements.
@@ -61,7 +65,11 @@ impl<T: Clone + Send + Sync + 'static> DeviceBuffer<T> {
     /// Panics if the length differs from the allocation.
     pub fn from_host(&self, src: &[T]) {
         let mut guard = self.data.write();
-        assert_eq!(guard.len(), src.len(), "device buffer size mismatch on write");
+        assert_eq!(
+            guard.len(),
+            src.len(),
+            "device buffer size mismatch on write"
+        );
         guard.clone_from_slice(src);
     }
 

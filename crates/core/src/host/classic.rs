@@ -373,7 +373,21 @@ mod tests {
 
         let b = fpga.alloc_from("b", vec![1.0f32; n * n]);
         let c = fpga.alloc_from("c", vec![0.0f32; n * n]);
-        sgemm(&fpga, n, n, n, 1.0, &a, &b, 0.0, &c, SystolicShape::new(2, 2), 2, 2).unwrap();
+        sgemm(
+            &fpga,
+            n,
+            n,
+            n,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &c,
+            SystolicShape::new(2, 2),
+            2,
+            2,
+        )
+        .unwrap();
         assert_eq!(c.to_host(), vec![4.0; n * n]);
 
         dger(

@@ -38,7 +38,11 @@ impl Fpga {
     /// enabled for the interleaving ablation).
     pub fn with_memory(device: Device, memory: MemorySystem) -> Self {
         Fpga {
-            inner: Arc::new(FpgaInner { device, memory, next_bank: AtomicUsize::new(0) }),
+            inner: Arc::new(FpgaInner {
+                device,
+                memory,
+                next_bank: AtomicUsize::new(0),
+            }),
         }
     }
 

@@ -16,7 +16,9 @@ pub struct Event<R> {
 impl<R: Send + 'static> Event<R> {
     /// Block until the call completes and return its result.
     pub fn wait(self) -> R {
-        self.handle.join().expect("asynchronous FBLAS call panicked")
+        self.handle
+            .join()
+            .expect("asynchronous FBLAS call panicked")
     }
 
     /// Whether the call has already finished (non-blocking probe).
@@ -28,7 +30,28 @@ impl<R: Send + 'static> Event<R> {
 /// Launch a host call asynchronously. The closure should capture a
 /// cloned [`Fpga`](super::Fpga) handle and the buffers it operates on.
 pub fn enqueue<R: Send + 'static>(f: impl FnOnce() -> R + Send + 'static) -> Event<R> {
-    Event { handle: std::thread::spawn(f) }
+    Event {
+        handle: std::thread::spawn(f),
+    }
+}
+
+/// [`enqueue`] with a trace span: the worker thread runs under a named
+/// [`ModuleScope`](fblas_trace::ModuleScope), so the command's wall time
+/// shows up as a lane in the tracer's timeline alongside the simulation
+/// modules it spawns.
+pub fn enqueue_traced<R: Send + 'static>(
+    name: impl Into<String>,
+    tracer: Option<&fblas_trace::Tracer>,
+    f: impl FnOnce() -> R + Send + 'static,
+) -> Event<R> {
+    let name = name.into();
+    let tracer = tracer.cloned();
+    Event {
+        handle: std::thread::spawn(move || {
+            let _scope = fblas_trace::ModuleScope::enter(&name, tracer.as_ref());
+            f()
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -39,6 +62,15 @@ mod tests {
     fn event_returns_result() {
         let e = enqueue(|| 21 * 2);
         assert_eq!(e.wait(), 42);
+    }
+
+    #[test]
+    fn traced_event_records_a_lane() {
+        let tracer = fblas_trace::Tracer::new();
+        let e = enqueue_traced("host:axpy", Some(&tracer), || 7);
+        assert_eq!(e.wait(), 7);
+        let lanes = tracer.lanes();
+        assert!(lanes.iter().any(|l| &*l.module == "host:axpy"));
     }
 
     #[test]

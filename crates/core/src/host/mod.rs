@@ -15,4 +15,4 @@ pub mod event;
 pub use blas::GemvTuning;
 pub use buffer::DeviceBuffer;
 pub use context::Fpga;
-pub use event::{enqueue, Event};
+pub use event::{enqueue, enqueue_traced, Event};

@@ -37,7 +37,6 @@
 //!   estimates for Tables IV–VI and Figs. 10–11.
 
 #![allow(clippy::needless_range_loop)] // explicit indices mirror the math
-
 #![warn(missing_docs)]
 
 pub mod apps;

@@ -97,8 +97,7 @@ pub fn estimate_time(
     }
 
     let util = total.max_utilization(&model.available).min(1.0);
-    let (freq_hz, hyperflex_used) =
-        FrequencyModel::new(device).achieved_hz(class, hyperflex, util);
+    let (freq_hz, hyperflex_used) = FrequencyModel::new(device).achieved_hz(class, hyperflex, util);
 
     let compute_secs = cost.cycles() as f64 / freq_hz;
 
@@ -110,8 +109,10 @@ pub fn estimate_time(
     let mem_secs = if memory.interleaved() {
         streams.iter().map(|s| s.bytes).sum::<u64>() as f64 / memory.total_bandwidth()
     } else {
-        let assignments: Vec<BankAssignment> =
-            streams.iter().map(|s| BankAssignment { bank: s.bank }).collect();
+        let assignments: Vec<BankAssignment> = streams
+            .iter()
+            .map(|s| BankAssignment { bank: s.bank })
+            .collect();
         let bws = memory.stream_bandwidths(&assignments);
         streams
             .iter()

@@ -89,7 +89,14 @@ impl Gemm {
             tc >= shape.pc && tc.is_multiple_of(shape.pc),
             "T_C must be a positive multiple of P_C"
         );
-        Gemm { n, m, k, shape, tr, tc }
+        Gemm {
+            n,
+            m,
+            k,
+            shape,
+            tr,
+            tc,
+        }
     }
 
     /// A fully unrolled small GEMM (paper Sec. III-A2/Table V): the PE
@@ -97,7 +104,14 @@ impl Gemm {
     /// accepted every cycle.
     pub fn fully_unrolled(dim: usize) -> Self {
         let shape = SystolicShape::new(dim, dim);
-        Gemm { n: dim, m: dim, k: dim, shape, tr: dim, tc: dim }
+        Gemm {
+            n: dim,
+            m: dim,
+            k: dim,
+            shape,
+            tr: dim,
+            tc: dim,
+        }
     }
 
     /// Compute/memory tile ratio `T_R/P_R` (equal to `T_C/P_C` in the
@@ -192,11 +206,17 @@ impl Gemm {
     /// feeder buffers.
     pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
         estimate_circuit(
-            CircuitClass::Systolic { rows: self.shape.pr as u64, cols: self.shape.pc as u64 },
+            CircuitClass::Systolic {
+                rows: self.shape.pr as u64,
+                cols: self.shape.pc as u64,
+            },
             T::PRECISION,
         )
         // C tile storage plus double-buffered feeders on both edges.
-        .with_buffer((self.tr * self.tc + 2 * (self.tr + self.tc)) as u64, T::PRECISION)
+        .with_buffer(
+            (self.tr * self.tc + 2 * (self.tr + self.tc)) as u64,
+            T::PRECISION,
+        )
     }
 
     /// Pipeline cost: `⌈N/T_R⌉·⌈M/T_C⌉·K·(T_R·T_C)/(P_R·P_C)` MAC steps
@@ -230,7 +250,11 @@ pub fn read_gemm_a<T: Scalar>(
         if data.len() != cfg.n * cfg.k {
             return Err(fblas_hlssim::SimError::module(
                 "read_a",
-                format!("A holds {} elements, expected {}", data.len(), cfg.n * cfg.k),
+                format!(
+                    "A holds {} elements, expected {}",
+                    data.len(),
+                    cfg.n * cfg.k
+                ),
             ));
         }
         for ti in 0..cfg.tile_rows() {
@@ -238,7 +262,11 @@ pub fn read_gemm_a<T: Scalar>(
                 for kk in 0..cfg.k {
                     for i in 0..cfg.tr {
                         let r = ti * cfg.tr + i;
-                        let v = if r < cfg.n { data[r * cfg.k + kk] } else { T::ZERO };
+                        let v = if r < cfg.n {
+                            data[r * cfg.k + kk]
+                        } else {
+                            T::ZERO
+                        };
                         tx.push(v)?;
                     }
                 }
@@ -263,7 +291,11 @@ pub fn read_gemm_b<T: Scalar>(
         if data.len() != cfg.k * cfg.m {
             return Err(fblas_hlssim::SimError::module(
                 "read_b",
-                format!("B holds {} elements, expected {}", data.len(), cfg.k * cfg.m),
+                format!(
+                    "B holds {} elements, expected {}",
+                    data.len(),
+                    cfg.k * cfg.m
+                ),
             ));
         }
         for _ti in 0..cfg.tile_rows() {
@@ -271,7 +303,11 @@ pub fn read_gemm_b<T: Scalar>(
                 for kk in 0..cfg.k {
                     for j in 0..cfg.tc {
                         let c = tj * cfg.tc + j;
-                        let v = if c < cfg.m { data[kk * cfg.m + c] } else { T::ZERO };
+                        let v = if c < cfg.m {
+                            data[kk * cfg.m + c]
+                        } else {
+                            T::ZERO
+                        };
                         tx.push(v)?;
                     }
                 }
@@ -441,7 +477,10 @@ mod tests {
 
     #[test]
     fn flops_formula() {
-        assert_eq!(Gemm::new(4, 5, 6, SystolicShape::new(1, 1), 4, 5).flops(), 240);
+        assert_eq!(
+            Gemm::new(4, 5, 6, SystolicShape::new(1, 1), 4, 5).flops(),
+            240
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub enum GemvVariant {
 impl GemvVariant {
     /// Does this variant apply the transpose of the streamed matrix?
     pub fn transposed(self) -> bool {
-        matches!(self, GemvVariant::TransRowStreamed | GemvVariant::TransColStreamed)
+        matches!(
+            self,
+            GemvVariant::TransRowStreamed | GemvVariant::TransColStreamed
+        )
     }
 }
 
@@ -75,7 +78,14 @@ impl Gemv {
     pub fn new(variant: GemvVariant, n: usize, m: usize, tn: usize, tm: usize, w: usize) -> Self {
         validate_width(w);
         assert!(tn >= 1 && tm >= 1, "tile dimensions must be at least 1");
-        Gemv { variant, n, m, tn, tm, w }
+        Gemv {
+            variant,
+            n,
+            m,
+            tn,
+            tm,
+            w,
+        }
     }
 
     /// The tiling the `A` reader must use to feed this module.
@@ -168,10 +178,18 @@ impl Gemv {
         ch_y_out: Sender<T>,
     ) {
         let cfg = *self;
-        let name = if cfg.variant.transposed() { "gemv_t" } else { "gemv" };
+        let name = if cfg.variant.transposed() {
+            "gemv_t"
+        } else {
+            "gemv"
+        };
         sim.add_module(name, ModuleKind::Compute, move || match cfg.variant {
-            GemvVariant::RowStreamed => cfg.run_row_streamed(alpha, beta, &ch_a, &ch_x, &ch_y_in, &ch_y_out),
-            GemvVariant::ColStreamed => cfg.run_col_streamed(alpha, beta, &ch_a, &ch_x, &ch_y_in, &ch_y_out),
+            GemvVariant::RowStreamed => {
+                cfg.run_row_streamed(alpha, beta, &ch_a, &ch_x, &ch_y_in, &ch_y_out)
+            }
+            GemvVariant::ColStreamed => {
+                cfg.run_col_streamed(alpha, beta, &ch_a, &ch_x, &ch_y_in, &ch_y_out)
+            }
             GemvVariant::TransRowStreamed => {
                 cfg.run_trans_row_streamed(alpha, beta, &ch_a, &ch_x, &ch_y_in, &ch_y_out)
             }
@@ -183,11 +201,7 @@ impl Gemv {
 
     /// Dot of one within-tile matrix row segment against an `x` block,
     /// W-chunked with the hardware's tree-reduction order.
-    fn row_dot<T: Scalar>(
-        &self,
-        ch_a: &Receiver<T>,
-        xblock: &[T],
-    ) -> Result<T, SimError> {
+    fn row_dot<T: Scalar>(&self, ch_a: &Receiver<T>, xblock: &[T]) -> Result<T, SimError> {
         let mut acc = T::ZERO;
         let mut products = Vec::with_capacity(self.w);
         let mut j = 0;
@@ -353,13 +367,22 @@ fn tile_extent(b: usize, t: usize, total: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::helpers::{read_matrix, read_vector_replayed};
     use crate::helpers::writers::{replay_vector_through_memory, write_vector};
+    use crate::helpers::{read_matrix, read_vector_replayed};
     use crate::host::buffer::DeviceBuffer;
     use fblas_hlssim::channel;
 
     #[allow(clippy::too_many_arguments)]
-    fn dense_gemv(trans: bool, n: usize, m: usize, alpha: f64, a: &[f64], x: &[f64], beta: f64, y: &[f64]) -> Vec<f64> {
+    fn dense_gemv(
+        trans: bool,
+        n: usize,
+        m: usize,
+        alpha: f64,
+        a: &[f64],
+        x: &[f64],
+        beta: f64,
+        y: &[f64],
+    ) -> Vec<f64> {
         if !trans {
             (0..n)
                 .map(|i| {
@@ -490,7 +513,11 @@ mod tests {
     fn estimate_includes_tile_buffers() {
         let g = Gemv::new(GemvVariant::RowStreamed, 4096, 4096, 1024, 1024, 16);
         let e = g.estimate::<f32>();
-        assert!(e.resources.m20ks >= 4, "tile buffers in M20K: {}", e.resources.m20ks);
+        assert!(
+            e.resources.m20ks >= 4,
+            "tile buffers in M20K: {}",
+            e.resources.m20ks
+        );
         assert_eq!(e.resources.dsps, 16);
     }
 

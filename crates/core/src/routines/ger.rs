@@ -88,8 +88,14 @@ impl Ger {
 
     /// Circuit resource estimate: `W` MAC lanes plus vector tile buffers.
     pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
-        estimate_circuit(CircuitClass::MapFused { w: self.w as u64, macs_per_lane: 1 }, T::PRECISION)
-            .with_buffer((self.tn + self.tm) as u64, T::PRECISION)
+        estimate_circuit(
+            CircuitClass::MapFused {
+                w: self.w as u64,
+                macs_per_lane: 1,
+            },
+            T::PRECISION,
+        )
+        .with_buffer((self.tn + self.tm) as u64, T::PRECISION)
     }
 
     /// Pipeline cost: the matrix stream dominates.
@@ -182,8 +188,14 @@ impl Syr {
 
     /// Circuit resource estimate.
     pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
-        estimate_circuit(CircuitClass::MapFused { w: self.w as u64, macs_per_lane: 1 }, T::PRECISION)
-            .with_buffer((self.tn + self.tm) as u64, T::PRECISION)
+        estimate_circuit(
+            CircuitClass::MapFused {
+                w: self.w as u64,
+                macs_per_lane: 1,
+            },
+            T::PRECISION,
+        )
+        .with_buffer((self.tn + self.tm) as u64, T::PRECISION)
     }
 
     /// Pipeline cost: full square matrix streamed.
@@ -277,8 +289,14 @@ impl Syr2 {
 
     /// Circuit resource estimate: two MAC pairs per lane.
     pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
-        estimate_circuit(CircuitClass::MapFused { w: self.w as u64, macs_per_lane: 2 }, T::PRECISION)
-            .with_buffer(2 * (self.tn + self.tm) as u64, T::PRECISION)
+        estimate_circuit(
+            CircuitClass::MapFused {
+                w: self.w as u64,
+                macs_per_lane: 2,
+            },
+            T::PRECISION,
+        )
+        .with_buffer(2 * (self.tn + self.tm) as u64, T::PRECISION)
     }
 
     /// Pipeline cost: full square matrix streamed.
@@ -291,8 +309,8 @@ impl Syr2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::helpers::{read_matrix, read_vector, read_vector_replayed};
     use crate::helpers::writers::write_matrix;
+    use crate::helpers::{read_matrix, read_vector, read_vector_replayed};
     use crate::host::buffer::DeviceBuffer;
     use fblas_hlssim::channel;
 
@@ -371,7 +389,11 @@ mod tests {
                         Uplo::Upper => j >= i,
                         Uplo::Lower => j <= i,
                     };
-                    let exp = if in_tri { a[i * n + j] + 2.0 * x[i] * x[j] } else { a[i * n + j] };
+                    let exp = if in_tri {
+                        a[i * n + j] + 2.0 * x[i] * x[j]
+                    } else {
+                        a[i * n + j]
+                    };
                     assert!((got[i * n + j] - exp).abs() < 1e-12, "{uplo:?} ({i},{j})");
                 }
             }

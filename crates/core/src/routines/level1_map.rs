@@ -55,12 +55,21 @@ impl Scal {
 
     /// Circuit resource estimate (Table I SCAL coefficients).
     pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
-        estimate_circuit(CircuitClass::Map { w: self.w as u64, ops_per_lane: 1 }, T::PRECISION)
+        estimate_circuit(
+            CircuitClass::Map {
+                w: self.w as u64,
+                ops_per_lane: 1,
+            },
+            T::PRECISION,
+        )
     }
 
     /// Pipeline cost: `C = L + ⌈N/W⌉`.
     pub fn cost<T: Scalar>(&self) -> PipelineCost {
-        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+        PipelineCost::pipelined(
+            self.estimate::<T>().latency,
+            outer_iterations(self.n, self.w),
+        )
     }
 }
 
@@ -94,12 +103,21 @@ impl VecCopy {
 
     /// Circuit resource estimate: pure routing, no arithmetic lanes.
     pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
-        estimate_circuit(CircuitClass::Map { w: self.w as u64, ops_per_lane: 0 }, T::PRECISION)
+        estimate_circuit(
+            CircuitClass::Map {
+                w: self.w as u64,
+                ops_per_lane: 0,
+            },
+            T::PRECISION,
+        )
     }
 
     /// Pipeline cost: `C = L + ⌈N/W⌉`.
     pub fn cost<T: Scalar>(&self) -> PipelineCost {
-        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+        PipelineCost::pipelined(
+            self.estimate::<T>().latency,
+            outer_iterations(self.n, self.w),
+        )
     }
 }
 
@@ -142,12 +160,21 @@ impl Swap {
 
     /// Circuit resource estimate: routing only.
     pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
-        estimate_circuit(CircuitClass::Map { w: self.w as u64, ops_per_lane: 0 }, T::PRECISION)
+        estimate_circuit(
+            CircuitClass::Map {
+                w: self.w as u64,
+                ops_per_lane: 0,
+            },
+            T::PRECISION,
+        )
     }
 
     /// Pipeline cost: `C = L + ⌈N/W⌉`.
     pub fn cost<T: Scalar>(&self) -> PipelineCost {
-        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+        PipelineCost::pipelined(
+            self.estimate::<T>().latency,
+            outer_iterations(self.n, self.w),
+        )
     }
 }
 
@@ -190,14 +217,20 @@ impl Axpy {
     /// Circuit resource estimate: `W` fused mul-add lanes, one DSP each.
     pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
         estimate_circuit(
-            CircuitClass::MapFused { w: self.w as u64, macs_per_lane: 1 },
+            CircuitClass::MapFused {
+                w: self.w as u64,
+                macs_per_lane: 1,
+            },
             T::PRECISION,
         )
     }
 
     /// Pipeline cost: `C = L + ⌈N/W⌉`.
     pub fn cost<T: Scalar>(&self) -> PipelineCost {
-        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+        PipelineCost::pipelined(
+            self.estimate::<T>().latency,
+            outer_iterations(self.n, self.w),
+        )
     }
 }
 
@@ -244,14 +277,20 @@ impl Rot {
     /// Circuit resource estimate: two fused mul-add pairs per lane.
     pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
         estimate_circuit(
-            CircuitClass::MapFused { w: self.w as u64, macs_per_lane: 2 },
+            CircuitClass::MapFused {
+                w: self.w as u64,
+                macs_per_lane: 2,
+            },
             T::PRECISION,
         )
     }
 
     /// Pipeline cost: `C = L + ⌈N/W⌉`.
     pub fn cost<T: Scalar>(&self) -> PipelineCost {
-        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+        PipelineCost::pipelined(
+            self.estimate::<T>().latency,
+            outer_iterations(self.n, self.w),
+        )
     }
 }
 
@@ -323,14 +362,20 @@ impl Rotm {
     /// Circuit resource estimate: two fused mul-add pairs per lane.
     pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
         estimate_circuit(
-            CircuitClass::MapFused { w: self.w as u64, macs_per_lane: 2 },
+            CircuitClass::MapFused {
+                w: self.w as u64,
+                macs_per_lane: 2,
+            },
             T::PRECISION,
         )
     }
 
     /// Pipeline cost: `C = L + ⌈N/W⌉`.
     pub fn cost<T: Scalar>(&self) -> PipelineCost {
-        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+        PipelineCost::pipelined(
+            self.estimate::<T>().latency,
+            outer_iterations(self.n, self.w),
+        )
     }
 }
 
@@ -347,7 +392,9 @@ mod tests {
         let mut sim = Simulation::new();
         let (tx_in, rx_in) = channel(sim.ctx(), 16, "in");
         let (tx_out, rx_out) = channel(sim.ctx(), 16, "out");
-        sim.add_module("src", ModuleKind::Interface, move || tx_in.push_slice(&input));
+        sim.add_module("src", ModuleKind::Interface, move || {
+            tx_in.push_slice(&input)
+        });
         attach(&mut sim, rx_in, tx_out);
         let out = DeviceCollect::new(n);
         let sink = out.clone();
@@ -365,7 +412,10 @@ mod tests {
 
     impl<T: Scalar> DeviceCollect<T> {
         fn new(n: usize) -> Self {
-            DeviceCollect { data: Default::default(), n }
+            DeviceCollect {
+                data: Default::default(),
+                n,
+            }
         }
         fn fill(&self, rx: Receiver<T>) -> Result<(), fblas_hlssim::SimError> {
             let v = rx.pop_n(self.n)?;
@@ -408,8 +458,12 @@ mod tests {
         let (txy, rxy) = channel(sim.ctx(), 8, "y");
         let (tox, rox) = channel(sim.ctx(), 8, "ox");
         let (toy, roy) = channel(sim.ctx(), 8, "oy");
-        sim.add_module("sx", ModuleKind::Interface, move || txx.push_slice(&[1.0f32, 2.0]));
-        sim.add_module("sy", ModuleKind::Interface, move || txy.push_slice(&[9.0f32, 8.0]));
+        sim.add_module("sx", ModuleKind::Interface, move || {
+            txx.push_slice(&[1.0f32, 2.0])
+        });
+        sim.add_module("sy", ModuleKind::Interface, move || {
+            txy.push_slice(&[9.0f32, 8.0])
+        });
         Swap::new(2, 1).attach(&mut sim, rxx, rxy, tox, toy);
         sim.add_module("cx", ModuleKind::Interface, move || {
             assert_eq!(rox.pop_n(2)?, vec![9.0, 8.0]);
@@ -428,8 +482,12 @@ mod tests {
         let (txx, rxx) = channel(sim.ctx(), 8, "x");
         let (txy, rxy) = channel(sim.ctx(), 8, "y");
         let (to, ro) = channel(sim.ctx(), 8, "o");
-        sim.add_module("sx", ModuleKind::Interface, move || txx.push_slice(&[1.0f64, 2.0, 3.0]));
-        sim.add_module("sy", ModuleKind::Interface, move || txy.push_slice(&[10.0f64, 20.0, 30.0]));
+        sim.add_module("sx", ModuleKind::Interface, move || {
+            txx.push_slice(&[1.0f64, 2.0, 3.0])
+        });
+        sim.add_module("sy", ModuleKind::Interface, move || {
+            txy.push_slice(&[10.0f64, 20.0, 30.0])
+        });
         Axpy::new(3, 2).attach(&mut sim, 2.0, rxx, rxy, to);
         sim.add_module("c", ModuleKind::Interface, move || {
             assert_eq!(ro.pop_n(3)?, vec![12.0, 24.0, 36.0]);
@@ -447,8 +505,12 @@ mod tests {
         let (txy, rxy) = channel(sim.ctx(), 8, "y");
         let (tox, rox) = channel(sim.ctx(), 8, "ox");
         let (toy, roy) = channel(sim.ctx(), 8, "oy");
-        sim.add_module("sx", ModuleKind::Interface, move || txx.push_slice(&[3.0f64]));
-        sim.add_module("sy", ModuleKind::Interface, move || txy.push_slice(&[4.0f64]));
+        sim.add_module("sx", ModuleKind::Interface, move || {
+            txx.push_slice(&[3.0f64])
+        });
+        sim.add_module("sy", ModuleKind::Interface, move || {
+            txy.push_slice(&[4.0f64])
+        });
         Rot::new(1, 1).attach(&mut sim, c, s, rxx, rxy, tox, toy);
         sim.add_module("check", ModuleKind::Interface, move || {
             let x = rox.pop()?;
@@ -487,8 +549,12 @@ mod tests {
         let (txy, rxy) = channel(sim.ctx(), 8, "y");
         let (tox, rox) = channel(sim.ctx(), 8, "ox");
         let (toy, roy) = channel(sim.ctx(), 8, "oy");
-        sim.add_module("sx", ModuleKind::Interface, move || txx.push_slice(&[1.0f64, 0.0]));
-        sim.add_module("sy", ModuleKind::Interface, move || txy.push_slice(&[0.0f64, 1.0]));
+        sim.add_module("sx", ModuleKind::Interface, move || {
+            txx.push_slice(&[1.0f64, 0.0])
+        });
+        sim.add_module("sy", ModuleKind::Interface, move || {
+            txy.push_slice(&[0.0f64, 1.0])
+        });
         // param = [-1, h11=1, h21=3, h12=2, h22=4].
         Rotm::new(2, 1).attach(&mut sim, [-1.0, 1.0, 3.0, 2.0, 4.0], rxx, rxy, tox, toy);
         sim.add_module("check", ModuleKind::Interface, move || {

@@ -93,7 +93,10 @@ impl Dot {
 
     /// Pipeline cost: `C = log2(W)·L_A + L_M + N/W` (Sec. IV-A).
     pub fn cost<T: Scalar>(&self) -> PipelineCost {
-        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+        PipelineCost::pipelined(
+            self.estimate::<T>().latency,
+            outer_iterations(self.n, self.w),
+        )
     }
 }
 
@@ -156,7 +159,10 @@ impl Sdsdot {
 
     /// Pipeline cost: `C = L + ⌈N/W⌉`.
     pub fn cost<T: Scalar>(&self) -> PipelineCost {
-        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+        PipelineCost::pipelined(
+            self.estimate::<T>().latency,
+            outer_iterations(self.n, self.w),
+        )
     }
 }
 
@@ -218,7 +224,10 @@ impl Nrm2 {
 
     /// Pipeline cost: `C = L + ⌈N/W⌉`.
     pub fn cost<T: Scalar>(&self) -> PipelineCost {
-        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+        PipelineCost::pipelined(
+            self.estimate::<T>().latency,
+            outer_iterations(self.n, self.w),
+        )
     }
 }
 
@@ -267,7 +276,10 @@ impl Asum {
 
     /// Pipeline cost: `C = L + ⌈N/W⌉`.
     pub fn cost<T: Scalar>(&self) -> PipelineCost {
-        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+        PipelineCost::pipelined(
+            self.estimate::<T>().latency,
+            outer_iterations(self.n, self.w),
+        )
     }
 }
 
@@ -337,7 +349,10 @@ impl Iamax {
 
     /// Pipeline cost: `C = L + ⌈N/W⌉`.
     pub fn cost<T: Scalar>(&self) -> PipelineCost {
-        PipelineCost::pipelined(self.estimate::<T>().latency, outer_iterations(self.n, self.w))
+        PipelineCost::pipelined(
+            self.estimate::<T>().latency,
+            outer_iterations(self.n, self.w),
+        )
     }
 }
 

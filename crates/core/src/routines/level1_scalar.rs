@@ -103,7 +103,12 @@ pub fn rotmg_kernel<T: Scalar>(mut d1: T, mut d2: T, mut x1: T, y1: T) -> (T, T,
     }
     let p2 = d2 * y1;
     if p2 == T::ZERO {
-        return (d1, d2, x1, [-(T::ONE + T::ONE), T::ZERO, T::ZERO, T::ZERO, T::ZERO]);
+        return (
+            d1,
+            d2,
+            x1,
+            [-(T::ONE + T::ONE), T::ZERO, T::ZERO, T::ZERO, T::ZERO],
+        );
     }
     let p1 = d1 * x1;
     let q2 = p2 * y1;
@@ -225,7 +230,9 @@ mod tests {
         let mut sim = Simulation::new();
         let (ti, ri) = channel(sim.ctx(), 4, "in");
         let (to, ro) = channel(sim.ctx(), 4, "out");
-        sim.add_module("src", ModuleKind::Interface, move || ti.push_slice(&[3.0f64, 4.0]));
+        sim.add_module("src", ModuleKind::Interface, move || {
+            ti.push_slice(&[3.0f64, 4.0])
+        });
         Rotg.attach(&mut sim, ri, to);
         sim.add_module("check", ModuleKind::Interface, move || {
             let v = ro.pop_n(4)?;
@@ -246,9 +253,11 @@ mod tests {
 
     #[test]
     fn rotmg_kernel_annihilates() {
-        for &(d1, d2, x1, y1) in
-            &[(2.0f64, 3.0, 1.5, 0.5), (1.0, 1.0, 1.0, 2.0), (0.5, 4.0, -1.0, 0.25)]
-        {
+        for &(d1, d2, x1, y1) in &[
+            (2.0f64, 3.0, 1.5, 0.5),
+            (1.0, 1.0, 1.0, 2.0),
+            (0.5, 4.0, -1.0, 0.25),
+        ] {
             let (_d1n, _d2n, x1n, param) = rotmg_kernel(d1, d2, x1, y1);
             let dec = crate::routines::level1_map::decode_rotm_param(&param).unwrap();
             let (h11, h12, h21, h22) = dec;

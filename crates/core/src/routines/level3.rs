@@ -59,7 +59,15 @@ impl Syrk {
     ) -> Self {
         // Dimension checks are delegated to the underlying GEMM config.
         let _ = Gemm::new(n, n, k, shape, tr, tc);
-        Syrk { n, k, trans, uplo, shape, tr, tc }
+        Syrk {
+            n,
+            k,
+            trans,
+            uplo,
+            shape,
+            tr,
+            tc,
+        }
     }
 
     /// The underlying systolic GEMM configuration (`C` is `n × n`).
@@ -95,8 +103,8 @@ impl Syrk {
             let data = a1.to_host();
             let get = |r: usize, kk: usize| -> T {
                 match trans {
-                    Trans::No => data[r * k + kk],    // A is n×k
-                    Trans::Yes => data[kk * n + r],   // A is k×n
+                    Trans::No => data[r * k + kk],  // A is n×k
+                    Trans::Yes => data[kk * n + r], // A is k×n
                 }
             };
             stream_a_role(&cfg, get, &tx_a)
@@ -175,7 +183,15 @@ impl Syr2k {
         tc: usize,
     ) -> Self {
         let _ = Gemm::new(n, n, k, shape, tr, tc);
-        Syr2k { n, k, trans, uplo, shape, tr, tc }
+        Syr2k {
+            n,
+            k,
+            trans,
+            uplo,
+            shape,
+            tr,
+            tc,
+        }
     }
 
     /// The GEMM configuration of each of the two products.
@@ -384,9 +400,25 @@ pub struct Trsm {
 
 impl Trsm {
     /// Configure a TRSM.
-    pub fn new(m: usize, n: usize, side: Side, uplo: Uplo, trans: Trans, diag: Diag, w: usize) -> Self {
+    pub fn new(
+        m: usize,
+        n: usize,
+        side: Side,
+        uplo: Uplo,
+        trans: Trans,
+        diag: Diag,
+        w: usize,
+    ) -> Self {
         validate_width(w);
-        Trsm { m, n, side, uplo, trans, diag, w }
+        Trsm {
+            m,
+            n,
+            side,
+            uplo,
+            trans,
+            diag,
+            w,
+        }
     }
 
     /// Order of the triangular factor (`m` for Left, `n` for Right).
@@ -510,7 +542,10 @@ impl Trsm {
     /// on-chip triangle buffer.
     pub fn estimate<T: Scalar>(&self) -> ResourceEstimate {
         let lanes = estimate_circuit(
-            CircuitClass::MapFused { w: self.w as u64, macs_per_lane: 1 },
+            CircuitClass::MapFused {
+                w: self.w as u64,
+                macs_per_lane: 1,
+            },
             T::PRECISION,
         );
         let div = OpCosts::div(T::PRECISION);
@@ -613,7 +648,15 @@ mod tests {
     #[test]
     fn syrk_trans_computes_ata() {
         let (n, k) = (4, 7);
-        let cfg = Syrk::new(n, k, Trans::Yes, Uplo::Lower, SystolicShape::new(2, 2), 4, 4);
+        let cfg = Syrk::new(
+            n,
+            k,
+            Trans::Yes,
+            Uplo::Lower,
+            SystolicShape::new(2, 2),
+            4,
+            4,
+        );
         let a = seq(k * n, 3.0); // k×n
         let c0 = vec![0.0f64; n * n];
         let got = run_syrk(cfg, 1.0, 0.0, &a, &c0);
@@ -694,11 +737,7 @@ mod tests {
     }
 
     /// Dense op(A)·X or X·op(A) for building test right-hand sides.
-    fn apply_tri(
-        cfg: &Trsm,
-        a: &[f64],
-        x: &[f64],
-    ) -> Vec<f64> {
+    fn apply_tri(cfg: &Trsm, a: &[f64], x: &[f64]) -> Vec<f64> {
         let ord = cfg.a_order();
         let (m, n) = (cfg.m, cfg.n);
         let mut b = vec![0.0f64; m * n];
@@ -809,12 +848,31 @@ mod tests {
 
     #[test]
     fn estimates_and_costs() {
-        let syrk = Syrk::new(64, 64, Trans::No, Uplo::Upper, SystolicShape::new(4, 4), 8, 8);
+        let syrk = Syrk::new(
+            64,
+            64,
+            Trans::No,
+            Uplo::Upper,
+            SystolicShape::new(4, 4),
+            8,
+            8,
+        );
         assert_eq!(syrk.estimate::<f32>().resources.dsps, 16);
-        let syr2k = Syr2k::new(64, 64, Trans::No, Uplo::Upper, SystolicShape::new(4, 4), 8, 8);
+        let syr2k = Syr2k::new(
+            64,
+            64,
+            Trans::No,
+            Uplo::Upper,
+            SystolicShape::new(4, 4),
+            8,
+            8,
+        );
         assert_eq!(syr2k.estimate::<f32>().resources.dsps, 32, "two arrays");
         let trsm = Trsm::new(64, 8, Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 4);
-        assert!(trsm.estimate::<f32>().resources.m20ks >= 4, "triangle buffer");
+        assert!(
+            trsm.estimate::<f32>().resources.m20ks >= 4,
+            "triangle buffer"
+        );
         assert!(trsm.cost::<f32>().iterations > 0);
     }
 }

@@ -49,7 +49,13 @@ impl Trsv {
     /// Configure a TRSV module.
     pub fn new(n: usize, w: usize, uplo: Uplo, trans: Trans, diag: Diag) -> Self {
         validate_width(w);
-        Trsv { n, w, uplo, trans, diag }
+        Trsv {
+            n,
+            w,
+            uplo,
+            trans,
+            diag,
+        }
     }
 
     /// Whether the triangle must be streamed in reverse row order.
@@ -205,7 +211,11 @@ pub fn read_triangle<T: Scalar>(
         if data.len() != n * n {
             return Err(fblas_hlssim::SimError::module(
                 name,
-                format!("triangle source holds {} elements, expected {}", data.len(), n * n),
+                format!(
+                    "triangle source holds {} elements, expected {}",
+                    data.len(),
+                    n * n
+                ),
             ));
         }
         let rows: Box<dyn Iterator<Item = usize>> = if reverse_rows {

@@ -154,7 +154,10 @@ impl<T: Scalar> InterleavedAccumulator<T> {
     /// Accumulator with an explicit interleaving depth (≥ 1).
     pub fn with_depth(depth: usize) -> Self {
         assert!(depth >= 1, "interleaving depth must be at least 1");
-        InterleavedAccumulator { partials: vec![T::ZERO; depth], idx: 0 }
+        InterleavedAccumulator {
+            partials: vec![T::ZERO; depth],
+            idx: 0,
+        }
     }
 
     /// Accumulator with the depth the hardware needs for `T`: 1 when the

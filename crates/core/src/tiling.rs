@@ -29,12 +29,18 @@ pub enum TileOrder {
 impl TileOrder {
     /// Are tiles scheduled row-of-tiles first?
     pub fn tiles_by_rows(self) -> bool {
-        matches!(self, TileOrder::RowTilesRowMajor | TileOrder::RowTilesColMajor)
+        matches!(
+            self,
+            TileOrder::RowTilesRowMajor | TileOrder::RowTilesColMajor
+        )
     }
 
     /// Are elements within a tile streamed row-major?
     pub fn elements_row_major(self) -> bool {
-        matches!(self, TileOrder::RowTilesRowMajor | TileOrder::ColTilesRowMajor)
+        matches!(
+            self,
+            TileOrder::RowTilesRowMajor | TileOrder::ColTilesRowMajor
+        )
     }
 
     /// The streaming order obtained when this stream is interpreted as
@@ -171,7 +177,16 @@ mod tests {
         let idx = t.stream_indices(4, 4);
         assert_eq!(
             &idx[..8],
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (0, 2), (0, 3), (1, 2), (1, 3)]
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3)
+            ]
         );
         // Second row of tiles starts after the first row of tiles.
         assert_eq!(idx[8], (2, 0));
@@ -184,7 +199,16 @@ mod tests {
         // First the (0,0) tile, then the (1,0) tile below it.
         assert_eq!(
             &idx[..8],
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1), (3, 0), (3, 1)]
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (3, 0),
+                (3, 1)
+            ]
         );
         assert_eq!(idx[8], (0, 2));
     }

@@ -19,17 +19,20 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
+use fblas_trace::EventKind;
 use parking_lot::{Condvar, Mutex};
+use serde::Serialize;
 
 use crate::error::SimError;
-use crate::simulation::{ChannelProbe, CtxShared, SimContext};
+use crate::simulation::{ChannelProbe, CtxShared, SimContext, Waiter};
+use crate::stall::WaitDirection;
 
 /// How long a blocked channel operation sleeps before re-checking the
 /// poison flag. Keeps teardown latency low without busy-waiting.
 const WAIT_SLICE: Duration = Duration::from_millis(2);
 
 /// Occupancy and stall statistics for one channel, taken as a snapshot.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
 pub struct ChannelStats {
     /// Total elements transferred through the channel.
     pub transferred: u64,
@@ -50,7 +53,7 @@ struct ChanState<T> {
 
 struct ChannelCore<T> {
     ctx: Arc<CtxShared>,
-    name: String,
+    name: Arc<str>,
     capacity: usize,
     state: Mutex<ChanState<T>>,
     not_full: Condvar,
@@ -62,18 +65,35 @@ struct ChannelCore<T> {
 /// A thread counts as blocked from its first unfulfilled wait until the
 /// operation completes or errors — *not* per wait slice — so the watchdog
 /// sees a stable `blocked == live` condition during a genuine deadlock.
-struct BlockGuard<'a>(&'a CtxShared);
+/// Alongside the counter, the guard files a [`Waiter`] record (module,
+/// channel, direction) in the context's wait-for table so stall detection
+/// can report *who* is stuck on *what* rather than just *that* the graph
+/// froze.
+struct BlockGuard<'a> {
+    ctx: &'a CtxShared,
+    id: u64,
+}
 
 impl<'a> BlockGuard<'a> {
-    fn new(ctx: &'a CtxShared) -> Self {
+    fn new(ctx: &'a CtxShared, channel: &Arc<str>, direction: WaitDirection) -> Self {
         ctx.blocked.fetch_add(1, Ordering::AcqRel);
-        BlockGuard(ctx)
+        let id = ctx.waiter_seq.fetch_add(1, Ordering::Relaxed);
+        ctx.waiters.lock().insert(
+            id,
+            Waiter {
+                module: fblas_trace::current_module(),
+                channel: channel.clone(),
+                direction,
+            },
+        );
+        BlockGuard { ctx, id }
     }
 }
 
 impl Drop for BlockGuard<'_> {
     fn drop(&mut self) {
-        self.0.blocked.fetch_sub(1, Ordering::AcqRel);
+        self.ctx.waiters.lock().remove(&self.id);
+        self.ctx.blocked.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -85,11 +105,19 @@ impl<T> ChannelCore<T> {
 
 impl<T: Send + 'static> ChannelProbe for ChannelCore<T> {
     fn probe_name(&self) -> String {
-        self.name.clone()
+        self.name.to_string()
     }
 
     fn probe_stats(&self) -> ChannelStats {
         self.state.lock().stats.clone()
+    }
+
+    fn probe_occupancy(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    fn probe_capacity(&self) -> usize {
+        self.capacity
     }
 }
 
@@ -122,7 +150,7 @@ pub fn channel<T: Send + 'static>(
     assert!(capacity >= 1, "channel capacity must be at least 1");
     let core = Arc::new(ChannelCore {
         ctx: ctx.shared(),
-        name: name.into(),
+        name: Arc::from(name.into()),
         capacity,
         state: Mutex::new(ChanState {
             queue: VecDeque::with_capacity(capacity.min(1 << 16)),
@@ -146,6 +174,8 @@ impl<T> Sender<T> {
     /// producer and consumer disagree on element counts (an invalid edge).
     pub fn push(&self, value: T) -> Result<(), SimError> {
         let core = &self.core;
+        let trace_from = fblas_trace::op_start();
+        let mut waited = false;
         let mut blocked: Option<BlockGuard<'_>> = None;
         let mut st = core.state.lock();
         loop {
@@ -153,7 +183,9 @@ impl<T> Sender<T> {
                 return Err(SimError::Poisoned);
             }
             if !st.receiver_alive {
-                return Err(SimError::Disconnected { channel: core.name.clone() });
+                return Err(SimError::Disconnected {
+                    channel: core.name.to_string(),
+                });
             }
             if st.queue.len() < core.capacity {
                 st.queue.push_back(value);
@@ -164,11 +196,16 @@ impl<T> Sender<T> {
                 }
                 core.ctx.epoch.fetch_add(1, Ordering::Release);
                 core.not_empty.notify_one();
+                drop(st);
+                if let Some(from) = trace_from {
+                    fblas_trace::record_channel_op(EventKind::Push, &core.name, from, waited);
+                }
                 return Ok(());
             }
             st.stats.full_stalls += 1;
+            waited = true;
             if blocked.is_none() {
-                blocked = Some(BlockGuard::new(&core.ctx));
+                blocked = Some(BlockGuard::new(&core.ctx, &core.name, WaitDirection::Full));
             }
             core.not_full.wait_for(&mut st, WAIT_SLICE);
         }
@@ -216,6 +253,8 @@ impl<T> Receiver<T> {
     /// elements than were produced (count-mismatched composition).
     pub fn pop(&self) -> Result<T, SimError> {
         let core = &self.core;
+        let trace_from = fblas_trace::op_start();
+        let mut waited = false;
         let mut blocked: Option<BlockGuard<'_>> = None;
         let mut st = core.state.lock();
         loop {
@@ -225,14 +264,21 @@ impl<T> Receiver<T> {
             if let Some(v) = st.queue.pop_front() {
                 core.ctx.epoch.fetch_add(1, Ordering::Release);
                 core.not_full.notify_one();
+                drop(st);
+                if let Some(from) = trace_from {
+                    fblas_trace::record_channel_op(EventKind::Pop, &core.name, from, waited);
+                }
                 return Ok(v);
             }
             if !st.sender_alive {
-                return Err(SimError::Disconnected { channel: core.name.clone() });
+                return Err(SimError::Disconnected {
+                    channel: core.name.to_string(),
+                });
             }
             st.stats.empty_stalls += 1;
+            waited = true;
             if blocked.is_none() {
-                blocked = Some(BlockGuard::new(&core.ctx));
+                blocked = Some(BlockGuard::new(&core.ctx, &core.name, WaitDirection::Empty));
             }
             core.not_empty.wait_for(&mut st, WAIT_SLICE);
         }

@@ -32,7 +32,11 @@ pub struct PipelineCost {
 impl PipelineCost {
     /// A perfectly pipelined module (`I = 1`).
     pub fn pipelined(latency: u64, iterations: u64) -> Self {
-        PipelineCost { latency, initiation_interval: 1, iterations }
+        PipelineCost {
+            latency,
+            initiation_interval: 1,
+            iterations,
+        }
     }
 
     /// Total cycles to completion: `C = L + I·M`.
@@ -105,7 +109,11 @@ mod tests {
 
     #[test]
     fn initiation_interval_scales_iterations() {
-        let c = PipelineCost { latency: 10, initiation_interval: 2, iterations: 100 };
+        let c = PipelineCost {
+            latency: 10,
+            initiation_interval: 2,
+            iterations: 100,
+        };
         assert_eq!(c.cycles(), 10 + 200);
     }
 

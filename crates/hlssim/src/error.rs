@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::stall::StallReport;
+
 /// Errors surfaced by the dataflow simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -10,8 +12,10 @@ pub enum SimError {
     /// period. This is the deterministic rendering of the paper's
     /// "the composition would stall forever" (Sec. V-B).
     Stall {
-        /// Human-readable description of where the stall was observed.
-        detail: String,
+        /// Wait-for graph snapshot taken at detection time, before
+        /// poisoning: per blocked module, the channel it waited on, the
+        /// direction (full vs. empty), and the FIFO state.
+        report: StallReport,
     },
     /// A channel was poisoned (by stall detection or by a peer module
     /// failing); the pending operation cannot complete.
@@ -47,10 +51,13 @@ impl SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Stall { detail } => write!(f, "composition stalled: {detail}"),
+            SimError::Stall { report } => write!(f, "composition stalled: {report}"),
             SimError::Poisoned => write!(f, "channel poisoned during teardown"),
             SimError::Disconnected { channel } => {
-                write!(f, "channel `{channel}` disconnected mid-stream (protocol mismatch)")
+                write!(
+                    f,
+                    "channel `{channel}` disconnected mid-stream (protocol mismatch)"
+                )
             }
             SimError::Module { module, detail } => {
                 write!(f, "module `{module}` failed: {detail}")
@@ -64,27 +71,56 @@ impl std::error::Error for SimError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stall::{BlockedModule, WaitDirection};
+
+    fn stall_report() -> StallReport {
+        StallReport {
+            grace_ms: 250,
+            epoch: 3,
+            blocked: vec![BlockedModule {
+                module: "a".into(),
+                channel: "ch".into(),
+                direction: WaitDirection::Empty,
+                occupancy: 0,
+                capacity: 1,
+            }],
+        }
+    }
 
     #[test]
     fn display_formats_are_informative() {
-        let e = SimError::Stall { detail: "all 3 modules blocked".into() };
+        let e = SimError::Stall {
+            report: stall_report(),
+        };
         assert!(e.to_string().contains("stalled"));
-        let e = SimError::Disconnected { channel: "ch_x".into() };
+        assert!(e.to_string().contains("blocked modules"));
+        assert!(e.to_string().contains("`ch`"));
+        let e = SimError::Disconnected {
+            channel: "ch_x".into(),
+        };
         assert!(e.to_string().contains("ch_x"));
         let e = SimError::module("dot", "bad N");
         assert!(e.to_string().contains("dot") && e.to_string().contains("bad N"));
-        assert_eq!(SimError::Poisoned.to_string(), "channel poisoned during teardown");
+        assert_eq!(
+            SimError::Poisoned.to_string(),
+            "channel poisoned during teardown"
+        );
     }
 
     #[test]
     fn equality_distinguishes_variants() {
         assert_ne!(
             SimError::Poisoned,
-            SimError::Stall { detail: String::new() }
+            SimError::Stall {
+                report: stall_report()
+            }
         );
         assert_eq!(
             SimError::module("a", "b"),
-            SimError::Module { module: "a".into(), detail: "b".into() }
+            SimError::Module {
+                module: "a".into(),
+                detail: "b".into()
+            }
         );
     }
 }

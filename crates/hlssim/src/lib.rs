@@ -32,9 +32,11 @@ pub mod cycles;
 pub mod error;
 pub mod module;
 pub mod simulation;
+pub mod stall;
 
 pub use channel::{channel, ChannelStats, Receiver, Sender};
 pub use cycles::{streamed_cycles, CompositionCost, PipelineCost};
 pub use error::SimError;
 pub use module::{ModuleKind, ModuleSpec};
-pub use simulation::{SimContext, Simulation, SimulationReport};
+pub use simulation::{default_grace, SimContext, Simulation, SimulationReport};
+pub use stall::{BlockedModule, StallReport, WaitDirection};

@@ -36,7 +36,11 @@ impl ModuleSpec {
         kind: ModuleKind,
         body: impl FnOnce() -> Result<(), SimError> + Send + 'static,
     ) -> Self {
-        ModuleSpec { name: name.into(), kind, body: Box::new(body) }
+        ModuleSpec {
+            name: name.into(),
+            kind,
+            body: Box::new(body),
+        }
     }
 
     /// The module's display name.

@@ -11,15 +11,19 @@
 //! unblocking everyone with [`SimError::Poisoned`] and reporting
 //! [`SimError::Stall`] to the caller.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+use fblas_trace::{ModuleScope, Tracer};
 use parking_lot::Mutex;
+use serde::Serialize;
 
 use crate::channel::ChannelStats;
 use crate::error::SimError;
 use crate::module::{ModuleKind, ModuleSpec};
+use crate::stall::{BlockedModule, StallReport, WaitDirection};
 
 /// Type-erased view of a live channel, registered at creation so the
 /// runner can snapshot FIFO statistics into the report — the software
@@ -29,6 +33,22 @@ pub(crate) trait ChannelProbe: Send + Sync {
     fn probe_name(&self) -> String;
     /// Statistics snapshot.
     fn probe_stats(&self) -> ChannelStats;
+    /// Current queue occupancy.
+    fn probe_occupancy(&self) -> usize;
+    /// FIFO capacity.
+    fn probe_capacity(&self) -> usize;
+}
+
+/// A thread currently blocked on a channel operation: one edge of the
+/// wait-for graph, filed by the channel's `BlockGuard` and harvested by
+/// the watchdog to build a [`StallReport`].
+pub(crate) struct Waiter {
+    /// Module the blocked thread belongs to (from the trace scope), if any.
+    pub(crate) module: Option<Arc<str>>,
+    /// Channel being waited on.
+    pub(crate) channel: Arc<str>,
+    /// Full (push side) or empty (pop side).
+    pub(crate) direction: WaitDirection,
 }
 
 /// Shared simulation-wide state observed by channels and the watchdog.
@@ -46,6 +66,14 @@ pub(crate) struct CtxShared {
     /// final report can include them (the context itself is dropped
     /// when the run ends).
     pub(crate) probes: Mutex<Vec<Arc<dyn ChannelProbe>>>,
+    /// Wait-for table: one entry per thread currently blocked on a
+    /// channel, keyed by a registration id. The watchdog snapshots this
+    /// (copy out, then release the lock) *before* poisoning, so the
+    /// forensics reflect the actual deadlock rather than the poison
+    /// cascade.
+    pub(crate) waiters: Mutex<HashMap<u64, Waiter>>,
+    /// Id source for waiter registrations.
+    pub(crate) waiter_seq: AtomicU64,
 }
 
 /// Handle to the shared state; create channels against it and pass it to a
@@ -65,6 +93,8 @@ impl SimContext {
                 live: AtomicUsize::new(0),
                 poisoned: AtomicBool::new(false),
                 probes: Mutex::new(Vec::new()),
+                waiters: Mutex::new(HashMap::new()),
+                waiter_seq: AtomicU64::new(0),
             }),
         }
     }
@@ -114,7 +144,7 @@ impl Default for SimContext {
 }
 
 /// Outcome of a completed (non-stalled) simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct SimulationReport {
     /// Names of the modules that ran.
     pub modules: Vec<String>,
@@ -149,23 +179,101 @@ pub struct Simulation {
     ctx: SimContext,
     modules: Vec<ModuleSpec>,
     grace: Duration,
+    tracer: Option<Tracer>,
 }
 
-/// Default stall-detection grace period: the watchdog requires the epoch to
-/// be frozen with all live modules blocked for this long before declaring a
-/// stall. Long enough to be robust against scheduling noise, short enough
-/// for tests that deliberately construct invalid compositions.
+/// Baseline stall-detection grace period: the watchdog requires the epoch
+/// to be frozen with all live modules blocked for this long before
+/// declaring a stall. Long enough to be robust against scheduling noise,
+/// short enough for tests that deliberately construct invalid
+/// compositions.
 const DEFAULT_GRACE: Duration = Duration::from_millis(250);
+
+/// The grace period new simulations start with: [`DEFAULT_GRACE`] unless
+/// the `FBLAS_STALL_GRACE_MS` environment variable overrides it (useful on
+/// heavily loaded CI machines where 250 ms of global scheduling starvation
+/// is not impossible). Read once and cached; unparsable values fall back
+/// to the default. Per-simulation [`Simulation::set_grace`] still wins.
+pub fn default_grace() -> Duration {
+    static GRACE: OnceLock<Duration> = OnceLock::new();
+    *GRACE.get_or_init(|| parse_grace(std::env::var("FBLAS_STALL_GRACE_MS").ok().as_deref()))
+}
+
+fn parse_grace(raw: Option<&str>) -> Duration {
+    raw.and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|ms| *ms > 0)
+        .map(Duration::from_millis)
+        .unwrap_or(DEFAULT_GRACE)
+}
+
+/// Resolve the wait-for table into a [`StallReport`]: per blocked thread,
+/// the module, channel, direction, and the channel's occupancy/capacity.
+///
+/// The table is copied out under its lock and the probes resolved after
+/// releasing it: channel threads take `waiters` while holding their state
+/// lock, and the occupancy probe needs that state lock, so holding both
+/// here could deadlock the watchdog itself.
+fn snapshot_stall(shared: &CtxShared, grace: Duration, epoch: u64) -> StallReport {
+    let waiting: Vec<(Option<Arc<str>>, Arc<str>, WaitDirection)> = shared
+        .waiters
+        .lock()
+        .values()
+        .map(|w| (w.module.clone(), w.channel.clone(), w.direction))
+        .collect();
+    let probes = shared.probes.lock();
+    let mut blocked: Vec<BlockedModule> = waiting
+        .into_iter()
+        .map(|(module, channel, direction)| {
+            let probe = probes.iter().find(|p| p.probe_name() == *channel);
+            BlockedModule {
+                module: module
+                    .map(|m| m.to_string())
+                    .unwrap_or_else(|| "?".to_string()),
+                channel: channel.to_string(),
+                direction,
+                occupancy: probe.map(|p| p.probe_occupancy()).unwrap_or(0),
+                capacity: probe.map(|p| p.probe_capacity()).unwrap_or(0),
+            }
+        })
+        .collect();
+    blocked.sort_by(|a, b| {
+        (a.module.as_str(), a.channel.as_str()).cmp(&(b.module.as_str(), b.channel.as_str()))
+    });
+    StallReport {
+        grace_ms: grace.as_millis() as u64,
+        epoch,
+        blocked,
+    }
+}
 
 impl Simulation {
     /// Create an empty simulation with its own fresh [`SimContext`].
     pub fn new() -> Self {
-        Simulation { ctx: SimContext::new(), modules: Vec::new(), grace: DEFAULT_GRACE }
+        Simulation {
+            ctx: SimContext::new(),
+            modules: Vec::new(),
+            grace: default_grace(),
+            tracer: None,
+        }
     }
 
     /// Create a simulation over an existing context.
     pub fn with_ctx(ctx: SimContext) -> Self {
-        Simulation { ctx, modules: Vec::new(), grace: DEFAULT_GRACE }
+        Simulation {
+            ctx,
+            modules: Vec::new(),
+            grace: default_grace(),
+            tracer: None,
+        }
+    }
+
+    /// Attach a tracer: module threads get trace lanes (run span, channel
+    /// ops, stall spans) and the watchdog samples channel occupancy into
+    /// the tracer's time series on every poll. Without a tracer the
+    /// simulation runs with the zero-overhead disabled path.
+    pub fn set_tracer(&mut self, tracer: Tracer) -> &mut Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// The context channels must be created against.
@@ -206,14 +314,19 @@ impl Simulation {
     /// if the watchdog detected a deadlocked composition. On success the
     /// report carries the wall time and total transfer count.
     pub fn run(self) -> Result<SimulationReport, SimError> {
-        let Simulation { ctx, modules, grace } = self;
+        let Simulation {
+            ctx,
+            modules,
+            grace,
+            tracer,
+        } = self;
         let shared = ctx.shared();
         let names: Vec<String> = modules.iter().map(|m| m.name.clone()).collect();
         let n = modules.len();
         shared.live.store(n, Ordering::Release);
 
         let start = Instant::now();
-        let mut stalled = false;
+        let mut stall_report: Option<StallReport> = None;
         let mut results: Vec<Option<Result<(), SimError>>> = Vec::new();
         results.resize_with(n, || None);
 
@@ -222,13 +335,18 @@ impl Simulation {
             for spec in modules {
                 let shared = shared.clone();
                 let name = spec.name.clone();
+                let tracer = tracer.clone();
                 handles.push(s.spawn(move || {
+                    // The scope installs the module identity for waiter
+                    // registration and (when a tracer is attached) a trace
+                    // lane; dropping it records the module's run span.
+                    let _scope = ModuleScope::enter(&name, tracer.as_ref());
                     // A panicking module must still decrement `live`, or
                     // the watchdog can never conclude anything about the
                     // remaining modules.
                     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(spec.body))
                         .unwrap_or_else(|_| {
-                            Err(SimError::module(name, "module thread panicked"))
+                            Err(SimError::module(name.clone(), "module thread panicked"))
                         });
                     shared.live.fetch_sub(1, Ordering::AcqRel);
                     r
@@ -236,10 +354,23 @@ impl Simulation {
             }
 
             // Watchdog: poll until all threads finish or a stall is seen.
+            // Each poll doubles as a channel-occupancy sampling tick when a
+            // tracer is attached.
             let poll = Duration::from_millis(5);
             let mut last_epoch = shared.epoch.load(Ordering::Acquire);
             let mut frozen_since = Instant::now();
             loop {
+                if let Some(tracer) = &tracer {
+                    let t_us = tracer.now_us();
+                    for probe in shared.probes.lock().iter() {
+                        let occ = probe.probe_occupancy();
+                        tracer.record_sample(
+                            &format!("occ:{}", probe.probe_name()),
+                            t_us,
+                            occ as f64,
+                        );
+                    }
+                }
                 if shared.live.load(Ordering::Acquire) == 0 {
                     break;
                 }
@@ -253,7 +384,14 @@ impl Simulation {
                     continue;
                 }
                 if frozen_since.elapsed() >= grace {
-                    stalled = true;
+                    // Snapshot the wait-for graph *before* poisoning:
+                    // poisoning wakes every blocked thread with `Poisoned`
+                    // and their waiter registrations vanish as they
+                    // unwind. (The previous implementation reconstructed
+                    // the blocked set from which modules returned errors
+                    // after the join — but poisoning makes *every* module
+                    // error, so that list named innocent bystanders.)
+                    stall_report = Some(snapshot_stall(&shared, grace, epoch));
                     shared.poisoned.store(true, Ordering::Release);
                     break;
                 }
@@ -268,20 +406,11 @@ impl Simulation {
 
         let wall_time = start.elapsed();
 
-        if stalled {
-            let blocked: Vec<&str> = names
-                .iter()
-                .zip(&results)
-                .filter(|(_, r)| matches!(r, Some(Err(_))))
-                .map(|(n, _)| n.as_str())
-                .collect();
-            return Err(SimError::Stall {
-                detail: format!(
-                    "no channel progress for {:?}; blocked modules: [{}]",
-                    grace,
-                    blocked.join(", ")
-                ),
-            });
+        if let Some(report) = stall_report {
+            if let Some(tracer) = &tracer {
+                tracer.metrics().counter_add("sim.stalls", 1);
+            }
+            return Err(SimError::Stall { report });
         }
 
         // Surface the first real module error (ignoring poison cascades).
@@ -300,11 +429,30 @@ impl Simulation {
             return Err(SimError::Poisoned);
         }
 
-        let channel_stats = SimContext { shared: shared.clone() }.channel_stats();
+        let channel_stats = SimContext {
+            shared: shared.clone(),
+        }
+        .channel_stats();
+        let transfers = shared.epoch.load(Ordering::Acquire);
+        if let Some(tracer) = &tracer {
+            tracer.metrics().counter_add("sim.transfers", transfers);
+            tracer
+                .metrics()
+                .gauge_set("sim.wall_time_us", wall_time.as_micros() as f64);
+            for (name, stats) in &channel_stats {
+                tracer
+                    .metrics()
+                    .histogram_observe("channel.max_occupancy", stats.max_occupancy as f64);
+                tracer.metrics().gauge_set(
+                    &format!("channel.{name}.transferred"),
+                    stats.transferred as f64,
+                );
+            }
+        }
         Ok(SimulationReport {
             modules: names,
             wall_time,
-            transfers: shared.epoch.load(Ordering::Acquire),
+            transfers,
             channel_stats,
         })
     }
@@ -320,6 +468,7 @@ impl Default for Simulation {
 mod tests {
     use super::*;
     use crate::channel;
+    use crate::stall::WaitDirection;
 
     #[test]
     fn two_module_pipeline_completes() {
@@ -376,8 +525,18 @@ mod tests {
             Ok(())
         });
         match sim.run() {
-            Err(SimError::Stall { detail }) => {
-                assert!(detail.contains("blocked modules"));
+            Err(SimError::Stall { report }) => {
+                assert!(report.to_string().contains("blocked modules"));
+                assert_eq!(report.blocked.len(), 2);
+                let a = report.blocked_on("a").expect("module a in wait-for graph");
+                assert_eq!(a.channel, "b_to_a");
+                assert_eq!(a.direction, WaitDirection::Empty);
+                assert_eq!(a.occupancy, 0);
+                assert_eq!(a.capacity, 1);
+                let b = report.blocked_on("b").expect("module b in wait-for graph");
+                assert_eq!(b.channel, "a_to_b");
+                assert_eq!(b.direction, WaitDirection::Empty);
+                assert_eq!(b.occupancy, 0);
             }
             other => panic!("expected stall, got {other:?}"),
         }
@@ -411,9 +570,22 @@ mod tests {
             Ok(())
         });
         // The `never` module exits immediately, so live drops to 2, both
-        // blocked => stall.
+        // blocked => stall. The forensics must name the undersized FIFO
+        // (full, at capacity) for the producer and the starved `res`
+        // channel (empty) for the consumer.
         match sim.run() {
-            Err(SimError::Stall { .. }) => {}
+            Err(SimError::Stall { report }) => {
+                let p = report.blocked_on("producer").expect("producer blocked");
+                assert_eq!(p.channel, "small");
+                assert_eq!(p.direction, WaitDirection::Full);
+                assert_eq!(p.occupancy, 4);
+                assert_eq!(p.capacity, 4);
+                let c = report.blocked_on("consumer").expect("consumer blocked");
+                assert_eq!(c.channel, "res");
+                assert_eq!(c.direction, WaitDirection::Empty);
+                assert_eq!(c.occupancy, 0);
+                assert_eq!(c.capacity, 1);
+            }
             other => panic!("expected stall, got {other:?}"),
         }
     }
@@ -456,13 +628,64 @@ mod tests {
         let mut sim = Simulation::new();
         let (tx, rx) = channel::<u32>(sim.ctx(), 4, "probed");
         sim.add_module("src", ModuleKind::Interface, move || tx.push_iter(0..100));
-        sim.add_module("sink", ModuleKind::Compute, move || rx.pop_n(100).map(|_| ()));
+        sim.add_module("sink", ModuleKind::Compute, move || {
+            rx.pop_n(100).map(|_| ())
+        });
         let report = sim.run().unwrap();
         assert_eq!(report.channel_stats.len(), 1);
         let (name, stats) = &report.channel_stats[0];
         assert_eq!(name, "probed");
         assert_eq!(stats.transferred, 100);
         assert!(stats.max_occupancy <= 4);
+    }
+
+    #[test]
+    fn grace_override_parses_and_rejects_garbage() {
+        assert_eq!(parse_grace(None), DEFAULT_GRACE);
+        assert_eq!(parse_grace(Some("40")), Duration::from_millis(40));
+        assert_eq!(parse_grace(Some(" 1000 ")), Duration::from_millis(1000));
+        assert_eq!(parse_grace(Some("0")), DEFAULT_GRACE);
+        assert_eq!(parse_grace(Some("soon")), DEFAULT_GRACE);
+    }
+
+    #[test]
+    fn tracer_collects_lanes_and_occupancy_series() {
+        let tracer = Tracer::new();
+        let mut sim = Simulation::new();
+        sim.set_tracer(tracer.clone());
+        let (tx, rx) = channel::<u64>(sim.ctx(), 2, "traced");
+        sim.add_module("src", ModuleKind::Interface, move || tx.push_iter(0..5000));
+        sim.add_module("sink", ModuleKind::Compute, move || {
+            rx.pop_n(5000).map(|_| ())
+        });
+        sim.run().unwrap();
+
+        let lanes = tracer.lanes();
+        let mut modules: Vec<&str> = lanes.iter().map(|l| &*l.module).collect();
+        modules.sort_unstable();
+        assert_eq!(modules, ["sink", "src"]);
+        let src = lanes.iter().find(|l| &*l.module == "src").unwrap();
+        assert_eq!(src.pushes, 5000);
+        // 5000 elements through a depth-2 FIFO outlives several 5 ms
+        // watchdog polls, so the occupancy series exists.
+        assert!(tracer.series().contains_key("occ:traced"));
+        let metrics = tracer.metrics().snapshot();
+        assert_eq!(metrics.counters["sim.transfers"], 10000);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel::<u8>(sim.ctx(), 4, "ser");
+        sim.add_module("src", ModuleKind::Interface, move || tx.push_iter(0..10));
+        sim.add_module("sink", ModuleKind::Compute, move || {
+            rx.pop_n(10).map(|_| ())
+        });
+        let report = sim.run().unwrap();
+        let text = serde_json::to_string(&report).unwrap();
+        assert!(text.contains("\"modules\""));
+        assert!(text.contains("\"ser\""));
+        assert!(text.contains("\"max_occupancy\""));
     }
 
     #[test]

@@ -86,7 +86,14 @@ pub fn gemver<T: Real>(
     z: &[T],
 ) -> GemverResult<T> {
     assert_eq!(a.len(), n * n, "gemver: A must be n*n");
-    for (name, v) in [("u1", u1), ("v1", v1), ("u2", u2), ("v2", v2), ("y", y), ("z", z)] {
+    for (name, v) in [
+        ("u1", u1),
+        ("v1", v1),
+        ("u2", u2),
+        ("v2", v2),
+        ("y", y),
+        ("z", z),
+    ] {
         assert_eq!(v.len(), n, "gemver: {name} length");
     }
     let mut b = a.to_vec();

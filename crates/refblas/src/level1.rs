@@ -28,7 +28,12 @@ pub fn rotg<T: Real>(a: T, b: T) -> Givens<T> {
     let roe = if a.abs() > b.abs() { a } else { b };
     let scale = a.abs() + b.abs();
     if scale == T::ZERO {
-        return Givens { r: T::ZERO, z: T::ZERO, c: T::ONE, s: T::ZERO };
+        return Givens {
+            r: T::ZERO,
+            z: T::ZERO,
+            c: T::ONE,
+            s: T::ZERO,
+        };
     }
     let sa = a / scale;
     let sb = b / scale;
@@ -188,11 +193,27 @@ pub fn rotmg<T: Real>(mut d1: T, mut d2: T, mut x1: T, y1: T) -> RotmgResult<T> 
     }
 
     let param = match flag {
-        RotmFlag::Full => RotmParam { flag, h11, h12, h21, h22 },
-        RotmFlag::OffDiagonal => {
-            RotmParam { flag, h11: T::ZERO, h12, h21, h22: T::ZERO }
-        }
-        RotmFlag::Diagonal => RotmParam { flag, h11, h12: T::ZERO, h21: T::ZERO, h22 },
+        RotmFlag::Full => RotmParam {
+            flag,
+            h11,
+            h12,
+            h21,
+            h22,
+        },
+        RotmFlag::OffDiagonal => RotmParam {
+            flag,
+            h11: T::ZERO,
+            h12,
+            h21,
+            h22: T::ZERO,
+        },
+        RotmFlag::Diagonal => RotmParam {
+            flag,
+            h11,
+            h12: T::ZERO,
+            h21: T::ZERO,
+            h22,
+        },
         RotmFlag::Identity => RotmParam {
             flag,
             h11: T::ZERO,
@@ -453,7 +474,13 @@ mod tests {
     fn rotm_identity_flag_is_noop() {
         let mut x = vec![1.0f32, 2.0];
         let mut y = vec![3.0f32, 4.0];
-        let p = RotmParam { flag: RotmFlag::Identity, h11: 9.0, h12: 9.0, h21: 9.0, h22: 9.0 };
+        let p = RotmParam {
+            flag: RotmFlag::Identity,
+            h11: 9.0,
+            h12: 9.0,
+            h21: 9.0,
+            h22: 9.0,
+        };
         rotm(&mut x, &mut y, &p);
         assert_eq!(x, vec![1.0, 2.0]);
         assert_eq!(y, vec![3.0, 4.0]);

@@ -276,7 +276,9 @@ mod tests {
     }
 
     fn seq_matrix(rows: usize, cols: usize, seed: f64) -> Vec<f64> {
-        (0..rows * cols).map(|i| ((i as f64 + seed) * 0.37).sin()).collect()
+        (0..rows * cols)
+            .map(|i| ((i as f64 + seed) * 0.37).sin())
+            .collect()
     }
 
     #[test]
@@ -408,7 +410,17 @@ mod tests {
         // B = A·X
         let mut bmat = vec![0.0f64; m * n];
         gemm(Trans::No, Trans::No, m, n, m, 1.0, &a, &x, 0.0, &mut bmat);
-        trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, m, n, 1.0, &a, &mut bmat);
+        trsm(
+            Side::Left,
+            Uplo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            m,
+            n,
+            1.0,
+            &a,
+            &mut bmat,
+        );
         close_slice(&bmat, &x, 1e-10);
     }
 
@@ -427,7 +439,17 @@ mod tests {
         // B = X·A (A lower): b_{ij} = Σ_l x_{il} a_{lj}
         let mut bmat = vec![0.0f64; m * n];
         gemm(Trans::No, Trans::No, m, n, n, 1.0, &x, &a, 0.0, &mut bmat);
-        trsm(Side::Right, Uplo::Lower, Trans::No, Diag::NonUnit, m, n, 1.0, &a, &mut bmat);
+        trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::No,
+            Diag::NonUnit,
+            m,
+            n,
+            1.0,
+            &a,
+            &mut bmat,
+        );
         close_slice(&bmat, &x, 1e-10);
     }
 
@@ -455,7 +477,17 @@ mod tests {
                 bmat[i * n + j] = acc;
             }
         }
-        trsm(Side::Left, Uplo::Lower, Trans::Yes, Diag::Unit, m, n, 1.0, &a, &mut bmat);
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::Yes,
+            Diag::Unit,
+            m,
+            n,
+            1.0,
+            &a,
+            &mut bmat,
+        );
         close_slice(&bmat, &x, 1e-10);
     }
 
@@ -465,7 +497,17 @@ mod tests {
         let n = 2;
         let a = vec![2.0f64, 0.0, 0.0, 4.0];
         let mut b = vec![2.0f64, 4.0, 8.0, 16.0];
-        trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, m, n, 3.0, &a, &mut b);
+        trsm(
+            Side::Left,
+            Uplo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            m,
+            n,
+            3.0,
+            &a,
+            &mut b,
+        );
         close_slice(&b, &[3.0, 6.0, 6.0, 12.0], 1e-12);
     }
 
@@ -473,6 +515,17 @@ mod tests {
     #[should_panic(expected = "gemm: C must be m*n")]
     fn gemm_bad_c_panics() {
         let mut c = vec![0.0f64; 3];
-        gemm(Trans::No, Trans::No, 2, 2, 2, 1.0, &[0.0; 4], &[0.0; 4], 0.0, &mut c);
+        gemm(
+            Trans::No,
+            Trans::No,
+            2,
+            2,
+            2,
+            1.0,
+            &[0.0; 4],
+            &[0.0; 4],
+            0.0,
+            &mut c,
+        );
     }
 }

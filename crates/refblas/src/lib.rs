@@ -18,7 +18,6 @@
 #![allow(clippy::too_many_arguments)] // BLAS signatures are what they are
 #![allow(clippy::needless_range_loop)] // explicit indices mirror the math
 #![allow(clippy::identity_op)] // row*stride + col kept explicit in tests
-
 #![warn(missing_docs)]
 
 pub mod apps;

@@ -14,7 +14,9 @@ use crate::types::Trans;
 
 /// Default worker count: the machine's available parallelism.
 pub fn default_threads() -> usize {
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Split `n` items into at most `parts` contiguous ranges of near-equal
@@ -54,7 +56,10 @@ pub fn dot<T: Real>(x: &[T], y: &[T], threads: usize) -> T {
                 s.spawn(move || crate::level1::dot(xs, ys))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("dot worker")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dot worker"))
+            .sum()
     })
 }
 
@@ -133,7 +138,18 @@ pub fn gemm<T: Real>(
             let a_rows = &a[r.start * k..r.end * k];
             let nrows = r.len();
             s.spawn(move || {
-                gemm_serial(Trans::No, transb, nrows, n, k, alpha, a_rows, b, beta, block);
+                gemm_serial(
+                    Trans::No,
+                    transb,
+                    nrows,
+                    n,
+                    k,
+                    alpha,
+                    a_rows,
+                    b,
+                    beta,
+                    block,
+                );
             });
         }
     });
@@ -198,7 +214,19 @@ mod tests {
         let mut c_ref = seq(m * n, 3.0);
         let mut c_par = c_ref.clone();
         gemm_serial(Trans::No, Trans::No, m, n, k, 0.9, &a, &b, 0.4, &mut c_ref);
-        gemm(Trans::No, Trans::No, m, n, k, 0.9, &a, &b, 0.4, &mut c_par, 5);
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            0.9,
+            &a,
+            &b,
+            0.4,
+            &mut c_par,
+            5,
+        );
         for i in 0..m * n {
             assert!((c_ref[i] - c_par[i]).abs() < 1e-12);
         }
@@ -211,8 +239,31 @@ mod tests {
         let b = seq(k * n, 2.0);
         let mut c_ref = vec![0.0f64; m * n];
         let mut c_par = vec![0.0f64; m * n];
-        gemm_serial(Trans::Yes, Trans::No, m, n, k, 1.0, &at, &b, 0.0, &mut c_ref);
-        gemm(Trans::Yes, Trans::No, m, n, k, 1.0, &at, &b, 0.0, &mut c_par, 4);
+        gemm_serial(
+            Trans::Yes,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            &at,
+            &b,
+            0.0,
+            &mut c_ref,
+        );
+        gemm(
+            Trans::Yes,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            &at,
+            &b,
+            0.0,
+            &mut c_par,
+            4,
+        );
         assert_eq!(c_ref, c_par);
     }
 

@@ -1,0 +1,414 @@
+//! # fblas-trace — observability for the streaming simulator
+//!
+//! The FBLAS paper reasons about compositions in terms of *module*
+//! activity over time: circuits compute concurrently, FIFO channels
+//! apply backpressure (Sec. IV), and an invalid composition "stalls
+//! forever" (Sec. V-B). This crate makes those dynamics visible for the
+//! software simulator:
+//!
+//! * an **event layer** ([`TraceEvent`], [`ModuleScope`]) — per-thread
+//!   ring buffers recording module start/end, channel push/pop, and
+//!   full/empty stall spans with monotonic timestamps. When no tracer is
+//!   attached the instrumentation reduces to one thread-local read per
+//!   channel operation;
+//! * **exporters** — Chrome/Perfetto `trace_event` JSON
+//!   ([`perfetto`]) with one lane per module and stall spans colored,
+//!   plus a plain-text run summary ([`summary`]);
+//! * a **metrics registry** ([`MetricsRegistry`]) of counters, gauges,
+//!   and histograms, fed by the simulator's watchdog-driven sampler with
+//!   channel-occupancy time series.
+//!
+//! Stall forensics (the wait-for snapshot carried by
+//! `SimError::Stall`) live in the simulator crate, which owns the
+//! channel state; this crate supplies the module-identity thread-local
+//! the snapshot draws names from ([`current_module`]).
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod perfetto;
+pub mod summary;
+
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// What a single trace event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum EventKind {
+    /// A module's whole execution, from thread start to completion.
+    ModuleRun,
+    /// One element pushed into a channel (instant).
+    Push,
+    /// One element popped from a channel (instant).
+    Pop,
+    /// The producer waited on a full FIFO for the span's duration.
+    FullStall,
+    /// The consumer waited on an empty FIFO for the span's duration.
+    EmptyStall,
+}
+
+/// One recorded event: a span (`dur_us > 0` possible) or an instant
+/// (`dur_us == 0`). Timestamps are microseconds from the owning
+/// [`Tracer`]'s creation, so all lanes share one monotonic clock.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceEvent {
+    /// Event class.
+    pub kind: EventKind,
+    /// Channel involved, if any (`None` for [`EventKind::ModuleRun`]).
+    pub channel: Option<Arc<str>>,
+    /// Start timestamp, µs since tracer creation.
+    pub start_us: u64,
+    /// Duration in µs; 0 for instants.
+    pub dur_us: u64,
+}
+
+/// Everything one module (thread) recorded, flushed when its
+/// [`ModuleScope`] drops.
+#[derive(Debug, Clone, Serialize)]
+pub struct Lane {
+    /// Module name.
+    pub module: String,
+    /// Scope entry timestamp (µs since tracer creation).
+    pub started_us: u64,
+    /// Scope exit timestamp.
+    pub ended_us: u64,
+    /// Recorded events, oldest first. The ring drops the *oldest*
+    /// events on overflow — the tail of a run matters most when
+    /// diagnosing a stall.
+    pub events: Vec<TraceEvent>,
+    /// Events discarded because the ring was full.
+    pub dropped: u64,
+    /// Total pushes performed by this module.
+    pub pushes: u64,
+    /// Total pops performed by this module.
+    pub pops: u64,
+    /// Cumulative µs spent blocked on full FIFOs.
+    pub full_stall_us: u64,
+    /// Cumulative µs spent blocked on empty FIFOs.
+    pub empty_stall_us: u64,
+}
+
+/// Default per-lane event-ring capacity.
+const DEFAULT_LANE_CAPACITY: usize = 4096;
+
+struct TracerInner {
+    origin: Instant,
+    lane_capacity: usize,
+    lanes: Mutex<Vec<Lane>>,
+    /// Sampled time series, e.g. channel occupancy: name → (t_us, value).
+    series: Mutex<BTreeMap<String, Vec<(u64, f64)>>>,
+    metrics: MetricsRegistry,
+}
+
+/// Collects lanes, series, and metrics for one (or several) simulation
+/// runs. Cheap to clone; all clones share the same store and clock.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// A tracer with the default per-lane ring capacity.
+    pub fn new() -> Self {
+        Self::with_lane_capacity(DEFAULT_LANE_CAPACITY)
+    }
+
+    /// A tracer whose per-module event rings hold `capacity` events.
+    pub fn with_lane_capacity(capacity: usize) -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                origin: Instant::now(),
+                lane_capacity: capacity.max(16),
+                lanes: Mutex::new(Vec::new()),
+                series: Mutex::new(BTreeMap::new()),
+                metrics: MetricsRegistry::new(),
+            }),
+        }
+    }
+
+    /// Microseconds elapsed since this tracer was created.
+    pub fn now_us(&self) -> u64 {
+        self.inner.origin.elapsed().as_micros() as u64
+    }
+
+    /// Append one sample to a named time series (used by the simulator
+    /// watchdog to record channel occupancy).
+    pub fn record_sample(&self, series: &str, t_us: u64, value: f64) {
+        let mut s = self.inner.series.lock();
+        s.entry(series.to_string()).or_default().push((t_us, value));
+    }
+
+    /// Snapshot of all flushed lanes, in flush order.
+    pub fn lanes(&self) -> Vec<Lane> {
+        self.inner.lanes.lock().clone()
+    }
+
+    /// Snapshot of all sampled time series.
+    pub fn series(&self) -> BTreeMap<String, Vec<(u64, f64)>> {
+        self.inner.series.lock().clone()
+    }
+
+    /// The metrics registry shared by all clones of this tracer.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    fn flush_lane(&self, lane: Lane) {
+        self.inner.lanes.lock().push(lane);
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ------------------------------------------------- thread-local scope
+
+/// Per-thread recording state while a module body runs.
+struct ScopeData {
+    module: Arc<str>,
+    /// Present only when a tracer is attached; module identity alone is
+    /// enough for stall forensics.
+    rec: Option<Recorder>,
+}
+
+struct Recorder {
+    tracer: Tracer,
+    started_us: u64,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    pushes: u64,
+    pops: u64,
+    full_stall_us: u64,
+    empty_stall_us: u64,
+}
+
+impl Recorder {
+    fn record(&mut self, ev: TraceEvent) {
+        let cap = self.tracer.inner.lane_capacity;
+        if self.events.len() >= cap {
+            // Drop-oldest: shift out the front half in one move so the
+            // amortized cost stays O(1) per event.
+            let keep = cap / 2;
+            let excess = self.events.len() - keep;
+            self.events.drain(..excess);
+            self.dropped += excess as u64;
+        }
+        self.events.push(ev);
+    }
+}
+
+thread_local! {
+    static SCOPE: RefCell<Option<ScopeData>> = const { RefCell::new(None) };
+}
+
+/// RAII marker that the current thread is executing a named module.
+///
+/// Installs the module identity (always) and an event recorder (when a
+/// tracer is given) in a thread-local; on drop, records the module's
+/// run span and flushes the lane to the tracer. The previous scope, if
+/// any, is restored — nested scopes (e.g. a composition component
+/// around a host call) each get their own lane.
+pub struct ModuleScope {
+    prev: Option<ScopeData>,
+}
+
+impl ModuleScope {
+    /// Enter a module scope on the current thread.
+    pub fn enter(module: &str, tracer: Option<&Tracer>) -> ModuleScope {
+        let rec = tracer.map(|t| Recorder {
+            tracer: t.clone(),
+            started_us: t.now_us(),
+            events: Vec::new(),
+            dropped: 0,
+            pushes: 0,
+            pops: 0,
+            full_stall_us: 0,
+            empty_stall_us: 0,
+        });
+        let data = ScopeData {
+            module: Arc::from(module),
+            rec,
+        };
+        let prev = SCOPE.with(|s| s.borrow_mut().replace(data));
+        ModuleScope { prev }
+    }
+}
+
+impl Drop for ModuleScope {
+    fn drop(&mut self) {
+        let data = SCOPE.with(|s| {
+            let mut slot = s.borrow_mut();
+            let cur = slot.take();
+            *slot = self.prev.take();
+            cur
+        });
+        let Some(data) = data else { return };
+        let Some(mut rec) = data.rec else { return };
+        let ended_us = rec.tracer.now_us();
+        rec.record(TraceEvent {
+            kind: EventKind::ModuleRun,
+            channel: None,
+            start_us: rec.started_us,
+            dur_us: ended_us.saturating_sub(rec.started_us),
+        });
+        let tracer = rec.tracer.clone();
+        tracer.flush_lane(Lane {
+            module: data.module.to_string(),
+            started_us: rec.started_us,
+            ended_us,
+            events: rec.events,
+            dropped: rec.dropped,
+            pushes: rec.pushes,
+            pops: rec.pops,
+            full_stall_us: rec.full_stall_us,
+            empty_stall_us: rec.empty_stall_us,
+        });
+    }
+}
+
+/// Name of the module the current thread is executing, if any. The
+/// simulator's stall forensics use this to attribute blocked channel
+/// waits to modules.
+pub fn current_module() -> Option<Arc<str>> {
+    SCOPE.with(|s| s.borrow().as_ref().map(|d| d.module.clone()))
+}
+
+/// Timestamp the start of a channel operation — `Some(now)` only when
+/// the current thread is actively recording. The `None` path is the
+/// tracing-disabled fast path: one thread-local read and a branch.
+#[inline]
+pub fn op_start() -> Option<u64> {
+    SCOPE.with(|s| {
+        s.borrow()
+            .as_ref()
+            .and_then(|d| d.rec.as_ref())
+            .map(|r| r.tracer.now_us())
+    })
+}
+
+/// Record a completed channel operation. `kind` must be
+/// [`EventKind::Push`] or [`EventKind::Pop`]; `started_us` is the value
+/// [`op_start`] returned before the operation; `waited` says whether
+/// the operation blocked (producing a stall span from `started_us` to
+/// now).
+pub fn record_channel_op(kind: EventKind, channel: &Arc<str>, started_us: u64, waited: bool) {
+    SCOPE.with(|s| {
+        let mut slot = s.borrow_mut();
+        let Some(rec) = slot.as_mut().and_then(|d| d.rec.as_mut()) else {
+            return;
+        };
+        let now = rec.tracer.now_us();
+        if waited {
+            let dur = now.saturating_sub(started_us);
+            let stall_kind = match kind {
+                EventKind::Push => EventKind::FullStall,
+                _ => EventKind::EmptyStall,
+            };
+            match stall_kind {
+                EventKind::FullStall => rec.full_stall_us += dur,
+                _ => rec.empty_stall_us += dur,
+            }
+            rec.record(TraceEvent {
+                kind: stall_kind,
+                channel: Some(channel.clone()),
+                start_us: started_us,
+                dur_us: dur,
+            });
+        }
+        match kind {
+            EventKind::Push => rec.pushes += 1,
+            _ => rec.pops += 1,
+        }
+        rec.record(TraceEvent {
+            kind,
+            channel: Some(channel.clone()),
+            start_us: now,
+            dur_us: 0,
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_flushes_a_lane_with_run_span() {
+        let tracer = Tracer::new();
+        {
+            let _scope = ModuleScope::enter("m0", Some(&tracer));
+            assert_eq!(current_module().unwrap().as_ref(), "m0");
+            let ch: Arc<str> = Arc::from("ch");
+            let t0 = op_start().expect("recording active");
+            record_channel_op(EventKind::Push, &ch, t0, false);
+            record_channel_op(EventKind::Pop, &ch, t0, true);
+        }
+        let lanes = tracer.lanes();
+        assert_eq!(lanes.len(), 1);
+        let lane = &lanes[0];
+        assert_eq!(lane.module, "m0");
+        assert_eq!(lane.pushes, 1);
+        assert_eq!(lane.pops, 1);
+        let runs: Vec<_> = lane
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::ModuleRun)
+            .collect();
+        assert_eq!(runs.len(), 1);
+        assert!(lane.events.iter().any(|e| e.kind == EventKind::EmptyStall));
+    }
+
+    #[test]
+    fn no_tracer_means_no_recording_but_identity_is_kept() {
+        let _scope = ModuleScope::enter("bare", None);
+        assert_eq!(current_module().unwrap().as_ref(), "bare");
+        assert!(op_start().is_none());
+    }
+
+    #[test]
+    fn nested_scopes_restore_the_outer_module() {
+        let tracer = Tracer::new();
+        let _outer = ModuleScope::enter("outer", Some(&tracer));
+        {
+            let _inner = ModuleScope::enter("inner", Some(&tracer));
+            assert_eq!(current_module().unwrap().as_ref(), "inner");
+        }
+        assert_eq!(current_module().unwrap().as_ref(), "outer");
+        assert_eq!(tracer.lanes().len(), 1); // only the inner lane flushed so far
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let tracer = Tracer::with_lane_capacity(16);
+        {
+            let _scope = ModuleScope::enter("hot", Some(&tracer));
+            let ch: Arc<str> = Arc::from("c");
+            for _ in 0..100 {
+                record_channel_op(EventKind::Push, &ch, 0, false);
+            }
+        }
+        let lane = &tracer.lanes()[0];
+        assert_eq!(lane.pushes, 100);
+        assert!(lane.dropped > 0);
+        assert!(lane.events.len() <= 17); // ring + the final ModuleRun span
+    }
+
+    #[test]
+    fn series_accumulate_in_order() {
+        let tracer = Tracer::new();
+        tracer.record_sample("occ:ch", 1, 0.0);
+        tracer.record_sample("occ:ch", 2, 3.0);
+        let series = tracer.series();
+        assert_eq!(series["occ:ch"], vec![(1, 0.0), (2, 3.0)]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Metrics registry: counters, gauges, and histograms.
+//!
+//! Shared by the simulator (occupancy sampling, stall accounting) and
+//! the benchmark harness (run metadata). Snapshots serialize to JSON so
+//! bench outputs can embed them.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// Log₂-bucketed histogram: bucket `i` counts values in `[2^(i-1), 2^i)`
+/// (bucket 0 counts values `< 1`). Enough resolution to distinguish a
+/// 2 µs stall from a 2 ms one without storing samples.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Log₂ bucket counts.
+    pub buckets: Vec<u64>,
+}
+
+const BUCKETS: usize = 32;
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let ix = if value < 1.0 {
+            0
+        } else {
+            ((value.log2() as usize) + 1).min(BUCKETS - 1)
+        };
+        self.buckets[ix] += 1;
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of the registry contents.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe registry of named counters, gauges, and histograms.
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Add `delta` to a counter, creating it at zero if absent.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        *self.counters.lock().entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set a gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.gauges.lock().insert(name.to_string(), value);
+    }
+
+    /// Record one observation into a histogram.
+    pub fn histogram_observe(&self, name: &str, value: f64) {
+        self.histograms
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(Histogram::new)
+            .observe(value);
+    }
+
+    /// Copy out the current contents.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.lock().clone(),
+            gauges: self.gauges.lock().clone(),
+            histograms: self.histograms.lock().clone(),
+        }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("transfers", 3);
+        reg.counter_add("transfers", 4);
+        reg.gauge_set("depth", 8.0);
+        reg.gauge_set("depth", 16.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["transfers"], 7);
+        assert_eq!(snap.gauges["depth"], 16.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        let reg = MetricsRegistry::new();
+        for v in [0.5, 1.5, 2.0, 1000.0] {
+            reg.histogram_observe("stall_us", v);
+        }
+        let snap = reg.snapshot();
+        let h = &snap.histograms["stall_us"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 1000.0);
+        assert_eq!(h.buckets[0], 1); // 0.5
+        assert!((h.mean() - 251.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("n", 1);
+        reg.histogram_observe("h", 2.0);
+        let text = serde_json::to_string(&reg.snapshot()).unwrap();
+        assert!(text.contains("\"counters\""));
+        assert!(text.contains("\"histograms\""));
+    }
+}

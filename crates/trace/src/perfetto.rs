@@ -1,0 +1,173 @@
+//! Chrome/Perfetto `trace_event` JSON exporter.
+//!
+//! Produces the classic JSON object format (`{"traceEvents": [...]}`)
+//! that both `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! load directly. Layout: one process ("fblas simulation"), one thread
+//! lane per module. Each lane carries the module's run as a complete
+//! (`"X"`) span, stall spans colored by kind (full-FIFO waits red,
+//! empty-FIFO waits orange), and push/pop instants. Channel-occupancy
+//! time series sampled by the watchdog become counter (`"C"`) tracks.
+
+use serde_json::Value;
+
+use crate::{EventKind, Tracer};
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(text: impl Into<String>) -> Value {
+    Value::Str(text.into())
+}
+
+/// Build the `trace_event` document for everything `tracer` recorded.
+pub fn trace_value(tracer: &Tracer) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    let pid = Value::U64(1);
+
+    for (ix, lane) in tracer.lanes().iter().enumerate() {
+        let tid = Value::U64(ix as u64 + 1);
+        // Lane label.
+        events.push(obj(vec![
+            ("ph", s("M")),
+            ("name", s("thread_name")),
+            ("pid", pid.clone()),
+            ("tid", tid.clone()),
+            ("args", obj(vec![("name", s(&lane.module))])),
+        ]));
+        for ev in &lane.events {
+            let chan = ev.channel.as_deref().unwrap_or("");
+            match ev.kind {
+                EventKind::ModuleRun => events.push(obj(vec![
+                    ("ph", s("X")),
+                    ("name", s(&lane.module)),
+                    ("cat", s("module")),
+                    ("pid", pid.clone()),
+                    ("tid", tid.clone()),
+                    ("ts", Value::U64(ev.start_us)),
+                    ("dur", Value::U64(ev.dur_us.max(1))),
+                ])),
+                EventKind::FullStall | EventKind::EmptyStall => {
+                    let (label, color) = match ev.kind {
+                        EventKind::FullStall => ("full", "terrible"), // red
+                        _ => ("empty", "bad"),                        // orange
+                    };
+                    events.push(obj(vec![
+                        ("ph", s("X")),
+                        ("name", s(format!("stall[{label}] {chan}"))),
+                        ("cat", s("stall")),
+                        ("cname", s(color)),
+                        ("pid", pid.clone()),
+                        ("tid", tid.clone()),
+                        ("ts", Value::U64(ev.start_us)),
+                        ("dur", Value::U64(ev.dur_us.max(1))),
+                        ("args", obj(vec![("channel", s(chan))])),
+                    ]));
+                }
+                EventKind::Push | EventKind::Pop => {
+                    let name = match ev.kind {
+                        EventKind::Push => format!("push {chan}"),
+                        _ => format!("pop {chan}"),
+                    };
+                    events.push(obj(vec![
+                        ("ph", s("i")),
+                        ("name", s(name)),
+                        ("cat", s("channel")),
+                        ("s", s("t")),
+                        ("pid", pid.clone()),
+                        ("tid", tid.clone()),
+                        ("ts", Value::U64(ev.start_us)),
+                    ]));
+                }
+            }
+        }
+    }
+
+    // Occupancy (and any other sampled) series as counter tracks.
+    for (name, samples) in tracer.series() {
+        for (t_us, value) in samples {
+            events.push(obj(vec![
+                ("ph", s("C")),
+                ("name", s(&name)),
+                ("pid", pid.clone()),
+                ("ts", Value::U64(t_us)),
+                ("args", obj(vec![("value", Value::F64(value))])),
+            ]));
+        }
+    }
+
+    obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", s("ms")),
+        (
+            "otherData",
+            obj(vec![
+                ("producer", s("fblas-trace")),
+                ("schema", s("chrome-trace-event")),
+            ]),
+        ),
+    ])
+}
+
+/// The document as pretty-printed JSON text.
+pub fn trace_json(tracer: &Tracer) -> String {
+    serde_json::to_string_pretty(&trace_value(tracer)).expect("value tree always serializes")
+}
+
+/// Write the document to a file.
+pub fn write_trace(tracer: &Tracer, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, trace_json(tracer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{record_channel_op, ModuleScope};
+    use std::sync::Arc;
+
+    #[test]
+    fn export_contains_one_complete_span_per_module() {
+        let tracer = Tracer::new();
+        for name in ["alpha", "beta"] {
+            let _scope = ModuleScope::enter(name, Some(&tracer));
+            let ch: Arc<str> = Arc::from("ch");
+            record_channel_op(EventKind::Push, &ch, 0, true);
+        }
+        tracer.record_sample("occ:ch", 5, 2.0);
+
+        let text = trace_json(&tracer);
+        let doc: Value = serde_json::from_str(&text).expect("exporter emits valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+
+        for name in ["alpha", "beta"] {
+            let spans: Vec<_> = events
+                .iter()
+                .filter(|e| {
+                    e.get("ph").and_then(Value::as_str) == Some("X")
+                        && e.get("cat").and_then(Value::as_str) == Some("module")
+                        && e.get("name").and_then(Value::as_str) == Some(name)
+                })
+                .collect();
+            assert_eq!(
+                spans.len(),
+                1,
+                "module {name} must have exactly one run span"
+            );
+            assert!(spans[0].get("dur").and_then(Value::as_u64).unwrap() >= 1);
+        }
+        // Stall spans are colored.
+        assert!(events.iter().any(|e| {
+            e.get("cat").and_then(Value::as_str) == Some("stall")
+                && e.get("cname").and_then(Value::as_str).is_some()
+        }));
+        // The counter series is present.
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Value::as_str) == Some("C")));
+    }
+}

@@ -38,8 +38,12 @@ fn main() {
             k.kind,
             k.precision,
             k.width,
-            k.tiles.map(|(a, b)| format!(", tiles {a}x{b}")).unwrap_or_default(),
-            k.systolic.map(|(a, b)| format!(", systolic {a}x{b}")).unwrap_or_default(),
+            k.tiles
+                .map(|(a, b)| format!(", tiles {a}x{b}"))
+                .unwrap_or_default(),
+            k.systolic
+                .map(|(a, b)| format!(", systolic {a}x{b}"))
+                .unwrap_or_default(),
         );
         println!(
             "   estimate: {} | latency {} cycles",
@@ -66,9 +70,20 @@ fn main() {
     let f = 350.0e6;
     println!("optimal widths at {:.0} MHz:", f / 1e6);
     let w = optimal_width(stratix.dram_bank_bandwidth, f, Precision::Single, 2);
-    println!("  DOT from one bank ({:.1} GB/s): W = {w}", stratix.dram_bank_bandwidth / 1e9);
+    println!(
+        "  DOT from one bank ({:.1} GB/s): W = {w}",
+        stratix.dram_bank_bandwidth / 1e9
+    );
     let w = optimal_width(stratix.total_dram_bandwidth(), f, Precision::Single, 2);
-    println!("  DOT from all banks ({:.1} GB/s): W = {w}", stratix.total_dram_bandwidth() / 1e9);
-    let w = optimal_width_tiled(stratix.dram_bank_bandwidth, f, Precision::Single, 1024 * 1024);
+    println!(
+        "  DOT from all banks ({:.1} GB/s): W = {w}",
+        stratix.total_dram_bandwidth() / 1e9
+    );
+    let w = optimal_width_tiled(
+        stratix.dram_bank_bandwidth,
+        f,
+        Precision::Single,
+        1024 * 1024,
+    );
     println!("  tiled GEMV from one bank: W = {w} (tiling doubles the width)");
 }

@@ -30,10 +30,19 @@ fn main() {
 
     // 3. Level 1: SCAL, AXPY, DOT.
     let t = blas::scal(&fpga, 0.5, &x, 16).expect("scal");
-    println!("sscal : {:>10.2} us  ({:.0} MHz, {} DSPs)", t.micros(), t.freq_hz / 1e6, t.resources.dsps);
+    println!(
+        "sscal : {:>10.2} us  ({:.0} MHz, {} DSPs)",
+        t.micros(),
+        t.freq_hz / 1e6,
+        t.resources.dsps
+    );
 
     let t = blas::axpy(&fpga, 2.0, &x, &y, 16).expect("axpy");
-    println!("saxpy : {:>10.2} us  (memory bound: {})", t.micros(), t.memory_bound);
+    println!(
+        "saxpy : {:>10.2} us  (memory bound: {})",
+        t.micros(),
+        t.memory_bound
+    );
 
     let (d, t) = blas::dot(&fpga, &x, &y, 32).expect("dot");
     println!("sdot  : {:>10.2} us  -> {:.3}", t.micros(), d);
@@ -41,12 +50,32 @@ fn main() {
     // 4. Level 2: GEMV with the paper's default tuning (1024x1024
     //    tiles, width 16), clamped to the problem.
     let m = 512usize;
-    let a = fpga.alloc_from("A", (0..m * m).map(|i| ((i % 13) as f32) * 0.1).collect::<Vec<_>>());
+    let a = fpga.alloc_from(
+        "A",
+        (0..m * m)
+            .map(|i| ((i % 13) as f32) * 0.1)
+            .collect::<Vec<_>>(),
+    );
     let xv = fpga.alloc_from("xv", vec![1.0f32; m]);
     let yv = fpga.alloc_from("yv", vec![0.0f32; m]);
-    let t = blas::gemv(&fpga, Trans::No, m, m, 1.0, &a, &xv, 0.0, &yv, &GemvTuning::default())
-        .expect("gemv");
-    println!("sgemv : {:>10.2} us  (power {:.1} W)", t.micros(), t.power_w);
+    let t = blas::gemv(
+        &fpga,
+        Trans::No,
+        m,
+        m,
+        1.0,
+        &a,
+        &xv,
+        0.0,
+        &yv,
+        &GemvTuning::default(),
+    )
+    .expect("gemv");
+    println!(
+        "sgemv : {:>10.2} us  (power {:.1} W)",
+        t.micros(),
+        t.power_w
+    );
     println!("y[0..4] = {:?}", &yv.to_host()[..4]);
 
     // 5. Asynchronous call: enqueue NRM2 and wait on the event.

@@ -30,11 +30,26 @@ fn main() {
     let (_z, beta_h, rep_h) = axpydot_host_layer(&fpga, &w, &v, &u, 1.0, 16).expect("host layer");
     assert_eq!(beta_s, beta_h);
     println!("AXPYDOT (N = {n}):");
-    println!("  host layer : {:>9.1} us, {:>8} I/O elements", rep_h.micros(), rep_h.io_elements);
-    println!("  streaming  : {:>9.1} us, {:>8} I/O elements", rep_s.micros(), rep_s.io_elements);
-    println!("  speedup    : {:.2}x (paper Fig. 11: ~4x)", rep_h.seconds / rep_s.seconds);
+    println!(
+        "  host layer : {:>9.1} us, {:>8} I/O elements",
+        rep_h.micros(),
+        rep_h.io_elements
+    );
+    println!(
+        "  streaming  : {:>9.1} us, {:>8} I/O elements",
+        rep_s.micros(),
+        rep_s.io_elements
+    );
+    println!(
+        "  speedup    : {:.2}x (paper Fig. 11: ~4x)",
+        rep_h.seconds / rep_s.seconds
+    );
     let g = axpydot_mdag(n as u64);
-    println!("  MDAG: {:?}, multitree: {:?}\n", g.validate(), g.is_multitree());
+    println!(
+        "  MDAG: {:?}, multitree: {:?}\n",
+        g.validate(),
+        g.is_multitree()
+    );
 
     // ---------------- BICG (Fig. 7) ----------------
     let nn = 256usize;
@@ -47,9 +62,20 @@ fn main() {
     let rep_s = bicg_streaming(&fpga, nn, nn, &a, &p, &r, &q, &s, &tuning).expect("bicg");
     let rep_h = bicg_host_layer(&fpga, nn, nn, &a, &p, &r, &q, &s, &tuning).expect("bicg host");
     println!("BICG ({nn}x{nn}): A read once instead of twice");
-    println!("  host layer : {:>9.1} us, {:>8} I/O elements", rep_h.micros(), rep_h.io_elements);
-    println!("  streaming  : {:>9.1} us, {:>8} I/O elements", rep_s.micros(), rep_s.io_elements);
-    println!("  speedup    : {:.2}x (paper: expected 1.7x, measured <= 1.45x)\n", rep_h.seconds / rep_s.seconds);
+    println!(
+        "  host layer : {:>9.1} us, {:>8} I/O elements",
+        rep_h.micros(),
+        rep_h.io_elements
+    );
+    println!(
+        "  streaming  : {:>9.1} us, {:>8} I/O elements",
+        rep_s.micros(),
+        rep_s.io_elements
+    );
+    println!(
+        "  speedup    : {:.2}x (paper: expected 1.7x, measured <= 1.45x)\n",
+        rep_h.seconds / rep_s.seconds
+    );
 
     // ---------------- ATAX (Fig. 8): validity matters ----------------
     let (an, am) = (96usize, 64usize);

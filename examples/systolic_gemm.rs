@@ -27,11 +27,24 @@ fn main() {
     let b_buf = fpga.alloc_from("B", b.clone());
     let c_buf = fpga.alloc_from("C", c0.clone());
     let shape = SystolicShape::new(4, 4);
-    let t = blas::gemm(&fpga, n, m, k, 1.5, &a_buf, &b_buf, 0.5, &c_buf, shape, 8, 8)
-        .expect("gemm");
+    let t = blas::gemm(
+        &fpga, n, m, k, 1.5, &a_buf, &b_buf, 0.5, &c_buf, shape, 8, 8,
+    )
+    .expect("gemm");
 
     let mut c_ref = c0;
-    level3::gemm(Trans::No, Trans::No, n, m, k, 1.5f32, &a, &b, 0.5, &mut c_ref);
+    level3::gemm(
+        Trans::No,
+        Trans::No,
+        n,
+        m,
+        k,
+        1.5f32,
+        &a,
+        &b,
+        0.5,
+        &mut c_ref,
+    );
     let got = c_buf.to_host();
     let max_err = got
         .iter()
@@ -39,11 +52,18 @@ fn main() {
         .map(|(x, y)| (x - y).abs())
         .fold(0.0f32, f32::max);
     println!("functional check vs CPU reference: max |err| = {max_err:.2e}");
-    println!("estimated time {:.1} us at {:.0} MHz\n", t.micros(), t.freq_hz / 1e6);
+    println!(
+        "estimated time {:.1} us at {:.0} MHz\n",
+        t.micros(),
+        t.freq_hz / 1e6
+    );
 
     // Tile-ratio sweep: the Fig. 10 (right) effect.
     println!("compute/memory tile ratio sweep (40x80 array, f32, Stratix):");
-    println!("{:>6} {:>12} {:>12} {:>10}", "ratio", "efficiency", "Gflop/s", "of peak");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "ratio", "efficiency", "Gflop/s", "of peak"
+    );
     let shape = SystolicShape::new(40, 80);
     let fm = FrequencyModel::new(Device::Stratix10Gx2800);
     for ratio in [1usize, 2, 3, 4, 6, 8, 12] {

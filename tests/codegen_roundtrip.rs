@@ -2,7 +2,9 @@
 //! generated configurations that actually run on the simulator.
 
 use fblas_arch::{Device, Precision};
-use fblas_core::codegen::{generate, generate_spec_file, CodegenError, RoutineKind, RoutineSpec, SpecFile};
+use fblas_core::codegen::{
+    generate, generate_spec_file, CodegenError, RoutineKind, RoutineSpec, SpecFile,
+};
 
 fn spec_for(kind: RoutineKind, prefix: char) -> RoutineSpec {
     let name = match kind {
@@ -13,7 +15,12 @@ fn spec_for(kind: RoutineKind, prefix: char) -> RoutineSpec {
     let mut s = RoutineSpec::named(name);
     if matches!(
         kind,
-        RoutineKind::Trsv | RoutineKind::Syr | RoutineKind::Syr2 | RoutineKind::Syrk | RoutineKind::Syr2k | RoutineKind::Trsm
+        RoutineKind::Trsv
+            | RoutineKind::Syr
+            | RoutineKind::Syr2
+            | RoutineKind::Syrk
+            | RoutineKind::Syr2k
+            | RoutineKind::Trsm
     ) {
         s.uplo = Some("lower".into());
     }
@@ -21,7 +28,10 @@ fn spec_for(kind: RoutineKind, prefix: char) -> RoutineSpec {
         s.tile_n = Some(64);
         s.tile_m = Some(64);
     }
-    if matches!(kind, RoutineKind::Gemm | RoutineKind::Syrk | RoutineKind::Syr2k) {
+    if matches!(
+        kind,
+        RoutineKind::Gemm | RoutineKind::Syrk | RoutineKind::Syr2k
+    ) {
         s.systolic_rows = Some(8);
         s.systolic_cols = Some(8);
     }
@@ -74,13 +84,19 @@ fn generated_estimates_fit_or_fail_placement_like_the_paper() {
     let stratix = Device::Stratix10Gx2800.model();
     let total =
         k128.estimate.resources + fblas_arch::design_overhead(Device::Stratix10Gx2800, true);
-    assert!(stratix.fits(&total), "DDOT W=128 fits the Stratix (paper max)");
+    assert!(
+        stratix.fits(&total),
+        "DDOT W=128 fits the Stratix (paper max)"
+    );
 }
 
 #[test]
 fn spec_file_json_round_trip_preserves_everything() {
     let file = SpecFile {
-        routines: vec![spec_for(RoutineKind::Gemv, 's'), spec_for(RoutineKind::Gemm, 'd')],
+        routines: vec![
+            spec_for(RoutineKind::Gemv, 's'),
+            spec_for(RoutineKind::Gemm, 'd'),
+        ],
     };
     let json = file.to_json();
     let kernels = generate_spec_file(&json).unwrap();

@@ -39,7 +39,9 @@ fn overcounting_producer_blocks_then_disconnects() {
     // must observe the dropped receiver, not hang.
     let mut sim = Simulation::new();
     let (tx, rx) = channel::<f32>(sim.ctx(), 8, "over");
-    sim.add_module("src", ModuleKind::Interface, move || tx.push_iter((0..100).map(|i| i as f32)));
+    sim.add_module("src", ModuleKind::Interface, move || {
+        tx.push_iter((0..100).map(|i| i as f32))
+    });
     sim.add_module("sink", ModuleKind::Compute, move || {
         let _ = rx.pop_n(50)?;
         Ok(())
@@ -89,10 +91,8 @@ fn external_poison_cancels_a_running_simulation() {
             i += 1;
         }
     });
-    sim.add_module("sink", ModuleKind::Compute, move || {
-        loop {
-            let _ = rx.pop()?;
-        }
+    sim.add_module("sink", ModuleKind::Compute, move || loop {
+        let _ = rx.pop()?;
     });
     // Cancel from outside after a moment.
     let killer = std::thread::spawn(move || {
@@ -232,7 +232,10 @@ fn disconnect_in_one_branch_fails_the_whole_composition() {
         // whichever module's error is collected first names its own
         // channel. Any of the cascade channels is a correct report.
         Err(SimError::Disconnected { channel }) => {
-            assert!(["u_short", "z", "w", "v"].contains(&channel.as_str()), "{channel}");
+            assert!(
+                ["u_short", "z", "w", "v"].contains(&channel.as_str()),
+                "{channel}"
+            );
         }
         other => panic!("unexpected: {other:?}"),
     }
@@ -264,7 +267,9 @@ fn width_larger_than_problem_still_correct() {
     let mut sim = Simulation::new();
     let (tx, rx) = channel::<f64>(sim.ctx(), 4, "x");
     let (to, ro) = channel::<f64>(sim.ctx(), 4, "o");
-    sim.add_module("src", ModuleKind::Interface, move || tx.push_slice(&[1.0, 2.0, 3.0]));
+    sim.add_module("src", ModuleKind::Interface, move || {
+        tx.push_slice(&[1.0, 2.0, 3.0])
+    });
     Scal::new(3, 1024).attach(&mut sim, 2.0, rx, to);
     let out = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
     let out2 = out.clone();

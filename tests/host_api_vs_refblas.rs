@@ -275,25 +275,75 @@ fn gemm_and_syrk_match_reference() {
     let a = f.alloc_from("a", a0.clone());
     let b = f.alloc_from("b", b0.clone());
     let c = f.alloc_from("c", c0.clone());
-    blas::gemm(&f, n, m, k, 1.4, &a, &b, 0.3, &c, SystolicShape::new(2, 2), 4, 4).unwrap();
+    blas::gemm(
+        &f,
+        n,
+        m,
+        k,
+        1.4,
+        &a,
+        &b,
+        0.3,
+        &c,
+        SystolicShape::new(2, 2),
+        4,
+        4,
+    )
+    .unwrap();
     let mut exp = c0.clone();
-    refblas::level3::gemm(refblas::Trans::No, refblas::Trans::No, n, m, k, 1.4, &a0, &b0, 0.3, &mut exp);
+    refblas::level3::gemm(
+        refblas::Trans::No,
+        refblas::Trans::No,
+        n,
+        m,
+        k,
+        1.4,
+        &a0,
+        &b0,
+        0.3,
+        &mut exp,
+    );
     assert_close64(&c.to_host(), &exp, 1e-9, "gemm");
 
     let s0 = seq64(n * n, 3.0);
     let sa0 = seq64(n * k, 4.0);
     let sa = f.alloc_from("sa", sa0.clone());
     let sc = f.alloc_from("sc", s0.clone());
-    blas::syrk(&f, Uplo::Upper, Trans::No, n, k, 1.0, &sa, 0.5, &sc, SystolicShape::new(2, 2), 4, 4)
-        .unwrap();
+    blas::syrk(
+        &f,
+        Uplo::Upper,
+        Trans::No,
+        n,
+        k,
+        1.0,
+        &sa,
+        0.5,
+        &sc,
+        SystolicShape::new(2, 2),
+        4,
+        4,
+    )
+    .unwrap();
     let mut exp = s0.clone();
-    refblas::level3::syrk(refblas::Uplo::Upper, refblas::Trans::No, n, k, 1.0, &sa0, 0.5, &mut exp);
+    refblas::level3::syrk(
+        refblas::Uplo::Upper,
+        refblas::Trans::No,
+        n,
+        k,
+        1.0,
+        &sa0,
+        0.5,
+        &mut exp,
+    );
     // Only the triangle is compared; the reference leaves the other
     // triangle as beta-scaled... no: netlib leaves it untouched too.
     let got = sc.to_host();
     for i in 0..n {
         for j in i..n {
-            assert!((got[i * n + j] - exp[i * n + j]).abs() < 1e-9, "syrk ({i},{j})");
+            assert!(
+                (got[i * n + j] - exp[i * n + j]).abs() < 1e-9,
+                "syrk ({i},{j})"
+            );
         }
         for j in 0..i {
             assert_eq!(got[i * n + j], s0[i * n + j], "syrk lower untouched");
@@ -311,14 +361,41 @@ fn syr2k_and_trsm_match_reference() {
     let a = f.alloc_from("a", a0.clone());
     let b = f.alloc_from("b", b0.clone());
     let c = f.alloc_from("c", c0.clone());
-    blas::syr2k(&f, Uplo::Lower, Trans::No, n, k, 0.7, &a, &b, 0.2, &c, SystolicShape::new(2, 2), 4, 4)
-        .unwrap();
+    blas::syr2k(
+        &f,
+        Uplo::Lower,
+        Trans::No,
+        n,
+        k,
+        0.7,
+        &a,
+        &b,
+        0.2,
+        &c,
+        SystolicShape::new(2, 2),
+        4,
+        4,
+    )
+    .unwrap();
     let mut exp = c0.clone();
-    refblas::level3::syr2k(refblas::Uplo::Lower, refblas::Trans::No, n, k, 0.7, &a0, &b0, 0.2, &mut exp);
+    refblas::level3::syr2k(
+        refblas::Uplo::Lower,
+        refblas::Trans::No,
+        n,
+        k,
+        0.7,
+        &a0,
+        &b0,
+        0.2,
+        &mut exp,
+    );
     let got = c.to_host();
     for i in 0..n {
         for j in 0..=i {
-            assert!((got[i * n + j] - exp[i * n + j]).abs() < 1e-9, "syr2k ({i},{j})");
+            assert!(
+                (got[i * n + j] - exp[i * n + j]).abs() < 1e-9,
+                "syr2k ({i},{j})"
+            );
         }
     }
 
@@ -334,8 +411,20 @@ fn syr2k_and_trsm_match_reference() {
     let bb0 = seq64(m * nn, 5.0);
     let ta = f.alloc_from("ta", tri.clone());
     let tb = f.alloc_from("tb", bb0.clone());
-    blas::trsm(&f, Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, m, nn, 1.5, &ta, &tb, 2)
-        .unwrap();
+    blas::trsm(
+        &f,
+        Side::Left,
+        Uplo::Upper,
+        Trans::No,
+        Diag::NonUnit,
+        m,
+        nn,
+        1.5,
+        &ta,
+        &tb,
+        2,
+    )
+    .unwrap();
     let mut exp = bb0.clone();
     refblas::level3::trsm(
         refblas::Side::Left,
@@ -383,6 +472,15 @@ fn batched_routines_match_reference() {
     let tb = f.alloc_from("tb", rhs0.clone());
     blas::trsm_batched(&f, Uplo::Lower, Diag::NonUnit, dim, batch, 1.0, &ta, &tb).unwrap();
     let mut exp = rhs0.clone();
-    refblas::batched::trsm_batched(refblas::Uplo::Lower, refblas::Diag::NonUnit, dim, batch, 1.0, &tri, &mut exp, 1);
+    refblas::batched::trsm_batched(
+        refblas::Uplo::Lower,
+        refblas::Diag::NonUnit,
+        dim,
+        batch,
+        1.0,
+        &tri,
+        &mut exp,
+        1,
+    );
     assert_close64(&tb.to_host(), &exp, 1e-9, "trsm_batched");
 }

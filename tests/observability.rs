@@ -1,0 +1,197 @@
+//! Integration tests for the observability layer: stall forensics,
+//! Perfetto export, bench metrics schema, and the tracing-disabled
+//! overhead guard.
+
+use fblas_bench::metrics::{validate_schema, BenchReport, Cell};
+use fblas_hlssim::{channel, ModuleKind, SimError, Simulation, WaitDirection};
+use fblas_trace::{perfetto, summary, Tracer};
+use serde::Value;
+
+/// A deadlocked two-module cycle must produce a stall report naming each
+/// module, the channel it waits on, and the empty-FIFO direction.
+#[test]
+fn deadlock_forensics_name_channel_and_direction() {
+    let mut sim = Simulation::new();
+    let (tx_ab, rx_ab) = channel::<u8>(sim.ctx(), 1, "a_to_b");
+    let (tx_ba, rx_ba) = channel::<u8>(sim.ctx(), 1, "b_to_a");
+    sim.add_module("a", ModuleKind::Compute, move || {
+        let v = rx_ba.pop()?;
+        tx_ab.push(v)?;
+        Ok(())
+    });
+    sim.add_module("b", ModuleKind::Compute, move || {
+        let v = rx_ab.pop()?;
+        tx_ba.push(v)?;
+        Ok(())
+    });
+
+    let report = match sim.run() {
+        Err(SimError::Stall { report }) => report,
+        other => panic!("expected stall, got {other:?}"),
+    };
+    assert_eq!(report.blocked.len(), 2);
+    let a = report.blocked_on("a").expect("a is in the wait-for graph");
+    assert_eq!(
+        (a.channel.as_str(), a.direction),
+        ("b_to_a", WaitDirection::Empty)
+    );
+    assert_eq!((a.occupancy, a.capacity), (0, 1));
+    let b = report.blocked_on("b").expect("b is in the wait-for graph");
+    assert_eq!(
+        (b.channel.as_str(), b.direction),
+        ("a_to_b", WaitDirection::Empty)
+    );
+
+    // The report also serializes (for bug reports / CI artifacts).
+    let text = serde_json::to_string(&report).unwrap();
+    assert!(text.contains("\"b_to_a\""));
+    assert!(text.contains("\"Empty\""));
+}
+
+/// An undersized FIFO between replaying modules must be identified as
+/// such: the producer blocked pushing into the full small FIFO (at
+/// capacity), the consumer blocked popping the starved one.
+#[test]
+fn undersized_fifo_forensics_show_full_versus_empty() {
+    let n = 64usize;
+    let mut sim = Simulation::new();
+    let (tx, rx) = channel::<u32>(sim.ctx(), 4, "small");
+    let (res_tx, res_rx) = channel::<u32>(sim.ctx(), 1, "res");
+    sim.add_module("producer", ModuleKind::Interface, move || {
+        tx.push_iter(0..(2 * n as u32))
+    });
+    sim.add_module("consumer", ModuleKind::Compute, move || {
+        let _ = rx.pop_n(n)?;
+        let _ = res_rx.pop()?;
+        Ok(())
+    });
+    sim.add_module("never", ModuleKind::Compute, move || {
+        std::mem::forget(res_tx);
+        Ok(())
+    });
+
+    let report = match sim.run() {
+        Err(SimError::Stall { report }) => report,
+        other => panic!("expected stall, got {other:?}"),
+    };
+    let p = report.blocked_on("producer").expect("producer blocked");
+    assert_eq!(p.channel, "small");
+    assert_eq!(p.direction, WaitDirection::Full);
+    assert_eq!(
+        p.occupancy, p.capacity,
+        "a full-stall is caught at capacity"
+    );
+    let c = report.blocked_on("consumer").expect("consumer blocked");
+    assert_eq!(c.channel, "res");
+    assert_eq!(c.direction, WaitDirection::Empty);
+    assert_eq!(c.occupancy, 0);
+}
+
+/// The Perfetto export of a traced 3-stage pipeline is valid JSON with
+/// exactly one complete span per module.
+#[test]
+fn perfetto_export_of_three_stage_pipeline_is_loadable() {
+    let tracer = Tracer::new();
+    let mut sim = Simulation::new();
+    sim.set_tracer(tracer.clone());
+    let (tx1, rx1) = channel::<f64>(sim.ctx(), 4, "a");
+    let (tx2, rx2) = channel::<f64>(sim.ctx(), 4, "b");
+    sim.add_module("src", ModuleKind::Interface, move || {
+        tx1.push_iter((0..5000).map(f64::from))
+    });
+    sim.add_module("scale", ModuleKind::Compute, move || {
+        for _ in 0..5000 {
+            tx2.push(rx1.pop()? * 2.0)?;
+        }
+        Ok(())
+    });
+    sim.add_module("sink", ModuleKind::Interface, move || {
+        rx2.pop_n(5000).map(|_| ())
+    });
+    sim.run().unwrap();
+
+    let text = perfetto::trace_json(&tracer);
+    let doc: Value = serde_json::from_str(&text).expect("export is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+
+    for module in ["src", "scale", "sink"] {
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("X")
+                    && e.get("cat").and_then(Value::as_str) == Some("module")
+                    && e.get("name").and_then(Value::as_str) == Some(module)
+            })
+            .collect();
+        assert_eq!(spans.len(), 1, "exactly one complete span for {module}");
+        let span = spans[0];
+        assert!(span.get("ts").and_then(Value::as_u64).is_some());
+        assert!(span.get("dur").and_then(Value::as_u64).unwrap() >= 1);
+    }
+
+    // The summary covers the same run.
+    let text = summary::run_summary(&tracer);
+    for module in ["src", "scale", "sink"] {
+        assert!(text.contains(module), "summary lists {module}");
+    }
+}
+
+/// `BENCH_*.json` written by the shared writer matches the stable schema.
+#[test]
+fn bench_metrics_writer_emits_stable_schema() {
+    let mut report = BenchReport::new("schema_check");
+    report.meta("device", "test");
+    report.add_row([("n", Cell::from(1024usize)), ("seconds", Cell::from(0.5))]);
+
+    let doc: Value = serde_json::from_str(&report.json()).unwrap();
+    validate_schema(&doc).expect("writer output matches schema");
+    assert_eq!(doc.get("schema_version").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        doc.get("bench").and_then(Value::as_str),
+        Some("schema_check")
+    );
+    assert_eq!(
+        doc.get("rows").and_then(Value::as_array).map(|r| r.len()),
+        Some(1)
+    );
+}
+
+fn timed_pipeline() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    let mut sim = Simulation::new();
+    let (tx, rx) = channel::<u64>(sim.ctx(), 8, "ch");
+    sim.add_module("src", ModuleKind::Interface, move || tx.push_iter(0..1000));
+    sim.add_module("sink", ModuleKind::Compute, move || {
+        let v = rx.pop_n(1000)?;
+        assert_eq!(v[999], 999);
+        Ok(())
+    });
+    sim.run().unwrap();
+    start.elapsed()
+}
+
+/// With no tracer attached, the instrumented hot path must not add
+/// measurable overhead to the seed's `two_module_pipeline_completes`
+/// workload. Wall-clock comparisons of a threaded pipeline are noisy, so
+/// this is ignored by default; run it explicitly with
+/// `cargo test -p fblas-bench --test observability -- --ignored`.
+#[test]
+#[ignore]
+fn tracing_disabled_adds_no_measurable_overhead() {
+    // Warm up, then compare the median of several runs against a
+    // generous bound: the untraced path is a single thread-local read
+    // per channel op, so anything beyond 2x the warm median indicates a
+    // regression on the disabled path.
+    let mut samples: Vec<_> = (0..9).map(|_| timed_pipeline()).collect();
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let bound = median * 2 + std::time::Duration::from_millis(10);
+    let check = timed_pipeline();
+    assert!(
+        check < bound,
+        "untraced pipeline took {check:?}, bound {bound:?} (median {median:?})"
+    );
+}

@@ -16,9 +16,11 @@ use fblas_hlssim::{CompositionCost, PipelineCost};
 /// published coefficients; DOT tracks them within tolerance.
 #[test]
 fn table1_reproduction() {
-    for (w, luts, ffs, dsps) in
-        [(2u64, 98, 192, 2u64), (16, 784, 1536, 16), (64, 3136, 6144, 64)]
-    {
+    for (w, luts, ffs, dsps) in [
+        (2u64, 98, 192, 2u64),
+        (16, 784, 1536, 16),
+        (64, 3136, 6144, 64),
+    ] {
         let e = Scal::new(1024, w as usize).estimate::<f32>();
         assert_eq!(e.luts, luts);
         assert_eq!(e.resources.ffs, ffs);
@@ -69,7 +71,11 @@ fn optimal_width_formulas() {
     assert_eq!(optimal_width(b, f, Precision::Double, 2), 4);
     let untiled = optimal_width(b, f, Precision::Single, 2);
     let tiled = optimal_width_tiled(b, f, Precision::Single, 1 << 20);
-    assert_eq!(tiled, 2 * untiled, "large tiles double the affordable width");
+    assert_eq!(
+        tiled,
+        2 * untiled,
+        "large tiles double the affordable width"
+    );
 }
 
 /// Sec. III-B: GEMV I/O complexities and the crossover between the two
@@ -118,11 +124,17 @@ fn systolic_peak_performance() {
     let est = g.estimate::<f32>();
     let dev = Device::Stratix10Gx2800.model();
     let total = est.resources + design_overhead(Device::Stratix10Gx2800, false);
-    assert!(dev.fits(&total), "paper's largest SGEMM must place: {total}");
+    assert!(
+        dev.fits(&total),
+        "paper's largest SGEMM must place: {total}"
+    );
 
     let util = total.max_utilization(&dev.available);
-    let (freq, hf) =
-        FrequencyModel::new(Device::Stratix10Gx2800).achieved_hz(RoutineClass::Systolic, true, util);
+    let (freq, hf) = FrequencyModel::new(Device::Stratix10Gx2800).achieved_hz(
+        RoutineClass::Systolic,
+        true,
+        util,
+    );
     assert!(!hf, "GEMM could not use HyperFlex in the paper");
     let secs = g.cost::<f32>().cycles() as f64 / freq;
     let tflops = g.flops() as f64 / secs / 1e12;
@@ -136,9 +148,15 @@ fn systolic_peak_performance() {
 
     // The double-precision array is capped at 16x16 by DSP demand: a
     // 40x80 f64 array cannot place.
-    let big_d = estimate_circuit(CircuitClass::Systolic { rows: 40, cols: 80 }, Precision::Double);
+    let big_d = estimate_circuit(
+        CircuitClass::Systolic { rows: 40, cols: 80 },
+        Precision::Double,
+    );
     assert!(!dev.fits(&big_d.resources), "f64 40x80 exceeds the device");
-    let ok_d = estimate_circuit(CircuitClass::Systolic { rows: 16, cols: 16 }, Precision::Double);
+    let ok_d = estimate_circuit(
+        CircuitClass::Systolic { rows: 16, cols: 16 },
+        Precision::Double,
+    );
     let total_d = ok_d.resources + design_overhead(Device::Stratix10Gx2800, false);
     assert!(dev.fits(&total_d), "f64 16x16 places (paper's choice)");
 }
@@ -147,10 +165,16 @@ fn systolic_peak_performance() {
 #[test]
 fn arria_systolic_sizes_place() {
     let dev = Device::Arria10Gx1150.model();
-    let s32 = estimate_circuit(CircuitClass::Systolic { rows: 32, cols: 32 }, Precision::Single);
+    let s32 = estimate_circuit(
+        CircuitClass::Systolic { rows: 32, cols: 32 },
+        Precision::Single,
+    );
     let total = s32.resources + design_overhead(Device::Arria10Gx1150, false);
     assert!(dev.fits(&total), "Arria SGEMM 32x32: {total}");
-    let d16x8 = estimate_circuit(CircuitClass::Systolic { rows: 16, cols: 8 }, Precision::Double);
+    let d16x8 = estimate_circuit(
+        CircuitClass::Systolic { rows: 16, cols: 8 },
+        Precision::Double,
+    );
     let total = d16x8.resources + design_overhead(Device::Arria10Gx1150, false);
     assert!(dev.fits(&total), "Arria DGEMM 16x8: {total}");
 }

@@ -456,7 +456,7 @@ proptest! {
         let mut inputs: HashMap<String, Vec<f64>> = HashMap::new();
         let mut buffers: HashMap<String, DeviceBuffer<f64>> = HashMap::new();
 
-        let mut declare_vec = |p: &mut Program,
+        let declare_vec = |p: &mut Program,
                                inputs: &mut HashMap<String, Vec<f64>>,
                                buffers: &mut HashMap<String, DeviceBuffer<f64>>,
                                name: String,

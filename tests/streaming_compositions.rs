@@ -6,8 +6,8 @@
 use fblas_arch::Device;
 use fblas_core::apps::{
     atax_host_layer, atax_invalid_streaming, atax_mdag, atax_streaming, axpydot_host_layer,
-    axpydot_mdag, axpydot_streaming, bicg_host_layer, bicg_mdag, bicg_streaming,
-    gemver_host_layer, gemver_mdag, gemver_streaming,
+    axpydot_mdag, axpydot_streaming, bicg_host_layer, bicg_mdag, bicg_streaming, gemver_host_layer,
+    gemver_mdag, gemver_streaming,
 };
 use fblas_core::composition::Validity;
 use fblas_core::host::{Fpga, GemvTuning};
@@ -145,19 +145,32 @@ fn gemver_matches_reference() {
 
     for streaming in [true, false] {
         let rep = if streaming {
-            gemver_streaming(&fpga, n, alpha, beta, &a, &u1, &v1, &u2, &v2, &y, &z, &b, &x, &w, &tuning)
-                .unwrap()
+            gemver_streaming(
+                &fpga, n, alpha, beta, &a, &u1, &v1, &u2, &v2, &y, &z, &b, &x, &w, &tuning,
+            )
+            .unwrap()
         } else {
-            gemver_host_layer(&fpga, n, alpha, beta, &a, &u1, &v1, &u2, &v2, &y, &z, &b, &x, &w, &tuning)
-                .unwrap()
+            gemver_host_layer(
+                &fpga, n, alpha, beta, &a, &u1, &v1, &u2, &v2, &y, &z, &b, &x, &w, &tuning,
+            )
+            .unwrap()
         };
         let (bg, xg, wg) = (b.to_host(), x.to_host(), w.to_host());
         for i in 0..n * n {
-            assert!((bg[i] - r.b[i]).abs() < 1e-9, "streaming={streaming} B[{i}]");
+            assert!(
+                (bg[i] - r.b[i]).abs() < 1e-9,
+                "streaming={streaming} B[{i}]"
+            );
         }
         for i in 0..n {
-            assert!((xg[i] - r.x[i]).abs() < 1e-9, "streaming={streaming} x[{i}]");
-            assert!((wg[i] - r.w[i]).abs() < 1e-9, "streaming={streaming} w[{i}]");
+            assert!(
+                (xg[i] - r.x[i]).abs() < 1e-9,
+                "streaming={streaming} x[{i}]"
+            );
+            assert!(
+                (wg[i] - r.w[i]).abs() < 1e-9,
+                "streaming={streaming} w[{i}]"
+            );
         }
         assert!(rep.seconds > 0.0);
     }
@@ -173,7 +186,10 @@ fn all_app_mdags_validate_as_documented() {
         atax_mdag(100, 50, 10, 16).validate(),
         Validity::RequiresChannelDepth { .. }
     ));
-    assert_eq!(atax_mdag(100, 50, 10, 10 * 50 + 64).validate(), Validity::Valid);
+    assert_eq!(
+        atax_mdag(100, 50, 10, 10 * 50 + 64).validate(),
+        Validity::Valid
+    );
 }
 
 #[test]

@@ -1,0 +1,227 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! and `Bencher::iter`. Measurement is a plain wall-clock mean over a
+//! small number of iterations, printed one line per benchmark — enough
+//! to compare configurations, not a statistics engine.
+//!
+//! Under `cargo test` (Cargo passes `--test` to harness-less bench
+//! targets) each benchmark body runs exactly once as a smoke test.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export so `criterion::black_box` works; benches may also use
+/// `std::hint::black_box` directly.
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    iterations: u64,
+    /// Mean seconds per iteration of the last `iter` call.
+    last_mean: Option<f64>,
+}
+
+impl Bencher {
+    /// Run `routine` `iterations` times and record the mean time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        let total = start.elapsed().as_secs_f64();
+        self.last_mean = Some(total / self.iterations as f64);
+    }
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    test_mode: bool,
+    default_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Read harness flags (only `--test` matters here).
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Override the default iteration count per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_samples = n as u64;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            samples: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        let samples = self.default_samples;
+        run_one(self.test_mode, samples, &id.to_string(), f);
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n as u64);
+        self
+    }
+
+    fn effective_samples(&self) -> u64 {
+        self.samples.unwrap_or(self.parent.default_samples)
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.parent.test_mode, self.effective_samples(), &label, f);
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            self.parent.test_mode,
+            self.effective_samples(),
+            &label,
+            |b| f(b, input),
+        );
+    }
+
+    /// End the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, samples: u64, label: &str, mut f: F) {
+    let iterations = if test_mode { 1 } else { samples.max(1) };
+    let mut b = Bencher {
+        iterations,
+        last_mean: None,
+    };
+    f(&mut b);
+    match b.last_mean {
+        Some(mean) if !test_mode => {
+            println!(
+                "{label:<40} time: {}  ({iterations} iters)",
+                format_secs(mean)
+            );
+        }
+        _ => {
+            println!("{label:<40} ok");
+        }
+    }
+}
+
+fn format_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Collect benchmark functions into a runner the `criterion_main!`
+/// macro can call.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        let mut ran = 0;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert!(ran >= 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! The case loop: deterministic RNG, config, and per-case error type.
+
+use crate::strategy::Strategy;
+
+/// Deterministic xorshift64* stream.
+pub struct TestRng(u64);
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng(seed | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Test-loop configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// RNG seed; fixed by default so runs are reproducible.
+    pub seed: u64,
+}
+
+impl ProptestConfig {
+    /// Run this many cases (the usual constructor).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            seed: 0x5eed_fb1a_51ab_cde5,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is false for this input.
+    Fail(String),
+    /// The input does not satisfy a `prop_assume!` precondition.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed property.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded input.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Drives the strategy/case loop for one `proptest!` test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        let rng = TestRng::from_seed(config.seed);
+        TestRunner { config, rng }
+    }
+
+    /// Run `test` until `config.cases` cases pass. Returns the failure
+    /// message of the first failing case (no shrinking).
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = 10_000u32.max(self.config.cases * 16);
+        while passed < self.config.cases {
+            let value = strategy.sample(&mut self.rng);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        return Err(format!(
+                            "too many rejected inputs ({rejected}) after {passed} passing cases"
+                        ));
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    return Err(format!("case {} failed: {msg}", passed + 1));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,413 @@
+//! Derive macros for the vendored `serde` facade.
+//!
+//! Implemented from scratch on raw `proc_macro` token trees (the
+//! container has no `syn`/`quote`). Supports the shapes this workspace
+//! actually uses:
+//!
+//! * structs with named fields,
+//! * enums with unit and struct (named-field) variants,
+//! * field attributes `#[serde(default)]` and `#[serde(default = "path")]`.
+//!
+//! Anything else (generics, tuple structs/variants, other serde
+//! attributes) produces a `compile_error!` so unsupported uses fail
+//! loudly instead of misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------- model
+
+#[derive(Debug, Clone)]
+enum DefaultAttr {
+    /// `#[serde(default)]` → `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]` → `path()`.
+    Path(String),
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: Option<DefaultAttr>,
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// --------------------------------------------------------------- parser
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consume leading attributes, returning any `#[serde(...)]` default
+    /// directive found among them.
+    fn skip_attrs(&mut self) -> Result<Option<DefaultAttr>, String> {
+        let mut default = None;
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    let group = match self.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                        _ => return Err("malformed attribute".into()),
+                    };
+                    if let Some(d) = parse_serde_attr(group.stream())? {
+                        default = Some(d);
+                    }
+                }
+                _ => return Ok(default),
+            }
+        }
+    }
+
+    /// Consume `pub`, `pub(crate)`, etc. if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Interpret the inside of a `#[...]` attribute; only `serde(...)`
+/// attributes matter, everything else (docs, cfgs) is ignored.
+fn parse_serde_attr(ts: TokenStream) -> Result<Option<DefaultAttr>, String> {
+    let mut c = Cursor::new(ts);
+    match c.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return Ok(None),
+    }
+    let inner = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Ok(None),
+    };
+    let mut c = Cursor::new(inner);
+    match c.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "default" => match c.next() {
+            None => Ok(Some(DefaultAttr::Std)),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => match c.next() {
+                Some(TokenTree::Literal(l)) => {
+                    let s = l.to_string();
+                    let path = s.trim_matches('"').to_string();
+                    Ok(Some(DefaultAttr::Path(path)))
+                }
+                _ => Err("expected string literal after `default =`".into()),
+            },
+            _ => Err("unsupported `serde(default ...)` form".into()),
+        },
+        Some(other) => Err(format!(
+            "vendored serde_derive does not support `#[serde({other})]`"
+        )),
+        None => Ok(None),
+    }
+}
+
+/// Parse the `name: Type,` list inside a brace group.
+fn parse_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    loop {
+        let default = c.skip_attrs()?;
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth: i64 = 0;
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    c.next();
+                    break;
+                }
+                _ => {}
+            }
+            c.next();
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs()?;
+        if c.at_end() {
+            break;
+        }
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                c.next();
+                Some(parse_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "vendored serde_derive does not support tuple variant `{name}`"
+                ));
+            }
+            _ => None,
+        };
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == ',' {
+                c.next();
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs()?;
+    c.skip_visibility();
+    let kind = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic item `{name}`"
+            ));
+        }
+    }
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => TokenStream::new(),
+        other => return Err(format!("unsupported item body for `{name}`: {other:?}")),
+    };
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_fields(body)?,
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        }),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// -------------------------------------------------------------- codegen
+
+fn struct_ser_body(access_prefix: &str, fields: &[Field]) -> String {
+    let mut s = String::from("::serde::Value::Object(::std::vec![");
+    for f in fields {
+        s.push_str(&format!(
+            "(\"{n}\".to_string(), ::serde::Serialize::to_value({p}{n})),",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    s.push_str("])");
+    s
+}
+
+fn struct_de_body(type_path: &str, fields: &[Field], obj_expr: &str) -> String {
+    let mut s = format!("{type_path} {{");
+    for f in fields {
+        let fallback = match &f.default {
+            None => format!("::serde::missing_field(\"{}\")?", f.name),
+            Some(DefaultAttr::Std) => "::core::default::Default::default()".to_string(),
+            Some(DefaultAttr::Path(p)) => format!("{p}()"),
+        };
+        s.push_str(&format!(
+            "{n}: match ::serde::value::get({obj}, \"{n}\") {{ \
+               ::core::option::Option::Some(__f) => ::serde::Deserialize::from_value(__f)?, \
+               ::core::option::Option::None => {fb}, \
+             }},",
+            n = f.name,
+            obj = obj_expr,
+            fb = fallback,
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => format!(
+            "impl ::serde::Serialize for {name} {{ \
+               fn to_value(&self) -> ::serde::Value {{ {body} }} \
+             }}",
+            body = struct_ser_body("&self.", fields),
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),",
+                        v = v.name,
+                    )),
+                    Some(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => \
+                               ::serde::Value::Object(::std::vec![(\"{v}\".to_string(), {inner})]),",
+                            v = v.name,
+                            binds = binders.join(", "),
+                            inner = struct_ser_body("", fields),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} \
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => format!(
+            "impl ::serde::Deserialize for {name} {{ \
+               fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ \
+                 let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for {name}\"))?; \
+                 ::core::result::Result::Ok({ctor}) \
+               }} \
+             }}",
+            ctor = struct_de_body(name, fields, "__obj"),
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v}),",
+                        v = v.name,
+                    )),
+                    Some(fields) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => {{ \
+                           let __obj = __inner.as_object().ok_or_else(|| \
+                               ::serde::DeError::custom(\"expected object for {name}::{v}\"))?; \
+                           ::core::result::Result::Ok({ctor}) \
+                         }},",
+                        v = v.name,
+                        ctor = struct_de_body(&format!("{name}::{}", v.name), fields, "__obj"),
+                    )),
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ \
+                     match __v {{ \
+                       ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                         {unit_arms} \
+                         __other => ::core::result::Result::Err(::serde::DeError::custom( \
+                             format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                       }}, \
+                       ::serde::Value::Object(__o) if __o.len() == 1 => {{ \
+                         let (__tag, __inner) = &__o[0]; \
+                         match __tag.as_str() {{ \
+                           {tagged_arms} \
+                           __other => ::core::result::Result::Err(::serde::DeError::custom( \
+                               format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                         }} \
+                       }}, \
+                       __other => ::core::result::Result::Err(::serde::DeError::custom( \
+                           format!(\"expected {name} variant, got {{__other:?}}\"))), \
+                     }} \
+                   }} \
+                 }}"
+            )
+        }
+    }
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl must parse"),
+        Err(msg) => {
+            let msg = msg.replace('"', "\\\"");
+            format!("compile_error!(\"{msg}\");").parse().unwrap()
+        }
+    }
+}
+
+/// Derive `serde::Serialize` (vendored facade: renders to a `Value` tree).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` (vendored facade: parses from a `Value` tree).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
