@@ -38,4 +38,20 @@ for i, row in enumerate(doc["rows"]):
 print(f"BENCH_table1.json ok: {len(doc['rows'])} rows")
 EOF
 
+step "bench-diff against committed baselines"
+# Regenerate every bench artifact and gate it against
+# benchmarks/baselines/. Model columns are deterministic, so any drift
+# is a model change: intentional ones are refreshed with
+# `bench-diff --bless` (see README).
+for bin in table3 table4 table5 table6 fig10 fig11 hbm_scaling; do
+    FBLAS_BENCH_DIR="$tmpdir" cargo run --release -q -p fblas-bench --bin "$bin" >/dev/null
+done
+cargo run --release -q -p fblas-bench --bin bench-diff -- \
+    --baselines benchmarks/baselines --current "$tmpdir"
+
+step "audit self-check (model vs traced simulation)"
+# Runs the AXPYDOT fixture through the audited executor and fails on
+# per-module drift beyond tolerance or a missing bottleneck verdict.
+cargo run --release -q -p fblas-bench --example audit_report
+
 printf '\nci.sh: all checks passed\n'

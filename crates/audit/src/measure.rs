@@ -1,0 +1,250 @@
+//! The measured side of an audit: per-module figures condensed from
+//! trace lanes.
+
+use std::collections::BTreeMap;
+
+use fblas_trace::Lane;
+use serde::Serialize;
+
+/// Measured activity of one module, aggregated over every lane that
+/// carries its name (a module that runs in several components — or a
+/// name reused inside one simulation — contributes all of them).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ModuleMeasure {
+    /// Module name.
+    pub module: String,
+    /// Total run-span time, µs.
+    pub run_us: u64,
+    /// Cumulative µs blocked pushing into full FIFOs.
+    pub full_stall_us: u64,
+    /// Cumulative µs blocked popping from empty FIFOs.
+    pub empty_stall_us: u64,
+    /// Total elements pushed.
+    pub pushes: u64,
+    /// Total elements popped.
+    pub pops: u64,
+    /// Per-channel µs this module spent blocked on a full FIFO (exact:
+    /// sourced from the lane's stall ledgers, which unlike the event
+    /// ring never drop entries).
+    pub full_stall_by_channel: BTreeMap<String, u64>,
+    /// Per-channel µs this module spent blocked on an empty FIFO.
+    pub empty_stall_by_channel: BTreeMap<String, u64>,
+}
+
+impl ModuleMeasure {
+    /// Time the module was actually making progress: run minus both
+    /// stall ledgers (saturating — the ledgers can exceed the span by a
+    /// few µs of bookkeeping skew).
+    pub fn busy_us(&self) -> u64 {
+        self.run_us
+            .saturating_sub(self.full_stall_us)
+            .saturating_sub(self.empty_stall_us)
+    }
+
+    /// Measured busy share `busy / run` in `[0, 1]`; 1.0 for a module
+    /// whose span was too short to resolve (it never waited).
+    pub fn busy_share(&self) -> f64 {
+        if self.run_us == 0 {
+            return 1.0;
+        }
+        self.busy_us() as f64 / self.run_us as f64
+    }
+
+    /// Elements moved per second, using the larger of the push and pop
+    /// counts (a pure producer only pushes, a pure consumer only pops).
+    pub fn throughput_eps(&self) -> f64 {
+        if self.run_us == 0 {
+            return 0.0;
+        }
+        self.pushes.max(self.pops) as f64 / (self.run_us as f64 * 1e-6)
+    }
+
+    /// The channel this module lost the most full-FIFO time to, if any.
+    pub fn worst_full_channel(&self) -> Option<(&str, u64)> {
+        self.full_stall_by_channel
+            .iter()
+            .max_by_key(|(_, us)| **us)
+            .map(|(c, us)| (c.as_str(), *us))
+    }
+
+    /// The channel this module lost the most empty-FIFO time to, if any.
+    pub fn worst_empty_channel(&self) -> Option<(&str, u64)> {
+        self.empty_stall_by_channel
+            .iter()
+            .max_by_key(|(_, us)| **us)
+            .map(|(c, us)| (c.as_str(), *us))
+    }
+}
+
+/// Condense trace lanes into per-module measurements, in first-seen
+/// order. Lanes sharing a module name are summed.
+pub fn aggregate(lanes: &[Lane]) -> Vec<ModuleMeasure> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_name: BTreeMap<String, ModuleMeasure> = BTreeMap::new();
+    for lane in lanes {
+        let entry = by_name.entry(lane.module.clone()).or_insert_with(|| {
+            order.push(lane.module.clone());
+            ModuleMeasure {
+                module: lane.module.clone(),
+                ..ModuleMeasure::default()
+            }
+        });
+        entry.run_us += lane.run_us();
+        entry.full_stall_us += lane.full_stall_us;
+        entry.empty_stall_us += lane.empty_stall_us;
+        entry.pushes += lane.pushes;
+        entry.pops += lane.pops;
+        for (channel, us) in &lane.full_stall_by_channel {
+            *entry
+                .full_stall_by_channel
+                .entry(channel.to_string())
+                .or_default() += us;
+        }
+        for (channel, us) in &lane.empty_stall_by_channel {
+            *entry
+                .empty_stall_by_channel
+                .entry(channel.to_string())
+                .or_default() += us;
+        }
+    }
+    order
+        .into_iter()
+        .filter_map(|name| by_name.remove(&name))
+        .collect()
+}
+
+/// Derive channel producer/consumer pairs from the lanes' per-channel
+/// operation ledgers, then overlay the explicitly declared edges, which
+/// win on conflict.
+pub fn derive_edges(
+    lanes: &[Lane],
+    declared: &[crate::spec::ChannelEdge],
+) -> Vec<crate::spec::ChannelEdge> {
+    let mut producers: BTreeMap<String, String> = BTreeMap::new();
+    let mut consumers: BTreeMap<String, String> = BTreeMap::new();
+    for lane in lanes {
+        // A full-FIFO wait is a push-side event and an empty-FIFO wait a
+        // pop-side one, so the stall ledgers identify endpoints even for
+        // a module that never completed an operation before stalling.
+        for (channel, _) in lane
+            .pushes_by_channel
+            .iter()
+            .chain(&lane.full_stall_by_channel)
+        {
+            producers
+                .entry(channel.to_string())
+                .or_insert_with(|| lane.module.clone());
+        }
+        for (channel, _) in lane
+            .pops_by_channel
+            .iter()
+            .chain(&lane.empty_stall_by_channel)
+        {
+            consumers
+                .entry(channel.to_string())
+                .or_insert_with(|| lane.module.clone());
+        }
+    }
+    for e in declared {
+        producers.insert(e.channel.clone(), e.producer.clone());
+        consumers.insert(e.channel.clone(), e.consumer.clone());
+    }
+    let mut edges: Vec<crate::spec::ChannelEdge> = Vec::new();
+    for (channel, producer) in &producers {
+        edges.push(crate::spec::ChannelEdge {
+            channel: channel.clone(),
+            producer: producer.clone(),
+            consumer: consumers.get(channel).cloned().unwrap_or_default(),
+        });
+    }
+    // Channels only ever seen from the consumer side.
+    for (channel, consumer) in &consumers {
+        if !producers.contains_key(channel) {
+            edges.push(crate::spec::ChannelEdge {
+                channel: channel.clone(),
+                producer: String::new(),
+                consumer: consumer.clone(),
+            });
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fblas_trace::{record_channel_op, EventKind, ModuleScope, Tracer};
+    use std::sync::Arc;
+
+    fn traced_pair() -> Vec<Lane> {
+        let tracer = Tracer::new();
+        let ch: Arc<str> = Arc::from("pipe");
+        {
+            let _scope = ModuleScope::enter("producer", Some(&tracer));
+            record_channel_op(EventKind::Push, &ch, 0, false);
+            record_channel_op(EventKind::Push, &ch, 0, true); // full wait
+        }
+        {
+            let _scope = ModuleScope::enter("consumer", Some(&tracer));
+            record_channel_op(EventKind::Pop, &ch, 0, true); // empty wait
+            record_channel_op(EventKind::Pop, &ch, 0, false);
+        }
+        tracer.lanes()
+    }
+
+    #[test]
+    fn aggregate_sums_lanes_and_buckets_stalls_by_channel() {
+        let lanes = traced_pair();
+        let measures = aggregate(&lanes);
+        assert_eq!(measures.len(), 2);
+        let p = &measures[0];
+        assert_eq!(p.module, "producer");
+        assert_eq!(p.pushes, 2);
+        assert!(p.full_stall_by_channel.contains_key("pipe"));
+        let c = &measures[1];
+        assert_eq!(c.pops, 2);
+        assert!(c.empty_stall_by_channel.contains_key("pipe"));
+    }
+
+    #[test]
+    fn aggregate_merges_same_named_lanes() {
+        let tracer = Tracer::new();
+        for _ in 0..3 {
+            let _scope = ModuleScope::enter("worker", Some(&tracer));
+            let ch: Arc<str> = Arc::from("c");
+            record_channel_op(EventKind::Push, &ch, 0, false);
+        }
+        let measures = aggregate(&tracer.lanes());
+        assert_eq!(measures.len(), 1);
+        assert_eq!(measures[0].pushes, 3);
+    }
+
+    #[test]
+    fn edges_derived_from_events_and_overridden_by_declarations() {
+        let lanes = traced_pair();
+        let derived = derive_edges(&lanes, &[]);
+        let pipe = derived.iter().find(|e| e.channel == "pipe").unwrap();
+        assert_eq!(pipe.producer, "producer");
+        assert_eq!(pipe.consumer, "consumer");
+
+        let declared = vec![crate::spec::ChannelEdge {
+            channel: "pipe".into(),
+            producer: "reader".into(),
+            consumer: "writer".into(),
+        }];
+        let merged = derive_edges(&lanes, &declared);
+        let pipe = merged.iter().find(|e| e.channel == "pipe").unwrap();
+        assert_eq!(pipe.producer, "reader");
+        assert_eq!(pipe.consumer, "writer");
+    }
+
+    #[test]
+    fn busy_share_of_unresolvable_span_is_full() {
+        let m = ModuleMeasure {
+            module: "instant".into(),
+            ..ModuleMeasure::default()
+        };
+        assert_eq!(m.busy_share(), 1.0);
+        assert_eq!(m.throughput_eps(), 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! The predicted side of an audit: what the analytic model expects.
+
+use fblas_hlssim::PipelineCost;
+use serde::Serialize;
+
+/// Predicted cost of one module, as the perf model sees it.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModulePrediction {
+    /// Module name — must match the name the module registers with the
+    /// simulation (and therefore its trace lane).
+    pub module: String,
+    /// Predicted pipeline cost `C = L + I·M`.
+    pub cost: PipelineCost,
+    /// Elements the module streams over the run (throughput basis).
+    pub elements: u64,
+    /// Vectorization width `W` of the module's inner loop (what-if
+    /// basis); 1 for unvectorized or interface modules.
+    pub width: u64,
+    /// Whether this is a DRAM interface module (circle in the paper's
+    /// figures) rather than a computational one — interface modules are
+    /// the ones a memory-bandwidth ceiling bites first.
+    pub interface: bool,
+}
+
+impl ModulePrediction {
+    /// Prediction for a computational module.
+    pub fn compute(
+        module: impl Into<String>,
+        cost: PipelineCost,
+        elements: u64,
+        width: u64,
+    ) -> Self {
+        ModulePrediction {
+            module: module.into(),
+            cost,
+            elements,
+            width,
+            interface: false,
+        }
+    }
+
+    /// Prediction for a DRAM interface module.
+    pub fn interface(module: impl Into<String>, cost: PipelineCost, elements: u64) -> Self {
+        ModulePrediction {
+            module: module.into(),
+            cost,
+            elements,
+            width: 1,
+            interface: true,
+        }
+    }
+
+    /// The module's initiation work `I·M` — the cycles it initiates new
+    /// input on, which is what bounds a streaming composition.
+    pub fn work(&self) -> u64 {
+        self.cost.initiation_interval * self.cost.iterations
+    }
+}
+
+/// One FIFO edge of the module graph: which module pushes into the
+/// channel and which pops from it. Used to turn "module X waited on
+/// channel c" into "module X was held back by module Y".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ChannelEdge {
+    /// Channel name.
+    pub channel: String,
+    /// Module pushing into the channel.
+    pub producer: String,
+    /// Module popping from the channel.
+    pub consumer: String,
+}
+
+/// Everything the analytic model predicts about one simulated run.
+#[derive(Debug, Clone, Serialize)]
+pub struct AuditSpec {
+    /// Modeled clock frequency in Hz (converts predicted cycles to
+    /// predicted seconds).
+    pub freq_hz: f64,
+    /// Relative drift tolerance; modules beyond it are flagged.
+    pub tolerance: f64,
+    /// Per-module predictions. Modules that appear in the trace but not
+    /// here (readers, duplicators, …) are reported measurement-only and
+    /// never flagged for drift.
+    pub predictions: Vec<ModulePrediction>,
+    /// Known channel topology. May be left empty: the audit derives
+    /// producer/consumer from push/pop events in the trace and uses
+    /// these entries only to override or fill gaps (e.g. when a lane's
+    /// event ring dropped its early events).
+    pub edges: Vec<ChannelEdge>,
+    /// DRAM ceiling in seconds (0 when the design is not memory-bound):
+    /// the run cannot finish before the slowest stream has moved its
+    /// bytes, no matter what the pipeline does.
+    pub mem_ceiling_secs: f64,
+    /// Module names along the MDAG critical path (longest predicted-cycle
+    /// chain), producer to consumer. Informational; may be empty.
+    pub critical_path: Vec<String>,
+}
+
+impl AuditSpec {
+    /// A spec with the given frequency and the crate default tolerance
+    /// (honouring `FBLAS_AUDIT_TOLERANCE`).
+    pub fn new(freq_hz: f64) -> Self {
+        assert!(
+            freq_hz.is_finite() && freq_hz > 0.0,
+            "frequency must be positive"
+        );
+        AuditSpec {
+            freq_hz,
+            tolerance: crate::default_tolerance(),
+            predictions: Vec::new(),
+            edges: Vec::new(),
+            mem_ceiling_secs: 0.0,
+            critical_path: Vec::new(),
+        }
+    }
+
+    /// Set the drift tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(
+            tolerance.is_finite() && tolerance > 0.0,
+            "tolerance must be positive"
+        );
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Add a module prediction.
+    pub fn predict(mut self, p: ModulePrediction) -> Self {
+        self.predictions.push(p);
+        self
+    }
+
+    /// Record a known channel edge.
+    pub fn edge(
+        mut self,
+        channel: impl Into<String>,
+        producer: impl Into<String>,
+        consumer: impl Into<String>,
+    ) -> Self {
+        self.edges.push(ChannelEdge {
+            channel: channel.into(),
+            producer: producer.into(),
+            consumer: consumer.into(),
+        });
+        self
+    }
+
+    /// Predicted completion cycles of the whole streaming composition:
+    /// `Σ L_i + max_i (I_i·M_i)` over the predicted modules.
+    pub fn predicted_cycles(&self) -> u64 {
+        let latency: u64 = self.predictions.iter().map(|p| p.cost.latency).sum();
+        let max_work = self.predictions.iter().map(|p| p.work()).max().unwrap_or(0);
+        latency + max_work
+    }
+
+    /// Predicted completion time in seconds: the compute pipeline or the
+    /// DRAM ceiling, whichever is slower (the roofline of Sec. IV-B).
+    pub fn predicted_secs(&self) -> f64 {
+        (self.predicted_cycles() as f64 / self.freq_hz).max(self.mem_ceiling_secs)
+    }
+
+    /// Predicted busy share of a module: `I·M / max_j (I_j·M_j)`.
+    pub fn predicted_share(&self, p: &ModulePrediction) -> f64 {
+        let max_work = self.predictions.iter().map(|q| q.work()).max().unwrap_or(0);
+        if max_work == 0 {
+            return 0.0;
+        }
+        p.work() as f64 / max_work as f64
+    }
+
+    /// Whether the DRAM ceiling, not the pipeline, bounds the predicted
+    /// completion time.
+    pub fn memory_bound(&self) -> bool {
+        self.mem_ceiling_secs > self.predicted_cycles() as f64 / self.freq_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> AuditSpec {
+        AuditSpec::new(200.0e6)
+            .with_tolerance(0.2)
+            .predict(ModulePrediction::compute(
+                "axpy",
+                PipelineCost::pipelined(30, 1000),
+                1000,
+                16,
+            ))
+            .predict(ModulePrediction::compute(
+                "dot",
+                PipelineCost::pipelined(60, 500),
+                500,
+                16,
+            ))
+    }
+
+    #[test]
+    fn streamed_cycles_and_shares() {
+        let s = spec();
+        assert_eq!(s.predicted_cycles(), 30 + 60 + 1000);
+        assert!((s.predicted_share(&s.predictions[0]) - 1.0).abs() < 1e-12);
+        assert!((s.predicted_share(&s.predictions[1]) - 0.5).abs() < 1e-12);
+        assert!(!s.memory_bound());
+    }
+
+    #[test]
+    fn memory_ceiling_dominates_when_larger() {
+        let mut s = spec();
+        let pipeline_secs = s.predicted_cycles() as f64 / s.freq_hz;
+        s.mem_ceiling_secs = pipeline_secs * 10.0;
+        assert!(s.memory_bound());
+        assert!((s.predicted_secs() - s.mem_ceiling_secs).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency")]
+    fn zero_frequency_rejected() {
+        let _ = AuditSpec::new(0.0);
+    }
+}

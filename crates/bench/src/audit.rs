@@ -1,0 +1,291 @@
+//! Regression gating for `BENCH_*.json` artifacts.
+//!
+//! Every harness binary stamps its report with audit metadata
+//! ([`stamp_audit`]): the drift tolerance the gate applies and the
+//! columns that are *volatile* — measured wall-clock on the host running
+//! the harness (the `cpu_*` columns of Tables IV–VI) rather than
+//! deterministic model output. The `bench-diff` binary then compares a
+//! fresh run against the committed baselines under
+//! `benchmarks/baselines/`, skipping volatile columns, and fails CI on
+//! any relative change beyond tolerance.
+//!
+//! The model columns are pure functions of the paper's constants, so
+//! their baseline diff is exactly zero unless a model changed — the
+//! tolerance exists to give intentional recalibrations a visible,
+//! blessable threshold rather than a silent drift path.
+
+use std::path::{Path, PathBuf};
+
+use serde::Value;
+
+use crate::metrics::{validate_schema, BenchReport};
+
+/// Default relative-change tolerance of the bench gate, overridable per
+/// invocation with `bench-diff --tolerance`.
+pub const DEFAULT_BENCH_TOLERANCE: f64 = 0.02;
+
+/// Columns that are wall-clock measurements of the harness host rather
+/// than model output, identified by prefix. These never gate.
+pub const VOLATILE_PREFIX: &str = "cpu_";
+
+/// Stamp a report with the audit metadata the bench gate reads back:
+/// the gating tolerance and the report's volatile columns (beyond the
+/// implicit [`VOLATILE_PREFIX`] rule).
+pub fn stamp_audit(report: &mut BenchReport, volatile: &[&str]) {
+    report.meta("audit_tolerance", DEFAULT_BENCH_TOLERANCE);
+    report.meta("audit_volatile", volatile.join(","));
+}
+
+/// Whether a column is exempt from gating: explicitly listed in the
+/// baseline's `audit_volatile` meta, or matching [`VOLATILE_PREFIX`].
+pub fn is_volatile(column: &str, declared: &[String]) -> bool {
+    column.starts_with(VOLATILE_PREFIX) || declared.iter().any(|v| v == column)
+}
+
+/// One gated cell whose relative change exceeded tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Row index within `rows`.
+    pub row: usize,
+    /// Column name.
+    pub column: String,
+    /// Baseline cell, rendered as text.
+    pub baseline: String,
+    /// Current cell, rendered as text.
+    pub current: String,
+    /// Symmetric relative change (0 for pure string mismatches).
+    pub rel_change: f64,
+}
+
+impl DiffEntry {
+    /// Render as a one-line gate message.
+    pub fn describe(&self, bench: &str) -> String {
+        format!(
+            "{bench} row {} `{}`: baseline {} -> current {} ({:+.2}%)",
+            self.row,
+            self.column,
+            self.baseline,
+            self.current,
+            self.rel_change * 100.0
+        )
+    }
+}
+
+/// Symmetric relative difference, bounded to `[0, 1]`: 0 when equal,
+/// `|a-b| / max(|a|, |b|)` otherwise (so a zero baseline still gates).
+pub fn rel_change(baseline: f64, current: f64) -> f64 {
+    if baseline == current {
+        0.0
+    } else {
+        (baseline - current).abs() / baseline.abs().max(current.abs())
+    }
+}
+
+fn render_cell(v: &Value) -> String {
+    match v {
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::F64(f) => format!("{f:.6}"),
+        Value::Str(s) => format!("{s:?}"),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Volatile columns declared by a report's `audit_volatile` meta.
+pub fn declared_volatile(doc: &Value) -> Vec<String> {
+    doc.get("meta")
+        .and_then(|m| m.get("audit_volatile"))
+        .and_then(Value::as_str)
+        .map(|s| {
+            s.split(',')
+                .map(str::trim)
+                .filter(|c| !c.is_empty())
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Diff a current `BENCH_*.json` document against its baseline.
+///
+/// Structural mismatches — different bench name, row count, or a
+/// baseline column missing from the current run — are errors (`Err`);
+/// new columns in the current run are additive and ignored. Cell-level
+/// regressions beyond `tolerance` come back as [`DiffEntry`]s; an empty
+/// vector means the run is within tolerance everywhere.
+pub fn diff_docs(
+    baseline: &Value,
+    current: &Value,
+    tolerance: f64,
+) -> Result<Vec<DiffEntry>, String> {
+    validate_schema(baseline).map_err(|e| format!("baseline: {e}"))?;
+    validate_schema(current).map_err(|e| format!("current: {e}"))?;
+
+    let name = |doc: &Value| doc.get("bench").and_then(Value::as_str).map(String::from);
+    let (base_name, cur_name) = (name(baseline).unwrap(), name(current).unwrap());
+    if base_name != cur_name {
+        return Err(format!("bench name changed: {base_name} -> {cur_name}"));
+    }
+
+    fn rows(doc: &Value) -> &Vec<Value> {
+        doc.get("rows").and_then(Value::as_array).unwrap()
+    }
+    let (base_rows, cur_rows) = (rows(baseline), rows(current));
+    if base_rows.len() != cur_rows.len() {
+        return Err(format!(
+            "{base_name}: row count changed: {} -> {}",
+            base_rows.len(),
+            cur_rows.len()
+        ));
+    }
+
+    let volatile = declared_volatile(baseline);
+    let mut regressions = Vec::new();
+    for (i, (brow, crow)) in base_rows.iter().zip(cur_rows).enumerate() {
+        for (column, bval) in brow.as_object().unwrap() {
+            if is_volatile(column, &volatile) {
+                continue;
+            }
+            let cval = crow
+                .get(column)
+                .ok_or_else(|| format!("{base_name}: row {i} lost column `{column}`"))?;
+            let changed = match (bval.as_f64(), cval.as_f64()) {
+                (Some(b), Some(c)) => {
+                    let rel = rel_change(b, c);
+                    if rel > tolerance {
+                        Some(rel)
+                    } else {
+                        None
+                    }
+                }
+                // Non-numeric (or type-changed) cells gate on equality.
+                _ => (bval != cval).then_some(0.0),
+            };
+            if let Some(rel) = changed {
+                regressions.push(DiffEntry {
+                    row: i,
+                    column: column.clone(),
+                    baseline: render_cell(bval),
+                    current: render_cell(cval),
+                    rel_change: rel,
+                });
+            }
+        }
+    }
+    Ok(regressions)
+}
+
+/// The `BENCH_*.json` files in a directory, sorted by name.
+pub fn bench_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// Load and parse one bench document.
+pub fn load_doc(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("{}: {e:?}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Cell;
+
+    fn doc(name: &str, volatile: &[&str], rows: &[&[(&str, Cell)]]) -> Value {
+        let mut r = BenchReport::new(name);
+        stamp_audit(&mut r, volatile);
+        for row in rows {
+            r.add_row(row.iter().map(|(k, v)| (*k, v.clone())));
+        }
+        serde_json::from_str(&r.json()).unwrap()
+    }
+
+    #[test]
+    fn identical_docs_diff_clean() {
+        let rows: &[&[(&str, Cell)]] = &[&[("w", Cell::U(16)), ("gops", Cell::F(12.5))]];
+        let base = doc("t", &[], rows);
+        assert_eq!(diff_docs(&base, &base, 0.02).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_is_reported() {
+        let base = doc("t", &[], &[&[("gops", Cell::F(100.0))]]);
+        let cur = doc("t", &[], &[&[("gops", Cell::F(90.0))]]);
+        let regs = diff_docs(&base, &cur, 0.02).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].column, "gops");
+        assert!((regs[0].rel_change - 0.1).abs() < 1e-12);
+        assert!(regs[0].describe("t").contains("`gops`"));
+
+        // The same change passes a looser gate.
+        assert!(diff_docs(&base, &cur, 0.15).unwrap().is_empty());
+    }
+
+    #[test]
+    fn volatile_columns_never_gate() {
+        let base = doc(
+            "t",
+            &["host_jitter"],
+            &[&[
+                ("cpu_s", Cell::F(1.0)),
+                ("host_jitter", Cell::F(5.0)),
+                ("fpga_s", Cell::F(2.0)),
+            ]],
+        );
+        let cur = doc(
+            "t",
+            &["host_jitter"],
+            &[&[
+                ("cpu_s", Cell::F(9.0)),
+                ("host_jitter", Cell::F(50.0)),
+                ("fpga_s", Cell::F(2.0)),
+            ]],
+        );
+        assert!(diff_docs(&base, &cur, 0.02).unwrap().is_empty());
+        assert_eq!(declared_volatile(&base), vec!["host_jitter".to_string()]);
+    }
+
+    #[test]
+    fn structural_changes_are_errors() {
+        let base = doc("t", &[], &[&[("gops", Cell::F(1.0))]]);
+        let renamed = doc("u", &[], &[&[("gops", Cell::F(1.0))]]);
+        assert!(diff_docs(&base, &renamed, 0.02).is_err());
+
+        let fewer = doc("t", &[], &[]);
+        assert!(diff_docs(&base, &fewer, 0.02).is_err());
+
+        let lost_column = doc("t", &[], &[&[("other", Cell::F(1.0))]]);
+        assert!(diff_docs(&base, &lost_column, 0.02)
+            .unwrap_err()
+            .contains("lost column"));
+    }
+
+    #[test]
+    fn string_cells_gate_on_equality_and_zero_baselines_gate() {
+        let base = doc(
+            "t",
+            &[],
+            &[&[("mode", Cell::from("tiled")), ("x", Cell::F(0.0))]],
+        );
+        let cur = doc(
+            "t",
+            &[],
+            &[&[("mode", Cell::from("flat")), ("x", Cell::F(0.5))]],
+        );
+        let regs = diff_docs(&base, &cur, 0.02).unwrap();
+        let cols: Vec<&str> = regs.iter().map(|r| r.column.as_str()).collect();
+        assert_eq!(cols, vec!["mode", "x"]);
+        assert_eq!(rel_change(0.0, 0.5), 1.0);
+        assert_eq!(rel_change(3.0, 3.0), 0.0);
+    }
+}

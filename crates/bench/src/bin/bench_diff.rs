@@ -1,0 +1,167 @@
+//! Bench regression gate: diff fresh `BENCH_*.json` output against the
+//! committed baselines and fail on drift beyond tolerance.
+//!
+//! ```text
+//! bench-diff [--baselines DIR] [--current DIR] [--tolerance F] [--bless]
+//! ```
+//!
+//! * `--baselines` — committed reference documents
+//!   (default `benchmarks/baselines`);
+//! * `--current`  — a fresh run's output directory
+//!   (default `$FBLAS_BENCH_DIR`, else `.`);
+//! * `--tolerance` — symmetric relative change allowed per gated cell
+//!   (default [`DEFAULT_BENCH_TOLERANCE`]);
+//! * `--bless` — instead of gating, copy the current documents over the
+//!   baselines (the documented refresh procedure after an intentional
+//!   model change).
+//!
+//! Exit status: 0 clean, 1 regression or structural drift, 2 usage/IO
+//! error. Volatile columns (`cpu_*` and anything listed in a baseline's
+//! `audit_volatile` meta) never gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fblas_bench::audit::{bench_files, diff_docs, load_doc, DEFAULT_BENCH_TOLERANCE};
+
+struct Args {
+    baselines: PathBuf,
+    current: PathBuf,
+    tolerance: f64,
+    bless: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baselines: PathBuf::from("benchmarks/baselines"),
+        current: PathBuf::from(
+            std::env::var("FBLAS_BENCH_DIR").unwrap_or_else(|_| ".".to_string()),
+        ),
+        tolerance: DEFAULT_BENCH_TOLERANCE,
+        bless: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--baselines" => args.baselines = PathBuf::from(value("--baselines")?),
+            "--current" => args.current = PathBuf::from(value("--current")?),
+            "--tolerance" => {
+                let raw = value("--tolerance")?;
+                args.tolerance = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| format!("bad --tolerance `{raw}`"))?;
+            }
+            "--bless" => args.bless = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn bless(args: &Args) -> Result<(), String> {
+    let files =
+        bench_files(&args.current).map_err(|e| format!("{}: {e}", args.current.display()))?;
+    if files.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json in {} to bless",
+            args.current.display()
+        ));
+    }
+    std::fs::create_dir_all(&args.baselines)
+        .map_err(|e| format!("{}: {e}", args.baselines.display()))?;
+    for file in files {
+        load_doc(&file)?; // refuse to bless unparseable output
+        let dest = args.baselines.join(file.file_name().unwrap());
+        std::fs::copy(&file, &dest).map_err(|e| format!("{}: {e}", dest.display()))?;
+        println!("blessed {}", dest.display());
+    }
+    Ok(())
+}
+
+fn gate(args: &Args) -> Result<usize, String> {
+    let baselines =
+        bench_files(&args.baselines).map_err(|e| format!("{}: {e}", args.baselines.display()))?;
+    if baselines.is_empty() {
+        return Err(format!(
+            "no baselines in {} (run bench-diff --bless after a clean run)",
+            args.baselines.display()
+        ));
+    }
+    let mut failures = 0usize;
+    for base_path in baselines {
+        let file = base_path.file_name().unwrap();
+        let cur_path = args.current.join(file);
+        let base = load_doc(&base_path)?;
+        if !cur_path.exists() {
+            println!(
+                "FAIL {}: no current run (expected {})",
+                file.to_string_lossy(),
+                cur_path.display()
+            );
+            failures += 1;
+            continue;
+        }
+        let cur = load_doc(&cur_path)?;
+        let bench = base
+            .get("bench")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string();
+        match diff_docs(&base, &cur, args.tolerance) {
+            Err(e) => {
+                println!("FAIL {bench}: {e}");
+                failures += 1;
+            }
+            Ok(regs) if !regs.is_empty() => {
+                for r in &regs {
+                    println!("FAIL {}", r.describe(&bench));
+                }
+                failures += 1;
+            }
+            Ok(_) => println!("ok   {bench}"),
+        }
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.bless {
+        return match bless(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bench-diff: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    match gate(&args) {
+        Ok(0) => {
+            println!(
+                "bench-diff: all benches within {:.1}% of baseline",
+                args.tolerance * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(n) => {
+            println!(
+                "bench-diff: {n} bench(es) drifted beyond tolerance {:.1}%",
+                args.tolerance * 100.0
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

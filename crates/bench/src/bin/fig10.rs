@@ -189,6 +189,7 @@ fn panel_gemm<T: Scalar>(device: Device, pr: usize, pc: usize, report: &mut Benc
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let mut report = BenchReport::new("fig10");
+    fblas_bench::audit::stamp_audit(&mut report, &[]);
     report.meta("selection", which.clone());
 
     if which == "dot" || which == "all" {

@@ -11,6 +11,7 @@ use fblas_bench::model;
 
 fn main() {
     let mut report = BenchReport::new("fig11");
+    fblas_bench::audit::stamp_audit(&mut report, &[]);
     report
         .meta("device", "Stratix 10")
         .meta("precision", "f32")

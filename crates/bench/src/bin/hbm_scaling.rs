@@ -19,6 +19,7 @@ use fblas_bench::model;
 
 fn main() {
     let mut report = BenchReport::new("hbm_scaling");
+    fblas_bench::audit::stamp_audit(&mut report, &[]);
     let hbm = Device::AlveoU280;
     let ddr = Device::Stratix10Gx2800;
     let m_hbm = hbm.model();

@@ -62,6 +62,7 @@ fn main() {
     );
     println!("     |          SCAL              |            DOT            |");
     let mut report = BenchReport::new("table1");
+    fblas_bench::audit::stamp_audit(&mut report, &[]);
     report.meta("precision", "f32").meta("n", 1u64 << 20);
     for i in 0..6 {
         let (w, ..) = PAPER_SCAL[i];

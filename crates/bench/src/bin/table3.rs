@@ -174,6 +174,7 @@ fn row<T: Scalar>(
 
 fn main() {
     let mut report = BenchReport::new("table3");
+    fblas_bench::audit::stamp_audit(&mut report, &[]);
     println!("=== Table III: module resources, frequency (MHz), power (W) ===\n");
     println!(
         "{:<14} | {:<58} | {:>5} {:>5} |",

@@ -21,6 +21,7 @@ fn size_k(n: usize) -> String {
 
 fn main() {
     let mut report = BenchReport::new("table4");
+    fblas_bench::audit::stamp_audit(&mut report, &["cpu_s", "cpu_basis"]);
     report.meta("device", "Stratix 10");
     let dev = Device::Stratix10Gx2800;
     let threads = default_threads();

@@ -12,6 +12,7 @@ use fblas_refblas::parallel::default_threads;
 
 fn main() {
     let mut report = BenchReport::new("table5");
+    fblas_bench::audit::stamp_audit(&mut report, &["cpu_us"]);
     report.meta("device", "Stratix 10").meta("dim", 4u64);
     let dev = Device::Stratix10Gx2800;
     let threads = default_threads();

@@ -11,6 +11,7 @@ use fblas_bench::{cpu, fmt_time, model};
 
 fn main() {
     let mut report = BenchReport::new("table6");
+    fblas_bench::audit::stamp_audit(&mut report, &["cpu_s", "cpu_basis"]);
     report.meta("device", "Stratix 10");
     let dev = Device::Stratix10Gx2800;
     println!("=== Table VI: CPU vs FPGA, composed kernels (Stratix 10) ===\n");

@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use fblas_audit::{AuditReport, AuditSpec, ModulePrediction};
 use fblas_hlssim::{channel, ModuleKind, Receiver, Sender, SimError, Simulation};
 use fblas_trace::{ModuleScope, Tracer};
 use parking_lot::Mutex;
@@ -115,17 +116,7 @@ pub fn execute_plan_traced<T: Scalar>(
     buffers: &HashMap<String, DeviceBuffer<T>>,
     tracer: Option<&Tracer>,
 ) -> Result<ExecOutcome<T>, ExecError> {
-    // Shape-check the bindings up front.
-    for op in program.ops() {
-        for name in op_operands(op) {
-            if let Ok(l) = program.vec_len(name) {
-                check_buffer(buffers, name, l)?;
-            } else if let Ok((n, m)) = program.mat_dims(name) {
-                check_buffer(buffers, name, n * m)?;
-            }
-            // Scalars need no buffer.
-        }
-    }
+    check_bindings(program, buffers)?;
 
     let scalars: Arc<Mutex<HashMap<String, T>>> = Arc::new(Mutex::new(HashMap::new()));
     for (ix, component) in plan.components.iter().enumerate() {
@@ -143,12 +134,97 @@ pub fn execute_plan_traced<T: Scalar>(
             buffers,
             &scalars,
             tracer,
+            None,
         )?;
     }
     let scalars = Arc::try_unwrap(scalars)
         .map(|m| m.into_inner())
         .unwrap_or_else(|arc| arc.lock().clone());
     Ok(ExecOutcome { scalars })
+}
+
+/// [`execute_plan`] with a performance audit of every component: each
+/// component runs under its own [`Tracer`], the pipeline costs of the
+/// computational modules it instantiates are recorded as they are
+/// attached, and after the run the predicted and measured sides are
+/// joined into one [`AuditReport`] per component (in schedule order).
+///
+/// `freq_hz` is the modeled clock the predictions are stated at (use
+/// [`crate::perf::estimate_time`]'s achieved frequency for a device-
+/// accurate figure) and `tolerance` the busy-share drift beyond which a
+/// module is flagged.
+pub fn execute_plan_audited<T: Scalar>(
+    program: &Program,
+    plan: &Plan,
+    cfg: &PlannerConfig,
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+    freq_hz: f64,
+    tolerance: f64,
+) -> Result<(ExecOutcome<T>, Vec<AuditReport>), ExecError> {
+    check_bindings(program, buffers)?;
+
+    let scalars: Arc<Mutex<HashMap<String, T>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut reports = Vec::with_capacity(plan.components.len());
+    for component in &plan.components {
+        // A fresh tracer per component keeps each audit's lanes (and the
+        // busy-share normalization over them) scoped to the modules that
+        // actually ran together.
+        let tracer = Tracer::new();
+        let mut predictions: Vec<ModulePrediction> = Vec::new();
+        run_component(
+            program,
+            cfg,
+            &component.ops,
+            &component.gemv_variants,
+            buffers,
+            &scalars,
+            Some(&tracer),
+            Some(&mut predictions),
+        )?;
+        let mut spec = AuditSpec::new(freq_hz).with_tolerance(tolerance);
+        spec.predictions = merge_predictions(predictions);
+        reports.push(fblas_audit::report::audit_tracer(&spec, &tracer));
+    }
+    let scalars = Arc::try_unwrap(scalars)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|arc| arc.lock().clone());
+    Ok((ExecOutcome { scalars }, reports))
+}
+
+/// Shape-check every operand binding up front.
+fn check_bindings<T: Scalar>(
+    program: &Program,
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+) -> Result<(), ExecError> {
+    for op in program.ops() {
+        for name in op_operands(op) {
+            if let Ok(l) = program.vec_len(name) {
+                check_buffer(buffers, name, l)?;
+            } else if let Ok((n, m)) = program.mat_dims(name) {
+                check_buffer(buffers, name, n * m)?;
+            }
+            // Scalars need no buffer.
+        }
+    }
+    Ok(())
+}
+
+/// Collapse predictions sharing a module name into one entry — two ops
+/// of the same kind in one component run on identically named modules,
+/// and their trace lanes aggregate the same way. Latencies and
+/// iteration counts add (all modules here are `I = 1`).
+fn merge_predictions(preds: Vec<ModulePrediction>) -> Vec<ModulePrediction> {
+    let mut out: Vec<ModulePrediction> = Vec::new();
+    for p in preds {
+        if let Some(q) = out.iter_mut().find(|q| q.module == p.module) {
+            q.cost.latency += p.cost.latency;
+            q.cost.iterations += p.cost.iterations;
+            q.elements += p.elements;
+        } else {
+            out.push(p);
+        }
+    }
+    out
 }
 
 fn op_operands(op: &Op) -> Vec<&str> {
@@ -205,6 +281,7 @@ fn run_component<T: Scalar>(
     buffers: &HashMap<String, DeviceBuffer<T>>,
     scalars: &Arc<Mutex<HashMap<String, T>>>,
     tracer: Option<&Tracer>,
+    mut predictions: Option<&mut Vec<ModulePrediction>>,
 ) -> Result<(), ExecError> {
     let mut sim = Simulation::new();
     if let Some(t) = tracer {
@@ -334,14 +411,30 @@ fn run_component<T: Scalar>(
                 )?;
                 match op {
                     Op::Scal { alpha, .. } => {
-                        Scal::new(n, cfg.tm.clamp(1, 16)).attach(
-                            &mut sim,
-                            T::from_f64(*alpha),
-                            rx,
-                            tx,
-                        );
+                        let w = cfg.tm.clamp(1, 16);
+                        let s = Scal::new(n, w);
+                        if let Some(preds) = predictions.as_deref_mut() {
+                            preds.push(ModulePrediction::compute(
+                                "scal",
+                                s.cost::<T>(),
+                                n as u64,
+                                w as u64,
+                            ));
+                        }
+                        s.attach(&mut sim, T::from_f64(*alpha), rx, tx);
                     }
-                    _ => VecCopy::new(n, 16).attach(&mut sim, rx, tx),
+                    _ => {
+                        let c = VecCopy::new(n, 16);
+                        if let Some(preds) = predictions.as_deref_mut() {
+                            preds.push(ModulePrediction::compute(
+                                "copy",
+                                c.cost::<T>(),
+                                n as u64,
+                                16,
+                            ));
+                        }
+                        c.attach(&mut sim, rx, tx);
+                    }
                 }
             }
             Op::Axpy { alpha, x, y, .. } => {
@@ -357,14 +450,32 @@ fn run_component<T: Scalar>(
                     &out_name,
                     &out_consumers,
                 )?;
-                Axpy::new(n, 16).attach(&mut sim, T::from_f64(*alpha), rx, ry, tx);
+                let a = Axpy::new(n, 16);
+                if let Some(preds) = predictions.as_deref_mut() {
+                    preds.push(ModulePrediction::compute(
+                        "axpy",
+                        a.cost::<T>(),
+                        n as u64,
+                        16,
+                    ));
+                }
+                a.attach(&mut sim, T::from_f64(*alpha), rx, ry, tx);
             }
             Op::Dot { x, y, out } => {
                 let n = program.vec_len(x)?;
                 let rx = take_input(&mut sim, x, 1)?;
                 let ry = take_input(&mut sim, y, 1)?;
                 let (tr, rr) = channel(sim.ctx(), 1, format!("{out}_res"));
-                Dot::new(n, 16).attach(&mut sim, rx, ry, tr);
+                let d = Dot::new(n, 16);
+                if let Some(preds) = predictions.as_deref_mut() {
+                    preds.push(ModulePrediction::compute(
+                        "dot",
+                        d.cost::<T>(),
+                        n as u64,
+                        16,
+                    ));
+                }
+                d.attach(&mut sim, rx, ry, tr);
                 let out = out.clone();
                 let scalars = scalars.clone();
                 sim.add_module(format!("store_{out}"), ModuleKind::Interface, move || {
@@ -391,6 +502,19 @@ fn run_component<T: Scalar>(
                     cfg.tm.min(m.max(1)),
                     16,
                 );
+                if let Some(preds) = predictions.as_deref_mut() {
+                    let name = if variant.transposed() {
+                        "gemv_t"
+                    } else {
+                        "gemv"
+                    };
+                    preds.push(ModulePrediction::compute(
+                        name,
+                        g.cost::<T>(),
+                        (n * m) as u64,
+                        16,
+                    ));
+                }
                 let ra = take_input(&mut sim, a, 1)?;
                 let rxv = take_input(&mut sim, x, x_reps(oi))?;
                 // Effective beta: 0 when no y operand is given.
@@ -460,6 +584,14 @@ fn run_component<T: Scalar>(
             Op::Ger { alpha, a, x, y, .. } => {
                 let (n, m) = program.mat_dims(a)?;
                 let g = Ger::new(n, m, cfg.tn.min(n.max(1)), cfg.tm.min(m.max(1)), 16);
+                if let Some(preds) = predictions.as_deref_mut() {
+                    preds.push(ModulePrediction::compute(
+                        "ger",
+                        g.cost::<T>(),
+                        (n * m) as u64,
+                        16,
+                    ));
+                }
                 let ra = take_input(&mut sim, a, 1)?;
                 let rxv = take_input(&mut sim, x, 1)?;
                 let ryv = take_input(&mut sim, y, g.y_repetitions())?;
@@ -967,6 +1099,68 @@ mod tests {
                 r.x[i]
             );
             assert!((w[i] - r.w[i]).abs() < 1e-9, "w[{i}]");
+        }
+    }
+
+    #[test]
+    fn audited_execution_reports_per_component_predictions() {
+        let n = 257;
+        let mut p = Program::new();
+        p.vector("w", n)
+            .vector("v", n)
+            .vector("u", n)
+            .vector("z", n)
+            .scalar("beta");
+        p.op(Op::Axpy {
+            alpha: -0.8,
+            x: "v".into(),
+            y: "w".into(),
+            out: "z".into(),
+        });
+        p.op(Op::Dot {
+            x: "z".into(),
+            y: "u".into(),
+            out: "beta".into(),
+        });
+        let cfg = PlannerConfig {
+            tn: 8,
+            tm: 8,
+            ..Default::default()
+        };
+        let thep = plan(&p, &cfg).unwrap();
+
+        let wv = seq(n, 0.0);
+        let vv = seq(n, 1.0);
+        let uv = seq(n, 2.0);
+        let bufs = bind(vec![
+            ("w", wv.clone()),
+            ("v", vv.clone()),
+            ("u", uv.clone()),
+            ("z", vec![0.0; n]),
+        ]);
+        // A wide tolerance: this checks plumbing, not timing fidelity —
+        // wall-clock shares on a loaded test host are not the subject.
+        let (out, reports) =
+            execute_plan_audited::<f64>(&p, &thep, &cfg, &bufs, 200.0e6, 1.0).unwrap();
+
+        let (_, beta_ref) = refblas::apps::axpydot(&wv, &vv, &uv, 0.8);
+        assert!((out.scalars["beta"] - beta_ref).abs() < 1e-9);
+
+        assert_eq!(reports.len(), thep.components.len());
+        let all: Vec<&fblas_audit::ModuleAudit> =
+            reports.iter().flat_map(|r| r.modules.iter()).collect();
+        for routine in ["axpy", "dot"] {
+            let row = all
+                .iter()
+                .find(|m| m.module == routine)
+                .unwrap_or_else(|| panic!("no audit row for {routine}"));
+            assert!(row.predicted_cycles.is_some(), "{routine} not predicted");
+            assert!(row.run_us > 0, "{routine} lane never ran");
+        }
+        for r in &reports {
+            assert!(r.predicted_cycles > 0);
+            assert!(r.bottleneck.is_some(), "no bottleneck named");
+            assert!(!r.memory_bound);
         }
     }
 

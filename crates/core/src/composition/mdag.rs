@@ -269,6 +269,48 @@ impl Mdag {
         Validity::Valid
     }
 
+    /// Longest node-weighted path through the MDAG, producer to
+    /// consumer — with per-module predicted cycles as weights this is
+    /// the composition's critical path, the chain of modules that bounds
+    /// `Σ L_i + max_i (I_i·M_i)` end to end. Returns node names in path
+    /// order; `None` for cyclic graphs, `Some(vec![])` for empty ones.
+    pub fn critical_path(&self, node_weight: impl Fn(NodeId) -> u64) -> Option<Vec<String>> {
+        let order = self.topo_order()?;
+        let n = self.nodes.len();
+        if n == 0 {
+            return Some(Vec::new());
+        }
+        let mut best = vec![0u64; n];
+        let mut pred: Vec<Option<usize>> = vec![None; n];
+        for &u in &order {
+            let mut inc = 0u64;
+            let mut p = None;
+            for e in &self.edges {
+                if e.to.0 != u {
+                    continue;
+                }
+                if p.is_none() || best[e.from.0] > inc {
+                    inc = best[e.from.0];
+                    p = Some(e.from.0);
+                }
+            }
+            best[u] = node_weight(NodeId(u)) + inc;
+            pred[u] = p;
+        }
+        let mut at = (0..n).max_by_key(|&i| best[i]).expect("n > 0");
+        let mut path = vec![at];
+        while let Some(p) = pred[at] {
+            path.push(p);
+            at = p;
+        }
+        path.reverse();
+        Some(
+            path.into_iter()
+                .map(|i| self.nodes[i].name.clone())
+                .collect(),
+        )
+    }
+
     /// Total off-chip I/O operations: elements crossing edges incident
     /// to an interface module — the metric the paper uses to compare
     /// streaming against host-layer execution (e.g. AXPYDOT: 7N → 3N+1).
@@ -428,6 +470,36 @@ mod tests {
         g.add_edge(a, b, 5, 5, 4);
         g.add_edge(a, b, 7, 7, 4);
         assert_eq!(g.is_multitree(), Some(false));
+    }
+
+    #[test]
+    fn critical_path_follows_the_heaviest_chain() {
+        let g = axpydot_mdag(1000);
+        let weight = |id: NodeId| match g.node_name(id) {
+            "axpy" => 1030u64,
+            "dot" => 1060,
+            name if name.starts_with("read_") => 1000,
+            _ => 1,
+        };
+        let path = g.critical_path(weight).unwrap();
+        assert_eq!(path.last().unwrap(), "write_beta");
+        assert!(path.contains(&"axpy".to_string()));
+        assert!(path.contains(&"dot".to_string()));
+        // The path enters through one of the reads feeding AXPY, not the
+        // shorter read_u → dot hop.
+        assert!(path.first().unwrap().starts_with("read_"));
+        assert_eq!(path.len(), 4);
+    }
+
+    #[test]
+    fn critical_path_rejects_cycles_and_handles_empty_graphs() {
+        let mut g = Mdag::new();
+        assert_eq!(g.critical_path(|_| 1), Some(Vec::new()));
+        let a = g.add_compute("a");
+        let b = g.add_compute("b");
+        g.add_edge(a, b, 1, 1, 1);
+        g.add_edge(b, a, 1, 1, 1);
+        assert_eq!(g.critical_path(|_| 1), None);
     }
 
     #[test]

@@ -11,6 +11,8 @@ pub mod executor;
 pub mod mdag;
 pub mod planner;
 
-pub use executor::{execute_plan, execute_plan_traced, ExecError, ExecOutcome};
+pub use executor::{
+    execute_plan, execute_plan_audited, execute_plan_traced, ExecError, ExecOutcome,
+};
 pub use mdag::{EdgeId, Mdag, NodeId, Validity};
 pub use planner::{interpret, plan, Op, Plan, PlanError, PlannedComponent, PlannerConfig, Program};

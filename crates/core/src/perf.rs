@@ -136,6 +136,24 @@ pub fn estimate_time(
     }
 }
 
+/// Seed an [`AuditSpec`](fblas_audit::AuditSpec) from a design's timing
+/// estimate: the achieved clock becomes the spec's frequency, the
+/// estimate's seconds become the DRAM ceiling when the design is
+/// memory-bound, and the given per-module predictions and MDAG critical
+/// path are carried through. The returned spec is ready to be joined
+/// with a traced simulation run via [`fblas_audit::audit`].
+pub fn audit_spec(
+    est: &TimingEstimate,
+    predictions: Vec<fblas_audit::ModulePrediction>,
+    critical_path: Vec<String>,
+) -> fblas_audit::AuditSpec {
+    let mut spec = fblas_audit::AuditSpec::new(est.freq_hz);
+    spec.mem_ceiling_secs = if est.memory_bound { est.seconds } else { 0.0 };
+    spec.critical_path = critical_path;
+    spec.predictions = predictions;
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +233,55 @@ mod tests {
         let t_sep = args(&separate);
         let t_shared = args(&shared);
         assert!(t_shared.seconds > 1.9 * t_sep.seconds);
+    }
+
+    #[test]
+    fn audit_spec_carries_frequency_ceiling_and_path() {
+        use fblas_audit::ModulePrediction;
+
+        let n: u64 = 1 << 26;
+        let (est, cost) = dot_setup(256, n);
+        let mem = Device::Stratix10Gx2800.memory();
+        let streams = [StreamDemand::new(0, 4 * n), StreamDemand::new(1, 4 * n)];
+        let t = estimate_time(
+            Device::Stratix10Gx2800,
+            RoutineClass::Streaming,
+            true,
+            &est,
+            2,
+            4,
+            cost,
+            &streams,
+            &mem,
+        );
+        assert!(t.memory_bound);
+        let spec = audit_spec(
+            &t,
+            vec![ModulePrediction::compute("dot", cost, n, 256)],
+            vec!["read_x".into(), "dot".into(), "store".into()],
+        );
+        assert_eq!(spec.freq_hz, t.freq_hz);
+        assert!(spec.memory_bound());
+        assert_eq!(spec.mem_ceiling_secs, t.seconds);
+        assert_eq!(spec.critical_path.len(), 3);
+        assert_eq!(spec.predictions.len(), 1);
+
+        // A compute-bound estimate contributes no ceiling.
+        let (est2, cost2) = dot_setup(64, 1 << 24);
+        let t2 = estimate_time(
+            Device::Stratix10Gx2800,
+            RoutineClass::Streaming,
+            true,
+            &est2,
+            0,
+            4,
+            cost2,
+            &[],
+            &mem,
+        );
+        let spec2 = audit_spec(&t2, Vec::new(), Vec::new());
+        assert_eq!(spec2.mem_ceiling_secs, 0.0);
+        assert!(!spec2.memory_bound());
     }
 
     #[test]

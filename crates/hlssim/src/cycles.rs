@@ -18,7 +18,7 @@
 //! `L_copy + L_axpy + L_dot + N` reduction for AXPYDOT.
 
 /// Cost descriptor of one fully pipelined module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct PipelineCost {
     /// Pipeline latency `L` in cycles — the circuit depth `CD` of Sec. IV-A.
     pub latency: u64,
@@ -70,7 +70,7 @@ pub fn streamed_cycles(costs: &[PipelineCost]) -> u64 {
 
 /// Aggregated cost comparison between running a set of modules one-by-one
 /// through the host layer and running them as a streaming composition.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct CompositionCost {
     /// `Σ (L_i + I_i·M_i)` — modules executed back-to-back.
     pub sequential_cycles: u64,

@@ -38,5 +38,7 @@ pub use channel::{channel, ChannelStats, Receiver, Sender};
 pub use cycles::{streamed_cycles, CompositionCost, PipelineCost};
 pub use error::SimError;
 pub use module::{ModuleKind, ModuleSpec};
-pub use simulation::{default_grace, SimContext, Simulation, SimulationReport};
+pub use simulation::{
+    default_grace, parse_stall_grace_ms, SimContext, Simulation, SimulationReport, DEFAULT_GRACE,
+};
 pub use stall::{BlockedModule, StallReport, WaitDirection};

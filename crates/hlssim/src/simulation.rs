@@ -187,7 +187,7 @@ pub struct Simulation {
 /// declaring a stall. Long enough to be robust against scheduling noise,
 /// short enough for tests that deliberately construct invalid
 /// compositions.
-const DEFAULT_GRACE: Duration = Duration::from_millis(250);
+pub const DEFAULT_GRACE: Duration = Duration::from_millis(250);
 
 /// The grace period new simulations start with: [`DEFAULT_GRACE`] unless
 /// the `FBLAS_STALL_GRACE_MS` environment variable overrides it (useful on
@@ -196,10 +196,15 @@ const DEFAULT_GRACE: Duration = Duration::from_millis(250);
 /// to the default. Per-simulation [`Simulation::set_grace`] still wins.
 pub fn default_grace() -> Duration {
     static GRACE: OnceLock<Duration> = OnceLock::new();
-    *GRACE.get_or_init(|| parse_grace(std::env::var("FBLAS_STALL_GRACE_MS").ok().as_deref()))
+    *GRACE
+        .get_or_init(|| parse_stall_grace_ms(std::env::var("FBLAS_STALL_GRACE_MS").ok().as_deref()))
 }
 
-fn parse_grace(raw: Option<&str>) -> Duration {
+/// Parse an `FBLAS_STALL_GRACE_MS` value: a positive integer number of
+/// milliseconds. Unset, zero, and unparsable values fall back to
+/// [`DEFAULT_GRACE`] — a zero grace would make the watchdog declare a
+/// stall on the first scheduling hiccup.
+pub fn parse_stall_grace_ms(raw: Option<&str>) -> Duration {
     raw.and_then(|v| v.trim().parse::<u64>().ok())
         .filter(|ms| *ms > 0)
         .map(Duration::from_millis)
@@ -471,6 +476,50 @@ mod tests {
     use crate::stall::WaitDirection;
 
     #[test]
+    fn stall_grace_parsing_rejects_zero_and_garbage() {
+        assert_eq!(parse_stall_grace_ms(None), DEFAULT_GRACE);
+        assert_eq!(
+            parse_stall_grace_ms(Some("1500")),
+            Duration::from_millis(1500)
+        );
+        assert_eq!(
+            parse_stall_grace_ms(Some(" 40 ")),
+            Duration::from_millis(40)
+        );
+        assert_eq!(parse_stall_grace_ms(Some("0")), DEFAULT_GRACE);
+        assert_eq!(parse_stall_grace_ms(Some("-5")), DEFAULT_GRACE);
+        assert_eq!(parse_stall_grace_ms(Some("2.5")), DEFAULT_GRACE);
+        assert_eq!(parse_stall_grace_ms(Some("soon")), DEFAULT_GRACE);
+        assert_eq!(parse_stall_grace_ms(Some("")), DEFAULT_GRACE);
+    }
+
+    #[test]
+    fn occupancy_sampler_handles_an_empty_simulation() {
+        // No modules at all: the watchdog's first poll doubles as the
+        // sampling tick, must probe the (idle) channel without touching
+        // any module state, and the run completes immediately.
+        let tracer = fblas_trace::Tracer::new();
+        let mut sim = Simulation::new();
+        sim.set_tracer(tracer.clone());
+        let (_tx, _rx) = channel::<u8>(sim.ctx(), 4, "idle");
+        let report = sim.run().unwrap();
+        assert!(report.modules.is_empty());
+        assert_eq!(report.transfers, 0);
+
+        let series = tracer.series();
+        let samples = &series["occ:idle"];
+        assert!(!samples.is_empty(), "sampler ticked at least once");
+        assert!(samples.iter().all(|(_, occ)| *occ == 0.0));
+        // No lanes were flushed and no stall was declared.
+        assert!(tracer.lanes().is_empty());
+        assert!(!tracer
+            .metrics()
+            .snapshot()
+            .counters
+            .contains_key("sim.stalls"));
+    }
+
+    #[test]
     fn two_module_pipeline_completes() {
         let mut sim = Simulation::new();
         let (tx, rx) = channel::<u64>(sim.ctx(), 8, "ch");
@@ -637,15 +686,6 @@ mod tests {
         assert_eq!(name, "probed");
         assert_eq!(stats.transferred, 100);
         assert!(stats.max_occupancy <= 4);
-    }
-
-    #[test]
-    fn grace_override_parses_and_rejects_garbage() {
-        assert_eq!(parse_grace(None), DEFAULT_GRACE);
-        assert_eq!(parse_grace(Some("40")), Duration::from_millis(40));
-        assert_eq!(parse_grace(Some(" 1000 ")), Duration::from_millis(1000));
-        assert_eq!(parse_grace(Some("0")), DEFAULT_GRACE);
-        assert_eq!(parse_grace(Some("soon")), DEFAULT_GRACE);
     }
 
     #[test]

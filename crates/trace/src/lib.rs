@@ -93,6 +93,33 @@ pub struct Lane {
     pub full_stall_us: u64,
     /// Cumulative µs spent blocked on empty FIFOs.
     pub empty_stall_us: u64,
+    /// Per-channel µs blocked pushing into a full FIFO. Exact counters,
+    /// maintained alongside the ring — unlike the ring they never drop,
+    /// so downstream consumers (the audit layer) can attribute stall
+    /// time even for runs far longer than the ring.
+    pub full_stall_by_channel: Vec<(Arc<str>, u64)>,
+    /// Per-channel µs blocked popping from an empty FIFO.
+    pub empty_stall_by_channel: Vec<(Arc<str>, u64)>,
+    /// Per-channel push counts.
+    pub pushes_by_channel: Vec<(Arc<str>, u64)>,
+    /// Per-channel pop counts.
+    pub pops_by_channel: Vec<(Arc<str>, u64)>,
+}
+
+impl Lane {
+    /// Length of the module's run span in µs.
+    pub fn run_us(&self) -> u64 {
+        self.ended_us.saturating_sub(self.started_us)
+    }
+
+    /// Time the module was not blocked on any FIFO, in µs (saturating:
+    /// the stall ledgers can exceed the span by a few µs of bookkeeping
+    /// skew).
+    pub fn busy_us(&self) -> u64 {
+        self.run_us()
+            .saturating_sub(self.full_stall_us)
+            .saturating_sub(self.empty_stall_us)
+    }
 }
 
 /// Default per-lane event-ring capacity.
@@ -190,6 +217,25 @@ struct Recorder {
     pops: u64,
     full_stall_us: u64,
     empty_stall_us: u64,
+    full_stall_by_channel: Vec<(Arc<str>, u64)>,
+    empty_stall_by_channel: Vec<(Arc<str>, u64)>,
+    pushes_by_channel: Vec<(Arc<str>, u64)>,
+    pops_by_channel: Vec<(Arc<str>, u64)>,
+}
+
+/// Add `amount` to `channel`'s entry in a per-channel ledger. Modules
+/// touch a handful of channels, so a linear scan (pointer comparison
+/// first — channel names are shared `Arc`s) beats a map and allocates
+/// only on first sight of a channel.
+fn bump(ledger: &mut Vec<(Arc<str>, u64)>, channel: &Arc<str>, amount: u64) {
+    if let Some(entry) = ledger
+        .iter_mut()
+        .find(|(c, _)| Arc::ptr_eq(c, channel) || **c == **channel)
+    {
+        entry.1 += amount;
+    } else {
+        ledger.push((channel.clone(), amount));
+    }
 }
 
 impl Recorder {
@@ -234,6 +280,10 @@ impl ModuleScope {
             pops: 0,
             full_stall_us: 0,
             empty_stall_us: 0,
+            full_stall_by_channel: Vec::new(),
+            empty_stall_by_channel: Vec::new(),
+            pushes_by_channel: Vec::new(),
+            pops_by_channel: Vec::new(),
         });
         let data = ScopeData {
             module: Arc::from(module),
@@ -272,6 +322,10 @@ impl Drop for ModuleScope {
             pops: rec.pops,
             full_stall_us: rec.full_stall_us,
             empty_stall_us: rec.empty_stall_us,
+            full_stall_by_channel: rec.full_stall_by_channel,
+            empty_stall_by_channel: rec.empty_stall_by_channel,
+            pushes_by_channel: rec.pushes_by_channel,
+            pops_by_channel: rec.pops_by_channel,
         });
     }
 }
@@ -315,8 +369,14 @@ pub fn record_channel_op(kind: EventKind, channel: &Arc<str>, started_us: u64, w
                 _ => EventKind::EmptyStall,
             };
             match stall_kind {
-                EventKind::FullStall => rec.full_stall_us += dur,
-                _ => rec.empty_stall_us += dur,
+                EventKind::FullStall => {
+                    rec.full_stall_us += dur;
+                    bump(&mut rec.full_stall_by_channel, channel, dur);
+                }
+                _ => {
+                    rec.empty_stall_us += dur;
+                    bump(&mut rec.empty_stall_by_channel, channel, dur);
+                }
             }
             rec.record(TraceEvent {
                 kind: stall_kind,
@@ -326,8 +386,14 @@ pub fn record_channel_op(kind: EventKind, channel: &Arc<str>, started_us: u64, w
             });
         }
         match kind {
-            EventKind::Push => rec.pushes += 1,
-            _ => rec.pops += 1,
+            EventKind::Push => {
+                rec.pushes += 1;
+                bump(&mut rec.pushes_by_channel, channel, 1);
+            }
+            _ => {
+                rec.pops += 1;
+                bump(&mut rec.pops_by_channel, channel, 1);
+            }
         }
         rec.record(TraceEvent {
             kind,
@@ -401,6 +467,32 @@ mod tests {
         assert_eq!(lane.pushes, 100);
         assert!(lane.dropped > 0);
         assert!(lane.events.len() <= 17); // ring + the final ModuleRun span
+
+        // The per-channel ledgers are exact counters: they survive the
+        // ring's drop-oldest policy untouched.
+        assert_eq!(lane.pushes_by_channel.len(), 1);
+        assert_eq!(lane.pushes_by_channel[0].0.as_ref(), "c");
+        assert_eq!(lane.pushes_by_channel[0].1, 100);
+    }
+
+    #[test]
+    fn stall_ledgers_are_bucketed_by_channel() {
+        let tracer = Tracer::new();
+        {
+            let _scope = ModuleScope::enter("m", Some(&tracer));
+            let a: Arc<str> = Arc::from("a");
+            let b: Arc<str> = Arc::from("b");
+            record_channel_op(EventKind::Push, &a, 0, true);
+            record_channel_op(EventKind::Push, &a, 0, true);
+            record_channel_op(EventKind::Pop, &b, 0, true);
+        }
+        let lane = &tracer.lanes()[0];
+        assert_eq!(lane.full_stall_by_channel.len(), 1);
+        assert_eq!(lane.full_stall_by_channel[0].0.as_ref(), "a");
+        assert_eq!(lane.empty_stall_by_channel.len(), 1);
+        assert_eq!(lane.empty_stall_by_channel[0].0.as_ref(), "b");
+        assert_eq!(lane.pops_by_channel[0].1, 1);
+        assert!(lane.busy_us() <= lane.run_us());
     }
 
     #[test]

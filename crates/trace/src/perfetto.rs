@@ -3,10 +3,12 @@
 //! Produces the classic JSON object format (`{"traceEvents": [...]}`)
 //! that both `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
 //! load directly. Layout: one process ("fblas simulation"), one thread
-//! lane per module. Each lane carries the module's run as a complete
-//! (`"X"`) span, stall spans colored by kind (full-FIFO waits red,
-//! empty-FIFO waits orange), and push/pop instants. Channel-occupancy
-//! time series sampled by the watchdog become counter (`"C"`) tracks.
+//! lane per module. Each lane opens with a `"B"`/`"E"` duration pair
+//! spanning the module scope (entry to flush), carries the module's run
+//! as a complete (`"X"`) span, stall spans colored by kind (full-FIFO
+//! waits red, empty-FIFO waits orange), and push/pop instants.
+//! Channel-occupancy time series sampled by the watchdog become counter
+//! (`"C"`) tracks.
 
 use serde_json::Value;
 
@@ -39,6 +41,16 @@ pub fn trace_value(tracer: &Tracer) -> Value {
             ("pid", pid.clone()),
             ("tid", tid.clone()),
             ("args", obj(vec![("name", s(&lane.module))])),
+        ]));
+        // Lane scope as a B/E pair: everything the module recorded nests
+        // inside it, giving the UI a per-lane grouping row.
+        events.push(obj(vec![
+            ("ph", s("B")),
+            ("name", s(format!("scope {}", lane.module))),
+            ("cat", s("scope")),
+            ("pid", pid.clone()),
+            ("tid", tid.clone()),
+            ("ts", Value::U64(lane.started_us)),
         ]));
         for ev in &lane.events {
             let chan = ev.channel.as_deref().unwrap_or("");
@@ -86,6 +98,14 @@ pub fn trace_value(tracer: &Tracer) -> Value {
                 }
             }
         }
+        events.push(obj(vec![
+            ("ph", s("E")),
+            ("name", s(format!("scope {}", lane.module))),
+            ("cat", s("scope")),
+            ("pid", pid.clone()),
+            ("tid", tid.clone()),
+            ("ts", Value::U64(lane.ended_us.max(lane.started_us))),
+        ]));
     }
 
     // Occupancy (and any other sampled) series as counter tracks.

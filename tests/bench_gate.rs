@@ -1,0 +1,101 @@
+//! End-to-end test of the `bench-diff` regression gate: a matched run
+//! passes, an injected >N% throughput regression fails the gate with a
+//! nonzero exit (the CI contract), volatile CPU columns never gate, and
+//! `--bless` refreshes the baselines.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use fblas_bench::audit::stamp_audit;
+use fblas_bench::metrics::{BenchReport, Cell};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fblas-bench-gate-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Write a minimal bench document with one gated and one volatile cell.
+fn write_doc(dir: &Path, bench: &str, gops: f64, cpu_s: f64) {
+    let mut r = BenchReport::new(bench);
+    stamp_audit(&mut r, &[]);
+    r.meta("device", "test");
+    r.add_row([
+        ("w", Cell::U(16)),
+        ("gops", Cell::F(gops)),
+        ("cpu_s", Cell::F(cpu_s)),
+    ]);
+    std::fs::write(dir.join(format!("BENCH_{bench}.json")), r.json()).unwrap();
+}
+
+fn bench_diff(baselines: &Path, current: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench-diff"))
+        .arg("--baselines")
+        .arg(baselines)
+        .arg("--current")
+        .arg(current)
+        .args(extra)
+        .output()
+        .expect("spawn bench-diff")
+}
+
+#[test]
+fn matched_run_passes_the_gate() {
+    let (base, cur) = (scratch("match-base"), scratch("match-cur"));
+    write_doc(&base, "fig10", 120.0, 1.0);
+    // Volatile CPU wall-clock may drift arbitrarily without gating.
+    write_doc(&cur, "fig10", 120.0, 3.7);
+    let out = bench_diff(&base, &cur, &[]);
+    assert!(
+        out.status.success(),
+        "gate failed on a matched run: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn injected_regression_fails_the_gate() {
+    let (base, cur) = (scratch("reg-base"), scratch("reg-cur"));
+    write_doc(&base, "fig10", 120.0, 1.0);
+    // 10% throughput drop: well beyond the 2% default tolerance.
+    write_doc(&cur, "fig10", 108.0, 1.0);
+    let out = bench_diff(&base, &cur, &[]);
+    assert_eq!(out.status.code(), Some(1), "regression must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("gops"),
+        "gate must name the column: {stdout}"
+    );
+
+    // The same drop passes when the tolerance is loosened past it.
+    let out = bench_diff(&base, &cur, &["--tolerance", "0.2"]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn missing_current_document_fails_the_gate() {
+    let (base, cur) = (scratch("miss-base"), scratch("miss-cur"));
+    write_doc(&base, "fig10", 120.0, 1.0);
+    let out = bench_diff(&base, &cur, &[]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no current run"));
+}
+
+#[test]
+fn bless_refreshes_baselines_in_place() {
+    let (base, cur) = (scratch("bless-base"), scratch("bless-cur"));
+    write_doc(&cur, "fig10", 200.0, 1.0);
+
+    let out = bench_diff(&base, &cur, &["--bless"]);
+    assert!(
+        out.status.success(),
+        "bless failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(base.join("BENCH_fig10.json").exists());
+
+    // The blessed baseline gates the run it was taken from cleanly.
+    let out = bench_diff(&base, &cur, &[]);
+    assert!(out.status.success());
+}

@@ -139,6 +139,114 @@ fn perfetto_export_of_three_stage_pipeline_is_loadable() {
     }
 }
 
+/// Round-trip of the Perfetto exporter: parse the emitted trace_event
+/// JSON back and check the structural invariants a trace viewer relies
+/// on — every lane's `B`/`E` scope pair is matched and ordered, channel
+/// and stall timestamps are monotonic within each lane and contained in
+/// its scope, and counter samples are monotonic per series.
+#[test]
+fn perfetto_roundtrip_preserves_lane_and_counter_invariants() {
+    let tracer = Tracer::new();
+    let mut sim = Simulation::new();
+    sim.set_tracer(tracer.clone());
+    // An undersized middle FIFO guarantees stall spans in the export.
+    let (tx1, rx1) = channel::<u32>(sim.ctx(), 2, "thin");
+    let (tx2, rx2) = channel::<u32>(sim.ctx(), 64, "wide");
+    sim.add_module("feeder", ModuleKind::Interface, move || {
+        tx1.push_iter(0..2000)
+    });
+    sim.add_module("relay", ModuleKind::Compute, move || {
+        for _ in 0..2000 {
+            tx2.push(rx1.pop()?)?;
+        }
+        Ok(())
+    });
+    sim.add_module("drain", ModuleKind::Interface, move || {
+        rx2.pop_n(2000).map(|_| ())
+    });
+    sim.run().unwrap();
+
+    let doc: Value =
+        serde_json::from_str(&perfetto::trace_json(&tracer)).expect("export is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+
+    let field = |e: &Value, k: &str| e.get(k).and_then(Value::as_str).map(String::from);
+    let tids: Vec<u64> = {
+        let mut t: Vec<u64> = events
+            .iter()
+            .filter_map(|e| e.get("tid").and_then(Value::as_u64))
+            .collect();
+        t.sort();
+        t.dedup();
+        t
+    };
+    assert_eq!(tids.len(), 3, "one lane per module");
+
+    for tid in tids {
+        let lane: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("tid").and_then(Value::as_u64) == Some(tid))
+            .collect();
+
+        // Exactly one matched B/E scope pair, in order, bracketing the lane.
+        let begins: Vec<&&Value> = lane
+            .iter()
+            .filter(|e| field(e, "ph").as_deref() == Some("B"))
+            .collect();
+        let ends: Vec<&&Value> = lane
+            .iter()
+            .filter(|e| field(e, "ph").as_deref() == Some("E"))
+            .collect();
+        assert_eq!(begins.len(), 1, "tid {tid}: one B");
+        assert_eq!(ends.len(), 1, "tid {tid}: one matching E");
+        assert_eq!(field(begins[0], "name"), field(ends[0], "name"));
+        let b_ts = begins[0].get("ts").and_then(Value::as_u64).unwrap();
+        let e_ts = ends[0].get("ts").and_then(Value::as_u64).unwrap();
+        assert!(b_ts <= e_ts, "tid {tid}: scope B after E");
+
+        // Channel/stall events: monotonic ts, contained in the scope.
+        let mut prev = 0u64;
+        let mut seen = 0usize;
+        for e in &lane {
+            let cat = field(e, "cat");
+            if !matches!(cat.as_deref(), Some("channel") | Some("stall")) {
+                continue;
+            }
+            let ts = e.get("ts").and_then(Value::as_u64).unwrap();
+            assert!(ts >= prev, "tid {tid}: ts went backwards ({prev} -> {ts})");
+            assert!((b_ts..=e_ts).contains(&ts), "tid {tid}: ts outside scope");
+            prev = ts;
+            seen += 1;
+        }
+        assert!(seen > 0, "tid {tid}: lane recorded no channel activity");
+    }
+
+    // At least one stall span survived, colored for the viewer.
+    assert!(events
+        .iter()
+        .any(|e| { field(e, "cat").as_deref() == Some("stall") && field(e, "cname").is_some() }));
+
+    // Counter tracks: the watchdog's occupancy series, monotonic per name.
+    let mut last_ts: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    let mut counters = 0usize;
+    for e in events {
+        if field(e, "ph").as_deref() != Some("C") {
+            continue;
+        }
+        let name = field(e, "name").unwrap();
+        let ts = e.get("ts").and_then(Value::as_u64).unwrap();
+        let prev = last_ts.entry(name.clone()).or_insert(0);
+        assert!(ts >= *prev, "counter {name}: ts went backwards");
+        *prev = ts;
+        counters += 1;
+    }
+    assert!(counters > 0, "occupancy counters exported");
+    assert!(last_ts.keys().any(|k| k.starts_with("occ:")));
+}
+
 /// `BENCH_*.json` written by the shared writer matches the stable schema.
 #[test]
 fn bench_metrics_writer_emits_stable_schema() {
