@@ -38,6 +38,14 @@ for i, row in enumerate(doc["rows"]):
 print(f"BENCH_table1.json ok: {len(doc['rows'])} rows")
 EOF
 
+step "fblas-lint self-check (static analysis examples)"
+# Lints every fixture under examples/lint: clean fixtures must produce
+# zero errors, *.rejected.json fixtures must produce at least one, and
+# --validate round-trips every report through the JSON serializer.
+# Emits BENCH_lint.json for the bench-diff gate below.
+FBLAS_BENCH_DIR="$tmpdir" cargo run --release -q -p fblas-lint -- --validate examples/lint
+cargo run --release -q -p fblas-lint -- --format json examples/lint >/dev/null
+
 step "bench-diff against committed baselines"
 # Regenerate every bench artifact and gate it against
 # benchmarks/baselines/. Model columns are deterministic, so any drift

@@ -23,7 +23,7 @@ use fblas_hlssim::{channel, ModuleKind, Receiver, Sender, SimError, Simulation};
 use fblas_trace::{ModuleScope, Tracer};
 use parking_lot::Mutex;
 
-use super::planner::{Op, Plan, PlanError, PlannerConfig, Program};
+use super::planner::{ContractCause, Op, Plan, PlanError, PlannerConfig, Program};
 use crate::helpers::fanout::duplicate_many;
 use crate::helpers::{read_matrix, read_vector_replayed, write_matrix, write_vector};
 use crate::host::buffer::DeviceBuffer;
@@ -116,6 +116,7 @@ pub fn execute_plan_traced<T: Scalar>(
     buffers: &HashMap<String, DeviceBuffer<T>>,
     tracer: Option<&Tracer>,
 ) -> Result<ExecOutcome<T>, ExecError> {
+    cfg.validate()?;
     check_bindings(program, buffers)?;
 
     let scalars: Arc<Mutex<HashMap<String, T>>> = Arc::new(Mutex::new(HashMap::new()));
@@ -161,6 +162,7 @@ pub fn execute_plan_audited<T: Scalar>(
     freq_hz: f64,
     tolerance: f64,
 ) -> Result<(ExecOutcome<T>, Vec<AuditReport>), ExecError> {
+    cfg.validate()?;
     check_bindings(program, buffers)?;
 
     let scalars: Arc<Mutex<HashMap<String, T>>> = Arc::new(Mutex::new(HashMap::new()));
@@ -552,10 +554,12 @@ fn run_component<T: Scalar>(
                     // is not a valid streaming plan.
                     if let Some(yn) = y {
                         if in_comp.contains_key(yn.as_str()) {
-                            return Err(ExecError::Plan(PlanError::ShapeMismatch {
-                                operand: yn.clone(),
-                                expected: "a DRAM-resident β-side operand (partials replay)".into(),
-                            }));
+                            return Err(ExecError::Plan(PlanError::Contract(
+                                ContractCause::ReplayFromComputationalProducer {
+                                    operand: yn.clone(),
+                                    op_index: oi,
+                                },
+                            )));
                         }
                     }
                     let initial = match y {

@@ -71,6 +71,28 @@ pub enum Validity {
     },
 }
 
+/// Read-only view of one edge, for analyses layered on top of the
+/// MDAG (the rate analyzer, `fblas-lint`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeInfo {
+    /// Edge handle.
+    pub id: EdgeId,
+    /// Producer node.
+    pub from: NodeId,
+    /// Consumer node.
+    pub to: NodeId,
+    /// Elements the producer emits on this edge.
+    pub produced: u64,
+    /// Elements the consumer drains from this edge.
+    pub consumed: u64,
+    /// Whether producer and consumer element orders agree.
+    pub order_compatible: bool,
+    /// FIFO depth of the channel realizing the edge.
+    pub channel_depth: u64,
+    /// Burst the producer emits before the consumer starts draining.
+    pub burst_before_consume: u64,
+}
+
 /// A module DAG under construction/analysis.
 #[derive(Debug, Clone, Default)]
 pub struct Mdag {
@@ -153,6 +175,36 @@ impl Mdag {
     /// Name of a node.
     pub fn node_name(&self, id: NodeId) -> &str {
         &self.nodes[id.0].name
+    }
+
+    /// Kind of a node (interface or compute).
+    pub fn node_kind(&self, id: NodeId) -> ModuleKind {
+        self.nodes[id.0].kind
+    }
+
+    /// All node handles in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Read-only view of one edge.
+    pub fn edge_info(&self, id: EdgeId) -> EdgeInfo {
+        let e = &self.edges[id.0];
+        EdgeInfo {
+            id,
+            from: e.from,
+            to: e.to,
+            produced: e.produced,
+            consumed: e.consumed,
+            order_compatible: e.order_compatible,
+            channel_depth: e.channel_depth,
+            burst_before_consume: e.burst_before_consume,
+        }
+    }
+
+    /// Read-only views of all edges in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeInfo> + '_ {
+        (0..self.edges.len()).map(|i| self.edge_info(EdgeId(i)))
     }
 
     /// Topological order, or `None` if cyclic.
@@ -509,5 +561,181 @@ mod tests {
         assert_eq!(g.interface_io_elements(), 0);
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn edge_views_expose_the_contract() {
+        let g = atax_mdag(64, 32, 8, 16);
+        let views: Vec<EdgeInfo> = g.edges().collect();
+        assert_eq!(views.len(), g.edge_count());
+        assert_eq!(views[1].burst_before_consume, 64 * 8);
+        assert_eq!(views[1].channel_depth, 16);
+        assert_eq!(g.node_kind(views[1].from), ModuleKind::Interface);
+        assert_eq!(g.node_kind(views[1].to), ModuleKind::Compute);
+        assert_eq!(g.node_ids().count(), g.node_count());
+    }
+
+    // ---- agreement between validate() and the rate analyzer ----------
+    //
+    // `fblas-lint` subsumes the multitree heuristic with an abstract
+    // Kahn-network execution (`composition::rates`). These tests pin
+    // the contract between the two analyses on the edge cases the
+    // heuristic was known to be weak on, and on every paper fixture.
+
+    use crate::composition::rates::{Outcome, RateGraph};
+
+    fn verdicts_agree(g: &Mdag) {
+        let accept_old = g.validate() == Validity::Valid;
+        let accept_new = RateGraph::from_mdag(g).analyze().is_completed();
+        assert_eq!(accept_old, accept_new, "validate() vs rate analysis");
+    }
+
+    #[test]
+    fn fixtures_agree_between_old_and_new_analysis() {
+        // AXPYDOT (Fig. 6) and BICG (Fig. 7): valid multitrees.
+        verdicts_agree(&axpydot_mdag(1000));
+        // ATAX (Fig. 8): shallow channel rejected by both, and both
+        // derive the same minimum depth N·T_N; sized channel accepted.
+        let shallow = atax_mdag(64, 32, 8, 16);
+        verdicts_agree(&shallow);
+        let old_min = match shallow.validate() {
+            Validity::RequiresChannelDepth { min_depth, .. } => min_depth,
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert_eq!(
+            RateGraph::from_mdag(&shallow).repair(),
+            Some(vec![(1, old_min)])
+        );
+        verdicts_agree(&atax_mdag(64, 32, 8, 64 * 8));
+    }
+
+    /// The GEMVER schedule of paper Fig. 9: the first component
+    /// (GER·GER·GEMV) is a multitree both analyses accept.
+    #[test]
+    fn gemver_component_agrees_between_analyses() {
+        let (n, m) = (64u64, 48u64);
+        let mut g = Mdag::new();
+        let a = g.add_interface("read_A");
+        let u1 = g.add_interface("read_u1");
+        let v1 = g.add_interface("read_v1");
+        let u2 = g.add_interface("read_u2");
+        let v2 = g.add_interface("read_v2");
+        let y = g.add_interface("read_y");
+        let ger1 = g.add_compute("ger#0");
+        let ger2 = g.add_compute("ger#1");
+        let gemv = g.add_compute("gemv_t#2");
+        let wb = g.add_interface("write_B");
+        let wx = g.add_interface("write_x");
+        g.add_edge(a, ger1, n * m, n * m, 16);
+        g.add_edge(u1, ger1, n, n, 16);
+        g.add_edge(v1, ger1, m, m, 16);
+        g.add_edge(ger1, ger2, n * m, n * m, 16);
+        g.add_edge(u2, ger2, n, n, 16);
+        g.add_edge(v2, ger2, m, m, 16);
+        g.add_edge(ger2, gemv, n * m, n * m, 16);
+        g.add_edge(ger2, wb, n * m, n * m, 16);
+        g.add_edge(y, gemv, n, n, 16);
+        g.add_edge(gemv, wx, m, m, 16);
+        assert_eq!(g.is_multitree(), Some(true));
+        assert_eq!(g.validate(), Validity::Valid);
+        verdicts_agree(&g);
+    }
+
+    #[test]
+    fn self_loop_rejected_by_both_analyses() {
+        let mut g = Mdag::new();
+        let a = g.add_compute("a");
+        g.add_edge(a, a, 8, 8, 4);
+        // The heuristic calls a self-loop Cyclic; the abstract
+        // execution agrees nothing can run (the node pops its own
+        // output before producing it). Both reject.
+        assert_eq!(g.validate(), Validity::Cyclic);
+        assert!(matches!(
+            RateGraph::from_mdag(&g).analyze(),
+            Outcome::Deadlock { .. }
+        ));
+    }
+
+    #[test]
+    fn multi_edge_burst_agrees_on_min_depth() {
+        // Two parallel edges a⇉b, one bursty and shallow: both
+        // analyses reject and derive the same minimum depth.
+        let build = |d0: u64, d1: u64| {
+            let mut g = Mdag::new();
+            let a = g.add_interface("a");
+            let b = g.add_compute("b");
+            g.add_edge(a, b, 48, 48, d0);
+            let e1 = g.add_edge(a, b, 48, 48, d1);
+            g.set_burst_before_consume(e1, 24);
+            g
+        };
+        let shallow = build(16, 8);
+        assert_eq!(shallow.is_multitree(), Some(false));
+        match shallow.validate() {
+            Validity::RequiresChannelDepth { edge, min_depth } => {
+                assert_eq!(edge, EdgeId(1));
+                assert_eq!(min_depth, 24);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // The rate analysis agrees on the bursty edge's depth (24) and
+        // additionally discovers what the heuristic cannot see: the
+        // producer interleaves both streams, so the sibling edge backs
+        // up to the same 24 while the consumer waits for the burst.
+        assert_eq!(
+            RateGraph::from_mdag(&shallow).repair(),
+            Some(vec![(0, 24), (1, 24)])
+        );
+        verdicts_agree(&shallow);
+        verdicts_agree(&build(24, 24));
+    }
+
+    /// A diamond whose long arm delays production: the case the
+    /// linter catches and the multitree heuristic provably cannot.
+    ///
+    /// `a` feeds `c` directly (burst 4, depth 4) and through relay `b`
+    /// whose edge to `c` carries a large burst (32): `c` drains nothing
+    /// until `b` has produced 32 elements, which requires `a` to have
+    /// pushed 32 into *both* arms — so the short arm's channel needs
+    /// depth ≈ 32, far beyond its own burst. `validate()` checks each
+    /// edge against its own burst only and calls this Valid; the
+    /// abstract execution finds the deadlock and the exact repair.
+    #[test]
+    fn diamond_with_unequal_path_latency_caught_only_by_rates() {
+        let n = 64u64; // ≤ WEAVE_ROUNDS, so the abstract run is element-exact
+        let mut g = Mdag::new();
+        let a = g.add_interface("a");
+        let b = g.add_compute("b");
+        let c = g.add_compute("c");
+        let sink = g.add_interface("sink");
+        g.add_edge(a, b, n, n, 16);
+        let e_short = g.add_edge(a, c, n, n, 4);
+        g.set_burst_before_consume(e_short, 4);
+        let e_long = g.add_edge(b, c, n, n, 32);
+        g.set_burst_before_consume(e_long, 32);
+        g.add_edge(c, sink, n, n, 16);
+
+        // Old analysis: every burst fits its channel, so "valid".
+        assert_eq!(g.is_multitree(), Some(false));
+        assert_eq!(g.validate(), Validity::Valid);
+
+        // New analysis: deadlock, fixed exactly by deepening the short
+        // arm. `a` emits element-by-element into both arms; it blocks
+        // once the short arm holds depth+1 elements... strictly: after
+        // pushing k to each arm it blocks at k = depth+1, so releasing
+        // the long arm's burst (32) needs depth 31.
+        let rg = RateGraph::from_mdag(&g);
+        assert!(matches!(rg.analyze(), Outcome::Deadlock { .. }));
+        assert_eq!(rg.repair(), Some(vec![(e_short.0, 31)]));
+
+        // Self-consistency of the derived depth: 31 completes, 30
+        // deadlocks — the exactness contract the differential property
+        // suite checks against the real simulator.
+        let mut fixed = RateGraph::from_mdag(&g);
+        fixed.set_capacity(e_short.0, 31);
+        assert!(fixed.analyze().is_completed());
+        let mut under = RateGraph::from_mdag(&g);
+        under.set_capacity(e_short.0, 30);
+        assert!(matches!(under.analyze(), Outcome::Deadlock { .. }));
     }
 }

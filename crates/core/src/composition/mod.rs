@@ -5,14 +5,24 @@
 //! channels. [`mdag`] implements the paper's validity analysis — edge
 //! validity, multitree detection, channel-depth requirements for
 //! non-multitree graphs — plus the I/O-volume accounting used to reason
-//! about the benefit of streaming compositions.
+//! about the benefit of streaming compositions. [`rates`] generalizes
+//! that analysis to arbitrary graphs: an abstract Kahn-network
+//! execution over per-module push/pop programs that decides
+//! deadlock-freedom and computes exact minimum channel depths; the
+//! planner routes its channel-sizing decisions through it and
+//! `fblas-lint` builds its verdicts on it.
 
 pub mod executor;
 pub mod mdag;
 pub mod planner;
+pub mod rates;
 
 pub use executor::{
     execute_plan, execute_plan_audited, execute_plan_traced, ExecError, ExecOutcome,
 };
-pub use mdag::{EdgeId, Mdag, NodeId, Validity};
-pub use planner::{interpret, plan, Op, Plan, PlanError, PlannedComponent, PlannerConfig, Program};
+pub use mdag::{EdgeId, EdgeInfo, Mdag, NodeId, Validity};
+pub use planner::{
+    interpret, plan, ContractCause, Op, Plan, PlanError, PlanNote, PlannedComponent, PlannerConfig,
+    Program,
+};
+pub use rates::{Outcome as RateOutcome, RateGraph, Step as RateStep};

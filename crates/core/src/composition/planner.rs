@@ -24,7 +24,10 @@
 
 use std::collections::HashMap;
 
+use serde::Serialize;
+
 use super::mdag::{Mdag, NodeId, Validity};
+use super::rates::{Outcome as RateOutcome, RateGraph};
 use crate::routines::gemv::GemvVariant;
 
 /// A named operand with known shape.
@@ -157,6 +160,88 @@ pub struct Program {
     ops: Vec<Op>,
 }
 
+/// A structured stream-contract violation: *why* a candidate component
+/// cannot stream as one piece. These are the machine-readable causes
+/// `fblas-lint` turns into diagnostics; before they existed a rejected
+/// program surfaced only as a reason string.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum ContractCause {
+    /// An operand that must be replayed (consumed once per row of
+    /// tiles) is produced by a computational module in the same
+    /// component — only interface modules can replay (Sec. III-B).
+    ReplayFromComputationalProducer {
+        /// The operand that would need replaying.
+        operand: String,
+        /// The op that consumes it.
+        op_index: usize,
+    },
+    /// A tiles-by-columns GEMV consumes a matrix produced in-component:
+    /// producers emit tiles by rows and a compute module cannot
+    /// re-order its output stream.
+    OnChipMatrixColStreamed {
+        /// The matrix operand.
+        matrix: String,
+        /// The consuming op.
+        op_index: usize,
+    },
+    /// Consumers of a shared matrix stream disagree on tile order
+    /// (paper Sec. V condition 2: order incompatibility).
+    TilingOrderConflict {
+        /// The shared matrix operand.
+        matrix: String,
+        /// The disagreeing consumer ops.
+        op_indices: Vec<usize>,
+    },
+    /// An MDAG edge violates the element-count or order contract.
+    InvalidEdge {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The composition deadlocks unless a channel is deepened
+    /// (non-multitree, the ATAX condition) — carries the exact minimum
+    /// depth derived by the rate analyzer.
+    NeedsChannelDepth {
+        /// The channel (named `producer->consumer`).
+        channel: String,
+        /// Exact minimum FIFO depth at which the deadlock disappears.
+        depth: u64,
+    },
+    /// The rate analyzer found a deadlock that no finite channel depth
+    /// fixes, or could not reach a verdict within budget.
+    Unschedulable {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ContractCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContractCause::ReplayFromComputationalProducer { operand, op_index } => write!(
+                f,
+                "operand `{operand}` of op #{op_index} must replay from DRAM, \
+                 but is produced by a computational module in the same component"
+            ),
+            ContractCause::OnChipMatrixColStreamed { matrix, op_index } => write!(
+                f,
+                "op #{op_index} would stream matrix `{matrix}` by columns, \
+                 but an in-component producer emits it by rows"
+            ),
+            ContractCause::TilingOrderConflict { matrix, op_indices } => write!(
+                f,
+                "ops {op_indices:?} consume shared matrix `{matrix}` with \
+                 incompatible tile orders"
+            ),
+            ContractCause::InvalidEdge { reason } => write!(f, "invalid edge: {reason}"),
+            ContractCause::NeedsChannelDepth { channel, depth } => write!(
+                f,
+                "channel `{channel}` deadlocks unless its depth is at least {depth}"
+            ),
+            ContractCause::Unschedulable { detail } => write!(f, "unschedulable: {detail}"),
+        }
+    }
+}
+
 /// Errors raised while building or planning a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlanError {
@@ -174,6 +259,10 @@ pub enum PlanError {
     MultipleWriters(String),
     /// The data dependencies are cyclic.
     Cyclic,
+    /// A stream-contract violation with a structured cause.
+    Contract(ContractCause),
+    /// The planner configuration is unusable (zero tile or depth).
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for PlanError {
@@ -185,6 +274,8 @@ impl std::fmt::Display for PlanError {
             }
             PlanError::MultipleWriters(n) => write!(f, "operand `{n}` written more than once"),
             PlanError::Cyclic => write!(f, "cyclic data dependencies"),
+            PlanError::Contract(cause) => write!(f, "stream contract violation: {cause}"),
+            PlanError::InvalidConfig(reason) => write!(f, "invalid planner config: {reason}"),
         }
     }
 }
@@ -514,6 +605,26 @@ impl Default for PlannerConfig {
     }
 }
 
+impl PlannerConfig {
+    /// Reject configurations that cannot instantiate hardware: zero
+    /// tiles divide by zero in the tiling math, and a zero-depth FIFO
+    /// is not constructible (`hlssim` channels need capacity ≥ 1).
+    pub fn validate(&self) -> Result<(), PlanError> {
+        if self.tn == 0 || self.tm == 0 {
+            return Err(PlanError::InvalidConfig(format!(
+                "tile sizes must be >= 1 (tn={}, tm={})",
+                self.tn, self.tm
+            )));
+        }
+        if self.default_depth == 0 {
+            return Err(PlanError::InvalidConfig(
+                "default channel depth must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// One sequential component of a plan: a valid multitree (or
 /// deep-channel-annotated) MDAG over a subset of the program's ops.
 #[derive(Debug)]
@@ -534,11 +645,57 @@ pub struct PlannedComponent {
     pub deep_channels: Vec<(String, u64)>,
 }
 
+/// A structured planning decision worth surfacing to the user — the
+/// machine-readable record `fblas-lint` renders as notes. Each one
+/// explains *why* the plan looks the way it does.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum PlanNote {
+    /// The greedy partition sealed a component because adding `before_op`
+    /// violated a stream contract; the violation is recorded verbatim.
+    Split {
+        /// The op (program index) that could not join the component.
+        before_op: usize,
+        /// Why it could not.
+        cause: ContractCause,
+    },
+    /// A component streams as one piece only because a channel was
+    /// deepened beyond the default (the ATAX fix (a)).
+    DeepChannel {
+        /// Index of the component in the plan.
+        component: usize,
+        /// The channel, named `producer->consumer`.
+        channel: String,
+        /// The instantiated depth.
+        depth: u64,
+    },
+}
+
+impl std::fmt::Display for PlanNote {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanNote::Split { before_op, cause } => {
+                write!(f, "split before op #{before_op}: {cause}")
+            }
+            PlanNote::DeepChannel {
+                component,
+                channel,
+                depth,
+            } => write!(
+                f,
+                "component {} deepens channel `{channel}` to {depth}",
+                component + 1
+            ),
+        }
+    }
+}
+
 /// A complete plan: sequential components, each internally streaming.
 #[derive(Debug)]
 pub struct Plan {
     /// The components, in execution order.
     pub components: Vec<PlannedComponent>,
+    /// Structured diagnostics explaining splits and deep channels.
+    pub notes: Vec<PlanNote>,
 }
 
 impl Plan {
@@ -570,6 +727,9 @@ impl Plan {
             }
             let _ = writeln!(s, "  off-chip I/O: {} elements", c.io_elements);
         }
+        for note in &self.notes {
+            let _ = writeln!(s, "note: {note}");
+        }
         s
     }
 }
@@ -590,12 +750,14 @@ impl Plan {
 /// assert_eq!(plan.components.len(), 1, "a multitree streams whole");
 /// ```
 pub fn plan(program: &Program, cfg: &PlannerConfig) -> Result<Plan, PlanError> {
+    cfg.validate()?;
     program.validate_shapes()?;
     let order = program.topo_order()?;
     let producers = program.producers()?;
 
     let mut components: Vec<Vec<usize>> = Vec::new();
     let mut current: Vec<usize> = Vec::new();
+    let mut notes: Vec<PlanNote> = Vec::new();
 
     // Greedy partition: add ops in topological order; when the candidate
     // component stops validating (and deep channels are not allowed),
@@ -604,15 +766,38 @@ pub fn plan(program: &Program, cfg: &PlannerConfig) -> Result<Plan, PlanError> {
         let mut candidate = current.clone();
         candidate.push(oi);
         let built = build_component(program, &producers, &candidate, cfg);
-        let ok = match built {
-            Ok(ref c) => c.deep_channels.is_empty() || cfg.allow_deep_channels,
-            Err(_) => false,
+        let (ok, cause) = match built {
+            Ok(ref c) if c.deep_channels.is_empty() || cfg.allow_deep_channels => (true, None),
+            Ok(ref c) => {
+                // Streamable, but only with a deep channel the config
+                // forbids — record the need that forced the split.
+                let cause = c.deep_channels.first().map(|(channel, depth)| {
+                    ContractCause::NeedsChannelDepth {
+                        channel: channel.clone(),
+                        depth: *depth,
+                    }
+                });
+                (false, cause)
+            }
+            Err(PlanError::Contract(cause)) => (false, Some(cause)),
+            Err(e) => (
+                false,
+                Some(ContractCause::Unschedulable {
+                    detail: e.to_string(),
+                }),
+            ),
         };
         if ok {
             current = candidate;
         } else {
             if !current.is_empty() {
                 components.push(std::mem::take(&mut current));
+                if let Some(cause) = cause {
+                    notes.push(PlanNote::Split {
+                        before_op: oi,
+                        cause,
+                    });
+                }
             }
             current.push(oi);
         }
@@ -624,8 +809,14 @@ pub fn plan(program: &Program, cfg: &PlannerConfig) -> Result<Plan, PlanError> {
     let mut planned = Vec::with_capacity(components.len());
     let all: Vec<usize> = components.iter().flatten().copied().collect();
     for (ci, ops) in components.iter().enumerate() {
-        let mut c = build_component(program, &producers, ops, cfg)
-            .expect("sealed components were validated during partitioning");
+        let mut c = build_component(program, &producers, ops, cfg)?;
+        for (channel, depth) in &c.deep_channels {
+            notes.push(PlanNote::DeepChannel {
+                component: ci,
+                channel: channel.clone(),
+                depth: *depth,
+            });
+        }
         // Operands produced here and consumed by later components must
         // be materialized (they already are — every component output is
         // written to DRAM — but record the ones later components read).
@@ -647,6 +838,7 @@ pub fn plan(program: &Program, cfg: &PlannerConfig) -> Result<Plan, PlanError> {
     }
     Ok(Plan {
         components: planned,
+        notes,
     })
 }
 
@@ -685,10 +877,12 @@ fn build_component(
             // an interface module may replay, so an in-component
             // producer forces a component split.
             Op::Ger { y, .. } if in_component(y).is_some() => {
-                return Err(PlanError::ShapeMismatch {
-                    operand: y.clone(),
-                    expected: "a DRAM-resident operand (GER replays it)".into(),
-                });
+                return Err(PlanError::Contract(
+                    ContractCause::ReplayFromComputationalProducer {
+                        operand: y.clone(),
+                        op_index: oi,
+                    },
+                ));
             }
             _ => {}
         }
@@ -702,10 +896,12 @@ fn build_component(
     for &oi in ops {
         if let Op::Gemv { a, .. } = &program.ops[oi] {
             if variants.get(&oi) == Some(&GemvVariant::ColStreamed) && in_component(a).is_some() {
-                return Err(PlanError::ShapeMismatch {
-                    operand: a.clone(),
-                    expected: "a DRAM-resident matrix (tiles-by-columns consumer)".into(),
-                });
+                return Err(PlanError::Contract(
+                    ContractCause::OnChipMatrixColStreamed {
+                        matrix: a.clone(),
+                        op_index: oi,
+                    },
+                ));
             }
         }
     }
@@ -735,10 +931,10 @@ fn build_component(
             }
             if orders.iter().any(|&o| o != orders[0]) {
                 // Incompatible tiling schemes on a shared stream.
-                return Err(PlanError::ShapeMismatch {
-                    operand: (*mat).to_string(),
-                    expected: "consumers with compatible tile orders".into(),
-                });
+                return Err(PlanError::Contract(ContractCause::TilingOrderConflict {
+                    matrix: (*mat).to_string(),
+                    op_indices: consumers.clone(),
+                }));
             }
         }
     }
@@ -853,15 +1049,38 @@ fn build_component(
 
     match g.validate() {
         Validity::Valid => {}
-        Validity::RequiresChannelDepth { edge, min_depth } => {
-            let _ = edge;
-            deep_channels.push(("matrix stream".to_string(), min_depth));
+        Validity::RequiresChannelDepth { .. } => {
+            // Non-multitree: the heuristic only says "some channel must
+            // deepen". Route through the rate analyzer for a verdict on
+            // the *actual* depths — it replays the abstract Kahn-network
+            // execution and, on deadlock, derives the exact minimum
+            // depth per channel (or proves none exists).
+            let rg = RateGraph::from_mdag(&g);
+            match rg.analyze() {
+                RateOutcome::Completed { .. } => {
+                    // Default depths already suffice; no deep channel.
+                }
+                RateOutcome::Deadlock { .. } => match rg.repair() {
+                    Some(fixes) => {
+                        for (ch, depth) in fixes {
+                            deep_channels.push((rg.channel_name(ch).to_string(), depth));
+                        }
+                    }
+                    None => {
+                        return Err(PlanError::Contract(ContractCause::Unschedulable {
+                            detail: "no finite channel depth removes the deadlock".into(),
+                        }))
+                    }
+                },
+                RateOutcome::Disconnected { .. } | RateOutcome::Budget => {
+                    return Err(PlanError::Contract(ContractCause::Unschedulable {
+                        detail: "rate analysis could not certify the composition".into(),
+                    }))
+                }
+            }
         }
         Validity::InvalidEdge { reason, .. } => {
-            return Err(PlanError::ShapeMismatch {
-                operand: reason,
-                expected: "a valid edge".into(),
-            })
+            return Err(PlanError::Contract(ContractCause::InvalidEdge { reason }))
         }
         Validity::Cyclic => return Err(PlanError::Cyclic),
     }
@@ -995,6 +1214,69 @@ mod tests {
         let plan = plan(&p, &cfg).unwrap();
         assert_eq!(plan.components.len(), 2, "{}", plan.describe(&p));
         assert_eq!(plan.components[0].materialized, vec!["t".to_string()]);
+        // The split carries its structured cause: the transposed GEMV
+        // could not join because a channel would need deepening.
+        assert!(plan.notes.iter().any(|n| matches!(
+            n,
+            PlanNote::Split {
+                before_op: 1,
+                cause: ContractCause::NeedsChannelDepth { .. },
+            }
+        )));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_up_front() {
+        let p = axpydot_program(64);
+        for bad in [
+            PlannerConfig {
+                tn: 0,
+                ..Default::default()
+            },
+            PlannerConfig {
+                tm: 0,
+                ..Default::default()
+            },
+            PlannerConfig {
+                default_depth: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(plan(&p, &bad), Err(PlanError::InvalidConfig(_))));
+        }
+    }
+
+    #[test]
+    fn ger_replay_violation_reports_structured_cause() {
+        // scal -> y; ger replays y: with y produced in-component the
+        // sole-op component itself is invalid, so planning fails with
+        // the structured replay cause rather than a reason string.
+        let n = 32;
+        let mut p = Program::new();
+        p.matrix("A", n, n).matrix("B", n, n);
+        p.vector("u", n).vector("y0", n).vector("y", n);
+        p.op(Op::Scal {
+            alpha: 2.0,
+            x: "y0".into(),
+            out: "y".into(),
+        });
+        p.op(Op::Ger {
+            alpha: 1.0,
+            a: "A".into(),
+            x: "u".into(),
+            y: "y".into(),
+            out: "B".into(),
+        });
+        let plan = plan(&p, &PlannerConfig::default()).unwrap();
+        // The planner recovers by splitting; the cause is recorded.
+        assert_eq!(plan.components.len(), 2, "{}", plan.describe(&p));
+        assert!(plan.notes.iter().any(|n| matches!(
+            n,
+            PlanNote::Split {
+                before_op: 1,
+                cause: ContractCause::ReplayFromComputationalProducer { .. },
+            }
+        )));
     }
 
     #[test]
@@ -1007,9 +1289,25 @@ mod tests {
         let plan = plan(&p, &cfg).unwrap();
         assert_eq!(plan.components.len(), 1, "{}", plan.describe(&p));
         let c = &plan.components[0];
-        assert_eq!(c.deep_channels.len(), 1);
-        // Required depth = T_N * M (Sec. V-B).
-        assert_eq!(c.deep_channels[0].1, 1024 * 4096);
+        // The dominant fix is the paper's: the matrix stream into the
+        // transposed GEMV must hold a full row of tiles, T_N * M
+        // (Sec. V-B). The rate analysis names the channel and also
+        // derives the smaller depth the t-vector edge needs while the
+        // consumer waits out the burst.
+        let max = c.deep_channels.iter().map(|(_, d)| *d).max().unwrap();
+        assert_eq!(max, 1024 * 4096);
+        assert!(c
+            .deep_channels
+            .iter()
+            .any(|(name, d)| name.contains("gemv_t") && *d == 1024 * 4096));
+        // Every deep channel surfaces as a structured note.
+        assert_eq!(
+            plan.notes
+                .iter()
+                .filter(|n| matches!(n, PlanNote::DeepChannel { .. }))
+                .count(),
+            c.deep_channels.len()
+        );
         // Deep-channel plan moves less data than the split plan.
         let split = plan_split_io(&p);
         assert!(c.io_elements < split);

@@ -147,10 +147,27 @@ pub fn channel<T: Send + 'static>(
     capacity: usize,
     name: impl Into<String>,
 ) -> (Sender<T>, Receiver<T>) {
-    assert!(capacity >= 1, "channel capacity must be at least 1");
+    try_channel(ctx, capacity, name).expect("channel capacity must be at least 1")
+}
+
+/// Fallible form of [`channel`]: returns [`SimError::Config`] instead of
+/// panicking when `capacity == 0`. Use this when the depth comes from
+/// user input (a planner config, a lint document) rather than from code
+/// that already validated it.
+pub fn try_channel<T: Send + 'static>(
+    ctx: &SimContext,
+    capacity: usize,
+    name: impl Into<String>,
+) -> Result<(Sender<T>, Receiver<T>), SimError> {
+    let name = name.into();
+    if capacity == 0 {
+        return Err(SimError::Config {
+            detail: format!("channel `{name}` has capacity 0; hardware FIFOs need >= 1 slot"),
+        });
+    }
     let core = Arc::new(ChannelCore {
         ctx: ctx.shared(),
-        name: Arc::from(name.into()),
+        name: Arc::from(name),
         capacity,
         state: Mutex::new(ChanState {
             queue: VecDeque::with_capacity(capacity.min(1 << 16)),
@@ -162,7 +179,7 @@ pub fn channel<T: Send + 'static>(
         not_empty: Condvar::new(),
     });
     ctx.register_probe(core.clone());
-    (Sender { core: core.clone() }, Receiver { core })
+    Ok((Sender { core: core.clone() }, Receiver { core }))
 }
 
 impl<T> Sender<T> {
@@ -438,6 +455,23 @@ mod tests {
     fn zero_capacity_rejected() {
         let ctx = SimContext::new();
         let _ = channel::<u8>(&ctx, 0, "bad");
+    }
+
+    #[test]
+    fn try_channel_reports_zero_capacity_as_config_error() {
+        let ctx = SimContext::new();
+        match try_channel::<u8>(&ctx, 0, "bad") {
+            Err(SimError::Config { detail }) => {
+                assert!(detail.contains("`bad`"), "{detail}");
+                assert!(detail.contains("capacity 0"), "{detail}");
+            }
+            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+        }
+        // The happy path is identical to `channel`.
+        let (tx, rx) = try_channel::<u8>(&ctx, 2, "ok").unwrap();
+        tx.push(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop().unwrap(), 9);
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub enum SimError {
         /// Error description.
         detail: String,
     },
+    /// A simulation object was configured with parameters that cannot
+    /// describe hardware (e.g. a zero-capacity FIFO). Returned by the
+    /// fallible constructors ([`crate::try_channel`]) so callers driven
+    /// by user input can reject bad configs without panicking.
+    Config {
+        /// What was wrong.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -62,6 +70,7 @@ impl fmt::Display for SimError {
             SimError::Module { module, detail } => {
                 write!(f, "module `{module}` failed: {detail}")
             }
+            SimError::Config { detail } => write!(f, "invalid configuration: {detail}"),
         }
     }
 }

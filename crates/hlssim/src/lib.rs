@@ -34,7 +34,7 @@ pub mod module;
 pub mod simulation;
 pub mod stall;
 
-pub use channel::{channel, ChannelStats, Receiver, Sender};
+pub use channel::{channel, try_channel, ChannelStats, Receiver, Sender};
 pub use cycles::{streamed_cycles, CompositionCost, PipelineCost};
 pub use error::SimError;
 pub use module::{ModuleKind, ModuleSpec};

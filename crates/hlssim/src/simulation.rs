@@ -10,6 +10,12 @@
 //! "stalls forever" (Sec. V-B) — and the watchdog poisons the context,
 //! unblocking everyone with [`SimError::Poisoned`] and reporting
 //! [`SimError::Stall`] to the caller.
+//!
+//! Panic audit: every `unwrap`/`panic!` in this module lives in test
+//! code or doc examples. Module closures that panic are caught by the
+//! runner and surfaced as [`SimError::Module`]; configuration supplied
+//! by users (channel depths) is validated by the fallible constructors
+//! ([`crate::try_channel`]) and rejected as [`SimError::Config`].
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};

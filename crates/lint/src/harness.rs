@@ -1,0 +1,262 @@
+//! Differential harness: execute a [`RateGraph`]'s actor programs on
+//! the *real* threaded simulator (`fblas-hlssim`).
+//!
+//! The linter's deadlock verdicts come from an abstract scheduler over
+//! the same actor programs. Kahn-network determinism makes the verdict
+//! schedule-independent, so the abstract scheduler and the concurrent
+//! simulator must agree: lint *accept* ⟺ the simulation completes,
+//! lint *deadlock* ⟺ the watchdog reports a stall. This module is the
+//! bridge that lets property tests assert exactly that.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use fblas_core::composition::{RateGraph, RateOutcome, RateStep};
+use fblas_hlssim::{try_channel, ModuleKind, Receiver, Sender, SimError, Simulation};
+
+/// What the threaded simulator said about one execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimVerdict {
+    /// Every module ran to completion.
+    Completed,
+    /// The stall watchdog fired: a genuine deadlock.
+    Stalled,
+    /// A channel endpoint died mid-stream (count mismatch).
+    Disconnected,
+    /// Some other failure (configuration, module error).
+    Failed(String),
+}
+
+/// Execute the graph's actor programs on `fblas-hlssim` with the given
+/// channel capacities and stall grace period.
+///
+/// Each rate-graph channel becomes a real bounded FIFO carrying `u32`
+/// sequence numbers; each actor becomes a module thread replaying its
+/// push/pop program. Channels are point-to-point by construction
+/// (panics if an actor program shares an endpoint).
+pub fn run_on_simulator(rg: &RateGraph, caps: &[u64], grace: Duration) -> SimVerdict {
+    assert_eq!(caps.len(), rg.channel_count(), "capacity vector length");
+    let mut sim = Simulation::new();
+    sim.set_grace(grace);
+
+    let mut senders: Vec<Option<Sender<u32>>> = Vec::with_capacity(rg.channel_count());
+    let mut receivers: Vec<Option<Receiver<u32>>> = Vec::with_capacity(rg.channel_count());
+    for (ch, &cap) in caps.iter().enumerate() {
+        match try_channel::<u32>(sim.ctx(), cap as usize, rg.channel_name(ch)) {
+            Ok((s, r)) => {
+                senders.push(Some(s));
+                receivers.push(Some(r));
+            }
+            Err(e) => return SimVerdict::Failed(e.to_string()),
+        }
+    }
+
+    for a in 0..rg.actor_count() {
+        let steps: Vec<RateStep> = rg.actor_steps(a).to_vec();
+        let mut tx: HashMap<usize, Sender<u32>> = HashMap::new();
+        let mut rx: HashMap<usize, Receiver<u32>> = HashMap::new();
+        for s in &steps {
+            match s {
+                RateStep::Push { channel, .. } => {
+                    if !tx.contains_key(channel) {
+                        let sender = senders[*channel]
+                            .take()
+                            .expect("each channel has exactly one producer");
+                        tx.insert(*channel, sender);
+                    }
+                }
+                RateStep::Pop { channel, .. } => {
+                    if !rx.contains_key(channel) {
+                        let receiver = receivers[*channel]
+                            .take()
+                            .expect("each channel has exactly one consumer");
+                        rx.insert(*channel, receiver);
+                    }
+                }
+            }
+        }
+        sim.add_module(
+            rg.actor_name(a).to_string(),
+            ModuleKind::Compute,
+            move || {
+                for s in steps {
+                    match s {
+                        RateStep::Push { channel, count } => {
+                            let t = &tx[&channel];
+                            for i in 0..count {
+                                t.push(i as u32)?;
+                            }
+                        }
+                        RateStep::Pop { channel, count } => {
+                            let r = &rx[&channel];
+                            for _ in 0..count {
+                                r.pop()?;
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
+
+    match sim.run() {
+        Ok(_) => SimVerdict::Completed,
+        Err(SimError::Stall { .. }) => SimVerdict::Stalled,
+        Err(SimError::Disconnected { .. }) => SimVerdict::Disconnected,
+        Err(e) => SimVerdict::Failed(e.to_string()),
+    }
+}
+
+/// Grace period for differential runs: generous enough that a busy CI
+/// machine does not report a false stall on a composition that is
+/// merely slow, small enough that genuinely-stalled property tests
+/// finish. `FBLAS_STALL_GRACE_MS` still overrides.
+pub fn differential_grace() -> Duration {
+    match std::env::var("FBLAS_STALL_GRACE_MS") {
+        Ok(ms) => Duration::from_millis(ms.parse().unwrap_or(100)),
+        Err(_) => Duration::from_millis(100),
+    }
+}
+
+/// Convenience: does the abstract analysis agree with the simulator at
+/// the graph's configured capacities? Returns `(abstract, simulated)`
+/// for assertion messages.
+pub fn verdict_pair(rg: &RateGraph) -> (RateOutcome, SimVerdict) {
+    let caps: Vec<u64> = (0..rg.channel_count()).map(|c| rg.capacity(c)).collect();
+    let abstracted = rg.analyze();
+    let simulated = run_on_simulator(rg, &caps, differential_grace());
+    (abstracted, simulated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_pipeline_completes_on_both() {
+        let mut rg = RateGraph::new();
+        let c0 = rg.add_channel("a_to_b", 4);
+        let c1 = rg.add_channel("b_to_c", 4);
+        rg.add_actor(
+            "a",
+            vec![RateStep::Push {
+                channel: c0,
+                count: 32,
+            }],
+        );
+        rg.add_actor(
+            "b",
+            (0..32)
+                .flat_map(|_| {
+                    [
+                        RateStep::Pop {
+                            channel: c0,
+                            count: 1,
+                        },
+                        RateStep::Push {
+                            channel: c1,
+                            count: 1,
+                        },
+                    ]
+                })
+                .collect(),
+        );
+        rg.add_actor(
+            "c",
+            vec![RateStep::Pop {
+                channel: c1,
+                count: 32,
+            }],
+        );
+        let (a, s) = verdict_pair(&rg);
+        assert!(a.is_completed(), "abstract: {a:?}");
+        assert_eq!(s, SimVerdict::Completed);
+    }
+
+    #[test]
+    fn burst_reorder_deadlocks_on_both() {
+        // Consumer wants the whole burst from one channel before
+        // touching the other — the ATAX shape in miniature.
+        let mut rg = RateGraph::new();
+        let c0 = rg.add_channel("direct", 2);
+        let c1 = rg.add_channel("buffered", 2);
+        rg.add_actor(
+            "src",
+            (0..8)
+                .flat_map(|_| {
+                    [
+                        RateStep::Push {
+                            channel: c0,
+                            count: 1,
+                        },
+                        RateStep::Push {
+                            channel: c1,
+                            count: 1,
+                        },
+                    ]
+                })
+                .collect(),
+        );
+        rg.add_actor(
+            "join",
+            vec![
+                RateStep::Pop {
+                    channel: c1,
+                    count: 8,
+                },
+                RateStep::Pop {
+                    channel: c0,
+                    count: 8,
+                },
+            ],
+        );
+        let (a, s) = verdict_pair(&rg);
+        assert!(matches!(a, RateOutcome::Deadlock { .. }), "abstract: {a:?}");
+        assert_eq!(s, SimVerdict::Stalled);
+    }
+
+    #[test]
+    fn repaired_depths_complete_on_simulator() {
+        let mut rg = RateGraph::new();
+        let c0 = rg.add_channel("direct", 2);
+        let c1 = rg.add_channel("buffered", 2);
+        rg.add_actor(
+            "src",
+            (0..8)
+                .flat_map(|_| {
+                    [
+                        RateStep::Push {
+                            channel: c0,
+                            count: 1,
+                        },
+                        RateStep::Push {
+                            channel: c1,
+                            count: 1,
+                        },
+                    ]
+                })
+                .collect(),
+        );
+        rg.add_actor(
+            "join",
+            vec![
+                RateStep::Pop {
+                    channel: c1,
+                    count: 8,
+                },
+                RateStep::Pop {
+                    channel: c0,
+                    count: 8,
+                },
+            ],
+        );
+        let fixes = rg.repair().expect("depth-repairable");
+        let mut caps: Vec<u64> = (0..rg.channel_count()).map(|c| rg.capacity(c)).collect();
+        for (ch, depth) in fixes {
+            caps[ch] = depth;
+        }
+        let v = run_on_simulator(&rg, &caps, differential_grace());
+        assert_eq!(v, SimVerdict::Completed);
+    }
+}

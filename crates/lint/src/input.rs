@@ -1,0 +1,443 @@
+//! Lintable document formats.
+//!
+//! The CLI consumes three JSON dialects, classified by their top-level
+//! key:
+//!
+//! * `{"routines": [...]}` — a codegen routines specification
+//!   ([`fblas_core::codegen::SpecFile`]);
+//! * `{"program": {...}}` — a linear-algebra program over named
+//!   operands, plus an optional planner/device configuration;
+//! * `{"graph": {...}}` — a raw module DAG (nodes, edges, depths,
+//!   burst annotations) for direct rate analysis.
+//!
+//! Files named `*.rejected.json` are *negative* fixtures: the linter
+//! must produce at least one error for them, and the CLI fails if it
+//! does not.
+
+use fblas_arch::{Device, Precision};
+use fblas_core::composition::{Mdag, Op, PlannerConfig, Program};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// An operand declaration in a program document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperandDoc {
+    /// Operand name.
+    pub name: String,
+    /// `"vector"`, `"matrix"`, or `"scalar"`.
+    pub kind: String,
+    /// Vector length (vectors only).
+    #[serde(default)]
+    pub len: Option<usize>,
+    /// Matrix rows (matrices only).
+    #[serde(default)]
+    pub rows: Option<usize>,
+    /// Matrix columns (matrices only).
+    #[serde(default)]
+    pub cols: Option<usize>,
+}
+
+/// One operation in a program document. `op` selects the routine; the
+/// operand fields used depend on it (mirroring [`Op`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpDoc {
+    /// Routine: `copy`, `scal`, `axpy`, `dot`, `gemv`, `ger`.
+    pub op: String,
+    /// Scaling factor α.
+    #[serde(default)]
+    pub alpha: Option<f64>,
+    /// Scaling factor β (GEMV).
+    #[serde(default)]
+    pub beta: Option<f64>,
+    /// Matrix operand.
+    #[serde(default)]
+    pub a: Option<String>,
+    /// Vector operand x.
+    #[serde(default)]
+    pub x: Option<String>,
+    /// Vector operand y.
+    #[serde(default)]
+    pub y: Option<String>,
+    /// Output operand.
+    #[serde(default)]
+    pub out: Option<String>,
+    /// Transposition flag (GEMV).
+    #[serde(default)]
+    pub transposed: Option<bool>,
+}
+
+/// Planner/device configuration of a program document.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConfigDoc {
+    /// Tile height `T_N`.
+    #[serde(default)]
+    pub tn: Option<usize>,
+    /// Tile width `T_M`.
+    #[serde(default)]
+    pub tm: Option<usize>,
+    /// Allow deep channels (ATAX fix (a)).
+    #[serde(default)]
+    pub allow_deep_channels: Option<bool>,
+    /// Default FIFO depth.
+    #[serde(default)]
+    pub default_depth: Option<u64>,
+    /// Target device: `"arria10"`, `"stratix10"`, `"u280"`.
+    #[serde(default)]
+    pub device: Option<String>,
+    /// Element precision: `"single"` / `"double"`.
+    #[serde(default)]
+    pub precision: Option<String>,
+    /// Vectorization width `W`.
+    #[serde(default)]
+    pub width: Option<usize>,
+}
+
+/// The `"program"` payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramDoc {
+    /// Operand declarations.
+    pub operands: Vec<OperandDoc>,
+    /// Operations, in program order.
+    pub ops: Vec<OpDoc>,
+    /// Optional configuration.
+    #[serde(default = "ConfigDoc::default")]
+    pub config: ConfigDoc,
+}
+
+/// A node of a `"graph"` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeDoc {
+    /// Node name.
+    pub name: String,
+    /// `"interface"` or `"compute"`.
+    pub kind: String,
+}
+
+/// An edge of a `"graph"` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeDoc {
+    /// Producer node name.
+    pub from: String,
+    /// Consumer node name.
+    pub to: String,
+    /// Elements produced.
+    pub produced: u64,
+    /// Elements consumed.
+    pub consumed: u64,
+    /// Instantiated FIFO depth.
+    pub depth: u64,
+    /// Burst the consumer buffers before it starts draining (0 = none).
+    #[serde(default)]
+    pub burst: Option<u64>,
+}
+
+/// The `"graph"` payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphDoc {
+    /// Modules.
+    pub nodes: Vec<NodeDoc>,
+    /// Channels.
+    pub edges: Vec<EdgeDoc>,
+}
+
+/// A classified lintable document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Document {
+    /// Codegen routines specification (raw JSON text, parsed by the
+    /// codegen layer itself so its errors surface as lints).
+    Spec(String),
+    /// Program document.
+    Program(ProgramDoc),
+    /// Raw MDAG document.
+    Graph(GraphDoc),
+}
+
+/// Classify and parse a JSON document. Returns a human-readable error
+/// for malformed JSON or an unrecognized shape.
+pub fn classify(json: &str) -> Result<Document, String> {
+    let v: Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    if v.get("routines").is_some() {
+        return Ok(Document::Spec(json.to_string()));
+    }
+    if let Some(p) = v.get("program") {
+        let doc: ProgramDoc =
+            serde_json::from_value(p.clone()).map_err(|e| format!("program document: {e}"))?;
+        return Ok(Document::Program(doc));
+    }
+    if let Some(g) = v.get("graph") {
+        let doc: GraphDoc =
+            serde_json::from_value(g.clone()).map_err(|e| format!("graph document: {e}"))?;
+        return Ok(Document::Graph(doc));
+    }
+    Err("unrecognized document: expected a top-level `routines`, `program`, or `graph` key".into())
+}
+
+impl ConfigDoc {
+    /// The planner configuration this document requests.
+    pub fn planner_config(&self) -> PlannerConfig {
+        let d = PlannerConfig::default();
+        PlannerConfig {
+            tn: self.tn.unwrap_or(d.tn),
+            tm: self.tm.unwrap_or(d.tm),
+            allow_deep_channels: self.allow_deep_channels.unwrap_or(d.allow_deep_channels),
+            default_depth: self.default_depth.unwrap_or(d.default_depth),
+        }
+    }
+
+    /// The target device (default: the paper's Stratix 10).
+    pub fn target_device(&self) -> Result<Device, String> {
+        match self.device.as_deref() {
+            None => Ok(Device::Stratix10Gx2800),
+            Some("arria10") | Some("Arria10Gx1150") => Ok(Device::Arria10Gx1150),
+            Some("stratix10") | Some("Stratix10Gx2800") => Ok(Device::Stratix10Gx2800),
+            Some("u280") | Some("AlveoU280") => Ok(Device::AlveoU280),
+            Some(other) => Err(format!(
+                "unknown device `{other}` (expected arria10/stratix10/u280)"
+            )),
+        }
+    }
+
+    /// The element precision (default single).
+    pub fn target_precision(&self) -> Result<Precision, String> {
+        match self.precision.as_deref() {
+            None | Some("single") | Some("f32") => Ok(Precision::Single),
+            Some("double") | Some("f64") => Ok(Precision::Double),
+            Some(other) => Err(format!(
+                "unknown precision `{other}` (expected single/double)"
+            )),
+        }
+    }
+
+    /// The vectorization width (default 16, the codegen default).
+    pub fn vector_width(&self) -> usize {
+        self.width.unwrap_or(16)
+    }
+}
+
+impl ProgramDoc {
+    /// Build the [`Program`] this document describes. Declaration errors
+    /// (bad operand kind, missing fields) are reported as strings; the
+    /// planner-level analysis then runs on the result.
+    pub fn to_program(&self) -> Result<Program, String> {
+        let mut p = Program::new();
+        for od in &self.operands {
+            match od.kind.as_str() {
+                "vector" => {
+                    let len = od
+                        .len
+                        .ok_or_else(|| format!("vector `{}` missing `len`", od.name))?;
+                    p.vector(od.name.clone(), len);
+                }
+                "matrix" => {
+                    let rows = od
+                        .rows
+                        .ok_or_else(|| format!("matrix `{}` missing `rows`", od.name))?;
+                    let cols = od
+                        .cols
+                        .ok_or_else(|| format!("matrix `{}` missing `cols`", od.name))?;
+                    p.matrix(od.name.clone(), rows, cols);
+                }
+                "scalar" => {
+                    p.scalar(od.name.clone());
+                }
+                other => {
+                    return Err(format!(
+                        "operand `{}`: unknown kind `{other}` (expected vector/matrix/scalar)",
+                        od.name
+                    ))
+                }
+            }
+        }
+        for (i, od) in self.ops.iter().enumerate() {
+            p.op(od.to_op(i)?);
+        }
+        Ok(p)
+    }
+}
+
+impl OpDoc {
+    fn req(&self, field: &str, value: &Option<String>, i: usize) -> Result<String, String> {
+        value
+            .clone()
+            .ok_or_else(|| format!("op #{i} (`{}`) missing `{field}`", self.op))
+    }
+
+    /// Convert to the planner's [`Op`].
+    pub fn to_op(&self, i: usize) -> Result<Op, String> {
+        let alpha = self.alpha.unwrap_or(1.0);
+        match self.op.as_str() {
+            "copy" => Ok(Op::Copy {
+                x: self.req("x", &self.x, i)?,
+                out: self.req("out", &self.out, i)?,
+            }),
+            "scal" => Ok(Op::Scal {
+                alpha,
+                x: self.req("x", &self.x, i)?,
+                out: self.req("out", &self.out, i)?,
+            }),
+            "axpy" => Ok(Op::Axpy {
+                alpha,
+                x: self.req("x", &self.x, i)?,
+                y: self.req("y", &self.y, i)?,
+                out: self.req("out", &self.out, i)?,
+            }),
+            "dot" => Ok(Op::Dot {
+                x: self.req("x", &self.x, i)?,
+                y: self.req("y", &self.y, i)?,
+                out: self.req("out", &self.out, i)?,
+            }),
+            "gemv" => Ok(Op::Gemv {
+                alpha,
+                beta: self.beta.unwrap_or(0.0),
+                a: self.req("a", &self.a, i)?,
+                transposed: self.transposed.unwrap_or(false),
+                x: self.req("x", &self.x, i)?,
+                y: self.y.clone(),
+                out: self.req("out", &self.out, i)?,
+            }),
+            "ger" => Ok(Op::Ger {
+                alpha,
+                a: self.req("a", &self.a, i)?,
+                x: self.req("x", &self.x, i)?,
+                y: self.req("y", &self.y, i)?,
+                out: self.req("out", &self.out, i)?,
+            }),
+            other => Err(format!("op #{i}: unknown routine `{other}`")),
+        }
+    }
+}
+
+impl GraphDoc {
+    /// Build the [`Mdag`] this document describes.
+    pub fn to_mdag(&self) -> Result<Mdag, String> {
+        let mut g = Mdag::new();
+        let mut ids = Vec::with_capacity(self.nodes.len());
+        for nd in &self.nodes {
+            let id = match nd.kind.as_str() {
+                "interface" => g.add_interface(nd.name.clone()),
+                "compute" => g.add_compute(nd.name.clone()),
+                other => {
+                    return Err(format!(
+                        "node `{}`: unknown kind `{other}` (expected interface/compute)",
+                        nd.name
+                    ))
+                }
+            };
+            ids.push((nd.name.clone(), id));
+        }
+        let find = |name: &str| {
+            ids.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, id)| *id)
+                .ok_or_else(|| format!("edge references unknown node `{name}`"))
+        };
+        for ed in &self.edges {
+            let from = find(&ed.from)?;
+            let to = find(&ed.to)?;
+            let e = g.add_edge(from, to, ed.produced, ed.consumed, ed.depth);
+            if let Some(b) = ed.burst {
+                if b > 0 {
+                    g.set_burst_before_consume(e, b);
+                }
+            }
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_the_three_dialects() {
+        assert!(matches!(
+            classify(r#"{"routines": []}"#),
+            Ok(Document::Spec(_))
+        ));
+        let p = r#"{"program": {"operands": [{"name":"x","kind":"vector","len":8}],
+                      "ops": [{"op":"copy","x":"x","out":"x2"}]}}"#;
+        assert!(matches!(classify(p), Ok(Document::Program(_))));
+        let g = r#"{"graph": {"nodes": [{"name":"a","kind":"interface"}], "edges": []}}"#;
+        assert!(matches!(classify(g), Ok(Document::Graph(_))));
+        assert!(classify(r#"{"something": 1}"#).is_err());
+        assert!(classify("not json").is_err());
+    }
+
+    #[test]
+    fn program_doc_builds_a_program() {
+        let doc = ProgramDoc {
+            operands: vec![
+                OperandDoc {
+                    name: "x".into(),
+                    kind: "vector".into(),
+                    len: Some(8),
+                    rows: None,
+                    cols: None,
+                },
+                OperandDoc {
+                    name: "y".into(),
+                    kind: "vector".into(),
+                    len: Some(8),
+                    rows: None,
+                    cols: None,
+                },
+            ],
+            ops: vec![OpDoc {
+                op: "copy".into(),
+                alpha: None,
+                beta: None,
+                a: None,
+                x: Some("x".into()),
+                y: None,
+                out: Some("y".into()),
+                transposed: None,
+            }],
+            config: ConfigDoc::default(),
+        };
+        let p = doc.to_program().unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn graph_doc_builds_an_mdag() {
+        let doc = GraphDoc {
+            nodes: vec![
+                NodeDoc {
+                    name: "a".into(),
+                    kind: "interface".into(),
+                },
+                NodeDoc {
+                    name: "b".into(),
+                    kind: "compute".into(),
+                },
+            ],
+            edges: vec![EdgeDoc {
+                from: "a".into(),
+                to: "b".into(),
+                produced: 8,
+                consumed: 8,
+                depth: 4,
+                burst: None,
+            }],
+        };
+        let g = doc.to_mdag().unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ConfigDoc::default();
+        assert_eq!(c.planner_config(), PlannerConfig::default());
+        assert_eq!(c.target_device().unwrap(), Device::Stratix10Gx2800);
+        assert_eq!(c.target_precision().unwrap(), Precision::Single);
+        assert_eq!(c.vector_width(), 16);
+        assert!(ConfigDoc {
+            device: Some("nope".into()),
+            ..Default::default()
+        }
+        .target_device()
+        .is_err());
+    }
+}

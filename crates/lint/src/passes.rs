@@ -1,0 +1,763 @@
+//! The analysis passes.
+//!
+//! Four passes over the three document dialects:
+//!
+//! 1. **Rate analysis** — the SDF-style balance/schedulability check:
+//!    per-edge element counts, then the abstract Kahn-network execution
+//!    of [`fblas_core::composition::rates`] for a deadlock verdict and
+//!    exact minimum channel depths (generalizing the paper's multitree
+//!    heuristic, Sec. V).
+//! 2. **Contract checks** — planner-level stream contracts (tile-order
+//!    compatibility, replay-from-computational-producer, shapes) and
+//!    codegen spec validation.
+//! 3. **Resource feasibility** — composes the `fblas-arch` estimates
+//!    over the plan and flags DSP/M20K/bandwidth overcommit per device.
+//! 4. **Numeric lints** — W-way accumulation reassociation and
+//!    mixed-precision hazards.
+
+use fblas_arch::resources::m20ks_for_buffer;
+use fblas_arch::{
+    design_overhead, estimate_circuit, interface_module, CircuitClass, Device, FrequencyModel,
+    Precision, Resources, RoutineClass,
+};
+use fblas_core::codegen::{generate, CodegenError, RoutineKind, SpecFile};
+use fblas_core::composition::{
+    plan, ContractCause, Mdag, Op, Plan, PlanError, PlanNote, PlannedComponent, PlannerConfig,
+    Program, RateGraph, RateOutcome, Validity,
+};
+
+use crate::diag::{Diagnostic, LintCode, LintReport, Location, Severity};
+use crate::input::{Document, GraphDoc, ProgramDoc};
+
+/// Lint one classified document; `file` is used for locations.
+pub fn lint_document(doc: &Document, file: &str) -> LintReport {
+    match doc {
+        Document::Spec(json) => lint_spec(json, file),
+        Document::Program(p) => lint_program_doc(p, file),
+        Document::Graph(g) => lint_graph_doc(g, file),
+    }
+}
+
+fn at(file: &str, mut loc: Location) -> Location {
+    loc.file = Some(file.to_string());
+    loc
+}
+
+// ---------------------------------------------------------------------
+// Pass 1+2 over graph documents: rate analysis of a raw MDAG.
+// ---------------------------------------------------------------------
+
+fn lint_graph_doc(doc: &GraphDoc, file: &str) -> LintReport {
+    let mut r = LintReport::new();
+    let g = match doc.to_mdag() {
+        Ok(g) => g,
+        Err(e) => {
+            r.push(Diagnostic::new(
+                LintCode::FL0010,
+                Severity::Error,
+                at(file, Location::default()),
+                e,
+            ));
+            return r;
+        }
+    };
+    lint_mdag(&g, file, &mut r);
+    r
+}
+
+/// Rate-analyze an MDAG: balance equations first, then the abstract
+/// execution. Public so the differential harness and the planner lint
+/// share one verdict path.
+pub fn lint_mdag(g: &Mdag, file: &str, r: &mut LintReport) {
+    // Balance check: per-edge element counts must agree for any steady
+    // schedule to exist (the SDF balance equations specialize to
+    // produced == consumed on a point-to-point FIFO).
+    for e in g.edges() {
+        if e.produced != e.consumed {
+            let name = format!("{}->{}", g.node_name(e.from), g.node_name(e.to));
+            r.push(
+                Diagnostic::new(
+                    LintCode::FL0001,
+                    Severity::Error,
+                    at(file, Location::channel(name)),
+                    format!(
+                        "stream count mismatch: producer emits {} elements, consumer expects {}",
+                        e.produced, e.consumed
+                    ),
+                )
+                .with_fixit("make producer and consumer agree on the element count".to_string()),
+            );
+        }
+    }
+    if r.errors() > 0 {
+        return;
+    }
+
+    if g.validate() == Validity::Cyclic {
+        r.push(Diagnostic::new(
+            LintCode::FL0005,
+            Severity::Error,
+            at(file, Location::default()),
+            "cyclic composition: a module's input depends on its own output",
+        ));
+        return;
+    }
+
+    let rg = RateGraph::from_mdag(g);
+    match rg.analyze() {
+        RateOutcome::Completed { .. } => {
+            for im in rg.imbalances() {
+                r.push(Diagnostic::new(
+                    LintCode::FL0001,
+                    Severity::Warning,
+                    at(file, Location::channel(rg.channel_name(im.channel))),
+                    format!(
+                        "channel pushes {} elements but pops {}",
+                        im.pushed, im.popped
+                    ),
+                ));
+            }
+        }
+        RateOutcome::Deadlock { blocked } => match rg.repair() {
+            Some(fixes) => {
+                for (ch, depth) in &fixes {
+                    let name = rg.channel_name(*ch).to_string();
+                    r.push(
+                        Diagnostic::new(
+                            LintCode::FL0004,
+                            Severity::Error,
+                            at(file, Location::channel(name.clone())),
+                            format!(
+                                "composition deadlocks at depth {}: the consumer buffers a \
+                                 burst before draining",
+                                rg.capacity(*ch)
+                            ),
+                        )
+                        .with_fixit(format!("increase the depth of `{name}` to {depth}")),
+                    );
+                    r.push(Diagnostic::new(
+                        LintCode::FL0016,
+                        Severity::Note,
+                        at(file, Location::channel(name)),
+                        format!("exact minimum depth: {depth} (depth {} stalls)", depth - 1),
+                    ));
+                }
+            }
+            None => {
+                let who = blocked
+                    .first()
+                    .map(|b| rg.actor_name(b.actor).to_string())
+                    .unwrap_or_default();
+                r.push(Diagnostic::new(
+                    LintCode::FL0017,
+                    Severity::Error,
+                    at(file, Location::module(who)),
+                    "composition deadlocks and no finite channel depth removes the deadlock",
+                ));
+            }
+        },
+        RateOutcome::Disconnected { actor, channel, .. } => {
+            r.push(Diagnostic::new(
+                LintCode::FL0001,
+                Severity::Error,
+                at(
+                    file,
+                    Location {
+                        module: Some(rg.actor_name(actor).to_string()),
+                        channel: Some(rg.channel_name(channel).to_string()),
+                        ..Default::default()
+                    },
+                ),
+                "mid-stream disconnect: producer and consumer disagree on element counts",
+            ));
+        }
+        RateOutcome::Budget => {
+            r.push(Diagnostic::new(
+                LintCode::FL0017,
+                Severity::Warning,
+                at(file, Location::default()),
+                "rate analysis exceeded its step budget; no verdict",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Program documents: contract pass + rate pass + resources + numerics.
+// ---------------------------------------------------------------------
+
+fn lint_program_doc(doc: &ProgramDoc, file: &str) -> LintReport {
+    let mut r = LintReport::new();
+    let program = match doc.to_program() {
+        Ok(p) => p,
+        Err(e) => {
+            r.push(Diagnostic::new(
+                LintCode::FL0010,
+                Severity::Error,
+                at(file, Location::default()),
+                e,
+            ));
+            return r;
+        }
+    };
+    let cfg = doc.config.planner_config();
+
+    let plan = match plan(&program, &cfg) {
+        Ok(plan) => plan,
+        Err(e) => {
+            r.push(plan_error_diag(&e, file));
+            return r;
+        }
+    };
+
+    // Surface the planner's structured notes as lints.
+    for note in &plan.notes {
+        match note {
+            PlanNote::Split { before_op, cause } => {
+                let (code, loc) = cause_code(cause);
+                r.push(
+                    Diagnostic::new(
+                        code,
+                        Severity::Note,
+                        at(file, loc),
+                        format!("op #{before_op} starts a new component: {cause}"),
+                    )
+                    .with_fixit(
+                        "the planner split the program into sequential components \
+                         communicating through DRAM (the paper's fix (b))"
+                            .to_string(),
+                    ),
+                );
+            }
+            PlanNote::DeepChannel {
+                component,
+                channel,
+                depth,
+            } => {
+                r.push(Diagnostic::new(
+                    LintCode::FL0016,
+                    Severity::Note,
+                    at(file, Location::channel(channel.clone())),
+                    format!(
+                        "component {} requires channel `{channel}` at depth {depth} \
+                         (the paper's fix (a))",
+                        component + 1
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Rate-certify every planned component at its instantiated depths.
+    for (ci, c) in plan.components.iter().enumerate() {
+        let mut sub = LintReport::new();
+        lint_mdag(&c.mdag, file, &mut sub);
+        // Deep channels the planner already derived are resized before
+        // instantiation, so under-depth findings on a deep-channel plan
+        // are expected only when the config forbids deep channels.
+        if !c.deep_channels.is_empty() && cfg.allow_deep_channels {
+            sub.diagnostics.retain(|d| {
+                !(d.code == LintCode::FL0004
+                    && c.deep_channels
+                        .iter()
+                        .any(|(name, _)| d.location.channel.as_deref() == Some(name.as_str())))
+            });
+        }
+        for mut d in sub.diagnostics {
+            d.message = format!("component {}: {}", ci + 1, d.message);
+            r.push(d);
+        }
+    }
+
+    lint_plan_resources(&program, &plan, doc, file, &mut r);
+    lint_program_numerics(&program, doc, file, &mut r);
+    r
+}
+
+fn plan_error_diag(e: &PlanError, file: &str) -> Diagnostic {
+    match e {
+        PlanError::UnknownOperand(n) => Diagnostic::new(
+            LintCode::FL0006,
+            Severity::Error,
+            at(file, Location::operand(n.clone())),
+            format!("unknown operand `{n}`"),
+        )
+        .with_fixit(format!("declare `{n}` as a vector, matrix, or scalar")),
+        PlanError::ShapeMismatch { operand, expected } => Diagnostic::new(
+            LintCode::FL0007,
+            Severity::Error,
+            at(file, Location::operand(operand.clone())),
+            format!("operand `{operand}`: expected {expected}"),
+        )
+        .with_fixit(format!("resize `{operand}` to {expected}")),
+        PlanError::MultipleWriters(n) => Diagnostic::new(
+            LintCode::FL0008,
+            Severity::Error,
+            at(file, Location::operand(n.clone())),
+            format!("operand `{n}` is written more than once"),
+        )
+        .with_fixit("use a fresh operand name per result (static single assignment)".to_string()),
+        PlanError::Cyclic => Diagnostic::new(
+            LintCode::FL0005,
+            Severity::Error,
+            at(file, Location::default()),
+            "cyclic data dependencies",
+        ),
+        PlanError::Contract(cause) => {
+            let (code, loc) = cause_code(cause);
+            Diagnostic::new(
+                code,
+                Severity::Error,
+                at(file, loc),
+                format!("stream contract violation: {cause}"),
+            )
+        }
+        PlanError::InvalidConfig(reason) => Diagnostic::new(
+            LintCode::FL0010,
+            Severity::Error,
+            at(file, Location::default()),
+            format!("invalid planner config: {reason}"),
+        ),
+    }
+}
+
+/// Map a structured contract cause to its lint code and location.
+fn cause_code(cause: &ContractCause) -> (LintCode, Location) {
+    match cause {
+        ContractCause::ReplayFromComputationalProducer { operand, op_index } => (
+            LintCode::FL0003,
+            Location {
+                operand: Some(operand.clone()),
+                op_index: Some(*op_index),
+                ..Default::default()
+            },
+        ),
+        ContractCause::OnChipMatrixColStreamed { matrix, op_index } => (
+            LintCode::FL0002,
+            Location {
+                operand: Some(matrix.clone()),
+                op_index: Some(*op_index),
+                ..Default::default()
+            },
+        ),
+        ContractCause::TilingOrderConflict { matrix, op_indices } => (
+            LintCode::FL0002,
+            Location {
+                operand: Some(matrix.clone()),
+                op_index: op_indices.first().copied(),
+                ..Default::default()
+            },
+        ),
+        ContractCause::InvalidEdge { reason } => {
+            (LintCode::FL0001, Location::channel(reason.clone()))
+        }
+        ContractCause::NeedsChannelDepth { channel, .. } => {
+            (LintCode::FL0004, Location::channel(channel.clone()))
+        }
+        ContractCause::Unschedulable { .. } => (LintCode::FL0017, Location::default()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 3: resource feasibility over a plan.
+// ---------------------------------------------------------------------
+
+fn op_circuit(op: &Op, w: u64) -> CircuitClass {
+    match op {
+        Op::Copy { .. } | Op::Scal { .. } => CircuitClass::Map { w, ops_per_lane: 1 },
+        Op::Axpy { .. } => CircuitClass::MapFused {
+            w,
+            macs_per_lane: 1,
+        },
+        Op::Dot { .. } | Op::Gemv { .. } => CircuitClass::MapReduce { w },
+        Op::Ger { .. } => CircuitClass::MapFused {
+            w,
+            macs_per_lane: 1,
+        },
+    }
+}
+
+/// Resources one component demands: its computational circuits, tile
+/// buffers, one interface module per DRAM stream, deep-FIFO block RAM,
+/// and the fixed design overhead.
+fn component_resources(
+    program: &Program,
+    c: &PlannedComponent,
+    cfg: &PlannerConfig,
+    device: Device,
+    precision: Precision,
+    w: u64,
+) -> Resources {
+    let mut total = design_overhead(device, device.model().hyperflex);
+    for &oi in &c.ops {
+        let op = &program.ops()[oi];
+        let mut est = estimate_circuit(op_circuit(op, w), precision);
+        // Level-2 ops buffer a tile of the vector operand on chip.
+        if matches!(op, Op::Gemv { .. } | Op::Ger { .. }) {
+            est = est.with_buffer(cfg.tn as u64, precision);
+        }
+        total += est.resources;
+    }
+    // One interface module per DRAM-facing stream (read_*/write_* nodes).
+    let interfaces = c
+        .mdag
+        .node_ids()
+        .filter(|&n| {
+            let name = c.mdag.node_name(n);
+            name.starts_with("read_") || name.starts_with("write_")
+        })
+        .count() as u64;
+    total += interface_module(precision, w).scaled(interfaces.max(1));
+    // Deep FIFOs are spent out of M20K blocks.
+    for (_, depth) in &c.deep_channels {
+        total.m20ks += m20ks_for_buffer(*depth, precision.elem_bytes());
+    }
+    total
+}
+
+fn lint_plan_resources(
+    program: &Program,
+    plan: &Plan,
+    doc: &ProgramDoc,
+    file: &str,
+    r: &mut LintReport,
+) {
+    let device = match doc.config.target_device() {
+        Ok(d) => d,
+        Err(e) => {
+            r.push(Diagnostic::new(
+                LintCode::FL0010,
+                Severity::Error,
+                at(file, Location::default()),
+                e,
+            ));
+            return;
+        }
+    };
+    let precision = match doc.config.target_precision() {
+        Ok(p) => p,
+        Err(e) => {
+            r.push(Diagnostic::new(
+                LintCode::FL0010,
+                Severity::Error,
+                at(file, Location::default()),
+                e,
+            ));
+            return;
+        }
+    };
+    let w = doc.config.vector_width() as u64;
+    let cfg = doc.config.planner_config();
+    let model = device.model();
+
+    for (ci, c) in plan.components.iter().enumerate() {
+        let demand = component_resources(program, c, &cfg, device, precision, w);
+        let label = format!("component {} on {}", ci + 1, device.short_name());
+        if demand.dsps > model.available.dsps {
+            r.push(
+                Diagnostic::new(
+                    LintCode::FL0011,
+                    Severity::Error,
+                    at(file, Location::default()),
+                    format!(
+                        "{label}: DSP overcommit ({} needed, {} available)",
+                        demand.dsps, model.available.dsps
+                    ),
+                )
+                .with_fixit("reduce the vectorization width W".to_string()),
+            );
+        }
+        if demand.m20ks > model.available.m20ks {
+            r.push(
+                Diagnostic::new(
+                    LintCode::FL0012,
+                    Severity::Error,
+                    at(file, Location::default()),
+                    format!(
+                        "{label}: M20K overcommit ({} needed, {} available)",
+                        demand.m20ks, model.available.m20ks
+                    ),
+                )
+                .with_fixit(
+                    "shrink tile sizes or split the component instead of deepening channels"
+                        .to_string(),
+                ),
+            );
+        }
+        // Bandwidth: every interface stream moves W elements per cycle
+        // at the achievable clock; concurrent streams share the DRAM
+        // banks (paper Sec. VI-B).
+        let streams = c
+            .mdag
+            .node_ids()
+            .filter(|&n| {
+                let name = c.mdag.node_name(n);
+                name.starts_with("read_") || name.starts_with("write_")
+            })
+            .count() as f64;
+        let f = FrequencyModel::new(device).base_hz(RoutineClass::Streaming);
+        let demand_bw = streams * w as f64 * precision.elem_bytes() as f64 * f;
+        let avail_bw = model.total_dram_bandwidth();
+        if demand_bw > avail_bw {
+            r.push(
+                Diagnostic::new(
+                    LintCode::FL0013,
+                    Severity::Warning,
+                    at(file, Location::default()),
+                    format!(
+                        "{label}: {} concurrent DRAM streams demand {:.1} GB/s of {:.1} GB/s \
+                         available; interface modules will stall",
+                        streams as u64,
+                        demand_bw / 1e9,
+                        avail_bw / 1e9
+                    ),
+                )
+                .with_fixit("lower W or stream fewer operands per component".to_string()),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 4: numeric lints on programs.
+// ---------------------------------------------------------------------
+
+fn lint_program_numerics(program: &Program, doc: &ProgramDoc, file: &str, r: &mut LintReport) {
+    let w = doc.config.vector_width();
+    let precision = match doc.config.target_precision() {
+        Ok(p) => p,
+        Err(_) => return, // already reported by the resource pass
+    };
+    if w > 1 {
+        for (i, op) in program.ops().iter().enumerate() {
+            if matches!(op, Op::Dot { .. } | Op::Gemv { .. }) {
+                r.push(Diagnostic::new(
+                    LintCode::FL0014,
+                    Severity::Note,
+                    at(
+                        file,
+                        Location {
+                            op_index: Some(i),
+                            ..Default::default()
+                        },
+                    ),
+                    format!(
+                        "op #{i} reduces with a {w}-way adder tree: results differ from \
+                         sequential accumulation (floating-point reassociation)"
+                    ),
+                ));
+            }
+        }
+    }
+    if !precision.native_accumulation() {
+        r.push(Diagnostic::new(
+            LintCode::FL0015,
+            Severity::Warning,
+            at(file, Location::default()),
+            "double precision has no native DSP accumulation on the modeled devices; \
+             reductions use the two-stage interleaved accumulator (extra latency and M20K)",
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spec documents: codegen validation + numeric lints.
+// ---------------------------------------------------------------------
+
+fn lint_spec(json: &str, file: &str) -> LintReport {
+    let mut r = LintReport::new();
+    let spec = match SpecFile::from_json(json) {
+        Ok(s) => s,
+        Err(e) => {
+            r.push(Diagnostic::new(
+                LintCode::FL0010,
+                Severity::Error,
+                at(file, Location::default()),
+                format!("specification JSON error: {e}"),
+            ));
+            return r;
+        }
+    };
+    for rs in &spec.routines {
+        let loc = at(file, Location::operand(rs.kernel_name().to_string()));
+        match generate(rs) {
+            Err(CodegenError::UnknownRoutine(n)) => {
+                r.push(
+                    Diagnostic::new(
+                        LintCode::FL0009,
+                        Severity::Error,
+                        loc,
+                        format!("unknown routine `{n}`"),
+                    )
+                    .with_fixit(
+                        "blas_name is an s/d prefix plus one of the 22 FBLAS routines".to_string(),
+                    ),
+                );
+            }
+            Err(e) => {
+                r.push(Diagnostic::new(
+                    LintCode::FL0010,
+                    Severity::Error,
+                    loc,
+                    e.to_string(),
+                ));
+            }
+            Ok(kernel) => {
+                let reduces = matches!(
+                    kernel.kind,
+                    RoutineKind::Dot
+                        | RoutineKind::Sdsdot
+                        | RoutineKind::Nrm2
+                        | RoutineKind::Asum
+                        | RoutineKind::Gemv
+                        | RoutineKind::Gemm
+                        | RoutineKind::Syrk
+                        | RoutineKind::Syr2k
+                );
+                if reduces && kernel.width > 1 {
+                    r.push(Diagnostic::new(
+                        LintCode::FL0014,
+                        Severity::Note,
+                        loc.clone(),
+                        format!(
+                            "`{}` at W={} reassociates its reduction; bitwise equality with \
+                             a sequential reference is not guaranteed",
+                            kernel.name, kernel.width
+                        ),
+                    ));
+                }
+                if kernel.kind == RoutineKind::Sdsdot {
+                    r.push(Diagnostic::new(
+                        LintCode::FL0015,
+                        Severity::Note,
+                        loc.clone(),
+                        "sdsdot accumulates single-precision inputs in double precision \
+                         (mixed-precision by specification)",
+                    ));
+                }
+                if kernel.precision == Precision::Double && reduces {
+                    r.push(Diagnostic::new(
+                        LintCode::FL0015,
+                        Severity::Warning,
+                        loc,
+                        format!(
+                            "`{}` accumulates in double precision without native DSP support; \
+                             the two-stage interleaved accumulator adds latency",
+                            kernel.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::classify;
+
+    fn lint_str(json: &str) -> LintReport {
+        let doc = classify(json).unwrap();
+        lint_document(&doc, "test.json")
+    }
+
+    #[test]
+    fn clean_axpydot_program_is_accepted() {
+        let r = lint_str(
+            r#"{"program": {
+                "operands": [
+                    {"name":"w","kind":"vector","len":64},
+                    {"name":"v","kind":"vector","len":64},
+                    {"name":"u","kind":"vector","len":64},
+                    {"name":"z","kind":"vector","len":64},
+                    {"name":"beta","kind":"scalar"}
+                ],
+                "ops": [
+                    {"op":"axpy","alpha":-1.0,"x":"v","y":"w","out":"z"},
+                    {"op":"dot","x":"z","y":"u","out":"beta"}
+                ],
+                "config": {"tn":16,"tm":16}
+            }}"#,
+        );
+        assert!(r.accepted(), "{}", r.render_table());
+        // The W-way reduction note fires for the DOT.
+        assert!(r.diagnostics.iter().any(|d| d.code == LintCode::FL0014));
+    }
+
+    #[test]
+    fn shape_mismatch_is_fl0007() {
+        let r = lint_str(
+            r#"{"program": {
+                "operands": [
+                    {"name":"x","kind":"vector","len":8},
+                    {"name":"y","kind":"vector","len":9},
+                    {"name":"d","kind":"scalar"}
+                ],
+                "ops": [{"op":"dot","x":"x","y":"y","out":"d"}]
+            }}"#,
+        );
+        assert!(!r.accepted());
+        assert!(r.diagnostics.iter().any(|d| d.code == LintCode::FL0007));
+    }
+
+    #[test]
+    fn undersized_graph_channel_gets_exact_fixit() {
+        let r = lint_str(
+            r#"{"graph": {
+                "nodes": [
+                    {"name":"src","kind":"interface"},
+                    {"name":"relay","kind":"compute"},
+                    {"name":"join","kind":"compute"}
+                ],
+                "edges": [
+                    {"from":"src","to":"join","produced":96,"consumed":96,"depth":8,"burst":40},
+                    {"from":"src","to":"relay","produced":96,"consumed":96,"depth":16},
+                    {"from":"relay","to":"join","produced":96,"consumed":96,"depth":16}
+                ]
+            }}"#,
+        );
+        assert!(!r.accepted());
+        let under = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::FL0004)
+            .expect("under-depth finding");
+        assert!(under.fixit.as_deref().unwrap().contains("40"));
+        assert!(r.diagnostics.iter().any(|d| d.code == LintCode::FL0016));
+    }
+
+    #[test]
+    fn count_mismatch_graph_is_fl0001() {
+        let r = lint_str(
+            r#"{"graph": {
+                "nodes": [
+                    {"name":"a","kind":"interface"},
+                    {"name":"b","kind":"compute"}
+                ],
+                "edges": [{"from":"a","to":"b","produced":10,"consumed":8,"depth":4}]
+            }}"#,
+        );
+        assert!(!r.accepted());
+        assert_eq!(r.diagnostics[0].code, LintCode::FL0001);
+    }
+
+    #[test]
+    fn unknown_routine_spec_is_fl0009() {
+        let r = lint_str(r#"{"routines": [{"blas_name": "sfrobnicate"}]}"#);
+        assert!(!r.accepted());
+        assert_eq!(r.diagnostics[0].code, LintCode::FL0009);
+    }
+
+    #[test]
+    fn double_reduction_spec_warns_mixed_precision() {
+        let r = lint_str(r#"{"routines": [{"blas_name": "ddot", "width": 8}]}"#);
+        assert!(r.accepted());
+        assert!(r.diagnostics.iter().any(|d| d.code == LintCode::FL0014));
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::FL0015 && d.severity == Severity::Warning));
+    }
+}
