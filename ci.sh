@@ -51,11 +51,26 @@ step "bench-diff against committed baselines"
 # benchmarks/baselines/. Model columns are deterministic, so any drift
 # is a model change: intentional ones are refreshed with
 # `bench-diff --bless` (see README).
-for bin in table3 table4 table5 table6 fig10 fig11 hbm_scaling; do
+for bin in table3 table4 table5 table6 fig10 fig11 hbm_scaling bench_throughput; do
     FBLAS_BENCH_DIR="$tmpdir" cargo run --release -q -p fblas-bench --bin "$bin" >/dev/null
 done
 cargo run --release -q -p fblas-bench --bin bench-diff -- \
     --baselines benchmarks/baselines --current "$tmpdir"
+
+step "throughput perf smoke (batched transport vs element-wise)"
+# bench_throughput (regenerated above) sweeps FBLAS_CHUNK; the batched
+# channel layer must keep at least a 5x elements/sec advantage on the
+# lock-bound DOT stream, or the chunked transport has regressed.
+python3 - "$tmpdir/BENCH_throughput.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = {(r["routine"], r["chunk"]): r for r in doc["rows"]}
+slow = rows[("dot", 1)]["cpu_elems_per_sec"]
+fast = rows[("dot", 256)]["cpu_elems_per_sec"]
+ratio = fast / slow
+assert ratio >= 5.0, f"dot chunk=256 must be >= 5x chunk=1 (got {ratio:.1f}x)"
+print(f"dot chunk=256 vs chunk=1: {ratio:.1f}x elements/sec")
+EOF
 
 step "audit self-check (model vs traced simulation)"
 # Runs the AXPYDOT fixture through the audited executor and fails on

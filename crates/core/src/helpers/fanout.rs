@@ -6,12 +6,16 @@
 //! hardware this is a small forwarding circuit; here it is a module that
 //! pops once and pushes to every subscriber.
 
-use fblas_hlssim::{ModuleKind, Receiver, Sender, Simulation};
+use fblas_hlssim::{ChunkReader, ModuleKind, Receiver, Sender, Simulation};
 
 use crate::scalar::Scalar;
 
 /// Add a module duplicating `count` elements from `rx` to both `tx1` and
 /// `tx2`.
+///
+/// The input is read in chunks; the outputs stay element-wise and
+/// interleaved — batching one branch while the other's consumer is
+/// starved can deadlock shallow FIFOs (see `fblas_hlssim::chunk` docs).
 pub fn duplicate<T: Scalar>(
     sim: &mut Simulation,
     name: impl Into<String>,
@@ -21,8 +25,9 @@ pub fn duplicate<T: Scalar>(
     tx2: Sender<T>,
 ) {
     sim.add_module(name.into(), ModuleKind::Compute, move || {
+        let mut rd = ChunkReader::new(&rx);
         for _ in 0..count {
-            let v = rx.pop()?;
+            let v = rd.next()?;
             tx1.push(v)?;
             tx2.push(v)?;
         }
@@ -31,7 +36,8 @@ pub fn duplicate<T: Scalar>(
 }
 
 /// Add a module duplicating `count` elements from `rx` to an arbitrary
-/// set of output channels.
+/// set of output channels (chunked input, interleaved element-wise
+/// outputs — see [`duplicate`]).
 pub fn duplicate_many<T: Scalar>(
     sim: &mut Simulation,
     name: impl Into<String>,
@@ -40,8 +46,9 @@ pub fn duplicate_many<T: Scalar>(
     txs: Vec<Sender<T>>,
 ) {
     sim.add_module(name.into(), ModuleKind::Compute, move || {
+        let mut rd = ChunkReader::new(&rx);
         for _ in 0..count {
-            let v = rx.pop()?;
+            let v = rd.next()?;
             for tx in &txs {
                 tx.push(v)?;
             }

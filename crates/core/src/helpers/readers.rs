@@ -65,10 +65,18 @@ pub fn read_matrix<T: Scalar>(
             ));
         }
         let order = tiling.stream_indices(n, m);
+        // Source module: gather each chunk from the tile order and push
+        // it in one batched transfer.
+        let chunk = fblas_hlssim::default_chunk();
+        let mut buf: Vec<T> = Vec::with_capacity(chunk);
         for _ in 0..repetitions {
             for &(r, c) in &order {
-                tx.push(data[r * m + c])?;
+                buf.push(data[r * m + c]);
+                if buf.len() == chunk {
+                    tx.push_chunk(&mut buf)?;
+                }
             }
+            tx.push_chunk(&mut buf)?;
         }
         Ok(())
     });

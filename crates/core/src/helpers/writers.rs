@@ -1,6 +1,6 @@
 //! DRAM-writing interface modules.
 
-use fblas_hlssim::{ModuleKind, Receiver, Sender, Simulation};
+use fblas_hlssim::{default_chunk, ChunkReader, ModuleKind, Receiver, Sender, Simulation};
 
 use crate::host::buffer::DeviceBuffer;
 use crate::scalar::Scalar;
@@ -69,8 +69,9 @@ pub fn write_matrix<T: Scalar>(
         }
         let order = tiling.stream_indices(n, m);
         let mut out = vec![T::ZERO; n * m];
+        let mut rd = ChunkReader::new(&rx);
         for &(r, c) in &order {
-            out[r * m + c] = rx.pop()?;
+            out[r * m + c] = rd.next()?;
         }
         buf.from_host(&out);
         Ok(())
@@ -87,8 +88,12 @@ pub fn sink<T: Scalar>(
     rx: Receiver<T>,
 ) {
     sim.add_module(name.into(), ModuleKind::Interface, move || {
-        for _ in 0..count {
-            rx.pop()?;
+        let chunk = default_chunk();
+        let mut buf: Vec<T> = Vec::with_capacity(chunk);
+        let mut remaining = count;
+        while remaining > 0 {
+            buf.clear();
+            remaining -= rx.pop_chunk(&mut buf, remaining.min(chunk))?;
         }
         Ok(())
     });
@@ -140,9 +145,17 @@ pub fn replay_vector_through_memory<T: Scalar>(
             ));
         }
         to_module.push_slice(&init2.to_host())?;
+        // Chunked relay: each popped chunk is forwarded immediately, so
+        // no element is withheld from the feedback loop while blocked.
+        let chunk = default_chunk();
+        let mut buf: Vec<T> = Vec::with_capacity(chunk);
         for _ in 0..rounds - 1 {
-            for _ in 0..n {
-                to_module.push(loop_rx.pop()?)?;
+            let mut i = 0;
+            while i < n {
+                buf.clear();
+                let got = loop_rx.pop_chunk(&mut buf, (n - i).min(chunk))?;
+                to_module.push_chunk(&mut buf)?;
+                i += got;
             }
         }
         Ok(())
@@ -159,9 +172,15 @@ pub fn replay_vector_through_memory<T: Scalar>(
                 ),
             ));
         }
+        let chunk = default_chunk();
+        let mut buf: Vec<T> = Vec::with_capacity(chunk);
         for _ in 0..rounds - 1 {
-            for _ in 0..n {
-                loop_tx.push(from_module.pop()?)?;
+            let mut i = 0;
+            while i < n {
+                buf.clear();
+                let got = from_module.pop_chunk(&mut buf, (n - i).min(chunk))?;
+                loop_tx.push_chunk(&mut buf)?;
+                i += got;
             }
         }
         let final_vals = from_module.pop_n(n)?;

@@ -24,7 +24,7 @@
 //! [`TransColStreamed`]: GemvVariant::TransColStreamed
 
 use fblas_arch::{estimate_circuit, CircuitClass, ResourceEstimate};
-use fblas_hlssim::{ModuleKind, PipelineCost, Receiver, Sender, SimError, Simulation};
+use fblas_hlssim::{ChunkReader, ModuleKind, PipelineCost, Receiver, Sender, SimError, Simulation};
 
 use super::validate_width;
 use crate::scalar::{tree_sum, Scalar};
@@ -200,8 +200,14 @@ impl Gemv {
     }
 
     /// Dot of one within-tile matrix row segment against an `x` block,
-    /// W-chunked with the hardware's tree-reduction order.
-    fn row_dot<T: Scalar>(&self, ch_a: &Receiver<T>, xblock: &[T]) -> Result<T, SimError> {
+    /// W-chunked with the hardware's tree-reduction order. The matrix
+    /// stream arrives through a chunked reader — the arithmetic order is
+    /// identical to popping element-wise.
+    fn row_dot<T: Scalar>(
+        &self,
+        a_rd: &mut ChunkReader<'_, T>,
+        xblock: &[T],
+    ) -> Result<T, SimError> {
         let mut acc = T::ZERO;
         let mut products = Vec::with_capacity(self.w);
         let mut j = 0;
@@ -209,7 +215,7 @@ impl Gemv {
             let take = (xblock.len() - j).min(self.w);
             products.clear();
             for x in &xblock[j..j + take] {
-                products.push(ch_a.pop()? * *x);
+                products.push(a_rd.next()? * *x);
             }
             acc += tree_sum(&products);
             j += take;
@@ -226,6 +232,8 @@ impl Gemv {
         ch_y_in: &Receiver<T>,
         ch_y_out: &Sender<T>,
     ) -> Result<(), SimError> {
+        let mut a_rd = ChunkReader::new(ch_a);
+        let mut ybuf: Vec<T> = Vec::with_capacity(self.tn);
         for bi in 0..self.tile_rows() {
             let rows = tile_extent(bi, self.tn, self.n);
             let y0 = ch_y_in.pop_n(rows)?;
@@ -234,12 +242,15 @@ impl Gemv {
                 let cols = tile_extent(bj, self.tm, self.m);
                 let xblock = ch_x.pop_n(cols)?;
                 for a in acc.iter_mut().take(rows) {
-                    *a += self.row_dot(ch_a, &xblock)?;
+                    *a += self.row_dot(&mut a_rd, &xblock)?;
                 }
             }
+            // The whole y block is pushed before the next blocking read
+            // (chunked relay; see fblas_hlssim::chunk docs).
             for i in 0..rows {
-                ch_y_out.push(alpha.mul_add(acc[i], beta * y0[i]))?;
+                ybuf.push(alpha.mul_add(acc[i], beta * y0[i]));
             }
+            ch_y_out.push_chunk(&mut ybuf)?;
         }
         Ok(())
     }
@@ -253,6 +264,7 @@ impl Gemv {
         ch_y_in: &Receiver<T>,
         ch_y_out: &Sender<T>,
     ) -> Result<(), SimError> {
+        let mut a_rd = ChunkReader::new(ch_a);
         for bj in 0..self.tile_cols() {
             let cols = tile_extent(bj, self.tm, self.m);
             let xblock = ch_x.pop_n(cols)?;
@@ -265,7 +277,7 @@ impl Gemv {
                     }
                 }
                 for ypi in yp.iter_mut().take(rows) {
-                    let acc = self.row_dot(ch_a, &xblock)?;
+                    let acc = self.row_dot(&mut a_rd, &xblock)?;
                     *ypi = alpha.mul_add(acc, *ypi);
                 }
                 ch_y_out.push_slice(&yp)?;
@@ -283,6 +295,7 @@ impl Gemv {
         ch_y_in: &Receiver<T>,
         ch_y_out: &Sender<T>,
     ) -> Result<(), SimError> {
+        let mut a_rd = ChunkReader::new(ch_a);
         for bi in 0..self.tile_rows() {
             let rows = tile_extent(bi, self.tn, self.n);
             let xblock = ch_x.pop_n(rows)?;
@@ -298,7 +311,7 @@ impl Gemv {
                 let mut tacc = vec![T::ZERO; cols];
                 for xi in xblock.iter().take(rows) {
                     for t in tacc.iter_mut().take(cols) {
-                        let a = ch_a.pop()?;
+                        let a = a_rd.next()?;
                         *t = a.mul_add(*xi, *t);
                     }
                 }
@@ -320,6 +333,8 @@ impl Gemv {
         ch_y_in: &Receiver<T>,
         ch_y_out: &Sender<T>,
     ) -> Result<(), SimError> {
+        let mut a_rd = ChunkReader::new(ch_a);
+        let mut ybuf: Vec<T> = Vec::with_capacity(self.tm);
         for bj in 0..self.tile_cols() {
             let cols = tile_extent(bj, self.tm, self.m);
             let mut acc = vec![T::ZERO; cols];
@@ -328,15 +343,16 @@ impl Gemv {
                 let xblock = ch_x.pop_n(rows)?;
                 for xi in xblock.iter().take(rows) {
                     for a_j in acc.iter_mut().take(cols) {
-                        let a = ch_a.pop()?;
+                        let a = a_rd.next()?;
                         *a_j = a.mul_add(*xi, *a_j);
                     }
                 }
             }
             let y0 = ch_y_in.pop_n(cols)?;
             for j in 0..cols {
-                ch_y_out.push(alpha.mul_add(acc[j], beta * y0[j]))?;
+                ybuf.push(alpha.mul_add(acc[j], beta * y0[j]));
             }
+            ch_y_out.push_chunk(&mut ybuf)?;
         }
         Ok(())
     }

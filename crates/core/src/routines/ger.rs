@@ -7,7 +7,9 @@
 //! operand is replayed once per row of tiles by its interface module.
 
 use fblas_arch::{estimate_circuit, CircuitClass, ResourceEstimate};
-use fblas_hlssim::{ModuleKind, PipelineCost, Receiver, Sender, Simulation};
+use fblas_hlssim::{
+    ChunkReader, ChunkWriter, ModuleKind, PipelineCost, Receiver, Sender, Simulation,
+};
 
 use super::{validate_width, Uplo};
 use crate::scalar::Scalar;
@@ -67,6 +69,11 @@ impl Ger {
     ) {
         let cfg = *self;
         sim.add_module("ger", ModuleKind::Compute, move || {
+            // The matrix stream is relayed in chunks; the writer is
+            // flushed at every tile boundary so no output is buffered
+            // across the blocking vector-block reads.
+            let mut a_rd = ChunkReader::new(&ch_a);
+            let mut out_wr = ChunkWriter::new(&ch_out);
             for bi in 0..cfg.n.div_ceil(cfg.tn) {
                 let rows = tile_extent(bi, cfg.tn, cfg.n);
                 let xblock = ch_x.pop_n(rows)?;
@@ -76,10 +83,11 @@ impl Ger {
                     for xi in xblock.iter().take(rows) {
                         let ax = alpha * *xi;
                         for yj in yblock.iter().take(cols) {
-                            let a = ch_a.pop()?;
-                            ch_out.push(ax.mul_add(*yj, a))?;
+                            let a = a_rd.next()?;
+                            out_wr.push(ax.mul_add(*yj, a))?;
                         }
                     }
+                    out_wr.flush()?;
                 }
             }
             Ok(())
@@ -156,6 +164,8 @@ impl Syr {
     ) {
         let cfg = *self;
         sim.add_module("syr", ModuleKind::Compute, move || {
+            let mut a_rd = ChunkReader::new(&ch_a);
+            let mut out_wr = ChunkWriter::new(&ch_out);
             for bi in 0..cfg.n.div_ceil(cfg.tn) {
                 let rows = tile_extent(bi, cfg.tn, cfg.n);
                 let r0 = bi * cfg.tn;
@@ -166,7 +176,7 @@ impl Syr {
                     let xcol = ch_x_col.pop_n(cols)?;
                     for i in 0..rows {
                         for j in 0..cols {
-                            let a = ch_a.pop()?;
+                            let a = a_rd.next()?;
                             let (gi, gj) = (r0 + i, c0 + j);
                             let in_triangle = match cfg.uplo {
                                 Uplo::Upper => gj >= gi,
@@ -177,9 +187,10 @@ impl Syr {
                             } else {
                                 a
                             };
-                            ch_out.push(v)?;
+                            out_wr.push(v)?;
                         }
                     }
+                    out_wr.flush()?;
                 }
             }
             Ok(())
@@ -254,6 +265,8 @@ impl Syr2 {
     ) {
         let cfg = *self;
         sim.add_module("syr2", ModuleKind::Compute, move || {
+            let mut a_rd = ChunkReader::new(&ch_a);
+            let mut out_wr = ChunkWriter::new(&ch_out);
             for bi in 0..cfg.n.div_ceil(cfg.tn) {
                 let rows = tile_extent(bi, cfg.tn, cfg.n);
                 let r0 = bi * cfg.tn;
@@ -266,7 +279,7 @@ impl Syr2 {
                     let ycol = ch_y_col.pop_n(cols)?;
                     for i in 0..rows {
                         for j in 0..cols {
-                            let a = ch_a.pop()?;
+                            let a = a_rd.next()?;
                             let (gi, gj) = (r0 + i, c0 + j);
                             let in_triangle = match cfg.uplo {
                                 Uplo::Upper => gj >= gi,
@@ -278,9 +291,10 @@ impl Syr2 {
                             } else {
                                 a
                             };
-                            ch_out.push(v)?;
+                            out_wr.push(v)?;
                         }
                     }
+                    out_wr.flush()?;
                 }
             }
             Ok(())

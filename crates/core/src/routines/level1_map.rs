@@ -7,7 +7,9 @@
 //! of Table I.
 
 use fblas_arch::{estimate_circuit, CircuitClass, ResourceEstimate};
-use fblas_hlssim::{ModuleKind, PipelineCost, Receiver, Sender, Simulation};
+use fblas_hlssim::{
+    default_chunk, ChunkReader, ModuleKind, PipelineCost, Receiver, Sender, Simulation,
+};
 
 use super::{outer_iterations, validate_width};
 use crate::scalar::Scalar;
@@ -37,17 +39,23 @@ impl Scal {
         ch_x: Receiver<T>,
         ch_out: Sender<T>,
     ) {
-        let Scal { n, w } = *self;
+        let Scal { n, .. } = *self;
         sim.add_module("scal", ModuleKind::Compute, move || {
+            // Chunked relay: pop what's available, run it through the W
+            // independent multiply lanes, push the whole result before
+            // blocking on input again (see fblas_hlssim::chunk docs).
+            let chunk = default_chunk();
+            let mut inbuf: Vec<T> = Vec::with_capacity(chunk);
+            let mut outbuf: Vec<T> = Vec::with_capacity(chunk);
             let mut remaining = n;
             while remaining > 0 {
-                let take = remaining.min(w);
-                // One outer iteration: W independent multiply lanes.
-                for _ in 0..take {
-                    let x = ch_x.pop()?;
-                    ch_out.push(alpha * x)?;
+                inbuf.clear();
+                let got = ch_x.pop_chunk(&mut inbuf, remaining.min(chunk))?;
+                for &x in &inbuf {
+                    outbuf.push(alpha * x);
                 }
-                remaining -= take;
+                ch_out.push_chunk(&mut outbuf)?;
+                remaining -= got;
             }
             Ok(())
         });
@@ -94,8 +102,14 @@ impl VecCopy {
     pub fn attach<T: Scalar>(&self, sim: &mut Simulation, ch_x: Receiver<T>, ch_out: Sender<T>) {
         let n = self.n;
         sim.add_module("copy", ModuleKind::Compute, move || {
-            for _ in 0..n {
-                ch_out.push(ch_x.pop()?)?;
+            let chunk = default_chunk();
+            let mut buf: Vec<T> = Vec::with_capacity(chunk);
+            let mut remaining = n;
+            while remaining > 0 {
+                buf.clear();
+                let got = ch_x.pop_chunk(&mut buf, remaining.min(chunk))?;
+                ch_out.push_chunk(&mut buf)?;
+                remaining -= got;
             }
             Ok(())
         });
@@ -148,9 +162,15 @@ impl Swap {
     ) {
         let n = self.n;
         sim.add_module("swap", ModuleKind::Compute, move || {
+            // Inputs are chunked; the two outputs stay element-wise and
+            // interleaved — batching one output while the other's
+            // consumer is starved can deadlock shallow FIFOs (see
+            // fblas_hlssim::chunk docs).
+            let mut xs = ChunkReader::new(&ch_x);
+            let mut ys = ChunkReader::new(&ch_y);
             for _ in 0..n {
-                let x = ch_x.pop()?;
-                let y = ch_y.pop()?;
+                let x = xs.next()?;
+                let y = ys.next()?;
                 ch_out_x.push(y)?;
                 ch_out_y.push(x)?;
             }
@@ -205,10 +225,27 @@ impl Axpy {
     ) {
         let n = self.n;
         sim.add_module("axpy", ModuleKind::Compute, move || {
-            for _ in 0..n {
-                let x = ch_x.pop()?;
-                let y = ch_y.pop()?;
-                ch_out.push(alpha.mul_add(x, y))?;
+            // Chunked relay over a stream pair: take what `x` has, match
+            // it exactly from `y`, push the fused result chunk before
+            // blocking on input again.
+            let chunk = default_chunk();
+            let mut xbuf: Vec<T> = Vec::with_capacity(chunk);
+            let mut ybuf: Vec<T> = Vec::with_capacity(chunk);
+            let mut outbuf: Vec<T> = Vec::with_capacity(chunk);
+            let mut remaining = n;
+            while remaining > 0 {
+                xbuf.clear();
+                let got = ch_x.pop_chunk(&mut xbuf, remaining.min(chunk))?;
+                ybuf.clear();
+                while ybuf.len() < got {
+                    let want = got - ybuf.len();
+                    ch_y.pop_chunk(&mut ybuf, want)?;
+                }
+                for i in 0..got {
+                    outbuf.push(alpha.mul_add(xbuf[i], ybuf[i]));
+                }
+                ch_out.push_chunk(&mut outbuf)?;
+                remaining -= got;
             }
             Ok(())
         });
@@ -264,9 +301,12 @@ impl Rot {
     ) {
         let n = self.n;
         sim.add_module("rot", ModuleKind::Compute, move || {
+            // Dual-output: inputs chunked, outputs element-wise (see Swap).
+            let mut xs = ChunkReader::new(&ch_x);
+            let mut ys = ChunkReader::new(&ch_y);
             for _ in 0..n {
-                let x = ch_x.pop()?;
-                let y = ch_y.pop()?;
+                let x = xs.next()?;
+                let y = ys.next()?;
                 ch_out_x.push(c.mul_add(x, s * y))?;
                 ch_out_y.push(c.mul_add(y, -(s * x)))?;
             }
@@ -339,17 +379,20 @@ impl Rotm {
     ) {
         let n = self.n;
         sim.add_module("rotm", ModuleKind::Compute, move || {
+            // Dual-output: inputs chunked, outputs element-wise (see Swap).
+            let mut xs = ChunkReader::new(&ch_x);
+            let mut ys = ChunkReader::new(&ch_y);
             match decode_rotm_param(&param) {
                 None => {
                     for _ in 0..n {
-                        ch_out_x.push(ch_x.pop()?)?;
-                        ch_out_y.push(ch_y.pop()?)?;
+                        ch_out_x.push(xs.next()?)?;
+                        ch_out_y.push(ys.next()?)?;
                     }
                 }
                 Some((h11, h12, h21, h22)) => {
                     for _ in 0..n {
-                        let x = ch_x.pop()?;
-                        let y = ch_y.pop()?;
+                        let x = xs.next()?;
+                        let y = ys.next()?;
                         ch_out_x.push(x * h11 + y * h12)?;
                         ch_out_y.push(x * h21 + y * h22)?;
                     }

@@ -7,7 +7,7 @@
 //! numerics use the same tree order ([`tree_sum`]) the circuit would.
 
 use fblas_arch::{estimate_circuit, CircuitClass, ResourceEstimate};
-use fblas_hlssim::{ModuleKind, PipelineCost, Receiver, Sender, Simulation};
+use fblas_hlssim::{ChunkReader, ModuleKind, PipelineCost, Receiver, Sender, Simulation};
 
 use super::{outer_iterations, validate_width};
 use crate::scalar::{tree_sum, InterleavedAccumulator, Scalar};
@@ -66,14 +66,16 @@ impl Dot {
             // Native f32 accumulation is a single partial; f64 uses the
             // two-stage interleaved accumulator of Sec. III-A1.
             let mut res = InterleavedAccumulator::<T>::for_precision();
+            let mut xs = ChunkReader::new(&ch_x);
+            let mut ys = ChunkReader::new(&ch_y);
             let mut products = Vec::with_capacity(w);
             let mut remaining = n;
             while remaining > 0 {
                 let take = remaining.min(w);
                 products.clear();
                 for _ in 0..take {
-                    let x = ch_x.pop()?;
-                    let y = ch_y.pop()?;
+                    let x = xs.next()?;
+                    let y = ys.next()?;
                     products.push(x * y);
                 }
                 // One outer iteration: the unrolled adder tree followed
@@ -130,14 +132,16 @@ impl Sdsdot {
         let Sdsdot { n, w } = *self;
         sim.add_module("sdsdot", ModuleKind::Compute, move || {
             let mut res = sb.to_f64();
+            let mut xs = ChunkReader::new(&ch_x);
+            let mut ys = ChunkReader::new(&ch_y);
             let mut products = Vec::with_capacity(w);
             let mut remaining = n;
             while remaining > 0 {
                 let take = remaining.min(w);
                 products.clear();
                 for _ in 0..take {
-                    let x = ch_x.pop()?;
-                    let y = ch_y.pop()?;
+                    let x = xs.next()?;
+                    let y = ys.next()?;
                     products.push(x.to_f64() * y.to_f64());
                 }
                 res += tree_sum(&products);
@@ -193,13 +197,14 @@ impl Nrm2 {
         let Nrm2 { n, w } = *self;
         sim.add_module("nrm2", ModuleKind::Compute, move || {
             let mut ssq = InterleavedAccumulator::<T>::for_precision();
+            let mut xs = ChunkReader::new(&ch_x);
             let mut squares = Vec::with_capacity(w);
             let mut remaining = n;
             while remaining > 0 {
                 let take = remaining.min(w);
                 squares.clear();
                 for _ in 0..take {
-                    let x = ch_x.pop()?;
+                    let x = xs.next()?;
                     squares.push(x * x);
                 }
                 ssq.add(tree_sum(&squares));
@@ -252,13 +257,14 @@ impl Asum {
         let Asum { n, w } = *self;
         sim.add_module("asum", ModuleKind::Compute, move || {
             let mut res = InterleavedAccumulator::<T>::for_precision();
+            let mut xs = ChunkReader::new(&ch_x);
             let mut absvals = Vec::with_capacity(w);
             let mut remaining = n;
             while remaining > 0 {
                 let take = remaining.min(w);
                 absvals.clear();
                 for _ in 0..take {
-                    absvals.push(ch_x.pop()?.abs());
+                    absvals.push(xs.next()?.abs());
                 }
                 res.add(tree_sum(&absvals));
                 remaining -= take;
@@ -316,6 +322,7 @@ impl Iamax {
             let mut best_abs = T::ZERO;
             let mut first = true;
             let mut idx = 0usize;
+            let mut xs = ChunkReader::new(&ch_x);
             let mut remaining = n;
             while remaining > 0 {
                 let take = remaining.min(w);
@@ -324,7 +331,7 @@ impl Iamax {
                 // updated — strict `>` keeps the earliest index, matching
                 // the netlib semantics.
                 for _ in 0..take {
-                    let a = ch_x.pop()?.abs();
+                    let a = xs.next()?.abs();
                     if first || a > best_abs {
                         best_abs = a;
                         best_idx = idx;

@@ -1,0 +1,208 @@
+//! Chunked (batched) stream access on top of the channel primitives.
+//!
+//! The hardware model moves one element per cycle, but the software
+//! simulation pays a `Mutex`+`Condvar` round trip and a trace event per
+//! transfer — so simulated wall-clock scales with lock traffic, not with
+//! modeled cycles. [`ChunkReader`] and [`ChunkWriter`] amortize that cost
+//! by moving [`default_chunk`] elements per lock acquisition while
+//! presenting the same element-at-a-time interface to routine bodies,
+//! which keeps arithmetic order (and therefore results) byte-identical.
+//!
+//! # Deadlock safety
+//!
+//! Chunked *reads* are always safe: [`Receiver::pop_chunk`] blocks only
+//! until one element is available, then takes what is queued — a reader
+//! never holds back elements the producer needs it to consume.
+//!
+//! Chunked *writes* buffer output locally, which is only safe when the
+//! module holds no buffered output while blocked on an input that
+//! (transitively) depends on that output being visible. The safe
+//! patterns used in this codebase:
+//!
+//! - **relay**: pop a chunk, compute, push the whole result chunk before
+//!   popping again (nothing is buffered while blocked on input);
+//! - **flush at tile boundaries**: [`ChunkWriter::flush`] before any
+//!   blocking read that a downstream consumer's progress depends on.
+//!
+//! Routines with *two* output streams consumed by independent readers
+//! (e.g. `Swap`, `Rot`) keep element-wise interleaved pushes: batching
+//! one output while the other's consumer is starved can deadlock when
+//! FIFO depths are smaller than the chunk.
+//!
+//! `ChunkWriter` deliberately has no `Drop` flush — a flush can block
+//! and fail, and neither is expressible in `drop`. Callers must
+//! [`flush`](ChunkWriter::flush) explicitly; forgetting it loses the
+//! tail, which count-checked consumers report as a disconnect.
+
+use crate::channel::{Receiver, Sender};
+use crate::error::SimError;
+
+/// Default number of elements moved per lock acquisition.
+pub const DEFAULT_CHUNK: usize = 256;
+
+/// The configured chunk size: `FBLAS_CHUNK` if set to a positive
+/// integer, [`DEFAULT_CHUNK`] otherwise.
+///
+/// Read from the environment on every call (not cached) so benchmarks
+/// can sweep chunk sizes within one process. `FBLAS_CHUNK=1` degrades
+/// every bulk helper to honest element-wise transfers.
+pub fn default_chunk() -> usize {
+    parse_chunk(std::env::var("FBLAS_CHUNK").ok().as_deref())
+}
+
+/// Parse an `FBLAS_CHUNK`-style value; invalid or non-positive input
+/// falls back to [`DEFAULT_CHUNK`].
+pub fn parse_chunk(raw: Option<&str>) -> usize {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n >= 1)
+        .unwrap_or(DEFAULT_CHUNK)
+}
+
+/// Element-at-a-time reader that refills from the channel in chunks.
+///
+/// `T: Copy` because refills move elements into an internal buffer and
+/// hand out copies; every stream element in this codebase is a scalar.
+pub struct ChunkReader<'a, T> {
+    rx: &'a Receiver<T>,
+    buf: Vec<T>,
+    pos: usize,
+    chunk: usize,
+}
+
+impl<'a, T: Copy> ChunkReader<'a, T> {
+    /// Reader over `rx` using the configured [`default_chunk`] size.
+    pub fn new(rx: &'a Receiver<T>) -> Self {
+        Self::with_chunk(rx, default_chunk())
+    }
+
+    /// Reader over `rx` with an explicit chunk size (≥ 1).
+    pub fn with_chunk(rx: &'a Receiver<T>, chunk: usize) -> Self {
+        let chunk = chunk.max(1);
+        ChunkReader {
+            rx,
+            buf: Vec::with_capacity(chunk),
+            pos: 0,
+            chunk,
+        }
+    }
+
+    /// Next element, refilling from the channel when the local buffer
+    /// is exhausted. Semantically identical to `rx.pop()` per element.
+    ///
+    /// Not an [`Iterator`]: disconnect is an error to propagate with
+    /// `?`, never an expected end-of-stream.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn next(&mut self) -> Result<T, SimError> {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            self.rx.pop_chunk(&mut self.buf, self.chunk)?;
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+}
+
+/// Element-at-a-time writer that flushes to the channel in chunks.
+pub struct ChunkWriter<'a, T> {
+    tx: &'a Sender<T>,
+    buf: Vec<T>,
+    chunk: usize,
+}
+
+impl<'a, T> ChunkWriter<'a, T> {
+    /// Writer into `tx` using the configured [`default_chunk`] size.
+    pub fn new(tx: &'a Sender<T>) -> Self {
+        Self::with_chunk(tx, default_chunk())
+    }
+
+    /// Writer into `tx` with an explicit chunk size (≥ 1).
+    pub fn with_chunk(tx: &'a Sender<T>, chunk: usize) -> Self {
+        let chunk = chunk.max(1);
+        ChunkWriter {
+            tx,
+            buf: Vec::with_capacity(chunk),
+            chunk,
+        }
+    }
+
+    /// Buffer one element, pushing the whole chunk once full.
+    #[inline]
+    pub fn push(&mut self, value: T) -> Result<(), SimError> {
+        self.buf.push(value);
+        if self.buf.len() >= self.chunk {
+            self.tx.push_chunk(&mut self.buf)?;
+        }
+        Ok(())
+    }
+
+    /// Push any buffered elements now. Must be called before a blocking
+    /// read that downstream progress depends on, and once at the end of
+    /// the stream (see module docs on deadlock safety).
+    pub fn flush(&mut self) -> Result<(), SimError> {
+        self.tx.push_chunk(&mut self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{channel, SimContext};
+    use std::thread;
+
+    #[test]
+    fn parse_chunk_accepts_positive_integers_only() {
+        assert_eq!(parse_chunk(None), DEFAULT_CHUNK);
+        assert_eq!(parse_chunk(Some("16")), 16);
+        assert_eq!(parse_chunk(Some(" 1 ")), 1);
+        assert_eq!(parse_chunk(Some("0")), DEFAULT_CHUNK);
+        assert_eq!(parse_chunk(Some("-4")), DEFAULT_CHUNK);
+        assert_eq!(parse_chunk(Some("2.5")), DEFAULT_CHUNK);
+        assert_eq!(parse_chunk(Some("lots")), DEFAULT_CHUNK);
+        assert_eq!(parse_chunk(Some("")), DEFAULT_CHUNK);
+    }
+
+    #[test]
+    fn reader_yields_the_exact_element_sequence() {
+        let ctx = SimContext::new();
+        let (tx, rx) = channel::<u32>(&ctx, 8, "ch");
+        thread::scope(|s| {
+            s.spawn(move || tx.push_iter(0..1000).unwrap());
+            let mut reader = ChunkReader::with_chunk(&rx, 7);
+            for want in 0..1000 {
+                assert_eq!(reader.next().unwrap(), want);
+            }
+        });
+    }
+
+    #[test]
+    fn reader_reports_disconnect_at_end_of_stream() {
+        let ctx = SimContext::new();
+        let (tx, rx) = channel::<u32>(&ctx, 8, "ch_end");
+        tx.push_slice(&[1, 2]).unwrap();
+        drop(tx);
+        let mut reader = ChunkReader::new(&rx);
+        assert_eq!(reader.next().unwrap(), 1);
+        assert_eq!(reader.next().unwrap(), 2);
+        assert!(matches!(reader.next(), Err(SimError::Disconnected { .. })));
+    }
+
+    #[test]
+    fn writer_flushes_full_chunks_and_explicit_tail() {
+        let ctx = SimContext::new();
+        let (tx, rx) = channel::<u32>(&ctx, 64, "ch");
+        let mut writer = ChunkWriter::with_chunk(&tx, 4);
+        for v in 0..10 {
+            writer.push(v).unwrap();
+        }
+        // Two full chunks of 4 are visible; the tail of 2 is buffered.
+        let mut got = Vec::new();
+        rx.pop_chunk(&mut got, 64).unwrap();
+        assert_eq!(got.len(), 8);
+        writer.flush().unwrap();
+        rx.pop_chunk(&mut got, 64).unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

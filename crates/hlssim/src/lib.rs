@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod chunk;
 pub mod cycles;
 pub mod error;
 pub mod module;
@@ -35,10 +36,12 @@ pub mod simulation;
 pub mod stall;
 
 pub use channel::{channel, try_channel, ChannelStats, Receiver, Sender};
+pub use chunk::{default_chunk, parse_chunk, ChunkReader, ChunkWriter, DEFAULT_CHUNK};
 pub use cycles::{streamed_cycles, CompositionCost, PipelineCost};
 pub use error::SimError;
 pub use module::{ModuleKind, ModuleSpec};
 pub use simulation::{
-    default_grace, parse_stall_grace_ms, SimContext, Simulation, SimulationReport, DEFAULT_GRACE,
+    default_grace, parse_stall_grace_ms, parse_wait_slice_us, wait_slice, SimContext, Simulation,
+    SimulationReport, DEFAULT_GRACE, DEFAULT_WAIT_SLICE,
 };
 pub use stall::{BlockedModule, StallReport, WaitDirection};

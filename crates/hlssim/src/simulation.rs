@@ -217,6 +217,32 @@ pub fn parse_stall_grace_ms(raw: Option<&str>) -> Duration {
         .unwrap_or(DEFAULT_GRACE)
 }
 
+/// Baseline wait slice: how long a blocked channel operation sleeps
+/// before re-checking the poison flag. Keeps teardown latency low
+/// without busy-waiting.
+pub const DEFAULT_WAIT_SLICE: Duration = Duration::from_millis(2);
+
+/// The wait slice channel operations use: [`DEFAULT_WAIT_SLICE`] unless
+/// the `FBLAS_WAIT_SLICE_US` environment variable overrides it.
+/// Long-running differential tests can raise it to trade teardown
+/// latency for fewer spurious wakeups; stress tests can lower it to
+/// exercise the re-check path. Read once and cached, like
+/// [`default_grace`].
+pub fn wait_slice() -> Duration {
+    static SLICE: OnceLock<Duration> = OnceLock::new();
+    *SLICE.get_or_init(|| parse_wait_slice_us(std::env::var("FBLAS_WAIT_SLICE_US").ok().as_deref()))
+}
+
+/// Parse an `FBLAS_WAIT_SLICE_US` value: a positive integer number of
+/// microseconds. Unset, zero, and unparsable values fall back to
+/// [`DEFAULT_WAIT_SLICE`] — a zero slice would spin the blocked thread.
+pub fn parse_wait_slice_us(raw: Option<&str>) -> Duration {
+    raw.and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|us| *us > 0)
+        .map(Duration::from_micros)
+        .unwrap_or(DEFAULT_WAIT_SLICE)
+}
+
 /// Resolve the wait-for table into a [`StallReport`]: per blocked thread,
 /// the module, channel, direction, and the channel's occupancy/capacity.
 ///
@@ -497,6 +523,21 @@ mod tests {
         assert_eq!(parse_stall_grace_ms(Some("2.5")), DEFAULT_GRACE);
         assert_eq!(parse_stall_grace_ms(Some("soon")), DEFAULT_GRACE);
         assert_eq!(parse_stall_grace_ms(Some("")), DEFAULT_GRACE);
+    }
+
+    #[test]
+    fn wait_slice_parsing_rejects_zero_and_garbage() {
+        assert_eq!(parse_wait_slice_us(None), DEFAULT_WAIT_SLICE);
+        assert_eq!(parse_wait_slice_us(Some("500")), Duration::from_micros(500));
+        assert_eq!(
+            parse_wait_slice_us(Some(" 8000 ")),
+            Duration::from_micros(8000)
+        );
+        assert_eq!(parse_wait_slice_us(Some("0")), DEFAULT_WAIT_SLICE);
+        assert_eq!(parse_wait_slice_us(Some("-3")), DEFAULT_WAIT_SLICE);
+        assert_eq!(parse_wait_slice_us(Some("1.5")), DEFAULT_WAIT_SLICE);
+        assert_eq!(parse_wait_slice_us(Some("fast")), DEFAULT_WAIT_SLICE);
+        assert_eq!(parse_wait_slice_us(Some("")), DEFAULT_WAIT_SLICE);
     }
 
     #[test]

@@ -44,9 +44,11 @@ use serde::Serialize;
 pub enum EventKind {
     /// A module's whole execution, from thread start to completion.
     ModuleRun,
-    /// One element pushed into a channel (instant).
+    /// Elements pushed into a channel (instant for a single element,
+    /// span for a batched chunk — see [`TraceEvent::count`]).
     Push,
-    /// One element popped from a channel (instant).
+    /// Elements popped from a channel (instant for a single element,
+    /// span for a batched chunk).
     Pop,
     /// The producer waited on a full FIFO for the span's duration.
     FullStall,
@@ -67,6 +69,11 @@ pub struct TraceEvent {
     pub start_us: u64,
     /// Duration in µs; 0 for instants.
     pub dur_us: u64,
+    /// Elements covered by this event: 1 for element-wise channel ops
+    /// and non-channel events, the chunk length for batched transfers
+    /// (which record one aggregated event per chunk, not one per
+    /// element).
+    pub count: u64,
 }
 
 /// Everything one module (thread) recorded, flushed when its
@@ -310,6 +317,7 @@ impl Drop for ModuleScope {
             channel: None,
             start_us: rec.started_us,
             dur_us: ended_us.saturating_sub(rec.started_us),
+            count: 1,
         });
         let tracer = rec.tracer.clone();
         tracer.flush_lane(Lane {
@@ -356,6 +364,26 @@ pub fn op_start() -> Option<u64> {
 /// the operation blocked (producing a stall span from `started_us` to
 /// now).
 pub fn record_channel_op(kind: EventKind, channel: &Arc<str>, started_us: u64, waited: bool) {
+    record_channel_chunk(kind, channel, started_us, waited, 1);
+}
+
+/// Record a completed *batched* channel operation covering `count`
+/// elements moved by one `push_chunk`/`pop_chunk` call. Element
+/// counters and per-channel ledgers advance by `count`; the ring gets
+/// ONE aggregated event spanning the whole chunk operation (plus one
+/// stall span when the operation blocked) instead of `count` per-element
+/// instants — the trace stays proportional to chunk operations, not to
+/// elements.
+pub fn record_channel_chunk(
+    kind: EventKind,
+    channel: &Arc<str>,
+    started_us: u64,
+    waited: bool,
+    count: u64,
+) {
+    if count == 0 {
+        return;
+    }
     SCOPE.with(|s| {
         let mut slot = s.borrow_mut();
         let Some(rec) = slot.as_mut().and_then(|d| d.rec.as_mut()) else {
@@ -383,23 +411,32 @@ pub fn record_channel_op(kind: EventKind, channel: &Arc<str>, started_us: u64, w
                 channel: Some(channel.clone()),
                 start_us: started_us,
                 dur_us: dur,
+                count: 1,
             });
         }
         match kind {
             EventKind::Push => {
-                rec.pushes += 1;
-                bump(&mut rec.pushes_by_channel, channel, 1);
+                rec.pushes += count;
+                bump(&mut rec.pushes_by_channel, channel, count);
             }
             _ => {
-                rec.pops += 1;
-                bump(&mut rec.pops_by_channel, channel, 1);
+                rec.pops += count;
+                bump(&mut rec.pops_by_channel, channel, count);
             }
         }
+        // A single element is an instant at completion time; a chunk is
+        // a span covering the whole operation.
+        let (start, dur) = if count == 1 {
+            (now, 0)
+        } else {
+            (started_us, now.saturating_sub(started_us))
+        };
         rec.record(TraceEvent {
             kind,
             channel: Some(channel.clone()),
-            start_us: now,
-            dur_us: 0,
+            start_us: start,
+            dur_us: dur,
+            count,
         });
     });
 }
@@ -451,6 +488,42 @@ mod tests {
         }
         assert_eq!(current_module().unwrap().as_ref(), "outer");
         assert_eq!(tracer.lanes().len(), 1); // only the inner lane flushed so far
+    }
+
+    #[test]
+    fn chunk_op_records_one_event_counting_all_elements() {
+        let tracer = Tracer::new();
+        {
+            let _scope = ModuleScope::enter("bulk", Some(&tracer));
+            let ch: Arc<str> = Arc::from("ch");
+            let t0 = op_start().expect("recording active");
+            record_channel_chunk(EventKind::Push, &ch, t0, false, 64);
+            record_channel_chunk(EventKind::Pop, &ch, t0, true, 3);
+            record_channel_chunk(EventKind::Push, &ch, t0, false, 0); // no-op
+        }
+        let lane = &tracer.lanes()[0];
+        // Element counters advance by the chunk length...
+        assert_eq!(lane.pushes, 64);
+        assert_eq!(lane.pops, 3);
+        assert_eq!(lane.pushes_by_channel[0].1, 64);
+        assert_eq!(lane.pops_by_channel[0].1, 3);
+        // ...but the ring holds one aggregated event per chunk (plus the
+        // stall span for the waited pop and the ModuleRun span).
+        let pushes: Vec<_> = lane
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Push)
+            .collect();
+        assert_eq!(pushes.len(), 1);
+        assert_eq!(pushes[0].count, 64);
+        let pops: Vec<_> = lane
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Pop)
+            .collect();
+        assert_eq!(pops.len(), 1);
+        assert_eq!(pops[0].count, 3);
+        assert!(lane.events.iter().any(|e| e.kind == EventKind::EmptyStall));
     }
 
     #[test]

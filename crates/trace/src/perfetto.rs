@@ -82,19 +82,40 @@ pub fn trace_value(tracer: &Tracer) -> Value {
                     ]));
                 }
                 EventKind::Push | EventKind::Pop => {
-                    let name = match ev.kind {
-                        EventKind::Push => format!("push {chan}"),
-                        _ => format!("pop {chan}"),
+                    let verb = match ev.kind {
+                        EventKind::Push => "push",
+                        _ => "pop",
                     };
-                    events.push(obj(vec![
-                        ("ph", s("i")),
-                        ("name", s(name)),
-                        ("cat", s("channel")),
-                        ("s", s("t")),
-                        ("pid", pid.clone()),
-                        ("tid", tid.clone()),
-                        ("ts", Value::U64(ev.start_us)),
-                    ]));
+                    if ev.count > 1 {
+                        // A batched transfer: one complete span covering
+                        // the whole chunk operation.
+                        events.push(obj(vec![
+                            ("ph", s("X")),
+                            ("name", s(format!("{verb}\u{00d7}{} {chan}", ev.count))),
+                            ("cat", s("channel")),
+                            ("pid", pid.clone()),
+                            ("tid", tid.clone()),
+                            ("ts", Value::U64(ev.start_us)),
+                            ("dur", Value::U64(ev.dur_us.max(1))),
+                            (
+                                "args",
+                                obj(vec![
+                                    ("channel", s(chan)),
+                                    ("elements", Value::U64(ev.count)),
+                                ]),
+                            ),
+                        ]));
+                    } else {
+                        events.push(obj(vec![
+                            ("ph", s("i")),
+                            ("name", s(format!("{verb} {chan}"))),
+                            ("cat", s("channel")),
+                            ("s", s("t")),
+                            ("pid", pid.clone()),
+                            ("tid", tid.clone()),
+                            ("ts", Value::U64(ev.start_us)),
+                        ]));
+                    }
                 }
             }
         }
@@ -189,5 +210,33 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.get("ph").and_then(Value::as_str) == Some("C")));
+    }
+
+    #[test]
+    fn chunked_transfers_export_one_span_not_per_element_instants() {
+        let tracer = Tracer::new();
+        {
+            let _scope = ModuleScope::enter("bulk", Some(&tracer));
+            let ch: Arc<str> = Arc::from("ch");
+            crate::record_channel_chunk(EventKind::Push, &ch, 0, false, 16);
+            record_channel_op(EventKind::Pop, &ch, 5, false);
+        }
+        let doc: Value = serde_json::from_str(&trace_json(&tracer)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let chunk_spans: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("cat").and_then(Value::as_str) == Some("channel")
+                    && e.get("ph").and_then(Value::as_str) == Some("X")
+            })
+            .collect();
+        assert_eq!(chunk_spans.len(), 1, "one span per chunk, not 16 instants");
+        let args = chunk_spans[0].get("args").unwrap();
+        assert_eq!(args.get("elements").and_then(Value::as_u64), Some(16));
+        // The single-element op stays an instant.
+        assert!(events.iter().any(|e| {
+            e.get("cat").and_then(Value::as_str) == Some("channel")
+                && e.get("ph").and_then(Value::as_str) == Some("i")
+        }));
     }
 }

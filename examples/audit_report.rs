@@ -25,6 +25,12 @@ use fblas_refblas as refblas;
 const GATE_TOLERANCE: f64 = 0.5;
 
 fn main() -> ExitCode {
+    // Drift attribution compares modeled busy share against measured
+    // wall time, which only tracks the element-at-a-time hardware model
+    // when the transport actually moves one element per lock round.
+    // Pin the chunked transport to element-wise for the audited run.
+    std::env::set_var("FBLAS_CHUNK", "1");
+
     let tolerance = std::env::var("FBLAS_AUDIT_TOLERANCE")
         .ok()
         .and_then(|v| v.trim().parse::<f64>().ok())
