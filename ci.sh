@@ -46,12 +46,27 @@ step "fblas-lint self-check (static analysis examples)"
 FBLAS_BENCH_DIR="$tmpdir" cargo run --release -q -p fblas-lint -- --validate examples/lint
 cargo run --release -q -p fblas-lint -- --format json examples/lint >/dev/null
 
+step "chaos smoke (seeded fault injection + recovery)"
+# bench_chaos sweeps seeded faults (bit flips incl. bit 0, element
+# drop/duplication, latency spikes, module crashes and hangs) over
+# DOT/GEMV/GER and asserts in-bin that every value-corrupting fault is
+# detected, recovered within the retry budget, and that recovered
+# outputs are bit-identical to fault-free runs. Two runs with the same
+# FBLAS_CHAOS_SEED must dump byte-identical fault/recovery reports —
+# the determinism contract of the chaos harness.
+FBLAS_BENCH_DIR="$tmpdir" FBLAS_CHAOS_SEED=12345 cargo run --release -q -p fblas-bench --bin bench_chaos -- \
+    --dump-reports "$tmpdir/chaos_run_a.json" >/dev/null
+FBLAS_BENCH_DIR="$tmpdir" FBLAS_CHAOS_SEED=12345 cargo run --release -q -p fblas-bench --bin bench_chaos -- \
+    --dump-reports "$tmpdir/chaos_run_b.json" >/dev/null
+cmp "$tmpdir/chaos_run_a.json" "$tmpdir/chaos_run_b.json"
+echo "seeded chaos fault/recovery reports are byte-identical across runs"
+
 step "bench-diff against committed baselines"
 # Regenerate every bench artifact and gate it against
 # benchmarks/baselines/. Model columns are deterministic, so any drift
 # is a model change: intentional ones are refreshed with
 # `bench-diff --bless` (see README).
-for bin in table3 table4 table5 table6 fig10 fig11 hbm_scaling bench_throughput; do
+for bin in table3 table4 table5 table6 fig10 fig11 hbm_scaling bench_throughput bench_chaos; do
     FBLAS_BENCH_DIR="$tmpdir" cargo run --release -q -p fblas-bench --bin "$bin" >/dev/null
 done
 cargo run --release -q -p fblas-bench --bin bench-diff -- \

@@ -145,6 +145,14 @@ pub struct AuditReport {
     pub modules: Vec<ModuleAudit>,
     /// The pace-setting module, when anything was measured.
     pub bottleneck: Option<Bottleneck>,
+    /// Faults injected into the audited run (the `fault.injected`
+    /// counter): nonzero means measured/predicted drift is partly
+    /// attributable to deliberate fault injection, not the model.
+    pub fault_events: u64,
+    /// Component retries the recovery layer performed during the run
+    /// (the `recovery.retries` counter); retried components execute
+    /// their modules more than once, inflating busy shares.
+    pub recovery_retries: u64,
 }
 
 impl AuditReport {
@@ -492,6 +500,8 @@ pub fn audit(spec: &AuditSpec, lanes: &[Lane]) -> AuditReport {
         critical_path: spec.critical_path.clone(),
         modules,
         bottleneck,
+        fault_events: 0,
+        recovery_retries: 0,
     }
 }
 
@@ -499,7 +509,12 @@ pub fn audit(spec: &AuditSpec, lanes: &[Lane]) -> AuditReport {
 /// audit counter tracks back into the tracer for Perfetto export.
 pub fn audit_tracer(spec: &AuditSpec, tracer: &Tracer) -> AuditReport {
     let lanes = tracer.lanes();
-    let report = audit(spec, &lanes);
+    let mut report = audit(spec, &lanes);
+    // Attribute chaos to drift: a run that absorbed injected faults or
+    // re-executed components is expected to diverge from the model.
+    let counters = tracer.metrics().snapshot().counters;
+    report.fault_events = counters.get("fault.injected").copied().unwrap_or(0);
+    report.recovery_retries = counters.get("recovery.retries").copied().unwrap_or(0);
     report.record_counters(tracer, &lanes);
     report
 }

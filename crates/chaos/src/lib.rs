@@ -1,0 +1,345 @@
+//! # fblas-chaos — deterministic chaos harness
+//!
+//! Seeded, reproducible fault plans for the hlssim fault hook layer
+//! ([`fblas_hlssim::fault`]). A [`FaultPlan`] is a fixed set of
+//! *one-shot rules* — "flip bit 13 of element 42 on channel `x->0`",
+//! "crash module `gemv`" — built either explicitly or from a
+//! [`ChaosRng`] seeded stream. Because channel faults key on the
+//! per-channel element sequence number (deterministic under the SPSC
+//! discipline) and every rule spends itself after firing, two runs with
+//! the same plan inject byte-identical faults, and a retried component
+//! runs clean on its second attempt — exactly the transient-fault model
+//! (SEUs, hiccuping kernels) the recovery layer is designed for.
+//!
+//! The [`FaultReport`] is assembled from the rules' spent flags, not
+//! from a runtime append log: concurrent module threads would record
+//! injections in nondeterministic order, while the spent *set* is a
+//! pure function of the plan and the workload.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+pub use fblas_hlssim::fault::{FaultAction, FaultHook, FaultSite, ModuleFault};
+
+/// SplitMix64: a tiny, high-quality, seedable PRNG. Used to derive
+/// fault placements (element indices, bit positions) from a single
+/// `FBLAS_CHAOS_SEED` so whole fault sweeps are reproducible from one
+/// integer.
+#[derive(Debug, Clone)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// RNG seeded with `seed` (any value, including 0, is fine).
+    pub fn new(seed: u64) -> Self {
+        ChaosRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` ≥ 1).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound >= 1, "ChaosRng::below needs a positive bound");
+        // Multiply-shift reduction: unbiased enough for fault placement
+        // and, unlike modulo, free of the low-bit weakness.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// One channel-payload fault: fires exactly once when element `index`
+/// crosses `site` of `channel`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChannelRule {
+    /// Push or pop side.
+    pub site: FaultSite,
+    /// Channel name (exact match).
+    pub channel: String,
+    /// Per-channel element sequence number the fault targets.
+    pub index: u64,
+    /// What happens to the element.
+    pub action: FaultAction,
+    /// Whether the rule has fired (one-shot: spent rules never fire
+    /// again, so a retried component re-runs clean).
+    pub spent: bool,
+}
+
+/// One module-boundary fault: fires exactly once when `module` starts.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModuleRule {
+    /// Module name (exact match).
+    pub module: String,
+    /// Crash (panic) or hang (stop making progress).
+    pub fault: ModuleFault,
+    /// Whether the rule has fired.
+    pub spent: bool,
+}
+
+struct PlanState {
+    channel_rules: Vec<ChannelRule>,
+    module_rules: Vec<ModuleRule>,
+}
+
+/// A deterministic set of one-shot fault rules implementing
+/// [`FaultHook`]. Arm it on a simulation context with
+/// [`SimContext::arm_faults`](fblas_hlssim::SimContext::arm_faults).
+pub struct FaultPlan {
+    seed: Option<u64>,
+    state: Mutex<PlanState>,
+}
+
+impl FaultPlan {
+    /// Empty plan; `seed` is carried into the report for provenance
+    /// (pass the value the placements were derived from, or `None` for
+    /// hand-written plans).
+    pub fn new(seed: Option<u64>) -> Self {
+        FaultPlan {
+            seed,
+            state: Mutex::new(PlanState {
+                channel_rules: Vec::new(),
+                module_rules: Vec::new(),
+            }),
+        }
+    }
+
+    /// Add a one-shot channel-payload fault rule.
+    pub fn channel_fault(
+        self,
+        site: FaultSite,
+        channel: impl Into<String>,
+        index: u64,
+        action: FaultAction,
+    ) -> Self {
+        self.state.lock().channel_rules.push(ChannelRule {
+            site,
+            channel: channel.into(),
+            index,
+            action,
+            spent: false,
+        });
+        self
+    }
+
+    /// Add a one-shot module-boundary fault rule.
+    pub fn module_fault(self, module: impl Into<String>, fault: ModuleFault) -> Self {
+        self.state.lock().module_rules.push(ModuleRule {
+            module: module.into(),
+            fault,
+            spent: false,
+        });
+        self
+    }
+
+    /// Number of rules (channel + module) in the plan.
+    pub fn planned(&self) -> usize {
+        let st = self.state.lock();
+        st.channel_rules.len() + st.module_rules.len()
+    }
+
+    /// Whether any rule has fired so far.
+    pub fn any_spent(&self) -> bool {
+        let st = self.state.lock();
+        st.channel_rules.iter().any(|r| r.spent) || st.module_rules.iter().any(|r| r.spent)
+    }
+
+    /// Reset every rule to unspent, making the plan reusable for a
+    /// fresh run (e.g. the second run of a determinism check).
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        for r in &mut st.channel_rules {
+            r.spent = false;
+        }
+        for r in &mut st.module_rules {
+            r.spent = false;
+        }
+    }
+
+    /// Deterministic report of what was planned and what actually fired,
+    /// assembled from the rules' spent flags in a stable sort order.
+    pub fn report(&self) -> FaultReport {
+        let st = self.state.lock();
+        let mut injections: Vec<InjectionRecord> = st
+            .channel_rules
+            .iter()
+            .filter(|r| r.spent)
+            .map(|r| InjectionRecord {
+                target: r.channel.clone(),
+                site: Some(r.site.label().to_string()),
+                index: Some(r.index),
+                action: r.action.label().to_string(),
+            })
+            .chain(
+                st.module_rules
+                    .iter()
+                    .filter(|r| r.spent)
+                    .map(|r| InjectionRecord {
+                        target: r.module.clone(),
+                        site: None,
+                        index: None,
+                        action: r.fault.label().to_string(),
+                    }),
+            )
+            .collect();
+        injections.sort_by(|a, b| {
+            (&a.target, &a.site, a.index, &a.action).cmp(&(&b.target, &b.site, b.index, &b.action))
+        });
+        FaultReport {
+            seed: self.seed,
+            planned: st.channel_rules.len() + st.module_rules.len(),
+            injections,
+        }
+    }
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.seed)
+            .field("channel_rules", &st.channel_rules)
+            .field("module_rules", &st.module_rules)
+            .finish()
+    }
+}
+
+impl FaultHook for FaultPlan {
+    fn on_channel(&self, site: FaultSite, channel: &str, index: u64) -> Option<FaultAction> {
+        let mut st = self.state.lock();
+        let rule = st
+            .channel_rules
+            .iter_mut()
+            .find(|r| !r.spent && r.site == site && r.index == index && r.channel == channel)?;
+        rule.spent = true;
+        Some(rule.action)
+    }
+
+    fn on_module_start(&self, module: &str) -> Option<ModuleFault> {
+        let mut st = self.state.lock();
+        let rule = st
+            .module_rules
+            .iter_mut()
+            .find(|r| !r.spent && r.module == module)?;
+        rule.spent = true;
+        Some(rule.fault)
+    }
+}
+
+/// One fault that actually fired.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct InjectionRecord {
+    /// Channel or module name.
+    pub target: String,
+    /// `"push"`/`"pop"` for channel faults, `null` for module faults.
+    pub site: Option<String>,
+    /// Element sequence number for channel faults, `null` otherwise.
+    pub index: Option<u64>,
+    /// Action label (`"corrupt"`, `"drop"`, `"duplicate"`, `"delay"`,
+    /// `"crash"`, `"hang"`).
+    pub action: String,
+}
+
+/// What a plan intended and what it delivered — deterministic for a
+/// given plan and workload (assembled from spent flags, sorted).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FaultReport {
+    /// The seed placements were derived from, if any.
+    pub seed: Option<u64>,
+    /// Total rules in the plan.
+    pub planned: usize,
+    /// Rules that fired, in stable order.
+    pub injections: Vec<InjectionRecord>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_bounded() {
+        let mut a = ChaosRng::new(42);
+        let mut b = ChaosRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = ChaosRng::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+        // Different seeds diverge immediately.
+        assert_ne!(ChaosRng::new(1).next_u64(), ChaosRng::new(2).next_u64());
+    }
+
+    #[test]
+    fn rules_are_one_shot_and_exact_match() {
+        let plan = FaultPlan::new(Some(9)).channel_fault(
+            FaultSite::Push,
+            "ch",
+            3,
+            FaultAction::Corrupt { bit: 5 },
+        );
+        assert_eq!(plan.on_channel(FaultSite::Push, "ch", 2), None);
+        assert_eq!(plan.on_channel(FaultSite::Pop, "ch", 3), None);
+        assert_eq!(plan.on_channel(FaultSite::Push, "other", 3), None);
+        assert_eq!(
+            plan.on_channel(FaultSite::Push, "ch", 3),
+            Some(FaultAction::Corrupt { bit: 5 })
+        );
+        // Spent: the same element on a retry runs clean.
+        assert_eq!(plan.on_channel(FaultSite::Push, "ch", 3), None);
+        assert!(plan.any_spent());
+        plan.reset();
+        assert!(!plan.any_spent());
+        assert_eq!(
+            plan.on_channel(FaultSite::Push, "ch", 3),
+            Some(FaultAction::Corrupt { bit: 5 })
+        );
+    }
+
+    #[test]
+    fn module_rules_fire_once() {
+        let plan = FaultPlan::new(None).module_fault("gemv", ModuleFault::Crash);
+        assert_eq!(plan.on_module_start("dot"), None);
+        assert_eq!(plan.on_module_start("gemv"), Some(ModuleFault::Crash));
+        assert_eq!(plan.on_module_start("gemv"), None);
+    }
+
+    #[test]
+    fn report_is_deterministic_and_serializable() {
+        let plan = FaultPlan::new(Some(123))
+            .channel_fault(FaultSite::Pop, "b", 1, FaultAction::DropElement)
+            .channel_fault(FaultSite::Push, "a", 7, FaultAction::Corrupt { bit: 0 })
+            .module_fault("m", ModuleFault::Hang);
+        // Fire in "runtime" order b, m, a — the report must not care.
+        plan.on_channel(FaultSite::Pop, "b", 1);
+        plan.on_module_start("m");
+        plan.on_channel(FaultSite::Push, "a", 7);
+        let r1 = plan.report();
+        assert_eq!(r1.planned, 3);
+        assert_eq!(r1.injections.len(), 3);
+        assert_eq!(r1.injections[0].target, "a");
+        let json = serde_json::to_string(&r1).unwrap();
+        assert!(json.contains("\"seed\":123"));
+        assert!(json.contains("\"corrupt\""));
+
+        plan.reset();
+        plan.on_channel(FaultSite::Push, "a", 7);
+        plan.on_channel(FaultSite::Pop, "b", 1);
+        plan.on_module_start("m");
+        assert_eq!(
+            plan.report(),
+            r1,
+            "firing order does not leak into the report"
+        );
+    }
+}

@@ -17,12 +17,17 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use fblas_audit::{AuditReport, AuditSpec, ModulePrediction};
-use fblas_hlssim::{channel, ModuleKind, Receiver, Sender, SimError, Simulation};
+use fblas_hlssim::{
+    channel, FaultHook, GuardReport, ModuleKind, Receiver, Sender, SimError, Simulation,
+};
 use fblas_trace::{ModuleScope, Tracer};
 use parking_lot::Mutex;
+use serde::Serialize;
 
+use super::abft;
 use super::planner::{ContractCause, Op, Plan, PlanError, PlannerConfig, Program};
 use crate::helpers::fanout::duplicate_many;
 use crate::helpers::{read_matrix, read_vector_replayed, write_matrix, write_vector};
@@ -49,6 +54,17 @@ pub enum ExecError {
     },
     /// The dataflow simulation failed.
     Sim(SimError),
+    /// A component's results failed an integrity check — a channel
+    /// digest guard or an ABFT checksum identity — after the simulation
+    /// itself completed. Raised only by the recovery path, and only
+    /// after the retry budget is exhausted; the caller's buffers still
+    /// hold the last committed (pre-component) state.
+    Corrupt {
+        /// Index of the component in the plan's schedule.
+        component: usize,
+        /// What tripped: the dirty channels or the violated identity.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -67,6 +83,12 @@ impl std::fmt::Display for ExecError {
                 )
             }
             ExecError::Sim(e) => write!(f, "simulation error: {e}"),
+            ExecError::Corrupt { component, detail } => {
+                write!(
+                    f,
+                    "component {component} produced corrupt results: {detail}"
+                )
+            }
         }
     }
 }
@@ -120,6 +142,8 @@ pub fn execute_plan_traced<T: Scalar>(
     check_bindings(program, buffers)?;
 
     let scalars: Arc<Mutex<HashMap<String, T>>> = Arc::new(Mutex::new(HashMap::new()));
+    let router = BufRouter::direct(buffers);
+    let opts = ComponentOptions::default();
     for (ix, component) in plan.components.iter().enumerate() {
         // One span lane per component on this thread; module lanes are
         // created inside the simulation's worker threads.
@@ -132,10 +156,11 @@ pub fn execute_plan_traced<T: Scalar>(
             cfg,
             &component.ops,
             &component.gemv_variants,
-            buffers,
+            &router,
             &scalars,
             tracer,
             None,
+            &opts,
         )?;
     }
     let scalars = Arc::try_unwrap(scalars)
@@ -166,6 +191,8 @@ pub fn execute_plan_audited<T: Scalar>(
     check_bindings(program, buffers)?;
 
     let scalars: Arc<Mutex<HashMap<String, T>>> = Arc::new(Mutex::new(HashMap::new()));
+    let router = BufRouter::direct(buffers);
+    let opts = ComponentOptions::default();
     let mut reports = Vec::with_capacity(plan.components.len());
     for component in &plan.components {
         // A fresh tracer per component keeps each audit's lanes (and the
@@ -178,10 +205,11 @@ pub fn execute_plan_audited<T: Scalar>(
             cfg,
             &component.ops,
             &component.gemv_variants,
-            buffers,
+            &router,
             &scalars,
             Some(&tracer),
             Some(&mut predictions),
+            &opts,
         )?;
         let mut spec = AuditSpec::new(freq_hz).with_tolerance(tolerance);
         spec.predictions = merge_predictions(predictions);
@@ -191,6 +219,313 @@ pub fn execute_plan_audited<T: Scalar>(
         .map(|m| m.into_inner())
         .unwrap_or_else(|arc| arc.lock().clone());
     Ok((ExecOutcome { scalars }, reports))
+}
+
+/// Retry discipline for [`execute_plan_with_recovery`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts per component before giving up (≥ 1). The default is
+    /// read from `FBLAS_RETRY_MAX` via [`fblas_hlssim::env::retry_max`].
+    pub max_attempts: u32,
+    /// Wall-clock deadline per attempt, enforced by the simulator's
+    /// watchdog ([`Simulation::set_deadline`]). Catches hung modules
+    /// that are live but make no progress — a plain stall check never
+    /// fires for those. `None` leaves only stall detection.
+    pub deadline: Option<Duration>,
+    /// Base delay before a retry; attempt `k` waits `backoff · 2^(k-1)`.
+    /// `Duration::ZERO` (the default) retries immediately, which keeps
+    /// recovery runs deterministic in time-free reports.
+    pub backoff: Duration,
+    /// Whether to evaluate the ABFT checksum identities
+    /// ([`super::abft`]) on the staged results before committing.
+    pub abft: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: fblas_hlssim::env::retry_max(),
+            deadline: None,
+            backoff: Duration::ZERO,
+            abft: true,
+        }
+    }
+}
+
+/// One component attempt in a [`RecoveryReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AttemptRecord {
+    /// Component index in the plan's schedule.
+    pub component: usize,
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// `None` on success; otherwise the normalized failure kind
+    /// (`"stall"`, `"deadline"`, `"module_panic"`, `"poisoned"`,
+    /// `"disconnect"`, `"corruption"`, `"plan"` or `"error"`). Kinds —
+    /// not raw messages — so two runs of the same seeded fault plan
+    /// serialize identically.
+    pub error: Option<String>,
+    /// Whether a channel digest guard was dirty on this attempt.
+    pub guard_flagged: bool,
+    /// Whether an ABFT checksum identity failed on this attempt.
+    pub abft_flagged: bool,
+    /// True on the succeeding attempt of a component that failed at
+    /// least once.
+    pub recovered: bool,
+}
+
+/// Structured outcome of a recovery-enabled execution. Contains only
+/// deterministic fields (no wall times): with a seeded fault plan, two
+/// runs produce byte-identical serializations.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct RecoveryReport {
+    /// Components in the schedule.
+    pub components: usize,
+    /// Every attempt, in execution order.
+    pub attempts: Vec<AttemptRecord>,
+    /// Components that failed at least once and then succeeded.
+    pub recovered: usize,
+    /// Total retries across all components.
+    pub retries: u64,
+}
+
+/// Terminal failure of [`execute_plan_with_recovery`]: the last error
+/// plus the full attempt history up to it.
+#[derive(Debug)]
+pub struct RecoveryError {
+    /// The error that exhausted the retry budget (or failed up front).
+    pub error: ExecError,
+    /// Attempt history, including the failing attempts.
+    pub report: RecoveryReport,
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recovery exhausted after {} attempt(s): {}",
+            self.report.attempts.len(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Normalized failure kind for [`AttemptRecord::error`].
+fn error_kind(e: &ExecError) -> &'static str {
+    match e {
+        ExecError::Sim(SimError::Stall { .. }) => "stall",
+        ExecError::Sim(SimError::Deadline { .. }) => "deadline",
+        ExecError::Sim(SimError::Module { .. }) => "module_panic",
+        ExecError::Sim(SimError::Poisoned { .. }) => "poisoned",
+        ExecError::Sim(SimError::Disconnected { .. }) => "disconnect",
+        ExecError::Corrupt { .. } => "corruption",
+        ExecError::Plan(_) => "plan",
+        _ => "error",
+    }
+}
+
+/// [`execute_plan`] with transactional write-back, fault detection, and
+/// retry.
+///
+/// Each component's output buffers are **staged**: the simulation writes
+/// into per-attempt scratch copies, and only a fully verified attempt is
+/// committed to `buffers` (DOT results are merged the same way). On
+/// failure — stall, deadline, module panic, poisoned or disconnected
+/// channels, a dirty channel digest guard, or a violated ABFT checksum
+/// identity — the attempt's writes are discarded and the component is
+/// re-run from the last committed state, up to
+/// [`RetryPolicy::max_attempts`] times with exponential backoff.
+///
+/// `hook` is armed on every attempt's simulation context; a one-shot
+/// fault plan (e.g. `fblas-chaos`'s `FaultPlan`) therefore injects on
+/// the first attempt and lets the retry run clean — the transient-fault
+/// model. Because a fresh scratch is cut per attempt, replay is sound
+/// even when a faulted attempt completed the simulation and wrote
+/// garbage.
+///
+/// On success returns the outcome plus a [`RecoveryReport`]; on
+/// exhaustion returns [`RecoveryError`] with the error and the attempt
+/// history, leaving `buffers` at the last committed state.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_with_recovery<T: Scalar>(
+    program: &Program,
+    plan: &Plan,
+    cfg: &PlannerConfig,
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+    policy: &RetryPolicy,
+    hook: Option<Arc<dyn FaultHook>>,
+    tracer: Option<&Tracer>,
+) -> Result<(ExecOutcome<T>, RecoveryReport), Box<RecoveryError>> {
+    let mut report = RecoveryReport {
+        components: plan.components.len(),
+        ..RecoveryReport::default()
+    };
+    if let Err(e) = cfg.validate() {
+        return Err(Box::new(RecoveryError {
+            error: e.into(),
+            report,
+        }));
+    }
+    if let Err(e) = check_bindings(program, buffers) {
+        return Err(Box::new(RecoveryError { error: e, report }));
+    }
+
+    let mut committed: HashMap<String, T> = HashMap::new();
+    let max = policy.max_attempts.max(1);
+    for (ix, component) in plan.components.iter().enumerate() {
+        let _component_span = ModuleScope::enter(&format!("component:{ix}"), tracer);
+        if let Some(t) = tracer {
+            t.metrics().counter_add("exec.components", 1);
+        }
+        // Operands this component writes; each attempt stages them.
+        let mut out_names: Vec<&str> = component
+            .ops
+            .iter()
+            .map(|&oi| program.ops()[oi].output())
+            .collect();
+        out_names.sort_unstable();
+        out_names.dedup();
+
+        let mut recovered_here = false;
+        for attempt in 1..=max {
+            // Fresh scratch per attempt, cut from the committed state:
+            // a faulted attempt that ran to completion left garbage in
+            // the *previous* scratch, never in `buffers`.
+            let staged: HashMap<String, DeviceBuffer<T>> = out_names
+                .iter()
+                .filter_map(|&name| {
+                    buffers.get(name).map(|real| {
+                        (
+                            name.to_string(),
+                            DeviceBuffer::from_vec(real.name(), real.to_host(), real.bank()),
+                        )
+                    })
+                })
+                .collect();
+            let attempt_scalars: Arc<Mutex<HashMap<String, T>>> =
+                Arc::new(Mutex::new(HashMap::new()));
+            let router = BufRouter {
+                inputs: buffers,
+                outputs: Some(&staged),
+            };
+            let opts = ComponentOptions {
+                hook: hook.clone(),
+                deadline: policy.deadline,
+            };
+            let result = run_component(
+                program,
+                cfg,
+                &component.ops,
+                &component.gemv_variants,
+                &router,
+                &attempt_scalars,
+                tracer,
+                None,
+                &opts,
+            );
+
+            let mut guard_flagged = false;
+            let mut abft_flagged = false;
+            let failure: Option<ExecError> = match result {
+                Ok(guards) => {
+                    guard_flagged = guards.iter().any(|g| !g.clean());
+                    let abft_detail = if policy.abft {
+                        let snapshot = attempt_scalars.lock().clone();
+                        abft::verify_component(program, &component.ops, &staged, buffers, &snapshot)
+                            .err()
+                    } else {
+                        None
+                    };
+                    abft_flagged = abft_detail.is_some();
+                    if guard_flagged {
+                        let dirty: Vec<String> = guards
+                            .iter()
+                            .filter(|g| !g.clean())
+                            .map(|g| g.channel.clone())
+                            .collect();
+                        Some(ExecError::Corrupt {
+                            component: ix,
+                            detail: format!(
+                                "channel integrity guard(s) tripped on: {}",
+                                dirty.join(", ")
+                            ),
+                        })
+                    } else {
+                        abft_detail.map(|detail| ExecError::Corrupt {
+                            component: ix,
+                            detail,
+                        })
+                    }
+                }
+                Err(e) => Some(e),
+            };
+
+            match failure {
+                None => {
+                    report.attempts.push(AttemptRecord {
+                        component: ix,
+                        attempt,
+                        error: None,
+                        guard_flagged: false,
+                        abft_flagged: false,
+                        recovered: attempt > 1,
+                    });
+                    recovered_here = attempt > 1;
+                    // Commit: publish the verified scratch to the
+                    // caller's buffers, merge the scalar results.
+                    for (name, scratch) in &staged {
+                        if let Some(real) = buffers.get(name) {
+                            real.from_host(&scratch.to_host());
+                        }
+                    }
+                    for (k, v) in attempt_scalars.lock().iter() {
+                        committed.insert(k.clone(), *v);
+                    }
+                    break;
+                }
+                Some(err) => {
+                    let kind = error_kind(&err);
+                    report.attempts.push(AttemptRecord {
+                        component: ix,
+                        attempt,
+                        error: Some(kind.to_string()),
+                        guard_flagged,
+                        abft_flagged,
+                        recovered: false,
+                    });
+                    if let Some(t) = tracer {
+                        t.record_sample(
+                            &format!("recovery:component:{ix}"),
+                            t.now_us(),
+                            attempt as f64,
+                        );
+                        t.metrics().counter_add("recovery.failures", 1);
+                    }
+                    if attempt == max {
+                        return Err(Box::new(RecoveryError { error: err, report }));
+                    }
+                    report.retries += 1;
+                    if let Some(t) = tracer {
+                        t.metrics().counter_add("recovery.retries", 1);
+                    }
+                    if !policy.backoff.is_zero() {
+                        let shift = (attempt - 1).min(16);
+                        std::thread::sleep(policy.backoff * (1u32 << shift));
+                    }
+                }
+            }
+        }
+        if recovered_here {
+            report.recovered += 1;
+        }
+    }
+    Ok((ExecOutcome { scalars: committed }, report))
 }
 
 /// Shape-check every operand binding up front.
@@ -274,20 +609,72 @@ fn get_buf<'b, T: Scalar>(
         .ok_or_else(|| ExecError::MissingBuffer(name.to_string()))
 }
 
+/// Routes a component's buffer accesses. The direct router reads and
+/// writes the caller's buffers, exactly as [`execute_plan`] always has;
+/// the recovery path overlays a scratch map so every *write* target
+/// resolves to a staged copy while *reads* keep hitting the committed
+/// state (in-component producer→consumer traffic flows through
+/// channels, never buffers, so reads never need the overlay).
+struct BufRouter<'a, T> {
+    inputs: &'a HashMap<String, DeviceBuffer<T>>,
+    outputs: Option<&'a HashMap<String, DeviceBuffer<T>>>,
+}
+
+impl<'a, T: Scalar> BufRouter<'a, T> {
+    /// Reads and writes both hit `buffers` (non-transactional).
+    fn direct(buffers: &'a HashMap<String, DeviceBuffer<T>>) -> Self {
+        BufRouter {
+            inputs: buffers,
+            outputs: None,
+        }
+    }
+
+    /// Buffer a module streams *from*.
+    fn input(&self, name: &str) -> Result<&DeviceBuffer<T>, ExecError> {
+        get_buf(self.inputs, name)
+    }
+
+    /// Buffer a module writes *into* (staged copy when overlaid).
+    fn output(&self, name: &str) -> Result<&DeviceBuffer<T>, ExecError> {
+        if let Some(staged) = self.outputs {
+            if let Some(b) = staged.get(name) {
+                return Ok(b);
+            }
+        }
+        get_buf(self.inputs, name)
+    }
+}
+
+/// Per-run extras for a component's simulation.
+#[derive(Default)]
+struct ComponentOptions {
+    /// Fault hook armed on the simulation context before the run.
+    hook: Option<Arc<dyn FaultHook>>,
+    /// Watchdog wall-clock deadline for the run.
+    deadline: Option<Duration>,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_component<T: Scalar>(
     program: &Program,
     cfg: &PlannerConfig,
     ops: &[usize],
     variants: &HashMap<usize, GemvVariant>,
-    buffers: &HashMap<String, DeviceBuffer<T>>,
+    router: &BufRouter<'_, T>,
     scalars: &Arc<Mutex<HashMap<String, T>>>,
     tracer: Option<&Tracer>,
     mut predictions: Option<&mut Vec<ModulePrediction>>,
-) -> Result<(), ExecError> {
+    opts: &ComponentOptions,
+) -> Result<Vec<GuardReport>, ExecError> {
     let mut sim = Simulation::new();
     if let Some(t) = tracer {
         sim.set_tracer(t.clone());
+    }
+    if let Some(hook) = &opts.hook {
+        sim.ctx().arm_faults(hook.clone());
+    }
+    if let Some(deadline) = opts.deadline {
+        sim.set_deadline(deadline);
     }
     let depth = cfg.default_depth as usize;
 
@@ -348,7 +735,7 @@ fn run_component<T: Scalar>(
             let tiling = consumer_tiling(program, cfg, oi, variants);
             let d = edge_depth(program, cfg, oi, mat, &in_comp);
             let (tx, rx) = channel(sim.ctx(), d, format!("{mat}->{oi}"));
-            read_matrix(&mut sim, get_buf(buffers, mat)?, n, m, tiling, tx, 1);
+            read_matrix(&mut sim, router.input(mat)?, n, m, tiling, tx, 1);
             incoming.insert((oi, (*mat).to_string()), rx);
         } else {
             // Shared stream: the planner guarantees all consumers agree
@@ -359,7 +746,7 @@ fn run_component<T: Scalar>(
                 crate::tiling::TileOrder::RowTilesRowMajor,
             );
             let (tx, rx) = channel(sim.ctx(), depth, format!("read_{mat}"));
-            read_matrix(&mut sim, get_buf(buffers, mat)?, n, m, tiling, tx, 1);
+            read_matrix(&mut sim, router.input(mat)?, n, m, tiling, tx, 1);
             let mut sinks = Vec::new();
             for &oi in cons.iter() {
                 let d = edge_depth(program, cfg, oi, mat, &in_comp);
@@ -385,7 +772,7 @@ fn run_component<T: Scalar>(
                 // Source vector (or scalar-free) read from DRAM.
                 program.vec_len(name)?;
                 let (tx, rx) = channel(sim.ctx(), depth, format!("{name}->{oi}"));
-                read_vector_replayed(sim, get_buf(buffers, name)?, tx, reps);
+                read_vector_replayed(sim, router.input(name)?, tx, reps);
                 Ok(rx)
             };
 
@@ -406,7 +793,7 @@ fn run_component<T: Scalar>(
                     &mut sim,
                     program,
                     cfg,
-                    buffers,
+                    router,
                     &mut incoming,
                     &out_name,
                     &out_consumers,
@@ -447,7 +834,7 @@ fn run_component<T: Scalar>(
                     &mut sim,
                     program,
                     cfg,
-                    buffers,
+                    router,
                     &mut incoming,
                     &out_name,
                     &out_consumers,
@@ -542,7 +929,7 @@ fn run_component<T: Scalar>(
                         &mut sim,
                         program,
                         cfg,
-                        buffers,
+                        router,
                         &mut incoming,
                         &out_name,
                         &out_consumers,
@@ -563,7 +950,7 @@ fn run_component<T: Scalar>(
                         }
                     }
                     let initial = match y {
-                        Some(yn) => get_buf(buffers, yn)?.clone(),
+                        Some(yn) => router.input(yn)?.clone(),
                         None => zeros,
                     };
                     // Partial replay through DRAM, with a tap for
@@ -576,7 +963,7 @@ fn run_component<T: Scalar>(
                     replay_with_taps(
                         &mut sim,
                         &initial,
-                        get_buf(buffers, &out_name)?,
+                        router.output(&out_name)?,
                         y_len,
                         g.y_rounds(),
                         tyi,
@@ -602,7 +989,7 @@ fn run_component<T: Scalar>(
                 let tx = matrix_output(
                     &mut sim,
                     cfg,
-                    buffers,
+                    router,
                     &mut incoming,
                     &out_name,
                     n,
@@ -614,8 +1001,10 @@ fn run_component<T: Scalar>(
         }
     }
 
+    // Guard reports outlive the simulation through the shared context.
+    let ctx = sim.ctx().clone();
     sim.run()?;
-    Ok(())
+    Ok(ctx.guard_reports())
 }
 
 fn op_inputs(op: &Op) -> Vec<&str> {
@@ -717,7 +1106,7 @@ fn vector_output<T: Scalar>(
     sim: &mut Simulation,
     program: &Program,
     cfg: &PlannerConfig,
-    buffers: &HashMap<String, DeviceBuffer<T>>,
+    router: &BufRouter<'_, T>,
     incoming: &mut HashMap<(usize, String), Receiver<T>>,
     name: &str,
     out_consumers: &[usize],
@@ -728,7 +1117,7 @@ fn vector_output<T: Scalar>(
         cfg.default_depth as usize,
         format!("write_{name}"),
     );
-    write_vector(sim, get_buf(buffers, name)?, n, w_rx);
+    write_vector(sim, router.output(name)?, n, w_rx);
     let mut sinks = consumer_channels(sim, cfg, incoming, name, out_consumers);
     if sinks.is_empty() {
         return Ok(w_tx);
@@ -748,7 +1137,7 @@ fn vector_output<T: Scalar>(
 fn matrix_output<T: Scalar>(
     sim: &mut Simulation,
     cfg: &PlannerConfig,
-    buffers: &HashMap<String, DeviceBuffer<T>>,
+    router: &BufRouter<'_, T>,
     incoming: &mut HashMap<(usize, String), Receiver<T>>,
     name: &str,
     n: usize,
@@ -765,7 +1154,7 @@ fn matrix_output<T: Scalar>(
         cfg.default_depth as usize,
         format!("write_{name}"),
     );
-    write_matrix(sim, get_buf(buffers, name)?, n, m, tiling, w_rx);
+    write_matrix(sim, router.output(name)?, n, m, tiling, w_rx);
     let mut sinks = consumer_channels(sim, cfg, incoming, name, out_consumers);
     if sinks.is_empty() {
         return Ok(w_tx);
@@ -1166,6 +1555,211 @@ mod tests {
             assert!(r.bottleneck.is_some(), "no bottleneck named");
             assert!(!r.memory_bound);
         }
+    }
+
+    /// One-shot fault hook for recovery tests: fires a single channel
+    /// or module fault on its first match, then stays quiet — the
+    /// transient-fault model a retry must absorb.
+    struct OneShot {
+        channel: Option<(
+            fblas_hlssim::FaultSite,
+            String,
+            u64,
+            fblas_hlssim::FaultAction,
+        )>,
+        module: Option<(String, fblas_hlssim::ModuleFault)>,
+        spent: Mutex<bool>,
+    }
+
+    impl OneShot {
+        fn corrupt(channel: &str, index: u64, bit: u32) -> Arc<Self> {
+            Arc::new(OneShot {
+                channel: Some((
+                    fblas_hlssim::FaultSite::Push,
+                    channel.to_string(),
+                    index,
+                    fblas_hlssim::FaultAction::Corrupt { bit },
+                )),
+                module: None,
+                spent: Mutex::new(false),
+            })
+        }
+
+        fn crash(module: &str) -> Arc<Self> {
+            Arc::new(OneShot {
+                channel: None,
+                module: Some((module.to_string(), fblas_hlssim::ModuleFault::Crash)),
+                spent: Mutex::new(false),
+            })
+        }
+    }
+
+    impl FaultHook for OneShot {
+        fn on_channel(
+            &self,
+            site: fblas_hlssim::FaultSite,
+            channel: &str,
+            index: u64,
+        ) -> Option<fblas_hlssim::FaultAction> {
+            let (s, c, i, a) = self.channel.as_ref()?;
+            let mut spent = self.spent.lock();
+            if !*spent && *s == site && c == channel && *i == index {
+                *spent = true;
+                return Some(*a);
+            }
+            None
+        }
+
+        fn on_module_start(&self, module: &str) -> Option<fblas_hlssim::ModuleFault> {
+            let (m, f) = self.module.as_ref()?;
+            let mut spent = self.spent.lock();
+            if !*spent && m == module {
+                *spent = true;
+                return Some(*f);
+            }
+            None
+        }
+    }
+
+    fn axpydot_setup() -> (
+        Program,
+        PlannerConfig,
+        HashMap<String, DeviceBuffer<f64>>,
+        f64,
+    ) {
+        let n = 97;
+        let mut p = Program::new();
+        p.vector("w", n)
+            .vector("v", n)
+            .vector("u", n)
+            .vector("z", n)
+            .scalar("beta");
+        p.op(Op::Axpy {
+            alpha: -0.8,
+            x: "v".into(),
+            y: "w".into(),
+            out: "z".into(),
+        });
+        p.op(Op::Dot {
+            x: "z".into(),
+            y: "u".into(),
+            out: "beta".into(),
+        });
+        let cfg = PlannerConfig {
+            tn: 8,
+            tm: 8,
+            ..Default::default()
+        };
+        let wv = seq(n, 0.0);
+        let vv = seq(n, 1.0);
+        let uv = seq(n, 2.0);
+        let (_, beta_ref) = fblas_refblas::apps::axpydot(&wv, &vv, &uv, 0.8);
+        let bufs = bind(vec![("w", wv), ("v", vv), ("u", uv), ("z", vec![0.0; n])]);
+        (p, cfg, bufs, beta_ref)
+    }
+
+    #[test]
+    fn recovery_without_faults_matches_plain_execution() {
+        let (p, cfg, bufs, beta_ref) = axpydot_setup();
+        let thep = plan(&p, &cfg).unwrap();
+        let (out, report) = execute_plan_with_recovery::<f64>(
+            &p,
+            &thep,
+            &cfg,
+            &bufs,
+            &RetryPolicy::default(),
+            None,
+            None,
+        )
+        .unwrap();
+        assert!((out.scalars["beta"] - beta_ref).abs() < 1e-9);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.recovered, 0);
+        assert_eq!(report.attempts.len(), thep.components.len());
+        assert!(report.attempts.iter().all(|a| a.error.is_none()));
+    }
+
+    #[test]
+    fn corrupt_channel_fault_is_detected_and_retried_to_success() {
+        let (p, cfg, bufs, beta_ref) = axpydot_setup();
+        let thep = plan(&p, &cfg).unwrap();
+        // Flip the exponent of one element as it enters the write-back
+        // channel for z.
+        let hook = OneShot::corrupt("write_z", 11, 62);
+        let (out, report) = execute_plan_with_recovery::<f64>(
+            &p,
+            &thep,
+            &cfg,
+            &bufs,
+            &RetryPolicy::default(),
+            Some(hook),
+            None,
+        )
+        .unwrap();
+        assert!((out.scalars["beta"] - beta_ref).abs() < 1e-9);
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.recovered, 1);
+        let failed = &report.attempts[0];
+        assert_eq!(failed.error.as_deref(), Some("corruption"));
+        assert!(failed.guard_flagged, "digest guard should have tripped");
+        let healed = report
+            .attempts
+            .iter()
+            .find(|a| a.recovered)
+            .expect("a recovered attempt");
+        assert!(healed.error.is_none());
+    }
+
+    #[test]
+    fn injected_crash_is_retried_and_buffers_commit_once() {
+        let (p, cfg, bufs, beta_ref) = axpydot_setup();
+        let thep = plan(&p, &cfg).unwrap();
+        let hook = OneShot::crash("axpy");
+        let (out, report) = execute_plan_with_recovery::<f64>(
+            &p,
+            &thep,
+            &cfg,
+            &bufs,
+            &RetryPolicy::default(),
+            Some(hook),
+            None,
+        )
+        .unwrap();
+        assert!((out.scalars["beta"] - beta_ref).abs() < 1e-9);
+        assert_eq!(report.retries, 1);
+        let failed = &report.attempts[0];
+        assert!(
+            matches!(
+                failed.error.as_deref(),
+                Some("module_panic") | Some("poisoned")
+            ),
+            "unexpected kind: {:?}",
+            failed.error
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_leave_buffers_untouched() {
+        let (p, cfg, bufs, _) = axpydot_setup();
+        let thep = plan(&p, &cfg).unwrap();
+        let z_before = bufs["z"].to_host();
+        let hook = OneShot::corrupt("write_z", 3, 60);
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        let err =
+            execute_plan_with_recovery::<f64>(&p, &thep, &cfg, &bufs, &policy, Some(hook), None)
+                .unwrap_err();
+        assert!(
+            matches!(err.error, ExecError::Corrupt { component: 0, .. }),
+            "got: {}",
+            err.error
+        );
+        assert_eq!(err.report.attempts.len(), 1);
+        // Transactional: the corrupted attempt never reached the
+        // caller's buffer.
+        assert_eq!(bufs["z"].to_host(), z_before);
     }
 
     #[test]

@@ -12,13 +12,15 @@
 //! planner routes its channel-sizing decisions through it and
 //! `fblas-lint` builds its verdicts on it.
 
+mod abft;
 pub mod executor;
 pub mod mdag;
 pub mod planner;
 pub mod rates;
 
 pub use executor::{
-    execute_plan, execute_plan_audited, execute_plan_traced, ExecError, ExecOutcome,
+    execute_plan, execute_plan_audited, execute_plan_traced, execute_plan_with_recovery,
+    AttemptRecord, ExecError, ExecOutcome, RecoveryError, RecoveryReport, RetryPolicy,
 };
 pub use mdag::{EdgeId, EdgeInfo, Mdag, NodeId, Validity};
 pub use planner::{

@@ -15,8 +15,9 @@
 //! enumerate channels to wake sleepers.
 
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use fblas_trace::EventKind;
 use parking_lot::{Condvar, Mutex};
@@ -24,6 +25,7 @@ use serde::Serialize;
 
 use crate::chunk::default_chunk;
 use crate::error::SimError;
+use crate::fault::{duplicate_value, flip_bit, FaultAction, FaultSite, GuardReport, GuardState};
 use crate::simulation::{wait_slice, ChannelProbe, CtxShared, SimContext, Waiter};
 use crate::stall::WaitDirection;
 
@@ -45,6 +47,8 @@ struct ChanState<T> {
     sender_alive: bool,
     receiver_alive: bool,
     stats: ChannelStats,
+    /// Integrity guard; only updated while a fault hook is armed.
+    guard: GuardState,
 }
 
 struct ChannelCore<T> {
@@ -54,6 +58,12 @@ struct ChannelCore<T> {
     state: Mutex<ChanState<T>>,
     not_full: Condvar,
     not_empty: Condvar,
+    /// Per-channel element sequence numbers, advanced only on the armed
+    /// path. SPSC discipline makes them reproducible across runs, which
+    /// is what lets a `FaultHook` target "element 17 of channel X"
+    /// deterministically.
+    push_seq: AtomicU64,
+    pop_seq: AtomicU64,
 }
 
 /// RAII registration of "this thread is blocked on a channel operation".
@@ -97,6 +107,18 @@ impl<T> ChannelCore<T> {
     fn poisoned(&self) -> bool {
         self.ctx.poisoned.load(Ordering::Acquire)
     }
+
+    /// The error a poisoned operation surfaces, naming the module whose
+    /// failure caused the poisoning when that is known.
+    fn poison_err(&self) -> SimError {
+        SimError::Poisoned {
+            by: self.ctx.poison_cause(),
+        }
+    }
+
+    fn fault_armed(&self) -> bool {
+        self.ctx.fault_armed.load(Ordering::Relaxed)
+    }
 }
 
 impl<T: Send + 'static> ChannelProbe for ChannelCore<T> {
@@ -114,6 +136,10 @@ impl<T: Send + 'static> ChannelProbe for ChannelCore<T> {
 
     fn probe_capacity(&self) -> usize {
         self.capacity
+    }
+
+    fn probe_guard(&self) -> Option<GuardReport> {
+        self.state.lock().guard.report(&self.name)
     }
 }
 
@@ -170,15 +196,18 @@ pub fn try_channel<T: Send + 'static>(
             sender_alive: true,
             receiver_alive: true,
             stats: ChannelStats::default(),
+            guard: GuardState::default(),
         }),
         not_full: Condvar::new(),
         not_empty: Condvar::new(),
+        push_seq: AtomicU64::new(0),
+        pop_seq: AtomicU64::new(0),
     });
     ctx.register_probe(core.clone());
     Ok((Sender { core: core.clone() }, Receiver { core }))
 }
 
-impl<T> Sender<T> {
+impl<T: Send + 'static> Sender<T> {
     /// Push one element, blocking while the FIFO is full.
     ///
     /// Fails with [`SimError::Poisoned`] if the simulation was torn down
@@ -186,6 +215,16 @@ impl<T> Sender<T> {
     /// consumer is gone — which for fixed-count BLAS streams means the
     /// producer and consumer disagree on element counts (an invalid edge).
     pub fn push(&self, value: T) -> Result<(), SimError> {
+        if self.core.fault_armed() {
+            return self.push_armed(value);
+        }
+        self.push_raw(value)
+    }
+
+    /// The unarmed push path: byte-identical to the pre-fault-layer
+    /// implementation (the only addition upstream is one relaxed atomic
+    /// load in [`push`](Self::push)).
+    fn push_raw(&self, value: T) -> Result<(), SimError> {
         let core = &self.core;
         let trace_from = fblas_trace::op_start();
         let mut waited = false;
@@ -193,7 +232,7 @@ impl<T> Sender<T> {
         let mut st = core.state.lock();
         loop {
             if core.poisoned() {
-                return Err(SimError::Poisoned);
+                return Err(core.poison_err());
             }
             if !st.receiver_alive {
                 return Err(SimError::Disconnected {
@@ -224,6 +263,37 @@ impl<T> Sender<T> {
         }
     }
 
+    /// Push with the fault hook consulted: records the integrity guard
+    /// **before** injection (so the digest captures what the producer
+    /// meant to send), then applies any fault targeted at this
+    /// element's sequence number.
+    #[cold]
+    fn push_armed(&self, mut value: T) -> Result<(), SimError> {
+        let core = &self.core;
+        core.state.lock().guard.record_push(&value);
+        let seq = core.push_seq.fetch_add(1, Ordering::Relaxed);
+        if let Some(action) = core.ctx.fault_for(FaultSite::Push, &core.name, seq) {
+            fblas_trace::record_fault(&core.name, action.label());
+            match action {
+                FaultAction::Corrupt { bit } => {
+                    flip_bit(&mut value, bit);
+                }
+                // The element vanishes before reaching the FIFO; the
+                // producer proceeds as if the transfer happened.
+                FaultAction::DropElement => return Ok(()),
+                FaultAction::Duplicate => {
+                    if let Some(dup) = duplicate_value(&value) {
+                        self.push_raw(dup)?;
+                    }
+                }
+                FaultAction::Delay { micros } => {
+                    std::thread::sleep(Duration::from_micros(micros));
+                }
+            }
+        }
+        self.push_raw(value)
+    }
+
     /// Push every element of `buf`, in order, moving whole chunks under
     /// one lock acquisition. On success `buf` is left empty (its
     /// allocation retained, so callers can refill and reuse it).
@@ -239,6 +309,13 @@ impl<T> Sender<T> {
     /// On error the already-transferred prefix has been delivered and
     /// `buf` retains the unsent tail.
     pub fn push_chunk(&self, buf: &mut Vec<T>) -> Result<(), SimError> {
+        if self.core.fault_armed() {
+            return self.push_chunk_armed(buf);
+        }
+        self.push_chunk_raw(buf)
+    }
+
+    fn push_chunk_raw(&self, buf: &mut Vec<T>) -> Result<(), SimError> {
         let core = &self.core;
         if buf.is_empty() {
             return Ok(());
@@ -250,7 +327,7 @@ impl<T> Sender<T> {
         let mut st = core.state.lock();
         loop {
             if core.poisoned() {
-                return Err(SimError::Poisoned);
+                return Err(core.poison_err());
             }
             if !st.receiver_alive {
                 return Err(SimError::Disconnected {
@@ -295,6 +372,59 @@ impl<T> Sender<T> {
         }
     }
 
+    /// Chunked push with the fault hook consulted: degrades to
+    /// element-wise [`push_armed`](Self::push_armed) so every element
+    /// gets its own sequence number and fault opportunity, keeping
+    /// injection points identical across chunk-size sweeps. On error
+    /// `buf` retains the not-yet-attempted tail (the element in flight
+    /// when the error surfaced is consumed).
+    #[cold]
+    fn push_chunk_armed(&self, buf: &mut Vec<T>) -> Result<(), SimError> {
+        let rest = std::mem::take(buf);
+        let mut iter = rest.into_iter();
+        while let Some(v) = iter.next() {
+            if let Err(e) = self.push_armed(v) {
+                *buf = iter.collect();
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Non-blocking best-effort push of as much of `buf` as currently
+    /// fits, under one lock acquisition; elements that do not fit stay
+    /// in `buf`. Never waits and never consults the fault hook — this
+    /// exists for teardown paths ([`ChunkWriter`](crate::ChunkWriter)'s
+    /// drop salvage) that must not block during unwinding.
+    pub fn try_push_chunk(&self, buf: &mut Vec<T>) -> Result<(), SimError> {
+        let core = &self.core;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let mut st = core.state.lock();
+        if core.poisoned() {
+            return Err(core.poison_err());
+        }
+        if !st.receiver_alive {
+            return Err(SimError::Disconnected {
+                channel: core.name.to_string(),
+            });
+        }
+        let free = core.capacity - st.queue.len();
+        let k = free.min(buf.len());
+        if k > 0 {
+            st.queue.extend(buf.drain(..k));
+            st.stats.transferred += k as u64;
+            let occ = st.queue.len();
+            if occ > st.stats.max_occupancy {
+                st.stats.max_occupancy = occ;
+            }
+            core.ctx.epoch.fetch_add(k as u64, Ordering::Release);
+            core.not_empty.notify_one();
+        }
+        Ok(())
+    }
+
     /// Push every element of an iterator, in order, batching transfers
     /// into chunks of the configured size (`FBLAS_CHUNK`, default 256).
     pub fn push_iter<I: IntoIterator<Item = T>>(&self, iter: I) -> Result<(), SimError> {
@@ -331,7 +461,7 @@ impl<T> Sender<T> {
     }
 }
 
-impl<T: Clone> Sender<T> {
+impl<T: Clone + Send + 'static> Sender<T> {
     /// Push every element of a slice, in order, cloning each chunk in
     /// bulk and transferring it under one lock acquisition.
     pub fn push_slice(&self, values: &[T]) -> Result<(), SimError> {
@@ -351,13 +481,22 @@ impl<T: Clone> Sender<T> {
     }
 }
 
-impl<T> Receiver<T> {
+impl<T: Send + 'static> Receiver<T> {
     /// Pop one element, blocking while the FIFO is empty.
     ///
     /// Fails with [`SimError::Disconnected`] if the FIFO is empty and the
     /// producer endpoint has been dropped: the consumer expected more
     /// elements than were produced (count-mismatched composition).
     pub fn pop(&self) -> Result<T, SimError> {
+        if self.core.fault_armed() {
+            return self.pop_armed();
+        }
+        self.pop_raw()
+    }
+
+    /// The unarmed pop path (see [`Sender::push_raw`] on zero-cost
+    /// disarming).
+    fn pop_raw(&self) -> Result<T, SimError> {
         let core = &self.core;
         let trace_from = fblas_trace::op_start();
         let mut waited = false;
@@ -365,7 +504,7 @@ impl<T> Receiver<T> {
         let mut st = core.state.lock();
         loop {
             if core.poisoned() {
-                return Err(SimError::Poisoned);
+                return Err(core.poison_err());
             }
             if let Some(v) = st.queue.pop_front() {
                 core.ctx.epoch.fetch_add(1, Ordering::Release);
@@ -390,6 +529,37 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Pop with the fault hook consulted: applies any fault targeted at
+    /// this element's sequence number, then records the integrity guard
+    /// **after** injection (so the digest captures what the consumer
+    /// actually observed).
+    #[cold]
+    fn pop_armed(&self) -> Result<T, SimError> {
+        let core = &self.core;
+        loop {
+            let mut value = self.pop_raw()?;
+            let seq = core.pop_seq.fetch_add(1, Ordering::Relaxed);
+            if let Some(action) = core.ctx.fault_for(FaultSite::Pop, &core.name, seq) {
+                fblas_trace::record_fault(&core.name, action.label());
+                match action {
+                    FaultAction::Corrupt { bit } => {
+                        flip_bit(&mut value, bit);
+                    }
+                    // The element is consumed and discarded; the
+                    // consumer keeps waiting for the next one.
+                    FaultAction::DropElement => continue,
+                    // Duplication is a push-side fault; ignored here.
+                    FaultAction::Duplicate => {}
+                    FaultAction::Delay { micros } => {
+                        std::thread::sleep(Duration::from_micros(micros));
+                    }
+                }
+            }
+            core.state.lock().guard.record_pop(&value);
+            return Ok(value);
+        }
+    }
+
     /// Pop up to `max` elements into `out` under one lock acquisition,
     /// returning how many were appended.
     ///
@@ -401,17 +571,29 @@ impl<T> Receiver<T> {
     /// element. Stats, the progress epoch, and the trace advance by the
     /// number of elements taken.
     pub fn pop_chunk(&self, out: &mut Vec<T>, max: usize) -> Result<usize, SimError> {
-        let core = &self.core;
         if max == 0 {
             return Ok(0);
         }
+        if self.core.fault_armed() {
+            // Degrade to one element per call so every element gets its
+            // own sequence number and fault opportunity; callers loop
+            // until satisfied, so semantics are unchanged.
+            let v = self.pop_armed()?;
+            out.push(v);
+            return Ok(1);
+        }
+        self.pop_chunk_raw(out, max)
+    }
+
+    fn pop_chunk_raw(&self, out: &mut Vec<T>, max: usize) -> Result<usize, SimError> {
+        let core = &self.core;
         let trace_from = fblas_trace::op_start();
         let mut waited = false;
         let mut blocked: Option<BlockGuard<'_>> = None;
         let mut st = core.state.lock();
         loop {
             if core.poisoned() {
-                return Err(SimError::Poisoned);
+                return Err(core.poison_err());
             }
             if !st.queue.is_empty() {
                 let k = st.queue.len().min(max);
@@ -602,8 +784,116 @@ mod tests {
             });
             thread::sleep(Duration::from_millis(20));
             ctx2.poison();
-            assert_eq!(h.join().unwrap(), Err(SimError::Poisoned));
+            assert_eq!(h.join().unwrap(), Err(SimError::Poisoned { by: None }));
         });
+    }
+
+    use crate::fault::{FaultHook, ModuleFault};
+
+    struct ChannelFaultAt {
+        site: FaultSite,
+        index: u64,
+        action: FaultAction,
+    }
+
+    impl FaultHook for ChannelFaultAt {
+        fn on_channel(&self, site: FaultSite, _channel: &str, index: u64) -> Option<FaultAction> {
+            (site == self.site && index == self.index).then_some(self.action)
+        }
+        fn on_module_start(&self, _: &str) -> Option<ModuleFault> {
+            None
+        }
+    }
+
+    #[test]
+    fn armed_corrupt_fault_flips_the_targeted_element_and_trips_the_guard() {
+        let ctx = SimContext::new();
+        ctx.arm_faults(Arc::new(ChannelFaultAt {
+            site: FaultSite::Push,
+            index: 2,
+            action: FaultAction::Corrupt { bit: 0 },
+        }));
+        let (tx, rx) = channel::<u64>(&ctx, 8, "chaos");
+        tx.push_slice(&[10, 20, 30, 40]).unwrap();
+        drop(tx);
+        assert_eq!(rx.drain().unwrap(), vec![10, 20, 31, 40]);
+        let guards = ctx.guard_reports();
+        assert_eq!(guards.len(), 1);
+        let g = &guards[0];
+        assert_eq!((g.pushed, g.popped), (4, 4));
+        assert!(g.tracked && !g.digests_match && !g.clean());
+    }
+
+    #[test]
+    fn armed_pop_side_corruption_is_also_caught() {
+        // Push-side digest records the intended value; the pop-side
+        // digest records what the consumer saw post-fault.
+        let ctx = SimContext::new();
+        ctx.arm_faults(Arc::new(ChannelFaultAt {
+            site: FaultSite::Pop,
+            index: 0,
+            action: FaultAction::Corrupt { bit: 63 },
+        }));
+        let (tx, rx) = channel::<u64>(&ctx, 4, "chaos_pop");
+        tx.push_slice(&[5]).unwrap();
+        drop(tx);
+        assert_eq!(rx.drain().unwrap(), vec![5 | (1 << 63)]);
+        assert!(!ctx.guard_reports()[0].clean());
+    }
+
+    #[test]
+    fn armed_drop_and_duplicate_faults_skew_the_guard_counts() {
+        let ctx = SimContext::new();
+        ctx.arm_faults(Arc::new(ChannelFaultAt {
+            site: FaultSite::Push,
+            index: 1,
+            action: FaultAction::DropElement,
+        }));
+        let (tx, rx) = channel::<u64>(&ctx, 8, "chaos_drop");
+        tx.push_slice(&[10, 20, 30]).unwrap();
+        drop(tx);
+        assert_eq!(rx.drain().unwrap(), vec![10, 30]);
+        let g = &ctx.guard_reports()[0];
+        assert_eq!((g.pushed, g.popped), (3, 2));
+        assert!(!g.clean());
+
+        let ctx = SimContext::new();
+        ctx.arm_faults(Arc::new(ChannelFaultAt {
+            site: FaultSite::Push,
+            index: 1,
+            action: FaultAction::Duplicate,
+        }));
+        let (tx, rx) = channel::<u64>(&ctx, 8, "chaos_dup");
+        tx.push_slice(&[10, 20, 30]).unwrap();
+        drop(tx);
+        assert_eq!(rx.drain().unwrap(), vec![10, 20, 20, 30]);
+        let g = &ctx.guard_reports()[0];
+        assert_eq!((g.pushed, g.popped), (3, 4));
+        assert!(!g.clean());
+    }
+
+    #[test]
+    fn disarmed_context_keeps_guards_silent() {
+        let ctx = SimContext::new();
+        let (tx, rx) = channel::<u64>(&ctx, 8, "quiet");
+        tx.push_slice(&[1, 2, 3]).unwrap();
+        drop(tx);
+        assert_eq!(rx.drain().unwrap(), vec![1, 2, 3]);
+        assert!(ctx.guard_reports().is_empty());
+    }
+
+    #[test]
+    fn try_push_chunk_moves_what_fits_without_blocking() {
+        let ctx = SimContext::new();
+        let (tx, rx) = channel::<u8>(&ctx, 2, "try");
+        let mut buf = vec![1, 2, 3, 4];
+        tx.try_push_chunk(&mut buf).unwrap();
+        assert_eq!(buf, vec![3, 4], "overflow stays in the buffer");
+        assert_eq!(rx.pop_n(2).unwrap(), vec![1, 2]);
+        tx.try_push_chunk(&mut buf).unwrap();
+        assert!(buf.is_empty());
+        drop(tx);
+        assert_eq!(rx.drain().unwrap(), vec![3, 4]);
     }
 
     #[test]

@@ -29,10 +29,14 @@
 //! one output while the other's consumer is starved can deadlock when
 //! FIFO depths are smaller than the chunk.
 //!
-//! `ChunkWriter` deliberately has no `Drop` flush — a flush can block
-//! and fail, and neither is expressible in `drop`. Callers must
-//! [`flush`](ChunkWriter::flush) explicitly; forgetting it loses the
-//! tail, which count-checked consumers report as a disconnect.
+//! `ChunkWriter` has no *blocking* `Drop` flush — a real flush can
+//! block and fail, and neither is expressible in `drop`. Callers must
+//! [`flush`](ChunkWriter::flush) explicitly. A writer dropped with
+//! buffered elements (forgotten flush, or a panic unwinding through
+//! the owning module) makes a non-blocking best-effort salvage via
+//! [`Sender::try_push_chunk`] and prints a warning naming the channel
+//! and how many elements could not be delivered — a silent truncated
+//! stream is the one failure mode worse than a loud one.
 
 use crate::channel::{Receiver, Sender};
 use crate::error::SimError;
@@ -45,9 +49,10 @@ pub const DEFAULT_CHUNK: usize = 256;
 ///
 /// Read from the environment on every call (not cached) so benchmarks
 /// can sweep chunk sizes within one process. `FBLAS_CHUNK=1` degrades
-/// every bulk helper to honest element-wise transfers.
+/// every bulk helper to honest element-wise transfers. Delegates to
+/// [`crate::env::chunk`], which warns once on an invalid value.
 pub fn default_chunk() -> usize {
-    parse_chunk(std::env::var("FBLAS_CHUNK").ok().as_deref())
+    crate::env::chunk()
 }
 
 /// Parse an `FBLAS_CHUNK`-style value; invalid or non-positive input
@@ -62,14 +67,14 @@ pub fn parse_chunk(raw: Option<&str>) -> usize {
 ///
 /// `T: Copy` because refills move elements into an internal buffer and
 /// hand out copies; every stream element in this codebase is a scalar.
-pub struct ChunkReader<'a, T> {
+pub struct ChunkReader<'a, T: Send + 'static> {
     rx: &'a Receiver<T>,
     buf: Vec<T>,
     pos: usize,
     chunk: usize,
 }
 
-impl<'a, T: Copy> ChunkReader<'a, T> {
+impl<'a, T: Copy + Send + 'static> ChunkReader<'a, T> {
     /// Reader over `rx` using the configured [`default_chunk`] size.
     pub fn new(rx: &'a Receiver<T>) -> Self {
         Self::with_chunk(rx, default_chunk())
@@ -106,13 +111,16 @@ impl<'a, T: Copy> ChunkReader<'a, T> {
 }
 
 /// Element-at-a-time writer that flushes to the channel in chunks.
-pub struct ChunkWriter<'a, T> {
+///
+/// `T: Send + 'static` (already required to construct the channel) so
+/// the drop salvage can attempt a non-blocking delivery of the tail.
+pub struct ChunkWriter<'a, T: Send + 'static> {
     tx: &'a Sender<T>,
     buf: Vec<T>,
     chunk: usize,
 }
 
-impl<'a, T> ChunkWriter<'a, T> {
+impl<'a, T: Send + 'static> ChunkWriter<'a, T> {
     /// Writer into `tx` using the configured [`default_chunk`] size.
     pub fn new(tx: &'a Sender<T>) -> Self {
         Self::with_chunk(tx, default_chunk())
@@ -143,6 +151,39 @@ impl<'a, T> ChunkWriter<'a, T> {
     /// the stream (see module docs on deadlock safety).
     pub fn flush(&mut self) -> Result<(), SimError> {
         self.tx.push_chunk(&mut self.buf)
+    }
+}
+
+impl<T: Send + 'static> Drop for ChunkWriter<'_, T> {
+    /// Flush-or-warn: a writer dropped with buffered elements attempts
+    /// a non-blocking salvage and reports anything that could not be
+    /// delivered. Blocking or panicking here is off the table (drop
+    /// runs during unwinding), so a full FIFO still loses the tail —
+    /// but loudly, with the channel named, instead of silently.
+    fn drop(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let buffered = self.buf.len();
+        let unwinding = std::thread::panicking();
+        let _ = self.tx.try_push_chunk(&mut self.buf);
+        let context = if unwinding {
+            "dropped during panic unwind"
+        } else {
+            "dropped without flush()"
+        };
+        if self.buf.is_empty() {
+            eprintln!(
+                "fblas: warning: ChunkWriter for channel `{}` {context} with {buffered} buffered element(s); delivered best-effort",
+                self.tx.name(),
+            );
+        } else {
+            eprintln!(
+                "fblas: warning: ChunkWriter for channel `{}` {context}; {} of {buffered} buffered element(s) lost",
+                self.tx.name(),
+                self.buf.len(),
+            );
+        }
     }
 }
 
@@ -204,5 +245,21 @@ mod tests {
         writer.flush().unwrap();
         rx.pop_chunk(&mut got, 64).unwrap();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dropped_writer_salvages_the_buffered_tail_when_it_fits() {
+        let ctx = SimContext::new();
+        let (tx, rx) = channel::<u32>(&ctx, 8, "ch_drop");
+        {
+            let mut writer = ChunkWriter::with_chunk(&tx, 16);
+            for v in 0..5 {
+                writer.push(v).unwrap();
+            }
+            // No flush: drop must deliver the tail best-effort (and
+            // warn on stderr).
+        }
+        drop(tx);
+        assert_eq!(rx.drain().unwrap(), vec![0, 1, 2, 3, 4]);
     }
 }

@@ -1,0 +1,177 @@
+//! Unified environment-knob parsing for the simulator.
+//!
+//! Every runtime knob the simulator honors is read through this module,
+//! so the set of recognized variables lives in one place and an invalid
+//! value produces a **one-time warning** on stderr instead of a silent
+//! fallback to the default (the failure mode that cost the most
+//! debugging time: `FBLAS_STALL_GRACE_MS=0.5` quietly behaving like the
+//! default 250 ms):
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `FBLAS_STALL_GRACE_MS` | watchdog stall grace, ms | 250 |
+//! | `FBLAS_WAIT_SLICE_US` | blocked-wait poison re-check slice, µs | 2000 |
+//! | `FBLAS_CHUNK` | elements per batched channel transfer | 256 |
+//! | `FBLAS_CHAOS_SEED` | seed for chaos fault plans | unset |
+//! | `FBLAS_RETRY_MAX` | recovery attempts per component | 3 |
+//!
+//! Caching follows each knob's use: grace and wait-slice are read once
+//! per process (they configure long-lived machinery), while the chunk
+//! size is re-read on every call so benchmarks can sweep it in-process
+//! — only its *warning* is deduplicated. The parse functions themselves
+//! stay pure and are exercised directly by tests.
+
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::chunk::parse_chunk;
+use crate::simulation::{parse_stall_grace_ms, parse_wait_slice_us};
+
+/// Default number of recovery attempts per component when
+/// `FBLAS_RETRY_MAX` is unset.
+pub const DEFAULT_RETRY_MAX: u32 = 3;
+
+/// Knobs that already warned once this process; keyed by variable name
+/// so each misconfigured knob complains exactly once however often it
+/// is read.
+fn warned() -> &'static Mutex<HashSet<&'static str>> {
+    static WARNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    WARNED.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Emit a one-time warning that `var`'s current value is invalid.
+fn warn_invalid(var: &'static str, raw: &str, fallback: &str) {
+    let mut set = warned().lock().unwrap_or_else(|e| e.into_inner());
+    if set.insert(var) {
+        eprintln!("fblas: warning: ignoring invalid {var}={raw:?}; using {fallback}");
+    }
+}
+
+/// Read `var` and parse it with `parse`; `valid` decides (on the raw
+/// string) whether the value would survive parsing, so an invalid
+/// setting triggers the one-time warning.
+fn read_knob<T>(
+    var: &'static str,
+    fallback_desc: &str,
+    parse: impl FnOnce(Option<&str>) -> T,
+    valid: impl FnOnce(&str) -> bool,
+) -> T {
+    let raw = std::env::var(var).ok();
+    if let Some(raw) = raw.as_deref() {
+        if !valid(raw) {
+            warn_invalid(var, raw, fallback_desc);
+        }
+    }
+    parse(raw.as_deref())
+}
+
+fn parses_positive_u64(raw: &str) -> bool {
+    raw.trim().parse::<u64>().map(|v| v > 0).unwrap_or(false)
+}
+
+/// The watchdog stall grace: `FBLAS_STALL_GRACE_MS` if valid, else
+/// [`crate::DEFAULT_GRACE`]. Read once per process and cached.
+pub fn stall_grace() -> Duration {
+    static GRACE: OnceLock<Duration> = OnceLock::new();
+    *GRACE.get_or_init(|| {
+        read_knob(
+            "FBLAS_STALL_GRACE_MS",
+            "250 ms",
+            parse_stall_grace_ms,
+            parses_positive_u64,
+        )
+    })
+}
+
+/// The blocked-wait poison re-check slice: `FBLAS_WAIT_SLICE_US` if
+/// valid, else [`crate::DEFAULT_WAIT_SLICE`]. Read once per process and cached.
+pub fn wait_slice() -> Duration {
+    static SLICE: OnceLock<Duration> = OnceLock::new();
+    *SLICE.get_or_init(|| {
+        read_knob(
+            "FBLAS_WAIT_SLICE_US",
+            "2000 us",
+            parse_wait_slice_us,
+            parses_positive_u64,
+        )
+    })
+}
+
+/// The batched-transfer chunk size: `FBLAS_CHUNK` if valid, else
+/// [`crate::DEFAULT_CHUNK`]. Re-read from the environment on **every call**
+/// (benchmarks sweep chunk sizes within one process); only the
+/// invalid-value warning is one-time.
+pub fn chunk() -> usize {
+    read_knob("FBLAS_CHUNK", "256", parse_chunk, |raw| {
+        raw.trim().parse::<usize>().map(|v| v >= 1).unwrap_or(false)
+    })
+}
+
+/// The chaos seed: `FBLAS_CHAOS_SEED` as a u64, `None` when unset or
+/// invalid. Re-read on every call so harnesses can run several seeded
+/// sweeps in one process.
+pub fn chaos_seed() -> Option<u64> {
+    read_knob(
+        "FBLAS_CHAOS_SEED",
+        "no fault plan",
+        |raw| raw.and_then(|v| v.trim().parse::<u64>().ok()),
+        |raw| raw.trim().parse::<u64>().is_ok(),
+    )
+}
+
+/// Maximum recovery attempts per component: `FBLAS_RETRY_MAX` if a
+/// positive integer, else [`DEFAULT_RETRY_MAX`]. Re-read on every call.
+pub fn retry_max() -> u32 {
+    read_knob(
+        "FBLAS_RETRY_MAX",
+        "3 attempts",
+        |raw| {
+            raw.and_then(|v| v.trim().parse::<u32>().ok())
+                .filter(|n| *n >= 1)
+                .unwrap_or(DEFAULT_RETRY_MAX)
+        },
+        |raw| raw.trim().parse::<u32>().map(|v| v >= 1).unwrap_or(false),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Environment-variable tests mutate process-global state, so each
+    // knob test uses its own variable and restores it; the cached knobs
+    // (grace, slice) are only exercised through their pure parsers in
+    // `simulation::tests`.
+
+    #[test]
+    fn retry_max_parses_and_rejects_garbage() {
+        std::env::remove_var("FBLAS_RETRY_MAX");
+        assert_eq!(retry_max(), DEFAULT_RETRY_MAX);
+        std::env::set_var("FBLAS_RETRY_MAX", "7");
+        assert_eq!(retry_max(), 7);
+        std::env::set_var("FBLAS_RETRY_MAX", "0");
+        assert_eq!(retry_max(), DEFAULT_RETRY_MAX);
+        std::env::set_var("FBLAS_RETRY_MAX", "many");
+        assert_eq!(retry_max(), DEFAULT_RETRY_MAX);
+        std::env::remove_var("FBLAS_RETRY_MAX");
+    }
+
+    #[test]
+    fn chaos_seed_is_optional() {
+        std::env::remove_var("FBLAS_CHAOS_SEED");
+        assert_eq!(chaos_seed(), None);
+        std::env::set_var("FBLAS_CHAOS_SEED", "12345");
+        assert_eq!(chaos_seed(), Some(12345));
+        std::env::set_var("FBLAS_CHAOS_SEED", "xyz");
+        assert_eq!(chaos_seed(), None);
+        std::env::remove_var("FBLAS_CHAOS_SEED");
+    }
+
+    #[test]
+    fn warnings_fire_once_per_knob() {
+        warn_invalid("FBLAS_TEST_KNOB", "bad", "default");
+        warn_invalid("FBLAS_TEST_KNOB", "bad", "default");
+        assert!(warned().lock().unwrap().contains("FBLAS_TEST_KNOB"));
+    }
+}

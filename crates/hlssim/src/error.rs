@@ -19,7 +19,23 @@ pub enum SimError {
     },
     /// A channel was poisoned (by stall detection or by a peer module
     /// failing); the pending operation cannot complete.
-    Poisoned,
+    Poisoned {
+        /// The module whose failure triggered the poisoning, when known
+        /// (a panicking peer is named here; watchdog-initiated
+        /// poisoning leaves it `None` because the stall itself carries
+        /// the forensics).
+        by: Option<String>,
+    },
+    /// The simulation exceeded the wall-clock deadline configured with
+    /// [`crate::Simulation::set_deadline`] while at least one module
+    /// was still live. Unlike [`SimError::Stall`] this fires even when
+    /// the hung module is not blocked on any channel (e.g. an injected
+    /// hang fault spinning without touching its FIFOs).
+    Deadline {
+        /// Wait-for graph snapshot taken at expiry, before poisoning:
+        /// whatever modules *were* channel-blocked at that moment.
+        report: StallReport,
+    },
     /// A `pop` found the channel empty with the producer gone, or a `push`
     /// found the consumer gone. For BLAS modules all element counts are
     /// statically known, so a disconnect mid-stream indicates a protocol
@@ -60,7 +76,16 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Stall { report } => write!(f, "composition stalled: {report}"),
-            SimError::Poisoned => write!(f, "channel poisoned during teardown"),
+            SimError::Poisoned { by: None } => write!(f, "channel poisoned during teardown"),
+            SimError::Poisoned { by: Some(module) } => {
+                write!(
+                    f,
+                    "channel poisoned during teardown (module `{module}` failed)"
+                )
+            }
+            SimError::Deadline { report } => {
+                write!(f, "simulation deadline exceeded: {report}")
+            }
             SimError::Disconnected { channel } => {
                 write!(
                     f,
@@ -111,15 +136,23 @@ mod tests {
         let e = SimError::module("dot", "bad N");
         assert!(e.to_string().contains("dot") && e.to_string().contains("bad N"));
         assert_eq!(
-            SimError::Poisoned.to_string(),
+            SimError::Poisoned { by: None }.to_string(),
             "channel poisoned during teardown"
         );
+        let e = SimError::Poisoned {
+            by: Some("gemv".into()),
+        };
+        assert!(e.to_string().contains("`gemv`"));
+        let e = SimError::Deadline {
+            report: stall_report(),
+        };
+        assert!(e.to_string().contains("deadline"));
     }
 
     #[test]
     fn equality_distinguishes_variants() {
         assert_ne!(
-            SimError::Poisoned,
+            SimError::Poisoned { by: None },
             SimError::Stall {
                 report: stall_report()
             }

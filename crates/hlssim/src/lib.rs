@@ -20,6 +20,14 @@
 //! * [`cycles`] implements the paper's pipeline cost model `C = L + I·M`
 //!   (Sec. IV) and the sequential-vs-streamed completion-time formulas of
 //!   Sec. V-A, used by the benchmark harness to regenerate the figures.
+//! * [`fault`] is the deterministic fault-injection hook layer: a
+//!   [`FaultHook`] armed on a [`SimContext`] can flip payload bits, drop
+//!   or duplicate elements, delay transfers, and crash or hang whole
+//!   modules — with per-channel integrity guards ([`GuardReport`])
+//!   catching every corruption the FIFO carried. Zero cost when
+//!   disarmed; the seeded plan implementation lives in `fblas-chaos`.
+//! * [`env`] centralizes every `FBLAS_*` environment knob with one-time
+//!   warnings on invalid values.
 //!
 //! The simulator computes *real numerics*: data actually flows through the
 //! FIFOs and modules perform the same reduction shapes (e.g. the W-way
@@ -30,7 +38,9 @@
 pub mod channel;
 pub mod chunk;
 pub mod cycles;
+pub mod env;
 pub mod error;
+pub mod fault;
 pub mod module;
 pub mod simulation;
 pub mod stall;
@@ -39,6 +49,10 @@ pub use channel::{channel, try_channel, ChannelStats, Receiver, Sender};
 pub use chunk::{default_chunk, parse_chunk, ChunkReader, ChunkWriter, DEFAULT_CHUNK};
 pub use cycles::{streamed_cycles, CompositionCost, PipelineCost};
 pub use error::SimError;
+pub use fault::{
+    duplicate_value, flip_bit, hash_bits, FaultAction, FaultHook, FaultSite, GuardReport,
+    ModuleFault,
+};
 pub use module::{ModuleKind, ModuleSpec};
 pub use simulation::{
     default_grace, parse_stall_grace_ms, parse_wait_slice_us, wait_slice, SimContext, Simulation,

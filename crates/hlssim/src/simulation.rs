@@ -17,9 +17,10 @@
 //! by users (channel depths) is validated by the fallible constructors
 //! ([`crate::try_channel`]) and rejected as [`SimError::Config`].
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
 use fblas_trace::{ModuleScope, Tracer};
@@ -28,6 +29,7 @@ use serde::Serialize;
 
 use crate::channel::ChannelStats;
 use crate::error::SimError;
+use crate::fault::{FaultAction, FaultHook, FaultSite, GuardReport, ModuleFault};
 use crate::module::{ModuleKind, ModuleSpec};
 use crate::stall::{BlockedModule, StallReport, WaitDirection};
 
@@ -43,6 +45,11 @@ pub(crate) trait ChannelProbe: Send + Sync {
     fn probe_occupancy(&self) -> usize;
     /// FIFO capacity.
     fn probe_capacity(&self) -> usize;
+    /// Integrity-guard verdict, if faults were armed and the channel saw
+    /// traffic.
+    fn probe_guard(&self) -> Option<GuardReport> {
+        None
+    }
 }
 
 /// A thread currently blocked on a channel operation: one edge of the
@@ -80,6 +87,105 @@ pub(crate) struct CtxShared {
     pub(crate) waiters: Mutex<HashMap<u64, Waiter>>,
     /// Id source for waiter registrations.
     pub(crate) waiter_seq: AtomicU64,
+    /// Armed fault hook, if any. Channel operations never take this lock
+    /// unless `fault_armed` is set.
+    pub(crate) fault: Mutex<Option<Arc<dyn FaultHook>>>,
+    /// Fast-path flag for `fault`: one relaxed load per channel op is
+    /// the entire cost of the fault layer when disarmed.
+    pub(crate) fault_armed: AtomicBool,
+    /// The module whose failure caused the poisoning, when known. First
+    /// writer wins, so cascading failures keep the original culprit.
+    pub(crate) poison_cause: Mutex<Option<String>>,
+}
+
+impl CtxShared {
+    /// Consult the armed hook for a channel-payload fault. Callers check
+    /// `fault_armed` first; this takes the hook lock.
+    pub(crate) fn fault_for(
+        &self,
+        site: FaultSite,
+        channel: &str,
+        index: u64,
+    ) -> Option<FaultAction> {
+        let hook = self.fault.lock().clone();
+        hook.and_then(|h| h.on_channel(site, channel, index))
+    }
+
+    /// Consult the armed hook for a module-boundary fault.
+    pub(crate) fn module_fault(&self, module: &str) -> Option<ModuleFault> {
+        if !self.fault_armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let hook = self.fault.lock().clone();
+        hook.and_then(|h| h.on_module_start(module))
+    }
+
+    /// Poison the context recording `module` as the cause (first cause
+    /// wins: a cascade of secondary failures keeps the original culprit).
+    pub(crate) fn poison_with_cause(&self, module: &str) {
+        {
+            let mut cause = self.poison_cause.lock();
+            if cause.is_none() {
+                *cause = Some(module.to_string());
+            }
+        }
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// The recorded poison culprit, if any.
+    pub(crate) fn poison_cause(&self) -> Option<String> {
+        self.poison_cause.lock().clone()
+    }
+}
+
+thread_local! {
+    /// While a module body runs, names the module and its context so the
+    /// process panic hook can poison peers *before* unwinding starts
+    /// dropping the module's channel endpoints. Poisoning only after
+    /// `catch_unwind` returns would race: the endpoint drops can wake a
+    /// blocked peer into a `Disconnected` error before the poison flag
+    /// lands, turning a deterministic `Poisoned { by }` into a
+    /// timing-dependent coin flip.
+    static PANIC_POISON: RefCell<Option<(Arc<CtxShared>, String)>> = const { RefCell::new(None) };
+}
+
+/// Install (once per process) a chained panic hook that poisons the
+/// panicking module's simulation context, then defers to the previous
+/// hook for the usual message/backtrace.
+fn install_panic_poison_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            PANIC_POISON.with(|slot| {
+                if let Some((shared, name)) = slot.borrow().as_ref() {
+                    shared.poison_with_cause(name);
+                }
+            });
+            prev(info);
+        }));
+    });
+}
+
+/// Clears the thread's `PANIC_POISON` registration on scope exit
+/// (normal return *or* unwind, after the hook has already fired).
+struct PanicPoisonScope;
+
+impl PanicPoisonScope {
+    fn enter(shared: &Arc<CtxShared>, name: &str) -> Self {
+        PANIC_POISON.with(|slot| {
+            *slot.borrow_mut() = Some((shared.clone(), name.to_string()));
+        });
+        PanicPoisonScope
+    }
+}
+
+impl Drop for PanicPoisonScope {
+    fn drop(&mut self) {
+        PANIC_POISON.with(|slot| {
+            *slot.borrow_mut() = None;
+        });
+    }
 }
 
 /// Handle to the shared state; create channels against it and pass it to a
@@ -101,6 +207,9 @@ impl SimContext {
                 probes: Mutex::new(Vec::new()),
                 waiters: Mutex::new(HashMap::new()),
                 waiter_seq: AtomicU64::new(0),
+                fault: Mutex::new(None),
+                fault_armed: AtomicBool::new(false),
+                poison_cause: Mutex::new(None),
             }),
         }
     }
@@ -140,6 +249,41 @@ impl SimContext {
     /// Current progress epoch (total successful channel transfers).
     pub fn epoch(&self) -> u64 {
         self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Arm `hook`: every subsequent channel push/pop consults it (keyed
+    /// by channel name and element sequence number) and every module
+    /// start may be crashed or hung by it. Channels also begin
+    /// maintaining integrity guards (see [`SimContext::guard_reports`]).
+    ///
+    /// While no hook is armed the entire fault layer costs one relaxed
+    /// atomic load per channel operation.
+    pub fn arm_faults(&self, hook: Arc<dyn FaultHook>) {
+        *self.shared.fault.lock() = Some(hook);
+        self.shared.fault_armed.store(true, Ordering::Release);
+    }
+
+    /// Disarm any armed fault hook, restoring the zero-cost path.
+    pub fn disarm_faults(&self) {
+        self.shared.fault_armed.store(false, Ordering::Release);
+        *self.shared.fault.lock() = None;
+    }
+
+    /// Integrity-guard verdicts for every channel that saw traffic while
+    /// a fault hook was armed, in creation order. Empty if faults were
+    /// never armed.
+    pub fn guard_reports(&self) -> Vec<GuardReport> {
+        self.shared
+            .probes
+            .lock()
+            .iter()
+            .filter_map(|p| p.probe_guard())
+            .collect()
+    }
+
+    /// The module whose failure poisoned this context, when known.
+    pub fn poison_cause(&self) -> Option<String> {
+        self.shared.poison_cause()
     }
 }
 
@@ -185,6 +329,7 @@ pub struct Simulation {
     ctx: SimContext,
     modules: Vec<ModuleSpec>,
     grace: Duration,
+    deadline: Option<Duration>,
     tracer: Option<Tracer>,
 }
 
@@ -198,12 +343,11 @@ pub const DEFAULT_GRACE: Duration = Duration::from_millis(250);
 /// The grace period new simulations start with: [`DEFAULT_GRACE`] unless
 /// the `FBLAS_STALL_GRACE_MS` environment variable overrides it (useful on
 /// heavily loaded CI machines where 250 ms of global scheduling starvation
-/// is not impossible). Read once and cached; unparsable values fall back
-/// to the default. Per-simulation [`Simulation::set_grace`] still wins.
+/// is not impossible). Read once and cached; invalid values warn once and
+/// fall back to the default (see [`crate::env`]). Per-simulation
+/// [`Simulation::set_grace`] still wins.
 pub fn default_grace() -> Duration {
-    static GRACE: OnceLock<Duration> = OnceLock::new();
-    *GRACE
-        .get_or_init(|| parse_stall_grace_ms(std::env::var("FBLAS_STALL_GRACE_MS").ok().as_deref()))
+    crate::env::stall_grace()
 }
 
 /// Parse an `FBLAS_STALL_GRACE_MS` value: a positive integer number of
@@ -227,10 +371,9 @@ pub const DEFAULT_WAIT_SLICE: Duration = Duration::from_millis(2);
 /// Long-running differential tests can raise it to trade teardown
 /// latency for fewer spurious wakeups; stress tests can lower it to
 /// exercise the re-check path. Read once and cached, like
-/// [`default_grace`].
+/// [`default_grace`]; invalid values warn once (see [`crate::env`]).
 pub fn wait_slice() -> Duration {
-    static SLICE: OnceLock<Duration> = OnceLock::new();
-    *SLICE.get_or_init(|| parse_wait_slice_us(std::env::var("FBLAS_WAIT_SLICE_US").ok().as_deref()))
+    crate::env::wait_slice()
 }
 
 /// Parse an `FBLAS_WAIT_SLICE_US` value: a positive integer number of
@@ -290,6 +433,7 @@ impl Simulation {
             ctx: SimContext::new(),
             modules: Vec::new(),
             grace: default_grace(),
+            deadline: None,
             tracer: None,
         }
     }
@@ -300,6 +444,7 @@ impl Simulation {
             ctx,
             modules: Vec::new(),
             grace: default_grace(),
+            deadline: None,
             tracer: None,
         }
     }
@@ -321,6 +466,17 @@ impl Simulation {
     /// Override the stall-detection grace period.
     pub fn set_grace(&mut self, grace: Duration) {
         self.grace = grace;
+    }
+
+    /// Set a wall-clock deadline for the whole run. Stall detection only
+    /// fires when every live module is *channel-blocked*; a module that
+    /// hangs without touching its FIFOs (an injected `Hang` fault, an
+    /// infinite compute loop) keeps `blocked < live` forever and evades
+    /// it. The deadline closes that gap: when it expires the watchdog
+    /// snapshots whatever wait-for edges exist, poisons the context, and
+    /// the run returns [`SimError::Deadline`].
+    pub fn set_deadline(&mut self, deadline: Duration) {
+        self.deadline = Some(deadline);
     }
 
     /// Add a module from its parts.
@@ -355,15 +511,18 @@ impl Simulation {
             ctx,
             modules,
             grace,
+            deadline,
             tracer,
         } = self;
         let shared = ctx.shared();
         let names: Vec<String> = modules.iter().map(|m| m.name.clone()).collect();
         let n = modules.len();
         shared.live.store(n, Ordering::Release);
+        install_panic_poison_hook();
 
         let start = Instant::now();
         let mut stall_report: Option<StallReport> = None;
+        let mut deadline_report: Option<StallReport> = None;
         let mut results: Vec<Option<Result<(), SimError>>> = Vec::new();
         results.resize_with(n, || None);
 
@@ -378,13 +537,58 @@ impl Simulation {
                     // registration and (when a tracer is attached) a trace
                     // lane; dropping it records the module's run span.
                     let _scope = ModuleScope::enter(&name, tracer.as_ref());
+                    let body = spec.body;
+                    let injected = shared.module_fault(&name);
                     // A panicking module must still decrement `live`, or
                     // the watchdog can never conclude anything about the
                     // remaining modules.
-                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(spec.body))
-                        .unwrap_or_else(|_| {
-                            Err(SimError::module(name.clone(), "module thread panicked"))
-                        });
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        match injected {
+                            Some(ModuleFault::Crash) => {
+                                fblas_trace::record_fault(&name, "crash");
+                                // Poison *before* unwinding drops the
+                                // module's endpoints, so peers observe
+                                // `Poisoned { by }` rather than racing
+                                // into `Disconnected`. `resume_unwind`
+                                // skips the panic hook (no stderr noise
+                                // for an intentional fault).
+                                shared.poison_with_cause(&name);
+                                std::panic::resume_unwind(Box::new("injected crash fault"));
+                            }
+                            Some(ModuleFault::Hang) => {
+                                fblas_trace::record_fault(&name, "hang");
+                                // Stop making progress while *holding the
+                                // body alive*: its channel endpoints stay
+                                // open, so peers block on the FIFOs (the
+                                // hardware picture of a hung kernel)
+                                // instead of seeing a disconnect. Only
+                                // poisoning — stall detection or the run
+                                // deadline — releases us.
+                                while !shared.poisoned.load(Ordering::Acquire) {
+                                    std::thread::sleep(Duration::from_millis(1));
+                                }
+                                drop(body);
+                                Err(SimError::Poisoned {
+                                    by: shared.poison_cause(),
+                                })
+                            }
+                            None => {
+                                // Register with the panic hook so a
+                                // genuine panic poisons peers before the
+                                // unwind drops this module's endpoints.
+                                let _poison_scope = PanicPoisonScope::enter(&shared, &name);
+                                body()
+                            }
+                        }
+                    }))
+                    .unwrap_or_else(|_| {
+                        // Belt-and-braces: the hook already poisoned on a
+                        // real panic, and the injected crash poisoned
+                        // explicitly. First cause wins, so this is a
+                        // no-op unless something slipped through.
+                        shared.poison_with_cause(&name);
+                        Err(SimError::module(name.clone(), "module thread panicked"))
+                    });
                     shared.live.fetch_sub(1, Ordering::AcqRel);
                     r
                 }));
@@ -415,6 +619,16 @@ impl Simulation {
                 let epoch = shared.epoch.load(Ordering::Acquire);
                 let live = shared.live.load(Ordering::Acquire);
                 let blocked = shared.blocked.load(Ordering::Acquire);
+                if let Some(dl) = deadline {
+                    if start.elapsed() >= dl {
+                        // Same forensics discipline as a stall: snapshot
+                        // whatever wait-for edges exist before poisoning
+                        // wakes (and deregisters) every blocked thread.
+                        deadline_report = Some(snapshot_stall(&shared, dl, epoch));
+                        shared.poisoned.store(true, Ordering::Release);
+                        break;
+                    }
+                }
                 if epoch != last_epoch || live == 0 || blocked < live {
                     last_epoch = epoch;
                     frozen_since = Instant::now();
@@ -450,12 +664,19 @@ impl Simulation {
             return Err(SimError::Stall { report });
         }
 
+        if let Some(report) = deadline_report {
+            if let Some(tracer) = &tracer {
+                tracer.metrics().counter_add("sim.deadlines", 1);
+            }
+            return Err(SimError::Deadline { report });
+        }
+
         // Surface the first real module error (ignoring poison cascades).
         let mut saw_poison = false;
         for r in results.into_iter().flatten() {
             match r {
                 Ok(()) => {}
-                Err(SimError::Poisoned) => saw_poison = true,
+                Err(SimError::Poisoned { .. }) => saw_poison = true,
                 Err(e) => return Err(e),
             }
         }
@@ -463,7 +684,9 @@ impl Simulation {
         // externally via `SimContext::poison` — not a successful
         // completion.
         if saw_poison {
-            return Err(SimError::Poisoned);
+            return Err(SimError::Poisoned {
+                by: shared.poison_cause(),
+            });
         }
 
         let channel_stats = SimContext {
@@ -773,6 +996,90 @@ mod tests {
         assert!(text.contains("\"modules\""));
         assert!(text.contains("\"ser\""));
         assert!(text.contains("\"max_occupancy\""));
+    }
+
+    struct ModuleFaultHook {
+        target: &'static str,
+        fault: ModuleFault,
+    }
+
+    impl FaultHook for ModuleFaultHook {
+        fn on_channel(&self, _: FaultSite, _: &str, _: u64) -> Option<FaultAction> {
+            None
+        }
+        fn on_module_start(&self, module: &str) -> Option<ModuleFault> {
+            (module == self.target).then_some(self.fault)
+        }
+    }
+
+    #[test]
+    fn injected_crash_surfaces_module_error_and_names_the_culprit() {
+        let mut sim = Simulation::new();
+        let ctx = sim.ctx().clone();
+        ctx.arm_faults(Arc::new(ModuleFaultHook {
+            target: "src",
+            fault: ModuleFault::Crash,
+        }));
+        let (tx, rx) = channel::<u32>(sim.ctx(), 4, "ch_crash");
+        sim.add_module("src", ModuleKind::Interface, move || tx.push_iter(0..100));
+        sim.add_module("sink", ModuleKind::Compute, move || {
+            rx.pop_n(100).map(|_| ())
+        });
+        match sim.run() {
+            Err(SimError::Module { module, detail }) => {
+                assert_eq!(module, "src");
+                assert!(detail.contains("panicked"), "{detail}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(ctx.poison_cause(), Some("src".to_string()));
+    }
+
+    #[test]
+    fn hang_fault_is_caught_by_the_run_deadline() {
+        let mut sim = Simulation::new();
+        let ctx = sim.ctx().clone();
+        ctx.arm_faults(Arc::new(ModuleFaultHook {
+            target: "sink",
+            fault: ModuleFault::Hang,
+        }));
+        sim.set_deadline(Duration::from_millis(200));
+        let (tx, rx) = channel::<u32>(sim.ctx(), 4, "ch_hang");
+        sim.add_module("src", ModuleKind::Interface, move || tx.push_iter(0..100));
+        sim.add_module("sink", ModuleKind::Compute, move || {
+            rx.pop_n(100).map(|_| ())
+        });
+        match sim.run() {
+            Err(SimError::Deadline { report }) => {
+                // The hung sink holds its endpoints open without popping,
+                // so the producer is channel-blocked on the full FIFO and
+                // the forensics must say so.
+                let p = report.blocked_on("src").expect("src in wait-for graph");
+                assert_eq!(p.channel, "ch_hang");
+                assert_eq!(p.direction, WaitDirection::Full);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peer_of_a_panicking_module_sees_poisoned_with_the_culprit_named() {
+        let mut sim = Simulation::new();
+        let ctx = sim.ctx().clone();
+        let (tx, rx) = channel::<u32>(sim.ctx(), 4, "ch_panic");
+        sim.add_module("boom", ModuleKind::Compute, move || {
+            tx.push(1)?;
+            panic!("mid-stream failure");
+        });
+        sim.add_module("sink", ModuleKind::Compute, move || rx.pop_n(2).map(|_| ()));
+        // The panicking module's error surfaces (the blocked peer's
+        // `Poisoned` is discarded as a cascade), and the poison cause
+        // names the panicker — not a stall, not a disconnect.
+        match sim.run() {
+            Err(SimError::Module { module, .. }) => assert_eq!(module, "boom"),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(ctx.poison_cause(), Some("boom".to_string()));
     }
 
     #[test]

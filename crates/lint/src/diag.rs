@@ -56,6 +56,11 @@ pub enum LintCode {
     /// Unschedulable: no finite channel depth removes the deadlock, or
     /// the analysis could not reach a verdict.
     FL0017,
+    /// Retry-unsound in-place update: recovery retries are enabled but
+    /// an op writes an operand it also reads, so replaying the
+    /// component would consume the partially updated value instead of
+    /// the original input.
+    FL0018,
 }
 
 impl LintCode {
@@ -79,6 +84,7 @@ impl LintCode {
             LintCode::FL0015 => "FL0015",
             LintCode::FL0016 => "FL0016",
             LintCode::FL0017 => "FL0017",
+            LintCode::FL0018 => "FL0018",
         }
     }
 
@@ -102,6 +108,7 @@ impl LintCode {
             LintCode::FL0015 => "mixed-precision",
             LintCode::FL0016 => "derived-min-depth",
             LintCode::FL0017 => "unschedulable",
+            LintCode::FL0018 => "retry-unsound-inplace",
         }
     }
 }
@@ -393,6 +400,8 @@ mod tests {
     fn codes_are_stable_strings() {
         assert_eq!(LintCode::FL0001.as_str(), "FL0001");
         assert_eq!(LintCode::FL0017.as_str(), "FL0017");
+        assert_eq!(LintCode::FL0018.as_str(), "FL0018");
+        assert_eq!(LintCode::FL0018.name(), "retry-unsound-inplace");
         assert_eq!(LintCode::FL0004.name(), "channel-under-depth");
     }
 }

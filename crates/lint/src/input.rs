@@ -90,6 +90,10 @@ pub struct ConfigDoc {
     /// Vectorization width `W`.
     #[serde(default)]
     pub width: Option<usize>,
+    /// Recovery retry budget (`FBLAS_RETRY_MAX` equivalent). A value
+    /// greater than 1 arms the retry-soundness lints (FL0018).
+    #[serde(default)]
+    pub retry_max: Option<u32>,
 }
 
 /// The `"program"` payload.

@@ -202,6 +202,49 @@ fn lint_program_doc(doc: &ProgramDoc, file: &str) -> LintReport {
     };
     let cfg = doc.config.planner_config();
 
+    // Retry-soundness scan (FL0018), on the raw ops and *before*
+    // planning: an in-place op may already make the plan invalid, and
+    // the unsound-replay warning is useful either way.
+    if doc.config.retry_max.unwrap_or(1) > 1 {
+        for (i, op) in doc.ops.iter().enumerate() {
+            let out = match &op.out {
+                Some(o) => o,
+                None => continue,
+            };
+            let reads_out = [&op.a, &op.x, &op.y]
+                .into_iter()
+                .flatten()
+                .any(|inp| inp == out);
+            if reads_out {
+                r.push(
+                    Diagnostic::new(
+                        LintCode::FL0018,
+                        Severity::Warning,
+                        at(
+                            file,
+                            Location {
+                                operand: Some(out.clone()),
+                                op_index: Some(i),
+                                ..Default::default()
+                            },
+                        ),
+                        format!(
+                            "`{}` writes `{out}` in place while also reading it; with \
+                             retry_max > 1 a replayed attempt would consume the partially \
+                             updated value, not the original input",
+                            op.op
+                        ),
+                    )
+                    .with_fixit(format!(
+                        "stage the result through a scratch operand (e.g. `{out}_next`) and \
+                         copy it back after the component commits, so every retry re-reads \
+                         the untouched `{out}`"
+                    )),
+                );
+            }
+        }
+    }
+
     let plan = match plan(&program, &cfg) {
         Ok(plan) => plan,
         Err(e) => {
@@ -748,6 +791,33 @@ mod tests {
         let r = lint_str(r#"{"routines": [{"blas_name": "sfrobnicate"}]}"#);
         assert!(!r.accepted());
         assert_eq!(r.diagnostics[0].code, LintCode::FL0009);
+    }
+
+    #[test]
+    fn inplace_update_with_retries_warns_fl0018() {
+        let doc = r#"{"program": {
+            "operands": [
+                {"name":"x","kind":"vector","len":64},
+                {"name":"y","kind":"vector","len":64}
+            ],
+            "ops": [{"op":"axpy","alpha":2.0,"x":"x","y":"y","out":"y"}],
+            "config": {"tn":8,"tm":8,"retry_max":3}
+        }}"#;
+        let r = lint_str(doc);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::FL0018)
+            .expect("FL0018 finding");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.location.operand.as_deref(), Some("y"));
+        assert!(d.fixit.as_deref().unwrap().contains("scratch"));
+
+        // Without a retry budget the in-place update is not a replay
+        // hazard: no FL0018 (the plan still fails for its own reasons).
+        let no_retry = doc.replace(r#","retry_max":3"#, "");
+        let r = lint_str(&no_retry);
+        assert!(r.diagnostics.iter().all(|d| d.code != LintCode::FL0018));
     }
 
     #[test]

@@ -441,6 +441,28 @@ pub fn record_channel_chunk(
     });
 }
 
+/// Record an injected fault against `target` (a channel or module name)
+/// with a short action `label` ("corrupt", "drop", "crash", ...). Emits
+/// a sample on the `fault:<target>` counter series (rendered by the
+/// Perfetto exporter as a counter track) and bumps the `fault.injected`
+/// and `fault.<label>` metrics. No-op when the current thread is not
+/// recording — fault injection works with tracing disabled; only the
+/// evidence trail needs a tracer.
+pub fn record_fault(target: &str, label: &str) {
+    SCOPE.with(|s| {
+        let slot = s.borrow();
+        let Some(rec) = slot.as_ref().and_then(|d| d.rec.as_ref()) else {
+            return;
+        };
+        let t = rec.tracer.now_us();
+        rec.tracer.record_sample(&format!("fault:{target}"), t, 1.0);
+        rec.tracer.metrics().counter_add("fault.injected", 1);
+        rec.tracer
+            .metrics()
+            .counter_add(&format!("fault.{label}"), 1);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
