@@ -66,7 +66,7 @@ step "bench-diff against committed baselines"
 # benchmarks/baselines/. Model columns are deterministic, so any drift
 # is a model change: intentional ones are refreshed with
 # `bench-diff --bless` (see README).
-for bin in table3 table4 table5 table6 fig10 fig11 hbm_scaling bench_throughput bench_chaos; do
+for bin in table3 table4 table5 table6 fig10 fig11 hbm_scaling bench_throughput bench_chaos bench_observe; do
     FBLAS_BENCH_DIR="$tmpdir" cargo run --release -q -p fblas-bench --bin "$bin" >/dev/null
 done
 cargo run --release -q -p fblas-bench --bin bench-diff -- \
@@ -86,6 +86,40 @@ ratio = fast / slow
 assert ratio >= 5.0, f"dot chunk=256 must be >= 5x chunk=1 (got {ratio:.1f}x)"
 print(f"dot chunk=256 vs chunk=1: {ratio:.1f}x elements/sec")
 EOF
+
+step "telemetry overhead gate (armed vs disarmed)"
+# bench_observe (regenerated above) interleaves armed and disarmed runs
+# and aborts in-bin past the 3% budget; this re-checks the committed
+# report so the gate also fires on a stale artifact.
+python3 - "$tmpdir/BENCH_observe.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+budget = doc["meta"]["budget_pct"]
+for row in doc["rows"]:
+    if row["routine"] == "dot" and row["mode"] == "on":
+        pct = row["cpu_overhead_pct"]
+        assert pct <= budget, f"dot telemetry overhead {pct:.2f}% > {budget:.0f}% budget"
+        print(f"dot telemetry overhead: {pct:.2f}% (budget {budget:.0f}%)")
+        break
+else:
+    raise AssertionError("BENCH_observe.json has no armed dot row")
+EOF
+
+step "telemetry snapshot schema + run-ID correlation"
+# The example executes a seeded GEMVER run and asserts one run ID across
+# the recovery report, Prometheus dump, JSON snapshot (byte-stable
+# round trip: serialize -> deserialize -> re-serialize identical), and
+# Perfetto trace; fblas-top must then render the persisted snapshot.
+FBLAS_SNAPSHOT_OUT="$tmpdir/metrics_snapshot.json" \
+    cargo run --release -q -p fblas-lint --example telemetry_gemver
+cargo run --release -q -p fblas-bench --bin fblas-top -- \
+    --snapshot "$tmpdir/metrics_snapshot.json" >/dev/null
+echo "fblas-top renders the snapshot"
+
+step "env knob table sync (fblas-env)"
+# The documented FBLAS_* table must render; the sync test in
+# fblas-hlssim already asserts it matches the reader functions.
+cargo run --release -q -p fblas-hlssim --bin fblas-env -- --list
 
 step "audit self-check (model vs traced simulation)"
 # Runs the AXPYDOT fixture through the audited executor and fails on

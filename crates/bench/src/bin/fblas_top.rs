@@ -1,0 +1,211 @@
+//! `fblas-top`: live terminal view of the telemetry runtime.
+//!
+//! ```text
+//! fblas-top                          # demo: seeded GEMVER workload, 5 frames
+//! fblas-top --frames 10 --interval-ms 100
+//! fblas-top --snapshot metrics.json  # render a saved JSON snapshot once
+//! ```
+//!
+//! With `--snapshot` the bin renders a file produced by
+//! [`fblas_metrics::expo::snapshot_json`] and exits. Without it, the
+//! bin arms the metrics runtime, drives the composed GEMVER pipeline on
+//! a background thread, and renders the registry once per interval —
+//! routine throughput, channel occupancy and traffic, executor attempt
+//! and retry counts, and latency quantiles, with per-second rates
+//! computed from frame-to-frame counter deltas.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use fblas_arch::Device;
+use fblas_core::apps::gemver_streaming;
+use fblas_core::host::{Fpga, GemvTuning};
+use serde::Value;
+
+fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    v.get(key)
+}
+
+fn fmt_quantile(v: Option<&Value>) -> String {
+    match v.and_then(Value::as_u64) {
+        Some(q) => q.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+/// Display key for a snapshot row: `name{l1=v1,l2=v2}`.
+fn row_key(row: &Value) -> String {
+    let name = field(row, "name").and_then(Value::as_str).unwrap_or("?");
+    let labels: Vec<String> = field(row, "labels")
+        .and_then(Value::as_object)
+        .map(|pairs| {
+            pairs
+                .iter()
+                .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or("?")))
+                .collect()
+        })
+        .unwrap_or_default();
+    if labels.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{}}}", labels.join(","))
+    }
+}
+
+/// Render one snapshot document. `prev`/`dt` enable rate columns for
+/// counters seen in the previous frame.
+fn render(doc: &Value, prev: &BTreeMap<String, u64>, dt: f64) -> BTreeMap<String, u64> {
+    let run_id = field(doc, "run_id")
+        .and_then(Value::as_str)
+        .unwrap_or("-")
+        .to_string();
+    println!(
+        "fblas-top · schema {} · run {}",
+        field(doc, "schema").and_then(Value::as_str).unwrap_or("?"),
+        run_id
+    );
+
+    let mut next = BTreeMap::new();
+    if let Some(counters) = field(doc, "counters").and_then(Value::as_array) {
+        println!("\n  {:<54} {:>14} {:>12}", "counter", "total", "per_sec");
+        for row in counters {
+            let key = row_key(row);
+            let val = field(row, "value").and_then(Value::as_u64).unwrap_or(0);
+            let rate = match (prev.get(&key), dt > 0.0) {
+                (Some(&p), true) if val >= p => {
+                    format!("{:.0}", (val - p) as f64 / dt)
+                }
+                _ => "-".to_string(),
+            };
+            println!("  {key:<54} {val:>14} {rate:>12}");
+            next.insert(key, val);
+        }
+    }
+    if let Some(gauges) = field(doc, "gauges").and_then(Value::as_array) {
+        if !gauges.is_empty() {
+            println!("\n  {:<54} {:>14}", "gauge", "value");
+            for row in gauges {
+                let key = row_key(row);
+                let val = field(row, "value").and_then(Value::as_f64).unwrap_or(0.0);
+                println!("  {key:<54} {val:>14.1}");
+            }
+        }
+    }
+    if let Some(hists) = field(doc, "histograms").and_then(Value::as_array) {
+        if !hists.is_empty() {
+            println!(
+                "\n  {:<44} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                "histogram (µs)", "count", "p50", "p95", "p99", "max"
+            );
+            for row in hists {
+                let key = row_key(row);
+                let h = field(row, "hist").unwrap_or(&Value::Null);
+                println!(
+                    "  {:<44} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                    key,
+                    field(h, "count").and_then(Value::as_u64).unwrap_or(0),
+                    fmt_quantile(field(h, "p50")),
+                    fmt_quantile(field(h, "p95")),
+                    fmt_quantile(field(h, "p99")),
+                    fmt_quantile(field(h, "max")),
+                );
+            }
+        }
+    }
+    next
+}
+
+fn demo_workload(stop: Arc<AtomicBool>) {
+    let n = 64usize;
+    let tuning = GemvTuning::new(32, 32, 8);
+    let seq = |len: usize, s: f64| -> Vec<f64> {
+        (0..len).map(|i| ((i as f64 + s) * 0.317).sin()).collect()
+    };
+    while !stop.load(Ordering::Relaxed) {
+        let fpga = Fpga::new(Device::Stratix10Gx2800);
+        let a = fpga.alloc_from("a", seq(n * n, 1.0));
+        let u1 = fpga.alloc_from("u1", seq(n, 2.0));
+        let v1 = fpga.alloc_from("v1", seq(n, 3.0));
+        let u2 = fpga.alloc_from("u2", seq(n, 4.0));
+        let v2 = fpga.alloc_from("v2", seq(n, 5.0));
+        let y = fpga.alloc_from("y", seq(n, 6.0));
+        let z = fpga.alloc_from("z", seq(n, 7.0));
+        let b_out = fpga.alloc::<f64>("b_out", n * n);
+        let x_out = fpga.alloc::<f64>("x_out", n);
+        let w_out = fpga.alloc::<f64>("w_out", n);
+        gemver_streaming(
+            &fpga, n, 1.1, 0.9, &a, &u1, &v1, &u2, &v2, &y, &z, &b_out, &x_out, &w_out, &tuning,
+        )
+        .expect("demo gemver runs");
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: fblas-top [--snapshot FILE] [--frames N] [--interval-ms MS]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut snapshot: Option<String> = None;
+    let mut frames = 5usize;
+    let mut interval_ms = 200u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--snapshot" => snapshot = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--frames" => {
+                frames = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--interval-ms" => {
+                interval_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+
+    if let Some(path) = snapshot {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("fblas-top: cannot read {path}: {e}"));
+        let doc: Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("fblas-top: {path} is not valid JSON: {e}"));
+        let schema = field(&doc, "schema").and_then(Value::as_str);
+        assert_eq!(
+            schema,
+            Some("fblas-metrics-snapshot-v1"),
+            "fblas-top: {path} is not a metrics snapshot"
+        );
+        render(&doc, &BTreeMap::new(), 0.0);
+        return;
+    }
+
+    // Live demo: arm the runtime, drive GEMVER in the background, and
+    // render the registry once per interval.
+    let reg = fblas_metrics::install(fblas_hlssim::env::metrics_shards());
+    let _scope = fblas_metrics::RunScope::seeded(0xF0F0);
+    let stop = Arc::new(AtomicBool::new(false));
+    let worker = {
+        let stop = stop.clone();
+        std::thread::spawn(move || demo_workload(stop))
+    };
+
+    let mut prev = BTreeMap::new();
+    let mut last = std::time::Instant::now();
+    for frame in 0..frames {
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        let dt = last.elapsed().as_secs_f64();
+        last = std::time::Instant::now();
+        println!("\n── frame {}/{frames} ──", frame + 1);
+        let doc = fblas_metrics::expo::snapshot_value(&reg.collect());
+        prev = render(&doc, &prev, dt);
+    }
+    stop.store(true, Ordering::Relaxed);
+    worker.join().expect("demo workload thread exits cleanly");
+}

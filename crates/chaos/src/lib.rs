@@ -213,6 +213,16 @@ impl fmt::Debug for FaultPlan {
     }
 }
 
+/// Count one rule firing into the global metrics runtime, labeled by
+/// rule kind. Disarmed cost: one relaxed load.
+#[cold]
+fn record_rule_fired(kind: &str) {
+    if let Some(reg) = fblas_metrics::registry() {
+        reg.counter("fblas_chaos_rules_fired_total", &[("kind", kind)])
+            .inc();
+    }
+}
+
 impl FaultHook for FaultPlan {
     fn on_channel(&self, site: FaultSite, channel: &str, index: u64) -> Option<FaultAction> {
         let mut st = self.state.lock();
@@ -221,6 +231,7 @@ impl FaultHook for FaultPlan {
             .iter_mut()
             .find(|r| !r.spent && r.site == site && r.index == index && r.channel == channel)?;
         rule.spent = true;
+        record_rule_fired("channel");
         Some(rule.action)
     }
 
@@ -231,6 +242,7 @@ impl FaultHook for FaultPlan {
             .iter_mut()
             .find(|r| !r.spent && r.module == module)?;
         rule.spent = true;
+        record_rule_fired("module");
         Some(rule.fault)
     }
 }

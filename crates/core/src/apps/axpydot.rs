@@ -48,6 +48,7 @@ pub fn axpydot_streaming<T: Scalar>(
     alpha: T,
     width: usize,
 ) -> Result<(T, AppReport), SimError> {
+    let _obs = super::RoutineObservation::start("axpydot_streaming");
     let n = w.len();
     assert_eq!(v.len(), n, "axpydot: v length");
     assert_eq!(u.len(), n, "axpydot: u length");
@@ -113,6 +114,7 @@ pub fn axpydot_host_layer<T: Scalar>(
     alpha: T,
     width: usize,
 ) -> Result<(Vec<T>, T, AppReport), SimError> {
+    let _obs = super::RoutineObservation::start("axpydot_host_layer");
     let n = w.len();
     // z gets its own bank, but the AXPY still both reads and writes it
     // there — "the vector z used by the AXPY routine is read/written in

@@ -40,3 +40,32 @@ impl AppReport {
         self.seconds * 1.0e6
     }
 }
+
+/// RAII observation of one routine invocation: when the global metrics
+/// runtime is armed, records `fblas_routine_runs_total{routine}` and the
+/// wall latency into `fblas_routine_us{routine}` on drop (error paths
+/// included). Disarmed cost: one relaxed load.
+pub(crate) struct RoutineObservation {
+    started: Option<(std::time::Instant, &'static str)>,
+}
+
+impl RoutineObservation {
+    pub(crate) fn start(routine: &'static str) -> Self {
+        RoutineObservation {
+            started: fblas_metrics::armed().then(|| (std::time::Instant::now(), routine)),
+        }
+    }
+}
+
+impl Drop for RoutineObservation {
+    fn drop(&mut self) {
+        if let Some((t0, routine)) = self.started {
+            if let Some(reg) = fblas_metrics::registry() {
+                let l: &[(&str, &str)] = &[("routine", routine)];
+                reg.counter("fblas_routine_runs_total", l).inc();
+                reg.histogram("fblas_routine_us", l)
+                    .record(fblas_metrics::elapsed_us(t0));
+            }
+        }
+    }
+}

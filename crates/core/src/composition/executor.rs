@@ -140,6 +140,8 @@ pub fn execute_plan_traced<T: Scalar>(
 ) -> Result<ExecOutcome<T>, ExecError> {
     cfg.validate()?;
     check_bindings(program, buffers)?;
+    propagate_run_id(tracer);
+    let metrics = ExecMetrics::arm();
 
     let scalars: Arc<Mutex<HashMap<String, T>>> = Arc::new(Mutex::new(HashMap::new()));
     let router = BufRouter::direct(buffers);
@@ -151,6 +153,7 @@ pub fn execute_plan_traced<T: Scalar>(
         if let Some(t) = tracer {
             t.metrics().counter_add("exec.components", 1);
         }
+        let comp_t0 = metrics.as_ref().map(|_| std::time::Instant::now());
         run_component(
             program,
             cfg,
@@ -162,6 +165,9 @@ pub fn execute_plan_traced<T: Scalar>(
             None,
             &opts,
         )?;
+        if let (Some(m), Some(t0)) = (&metrics, comp_t0) {
+            m.component_done(t0);
+        }
     }
     let scalars = Arc::try_unwrap(scalars)
         .map(|m| m.into_inner())
@@ -287,6 +293,11 @@ pub struct RecoveryReport {
     pub recovered: usize,
     /// Total retries across all components.
     pub retries: u64,
+    /// Correlation run ID (16 lowercase hex digits) captured from the
+    /// live [`fblas_metrics::RunScope`], if any. Under
+    /// `RunScope::seeded`, two runs of the same seed carry the same ID,
+    /// so seeded recovery reports stay byte-stable.
+    pub run_id: Option<String>,
 }
 
 /// Terminal failure of [`execute_plan_with_recovery`]: the last error
@@ -313,6 +324,49 @@ impl std::fmt::Display for RecoveryError {
 impl std::error::Error for RecoveryError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         Some(&self.error)
+    }
+}
+
+/// Global-metrics handles for one plan execution, resolved once per run
+/// when the metrics runtime is armed (`None` when disarmed: the hot
+/// path then pays one `Option` branch per component). Dropping the
+/// value records the plan's wall latency into `fblas_plan_us`, so the
+/// histogram covers failed runs too.
+struct ExecMetrics {
+    reg: Arc<fblas_metrics::Registry>,
+    plan_t0: std::time::Instant,
+}
+
+impl ExecMetrics {
+    fn arm() -> Option<ExecMetrics> {
+        fblas_metrics::registry().map(|reg| ExecMetrics {
+            reg,
+            plan_t0: std::time::Instant::now(),
+        })
+    }
+
+    fn component_done(&self, t0: std::time::Instant) {
+        self.reg.counter("fblas_exec_components_total", &[]).inc();
+        self.reg
+            .histogram("fblas_component_us", &[])
+            .record(fblas_metrics::elapsed_us(t0));
+    }
+}
+
+impl Drop for ExecMetrics {
+    fn drop(&mut self) {
+        self.reg
+            .histogram("fblas_plan_us", &[])
+            .record(fblas_metrics::elapsed_us(self.plan_t0));
+    }
+}
+
+/// Stamp the live [`fblas_metrics::RunScope`]'s ID onto the tracer so
+/// the Perfetto export carries the same correlation key as the metrics
+/// snapshot and the recovery report.
+fn propagate_run_id(tracer: Option<&Tracer>) {
+    if let (Some(t), Some(id)) = (tracer, fblas_metrics::current_run_id()) {
+        t.set_run_id(id.to_string());
     }
 }
 
@@ -364,8 +418,10 @@ pub fn execute_plan_with_recovery<T: Scalar>(
 ) -> Result<(ExecOutcome<T>, RecoveryReport), Box<RecoveryError>> {
     let mut report = RecoveryReport {
         components: plan.components.len(),
+        run_id: fblas_metrics::current_run_id().map(|id| id.to_string()),
         ..RecoveryReport::default()
     };
+    propagate_run_id(tracer);
     if let Err(e) = cfg.validate() {
         return Err(Box::new(RecoveryError {
             error: e.into(),
@@ -376,6 +432,7 @@ pub fn execute_plan_with_recovery<T: Scalar>(
         return Err(Box::new(RecoveryError { error: e, report }));
     }
 
+    let metrics = ExecMetrics::arm();
     let mut committed: HashMap<String, T> = HashMap::new();
     let max = policy.max_attempts.max(1);
     for (ix, component) in plan.components.iter().enumerate() {
@@ -383,6 +440,7 @@ pub fn execute_plan_with_recovery<T: Scalar>(
         if let Some(t) = tracer {
             t.metrics().counter_add("exec.components", 1);
         }
+        let comp_t0 = metrics.as_ref().map(|_| std::time::Instant::now());
         // Operands this component writes; each attempt stages them.
         let mut out_names: Vec<&str> = component
             .ops
@@ -466,6 +524,16 @@ pub fn execute_plan_with_recovery<T: Scalar>(
                 Err(e) => Some(e),
             };
 
+            if let Some(m) = &metrics {
+                m.reg.counter("fblas_exec_attempts_total", &[]).inc();
+                if guard_flagged {
+                    m.reg.counter("fblas_exec_guard_trips_total", &[]).inc();
+                }
+                if abft_flagged {
+                    m.reg.counter("fblas_exec_abft_failures_total", &[]).inc();
+                }
+            }
+
             match failure {
                 None => {
                     report.attempts.push(AttemptRecord {
@@ -486,6 +554,9 @@ pub fn execute_plan_with_recovery<T: Scalar>(
                     }
                     for (k, v) in attempt_scalars.lock().iter() {
                         committed.insert(k.clone(), *v);
+                    }
+                    if let (Some(m), Some(t0)) = (&metrics, comp_t0) {
+                        m.component_done(t0);
                     }
                     break;
                 }
@@ -514,6 +585,9 @@ pub fn execute_plan_with_recovery<T: Scalar>(
                     if let Some(t) = tracer {
                         t.metrics().counter_add("recovery.retries", 1);
                     }
+                    if let Some(m) = &metrics {
+                        m.reg.counter("fblas_exec_retries_total", &[]).inc();
+                    }
                     if !policy.backoff.is_zero() {
                         let shift = (attempt - 1).min(16);
                         std::thread::sleep(policy.backoff * (1u32 << shift));
@@ -523,6 +597,9 @@ pub fn execute_plan_with_recovery<T: Scalar>(
         }
         if recovered_here {
             report.recovered += 1;
+            if let Some(m) = &metrics {
+                m.reg.counter("fblas_exec_recovered_total", &[]).inc();
+            }
         }
     }
     Ok((ExecOutcome { scalars: committed }, report))

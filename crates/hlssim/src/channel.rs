@@ -17,7 +17,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fblas_trace::EventKind;
 use parking_lot::{Condvar, Mutex};
@@ -51,6 +51,50 @@ struct ChanState<T> {
     guard: GuardState,
 }
 
+/// Lock-free telemetry handles for one channel, resolved once at channel
+/// creation when the global metrics runtime is armed. Every increment is
+/// a relaxed atomic on a per-thread shard; when the runtime is disarmed
+/// at creation time the whole struct is absent and each operation pays
+/// one `Option` branch.
+struct ChanMetrics {
+    push_elements: fblas_metrics::Counter,
+    pop_elements: fblas_metrics::Counter,
+    full_waits: fblas_metrics::Counter,
+    empty_waits: fblas_metrics::Counter,
+    chunk_push_ops: fblas_metrics::Counter,
+    chunk_pop_ops: fblas_metrics::Counter,
+    wait_us: fblas_metrics::Hist,
+}
+
+impl ChanMetrics {
+    fn new(reg: &fblas_metrics::Registry, channel: &str) -> Self {
+        let l: &[(&str, &str)] = &[("channel", channel)];
+        ChanMetrics {
+            push_elements: reg.counter("fblas_channel_push_elements_total", l),
+            pop_elements: reg.counter("fblas_channel_pop_elements_total", l),
+            full_waits: reg.counter("fblas_channel_full_waits_total", l),
+            empty_waits: reg.counter("fblas_channel_empty_waits_total", l),
+            chunk_push_ops: reg.counter(
+                "fblas_channel_chunk_ops_total",
+                &[("channel", channel), ("op", "push")],
+            ),
+            chunk_pop_ops: reg.counter(
+                "fblas_channel_chunk_ops_total",
+                &[("channel", channel), ("op", "pop")],
+            ),
+            wait_us: reg.histogram("fblas_channel_wait_us", l),
+        }
+    }
+
+    /// Record the wall time of a completed blocked wait.
+    #[inline]
+    fn record_wait(&self, since: Option<Instant>) {
+        if let Some(t0) = since {
+            self.wait_us.record(fblas_metrics::elapsed_us(t0));
+        }
+    }
+}
+
 struct ChannelCore<T> {
     ctx: Arc<CtxShared>,
     name: Arc<str>,
@@ -64,6 +108,9 @@ struct ChannelCore<T> {
     /// deterministically.
     push_seq: AtomicU64,
     pop_seq: AtomicU64,
+    /// Telemetry handles, present only when the metrics runtime was
+    /// armed when the channel was created.
+    metrics: Option<ChanMetrics>,
 }
 
 /// RAII registration of "this thread is blocked on a channel operation".
@@ -100,6 +147,16 @@ impl Drop for BlockGuard<'_> {
     fn drop(&mut self) {
         self.ctx.waiters.lock().remove(&self.id);
         self.ctx.blocked.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Count one injected fault in the global registry, labeled by action.
+/// Cold: only reachable while a fault hook is armed.
+#[cold]
+pub(crate) fn record_fault_metric(action: &str) {
+    if let Some(reg) = fblas_metrics::registry() {
+        reg.counter("fblas_fault_injected_total", &[("action", action)])
+            .inc();
     }
 }
 
@@ -187,6 +244,7 @@ pub fn try_channel<T: Send + 'static>(
             detail: format!("channel `{name}` has capacity 0; hardware FIFOs need >= 1 slot"),
         });
     }
+    let metrics = fblas_metrics::registry().map(|reg| ChanMetrics::new(&reg, &name));
     let core = Arc::new(ChannelCore {
         ctx: ctx.shared(),
         name: Arc::from(name),
@@ -202,6 +260,7 @@ pub fn try_channel<T: Send + 'static>(
         not_empty: Condvar::new(),
         push_seq: AtomicU64::new(0),
         pop_seq: AtomicU64::new(0),
+        metrics,
     });
     ctx.register_probe(core.clone());
     Ok((Sender { core: core.clone() }, Receiver { core }))
@@ -228,6 +287,7 @@ impl<T: Send + 'static> Sender<T> {
         let core = &self.core;
         let trace_from = fblas_trace::op_start();
         let mut waited = false;
+        let mut wait_from: Option<Instant> = None;
         let mut blocked: Option<BlockGuard<'_>> = None;
         let mut st = core.state.lock();
         loop {
@@ -249,6 +309,10 @@ impl<T: Send + 'static> Sender<T> {
                 core.ctx.epoch.fetch_add(1, Ordering::Release);
                 core.not_empty.notify_one();
                 drop(st);
+                if let Some(m) = &core.metrics {
+                    m.push_elements.add(1);
+                    m.record_wait(wait_from);
+                }
                 if let Some(from) = trace_from {
                     fblas_trace::record_channel_op(EventKind::Push, &core.name, from, waited);
                 }
@@ -258,6 +322,12 @@ impl<T: Send + 'static> Sender<T> {
             waited = true;
             if blocked.is_none() {
                 blocked = Some(BlockGuard::new(&core.ctx, &core.name, WaitDirection::Full));
+                if core.metrics.is_some() {
+                    wait_from = Some(Instant::now());
+                }
+            }
+            if let Some(m) = &core.metrics {
+                m.full_waits.inc();
             }
             core.not_full.wait_for(&mut st, wait_slice());
         }
@@ -274,6 +344,7 @@ impl<T: Send + 'static> Sender<T> {
         let seq = core.push_seq.fetch_add(1, Ordering::Relaxed);
         if let Some(action) = core.ctx.fault_for(FaultSite::Push, &core.name, seq) {
             fblas_trace::record_fault(&core.name, action.label());
+            record_fault_metric(action.label());
             match action {
                 FaultAction::Corrupt { bit } => {
                     flip_bit(&mut value, bit);
@@ -323,6 +394,7 @@ impl<T: Send + 'static> Sender<T> {
         let trace_from = fblas_trace::op_start();
         let total = buf.len() as u64;
         let mut waited = false;
+        let mut wait_from: Option<Instant> = None;
         let mut blocked: Option<BlockGuard<'_>> = None;
         let mut st = core.state.lock();
         loop {
@@ -345,9 +417,19 @@ impl<T: Send + 'static> Sender<T> {
                 }
                 core.ctx.epoch.fetch_add(k as u64, Ordering::Release);
                 core.not_empty.notify_one();
+                // Element counters advance per transfer section (exactly
+                // like `stats.transferred`), so a chunk that errors out
+                // mid-way still accounts its delivered prefix.
+                if let Some(m) = &core.metrics {
+                    m.push_elements.add(k as u64);
+                }
                 if buf.is_empty() {
                     drop(st);
                     drop(blocked);
+                    if let Some(m) = &core.metrics {
+                        m.chunk_push_ops.inc();
+                        m.record_wait(wait_from);
+                    }
                     if let Some(from) = trace_from {
                         fblas_trace::record_channel_chunk(
                             EventKind::Push,
@@ -367,6 +449,12 @@ impl<T: Send + 'static> Sender<T> {
             waited = true;
             if blocked.is_none() {
                 blocked = Some(BlockGuard::new(&core.ctx, &core.name, WaitDirection::Full));
+                if core.metrics.is_some() {
+                    wait_from = Some(Instant::now());
+                }
+            }
+            if let Some(m) = &core.metrics {
+                m.full_waits.inc();
             }
             core.not_full.wait_for(&mut st, wait_slice());
         }
@@ -421,6 +509,9 @@ impl<T: Send + 'static> Sender<T> {
             }
             core.ctx.epoch.fetch_add(k as u64, Ordering::Release);
             core.not_empty.notify_one();
+            if let Some(m) = &core.metrics {
+                m.push_elements.add(k as u64);
+            }
         }
         Ok(())
     }
@@ -500,6 +591,7 @@ impl<T: Send + 'static> Receiver<T> {
         let core = &self.core;
         let trace_from = fblas_trace::op_start();
         let mut waited = false;
+        let mut wait_from: Option<Instant> = None;
         let mut blocked: Option<BlockGuard<'_>> = None;
         let mut st = core.state.lock();
         loop {
@@ -510,6 +602,10 @@ impl<T: Send + 'static> Receiver<T> {
                 core.ctx.epoch.fetch_add(1, Ordering::Release);
                 core.not_full.notify_one();
                 drop(st);
+                if let Some(m) = &core.metrics {
+                    m.pop_elements.add(1);
+                    m.record_wait(wait_from);
+                }
                 if let Some(from) = trace_from {
                     fblas_trace::record_channel_op(EventKind::Pop, &core.name, from, waited);
                 }
@@ -524,6 +620,12 @@ impl<T: Send + 'static> Receiver<T> {
             waited = true;
             if blocked.is_none() {
                 blocked = Some(BlockGuard::new(&core.ctx, &core.name, WaitDirection::Empty));
+                if core.metrics.is_some() {
+                    wait_from = Some(Instant::now());
+                }
+            }
+            if let Some(m) = &core.metrics {
+                m.empty_waits.inc();
             }
             core.not_empty.wait_for(&mut st, wait_slice());
         }
@@ -541,6 +643,7 @@ impl<T: Send + 'static> Receiver<T> {
             let seq = core.pop_seq.fetch_add(1, Ordering::Relaxed);
             if let Some(action) = core.ctx.fault_for(FaultSite::Pop, &core.name, seq) {
                 fblas_trace::record_fault(&core.name, action.label());
+                record_fault_metric(action.label());
                 match action {
                     FaultAction::Corrupt { bit } => {
                         flip_bit(&mut value, bit);
@@ -589,6 +692,7 @@ impl<T: Send + 'static> Receiver<T> {
         let core = &self.core;
         let trace_from = fblas_trace::op_start();
         let mut waited = false;
+        let mut wait_from: Option<Instant> = None;
         let mut blocked: Option<BlockGuard<'_>> = None;
         let mut st = core.state.lock();
         loop {
@@ -603,6 +707,11 @@ impl<T: Send + 'static> Receiver<T> {
                 core.not_full.notify_one();
                 drop(st);
                 drop(blocked);
+                if let Some(m) = &core.metrics {
+                    m.pop_elements.add(k as u64);
+                    m.chunk_pop_ops.inc();
+                    m.record_wait(wait_from);
+                }
                 if let Some(from) = trace_from {
                     fblas_trace::record_channel_chunk(
                         EventKind::Pop,
@@ -623,6 +732,12 @@ impl<T: Send + 'static> Receiver<T> {
             waited = true;
             if blocked.is_none() {
                 blocked = Some(BlockGuard::new(&core.ctx, &core.name, WaitDirection::Empty));
+                if core.metrics.is_some() {
+                    wait_from = Some(Instant::now());
+                }
+            }
+            if let Some(m) = &core.metrics {
+                m.empty_waits.inc();
             }
             core.not_empty.wait_for(&mut st, wait_slice());
         }

@@ -7,6 +7,10 @@
 //! debugging time: `FBLAS_STALL_GRACE_MS=0.5` quietly behaving like the
 //! default 250 ms):
 //!
+//! The authoritative knob list is [`KNOBS`]; `fblas-env --list` renders
+//! it (with current values) and a test asserts the table stays in sync
+//! with the reader functions:
+//!
 //! | variable | meaning | default |
 //! |---|---|---|
 //! | `FBLAS_STALL_GRACE_MS` | watchdog stall grace, ms | 250 |
@@ -14,6 +18,8 @@
 //! | `FBLAS_CHUNK` | elements per batched channel transfer | 256 |
 //! | `FBLAS_CHAOS_SEED` | seed for chaos fault plans | unset |
 //! | `FBLAS_RETRY_MAX` | recovery attempts per component | 3 |
+//! | `FBLAS_METRICS` | arm the global telemetry registry | 0 |
+//! | `FBLAS_METRICS_SHARDS` | writer shards per metric | 8 |
 //!
 //! Caching follows each knob's use: grace and wait-slice are read once
 //! per process (they configure long-lived machinery), while the chunk
@@ -31,6 +37,87 @@ use crate::simulation::{parse_stall_grace_ms, parse_wait_slice_us};
 /// Default number of recovery attempts per component when
 /// `FBLAS_RETRY_MAX` is unset.
 pub const DEFAULT_RETRY_MAX: u32 = 3;
+
+/// One documented environment knob: the row `fblas-env --list` renders.
+#[derive(Debug, Clone, Copy)]
+pub struct KnobSpec {
+    /// Environment variable name.
+    pub name: &'static str,
+    /// One-line meaning.
+    pub meaning: &'static str,
+    /// Default rendered as the reader falls back to it.
+    pub default: &'static str,
+    /// When the variable is (re-)read: `"process"` (cached once) or
+    /// `"call"` (re-read every call, sweepable in-process).
+    pub cadence: &'static str,
+}
+
+/// The authoritative table of every `FBLAS_*` knob the workspace
+/// honors. A test asserts this stays in sync with the reader functions:
+/// reading every knob must touch exactly these variable names.
+pub const KNOBS: &[KnobSpec] = &[
+    KnobSpec {
+        name: "FBLAS_STALL_GRACE_MS",
+        meaning: "watchdog stall grace before declaring deadlock, ms",
+        default: "250",
+        cadence: "process",
+    },
+    KnobSpec {
+        name: "FBLAS_WAIT_SLICE_US",
+        meaning: "blocked-wait poison re-check slice, us",
+        default: "2000",
+        cadence: "process",
+    },
+    KnobSpec {
+        name: "FBLAS_CHUNK",
+        meaning: "elements per batched channel transfer",
+        default: "256",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_CHAOS_SEED",
+        meaning: "seed for deterministic chaos fault plans",
+        default: "unset (no fault plan)",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_RETRY_MAX",
+        meaning: "recovery attempts per component",
+        default: "3",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_METRICS",
+        meaning: "arm the global telemetry registry (1/true/on)",
+        default: "0 (disarmed)",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_METRICS_SHARDS",
+        meaning: "writer shards per metric (rounded up to a power of 2)",
+        default: "8",
+        cadence: "call",
+    },
+];
+
+/// Variable names observed by [`read_knob`] this process — the ground
+/// truth the table-sync test compares [`KNOBS`] against.
+fn touched() -> &'static Mutex<HashSet<&'static str>> {
+    static TOUCHED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    TOUCHED.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Snapshot of every knob name read through this module so far.
+pub fn touched_knobs() -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = touched()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .copied()
+        .collect();
+    v.sort_unstable();
+    v
+}
 
 /// Knobs that already warned once this process; keyed by variable name
 /// so each misconfigured knob complains exactly once however often it
@@ -57,6 +144,10 @@ fn read_knob<T>(
     parse: impl FnOnce(Option<&str>) -> T,
     valid: impl FnOnce(&str) -> bool,
 ) -> T {
+    touched()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(var);
     let raw = std::env::var(var).ok();
     if let Some(raw) = raw.as_deref() {
         if !valid(raw) {
@@ -135,6 +226,44 @@ pub fn retry_max() -> u32 {
     )
 }
 
+/// Whether `FBLAS_METRICS` asks for the telemetry registry to be armed:
+/// `1`, `true`, or `on` (trimmed). Re-read on every call.
+pub fn metrics_enabled() -> bool {
+    read_knob(
+        "FBLAS_METRICS",
+        "disarmed",
+        |raw| matches!(raw.map(str::trim), Some("1") | Some("true") | Some("on")),
+        |raw| matches!(raw.trim(), "0" | "1" | "true" | "false" | "on" | "off" | ""),
+    )
+}
+
+/// Writer shards per metric: `FBLAS_METRICS_SHARDS` if a positive
+/// integer, else [`fblas_metrics::DEFAULT_SHARDS`]. Re-read every call.
+pub fn metrics_shards() -> usize {
+    read_knob(
+        "FBLAS_METRICS_SHARDS",
+        "8",
+        |raw| {
+            raw.and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|n| *n >= 1)
+                .unwrap_or(fblas_metrics::DEFAULT_SHARDS)
+        },
+        |raw| raw.trim().parse::<usize>().map(|v| v >= 1).unwrap_or(false),
+    )
+}
+
+/// Arm the global telemetry registry if `FBLAS_METRICS` asks for it,
+/// with `FBLAS_METRICS_SHARDS` writer shards. Returns whether the
+/// registry ended up armed. Call this once at program start (bins) or
+/// before building a simulation whose channels should be instrumented
+/// — channels resolve their metric handles at creation time.
+pub fn arm_metrics() -> bool {
+    if metrics_enabled() {
+        fblas_metrics::install(metrics_shards());
+    }
+    fblas_metrics::armed()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +302,42 @@ mod tests {
         warn_invalid("FBLAS_TEST_KNOB", "bad", "default");
         warn_invalid("FBLAS_TEST_KNOB", "bad", "default");
         assert!(warned().lock().unwrap().contains("FBLAS_TEST_KNOB"));
+    }
+
+    #[test]
+    fn metrics_shards_parses_and_rejects_garbage() {
+        std::env::remove_var("FBLAS_METRICS_SHARDS");
+        assert_eq!(metrics_shards(), fblas_metrics::DEFAULT_SHARDS);
+        std::env::set_var("FBLAS_METRICS_SHARDS", "4");
+        assert_eq!(metrics_shards(), 4);
+        std::env::set_var("FBLAS_METRICS_SHARDS", "0");
+        assert_eq!(metrics_shards(), fblas_metrics::DEFAULT_SHARDS);
+        std::env::set_var("FBLAS_METRICS_SHARDS", "lots");
+        assert_eq!(metrics_shards(), fblas_metrics::DEFAULT_SHARDS);
+        std::env::remove_var("FBLAS_METRICS_SHARDS");
+    }
+
+    #[test]
+    fn knob_table_stays_in_sync_with_readers() {
+        // Read every knob through its reader function, then require the
+        // set of variables actually consulted to be exactly the
+        // documented table. A knob added to the code without a KNOBS row
+        // (or vice versa) fails here.
+        let _ = stall_grace();
+        let _ = wait_slice();
+        let _ = chunk();
+        let _ = chaos_seed();
+        let _ = retry_max();
+        let _ = metrics_enabled();
+        let _ = metrics_shards();
+        let mut documented: Vec<&'static str> = KNOBS.iter().map(|k| k.name).collect();
+        documented.sort_unstable();
+        assert_eq!(touched_knobs(), documented);
+        // Table rows are well-formed for rendering.
+        for k in KNOBS {
+            assert!(k.name.starts_with("FBLAS_"), "{}", k.name);
+            assert!(!k.meaning.is_empty() && !k.default.is_empty());
+            assert!(matches!(k.cadence, "process" | "call"), "{}", k.cadence);
+        }
     }
 }

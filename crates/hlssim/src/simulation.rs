@@ -546,6 +546,7 @@ impl Simulation {
                         match injected {
                             Some(ModuleFault::Crash) => {
                                 fblas_trace::record_fault(&name, "crash");
+                                crate::channel::record_fault_metric("crash");
                                 // Poison *before* unwinding drops the
                                 // module's endpoints, so peers observe
                                 // `Poisoned { by }` rather than racing
@@ -557,6 +558,7 @@ impl Simulation {
                             }
                             Some(ModuleFault::Hang) => {
                                 fblas_trace::record_fault(&name, "hang");
+                                crate::channel::record_fault_metric("hang");
                                 // Stop making progress while *holding the
                                 // body alive*: its channel endpoints stay
                                 // open, so peers block on the FIFOs (the
@@ -600,16 +602,26 @@ impl Simulation {
             let poll = Duration::from_millis(5);
             let mut last_epoch = shared.epoch.load(Ordering::Acquire);
             let mut frozen_since = Instant::now();
+            let metrics_reg = fblas_metrics::registry();
             loop {
-                if let Some(tracer) = &tracer {
-                    let t_us = tracer.now_us();
+                if tracer.is_some() || metrics_reg.is_some() {
+                    let t_us = tracer.as_ref().map(|t| t.now_us());
                     for probe in shared.probes.lock().iter() {
                         let occ = probe.probe_occupancy();
-                        tracer.record_sample(
-                            &format!("occ:{}", probe.probe_name()),
-                            t_us,
-                            occ as f64,
-                        );
+                        if let (Some(tracer), Some(t_us)) = (&tracer, t_us) {
+                            tracer.record_sample(
+                                &format!("occ:{}", probe.probe_name()),
+                                t_us,
+                                occ as f64,
+                            );
+                        }
+                        if let Some(reg) = &metrics_reg {
+                            reg.gauge(
+                                "fblas_channel_occupancy",
+                                &[("channel", &probe.probe_name())],
+                            )
+                            .set(occ as f64);
+                        }
                     }
                 }
                 if shared.live.load(Ordering::Acquire) == 0 {
@@ -661,12 +673,18 @@ impl Simulation {
             if let Some(tracer) = &tracer {
                 tracer.metrics().counter_add("sim.stalls", 1);
             }
+            if let Some(reg) = fblas_metrics::registry() {
+                reg.counter("fblas_sim_stalls_total", &[]).inc();
+            }
             return Err(SimError::Stall { report });
         }
 
         if let Some(report) = deadline_report {
             if let Some(tracer) = &tracer {
                 tracer.metrics().counter_add("sim.deadlines", 1);
+            }
+            if let Some(reg) = fblas_metrics::registry() {
+                reg.counter("fblas_sim_deadlines_total", &[]).inc();
             }
             return Err(SimError::Deadline { report });
         }
@@ -708,6 +726,12 @@ impl Simulation {
                     stats.transferred as f64,
                 );
             }
+        }
+        if let Some(reg) = fblas_metrics::registry() {
+            reg.counter("fblas_sim_runs_total", &[]).inc();
+            reg.counter("fblas_sim_transfers_total", &[]).add(transfers);
+            reg.histogram("fblas_sim_run_us", &[])
+                .record(u64::try_from(wall_time.as_micros()).unwrap_or(u64::MAX));
         }
         Ok(SimulationReport {
             modules: names,

@@ -62,8 +62,13 @@ pub use input::{classify, Document};
 pub use passes::{lint_document, lint_mdag};
 
 /// Lint a raw JSON document: classify the dialect, run the passes.
+///
+/// When the global metrics runtime is armed, each call counts into
+/// `fblas_lint_runs_total` and its wall latency into `fblas_lint_us`,
+/// so a serving layer can watch lint throughput next to execution.
 pub fn lint_json(json: &str, file: &str) -> LintReport {
-    match classify(json) {
+    let t0 = fblas_metrics::armed().then(std::time::Instant::now);
+    let report = match classify(json) {
         Ok(doc) => lint_document(&doc, file),
         Err(e) => {
             let mut r = LintReport::new();
@@ -78,7 +83,13 @@ pub fn lint_json(json: &str, file: &str) -> LintReport {
             ));
             r
         }
+    };
+    if let (Some(t0), Some(reg)) = (t0, fblas_metrics::registry()) {
+        reg.counter("fblas_lint_runs_total", &[]).inc();
+        reg.histogram("fblas_lint_us", &[])
+            .record(fblas_metrics::elapsed_us(t0));
     }
+    report
 }
 
 #[cfg(test)]

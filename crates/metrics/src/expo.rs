@@ -1,0 +1,238 @@
+//! Exposition surfaces: Prometheus text format and a JSON snapshot.
+//!
+//! Both render from one [`Collected`] aggregate so a scrape and a
+//! snapshot taken at the same instant agree. The JSON snapshot is an
+//! insertion-ordered value tree whose serialization is byte-stable:
+//! parsing the pretty text and re-serializing yields identical bytes
+//! (ci.sh asserts this round trip), which is the schema contract the
+//! serving layer's scrape endpoint will inherit.
+
+use serde::Value;
+
+use crate::hist::{bucket_lower, HistogramSnapshot};
+use crate::registry::{Collected, Key};
+use crate::span::current_run_id;
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn labels_value(key: &Key) -> Value {
+    Value::Object(
+        key.labels
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+            .collect(),
+    )
+}
+
+fn hist_value(h: &HistogramSnapshot) -> Value {
+    // Sparse bucket encoding: only non-empty buckets, as [lower, count]
+    // pairs, so a 976-slot table serializes in a few lines.
+    let buckets: Vec<Value> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| **n != 0)
+        .map(|(i, n)| Value::Array(vec![Value::U64(bucket_lower(i)), Value::U64(*n)]))
+        .collect();
+    let q = |p: f64| match h.quantile(p) {
+        Some(v) => Value::U64(v),
+        None => Value::Null,
+    };
+    obj(vec![
+        ("count", Value::U64(h.count)),
+        ("sum", Value::U64(h.sum)),
+        (
+            "min",
+            if h.count == 0 {
+                Value::Null
+            } else {
+                Value::U64(h.min)
+            },
+        ),
+        (
+            "max",
+            if h.count == 0 {
+                Value::Null
+            } else {
+                Value::U64(h.max)
+            },
+        ),
+        ("p50", q(0.5)),
+        ("p95", q(0.95)),
+        ("p99", q(0.99)),
+        ("buckets", Value::Array(buckets)),
+    ])
+}
+
+/// Build the JSON snapshot of `collected` as a value tree. Top level:
+/// `schema`, `run_id` (current scope or null), then sorted `counters`,
+/// `gauges`, and `histograms` arrays of `{name, labels, ...}` rows.
+pub fn snapshot_value(collected: &Collected) -> Value {
+    let run_id = match current_run_id() {
+        Some(id) => Value::Str(id.to_string()),
+        None => Value::Null,
+    };
+    let counters: Vec<Value> = collected
+        .counters
+        .iter()
+        .map(|(k, v)| {
+            obj(vec![
+                ("name", Value::Str(k.name.clone())),
+                ("labels", labels_value(k)),
+                ("value", Value::U64(*v)),
+            ])
+        })
+        .collect();
+    let gauges: Vec<Value> = collected
+        .gauges
+        .iter()
+        .map(|(k, v)| {
+            obj(vec![
+                ("name", Value::Str(k.name.clone())),
+                ("labels", labels_value(k)),
+                ("value", Value::F64(*v)),
+            ])
+        })
+        .collect();
+    let histograms: Vec<Value> = collected
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            obj(vec![
+                ("name", Value::Str(k.name.clone())),
+                ("labels", labels_value(k)),
+                ("hist", hist_value(h)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("schema", Value::Str("fblas-metrics-snapshot-v1".into())),
+        ("run_id", run_id),
+        ("counters", Value::Array(counters)),
+        ("gauges", Value::Array(gauges)),
+        ("histograms", Value::Array(histograms)),
+    ])
+}
+
+/// JSON snapshot rendered as pretty text (the byte-stable form).
+pub fn snapshot_json(collected: &Collected) -> String {
+    serde_json::to_string_pretty(&snapshot_value(collected))
+        .expect("snapshot value tree always serializes")
+}
+
+/// Render `collected` in Prometheus text exposition format. Counters
+/// get a `# TYPE ... counter` header and `_total` semantics; gauges a
+/// `gauge` header; histograms emit `_count`, `_sum`, and quantile
+/// gauge lines (`{quantile="0.5"}` etc.), plus a `fblas_run_info`
+/// gauge labeled with the current run ID when a scope is live.
+pub fn prometheus_text(collected: &Collected) -> String {
+    let mut out = String::new();
+    let mut last_type_hdr = String::new();
+    let mut type_hdr = |out: &mut String, name: &str, kind: &str| {
+        if last_type_hdr != name {
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            last_type_hdr = name.to_string();
+        }
+    };
+    for (k, v) in &collected.counters {
+        type_hdr(&mut out, &k.name, "counter");
+        out.push_str(&format!("{} {v}\n", k.render()));
+    }
+    for (k, v) in &collected.gauges {
+        type_hdr(&mut out, &k.name, "gauge");
+        out.push_str(&format!("{} {v}\n", k.render()));
+    }
+    for (k, h) in &collected.histograms {
+        type_hdr(&mut out, &k.name, "summary");
+        let mut with = |extra: &[(&str, &str)], suffix: &str, val: String| {
+            let mut labels: Vec<(&str, &str)> = k
+                .labels
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
+            labels.extend_from_slice(extra);
+            let key = Key::new(&format!("{}{suffix}", k.name), &labels);
+            out.push_str(&format!("{} {val}\n", key.render()));
+        };
+        for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            if let Some(v) = h.quantile(q) {
+                with(&[("quantile", label)], "", v.to_string());
+            }
+        }
+        with(&[], "_count", h.count.to_string());
+        with(&[], "_sum", h.sum.to_string());
+    }
+    if let Some(id) = current_run_id() {
+        let key = Key::new("fblas_run_info", &[("run_id", &id.to_string())]);
+        out.push_str(&format!(
+            "# TYPE fblas_run_info gauge\n{} 1\n",
+            key.render()
+        ));
+    }
+    out
+}
+
+/// Verify the snapshot round trip: parse the pretty JSON text and
+/// re-serialize; returns `true` when the bytes are identical. ci.sh
+/// runs this as the snapshot-schema self-check.
+pub fn snapshot_round_trips(text: &str) -> bool {
+    match serde_json::from_str::<Value>(text) {
+        Ok(v) => serde_json::to_string_pretty(&v).as_deref() == Ok(text),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new(2);
+        reg.counter("fblas_demo_ops_total", &[("kind", "push")])
+            .add(7);
+        reg.gauge("fblas_demo_depth", &[]).set(4.0);
+        let h = reg.histogram("fblas_demo_us", &[]);
+        for v in [5u64, 90, 1800] {
+            h.record(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn prometheus_text_contains_all_series() {
+        let reg = sample_registry();
+        let text = prometheus_text(&reg.collect());
+        assert!(text.contains("# TYPE fblas_demo_ops_total counter"));
+        assert!(text.contains("fblas_demo_ops_total{kind=\"push\"} 7"));
+        assert!(text.contains("fblas_demo_depth 4"));
+        assert!(text.contains("fblas_demo_us_count 3"));
+        assert!(text.contains("quantile=\"0.99\""));
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_byte_identical() {
+        let reg = sample_registry();
+        let text = snapshot_json(&reg.collect());
+        assert!(snapshot_round_trips(&text));
+        assert!(text.contains("\"fblas-metrics-snapshot-v1\""));
+    }
+
+    #[test]
+    fn run_id_appears_in_both_surfaces_inside_scope() {
+        let _guard = crate::span::test_lock();
+        let reg = sample_registry();
+        let scope = crate::span::RunScope::seeded(99);
+        let id = scope.id().to_string();
+        let collected = reg.collect();
+        assert!(prometheus_text(&collected).contains(&id));
+        assert!(snapshot_json(&collected).contains(&id));
+    }
+}

@@ -1,0 +1,295 @@
+//! Log-linear latency histogram (HDR-style).
+//!
+//! Values are non-negative integers (microseconds by convention).
+//! Buckets are exact below 16 and then split every octave into 16
+//! linear sub-buckets, so relative error is bounded by 1/16 ≈ 6.25%
+//! across the whole u64 range with a fixed 976-slot table. Recording is
+//! a single relaxed `fetch_add` on a per-shard slot plus min/max
+//! updates, so concurrent writers never contend on a lock; readers
+//! aggregate all shards into a [`HistogramSnapshot`], and snapshots
+//! merge losslessly (same bucket boundaries everywhere), which is what
+//! makes sharded-then-merged quantiles identical to a single-shard
+//! reference.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per octave above the exact range.
+const SUB_BUCKETS: usize = 16;
+/// Values below this are their own bucket (exact).
+const EXACT_LIMIT: u64 = 16;
+/// Octaves above the exact range: exponents 4..=63.
+const OCTAVES: usize = 60;
+/// Total bucket count: 16 exact + 60 octaves × 16 sub-buckets.
+pub const BUCKETS: usize = EXACT_LIMIT as usize + OCTAVES * SUB_BUCKETS;
+
+/// Bucket index for a value.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < EXACT_LIMIT {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize; // 4..=63
+        let sub = ((v >> (exp - 4)) & 0xF) as usize;
+        EXACT_LIMIT as usize + (exp - 4) * SUB_BUCKETS + sub
+    }
+}
+
+/// Lower bound of bucket `idx` — the representative value reported for
+/// samples that landed in it.
+#[inline]
+pub fn bucket_lower(idx: usize) -> u64 {
+    if idx < EXACT_LIMIT as usize {
+        idx as u64
+    } else {
+        let rel = idx - EXACT_LIMIT as usize;
+        let exp = rel / SUB_BUCKETS + 4;
+        let sub = (rel % SUB_BUCKETS) as u64;
+        (EXACT_LIMIT + sub) << (exp - 4)
+    }
+}
+
+/// One writer shard: padded out so two shards never share a cache line.
+#[repr(align(64))]
+struct HistShard {
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// Minimum seen, `u64::MAX` when empty.
+    min: AtomicU64,
+    /// Maximum seen, `0` when empty (disambiguated by `count`).
+    max: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl HistShard {
+    fn new() -> Self {
+        let mut b = Vec::with_capacity(BUCKETS);
+        b.resize_with(BUCKETS, || AtomicU64::new(0));
+        HistShard {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: b.into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Sharded log-linear histogram. Writers pick a shard by thread ordinal
+/// (masked by the power-of-two shard count) so parallel recorders touch
+/// disjoint cache lines.
+pub struct Histogram {
+    shards: Box<[HistShard]>,
+    mask: usize,
+}
+
+impl Histogram {
+    /// Create with `shards` writer shards (rounded up to a power of two,
+    /// at least 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, HistShard::new);
+        Histogram {
+            shards: v.into_boxed_slice(),
+            mask: n - 1,
+        }
+    }
+
+    /// Record one observation into the shard for `ordinal` (any
+    /// per-thread number; masked internally).
+    #[inline]
+    pub fn record_at(&self, ordinal: usize, v: u64) {
+        self.shards[ordinal & self.mask].record(v);
+    }
+
+    /// Record into the calling thread's shard.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_at(crate::registry::thread_ordinal(), v);
+    }
+
+    /// Aggregate every shard into a point-in-time snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::empty();
+        for s in self.shards.iter() {
+            let count = s.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            out.count += count;
+            // Shard sums accumulate via wrapping atomic fetch_add, so
+            // aggregate with the same mod-2^64 semantics.
+            out.sum = out.sum.wrapping_add(s.sum.load(Ordering::Relaxed));
+            out.min = out.min.min(s.min.load(Ordering::Relaxed));
+            out.max = out.max.max(s.max.load(Ordering::Relaxed));
+            for (i, b) in s.buckets.iter().enumerate() {
+                let n = b.load(Ordering::Relaxed);
+                if n != 0 {
+                    out.buckets[i] += n;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Immutable aggregate of one or more histogram shards.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observation (`0` when empty).
+    pub max: u64,
+    /// Per-bucket counts, indexed by [`bucket_index`].
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no observations.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+
+    /// Merge another snapshot into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the lower bound of the
+    /// bucket holding the `ceil(q·count)`-th observation, clamped to
+    /// `[min, max]` so single-sample histograms report exactly that
+    /// sample. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            // The top-ranked observation is tracked exactly.
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_lower(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_sixteen() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn lower_bound_inverts_index() {
+        for &v in &[16u64, 17, 31, 32, 100, 255, 256, 1 << 20, u64::MAX] {
+            let idx = bucket_index(v);
+            let lo = bucket_lower(idx);
+            assert!(lo <= v, "lower {lo} > value {v}");
+            // Same bucket must map back to the same index.
+            assert_eq!(bucket_index(lo), idx, "v={v}");
+            // Relative error bound: width ≤ lower/16 above the exact range.
+            assert!(v - lo <= lo / 16, "v={v} lo={lo}");
+        }
+    }
+
+    #[test]
+    fn quantiles_exact_for_single_sample() {
+        let h = Histogram::new(4);
+        h.record_at(3, 777);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(777));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = Histogram::new(1).snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn median_of_uniform_range_is_accurate() {
+        let h = Histogram::new(8);
+        for v in 1..=1000u64 {
+            h.record_at(v as usize, v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        let p50 = s.quantile(0.5).unwrap();
+        // Within one bucket width (≤ 6.25%) of the true median.
+        assert!((468..=532).contains(&p50), "p50={p50}");
+        assert_eq!(s.quantile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let a = Histogram::new(2);
+        let b = Histogram::new(2);
+        let all = Histogram::new(1);
+        for v in [3u64, 19, 40_000, 5, 7, 1 << 33] {
+            all.record_at(0, v);
+        }
+        for v in [3u64, 19, 40_000] {
+            a.record_at(0, v);
+        }
+        for v in [5u64, 7, 1 << 33] {
+            b.record_at(1, v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+}

@@ -1,0 +1,305 @@
+//! Metric registration and lock-free handles.
+//!
+//! Registration (name + sorted labels → handle) takes a mutex once;
+//! the returned [`Counter`], [`Gauge`], and [`Hist`] handles are `Arc`s
+//! over padded atomic shard arrays, so the hot path — a channel push, a
+//! retry, a latency sample — is a relaxed atomic op with no lock and no
+//! false sharing between simulator worker threads.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// Default writer-shard count when `FBLAS_METRICS_SHARDS` is unset.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Monotonically assigned per-thread ordinal, used to pick a shard.
+pub fn thread_ordinal() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ORDINAL: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|o| *o)
+}
+
+/// One padded counter shard.
+#[repr(align(64))]
+struct Pad(AtomicU64);
+
+struct CounterCore {
+    shards: Box<[Pad]>,
+    mask: usize,
+}
+
+impl CounterCore {
+    fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || Pad(AtomicU64::new(0)));
+        CounterCore {
+            shards: v.into_boxed_slice(),
+            mask: n - 1,
+        }
+    }
+}
+
+/// Handle to a registered monotonic counter. Cloning is cheap; `add` is
+/// a single relaxed `fetch_add` on the calling thread's shard.
+#[derive(Clone)]
+pub struct Counter(Arc<CounterCore>);
+
+impl Counter {
+    /// Add `delta` to the counter.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        let c = &self.0;
+        c.shards[thread_ordinal() & c.mask]
+            .0
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Aggregate all shards.
+    pub fn value(&self) -> u64 {
+        self.0
+            .shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Handle to a registered gauge: last-write-wins f64 stored as bits.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if larger (lock-free running max).
+    #[inline]
+    pub fn raise(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while f64::from_bits(cur) < v {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Handle to a registered histogram.
+#[derive(Clone)]
+pub struct Hist(Arc<Histogram>);
+
+impl Hist {
+    /// Record one observation (microseconds by convention).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.record(v);
+    }
+
+    /// Aggregate all shards into a snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.snapshot()
+    }
+}
+
+/// A metric identity: name plus sorted `(label, value)` pairs.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Key {
+    /// Metric name, e.g. `fblas_channel_push_elements_total`.
+    pub name: String,
+    /// Label pairs, sorted by label name at construction.
+    pub labels: Vec<(String, String)>,
+}
+
+impl Key {
+    /// Build a key, sorting labels so identity is order-independent.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Key {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Prometheus-style rendering: `name{l1="v1",l2="v2"}` (bare name
+    /// when label-free).
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let inner: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        format!("{}{{{}}}", self.name, inner.join(","))
+    }
+}
+
+/// Registry of all live metrics. Handle lookup is mutex-guarded (cold);
+/// everything the handles do afterwards is lock-free.
+pub struct Registry {
+    shards: usize,
+    counters: Mutex<BTreeMap<Key, Counter>>,
+    gauges: Mutex<BTreeMap<Key, Gauge>>,
+    histograms: Mutex<BTreeMap<Key, Hist>>,
+}
+
+impl Registry {
+    /// Create a registry whose metrics use `shards` writer shards.
+    pub fn new(shards: usize) -> Self {
+        Registry {
+            shards: shards.max(1).next_power_of_two(),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Writer-shard count used by metrics in this registry.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Get or create the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = Key::new(name, labels);
+        self.counters
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Counter(Arc::new(CounterCore::new(self.shards))))
+            .clone()
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = Key::new(name, labels);
+        self.gauges
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+            .clone()
+    }
+
+    /// Get or create the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Hist {
+        let key = Key::new(name, labels);
+        self.histograms
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Hist(Arc::new(Histogram::new(self.shards))))
+            .clone()
+    }
+
+    /// Aggregate every metric into sorted `(key, value)` rows.
+    pub fn collect(&self) -> Collected {
+        Collected {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, c)| (k.clone(), c.value()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, g)| (k.clone(), g.value()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time aggregate of a registry, sorted by key.
+pub struct Collected {
+    /// Counter totals.
+    pub counters: Vec<(Key, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(Key, f64)>,
+    /// Histogram snapshots.
+    pub histograms: Vec<(Key, HistogramSnapshot)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_aggregates_across_threads() {
+        let reg = Registry::new(4);
+        let c = reg.counter("ops_total", &[]);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.value(), 4000);
+    }
+
+    #[test]
+    fn labels_sorted_into_one_identity() {
+        let reg = Registry::new(1);
+        let a = reg.counter("x", &[("b", "2"), ("a", "1")]);
+        let b = reg.counter("x", &[("a", "1"), ("b", "2")]);
+        a.add(5);
+        assert_eq!(b.value(), 5);
+        let rows = reg.collect();
+        assert_eq!(rows.counters.len(), 1);
+        assert_eq!(rows.counters[0].0.render(), "x{a=\"1\",b=\"2\"}");
+    }
+
+    #[test]
+    fn gauge_raise_is_running_max() {
+        let reg = Registry::new(1);
+        let g = reg.gauge("depth", &[]);
+        g.raise(3.0);
+        g.raise(1.0);
+        assert_eq!(g.value(), 3.0);
+        g.set(0.5);
+        assert_eq!(g.value(), 0.5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Request-scoped run IDs.
+//!
+//! A [`RunScope`] marks one logical request — lint → plan → execute →
+//! recovery — with a [`RunId`] that every layer can read via
+//! [`current_run_id`]. The simulator spawns worker OS threads, so the
+//! current run lives in a process-global slot rather than a
+//! thread-local; scopes nest (the guard restores the previous run on
+//! drop) and the serving layer will hold one scope per in-flight
+//! tenant request.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+
+/// A 64-bit run identifier, rendered as 16 lowercase hex digits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RunId(pub u64);
+
+impl RunId {
+    /// Derive a run ID deterministically from a seed (SplitMix64 mix),
+    /// so seeded chaos runs produce byte-identical reports.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        RunId(z ^ (z >> 31))
+    }
+
+    /// Derive from wall-clock entropy plus a process-local sequence, for
+    /// unseeded interactive runs.
+    pub fn fresh() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::time::{SystemTime, UNIX_EPOCH};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        RunId::from_seed(nanos ^ SEQ.fetch_add(1, Ordering::Relaxed).rotate_left(32))
+    }
+}
+
+impl fmt::Display for RunId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+fn current() -> &'static Mutex<Option<RunId>> {
+    static CURRENT: Mutex<Option<RunId>> = Mutex::new(None);
+    &CURRENT
+}
+
+/// Serializes tests that enter scopes: the slot is process-global, so
+/// concurrent test threads would otherwise observe each other's runs.
+#[cfg(test)]
+pub(crate) fn test_lock() -> parking_lot::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+}
+
+/// The run ID of the innermost live [`RunScope`], if any.
+pub fn current_run_id() -> Option<RunId> {
+    *current().lock()
+}
+
+/// RAII guard marking the extent of one logical request. On drop the
+/// previously current run (if any) is restored.
+pub struct RunScope {
+    id: RunId,
+    prev: Option<RunId>,
+}
+
+impl RunScope {
+    /// Enter a scope with an explicit ID.
+    pub fn enter(id: RunId) -> Self {
+        let prev = current().lock().replace(id);
+        RunScope { id, prev }
+    }
+
+    /// Enter a scope with an ID derived from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        Self::enter(RunId::from_seed(seed))
+    }
+
+    /// This scope's run ID.
+    pub fn id(&self) -> RunId {
+        self.id
+    }
+}
+
+impl Drop for RunScope {
+    fn drop(&mut self) {
+        *current().lock() = self.prev;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let _guard = test_lock();
+        let prev = current_run_id();
+        let outer = RunScope::seeded(1);
+        assert_eq!(current_run_id(), Some(outer.id()));
+        {
+            let inner = RunScope::seeded(2);
+            assert_ne!(inner.id(), outer.id());
+            assert_eq!(current_run_id(), Some(inner.id()));
+        }
+        assert_eq!(current_run_id(), Some(outer.id()));
+        drop(outer);
+        assert_eq!(current_run_id(), prev);
+    }
+
+    #[test]
+    fn seeded_ids_are_deterministic_hex() {
+        let a = RunId::from_seed(42);
+        let b = RunId::from_seed(42);
+        assert_eq!(a, b);
+        let s = a.to_string();
+        assert_eq!(s.len(), 16);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

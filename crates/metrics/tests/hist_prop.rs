@@ -1,0 +1,92 @@
+//! Property test: sharded-then-merged histograms report identical
+//! quantiles to a single-shard reference, including the empty and
+//! single-sample edge cases.
+
+use fblas_metrics::hist::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn quantile_grid(s: &HistogramSnapshot) -> Vec<Option<u64>> {
+    [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0]
+        .iter()
+        .map(|&q| s.quantile(q))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn sharded_merge_equals_single_shard(
+        samples in proptest::collection::vec(0u64..u64::MAX, 0..512),
+        shards in 1usize..16,
+    ) {
+        // Reference: every sample into one shard.
+        let single = Histogram::new(1);
+        for &v in &samples {
+            single.record_at(0, v);
+        }
+        // Sharded: samples scattered across shards by index, then the
+        // shards aggregate at snapshot time.
+        let sharded = Histogram::new(shards);
+        for (i, &v) in samples.iter().enumerate() {
+            sharded.record_at(i, v);
+        }
+        let a = single.snapshot();
+        let b = sharded.snapshot();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(quantile_grid(&a), quantile_grid(&b));
+
+        // Merging per-shard snapshots pairwise must also agree: split
+        // the samples into two independent histograms and merge.
+        let left = Histogram::new(4);
+        let right = Histogram::new(4);
+        for (i, &v) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                left.record_at(i, v);
+            } else {
+                right.record_at(i, v);
+            }
+        }
+        let mut merged = left.snapshot();
+        merged.merge(&right.snapshot());
+        prop_assert_eq!(&merged, &a);
+        prop_assert_eq!(quantile_grid(&merged), quantile_grid(&a));
+    }
+
+    #[test]
+    fn quantiles_bounded_by_min_max(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..256),
+    ) {
+        let h = Histogram::new(8);
+        for (i, &v) in samples.iter().enumerate() {
+            h.record_at(i, v);
+        }
+        let s = h.snapshot();
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let v = s.quantile(q).unwrap();
+            prop_assert!(v >= lo && v <= hi, "q={} v={} lo={} hi={}", q, v, lo, hi);
+        }
+    }
+}
+
+#[test]
+fn empty_and_single_sample_edges() {
+    let empty = Histogram::new(4).snapshot();
+    assert_eq!(empty.count, 0);
+    assert!(quantile_grid(&empty).iter().all(|q| q.is_none()));
+    let mut merged = empty.clone();
+    merged.merge(&empty);
+    assert_eq!(merged.count, 0);
+
+    let one = Histogram::new(4);
+    one.record_at(2, 123_456);
+    let s = one.snapshot();
+    assert!(quantile_grid(&s).iter().all(|q| *q == Some(123_456)));
+
+    // Merging an empty snapshot is the identity.
+    let mut with_empty = s.clone();
+    with_empty.merge(&empty);
+    assert_eq!(with_empty, s);
+}

@@ -139,6 +139,9 @@ struct TracerInner {
     /// Sampled time series, e.g. channel occupancy: name → (t_us, value).
     series: Mutex<BTreeMap<String, Vec<(u64, f64)>>>,
     metrics: MetricsRegistry,
+    /// Correlation key of the logical request this trace belongs to
+    /// (16-hex-digit run ID); exported as Perfetto metadata.
+    run_id: Mutex<Option<String>>,
 }
 
 /// Collects lanes, series, and metrics for one (or several) simulation
@@ -163,6 +166,7 @@ impl Tracer {
                 lanes: Mutex::new(Vec::new()),
                 series: Mutex::new(BTreeMap::new()),
                 metrics: MetricsRegistry::new(),
+                run_id: Mutex::new(None),
             }),
         }
     }
@@ -192,6 +196,19 @@ impl Tracer {
     /// The metrics registry shared by all clones of this tracer.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.inner.metrics
+    }
+
+    /// Tag this trace with the run ID of the logical request it belongs
+    /// to. The executor sets this automatically from the current
+    /// `RunScope`; the Perfetto exporter emits it as metadata so traces
+    /// correlate with metric snapshots and RecoveryReports.
+    pub fn set_run_id(&self, run_id: impl Into<String>) {
+        *self.inner.run_id.lock() = Some(run_id.into());
+    }
+
+    /// The tagged run ID, if any.
+    pub fn run_id(&self) -> Option<String> {
+        self.inner.run_id.lock().clone()
     }
 
     fn flush_lane(&self, lane: Lane) {

@@ -142,16 +142,19 @@ pub fn trace_value(tracer: &Tracer) -> Value {
         }
     }
 
+    let mut other = vec![
+        ("producer", s("fblas-trace")),
+        ("schema", s("chrome-trace-event")),
+    ];
+    if let Some(run_id) = tracer.run_id() {
+        // Correlation key: the same 16-hex run ID that appears in the
+        // metrics snapshot, the Prometheus dump, and the RecoveryReport.
+        other.push(("run_id", s(run_id)));
+    }
     obj(vec![
         ("traceEvents", Value::Array(events)),
         ("displayTimeUnit", s("ms")),
-        (
-            "otherData",
-            obj(vec![
-                ("producer", s("fblas-trace")),
-                ("schema", s("chrome-trace-event")),
-            ]),
-        ),
+        ("otherData", obj(other)),
     ])
 }
 

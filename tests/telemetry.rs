@@ -1,0 +1,218 @@
+//! Integration tests for the live telemetry runtime: element-accurate
+//! channel counters against `ChannelStats`, one chunk event per chunk
+//! call even when the chunk splits at capacity, and run-ID correlation
+//! across the recovery report, the Prometheus dump, and the JSON
+//! snapshot.
+//!
+//! The metrics runtime is process-global, so every test takes
+//! `telemetry_lock()` and isolates its counters with unique channel
+//! names.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fblas_core::composition::{execute_plan_with_recovery, plan, Op, PlannerConfig, Program};
+use fblas_core::host::DeviceBuffer;
+use fblas_hlssim::{channel, ChannelStats, ModuleKind, Simulation};
+use fblas_metrics::expo;
+use fblas_trace::{EventKind, Tracer};
+use parking_lot::{Mutex, MutexGuard};
+use serde::Value;
+
+fn telemetry_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+}
+
+/// Satellite (b): a chunk push that splits at channel capacity must
+/// record exactly one chunk trace event, and the element counters must
+/// match `ChannelStats::transferred` exactly.
+#[test]
+fn split_chunk_records_one_event_and_exact_element_counts() {
+    let _guard = telemetry_lock();
+    let reg = fblas_metrics::install(4);
+
+    const CAP: usize = 64;
+    const N: usize = 96; // > CAP: the chunk must split into two sections
+    let tracer = Tracer::new();
+    let mut sim = Simulation::new();
+    sim.set_tracer(tracer.clone());
+    let (tx, rx) = channel::<u64>(sim.ctx(), CAP, "telem_split");
+    let tx_stats: Arc<Mutex<Option<ChannelStats>>> = Arc::new(Mutex::new(None));
+    let slot = tx_stats.clone();
+    sim.add_module("src", ModuleKind::Interface, move || {
+        let mut buf: Vec<u64> = (0..N as u64).collect();
+        tx.push_chunk(&mut buf)?;
+        *slot.lock() = Some(tx.stats());
+        Ok(())
+    });
+    sim.add_module("sink", ModuleKind::Compute, move || {
+        let got = rx.pop_n(N)?;
+        assert_eq!(got.len(), N);
+        Ok(())
+    });
+    sim.run().expect("split-chunk pipeline runs");
+
+    let tx_st = tx_stats.lock().clone().expect("producer recorded stats");
+    assert_eq!(tx_st.transferred, N as u64, "stats see every element");
+
+    // Element counters are section-accurate and must agree with the
+    // channel's own ledger.
+    let labels: &[(&str, &str)] = &[("channel", "telem_split")];
+    let pushed = reg
+        .counter("fblas_channel_push_elements_total", labels)
+        .value();
+    let popped = reg
+        .counter("fblas_channel_pop_elements_total", labels)
+        .value();
+    assert_eq!(pushed, tx_st.transferred, "push counter matches stats");
+    assert_eq!(popped, N as u64, "pop counter sees every element");
+
+    // One chunk *call*, even though it split at capacity: exactly one
+    // chunk-op counter increment and exactly one chunk trace event.
+    let chunk_pushes = reg
+        .counter(
+            "fblas_channel_chunk_ops_total",
+            &[("channel", "telem_split"), ("op", "push")],
+        )
+        .value();
+    assert_eq!(chunk_pushes, 1, "one chunk op for one push_chunk call");
+    let chunk_events: Vec<u64> = tracer
+        .lanes()
+        .iter()
+        .flat_map(|lane| lane.events.iter())
+        .filter(|ev| {
+            ev.kind == EventKind::Push
+                && ev.count > 1
+                && ev.channel.as_deref() == Some("telem_split")
+        })
+        .map(|ev| ev.count)
+        .collect();
+    assert_eq!(
+        chunk_events,
+        vec![N as u64],
+        "exactly one chunk trace event carrying the full element count"
+    );
+}
+
+fn gemv_program() -> (Program, PlannerConfig, HashMap<String, DeviceBuffer<f64>>) {
+    const N: usize = 32;
+    let mut p = Program::new();
+    p.matrix("A", N, N)
+        .vector("x", N)
+        .vector("y", N)
+        .vector("o", N);
+    p.op(Op::Gemv {
+        alpha: 1.5,
+        beta: -0.25,
+        a: "A".into(),
+        transposed: false,
+        x: "x".into(),
+        y: Some("y".into()),
+        out: "o".into(),
+    });
+    let cfg = PlannerConfig {
+        tn: N,
+        tm: N,
+        ..Default::default()
+    };
+    let seq = |n: usize, s: f64| -> Vec<f64> {
+        (0..n).map(|i| ((i as f64 + s) * 0.7311).cos()).collect()
+    };
+    let buffers = [
+        ("A", seq(N * N, 0.0)),
+        ("x", seq(N, 1.0)),
+        ("y", seq(N, 2.0)),
+        ("o", vec![0.0; N]),
+    ]
+    .into_iter()
+    .map(|(name, data)| (name.to_string(), DeviceBuffer::from_vec(name, data, 0)))
+    .collect();
+    (p, cfg, buffers)
+}
+
+/// One recovery run inside a seeded scope: the run ID must surface in
+/// the `RecoveryReport`, the Prometheus dump, and the JSON snapshot
+/// (which must round-trip byte-identically), and the executor counters
+/// must have moved.
+#[test]
+fn recovery_run_id_correlates_across_exposition_surfaces() {
+    let _guard = telemetry_lock();
+    let reg = fblas_metrics::install(4);
+    let attempts_before = reg.counter("fblas_exec_attempts_total", &[]).value();
+    let components_before = reg.counter("fblas_exec_components_total", &[]).value();
+
+    let (program, cfg, buffers) = gemv_program();
+    let planned = plan(&program, &cfg).unwrap();
+    let scope = fblas_metrics::RunScope::seeded(2024);
+    let run_id = scope.id().to_string();
+    let (_, report) = execute_plan_with_recovery::<f64>(
+        &program,
+        &planned,
+        &cfg,
+        &buffers,
+        &Default::default(),
+        None,
+        None,
+    )
+    .expect("clean gemv recovers trivially");
+
+    assert_eq!(
+        report.run_id.as_deref(),
+        Some(run_id.as_str()),
+        "RecoveryReport carries the scope's run ID"
+    );
+    assert!(
+        reg.counter("fblas_exec_attempts_total", &[]).value() > attempts_before,
+        "attempt counter moved"
+    );
+    assert!(
+        reg.counter("fblas_exec_components_total", &[]).value() > components_before,
+        "component counter moved"
+    );
+
+    let collected = reg.collect();
+    let prom = expo::prometheus_text(&collected);
+    assert!(
+        prom.contains(&format!("fblas_run_info{{run_id=\"{run_id}\"}} 1")),
+        "Prometheus dump carries fblas_run_info:\n{prom}"
+    );
+    assert!(prom.contains("# TYPE fblas_exec_attempts_total counter"));
+
+    let snap = expo::snapshot_json(&collected);
+    assert!(expo::snapshot_round_trips(&snap), "snapshot round-trips");
+    let doc: Value = serde_json::from_str(&snap).unwrap();
+    assert_eq!(
+        doc.get("run_id").and_then(Value::as_str),
+        Some(run_id.as_str()),
+        "snapshot carries the scope's run ID"
+    );
+}
+
+/// Outside any scope, the ID surfaces stay silent: no `fblas_run_info`
+/// series, a null snapshot `run_id`, and `RecoveryReport.run_id: None` —
+/// which keeps unseeded chaos byte-identity intact.
+#[test]
+fn without_a_scope_no_run_id_leaks_into_any_surface() {
+    let _guard = telemetry_lock();
+    let reg = fblas_metrics::install(4);
+
+    let (program, cfg, buffers) = gemv_program();
+    let planned = plan(&program, &cfg).unwrap();
+    let (_, report) = execute_plan_with_recovery::<f64>(
+        &program,
+        &planned,
+        &cfg,
+        &buffers,
+        &Default::default(),
+        None,
+        None,
+    )
+    .unwrap();
+    assert_eq!(report.run_id, None);
+
+    let collected = reg.collect();
+    assert!(!expo::prometheus_text(&collected).contains("fblas_run_info"));
+    let doc: Value = serde_json::from_str(&expo::snapshot_json(&collected)).unwrap();
+    assert!(matches!(doc.get("run_id"), Some(Value::Null)));
+}
