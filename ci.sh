@@ -66,7 +66,7 @@ step "bench-diff against committed baselines"
 # benchmarks/baselines/. Model columns are deterministic, so any drift
 # is a model change: intentional ones are refreshed with
 # `bench-diff --bless` (see README).
-for bin in table3 table4 table5 table6 fig10 fig11 hbm_scaling bench_throughput bench_chaos bench_observe; do
+for bin in table3 table4 table5 table6 fig10 fig11 hbm_scaling bench_throughput bench_chaos bench_observe bench_flight; do
     FBLAS_BENCH_DIR="$tmpdir" cargo run --release -q -p fblas-bench --bin "$bin" >/dev/null
 done
 cargo run --release -q -p fblas-bench --bin bench-diff -- \
@@ -104,6 +104,39 @@ for row in doc["rows"]:
 else:
     raise AssertionError("BENCH_observe.json has no armed dot row")
 EOF
+
+step "flight-recorder overhead gate (recorder armed vs off)"
+# bench_flight (regenerated above) interleaves recorder-armed and
+# recorder-off runs on the armed metrics runtime and aborts in-bin past
+# the 3% budget; this re-checks the committed report so the gate also
+# fires on a stale artifact.
+python3 - "$tmpdir/BENCH_flight.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+budget = doc["meta"]["budget_pct"]
+for row in doc["rows"]:
+    if row["routine"] == "dot" and row["mode"] == "on":
+        pct = row["cpu_overhead_pct"]
+        assert pct <= budget, f"dot flight overhead {pct:.2f}% > {budget:.0f}% budget"
+        print(f"dot flight-recorder overhead: {pct:.2f}% (budget {budget:.0f}%)")
+        break
+else:
+    raise AssertionError("BENCH_flight.json has no recorder-armed dot row")
+EOF
+
+step "fblas-doctor self-check (postmortem bundle forensics)"
+# The example kills a seeded chaos run by exhausting its retry budget;
+# the flight recorder must emit a schema-v1 bundle whose deterministic
+# view is byte-identical across two runs, and fblas-doctor must render
+# it and verify the full document round-trips byte-stably.
+bundle_a="$(FBLAS_FLIGHT_DIR="$tmpdir/flight_a" \
+    cargo run --release -q -p fblas-bench --example flight_postmortem | tail -n 1)"
+bundle_b="$(FBLAS_FLIGHT_DIR="$tmpdir/flight_b" \
+    cargo run --release -q -p fblas-bench --example flight_postmortem | tail -n 1)"
+cmp "${bundle_a%.json}.det.json" "${bundle_b%.json}.det.json"
+echo "seeded postmortem deterministic views are byte-identical across runs"
+cargo run --release -q -p fblas-bench --bin fblas-doctor -- "$bundle_a"
+cargo run --release -q -p fblas-bench --bin fblas-doctor -- "$bundle_a" --check
 
 step "telemetry snapshot schema + run-ID correlation"
 # The example executes a seeded GEMVER run and asserts one run ID across

@@ -384,6 +384,43 @@ fn error_kind(e: &ExecError) -> &'static str {
     }
 }
 
+/// Publish the authoritative flight-recorder bundle when a retry budget
+/// is exhausted. Attempt-level captures were suppressed, so this is the
+/// only bundle the run emits; it carries the full [`RecoveryReport`]
+/// and, for sim-level deaths, the watchdog's wait-for graph.
+fn capture_exhaustion_postmortem(
+    err: &ExecError,
+    report: &RecoveryReport,
+    guards: Option<serde::Value>,
+) {
+    if !fblas_metrics::flight::armed() {
+        return;
+    }
+    let culprit = match err {
+        ExecError::Sim(SimError::Poisoned { by }) => by.clone(),
+        ExecError::Sim(SimError::Module { module, .. }) => Some(module.clone()),
+        ExecError::Sim(SimError::Disconnected { channel }) => Some(channel.clone()),
+        ExecError::Corrupt { component, .. } => Some(format!("component:{component}")),
+        _ => None,
+    };
+    let stall = match err {
+        ExecError::Sim(SimError::Stall { report })
+        | ExecError::Sim(SimError::Deadline { report }) => serde_json::to_value(report).ok(),
+        _ => None,
+    };
+    fblas_hlssim::postmortem::capture(
+        fblas_metrics::flight::Trigger {
+            kind: error_kind(err).to_string(),
+            detail: err.to_string(),
+            culprit,
+        },
+        stall,
+        guards,
+        serde_json::to_value(report).ok(),
+        None,
+    );
+}
+
 /// [`execute_plan`] with transactional write-back, fault detection, and
 /// retry.
 ///
@@ -476,22 +513,33 @@ pub fn execute_plan_with_recovery<T: Scalar>(
                 hook: hook.clone(),
                 deadline: policy.deadline,
             };
-            let result = run_component(
-                program,
-                cfg,
-                &component.ops,
-                &component.gemv_variants,
-                &router,
-                &attempt_scalars,
-                tracer,
-                None,
-                &opts,
-            );
+            // Suppress sim-level postmortem capture for the attempt: a
+            // retried failure is not terminal, and on exhaustion the
+            // executor publishes the one authoritative bundle (with the
+            // recovery history attached) below.
+            let result = {
+                let _supp = fblas_metrics::flight::suppress_capture();
+                run_component(
+                    program,
+                    cfg,
+                    &component.ops,
+                    &component.gemv_variants,
+                    &router,
+                    &attempt_scalars,
+                    tracer,
+                    None,
+                    &opts,
+                )
+            };
 
+            let mut attempt_guards: Option<serde::Value> = None;
             let mut guard_flagged = false;
             let mut abft_flagged = false;
             let failure: Option<ExecError> = match result {
                 Ok(guards) => {
+                    if fblas_metrics::flight::armed() {
+                        attempt_guards = serde_json::to_value(&guards).ok();
+                    }
                     guard_flagged = guards.iter().any(|g| !g.clean());
                     let abft_detail = if policy.abft {
                         let snapshot = attempt_scalars.lock().clone();
@@ -579,6 +627,7 @@ pub fn execute_plan_with_recovery<T: Scalar>(
                         t.metrics().counter_add("recovery.failures", 1);
                     }
                     if attempt == max {
+                        capture_exhaustion_postmortem(&err, &report, attempt_guards.take());
                         return Err(Box::new(RecoveryError { error: err, report }));
                     }
                     report.retries += 1;

@@ -67,8 +67,12 @@ struct ChanMetrics {
 }
 
 impl ChanMetrics {
-    fn new(reg: &fblas_metrics::Registry, channel: &str) -> Self {
+    fn new(reg: &fblas_metrics::Registry, channel: &str, capacity: usize) -> Self {
         let l: &[(&str, &str)] = &[("channel", channel)];
+        // Capacity is fixed for the channel's lifetime; publishing it as
+        // a gauge lets the flight recorder's occupancy-pinned rule
+        // compare the occupancy gauge against it frame by frame.
+        reg.gauge("fblas_channel_capacity", l).set(capacity as f64);
         ChanMetrics {
             push_elements: reg.counter("fblas_channel_push_elements_total", l),
             pop_elements: reg.counter("fblas_channel_pop_elements_total", l),
@@ -244,7 +248,7 @@ pub fn try_channel<T: Send + 'static>(
             detail: format!("channel `{name}` has capacity 0; hardware FIFOs need >= 1 slot"),
         });
     }
-    let metrics = fblas_metrics::registry().map(|reg| ChanMetrics::new(&reg, &name));
+    let metrics = fblas_metrics::registry().map(|reg| ChanMetrics::new(&reg, &name, capacity));
     let core = Arc::new(ChannelCore {
         ctx: ctx.shared(),
         name: Arc::from(name),

@@ -20,6 +20,10 @@
 //! | `FBLAS_RETRY_MAX` | recovery attempts per component | 3 |
 //! | `FBLAS_METRICS` | arm the global telemetry registry | 0 |
 //! | `FBLAS_METRICS_SHARDS` | writer shards per metric | 8 |
+//! | `FBLAS_FLIGHT` | arm the flight recorder (implies metrics) | 0 |
+//! | `FBLAS_FLIGHT_HZ` | flight-recorder sampling cadence, frames/sec | 50 |
+//! | `FBLAS_FLIGHT_WINDOW` | flight-recorder ring window, seconds | 10 |
+//! | `FBLAS_FLIGHT_DIR` | directory postmortem bundles are written to | unset |
 //!
 //! Caching follows each knob's use: grace and wait-slice are read once
 //! per process (they configure long-lived machinery), while the chunk
@@ -96,6 +100,30 @@ pub const KNOBS: &[KnobSpec] = &[
         name: "FBLAS_METRICS_SHARDS",
         meaning: "writer shards per metric (rounded up to a power of 2)",
         default: "8",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_FLIGHT",
+        meaning: "arm the flight recorder (1/true/on; implies FBLAS_METRICS)",
+        default: "0 (disarmed)",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_FLIGHT_HZ",
+        meaning: "flight-recorder sampling cadence, frames/sec (1..=1000)",
+        default: "50",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_FLIGHT_WINDOW",
+        meaning: "flight-recorder ring window, seconds",
+        default: "10",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_FLIGHT_DIR",
+        meaning: "directory postmortem bundles are written to",
+        default: "unset (bundles stay in-memory)",
         cadence: "call",
     },
 ];
@@ -252,6 +280,66 @@ pub fn metrics_shards() -> usize {
     )
 }
 
+/// Whether `FBLAS_FLIGHT` asks for the flight recorder to be armed:
+/// `1`, `true`, or `on` (trimmed). Re-read on every call.
+pub fn flight_enabled() -> bool {
+    read_knob(
+        "FBLAS_FLIGHT",
+        "disarmed",
+        |raw| matches!(raw.map(str::trim), Some("1") | Some("true") | Some("on")),
+        |raw| matches!(raw.trim(), "0" | "1" | "true" | "false" | "on" | "off" | ""),
+    )
+}
+
+/// Flight-recorder sampling cadence in frames/sec: `FBLAS_FLIGHT_HZ`
+/// if a positive integer (clamped to 1000), else
+/// [`fblas_metrics::flight::DEFAULT_FLIGHT_HZ`]. Re-read every call.
+pub fn flight_hz() -> u32 {
+    read_knob(
+        "FBLAS_FLIGHT_HZ",
+        "50",
+        |raw| {
+            raw.and_then(|v| v.trim().parse::<u32>().ok())
+                .filter(|n| *n >= 1)
+                .map(|n| n.min(1000))
+                .unwrap_or(fblas_metrics::flight::DEFAULT_FLIGHT_HZ)
+        },
+        |raw| raw.trim().parse::<u32>().map(|v| v >= 1).unwrap_or(false),
+    )
+}
+
+/// Flight-recorder ring window in seconds: `FBLAS_FLIGHT_WINDOW` if a
+/// positive integer, else
+/// [`fblas_metrics::flight::DEFAULT_FLIGHT_WINDOW_S`]. Re-read every call.
+pub fn flight_window_s() -> u32 {
+    read_knob(
+        "FBLAS_FLIGHT_WINDOW",
+        "10",
+        |raw| {
+            raw.and_then(|v| v.trim().parse::<u32>().ok())
+                .filter(|n| *n >= 1)
+                .unwrap_or(fblas_metrics::flight::DEFAULT_FLIGHT_WINDOW_S)
+        },
+        |raw| raw.trim().parse::<u32>().map(|v| v >= 1).unwrap_or(false),
+    )
+}
+
+/// Directory postmortem bundles are written to: `FBLAS_FLIGHT_DIR` when
+/// set and non-empty, else `None` (bundles stay in-memory, reachable
+/// via `fblas_metrics::flight::last_bundle`). Re-read every call.
+pub fn flight_dir() -> Option<std::path::PathBuf> {
+    read_knob(
+        "FBLAS_FLIGHT_DIR",
+        "in-memory only",
+        |raw| {
+            raw.map(str::trim)
+                .filter(|v| !v.is_empty())
+                .map(std::path::PathBuf::from)
+        },
+        |raw| !raw.trim().is_empty(),
+    )
+}
+
 /// Arm the global telemetry registry if `FBLAS_METRICS` asks for it,
 /// with `FBLAS_METRICS_SHARDS` writer shards. Returns whether the
 /// registry ended up armed. Call this once at program start (bins) or
@@ -262,6 +350,53 @@ pub fn arm_metrics() -> bool {
         fblas_metrics::install(metrics_shards());
     }
     fblas_metrics::armed()
+}
+
+/// Arm the flight recorder if `FBLAS_FLIGHT` asks for it, sampling at
+/// `FBLAS_FLIGHT_HZ` over a `FBLAS_FLIGHT_WINDOW`-second ring. The
+/// recorder samples the metrics registry, so arming it arms the
+/// registry too (`FBLAS_METRICS_SHARDS` still sets the shard count).
+/// Returns whether the recorder ended up armed.
+pub fn arm_flight() -> bool {
+    if flight_enabled() {
+        fblas_metrics::install(metrics_shards());
+        fblas_metrics::flight::install(fblas_metrics::flight::FlightConfig {
+            hz: flight_hz(),
+            window_s: flight_window_s(),
+        });
+    }
+    fblas_metrics::flight::armed()
+}
+
+/// Every documented knob with its **resolved** value — what the process
+/// would actually use right now, defaults applied — rendered as strings
+/// in [`KNOBS`] table order. Postmortem bundles embed this so a crash
+/// document records the configuration that produced it.
+pub fn resolved_knobs() -> Vec<(String, String)> {
+    KNOBS
+        .iter()
+        .map(|k| {
+            let v = match k.name {
+                "FBLAS_STALL_GRACE_MS" => stall_grace().as_millis().to_string(),
+                "FBLAS_WAIT_SLICE_US" => wait_slice().as_micros().to_string(),
+                "FBLAS_CHUNK" => chunk().to_string(),
+                "FBLAS_CHAOS_SEED" => chaos_seed()
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "unset".to_string()),
+                "FBLAS_RETRY_MAX" => retry_max().to_string(),
+                "FBLAS_METRICS" => u8::from(metrics_enabled()).to_string(),
+                "FBLAS_METRICS_SHARDS" => metrics_shards().to_string(),
+                "FBLAS_FLIGHT" => u8::from(flight_enabled()).to_string(),
+                "FBLAS_FLIGHT_HZ" => flight_hz().to_string(),
+                "FBLAS_FLIGHT_WINDOW" => flight_window_s().to_string(),
+                "FBLAS_FLIGHT_DIR" => flight_dir()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|| "unset".to_string()),
+                other => unreachable!("KNOBS row {other} missing from resolved_knobs"),
+            };
+            (k.name.to_string(), v)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -318,6 +453,53 @@ mod tests {
     }
 
     #[test]
+    fn flight_hz_parses_clamps_and_rejects_garbage() {
+        std::env::remove_var("FBLAS_FLIGHT_HZ");
+        assert_eq!(flight_hz(), fblas_metrics::flight::DEFAULT_FLIGHT_HZ);
+        std::env::set_var("FBLAS_FLIGHT_HZ", "200");
+        assert_eq!(flight_hz(), 200);
+        std::env::set_var("FBLAS_FLIGHT_HZ", "9999");
+        assert_eq!(flight_hz(), 1000, "cadence is clamped to 1 kHz");
+        std::env::set_var("FBLAS_FLIGHT_HZ", "0");
+        assert_eq!(flight_hz(), fblas_metrics::flight::DEFAULT_FLIGHT_HZ);
+        std::env::set_var("FBLAS_FLIGHT_HZ", "fast");
+        assert_eq!(flight_hz(), fblas_metrics::flight::DEFAULT_FLIGHT_HZ);
+        std::env::remove_var("FBLAS_FLIGHT_HZ");
+    }
+
+    #[test]
+    fn flight_window_and_dir_parse() {
+        std::env::remove_var("FBLAS_FLIGHT_WINDOW");
+        assert_eq!(
+            flight_window_s(),
+            fblas_metrics::flight::DEFAULT_FLIGHT_WINDOW_S
+        );
+        std::env::set_var("FBLAS_FLIGHT_WINDOW", "3");
+        assert_eq!(flight_window_s(), 3);
+        std::env::remove_var("FBLAS_FLIGHT_WINDOW");
+
+        std::env::remove_var("FBLAS_FLIGHT_DIR");
+        assert_eq!(flight_dir(), None);
+        std::env::set_var("FBLAS_FLIGHT_DIR", "/tmp/flight");
+        assert_eq!(flight_dir(), Some(std::path::PathBuf::from("/tmp/flight")));
+        std::env::set_var("FBLAS_FLIGHT_DIR", "  ");
+        assert_eq!(flight_dir(), None, "blank value means unset");
+        std::env::remove_var("FBLAS_FLIGHT_DIR");
+    }
+
+    #[test]
+    fn resolved_knobs_covers_every_documented_knob() {
+        // `resolved_knobs` matches on knob names; a KNOBS row it does
+        // not know would hit the unreachable arm and fail here.
+        let rows = resolved_knobs();
+        assert_eq!(rows.len(), KNOBS.len());
+        for ((name, value), spec) in rows.iter().zip(KNOBS) {
+            assert_eq!(name, spec.name);
+            assert!(!value.is_empty(), "{name} resolved to an empty string");
+        }
+    }
+
+    #[test]
     fn knob_table_stays_in_sync_with_readers() {
         // Read every knob through its reader function, then require the
         // set of variables actually consulted to be exactly the
@@ -330,6 +512,10 @@ mod tests {
         let _ = retry_max();
         let _ = metrics_enabled();
         let _ = metrics_shards();
+        let _ = flight_enabled();
+        let _ = flight_hz();
+        let _ = flight_window_s();
+        let _ = flight_dir();
         let mut documented: Vec<&'static str> = KNOBS.iter().map(|k| k.name).collect();
         documented.sort_unstable();
         assert_eq!(touched_knobs(), documented);

@@ -28,6 +28,9 @@
 //!   disarmed; the seeded plan implementation lives in `fblas-chaos`.
 //! * [`env`] centralizes every `FBLAS_*` environment knob with one-time
 //!   warnings on invalid values.
+//! * [`postmortem`] captures a flight-recorder bundle (time series,
+//!   anomalies, stall forensics, knob values) when a run dies; arm it
+//!   with `FBLAS_FLIGHT=1` and read it with `fblas-doctor`.
 //!
 //! The simulator computes *real numerics*: data actually flows through the
 //! FIFOs and modules perform the same reduction shapes (e.g. the W-way
@@ -42,6 +45,7 @@ pub mod env;
 pub mod error;
 pub mod fault;
 pub mod module;
+pub mod postmortem;
 pub mod simulation;
 pub mod stall;
 

@@ -426,6 +426,39 @@ fn snapshot_stall(shared: &CtxShared, grace: Duration, epoch: u64) -> StallRepor
     }
 }
 
+/// Hand a dying simulation to the flight recorder. Cheap no-op when the
+/// recorder is disarmed; otherwise attaches the wait-for graph (if the
+/// watchdog produced one) and any non-clean-capable guard reports to the
+/// postmortem bundle.
+fn capture_sim_postmortem(
+    kind: &str,
+    detail: String,
+    culprit: Option<String>,
+    stall: Option<&StallReport>,
+    shared: &Arc<CtxShared>,
+) {
+    if !fblas_metrics::flight::armed() {
+        return;
+    }
+    let guards = SimContext {
+        shared: shared.clone(),
+    }
+    .guard_reports();
+    crate::postmortem::capture(
+        fblas_metrics::flight::Trigger {
+            kind: kind.to_string(),
+            detail,
+            culprit,
+        },
+        stall.and_then(|r| serde_json::to_value(r).ok()),
+        (!guards.is_empty())
+            .then(|| serde_json::to_value(&guards).ok())
+            .flatten(),
+        None,
+        None,
+    );
+}
+
 impl Simulation {
     /// Create an empty simulation with its own fresh [`SimContext`].
     pub fn new() -> Self {
@@ -603,6 +636,7 @@ impl Simulation {
             let mut last_epoch = shared.epoch.load(Ordering::Acquire);
             let mut frozen_since = Instant::now();
             let metrics_reg = fblas_metrics::registry();
+            let flight_rec = fblas_metrics::flight::recorder();
             loop {
                 if tracer.is_some() || metrics_reg.is_some() {
                     let t_us = tracer.as_ref().map(|t| t.now_us());
@@ -622,6 +656,11 @@ impl Simulation {
                             )
                             .set(occ as f64);
                         }
+                    }
+                    // Each poll doubles as a flight-recorder tick; the
+                    // recorder's own interval gate governs the cadence.
+                    if let (Some(reg), Some(fr)) = (&metrics_reg, &flight_rec) {
+                        fr.tick(reg);
                     }
                 }
                 if shared.live.load(Ordering::Acquire) == 0 {
@@ -670,22 +709,38 @@ impl Simulation {
         let wall_time = start.elapsed();
 
         if let Some(report) = stall_report {
-            if let Some(tracer) = &tracer {
-                tracer.metrics().counter_add("sim.stalls", 1);
-            }
             if let Some(reg) = fblas_metrics::registry() {
                 reg.counter("fblas_sim_stalls_total", &[]).inc();
             }
+            capture_sim_postmortem(
+                "stall",
+                format!(
+                    "deadlocked after {} ms grace with {} module(s) channel-blocked",
+                    report.grace_ms,
+                    report.blocked.len()
+                ),
+                None,
+                Some(&report),
+                &shared,
+            );
             return Err(SimError::Stall { report });
         }
 
         if let Some(report) = deadline_report {
-            if let Some(tracer) = &tracer {
-                tracer.metrics().counter_add("sim.deadlines", 1);
-            }
             if let Some(reg) = fblas_metrics::registry() {
                 reg.counter("fblas_sim_deadlines_total", &[]).inc();
             }
+            capture_sim_postmortem(
+                "deadline",
+                format!(
+                    "wall-clock deadline ({} ms) expired with {} module(s) channel-blocked",
+                    report.grace_ms,
+                    report.blocked.len()
+                ),
+                None,
+                Some(&report),
+                &shared,
+            );
             return Err(SimError::Deadline { report });
         }
 
@@ -702,9 +757,15 @@ impl Simulation {
         // externally via `SimContext::poison` — not a successful
         // completion.
         if saw_poison {
-            return Err(SimError::Poisoned {
-                by: shared.poison_cause(),
-            });
+            let by = shared.poison_cause();
+            capture_sim_postmortem(
+                "poisoned",
+                "run cancelled by context poison".to_string(),
+                by.clone(),
+                None,
+                &shared,
+            );
+            return Err(SimError::Poisoned { by });
         }
 
         let channel_stats = SimContext {
@@ -712,26 +773,19 @@ impl Simulation {
         }
         .channel_stats();
         let transfers = shared.epoch.load(Ordering::Acquire);
-        if let Some(tracer) = &tracer {
-            tracer.metrics().counter_add("sim.transfers", transfers);
-            tracer
-                .metrics()
-                .gauge_set("sim.wall_time_us", wall_time.as_micros() as f64);
-            for (name, stats) in &channel_stats {
-                tracer
-                    .metrics()
-                    .histogram_observe("channel.max_occupancy", stats.max_occupancy as f64);
-                tracer.metrics().gauge_set(
-                    &format!("channel.{name}.transferred"),
-                    stats.transferred as f64,
-                );
-            }
-        }
+        // Run-summary scalars live in fblas-metrics only; the tracer-scoped
+        // `trace::MetricsRegistry` kept just the counters the audit pipeline
+        // reads (`fault.injected`, `recovery.retries`) plus the Perfetto
+        // occupancy counter tracks sampled above.
         if let Some(reg) = fblas_metrics::registry() {
             reg.counter("fblas_sim_runs_total", &[]).inc();
             reg.counter("fblas_sim_transfers_total", &[]).add(transfers);
             reg.histogram("fblas_sim_run_us", &[])
                 .record(u64::try_from(wall_time.as_micros()).unwrap_or(u64::MAX));
+            for (name, stats) in &channel_stats {
+                reg.gauge("fblas_channel_max_occupancy", &[("channel", name)])
+                    .raise(stats.max_occupancy as f64);
+            }
         }
         Ok(SimulationReport {
             modules: names,
@@ -1001,10 +1055,12 @@ mod tests {
         let src = lanes.iter().find(|l| &*l.module == "src").unwrap();
         assert_eq!(src.pushes, 5000);
         // 5000 elements through a depth-2 FIFO outlives several 5 ms
-        // watchdog polls, so the occupancy series exists.
+        // watchdog polls, so the occupancy series exists. Run-summary
+        // scalars moved to fblas-metrics; the tracer registry keeps only
+        // the series-shaped data the Perfetto export needs.
         assert!(tracer.series().contains_key("occ:traced"));
         let metrics = tracer.metrics().snapshot();
-        assert_eq!(metrics.counters["sim.transfers"], 10000);
+        assert!(!metrics.counters.contains_key("sim.transfers"));
     }
 
     #[test]

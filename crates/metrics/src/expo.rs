@@ -226,6 +226,32 @@ mod tests {
     }
 
     #[test]
+    fn label_values_escape_exposition_special_chars() {
+        // A channel name carrying a double-quote, a newline, and a
+        // backslash must render escaped per the Prometheus exposition
+        // format — one physical line whose value reads back verbatim.
+        let reg = Registry::new(1);
+        reg.counter(
+            "fblas_channel_push_elements_total",
+            &[("channel", "x\"mid\nend\\tail")],
+        )
+        .add(3);
+        let collected = reg.collect();
+        let text = prometheus_text(&collected);
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("fblas_channel_push_elements_total{"))
+            .expect("counter line rendered");
+        assert_eq!(
+            line,
+            "fblas_channel_push_elements_total{channel=\"x\\\"mid\\nend\\\\tail\"} 3"
+        );
+        // The JSON snapshot keeps its byte-stable round trip with the
+        // same hostile label value.
+        assert!(snapshot_round_trips(&snapshot_json(&collected)));
+    }
+
+    #[test]
     fn run_id_appears_in_both_surfaces_inside_scope() {
         let _guard = crate::span::test_lock();
         let reg = sample_registry();

@@ -15,6 +15,9 @@
 //!   logical request.
 //! - **Exposition** ([`expo`]) — Prometheus text format and a
 //!   byte-stable JSON snapshot, both rendered from one aggregate.
+//! - **Flight recorder** ([`flight`]) — a bounded ring of sampled
+//!   counter/gauge frames, a rule-based anomaly detector, and the
+//!   postmortem bundle captured when a run dies.
 //!
 //! # Arming
 //!
@@ -26,6 +29,7 @@
 //! the armed-vs-disarmed gap and holds it under 3%.
 
 pub mod expo;
+pub mod flight;
 pub mod hist;
 pub mod registry;
 pub mod span;

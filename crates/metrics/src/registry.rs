@@ -153,7 +153,9 @@ impl Key {
     }
 
     /// Prometheus-style rendering: `name{l1="v1",l2="v2"}` (bare name
-    /// when label-free).
+    /// when label-free). Label values escape backslash, double-quote,
+    /// and newline per the exposition format — backslash first, so the
+    /// escapes introduced for the other two are not themselves escaped.
     pub fn render(&self) -> String {
         if self.labels.is_empty() {
             return self.name.clone();
@@ -161,7 +163,14 @@ impl Key {
         let inner: Vec<String> = self
             .labels
             .iter()
-            .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .map(|(k, v)| {
+                format!(
+                    "{k}=\"{}\"",
+                    v.replace('\\', "\\\\")
+                        .replace('"', "\\\"")
+                        .replace('\n', "\\n")
+                )
+            })
             .collect();
         format!("{}{{{}}}", self.name, inner.join(","))
     }
@@ -220,6 +229,26 @@ impl Registry {
             .entry(key)
             .or_insert_with(|| Hist(Arc::new(Histogram::new(self.shards))))
             .clone()
+    }
+
+    /// Aggregate counters and gauges only — the cheap subset the flight
+    /// recorder samples on every tick. Histogram snapshots (976-slot
+    /// bucket walks) are deferred to the one full [`Registry::collect`]
+    /// the postmortem capture performs.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn collect_scalars(&self) -> (Vec<(Key, u64)>, Vec<(Key, f64)>) {
+        (
+            self.counters
+                .lock()
+                .iter()
+                .map(|(k, c)| (k.clone(), c.value()))
+                .collect(),
+            self.gauges
+                .lock()
+                .iter()
+                .map(|(k, g)| (k.clone(), g.value()))
+                .collect(),
+        )
     }
 
     /// Aggregate every metric into sorted `(key, value)` rows.

@@ -15,8 +15,10 @@
 //!   ([`perfetto`]) with one lane per module and stall spans colored,
 //!   plus a plain-text run summary ([`summary`]);
 //! * a **metrics registry** ([`MetricsRegistry`]) of counters, gauges,
-//!   and histograms, fed by the simulator's watchdog-driven sampler with
-//!   channel-occupancy time series.
+//!   and histograms — superseded by the `fblas-metrics` crate for
+//!   run-level telemetry, retained for tracer-scoped counters the audit
+//!   pipeline reads and for the channel-occupancy time series behind
+//!   the Perfetto counter tracks.
 //!
 //! Stall forensics (the wait-for snapshot carried by
 //! `SimError::Stall`) live in the simulator crate, which owns the

@@ -1,8 +1,12 @@
 //! Metrics registry: counters, gauges, and histograms.
 //!
-//! Shared by the simulator (occupancy sampling, stall accounting) and
-//! the benchmark harness (run metadata). Snapshots serialize to JSON so
-//! bench outputs can embed them.
+//! **Superseded for run-level telemetry by the `fblas-metrics` crate**,
+//! which owns the labelled counters/gauges/histograms, the Prometheus
+//! and JSON exposition, and the flight recorder. This registry is
+//! retained for *tracer-scoped* data only: the per-run counters the
+//! audit pipeline reads (`fault.injected`, `recovery.retries`,
+//! `recovery.failures`) and the snapshots bench outputs embed. New
+//! instrumentation should go to `fblas-metrics`, not here.
 
 use std::collections::BTreeMap;
 
@@ -74,6 +78,10 @@ pub struct MetricsSnapshot {
 }
 
 /// Thread-safe registry of named counters, gauges, and histograms.
+///
+/// Deprecated in favour of `fblas-metrics` for anything that is not
+/// tied to a single [`Tracer`](crate::Tracer)'s lifetime — see the
+/// module docs for what still legitimately lives here.
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, f64>>,
