@@ -14,6 +14,9 @@ step "cargo test -q"
 cargo test -q
 
 step "cargo clippy -- -D warnings"
+# crates/lint/clippy.toml and crates/core/clippy.toml additionally
+# disallow unwrap/expect in those crates' library code (analyzer
+# discipline: diagnostics, not panics); clippy discovers them per crate.
 cargo clippy --workspace --all-targets -- -D warnings
 
 step "cargo fmt --check"
@@ -40,11 +43,26 @@ EOF
 
 step "fblas-lint self-check (static analysis examples)"
 # Lints every fixture under examples/lint: clean fixtures must produce
-# zero errors, *.rejected.json fixtures must produce at least one, and
-# --validate round-trips every report through the JSON serializer.
-# Emits BENCH_lint.json for the bench-diff gate below.
-FBLAS_BENCH_DIR="$tmpdir" cargo run --release -q -p fblas-lint -- --validate examples/lint
+# zero errors AND zero warnings (--deny-warnings), *.rejected.json
+# fixtures must produce at least one error, --validate round-trips
+# every report and every fusion plan byte-stably, and --fusion-plan
+# dumps the fblas-fusion-plan-v1 artifacts the dataflow analysis
+# derived. Emits BENCH_lint.json for the bench-diff gate below.
+FBLAS_BENCH_DIR="$tmpdir" cargo run --release -q -p fblas-lint -- \
+    --validate --deny-warnings --fusion-plan "$tmpdir/fusion_plans.json" examples/lint
 cargo run --release -q -p fblas-lint -- --format json examples/lint >/dev/null
+python3 - "$tmpdir/fusion_plans.json" <<'EOF'
+import json, sys
+plans = json.load(open(sys.argv[1]))
+assert isinstance(plans, list) and plans, "fusion plan dump must be a non-empty array"
+fused = sum(p["stats"]["fused"] for p in plans)
+rejected = sum(sum(p["stats"]["rejected"].values()) for p in plans)
+for p in plans:
+    assert p["schema"] == "fblas-fusion-plan-v1", f"bad schema {p['schema']}"
+assert fused >= 1, "fixtures must produce at least one fused region"
+assert rejected >= 1, "fixtures must produce at least one witnessed rejection"
+print(f"fusion plans ok: {len(plans)} plans, {fused} fused regions, {rejected} rejections")
+EOF
 
 step "chaos smoke (seeded fault injection + recovery)"
 # bench_chaos sweeps seeded faults (bit flips incl. bit 0, element

@@ -1148,6 +1148,8 @@ fn op_inputs(op: &Op) -> Vec<&str> {
     }
 }
 
+// Invariant: every op's matrix operand was shape-checked by plan().
+#[allow(clippy::disallowed_methods)]
 fn gemv_dims(program: &Program, oi: usize) -> (usize, usize) {
     match &program.ops()[oi] {
         Op::Gemv { a, .. } => program.mat_dims(a).expect("checked during planning"),
@@ -1156,6 +1158,8 @@ fn gemv_dims(program: &Program, oi: usize) -> (usize, usize) {
 }
 
 /// Tile order the matrix reader must use for consumer `oi`.
+// Invariant: matrix shapes were checked by plan().
+#[allow(clippy::disallowed_methods)]
 fn consumer_tiling(
     program: &Program,
     cfg: &PlannerConfig,
@@ -1189,6 +1193,8 @@ fn consumer_tiling(
 
 /// FIFO depth for a matrix edge into `oi`: deep when the consumer also
 /// waits for an in-component vector (the ATAX burst), default otherwise.
+// Invariant: matrix shapes were checked by plan().
+#[allow(clippy::disallowed_methods)]
 fn edge_depth(
     program: &Program,
     cfg: &PlannerConfig,

@@ -349,6 +349,8 @@ impl Mdag {
             best[u] = node_weight(NodeId(u)) + inc;
             pred[u] = p;
         }
+        // Invariant: callers only reach here with a non-empty graph.
+        #[allow(clippy::disallowed_methods)]
         let mut at = (0..n).max_by_key(|&i| best[i]).expect("n > 0");
         let mut path = vec![at];
         while let Some(p) = pred[at] {

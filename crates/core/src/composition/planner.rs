@@ -668,6 +668,16 @@ pub enum PlanNote {
         /// The instantiated depth.
         depth: u64,
     },
+    /// A maximal run of elementwise ops (copy/scal/axpy) each feeding
+    /// the next: a fused backend could collapse their modules into one
+    /// loop. Advisory — `fblas-lint` derives the full legality proof
+    /// (obligations and witnesses) as its `FusionPlan` artifact.
+    FusableChain {
+        /// Index of the component in the plan.
+        component: usize,
+        /// Module names, producer to consumer.
+        modules: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for PlanNote {
@@ -684,6 +694,12 @@ impl std::fmt::Display for PlanNote {
                 f,
                 "component {} deepens channel `{channel}` to {depth}",
                 component + 1
+            ),
+            PlanNote::FusableChain { component, modules } => write!(
+                f,
+                "component {} has a fusable chain: {}",
+                component + 1,
+                modules.join(" -> ")
             ),
         }
     }
@@ -836,6 +852,40 @@ pub fn plan(program: &Program, cfg: &PlannerConfig) -> Result<Plan, PlanError> {
         }
         planned.push(c);
     }
+
+    // Surface maximal elementwise producer→consumer runs as advisory
+    // fusable-chain notes (the linter re-derives them with proofs).
+    for (ci, c) in planned.iter().enumerate() {
+        let mut run: Vec<usize> = Vec::new();
+        let flush = |run: &mut Vec<usize>, notes: &mut Vec<PlanNote>| {
+            if run.len() >= 2 {
+                notes.push(PlanNote::FusableChain {
+                    component: ci,
+                    modules: run
+                        .iter()
+                        .map(|&oi| format!("{}#{}", program.ops[oi].name(), oi))
+                        .collect(),
+                });
+            }
+            run.clear();
+        };
+        for &oi in &c.ops {
+            let op = &program.ops[oi];
+            let elementwise = matches!(op, Op::Copy { .. } | Op::Scal { .. } | Op::Axpy { .. });
+            let extends = elementwise
+                && run
+                    .last()
+                    .is_some_and(|&prev| op.inputs().contains(&program.ops[prev].output()));
+            if !extends {
+                flush(&mut run, &mut notes);
+            }
+            if elementwise {
+                run.push(oi);
+            }
+        }
+        flush(&mut run, &mut notes);
+    }
+
     Ok(Plan {
         components: planned,
         notes,
@@ -1319,6 +1369,72 @@ mod tests {
             ..Default::default()
         };
         plan(p, &cfg).unwrap().io_elements()
+    }
+
+    #[test]
+    fn elementwise_runs_surface_as_fusable_chain_notes() {
+        // t = 2w, z = v - t, beta = z·u: the scal→axpy prefix is a
+        // maximal elementwise run; the dot ends it.
+        let mut p = Program::new();
+        p.vector("w", 256)
+            .vector("v", 256)
+            .vector("u", 256)
+            .vector("t", 256)
+            .vector("z", 256)
+            .scalar("beta");
+        p.op(Op::Scal {
+            alpha: 2.0,
+            x: "w".into(),
+            out: "t".into(),
+        });
+        p.op(Op::Axpy {
+            alpha: -1.0,
+            x: "v".into(),
+            y: "t".into(),
+            out: "z".into(),
+        });
+        p.op(Op::Dot {
+            x: "z".into(),
+            y: "u".into(),
+            out: "beta".into(),
+        });
+        let planned = plan(&p, &PlannerConfig::default()).unwrap();
+        let chains: Vec<_> = planned
+            .notes
+            .iter()
+            .filter_map(|n| match n {
+                PlanNote::FusableChain { component, modules } => Some((component, modules)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chains.len(), 1, "{}", planned.describe(&p));
+        let (component, modules) = &chains[0];
+        assert_eq!(**component, 0);
+        assert_eq!(modules.as_slice(), ["scal#0", "axpy#1"]);
+        // A single elementwise op is not a chain; unrelated ops never
+        // join one.
+        let mut q = Program::new();
+        q.vector("x", 64).vector("y", 64).vector("s", 64);
+        q.op(Op::Scal {
+            alpha: 3.0,
+            x: "x".into(),
+            out: "s".into(),
+        });
+        q.op(Op::Dot {
+            x: "s".into(),
+            y: "y".into(),
+            out: "beta".into(),
+        });
+        q.scalar("beta");
+        let plan2 = plan(&q, &PlannerConfig::default()).unwrap();
+        assert!(
+            !plan2
+                .notes
+                .iter()
+                .any(|n| matches!(n, PlanNote::FusableChain { .. })),
+            "{}",
+            plan2.describe(&q)
+        );
     }
 
     fn gemver_program(n: usize) -> Program {

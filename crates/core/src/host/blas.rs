@@ -412,6 +412,9 @@ fn reduction_call<T: Scalar>(
 }
 
 /// DOT: returns `xᵀy`.
+// Invariant: reduction_call always hands the closure the Some(y) it
+// was given above.
+#[allow(clippy::disallowed_methods)]
 pub fn dot<T: Scalar>(
     fpga: &Fpga,
     x: &DeviceBuffer<T>,
@@ -432,6 +435,8 @@ pub fn dot<T: Scalar>(
 }
 
 /// SDSDOT: returns `sb + xᵀy` with double accumulation.
+// Invariant: see `dot`.
+#[allow(clippy::disallowed_methods)]
 pub fn sdsdot<T: Scalar>(
     fpga: &Fpga,
     sb: T,

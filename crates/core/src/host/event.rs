@@ -15,6 +15,9 @@ pub struct Event<R> {
 
 impl<R: Send + 'static> Event<R> {
     /// Block until the call completes and return its result.
+    // A panic in the spawned call is a bug in the routine, not a
+    // recoverable condition; re-raising it here is the contract.
+    #[allow(clippy::disallowed_methods)]
     pub fn wait(self) -> R {
         self.handle
             .join()

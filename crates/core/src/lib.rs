@@ -36,7 +36,10 @@
 //!   frequency model, and memory-bank contention into execution-time
 //!   estimates for Tables IV–VI and Figs. 10–11.
 
-#![allow(clippy::needless_range_loop)] // explicit indices mirror the math
+#![allow(clippy::needless_range_loop)]
+// explicit indices mirror the math
+// Tests may unwrap freely; library code must not (see clippy.toml).
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 #![warn(missing_docs)]
 
 pub mod apps;

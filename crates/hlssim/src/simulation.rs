@@ -269,6 +269,18 @@ impl SimContext {
         *self.shared.fault.lock() = None;
     }
 
+    /// Whether a fault hook is currently armed on this context.
+    ///
+    /// Fused-region execution collapses internal channels into a
+    /// straight-line loop, so the per-channel integrity guards that a
+    /// fault hook relies on never see the fused traffic. Harnesses that
+    /// replace channels with fused loops (the lint fusion differential)
+    /// check this and refuse to fuse under an armed hook rather than
+    /// silently dropping fault coverage.
+    pub fn faults_armed(&self) -> bool {
+        self.shared.fault_armed.load(Ordering::Acquire)
+    }
+
     /// Integrity-guard verdicts for every channel that saw traffic while
     /// a fault hook was armed, in creation order. Empty if faults were
     /// never armed.

@@ -61,6 +61,32 @@ pub enum LintCode {
     /// component would consume the partially updated value instead of
     /// the original input.
     FL0018,
+    /// Fusable module chain: a maximal run of stateless 1:1-rate relays
+    /// that may legally collapse into a single loop (see the
+    /// `FusionPlan` artifact for the proof obligations).
+    FL0019,
+    /// Fusion blocked: a relay chain cannot be fused; the diagnostic
+    /// names the witness (the blocking edge or module).
+    FL0020,
+    /// Channel depth slack: the instantiated FIFO depth is provably
+    /// deeper than the exact minimum under the chosen chunk size.
+    FL0021,
+    /// Channel depth tight: the instantiated FIFO depth equals the
+    /// exact minimum — shrinking it by one deadlocks the composition.
+    FL0022,
+    /// Pass-through scal: `scal` by 1.0 is the identity; the module
+    /// forwards its input unchanged.
+    FL0023,
+    /// Pass-through copy: a `copy` whose output feeds exactly one
+    /// consumer can be spliced out of the pipeline.
+    FL0024,
+    /// Fusion stops at a W-way reassociating reduction: fusing across
+    /// it would change the floating-point reduction order, so the fused
+    /// result would not stay bit-identical.
+    FL0025,
+    /// Dead module: a compute module whose results never reach an
+    /// interface write — the values are computed and discarded.
+    FL0026,
 }
 
 impl LintCode {
@@ -85,6 +111,14 @@ impl LintCode {
             LintCode::FL0016 => "FL0016",
             LintCode::FL0017 => "FL0017",
             LintCode::FL0018 => "FL0018",
+            LintCode::FL0019 => "FL0019",
+            LintCode::FL0020 => "FL0020",
+            LintCode::FL0021 => "FL0021",
+            LintCode::FL0022 => "FL0022",
+            LintCode::FL0023 => "FL0023",
+            LintCode::FL0024 => "FL0024",
+            LintCode::FL0025 => "FL0025",
+            LintCode::FL0026 => "FL0026",
         }
     }
 
@@ -109,8 +143,48 @@ impl LintCode {
             LintCode::FL0016 => "derived-min-depth",
             LintCode::FL0017 => "unschedulable",
             LintCode::FL0018 => "retry-unsound-inplace",
+            LintCode::FL0019 => "fusable-chain",
+            LintCode::FL0020 => "fusion-blocked",
+            LintCode::FL0021 => "channel-depth-slack",
+            LintCode::FL0022 => "channel-depth-tight",
+            LintCode::FL0023 => "pass-through-scal",
+            LintCode::FL0024 => "pass-through-copy",
+            LintCode::FL0025 => "fusion-reassociation",
+            LintCode::FL0026 => "dead-module",
         }
     }
+
+    /// Every code the analyzer can emit, in numeric order. The fixture
+    /// coverage test walks this registry: a code that no committed
+    /// fixture triggers is a code whose behavior nothing pins down.
+    pub const ALL: &'static [LintCode] = &[
+        LintCode::FL0001,
+        LintCode::FL0002,
+        LintCode::FL0003,
+        LintCode::FL0004,
+        LintCode::FL0005,
+        LintCode::FL0006,
+        LintCode::FL0007,
+        LintCode::FL0008,
+        LintCode::FL0009,
+        LintCode::FL0010,
+        LintCode::FL0011,
+        LintCode::FL0012,
+        LintCode::FL0013,
+        LintCode::FL0014,
+        LintCode::FL0015,
+        LintCode::FL0016,
+        LintCode::FL0017,
+        LintCode::FL0018,
+        LintCode::FL0019,
+        LintCode::FL0020,
+        LintCode::FL0021,
+        LintCode::FL0022,
+        LintCode::FL0023,
+        LintCode::FL0024,
+        LintCode::FL0025,
+        LintCode::FL0026,
+    ];
 }
 
 /// Severity of a diagnostic.
@@ -310,11 +384,16 @@ impl LintReport {
     }
 
     /// Serialize to the machine-readable JSON form.
+    // Invariant: the report is plain data (strings, enums, counters) —
+    // serde_json cannot fail on it.
+    #[allow(clippy::disallowed_methods)]
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serialization cannot fail")
     }
 
     /// Serialize to a JSON value.
+    // Invariant: same as `to_json`.
+    #[allow(clippy::disallowed_methods)]
     pub fn to_value(&self) -> Value {
         serde_json::to_value(self).expect("report serialization cannot fail")
     }
@@ -403,5 +482,17 @@ mod tests {
         assert_eq!(LintCode::FL0018.as_str(), "FL0018");
         assert_eq!(LintCode::FL0018.name(), "retry-unsound-inplace");
         assert_eq!(LintCode::FL0004.name(), "channel-under-depth");
+        assert_eq!(LintCode::FL0019.as_str(), "FL0019");
+        assert_eq!(LintCode::FL0026.as_str(), "FL0026");
+        assert_eq!(LintCode::FL0021.name(), "channel-depth-slack");
+        assert_eq!(LintCode::FL0025.name(), "fusion-reassociation");
+    }
+
+    #[test]
+    fn registry_is_complete_and_ordered() {
+        assert_eq!(LintCode::ALL.len(), 26);
+        for (i, code) in LintCode::ALL.iter().enumerate() {
+            assert_eq!(code.as_str(), format!("FL{:04}", i + 1));
+        }
     }
 }

@@ -1,0 +1,1323 @@
+//! Fusion legality analysis and the `FusionPlan` artifact.
+//!
+//! ROADMAP item 1 (a fused compiled backend) needs a static answer to
+//! one question: *which module chains of a validated MDAG may be
+//! collapsed into a single loop without changing observable values?*
+//! This module computes that answer. A **fusable region** is a maximal
+//! set of stateless 1:1-rate relay modules (`copy`, `scal`, `axpy`)
+//! connected producer-to-single-consumer, plus the interface reads and
+//! writes it absorbs. Everything else — reductions (reassociation!),
+//! stateful tiles, rate changes, fanout, bursts, paths that leave and
+//! re-enter the region — is a **rejection** carrying a witness that
+//! names the blocking module or channel.
+//!
+//! The output is a serializable [`FusionPlan`] (schema
+//! `fblas-fusion-plan-v1`): regions with boundary channels and a
+//! machine-checkable proof-obligation list, rejections with witnesses,
+//! and summary stats. [`check_obligations`] and [`verify_witnesses`]
+//! re-verify a plan against the graph it claims to describe — the
+//! contract the differential keystone test enforces — and
+//! [`FusedEvaluator`] executes a region as the straight-line
+//! per-element loop the future backend would emit, sharing
+//! [`apply_elementwise`] with the threaded value harness so fused and
+//! unfused runs are bit-identical by construction.
+
+use std::collections::BTreeMap;
+
+use fblas_core::composition::{EdgeInfo, Mdag, Op};
+use fblas_hlssim::ModuleKind;
+use serde::{Deserialize, Serialize};
+
+use crate::dataflow::{solve, ExternalReach, FlowGraph};
+
+/// Version tag of the artifact schema.
+pub const FUSION_PLAN_SCHEMA: &str = "fblas-fusion-plan-v1";
+
+// ---------------------------------------------------------------------
+// Module semantics.
+// ---------------------------------------------------------------------
+
+/// What a module *does*, as far as fusion legality is concerned.
+///
+/// Scalars are `Option<f64>` because graph documents name modules but
+/// carry no coefficients: an unknown α still fuses (legality does not
+/// depend on its value), it just disables the α = 1 pass-through lint
+/// and requires the caller of the evaluator to supply concrete
+/// semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModuleSem {
+    /// Interface source: replays one stream into each out-edge.
+    Read,
+    /// Interface sink: drains its single in-edge.
+    Write,
+    /// `out = x` — stateless 1:1 relay.
+    Copy,
+    /// `out = α·x` — stateless 1:1 relay.
+    Scal {
+        /// Scaling factor, when known.
+        alpha: Option<f64>,
+    },
+    /// `out = α·x + y` — stateless 2-in/1-out relay.
+    Axpy {
+        /// Scaling factor, when known.
+        alpha: Option<f64>,
+    },
+    /// Broadcast relay (the planner's `dup_*` nodes) — fanout.
+    Dup,
+    /// W-way reduction (`dot`): `W > 1` reassociates the sum.
+    Reduce {
+        /// Vectorization width of the adder tree.
+        width: usize,
+    },
+    /// Keeps state across elements (`gemv`, `ger` tiles).
+    Stateful,
+    /// Unknown semantics — never fused.
+    Opaque,
+}
+
+impl ModuleSem {
+    /// Is this a stateless elementwise relay fusion may absorb?
+    pub fn is_relay(&self) -> bool {
+        matches!(
+            self,
+            ModuleSem::Copy | ModuleSem::Scal { .. } | ModuleSem::Axpy { .. }
+        )
+    }
+
+    /// Number of input streams a relay consumes.
+    pub fn relay_arity(&self) -> Option<usize> {
+        match self {
+            ModuleSem::Copy | ModuleSem::Scal { .. } => Some(1),
+            ModuleSem::Axpy { .. } => Some(2),
+            _ => None,
+        }
+    }
+}
+
+/// Infer per-node semantics from module names and kinds — the best a
+/// raw `graph` document offers. Compute nodes are classified by base
+/// name (up to `#`); interfaces by whether they source or sink.
+pub fn infer_sems(g: &Mdag, width: usize) -> Vec<ModuleSem> {
+    let n = g.node_count();
+    let mut has_in = vec![false; n];
+    let mut has_out = vec![false; n];
+    for e in g.edges() {
+        has_out[e.from.0] = true;
+        has_in[e.to.0] = true;
+    }
+    g.node_ids()
+        .map(|id| {
+            let name = g.node_name(id);
+            let base = name.split('#').next().unwrap_or(name);
+            match g.node_kind(id) {
+                ModuleKind::Interface => {
+                    if has_out[id.0] && !has_in[id.0] {
+                        ModuleSem::Read
+                    } else if has_in[id.0] && !has_out[id.0] {
+                        ModuleSem::Write
+                    } else {
+                        ModuleSem::Opaque
+                    }
+                }
+                ModuleKind::Compute => {
+                    if base.starts_with("dup") {
+                        ModuleSem::Dup
+                    } else if base.starts_with("copy") {
+                        ModuleSem::Copy
+                    } else if base.starts_with("scal") {
+                        ModuleSem::Scal { alpha: None }
+                    } else if base.starts_with("axpy") {
+                        ModuleSem::Axpy { alpha: None }
+                    } else if base.starts_with("sdsdot") || base.starts_with("dot") {
+                        ModuleSem::Reduce { width }
+                    } else if base.starts_with("gemv") || base.starts_with("ger") {
+                        ModuleSem::Stateful
+                    } else {
+                        ModuleSem::Opaque
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Per-node semantics of a planned component: node names carry the
+/// program op index (`scal#3`), so coefficients are exact.
+pub fn sems_for_component(g: &Mdag, ops: &[Op], width: usize) -> Vec<ModuleSem> {
+    let base = infer_sems(g, width);
+    g.node_ids()
+        .map(|id| {
+            let name = g.node_name(id);
+            if let Some((_, idx)) = name.rsplit_once('#') {
+                if let Ok(oi) = idx.parse::<usize>() {
+                    if let Some(op) = ops.get(oi) {
+                        return match op {
+                            Op::Copy { .. } => ModuleSem::Copy,
+                            Op::Scal { alpha, .. } => ModuleSem::Scal {
+                                alpha: Some(*alpha),
+                            },
+                            Op::Axpy { alpha, .. } => ModuleSem::Axpy {
+                                alpha: Some(*alpha),
+                            },
+                            Op::Dot { .. } => ModuleSem::Reduce { width },
+                            Op::Gemv { .. } | Op::Ger { .. } => ModuleSem::Stateful,
+                        };
+                    }
+                }
+            }
+            base[id.0].clone()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// The artifact.
+// ---------------------------------------------------------------------
+
+/// A channel crossing the region boundary, with its instantiated depth
+/// (fusion must preserve boundary depths — only internal channels
+/// collapse).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundaryChannel {
+    /// Channel name, `producer->consumer`.
+    pub channel: String,
+    /// Instantiated FIFO depth.
+    pub depth: u64,
+}
+
+/// One machine-checkable condition the fused backend may assume and a
+/// verifier must re-establish before trusting the region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Obligation {
+    /// Stable kind tag (e.g. `uniform-rate`, `convex`).
+    pub kind: String,
+    /// Human-readable statement of the condition.
+    pub detail: String,
+}
+
+/// A maximal legally-fusable region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusedRegion {
+    /// Region name (`fuse0`, `fuse1`, …).
+    pub name: String,
+    /// Member modules in topological order, including absorbed
+    /// interface reads and writes.
+    pub modules: Vec<String>,
+    /// Channels entering the region from outside.
+    pub inputs: Vec<BoundaryChannel>,
+    /// Channel leaving the region, if its tail feeds an external
+    /// consumer (`None` when the tail drains into an absorbed write).
+    pub output: Option<BoundaryChannel>,
+    /// Elements every channel of the region carries.
+    pub elements: u64,
+    /// Proof obligations the region was admitted under.
+    pub obligations: Vec<Obligation>,
+}
+
+/// A chain (or single module) that cannot be fused, with the witness
+/// that blocks it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusionRejection {
+    /// Modules of the rejected chain.
+    pub modules: Vec<String>,
+    /// Stable reason tag (`stateful`, `reassociation`, `fanout`,
+    /// `rate-change`, `burst`, `order-mismatch`, `arity-mismatch`,
+    /// `feedback`, `recovery-guards`, `singleton`,
+    /// `unknown-semantics`).
+    pub reason: String,
+    /// The blocking module, when one exists in the graph.
+    pub witness_module: Option<String>,
+    /// The blocking channel (`producer->consumer`), when one exists.
+    pub witness_channel: Option<String>,
+}
+
+/// Summary counters for the bench artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusionStats {
+    /// Chains examined: fused regions plus rejections.
+    pub chains_found: u64,
+    /// Regions admitted.
+    pub fused: u64,
+    /// Rejection counts keyed by reason tag.
+    pub rejected: BTreeMap<String, u64>,
+}
+
+/// The serializable analysis result — the exact input the future fused
+/// backend consumes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusionPlan {
+    /// Schema tag ([`FUSION_PLAN_SCHEMA`]).
+    pub schema: String,
+    /// Source file (programs append `#c<i>` per component).
+    pub file: String,
+    /// Admitted regions.
+    pub regions: Vec<FusedRegion>,
+    /// Rejected chains with witnesses.
+    pub rejections: Vec<FusionRejection>,
+    /// Summary counters.
+    pub stats: FusionStats,
+}
+
+impl FusionPlan {
+    /// Pretty JSON. Field order is struct order and all maps are
+    /// ordered, so serialization is byte-stable across round trips.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| String::from("{}"))
+    }
+
+    /// Parse a plan back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Region discovery.
+// ---------------------------------------------------------------------
+
+/// What a relay node looks like from the fusion analysis: its uniform
+/// rate, its (at most one) forwarding edge, and the write-sink tees it
+/// may keep.
+struct RelayShape {
+    rate: u64,
+    main_out: Option<usize>,
+    sink_outs: Vec<usize>,
+}
+
+enum RelayVerdict {
+    Fusable(RelayShape),
+    Blocked {
+        reason: &'static str,
+        channel: Option<usize>,
+    },
+}
+
+fn channel_name(g: &Mdag, e: &EdgeInfo) -> String {
+    format!("{}->{}", g.node_name(e.from), g.node_name(e.to))
+}
+
+fn relay_shape(
+    _g: &Mdag,
+    sems: &[ModuleSem],
+    edges: &[EdgeInfo],
+    in_edges: &[Vec<usize>],
+    out_edges: &[Vec<usize>],
+    node: usize,
+) -> RelayVerdict {
+    let arity = match sems[node].relay_arity() {
+        Some(a) => a,
+        None => {
+            return RelayVerdict::Blocked {
+                reason: "unknown-semantics",
+                channel: None,
+            }
+        }
+    };
+    if in_edges[node].len() != arity {
+        return RelayVerdict::Blocked {
+            reason: "arity-mismatch",
+            channel: in_edges[node].first().copied(),
+        };
+    }
+    let mut rate = None;
+    for &ei in in_edges[node].iter().chain(&out_edges[node]) {
+        let e = &edges[ei];
+        if e.produced != e.consumed {
+            return RelayVerdict::Blocked {
+                reason: "rate-change",
+                channel: Some(ei),
+            };
+        }
+        if e.burst_before_consume > 0 {
+            return RelayVerdict::Blocked {
+                reason: "burst",
+                channel: Some(ei),
+            };
+        }
+        if !e.order_compatible {
+            return RelayVerdict::Blocked {
+                reason: "order-mismatch",
+                channel: Some(ei),
+            };
+        }
+        match rate {
+            None => rate = Some(e.produced),
+            Some(r) if r != e.produced => {
+                return RelayVerdict::Blocked {
+                    reason: "rate-change",
+                    channel: Some(ei),
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    // Partition outputs: tees into single-writer interface sinks ride
+    // along (the planner tees every op output to a `write_*` node);
+    // anything else is the forwarding edge, of which a relay may have
+    // at most one ("single computational consumer").
+    let mut main_out = None;
+    let mut sink_outs = Vec::new();
+    for &ei in &out_edges[node] {
+        let t = edges[ei].to.0;
+        if sems[t] == ModuleSem::Write && in_edges[t].len() == 1 {
+            sink_outs.push(ei);
+        } else if main_out.is_none() {
+            main_out = Some(ei);
+        } else {
+            return RelayVerdict::Blocked {
+                reason: "fanout",
+                channel: Some(ei),
+            };
+        }
+    }
+    RelayVerdict::Fusable(RelayShape {
+        rate: rate.unwrap_or(0),
+        main_out,
+        sink_outs,
+    })
+}
+
+fn find(parent: &mut [usize], mut i: usize) -> usize {
+    while parent[i] != i {
+        parent[i] = parent[parent[i]];
+        i = parent[i];
+    }
+    i
+}
+
+fn region_obligations(elements: u64) -> Vec<Obligation> {
+    let mk = |kind: &str, detail: String| Obligation {
+        kind: kind.to_string(),
+        detail,
+    };
+    vec![
+        mk(
+            "uniform-rate",
+            format!("every channel incident to the region carries exactly {elements} elements"),
+        ),
+        mk(
+            "spsc",
+            "each fused channel has exactly one producer and one computational consumer"
+                .to_string(),
+        ),
+        mk(
+            "no-burst",
+            "no channel incident to the region carries a burst-before-consume annotation"
+                .to_string(),
+        ),
+        mk(
+            "convex",
+            "no path leaves the region and re-enters it (fusing cannot deadlock a bypass)"
+                .to_string(),
+        ),
+        mk(
+            "elementwise",
+            "every fused compute module is a stateless 1:1 relay (copy/scal/axpy)".to_string(),
+        ),
+        mk(
+            "no-reassociation",
+            "the region contains no W-way reduction; fused order equals streamed order".to_string(),
+        ),
+        mk(
+            "no-recovery-hooks",
+            "no fault hook or retry guard is armed over the region's channels".to_string(),
+        ),
+        mk(
+            "boundary-depths-preserved",
+            "channels crossing the region boundary keep their instantiated depths".to_string(),
+        ),
+    ]
+}
+
+/// Run the fusion legality analysis over one MDAG.
+///
+/// `recovery_armed` marks graphs executed under retry/fault guards
+/// (`retry_max > 1`, or a live [`fblas_hlssim::SimContext`] with
+/// `faults_armed()`): fusing would collapse the channels the guards
+/// observe, so every candidate region is rejected with a
+/// `recovery-guards` witness instead.
+pub fn analyze_fusion(
+    g: &Mdag,
+    sems: &[ModuleSem],
+    file: &str,
+    recovery_armed: bool,
+) -> FusionPlan {
+    let n = g.node_count();
+    let edges: Vec<EdgeInfo> = g.edges().collect();
+    let mut in_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ei, e) in edges.iter().enumerate() {
+        out_edges[e.from.0].push(ei);
+        in_edges[e.to.0].push(ei);
+    }
+
+    let verdicts: Vec<Option<RelayVerdict>> = (0..n)
+        .map(|i| {
+            sems[i]
+                .is_relay()
+                .then(|| relay_shape(g, sems, &edges, &in_edges, &out_edges, i))
+        })
+        .collect();
+    let shape = |i: usize| match &verdicts[i] {
+        Some(RelayVerdict::Fusable(s)) => Some(s),
+        _ => None,
+    };
+
+    // Union relay-ok nodes along forwarding edges into in-tree regions.
+    let mut parent: Vec<usize> = (0..n).collect();
+    for i in 0..n {
+        if let Some(s) = shape(i) {
+            if let Some(ei) = s.main_out {
+                let v = edges[ei].to.0;
+                if shape(v).is_some() {
+                    let (ri, rv) = (find(&mut parent, i), find(&mut parent, v));
+                    parent[ri.max(rv)] = ri.min(rv);
+                }
+            }
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for i in 0..n {
+        if shape(i).is_some() {
+            groups.entry(find(&mut parent, i)).or_default().push(i);
+        }
+    }
+
+    let fg = FlowGraph::from_mdag(g);
+    let mut regions: Vec<FusedRegion> = Vec::new();
+    let mut rejections: Vec<FusionRejection> = Vec::new();
+    let mut fused_node = vec![false; n];
+
+    for members in groups.values() {
+        let names = |set: &[usize]| -> Vec<String> {
+            set.iter()
+                .map(|&i| g.node_name(fblas_core::composition::NodeId(i)).to_string())
+                .collect()
+        };
+        if members.len() < 2 {
+            rejections.push(FusionRejection {
+                modules: names(members),
+                reason: "singleton".to_string(),
+                witness_module: names(members).into_iter().next(),
+                witness_channel: None,
+            });
+            continue;
+        }
+        let member_set: Vec<bool> = {
+            let mut v = vec![false; n];
+            for &i in members {
+                v[i] = true;
+            }
+            v
+        };
+        let rate = members
+            .first()
+            .and_then(|&i| shape(i))
+            .map(|s| s.rate)
+            .unwrap_or(0);
+
+        // Absorb interface reads whose every output feeds the region at
+        // the region rate, and the write sinks the relays tee into.
+        let mut in_region = member_set.clone();
+        for r in 0..n {
+            if sems[r] != ModuleSem::Read || out_edges[r].is_empty() {
+                continue;
+            }
+            let all_in = out_edges[r].iter().all(|&ei| {
+                let e = &edges[ei];
+                member_set[e.to.0]
+                    && e.produced == e.consumed
+                    && e.produced == rate
+                    && e.burst_before_consume == 0
+                    && e.order_compatible
+            });
+            if all_in {
+                in_region[r] = true;
+            }
+        }
+        let mut output = None;
+        for &i in members {
+            if let Some(s) = shape(i) {
+                for &ei in &s.sink_outs {
+                    in_region[edges[ei].to.0] = true;
+                }
+                // The tail's forwarding edge either leaves the region
+                // (boundary output) or drains into an absorbable sink.
+                if let Some(ei) = s.main_out {
+                    let t = edges[ei].to.0;
+                    if !member_set[t] {
+                        if sems[t] == ModuleSem::Write && in_edges[t].len() == 1 {
+                            in_region[t] = true;
+                        } else {
+                            output = Some(BoundaryChannel {
+                                channel: channel_name(g, &edges[ei]),
+                                depth: edges[ei].channel_depth,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Convexity: a path that exits through any member and re-enters
+        // the region would deadlock against the collapsed channels.
+        let seeded: Vec<bool> = (0..n)
+            .map(|i| !in_region[i] && fg.preds(i).iter().any(|&p| in_region[p]))
+            .collect();
+        let sol = solve(
+            &fg,
+            &ExternalReach {
+                in_region: &in_region,
+                seeded: &seeded,
+            },
+        );
+        let reentry = (0..n).find(|&i| in_region[i] && sol.facts_in[i]);
+        if let Some(v) = reentry {
+            let witness = in_edges[v]
+                .iter()
+                .map(|&ei| &edges[ei])
+                .find(|e| !in_region[e.from.0] && sol.facts_out[e.from.0]);
+            rejections.push(FusionRejection {
+                modules: names(members),
+                reason: "feedback".to_string(),
+                witness_module: Some(g.node_name(fblas_core::composition::NodeId(v)).to_string()),
+                witness_channel: witness.map(|e| channel_name(g, e)),
+            });
+            continue;
+        }
+        if recovery_armed {
+            rejections.push(FusionRejection {
+                modules: names(members),
+                reason: "recovery-guards".to_string(),
+                witness_module: names(members).into_iter().next(),
+                witness_channel: None,
+            });
+            continue;
+        }
+
+        // Topological order over the region-induced subgraph.
+        let mut indeg = vec![0usize; n];
+        for e in &edges {
+            if in_region[e.from.0] && in_region[e.to.0] {
+                indeg[e.to.0] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| in_region[i] && indeg[i] == 0).collect();
+        queue.sort_unstable();
+        queue.reverse();
+        let mut topo = Vec::new();
+        while let Some(u) = queue.pop() {
+            topo.push(u);
+            for &ei in &out_edges[u] {
+                let v = edges[ei].to.0;
+                if in_region[v] {
+                    indeg[v] -= 1;
+                    if indeg[v] == 0 {
+                        queue.push(v);
+                        queue.sort_unstable();
+                        queue.reverse();
+                    }
+                }
+            }
+        }
+
+        let mut inputs = Vec::new();
+        for &i in members {
+            for &ei in &in_edges[i] {
+                let e = &edges[ei];
+                if !in_region[e.from.0] {
+                    inputs.push(BoundaryChannel {
+                        channel: channel_name(g, e),
+                        depth: e.channel_depth,
+                    });
+                }
+            }
+        }
+
+        for &i in &topo {
+            fused_node[i] = true;
+        }
+        regions.push(FusedRegion {
+            name: format!("fuse{}", regions.len()),
+            modules: names(&topo),
+            inputs,
+            output,
+            elements: rate,
+            obligations: region_obligations(rate),
+        });
+    }
+
+    // Every compute module outside a fused region carries a rejection
+    // witness — the record of *why* the backend must keep it threaded.
+    for i in 0..n {
+        if fused_node[i] {
+            continue;
+        }
+        let name = g.node_name(fblas_core::composition::NodeId(i)).to_string();
+        let (reason, channel) = match (&sems[i], &verdicts[i]) {
+            (_, Some(RelayVerdict::Blocked { reason, channel })) => (*reason, *channel),
+            (_, Some(RelayVerdict::Fusable(_))) => continue, // singleton, already recorded
+            (ModuleSem::Reduce { width }, _) if *width > 1 => ("reassociation", None),
+            (ModuleSem::Reduce { .. }, _) => ("rate-change", None),
+            (ModuleSem::Stateful, _) => ("stateful", None),
+            (ModuleSem::Dup, _) => ("fanout", None),
+            (ModuleSem::Opaque, _)
+                if g.node_kind(fblas_core::composition::NodeId(i)) == ModuleKind::Compute =>
+            {
+                ("unknown-semantics", None)
+            }
+            _ => continue, // interface reads/writes need no witness
+        };
+        rejections.push(FusionRejection {
+            modules: vec![name.clone()],
+            reason: reason.to_string(),
+            witness_module: Some(name),
+            witness_channel: channel.map(|ei| channel_name(g, &edges[ei])),
+        });
+    }
+
+    let mut rejected: BTreeMap<String, u64> = BTreeMap::new();
+    for r in &rejections {
+        *rejected.entry(r.reason.clone()).or_insert(0) += 1;
+    }
+    let stats = FusionStats {
+        chains_found: (regions.len() + rejections.len()) as u64,
+        fused: regions.len() as u64,
+        rejected,
+    };
+    FusionPlan {
+        schema: FUSION_PLAN_SCHEMA.to_string(),
+        file: file.to_string(),
+        regions,
+        rejections,
+        stats,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Plan re-verification (the keystone's contract).
+// ---------------------------------------------------------------------
+
+fn node_by_name(g: &Mdag, name: &str) -> Option<usize> {
+    g.node_ids()
+        .find(|&id| g.node_name(id) == name)
+        .map(|id| id.0)
+}
+
+fn edge_by_name(g: &Mdag, name: &str) -> Option<EdgeInfo> {
+    g.edges().find(|e| channel_name(g, e) == name)
+}
+
+/// Re-establish every obligation of every region against the graph.
+/// Returns one message per violated (or unknown) obligation; an empty
+/// vector means the plan is trustworthy.
+pub fn check_obligations(
+    plan: &FusionPlan,
+    g: &Mdag,
+    sems: &[ModuleSem],
+    recovery_armed: bool,
+) -> Vec<String> {
+    let mut errs = Vec::new();
+    let n = g.node_count();
+    let edges: Vec<EdgeInfo> = g.edges().collect();
+    let fg = FlowGraph::from_mdag(g);
+    for region in &plan.regions {
+        let mut in_region = vec![false; n];
+        let mut members = Vec::new();
+        for m in &region.modules {
+            match node_by_name(g, m) {
+                Some(i) => {
+                    in_region[i] = true;
+                    members.push(i);
+                }
+                None => {
+                    errs.push(format!("{}: module `{m}` not in graph", region.name));
+                }
+            }
+        }
+        let relays: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&i| sems[i].is_relay())
+            .collect();
+        for ob in &region.obligations {
+            let fail = |errs: &mut Vec<String>, msg: String| {
+                errs.push(format!("{}: obligation `{}`: {msg}", region.name, ob.kind));
+            };
+            match ob.kind.as_str() {
+                "uniform-rate" => {
+                    for e in edges
+                        .iter()
+                        .filter(|e| relays.contains(&e.from.0) || relays.contains(&e.to.0))
+                    {
+                        if e.produced != e.consumed || e.produced != region.elements {
+                            fail(
+                                &mut errs,
+                                format!(
+                                    "channel `{}` carries {}/{} elements, expected {}",
+                                    channel_name(g, e),
+                                    e.produced,
+                                    e.consumed,
+                                    region.elements
+                                ),
+                            );
+                        }
+                    }
+                }
+                "spsc" => {
+                    for &i in &relays {
+                        let fanout = edges
+                            .iter()
+                            .filter(|e| {
+                                e.from.0 == i
+                                    && !(sems[e.to.0] == ModuleSem::Write && in_region[e.to.0])
+                            })
+                            .count();
+                        if fanout > 1 {
+                            fail(
+                                &mut errs,
+                                format!(
+                                    "`{}` fans out to {fanout} computational consumers",
+                                    g.node_name(fblas_core::composition::NodeId(i))
+                                ),
+                            );
+                        }
+                    }
+                }
+                "no-burst" => {
+                    for e in edges
+                        .iter()
+                        .filter(|e| relays.contains(&e.from.0) || relays.contains(&e.to.0))
+                    {
+                        if e.burst_before_consume > 0 {
+                            fail(
+                                &mut errs,
+                                format!("channel `{}` bursts", channel_name(g, e)),
+                            );
+                        }
+                    }
+                }
+                "convex" => {
+                    let seeded: Vec<bool> = (0..n)
+                        .map(|i| !in_region[i] && fg.preds(i).iter().any(|&p| in_region[p]))
+                        .collect();
+                    let sol = solve(
+                        &fg,
+                        &ExternalReach {
+                            in_region: &in_region,
+                            seeded: &seeded,
+                        },
+                    );
+                    if let Some(v) = (0..n).find(|&i| in_region[i] && sol.facts_in[i]) {
+                        fail(
+                            &mut errs,
+                            format!(
+                                "external path re-enters at `{}`",
+                                g.node_name(fblas_core::composition::NodeId(v))
+                            ),
+                        );
+                    }
+                }
+                "elementwise" => {
+                    for &i in &members {
+                        if !sems[i].is_relay()
+                            && !matches!(sems[i], ModuleSem::Read | ModuleSem::Write)
+                        {
+                            fail(
+                                &mut errs,
+                                format!(
+                                    "`{}` is not a stateless relay",
+                                    g.node_name(fblas_core::composition::NodeId(i))
+                                ),
+                            );
+                        }
+                    }
+                }
+                "no-reassociation" => {
+                    for &i in &members {
+                        if matches!(sems[i], ModuleSem::Reduce { .. }) {
+                            fail(
+                                &mut errs,
+                                format!(
+                                    "`{}` reduces",
+                                    g.node_name(fblas_core::composition::NodeId(i))
+                                ),
+                            );
+                        }
+                    }
+                }
+                "no-recovery-hooks" => {
+                    if recovery_armed {
+                        fail(&mut errs, "a recovery guard is armed".to_string());
+                    }
+                }
+                "boundary-depths-preserved" => {
+                    for bc in region.inputs.iter().chain(region.output.as_ref()) {
+                        match edge_by_name(g, &bc.channel) {
+                            Some(e) if e.channel_depth == bc.depth => {}
+                            Some(e) => fail(
+                                &mut errs,
+                                format!(
+                                    "boundary `{}` has depth {}, plan says {}",
+                                    bc.channel, e.channel_depth, bc.depth
+                                ),
+                            ),
+                            None => {
+                                fail(&mut errs, format!("boundary `{}` not in graph", bc.channel))
+                            }
+                        }
+                    }
+                }
+                other => fail(&mut errs, format!("unknown obligation kind `{other}`")),
+            }
+        }
+    }
+    errs
+}
+
+/// Check every rejection's witness against the graph: the named
+/// modules and channels must exist. Returns one message per dangling
+/// witness.
+pub fn verify_witnesses(plan: &FusionPlan, g: &Mdag) -> Vec<String> {
+    let mut errs = Vec::new();
+    for (ri, rej) in plan.rejections.iter().enumerate() {
+        for m in rej.modules.iter().chain(rej.witness_module.as_ref()) {
+            if node_by_name(g, m).is_none() {
+                errs.push(format!(
+                    "rejection #{ri} ({}): module `{m}` not in graph",
+                    rej.reason
+                ));
+            }
+        }
+        if let Some(ch) = &rej.witness_channel {
+            if edge_by_name(g, ch).is_none() {
+                errs.push(format!(
+                    "rejection #{ri} ({}): channel `{ch}` not in graph",
+                    rej.reason
+                ));
+            }
+        }
+        if rej.witness_module.is_none() && rej.witness_channel.is_none() {
+            errs.push(format!("rejection #{ri} ({}): no witness", rej.reason));
+        }
+    }
+    errs
+}
+
+// ---------------------------------------------------------------------
+// Straight-line evaluation of a fused region.
+// ---------------------------------------------------------------------
+
+/// The single floating-point semantics both execution styles share.
+/// The threaded value harness applies this per element per module; the
+/// fused evaluator applies it per element per step. One function, one
+/// operation order — bit-identity between the two is by construction,
+/// which is exactly why fusing a relay chain is legal and fusing a
+/// W-way reduction (whose order *does* change) is not.
+pub fn apply_elementwise(sem: &ModuleSem, ins: &[f32]) -> Option<f32> {
+    match (sem, ins) {
+        (ModuleSem::Copy, [x, ..]) => Some(*x),
+        (ModuleSem::Scal { alpha }, [x, ..]) => Some(alpha.unwrap_or(1.0) as f32 * *x),
+        (ModuleSem::Axpy { alpha }, [x, y, ..]) => Some(alpha.unwrap_or(1.0) as f32 * *x + *y),
+        _ => None,
+    }
+}
+
+/// Where a step reads a value from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// An earlier step's result.
+    Slot(usize),
+    /// An input stream (index into [`FusedEvaluator::inputs`]).
+    Input(usize),
+}
+
+/// One fused relay application.
+#[derive(Debug, Clone)]
+pub struct FusedStep {
+    /// Result slot.
+    pub slot: usize,
+    /// Relay semantics.
+    pub sem: ModuleSem,
+    /// Operand sources, in the module's input-channel order.
+    pub srcs: Vec<Src>,
+}
+
+/// One absorbed write sink.
+#[derive(Debug, Clone)]
+pub struct FusedSink {
+    /// Sink module name (keys the output map).
+    pub module: String,
+    /// Value the sink drains.
+    pub src: Src,
+}
+
+/// The straight-line per-element program a fused region compiles to.
+#[derive(Debug, Clone)]
+pub struct FusedEvaluator {
+    /// Input stream keys: absorbed read module names, then boundary
+    /// channel names.
+    pub inputs: Vec<String>,
+    /// Relay applications in topological order.
+    pub steps: Vec<FusedStep>,
+    /// Absorbed write sinks.
+    pub sinks: Vec<FusedSink>,
+    /// Value forwarded on the region's output channel, if any.
+    pub output: Option<Src>,
+    /// Elements to process.
+    pub elements: u64,
+}
+
+/// Outputs of one fused run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedRun {
+    /// Values drained by each absorbed write, keyed by module name.
+    pub sinks: BTreeMap<String, Vec<f32>>,
+    /// Values forwarded on the region output channel.
+    pub output: Vec<f32>,
+}
+
+/// Compile a [`FusedRegion`] against its graph into a straight-line
+/// evaluator. `sems` must carry concrete coefficients for the region's
+/// relays.
+pub fn build_evaluator(
+    g: &Mdag,
+    sems: &[ModuleSem],
+    region: &FusedRegion,
+) -> Result<FusedEvaluator, String> {
+    let edges: Vec<EdgeInfo> = g.edges().collect();
+    let n = g.node_count();
+    let mut in_region = vec![false; n];
+    let mut nodes = Vec::new();
+    for m in &region.modules {
+        let i = node_by_name(g, m).ok_or_else(|| format!("module `{m}` not in graph"))?;
+        in_region[i] = true;
+        nodes.push(i);
+    }
+
+    let mut inputs: Vec<String> = nodes
+        .iter()
+        .filter(|&&i| sems[i] == ModuleSem::Read)
+        .map(|&i| g.node_name(fblas_core::composition::NodeId(i)).to_string())
+        .collect();
+    inputs.extend(region.inputs.iter().map(|bc| bc.channel.clone()));
+    let input_index = |key: &str| -> Option<usize> { inputs.iter().position(|k| k == key) };
+
+    let mut slot_of: Vec<Option<usize>> = vec![None; n];
+    let mut steps = Vec::new();
+    for &i in &nodes {
+        if !sems[i].is_relay() {
+            continue;
+        }
+        let mut srcs = Vec::new();
+        for e in edges.iter().filter(|e| e.to.0 == i) {
+            let f = e.from.0;
+            let src = if in_region[f] && sems[f].is_relay() {
+                Src::Slot(
+                    slot_of[f]
+                        .ok_or_else(|| "region modules out of topological order".to_string())?,
+                )
+            } else if in_region[f] && sems[f] == ModuleSem::Read {
+                Src::Input(
+                    input_index(g.node_name(e.from))
+                        .ok_or_else(|| "absorbed read missing from inputs".to_string())?,
+                )
+            } else {
+                let name = channel_name(g, e);
+                Src::Input(
+                    input_index(&name)
+                        .ok_or_else(|| format!("boundary channel `{name}` missing from plan"))?,
+                )
+            };
+            srcs.push(src);
+        }
+        let slot = steps.len();
+        slot_of[i] = Some(slot);
+        steps.push(FusedStep {
+            slot,
+            sem: sems[i].clone(),
+            srcs,
+        });
+    }
+
+    let mut sinks = Vec::new();
+    for &w in nodes.iter().filter(|&&i| sems[i] == ModuleSem::Write) {
+        let feeder = edges
+            .iter()
+            .find(|e| e.to.0 == w)
+            .ok_or_else(|| "absorbed write has no feeder".to_string())?;
+        let slot = slot_of[feeder.from.0]
+            .ok_or_else(|| "absorbed write fed from outside the region".to_string())?;
+        sinks.push(FusedSink {
+            module: g.node_name(fblas_core::composition::NodeId(w)).to_string(),
+            src: Src::Slot(slot),
+        });
+    }
+
+    let output = match &region.output {
+        None => None,
+        Some(bc) => {
+            let e = edge_by_name(g, &bc.channel)
+                .ok_or_else(|| format!("output channel `{}` not in graph", bc.channel))?;
+            Some(Src::Slot(slot_of[e.from.0].ok_or_else(|| {
+                "output channel fed from outside the region".to_string()
+            })?))
+        }
+    };
+
+    Ok(FusedEvaluator {
+        inputs,
+        steps,
+        sinks,
+        output,
+        elements: region.elements,
+    })
+}
+
+impl FusedEvaluator {
+    /// Execute the straight-line loop on named input streams.
+    pub fn run(&self, streams: &BTreeMap<String, Vec<f32>>) -> Result<FusedRun, String> {
+        let mut ins: Vec<&[f32]> = Vec::with_capacity(self.inputs.len());
+        for key in &self.inputs {
+            let s = streams
+                .get(key)
+                .ok_or_else(|| format!("missing input stream `{key}`"))?;
+            if (s.len() as u64) < self.elements {
+                return Err(format!(
+                    "input `{key}` has {} elements, region needs {}",
+                    s.len(),
+                    self.elements
+                ));
+            }
+            ins.push(s);
+        }
+        let mut sinks: BTreeMap<String, Vec<f32>> = self
+            .sinks
+            .iter()
+            .map(|s| (s.module.clone(), Vec::with_capacity(self.elements as usize)))
+            .collect();
+        let mut output = Vec::new();
+        let mut slots = vec![0.0f32; self.steps.len()];
+        // `t` indexes every input stream at once, not one iterable.
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..self.elements as usize {
+            let read = |slots: &[f32], src: Src| -> f32 {
+                match src {
+                    Src::Slot(i) => slots[i],
+                    Src::Input(i) => ins[i][t],
+                }
+            };
+            for step in &self.steps {
+                let vals: Vec<f32> = step.srcs.iter().map(|&s| read(&slots, s)).collect();
+                slots[step.slot] = apply_elementwise(&step.sem, &vals)
+                    .ok_or_else(|| format!("slot {}: non-relay semantics", step.slot))?;
+            }
+            for sink in &self.sinks {
+                let v = read(&slots, sink.src);
+                if let Some(buf) = sinks.get_mut(&sink.module) {
+                    buf.push(v);
+                }
+            }
+            if let Some(src) = self.output {
+                output.push(read(&slots, src));
+            }
+        }
+        Ok(FusedRun { sinks, output })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// read_x, read_y → scal → axpy → write_z, with a tee from scal to
+    /// write_t: the canonical two-relay fusable chain.
+    fn chain_graph() -> (Mdag, Vec<ModuleSem>) {
+        let mut g = Mdag::new();
+        let rx = g.add_interface("read_x");
+        let ry = g.add_interface("read_y");
+        let scal = g.add_compute("scal#0");
+        let axpy = g.add_compute("axpy#1");
+        let wt = g.add_interface("write_t");
+        let wz = g.add_interface("write_z");
+        g.add_edge(rx, scal, 64, 64, 16);
+        g.add_edge(scal, axpy, 64, 64, 16);
+        g.add_edge(ry, axpy, 64, 64, 16);
+        g.add_edge(scal, wt, 64, 64, 16);
+        g.add_edge(axpy, wz, 64, 64, 16);
+        let mut sems = infer_sems(&g, 1);
+        sems[scal.0] = ModuleSem::Scal { alpha: Some(3.0) };
+        sems[axpy.0] = ModuleSem::Axpy { alpha: Some(-2.0) };
+        (g, sems)
+    }
+
+    #[test]
+    fn relay_chain_fuses_with_absorbed_interfaces() {
+        let (g, sems) = chain_graph();
+        let plan = analyze_fusion(&g, &sems, "chain", false);
+        assert_eq!(plan.stats.fused, 1, "{}", plan.to_json());
+        let region = &plan.regions[0];
+        assert_eq!(region.elements, 64);
+        // Both reads, both relays and both writes are absorbed.
+        assert_eq!(region.modules.len(), 6);
+        assert!(region.inputs.is_empty(), "all producers absorbed");
+        assert!(region.output.is_none(), "tail drains into write_z");
+        assert_eq!(region.obligations.len(), 8);
+        assert!(check_obligations(&plan, &g, &sems, false).is_empty());
+        assert!(verify_witnesses(&plan, &g).is_empty());
+    }
+
+    #[test]
+    fn evaluator_matches_hand_computation() {
+        let (g, sems) = chain_graph();
+        let plan = analyze_fusion(&g, &sems, "chain", false);
+        let eval = build_evaluator(&g, &sems, &plan.regions[0]).unwrap();
+        let mut streams = BTreeMap::new();
+        streams.insert("read_x".to_string(), vec![1.0f32; 64]);
+        streams.insert("read_y".to_string(), vec![0.5f32; 64]);
+        let run = eval.run(&streams).unwrap();
+        // scal: 3·1 = 3; axpy: −2·3 + 0.5 = −5.5.
+        assert_eq!(run.sinks["write_t"][0], 3.0);
+        assert_eq!(run.sinks["write_z"][0], -5.5);
+        assert!(run.output.is_empty());
+    }
+
+    #[test]
+    fn fanout_to_compute_blocks_the_relay() {
+        let mut g = Mdag::new();
+        let rx = g.add_interface("read_x");
+        let scal = g.add_compute("scal#0");
+        let c1 = g.add_compute("copy#1");
+        let c2 = g.add_compute("copy#2");
+        let w1 = g.add_interface("write_a");
+        let w2 = g.add_interface("write_b");
+        g.add_edge(rx, scal, 8, 8, 4);
+        g.add_edge(scal, c1, 8, 8, 4);
+        g.add_edge(scal, c2, 8, 8, 4);
+        g.add_edge(c1, w1, 8, 8, 4);
+        g.add_edge(c2, w2, 8, 8, 4);
+        let sems = infer_sems(&g, 1);
+        let plan = analyze_fusion(&g, &sems, "fanout", false);
+        assert_eq!(plan.stats.fused, 0);
+        assert!(plan
+            .rejections
+            .iter()
+            .any(|r| r.reason == "fanout" && r.witness_module.as_deref() == Some("scal#0")));
+        assert!(verify_witnesses(&plan, &g).is_empty());
+    }
+
+    #[test]
+    fn wide_reduction_is_rejected_for_reassociation() {
+        let mut g = Mdag::new();
+        let rx = g.add_interface("read_x");
+        let ry = g.add_interface("read_y");
+        let dot = g.add_compute("dot#0");
+        let w = g.add_interface("write_d");
+        g.add_edge(rx, dot, 64, 64, 16);
+        g.add_edge(ry, dot, 64, 64, 16);
+        g.add_edge(dot, w, 1, 1, 1);
+        let sems = infer_sems(&g, 16);
+        let plan = analyze_fusion(&g, &sems, "dot", false);
+        assert!(plan.rejections.iter().any(|r| r.reason == "reassociation"));
+        // At W = 1 the reduction no longer reassociates but still
+        // changes the rate (N in, 1 out).
+        let sems1 = infer_sems(&g, 1);
+        let plan1 = analyze_fusion(&g, &sems1, "dot", false);
+        assert!(plan1.rejections.iter().any(|r| r.reason == "rate-change"));
+    }
+
+    #[test]
+    fn bypass_path_rejects_the_region_as_feedback() {
+        // scal → copy directly and through an opaque stage: fusing
+        // {scal, copy} would deadlock the bypass.
+        let mut g = Mdag::new();
+        let rx = g.add_interface("read_x");
+        let scal = g.add_compute("scal#0");
+        let mid = g.add_compute("mystery");
+        let copy = g.add_compute("copy#1");
+        let w = g.add_interface("write_y");
+        g.add_edge(rx, scal, 8, 8, 4);
+        g.add_edge(scal, copy, 8, 8, 4);
+        g.add_edge(scal, mid, 8, 8, 4);
+        g.add_edge(mid, copy, 8, 8, 4);
+        g.add_edge(copy, w, 8, 8, 4);
+        let sems = infer_sems(&g, 1);
+        let plan = analyze_fusion(&g, &sems, "bypass", false);
+        // scal fans out to two computes, so the chain never forms; the
+        // copy has two inputs (arity mismatch for a 1-in relay).
+        assert_eq!(plan.stats.fused, 0);
+        assert!(verify_witnesses(&plan, &g).is_empty());
+    }
+
+    #[test]
+    fn recovery_guards_reject_otherwise_fusable_regions() {
+        let (g, sems) = chain_graph();
+        let plan = analyze_fusion(&g, &sems, "chain", true);
+        assert_eq!(plan.stats.fused, 0);
+        assert!(plan
+            .rejections
+            .iter()
+            .any(|r| r.reason == "recovery-guards"));
+        assert!(verify_witnesses(&plan, &g).is_empty());
+    }
+
+    #[test]
+    fn plan_round_trips_byte_stably() {
+        let (g, sems) = chain_graph();
+        let plan = analyze_fusion(&g, &sems, "chain", false);
+        let json = plan.to_json();
+        let back = FusionPlan::from_json(&json).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.to_json(), json, "round trip must be byte-stable");
+    }
+
+    #[test]
+    fn corrupted_plans_fail_reverification() {
+        let (g, sems) = chain_graph();
+        let mut plan = analyze_fusion(&g, &sems, "chain", false);
+        plan.regions[0].elements += 1;
+        assert!(!check_obligations(&plan, &g, &sems, false).is_empty());
+        let mut plan2 = analyze_fusion(&g, &sems, "chain", false);
+        plan2.rejections.push(FusionRejection {
+            modules: vec!["ghost".to_string()],
+            reason: "stateful".to_string(),
+            witness_module: Some("ghost".to_string()),
+            witness_channel: None,
+        });
+        assert!(!verify_witnesses(&plan2, &g).is_empty());
+    }
+
+    #[test]
+    fn singleton_relay_is_recorded_not_fused() {
+        let mut g = Mdag::new();
+        let rx = g.add_interface("read_x");
+        let scal = g.add_compute("scal");
+        let w = g.add_interface("write_y");
+        g.add_edge(rx, scal, 8, 8, 4);
+        g.add_edge(scal, w, 8, 8, 4);
+        let sems = infer_sems(&g, 1);
+        let plan = analyze_fusion(&g, &sems, "single", false);
+        assert_eq!(plan.stats.fused, 0);
+        assert!(plan.rejections.iter().any(|r| r.reason == "singleton"));
+        assert_eq!(plan.stats.chains_found, 1);
+    }
+
+    #[test]
+    fn sems_for_component_reads_coefficients_from_ops() {
+        let mut g = Mdag::new();
+        g.add_compute("scal#1");
+        let ops = vec![
+            Op::Copy {
+                x: "a".into(),
+                out: "b".into(),
+            },
+            Op::Scal {
+                alpha: 2.5,
+                x: "b".into(),
+                out: "c".into(),
+            },
+        ];
+        let sems = sems_for_component(&g, &ops, 16);
+        assert_eq!(sems[0], ModuleSem::Scal { alpha: Some(2.5) });
+    }
+}

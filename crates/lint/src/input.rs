@@ -94,6 +94,10 @@ pub struct ConfigDoc {
     /// greater than 1 arms the retry-soundness lints (FL0018).
     #[serde(default)]
     pub retry_max: Option<u32>,
+    /// Transport chunk size assumed by the channel-depth tightening
+    /// pass (default: the simulator's `FBLAS_CHUNK` default).
+    #[serde(default)]
+    pub chunk: Option<u64>,
 }
 
 /// The `"program"` payload.
@@ -135,6 +139,20 @@ pub struct EdgeDoc {
     pub burst: Option<u64>,
 }
 
+/// Analysis configuration of a `"graph"` document.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GraphConfigDoc {
+    /// Transport chunk size assumed by the depth-tightening pass.
+    #[serde(default)]
+    pub chunk: Option<u64>,
+    /// Abstract-scheduler step budget override.
+    #[serde(default)]
+    pub budget: Option<u64>,
+    /// Vectorization width `W` (drives reduction-semantics inference).
+    #[serde(default)]
+    pub width: Option<usize>,
+}
+
 /// The `"graph"` payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GraphDoc {
@@ -142,6 +160,9 @@ pub struct GraphDoc {
     pub nodes: Vec<NodeDoc>,
     /// Channels.
     pub edges: Vec<EdgeDoc>,
+    /// Optional analysis configuration.
+    #[serde(default)]
+    pub config: GraphConfigDoc,
 }
 
 /// A classified lintable document.
@@ -424,6 +445,7 @@ mod tests {
                 depth: 4,
                 burst: None,
             }],
+            config: GraphConfigDoc::default(),
         };
         let g = doc.to_mdag().unwrap();
         assert_eq!(g.node_count(), 2);

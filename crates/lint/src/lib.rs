@@ -51,15 +51,28 @@
 //! * `{"graph": {...}}` — a raw module DAG with explicit per-edge
 //!   element counts, depths, and burst annotations.
 
+// Tests may unwrap freely; library code must not (see clippy.toml).
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
+pub mod dataflow;
 pub mod diag;
+pub mod fusion;
 pub mod harness;
 pub mod input;
 pub mod passes;
 
 pub use diag::{Diagnostic, LintCode, LintReport, Location, Severity, REPORT_VERSION};
-pub use harness::{differential_grace, run_on_simulator, SimVerdict};
+pub use fusion::{
+    analyze_fusion, apply_elementwise, build_evaluator, check_obligations, infer_sems,
+    sems_for_component, verify_witnesses, FusedEvaluator, FusedRegion, FusedRun, FusionPlan,
+    FusionRejection, FusionStats, ModuleSem, FUSION_PLAN_SCHEMA,
+};
+pub use harness::{
+    differential_grace, run_on_simulator, run_region_threaded, seeded_stream, seeded_streams,
+    SimVerdict,
+};
 pub use input::{classify, Document};
-pub use passes::{lint_document, lint_mdag};
+pub use passes::{lint_document, lint_document_full, lint_mdag, LintOutput};
 
 /// Lint a raw JSON document: classify the dialect, run the passes.
 ///
@@ -67,9 +80,16 @@ pub use passes::{lint_document, lint_mdag};
 /// `fblas_lint_runs_total` and its wall latency into `fblas_lint_us`,
 /// so a serving layer can watch lint throughput next to execution.
 pub fn lint_json(json: &str, file: &str) -> LintReport {
+    lint_json_full(json, file).report
+}
+
+/// Like [`lint_json`], but also returns the fusion-plan artifacts the
+/// analysis derived (one per analyzable graph, one per planned program
+/// component).
+pub fn lint_json_full(json: &str, file: &str) -> LintOutput {
     let t0 = fblas_metrics::armed().then(std::time::Instant::now);
-    let report = match classify(json) {
-        Ok(doc) => lint_document(&doc, file),
+    let out = match classify(json) {
+        Ok(doc) => lint_document_full(&doc, file),
         Err(e) => {
             let mut r = LintReport::new();
             r.push(Diagnostic::new(
@@ -81,7 +101,10 @@ pub fn lint_json(json: &str, file: &str) -> LintReport {
                 },
                 e,
             ));
-            r
+            LintOutput {
+                report: r,
+                fusion: Vec::new(),
+            }
         }
     };
     if let (Some(t0), Some(reg)) = (t0, fblas_metrics::registry()) {
@@ -89,7 +112,7 @@ pub fn lint_json(json: &str, file: &str) -> LintReport {
         reg.histogram("fblas_lint_us", &[])
             .record(fblas_metrics::elapsed_us(t0));
     }
-    report
+    out
 }
 
 #[cfg(test)]

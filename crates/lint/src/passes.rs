@@ -1,18 +1,26 @@
 //! The analysis passes.
 //!
-//! Four passes over the three document dialects:
+//! Every MDAG-level pass runs over a shared [`AnalysisCtx`] — the
+//! graph, its per-module semantics, and the execution assumptions
+//! (chunk size, scheduler budget, armed recovery guards, planner
+//! channel deepenings):
 //!
 //! 1. **Rate analysis** — the SDF-style balance/schedulability check:
 //!    per-edge element counts, then the abstract Kahn-network execution
 //!    of [`fblas_core::composition::rates`] for a deadlock verdict and
 //!    exact minimum channel depths (generalizing the paper's multitree
 //!    heuristic, Sec. V).
-//! 2. **Contract checks** — planner-level stream contracts (tile-order
+//! 2. **Dataflow passes** ([`crate::dataflow`]) — dead/pass-through
+//!    module elimination (FL0023/FL0024/FL0026), channel depth
+//!    tightening under the chosen chunk size (FL0021/FL0022), and
+//!    fusion legality (FL0019/FL0020/FL0025) with its serializable
+//!    [`FusionPlan`] artifact.
+//! 3. **Contract checks** — planner-level stream contracts (tile-order
 //!    compatibility, replay-from-computational-producer, shapes) and
 //!    codegen spec validation.
-//! 3. **Resource feasibility** — composes the `fblas-arch` estimates
+//! 4. **Resource feasibility** — composes the `fblas-arch` estimates
 //!    over the plan and flags DSP/M20K/bandwidth overcommit per device.
-//! 4. **Numeric lints** — W-way accumulation reassociation and
+//! 5. **Numeric lints** — W-way accumulation reassociation and
 //!    mixed-precision hazards.
 
 use fblas_arch::resources::m20ks_for_buffer;
@@ -25,14 +33,36 @@ use fblas_core::composition::{
     plan, ContractCause, Mdag, Op, Plan, PlanError, PlanNote, PlannedComponent, PlannerConfig,
     Program, RateGraph, RateOutcome, Validity,
 };
+use fblas_hlssim::ModuleKind;
 
+use crate::dataflow::{solve, FlowGraph, LiveSinks};
 use crate::diag::{Diagnostic, LintCode, LintReport, Location, Severity};
+use crate::fusion::{analyze_fusion, infer_sems, sems_for_component, FusionPlan, ModuleSem};
 use crate::input::{Document, GraphDoc, ProgramDoc};
+
+/// A lint run's full result: the diagnostics plus the fusion-plan
+/// artifacts the analysis derived (one per analyzable graph document,
+/// one per planned program component).
+#[derive(Debug)]
+pub struct LintOutput {
+    /// The diagnostics.
+    pub report: LintReport,
+    /// Fusion plans, in analysis order.
+    pub fusion: Vec<FusionPlan>,
+}
 
 /// Lint one classified document; `file` is used for locations.
 pub fn lint_document(doc: &Document, file: &str) -> LintReport {
+    lint_document_full(doc, file).report
+}
+
+/// Lint one classified document and keep the fusion artifacts.
+pub fn lint_document_full(doc: &Document, file: &str) -> LintOutput {
     match doc {
-        Document::Spec(json) => lint_spec(json, file),
+        Document::Spec(json) => LintOutput {
+            report: lint_spec(json, file),
+            fusion: Vec::new(),
+        },
         Document::Program(p) => lint_program_doc(p, file),
         Document::Graph(g) => lint_graph_doc(g, file),
     }
@@ -44,10 +74,444 @@ fn at(file: &str, mut loc: Location) -> Location {
 }
 
 // ---------------------------------------------------------------------
-// Pass 1+2 over graph documents: rate analysis of a raw MDAG.
+// The shared analysis context and the MDAG-level passes.
 // ---------------------------------------------------------------------
 
-fn lint_graph_doc(doc: &GraphDoc, file: &str) -> LintReport {
+/// Everything the MDAG-level passes read. One context per graph (or
+/// per planned component); the passes run in a fixed order and later
+/// passes assume the invariants earlier ones established (fusion only
+/// runs on balanced, acyclic, schedulable graphs).
+pub struct AnalysisCtx<'a> {
+    /// Source file, for locations.
+    pub file: &'a str,
+    /// Label the fusion plan records (programs append `#c<i>`).
+    pub plan_label: String,
+    /// The graph under analysis.
+    pub mdag: &'a Mdag,
+    /// Per-node semantics (index == node index).
+    pub sems: Vec<ModuleSem>,
+    /// Transport chunk size the depth-tightening pass assumes.
+    pub chunk: u64,
+    /// Abstract-scheduler step budget override.
+    pub budget: Option<u64>,
+    /// Whether retry/fault guards are armed (blocks fusion).
+    pub recovery_armed: bool,
+    /// Channels the planner already deepened (`name -> depth`),
+    /// applied to the rate graph before the verdict.
+    pub deep_channels: &'a [(String, u64)],
+}
+
+impl<'a> AnalysisCtx<'a> {
+    /// Context for a standalone graph with inferred semantics and
+    /// default execution assumptions.
+    pub fn for_graph(mdag: &'a Mdag, file: &'a str) -> Self {
+        AnalysisCtx {
+            file,
+            plan_label: file.to_string(),
+            mdag,
+            sems: infer_sems(mdag, 16),
+            chunk: fblas_hlssim::default_chunk() as u64,
+            budget: None,
+            recovery_armed: false,
+            deep_channels: &[],
+        }
+    }
+}
+
+/// Run every MDAG-level pass over `ctx`. Returns the fusion plan when
+/// the graph is well-formed enough to have one (balanced, acyclic, and
+/// schedulable).
+pub fn analyze_mdag(ctx: &AnalysisCtx, r: &mut LintReport) -> Option<FusionPlan> {
+    if !pass_balance(ctx, r) {
+        return None;
+    }
+    pass_pass_through(ctx, r);
+    pass_dead_modules(ctx, r);
+    if !pass_cycle(ctx, r) {
+        return None;
+    }
+    let rg = pass_rates(ctx, r)?;
+    pass_depth_tightening(ctx, &rg, r);
+    Some(pass_fusion(ctx, r))
+}
+
+/// Rate-analyze an MDAG: balance equations first, then the abstract
+/// execution. Public so the differential harness and the planner lint
+/// share one verdict path. (The dataflow passes — fusion, tightening,
+/// dead modules — need semantics and run through [`analyze_mdag`].)
+pub fn lint_mdag(g: &Mdag, file: &str, r: &mut LintReport) {
+    let ctx = AnalysisCtx::for_graph(g, file);
+    if !pass_balance(&ctx, r) {
+        return;
+    }
+    if !pass_cycle(&ctx, r) {
+        return;
+    }
+    pass_rates(&ctx, r);
+}
+
+/// Balance check: per-edge element counts must agree for any steady
+/// schedule to exist (the SDF balance equations specialize to
+/// produced == consumed on a point-to-point FIFO). Returns `false` on
+/// any violation — the later passes assume balance.
+fn pass_balance(ctx: &AnalysisCtx, r: &mut LintReport) -> bool {
+    let g = ctx.mdag;
+    let mut ok = true;
+    for e in g.edges() {
+        if e.produced != e.consumed {
+            ok = false;
+            let name = format!("{}->{}", g.node_name(e.from), g.node_name(e.to));
+            r.push(
+                Diagnostic::new(
+                    LintCode::FL0001,
+                    Severity::Error,
+                    at(ctx.file, Location::channel(name)),
+                    format!(
+                        "stream count mismatch: producer emits {} elements, consumer expects {}",
+                        e.produced, e.consumed
+                    ),
+                )
+                .with_fixit("make producer and consumer agree on the element count".to_string()),
+            );
+        }
+    }
+    ok
+}
+
+/// Pass-through modules: a `scal` by α = 1 and a `copy` relaying one
+/// stream to one consumer do nothing a channel would not.
+fn pass_pass_through(ctx: &AnalysisCtx, r: &mut LintReport) {
+    let g = ctx.mdag;
+    let n = g.node_count();
+    let mut ins = vec![0usize; n];
+    let mut outs = vec![0usize; n];
+    for e in g.edges() {
+        outs[e.from.0] += 1;
+        ins[e.to.0] += 1;
+    }
+    for (i, sem) in ctx.sems.iter().enumerate() {
+        let name = g.node_name(fblas_core::composition::NodeId(i)).to_string();
+        match sem {
+            ModuleSem::Scal { alpha: Some(a) } if *a == 1.0 => {
+                r.push(
+                    Diagnostic::new(
+                        LintCode::FL0023,
+                        Severity::Warning,
+                        at(ctx.file, Location::module(name.clone())),
+                        format!("`{name}` scales by α = 1: a pass-through module"),
+                    )
+                    .with_fixit(format!(
+                        "delete `{name}` and connect its producer to its consumer directly"
+                    )),
+                );
+            }
+            ModuleSem::Copy if ins[i] == 1 && outs[i] == 1 => {
+                r.push(
+                    Diagnostic::new(
+                        LintCode::FL0024,
+                        Severity::Warning,
+                        at(ctx.file, Location::module(name.clone())),
+                        format!("`{name}` copies one stream to a single consumer: a pass-through"),
+                    )
+                    .with_fixit(format!(
+                        "delete `{name}` and connect its producer to its consumer directly"
+                    )),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Dead modules: backward liveness from the interface writes. A
+/// compute module whose fixpoint fact is empty produces values nothing
+/// ever observes. Skipped when the graph has no write sink at all
+/// (then *everything* would be trivially dead — common in synthetic
+/// rate-only fixtures).
+fn pass_dead_modules(ctx: &AnalysisCtx, r: &mut LintReport) {
+    let g = ctx.mdag;
+    let n = g.node_count();
+    let mut sink_index = vec![None; n];
+    let mut sinks = 0usize;
+    for (i, slot) in sink_index.iter_mut().enumerate() {
+        if ctx.sems[i] == ModuleSem::Write {
+            *slot = Some(sinks);
+            sinks += 1;
+        }
+    }
+    if sinks == 0 {
+        return;
+    }
+    let fg = FlowGraph::from_mdag(g);
+    let sol = solve(
+        &fg,
+        &LiveSinks {
+            sink_index: &sink_index,
+        },
+    );
+    if !sol.converged {
+        return;
+    }
+    for i in 0..n {
+        if g.node_kind(fblas_core::composition::NodeId(i)) != ModuleKind::Compute {
+            continue;
+        }
+        if sol.facts_out[i].is_empty() {
+            let name = g.node_name(fblas_core::composition::NodeId(i)).to_string();
+            r.push(
+                Diagnostic::new(
+                    LintCode::FL0026,
+                    Severity::Warning,
+                    at(ctx.file, Location::module(name.clone())),
+                    format!("`{name}` is dead: no interface write observes its results"),
+                )
+                .with_fixit(format!(
+                    "remove `{name}` or route its output to a `write_*` sink"
+                )),
+            );
+        }
+    }
+}
+
+fn pass_cycle(ctx: &AnalysisCtx, r: &mut LintReport) -> bool {
+    if ctx.mdag.validate() == Validity::Cyclic {
+        r.push(Diagnostic::new(
+            LintCode::FL0005,
+            Severity::Error,
+            at(ctx.file, Location::default()),
+            "cyclic composition: a module's input depends on its own output",
+        ));
+        return false;
+    }
+    true
+}
+
+/// The abstract Kahn-network execution. Planner-deepened channels are
+/// applied to the rate graph up front (the instantiated design runs at
+/// those depths, so verdicts must too). Returns the analyzed graph on
+/// completion, `None` otherwise.
+fn pass_rates(ctx: &AnalysisCtx, r: &mut LintReport) -> Option<RateGraph> {
+    let mut rg = RateGraph::from_mdag(ctx.mdag);
+    for (name, depth) in ctx.deep_channels {
+        for ch in 0..rg.channel_count() {
+            if rg.channel_name(ch) == name && rg.capacity(ch) < *depth {
+                rg.set_capacity(ch, *depth);
+            }
+        }
+    }
+    let outcome = match ctx.budget {
+        Some(b) => {
+            let caps: Vec<u64> = (0..rg.channel_count()).map(|c| rg.capacity(c)).collect();
+            rg.analyze_with_budget(&caps, b)
+        }
+        None => rg.analyze(),
+    };
+    match outcome {
+        RateOutcome::Completed { .. } => {
+            for im in rg.imbalances() {
+                r.push(Diagnostic::new(
+                    LintCode::FL0001,
+                    Severity::Warning,
+                    at(ctx.file, Location::channel(rg.channel_name(im.channel))),
+                    format!(
+                        "channel pushes {} elements but pops {}",
+                        im.pushed, im.popped
+                    ),
+                ));
+            }
+            Some(rg)
+        }
+        RateOutcome::Deadlock { blocked } => {
+            match rg.repair() {
+                Some(fixes) => {
+                    for (ch, depth) in &fixes {
+                        let name = rg.channel_name(*ch).to_string();
+                        r.push(
+                            Diagnostic::new(
+                                LintCode::FL0004,
+                                Severity::Error,
+                                at(ctx.file, Location::channel(name.clone())),
+                                format!(
+                                    "composition deadlocks at depth {}: the consumer buffers a \
+                                     burst before draining",
+                                    rg.capacity(*ch)
+                                ),
+                            )
+                            .with_fixit(format!("increase the depth of `{name}` to {depth}")),
+                        );
+                        r.push(Diagnostic::new(
+                            LintCode::FL0016,
+                            Severity::Note,
+                            at(ctx.file, Location::channel(name)),
+                            format!("exact minimum depth: {depth} (depth {} stalls)", depth - 1),
+                        ));
+                    }
+                }
+                None => {
+                    let who = blocked
+                        .first()
+                        .map(|b| rg.actor_name(b.actor).to_string())
+                        .unwrap_or_default();
+                    r.push(Diagnostic::new(
+                        LintCode::FL0017,
+                        Severity::Error,
+                        at(ctx.file, Location::module(who)),
+                        "composition deadlocks and no finite channel depth removes the deadlock",
+                    ));
+                }
+            }
+            None
+        }
+        RateOutcome::Disconnected { actor, channel, .. } => {
+            r.push(Diagnostic::new(
+                LintCode::FL0001,
+                Severity::Error,
+                at(
+                    ctx.file,
+                    Location {
+                        module: Some(rg.actor_name(actor).to_string()),
+                        channel: Some(rg.channel_name(channel).to_string()),
+                        ..Default::default()
+                    },
+                ),
+                "mid-stream disconnect: producer and consumer disagree on element counts",
+            ));
+            None
+        }
+        RateOutcome::Budget => {
+            // Fail closed: a graph the analyzer cannot rule on must not
+            // pass a gate that certifies schedulability.
+            r.push(Diagnostic::new(
+                LintCode::FL0017,
+                Severity::Error,
+                at(ctx.file, Location::default()),
+                "rate analysis exceeded its step budget with no verdict; treat the \
+                 composition as unschedulable or raise the budget",
+            ));
+            None
+        }
+    }
+}
+
+/// Channel liveness under the chunk size: which instantiated depths
+/// are tight and which are provably slack. Only channels deeper than
+/// one transport chunk matter — those are the ones spending M20K
+/// blocks — and `trig:` bookkeeping channels are skipped.
+fn pass_depth_tightening(ctx: &AnalysisCtx, rg: &RateGraph, r: &mut LintReport) {
+    for ch in 0..rg.channel_count() {
+        let name = rg.channel_name(ch).to_string();
+        if name.starts_with("trig:") {
+            continue;
+        }
+        let cap = rg.capacity(ch);
+        if cap <= ctx.chunk {
+            continue;
+        }
+        let min = match rg.min_depth(ch) {
+            Some(m) => m,
+            None => continue,
+        };
+        // A FIFO shallower than one chunk re-introduces per-element
+        // handshakes, so the recommendation floors at the chunk size.
+        let rec = min.max(ctx.chunk);
+        if rec < cap {
+            r.push(
+                Diagnostic::new(
+                    LintCode::FL0021,
+                    Severity::Warning,
+                    at(ctx.file, Location::channel(name.clone())),
+                    format!(
+                        "channel depth {cap} is slack: {min} suffices for completion \
+                         (chunk size {})",
+                        ctx.chunk
+                    ),
+                )
+                .with_fixit(format!("shrink `{name}` to depth {rec}")),
+            );
+        } else {
+            r.push(Diagnostic::new(
+                LintCode::FL0022,
+                Severity::Note,
+                at(ctx.file, Location::channel(name.clone())),
+                format!(
+                    "channel depth {cap} is tight: the exact minimum under chunk size {} \
+                     (no M20K to reclaim)",
+                    ctx.chunk
+                ),
+            ));
+        }
+    }
+}
+
+/// Fusion legality: regions become FL0019 notes, rejections become
+/// FL0020 (or FL0025 for reassociation) notes with their witnesses.
+fn pass_fusion(ctx: &AnalysisCtx, r: &mut LintReport) -> FusionPlan {
+    let plan = analyze_fusion(ctx.mdag, &ctx.sems, &ctx.plan_label, ctx.recovery_armed);
+    for region in &plan.regions {
+        let first = region.modules.first().cloned().unwrap_or_default();
+        r.push(
+            Diagnostic::new(
+                LintCode::FL0019,
+                Severity::Note,
+                at(ctx.file, Location::module(first)),
+                format!(
+                    "region `{}` is fusable: {} collapse into one loop over {} elements",
+                    region.name,
+                    region.modules.join(" -> "),
+                    region.elements
+                ),
+            )
+            .with_fixit(format!(
+                "the fused backend may emit a single module for `{}`; export the \
+                 machine-checkable plan with --fusion-plan",
+                region.name
+            )),
+        );
+    }
+    for rej in &plan.rejections {
+        let code = if rej.reason == "reassociation" {
+            LintCode::FL0025
+        } else {
+            LintCode::FL0020
+        };
+        let loc = match (&rej.witness_module, &rej.witness_channel) {
+            (Some(m), _) => Location::module(m.clone()),
+            (None, Some(c)) => Location::channel(c.clone()),
+            (None, None) => Location::default(),
+        };
+        let witness = match (&rej.witness_channel, &rej.witness_module) {
+            (Some(c), _) => format!(" (witness channel `{c}`)"),
+            (None, Some(m)) => format!(" (witness `{m}`)"),
+            (None, None) => String::new(),
+        };
+        let msg = if rej.reason == "reassociation" {
+            format!(
+                "`{}` reduces with a W-way adder tree: fusing across it would change \
+                 the floating-point association{witness}",
+                rej.modules.join(", ")
+            )
+        } else {
+            format!(
+                "chain `{}` is not fusable: {}{witness}",
+                rej.modules.join(" -> "),
+                rej.reason
+            )
+        };
+        r.push(Diagnostic::new(
+            code,
+            Severity::Note,
+            at(ctx.file, loc),
+            msg,
+        ));
+    }
+    plan
+}
+
+// ---------------------------------------------------------------------
+// Graph documents.
+// ---------------------------------------------------------------------
+
+fn lint_graph_doc(doc: &GraphDoc, file: &str) -> LintOutput {
     let mut r = LintReport::new();
     let g = match doc.to_mdag() {
         Ok(g) => g,
@@ -58,136 +522,37 @@ fn lint_graph_doc(doc: &GraphDoc, file: &str) -> LintReport {
                 at(file, Location::default()),
                 e,
             ));
-            return r;
+            return LintOutput {
+                report: r,
+                fusion: Vec::new(),
+            };
         }
     };
-    lint_mdag(&g, file, &mut r);
-    r
-}
-
-/// Rate-analyze an MDAG: balance equations first, then the abstract
-/// execution. Public so the differential harness and the planner lint
-/// share one verdict path.
-pub fn lint_mdag(g: &Mdag, file: &str, r: &mut LintReport) {
-    // Balance check: per-edge element counts must agree for any steady
-    // schedule to exist (the SDF balance equations specialize to
-    // produced == consumed on a point-to-point FIFO).
-    for e in g.edges() {
-        if e.produced != e.consumed {
-            let name = format!("{}->{}", g.node_name(e.from), g.node_name(e.to));
-            r.push(
-                Diagnostic::new(
-                    LintCode::FL0001,
-                    Severity::Error,
-                    at(file, Location::channel(name)),
-                    format!(
-                        "stream count mismatch: producer emits {} elements, consumer expects {}",
-                        e.produced, e.consumed
-                    ),
-                )
-                .with_fixit("make producer and consumer agree on the element count".to_string()),
-            );
-        }
-    }
-    if r.errors() > 0 {
-        return;
-    }
-
-    if g.validate() == Validity::Cyclic {
-        r.push(Diagnostic::new(
-            LintCode::FL0005,
-            Severity::Error,
-            at(file, Location::default()),
-            "cyclic composition: a module's input depends on its own output",
-        ));
-        return;
-    }
-
-    let rg = RateGraph::from_mdag(g);
-    match rg.analyze() {
-        RateOutcome::Completed { .. } => {
-            for im in rg.imbalances() {
-                r.push(Diagnostic::new(
-                    LintCode::FL0001,
-                    Severity::Warning,
-                    at(file, Location::channel(rg.channel_name(im.channel))),
-                    format!(
-                        "channel pushes {} elements but pops {}",
-                        im.pushed, im.popped
-                    ),
-                ));
-            }
-        }
-        RateOutcome::Deadlock { blocked } => match rg.repair() {
-            Some(fixes) => {
-                for (ch, depth) in &fixes {
-                    let name = rg.channel_name(*ch).to_string();
-                    r.push(
-                        Diagnostic::new(
-                            LintCode::FL0004,
-                            Severity::Error,
-                            at(file, Location::channel(name.clone())),
-                            format!(
-                                "composition deadlocks at depth {}: the consumer buffers a \
-                                 burst before draining",
-                                rg.capacity(*ch)
-                            ),
-                        )
-                        .with_fixit(format!("increase the depth of `{name}` to {depth}")),
-                    );
-                    r.push(Diagnostic::new(
-                        LintCode::FL0016,
-                        Severity::Note,
-                        at(file, Location::channel(name)),
-                        format!("exact minimum depth: {depth} (depth {} stalls)", depth - 1),
-                    ));
-                }
-            }
-            None => {
-                let who = blocked
-                    .first()
-                    .map(|b| rg.actor_name(b.actor).to_string())
-                    .unwrap_or_default();
-                r.push(Diagnostic::new(
-                    LintCode::FL0017,
-                    Severity::Error,
-                    at(file, Location::module(who)),
-                    "composition deadlocks and no finite channel depth removes the deadlock",
-                ));
-            }
-        },
-        RateOutcome::Disconnected { actor, channel, .. } => {
-            r.push(Diagnostic::new(
-                LintCode::FL0001,
-                Severity::Error,
-                at(
-                    file,
-                    Location {
-                        module: Some(rg.actor_name(actor).to_string()),
-                        channel: Some(rg.channel_name(channel).to_string()),
-                        ..Default::default()
-                    },
-                ),
-                "mid-stream disconnect: producer and consumer disagree on element counts",
-            ));
-        }
-        RateOutcome::Budget => {
-            r.push(Diagnostic::new(
-                LintCode::FL0017,
-                Severity::Warning,
-                at(file, Location::default()),
-                "rate analysis exceeded its step budget; no verdict",
-            ));
-        }
+    let width = doc.config.width.unwrap_or(16);
+    let ctx = AnalysisCtx {
+        sems: infer_sems(&g, width),
+        chunk: doc
+            .config
+            .chunk
+            .unwrap_or(fblas_hlssim::default_chunk() as u64),
+        budget: doc.config.budget,
+        ..AnalysisCtx::for_graph(&g, file)
+    };
+    let fusion = analyze_mdag(&ctx, &mut r);
+    LintOutput {
+        report: r,
+        fusion: fusion.into_iter().collect(),
     }
 }
 
 // ---------------------------------------------------------------------
-// Program documents: contract pass + rate pass + resources + numerics.
+// Program documents: contract pass + MDAG passes + resources +
+// numerics.
 // ---------------------------------------------------------------------
 
-fn lint_program_doc(doc: &ProgramDoc, file: &str) -> LintReport {
+fn lint_program_doc(doc: &ProgramDoc, file: &str) -> LintOutput {
     let mut r = LintReport::new();
+    let mut fusion = Vec::new();
     let program = match doc.to_program() {
         Ok(p) => p,
         Err(e) => {
@@ -197,15 +562,16 @@ fn lint_program_doc(doc: &ProgramDoc, file: &str) -> LintReport {
                 at(file, Location::default()),
                 e,
             ));
-            return r;
+            return LintOutput { report: r, fusion };
         }
     };
     let cfg = doc.config.planner_config();
+    let recovery_armed = doc.config.retry_max.unwrap_or(1) > 1;
 
     // Retry-soundness scan (FL0018), on the raw ops and *before*
     // planning: an in-place op may already make the plan invalid, and
     // the unsound-replay warning is useful either way.
-    if doc.config.retry_max.unwrap_or(1) > 1 {
+    if recovery_armed {
         for (i, op) in doc.ops.iter().enumerate() {
             let out = match &op.out {
                 Some(o) => o,
@@ -245,11 +611,74 @@ fn lint_program_doc(doc: &ProgramDoc, file: &str) -> LintReport {
         }
     }
 
+    // Pass-through ops at the program level (the planner would build a
+    // module for them): scal by 1, and a copy whose output feeds
+    // exactly one later op. These fire alongside plan errors.
+    for (i, od) in doc.ops.iter().enumerate() {
+        if od.op == "scal" && od.alpha.unwrap_or(1.0) == 1.0 {
+            r.push(
+                Diagnostic::new(
+                    LintCode::FL0023,
+                    Severity::Warning,
+                    at(
+                        file,
+                        Location {
+                            op_index: Some(i),
+                            ..Default::default()
+                        },
+                    ),
+                    format!("op #{i}: scal by α = 1 is a pass-through"),
+                )
+                .with_fixit("drop the op or fold α into the consuming op".to_string()),
+            );
+        }
+        if od.op == "copy" {
+            if let Some(out) = &od.out {
+                let consumers = doc
+                    .ops
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, other)| {
+                        *j != i
+                            && [&other.a, &other.x, &other.y]
+                                .into_iter()
+                                .flatten()
+                                .any(|inp| inp == out)
+                    })
+                    .count();
+                if consumers == 1 {
+                    r.push(
+                        Diagnostic::new(
+                            LintCode::FL0024,
+                            Severity::Warning,
+                            at(
+                                file,
+                                Location {
+                                    operand: Some(out.clone()),
+                                    op_index: Some(i),
+                                    ..Default::default()
+                                },
+                            ),
+                            format!(
+                                "op #{i}: copy into `{out}` feeds a single consumer — a \
+                                 pass-through"
+                            ),
+                        )
+                        .with_fixit(format!(
+                            "use `{}` directly in the consuming op and drop the copy",
+                            od.x.as_deref().unwrap_or("the source")
+                        )),
+                    );
+                }
+            }
+        }
+    }
+
     let plan = match plan(&program, &cfg) {
         Ok(plan) => plan,
         Err(e) => {
             r.push(plan_error_diag(&e, file));
-            return r;
+            return LintOutput { report: r, fusion };
         }
     };
 
@@ -288,23 +717,34 @@ fn lint_program_doc(doc: &ProgramDoc, file: &str) -> LintReport {
                     ),
                 ));
             }
+            // The lint-side fusion pass re-derives these regions with
+            // full obligations and witnesses (FL0019); the planner note
+            // exists for plan consumers that do not run the linter.
+            PlanNote::FusableChain { .. } => {}
         }
     }
 
-    // Rate-certify every planned component at its instantiated depths.
+    // MDAG-level passes over every planned component, at its
+    // instantiated depths and with exact op semantics.
+    let width = doc.config.vector_width();
+    let chunk = doc
+        .config
+        .chunk
+        .unwrap_or(fblas_hlssim::default_chunk() as u64);
     for (ci, c) in plan.components.iter().enumerate() {
+        let ctx = AnalysisCtx {
+            file,
+            plan_label: format!("{file}#c{ci}"),
+            mdag: &c.mdag,
+            sems: sems_for_component(&c.mdag, program.ops(), width),
+            chunk,
+            budget: None,
+            recovery_armed,
+            deep_channels: &c.deep_channels,
+        };
         let mut sub = LintReport::new();
-        lint_mdag(&c.mdag, file, &mut sub);
-        // Deep channels the planner already derived are resized before
-        // instantiation, so under-depth findings on a deep-channel plan
-        // are expected only when the config forbids deep channels.
-        if !c.deep_channels.is_empty() && cfg.allow_deep_channels {
-            sub.diagnostics.retain(|d| {
-                !(d.code == LintCode::FL0004
-                    && c.deep_channels
-                        .iter()
-                        .any(|(name, _)| d.location.channel.as_deref() == Some(name.as_str())))
-            });
+        if let Some(p) = analyze_mdag(&ctx, &mut sub) {
+            fusion.push(p);
         }
         for mut d in sub.diagnostics {
             d.message = format!("component {}: {}", ci + 1, d.message);
@@ -314,7 +754,7 @@ fn lint_program_doc(doc: &ProgramDoc, file: &str) -> LintReport {
 
     lint_plan_resources(&program, &plan, doc, file, &mut r);
     lint_program_numerics(&program, doc, file, &mut r);
-    r
+    LintOutput { report: r, fusion }
 }
 
 fn plan_error_diag(e: &PlanError, file: &str) -> Diagnostic {
@@ -402,7 +842,7 @@ fn cause_code(cause: &ContractCause) -> (LintCode, Location) {
 }
 
 // ---------------------------------------------------------------------
-// Pass 3: resource feasibility over a plan.
+// Resource feasibility over a plan.
 // ---------------------------------------------------------------------
 
 fn op_circuit(op: &Op, w: u64) -> CircuitClass {
@@ -562,7 +1002,7 @@ fn lint_plan_resources(
 }
 
 // ---------------------------------------------------------------------
-// Pass 4: numeric lints on programs.
+// Numeric lints on programs.
 // ---------------------------------------------------------------------
 
 fn lint_program_numerics(program: &Program, doc: &ProgramDoc, file: &str, r: &mut LintReport) {
@@ -702,8 +1142,12 @@ mod tests {
     use crate::input::classify;
 
     fn lint_str(json: &str) -> LintReport {
+        lint_str_full(json).report
+    }
+
+    fn lint_str_full(json: &str) -> LintOutput {
         let doc = classify(json).unwrap();
-        lint_document(&doc, "test.json")
+        lint_document_full(&doc, "test.json")
     }
 
     #[test]
@@ -727,6 +1171,8 @@ mod tests {
         assert!(r.accepted(), "{}", r.render_table());
         // The W-way reduction note fires for the DOT.
         assert!(r.diagnostics.iter().any(|d| d.code == LintCode::FL0014));
+        // And the fusion pass rejects fusing across it (FL0025).
+        assert!(r.diagnostics.iter().any(|d| d.code == LintCode::FL0025));
     }
 
     #[test]
@@ -829,5 +1275,174 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.code == LintCode::FL0015 && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn relay_chain_graph_gets_fl0019_and_a_plan() {
+        let out = lint_str_full(
+            r#"{"graph": {
+                "nodes": [
+                    {"name":"read_x","kind":"interface"},
+                    {"name":"read_y","kind":"interface"},
+                    {"name":"scal","kind":"compute"},
+                    {"name":"axpy","kind":"compute"},
+                    {"name":"write_z","kind":"interface"}
+                ],
+                "edges": [
+                    {"from":"read_x","to":"scal","produced":256,"consumed":256,"depth":16},
+                    {"from":"scal","to":"axpy","produced":256,"consumed":256,"depth":16},
+                    {"from":"read_y","to":"axpy","produced":256,"consumed":256,"depth":16},
+                    {"from":"axpy","to":"write_z","produced":256,"consumed":256,"depth":16}
+                ]
+            }}"#,
+        );
+        assert!(out.report.accepted(), "{}", out.report.render_table());
+        assert_eq!(out.report.warnings(), 0, "{}", out.report.render_table());
+        assert!(out
+            .report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::FL0019));
+        assert_eq!(out.fusion.len(), 1);
+        assert_eq!(out.fusion[0].stats.fused, 1);
+    }
+
+    #[test]
+    fn slack_channel_depth_warns_fl0021() {
+        // Depth 4096 with chunk 8: the rate analysis proves a tiny
+        // depth suffices, so the channel is provably over-provisioned.
+        let r = lint_str(
+            r#"{"graph": {
+                "nodes": [
+                    {"name":"read_x","kind":"interface"},
+                    {"name":"relay","kind":"compute"},
+                    {"name":"write_y","kind":"interface"}
+                ],
+                "edges": [
+                    {"from":"read_x","to":"relay","produced":64,"consumed":64,"depth":4096},
+                    {"from":"relay","to":"write_y","produced":64,"consumed":64,"depth":16}
+                ],
+                "config": {"chunk": 8}
+            }}"#,
+        );
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::FL0021)
+            .expect("FL0021 finding");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.fixit.as_deref().unwrap().contains("shrink"));
+    }
+
+    #[test]
+    fn dead_branch_module_warns_fl0026() {
+        let r = lint_str(
+            r#"{"graph": {
+                "nodes": [
+                    {"name":"read_x","kind":"interface"},
+                    {"name":"scal","kind":"compute"},
+                    {"name":"copy_dead","kind":"compute"},
+                    {"name":"write_y","kind":"interface"}
+                ],
+                "edges": [
+                    {"from":"read_x","to":"scal","produced":8,"consumed":8,"depth":4},
+                    {"from":"scal","to":"write_y","produced":8,"consumed":8,"depth":4},
+                    {"from":"scal","to":"copy_dead","produced":8,"consumed":8,"depth":4}
+                ]
+            }}"#,
+        );
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::FL0026)
+            .expect("FL0026 finding");
+        assert_eq!(d.location.module.as_deref(), Some("copy_dead"));
+    }
+
+    #[test]
+    fn program_pass_throughs_warn_fl0023_fl0024() {
+        let r = lint_str(
+            r#"{"program": {
+                "operands": [
+                    {"name":"x","kind":"vector","len":64},
+                    {"name":"t","kind":"vector","len":64},
+                    {"name":"y","kind":"vector","len":64}
+                ],
+                "ops": [
+                    {"op":"copy","x":"x","out":"t"},
+                    {"op":"scal","alpha":1.0,"x":"t","out":"y"}
+                ],
+                "config": {"tn":16,"tm":16}
+            }}"#,
+        );
+        assert!(r.diagnostics.iter().any(|d| d.code == LintCode::FL0023));
+        assert!(r.diagnostics.iter().any(|d| d.code == LintCode::FL0024));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_an_error() {
+        // A budget of 1 step cannot finish any graph: fail closed.
+        let r = lint_str(
+            r#"{"graph": {
+                "nodes": [
+                    {"name":"read_x","kind":"interface"},
+                    {"name":"write_y","kind":"interface"}
+                ],
+                "edges": [
+                    {"from":"read_x","to":"write_y","produced":64,"consumed":64,"depth":16}
+                ],
+                "config": {"budget": 1}
+            }}"#,
+        );
+        assert!(!r.accepted());
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::FL0017 && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn recovery_armed_program_rejects_fusion_with_guards() {
+        // A fusable scal→axpy chain under retry_max > 1: the region is
+        // rejected with a recovery-guards witness instead of fused.
+        let out = lint_str_full(
+            r#"{"program": {
+                "operands": [
+                    {"name":"x","kind":"vector","len":64},
+                    {"name":"y","kind":"vector","len":64},
+                    {"name":"t","kind":"vector","len":64},
+                    {"name":"z","kind":"vector","len":64}
+                ],
+                "ops": [
+                    {"op":"scal","alpha":2.0,"x":"x","out":"t"},
+                    {"op":"axpy","alpha":3.0,"x":"t","y":"y","out":"z"}
+                ],
+                "config": {"tn":16,"tm":16,"retry_max":3}
+            }}"#,
+        );
+        let plan = out.fusion.first().expect("component fusion plan");
+        assert_eq!(plan.stats.fused, 0);
+        assert!(plan
+            .rejections
+            .iter()
+            .any(|rej| rej.reason == "recovery-guards"));
+        // Without retries the same chain fuses.
+        let out2 = lint_str_full(
+            r#"{"program": {
+                "operands": [
+                    {"name":"x","kind":"vector","len":64},
+                    {"name":"y","kind":"vector","len":64},
+                    {"name":"t","kind":"vector","len":64},
+                    {"name":"z","kind":"vector","len":64}
+                ],
+                "ops": [
+                    {"op":"scal","alpha":2.0,"x":"x","out":"t"},
+                    {"op":"axpy","alpha":3.0,"x":"t","y":"y","out":"z"}
+                ],
+                "config": {"tn":16,"tm":16}
+            }}"#,
+        );
+        let plan2 = out2.fusion.first().expect("component fusion plan");
+        assert_eq!(plan2.stats.fused, 1, "{}", plan2.to_json());
     }
 }

@@ -19,6 +19,10 @@
 //! cargo run --release -p fblas-bench --example telemetry_gemver
 //! ```
 
+// Test/example code may unwrap; the clippy.toml discipline targets
+// library code.
+#![allow(clippy::disallowed_methods)]
+
 use std::collections::HashMap;
 use std::path::Path;
 

@@ -14,6 +14,10 @@
 //! The generated population is seeded and deterministic, so a failure
 //! here reproduces byte-for-byte.
 
+// Test/example code may unwrap; the clippy.toml discipline targets
+// library code.
+#![allow(clippy::disallowed_methods)]
+
 use std::collections::HashMap;
 
 use fblas_core::composition::{execute_plan, plan, Mdag, RateGraph, RateOutcome, RateStep};
