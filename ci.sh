@@ -78,13 +78,26 @@ FBLAS_BENCH_DIR="$tmpdir" FBLAS_CHAOS_SEED=12345 cargo run --release -q -p fblas
     --dump-reports "$tmpdir/chaos_run_b.json" >/dev/null
 cmp "$tmpdir/chaos_run_a.json" "$tmpdir/chaos_run_b.json"
 echo "seeded chaos fault/recovery reports are byte-identical across runs"
+# The same seeded sweep pinned to each execution backend: hook-armed
+# attempts degrade fused regions to threaded (the recovery-guards
+# obligation), and fault-free reference runs exercise the fused staged
+# write-back, so the dumped fault/recovery reports must match byte for
+# byte across FBLAS_BACKEND=threaded and FBLAS_BACKEND=fused.
+FBLAS_BENCH_DIR="$tmpdir" FBLAS_CHAOS_SEED=12345 FBLAS_BACKEND=threaded \
+    cargo run --release -q -p fblas-bench --bin bench_chaos -- \
+    --dump-reports "$tmpdir/chaos_run_threaded.json" >/dev/null
+FBLAS_BENCH_DIR="$tmpdir" FBLAS_CHAOS_SEED=12345 FBLAS_BACKEND=fused \
+    cargo run --release -q -p fblas-bench --bin bench_chaos -- \
+    --dump-reports "$tmpdir/chaos_run_fused.json" >/dev/null
+cmp "$tmpdir/chaos_run_threaded.json" "$tmpdir/chaos_run_fused.json"
+echo "seeded chaos recovery reports are byte-identical across backends"
 
 step "bench-diff against committed baselines"
 # Regenerate every bench artifact and gate it against
 # benchmarks/baselines/. Model columns are deterministic, so any drift
 # is a model change: intentional ones are refreshed with
 # `bench-diff --bless` (see README).
-for bin in table3 table4 table5 table6 fig10 fig11 hbm_scaling bench_throughput bench_chaos bench_observe bench_flight; do
+for bin in table3 table4 table5 table6 fig10 fig11 hbm_scaling bench_throughput bench_chaos bench_observe bench_flight bench_fused; do
     FBLAS_BENCH_DIR="$tmpdir" cargo run --release -q -p fblas-bench --bin "$bin" >/dev/null
 done
 cargo run --release -q -p fblas-bench --bin bench-diff -- \
@@ -103,6 +116,25 @@ fast = rows[("dot", 256)]["cpu_elems_per_sec"]
 ratio = fast / slow
 assert ratio >= 5.0, f"dot chunk=256 must be >= 5x chunk=1 (got {ratio:.1f}x)"
 print(f"dot chunk=256 vs chunk=1: {ratio:.1f}x elements/sec")
+EOF
+
+step "fused backend perf smoke (compiled loop vs threaded modules)"
+# bench_fused (regenerated above) runs the same planner programs under
+# both backends with in-bin bit-identity asserts; the compiled
+# single-loop execution of the fusable elementwise chain must keep at
+# least a 5x elements/sec advantage over the threaded simulator at
+# chunk size 1, or region compilation has regressed.
+python3 - "$tmpdir/BENCH_fused.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = {(r["routine"], r["backend"], r["chunk"]): r for r in doc["rows"]}
+slow = rows[("axpy_chain", "threaded", 1)]["cpu_elems_per_sec"]
+fast = rows[("axpy_chain", "fused", 1)]["cpu_elems_per_sec"]
+ratio = fast / slow
+assert ratio >= 5.0, f"fused axpy_chain must be >= 5x threaded (got {ratio:.1f}x)"
+regions = rows[("axpy_chain", "fused", 1)]["fused_regions"]
+assert regions >= 1, "axpy_chain must actually fuse"
+print(f"axpy_chain fused vs threaded at chunk=1: {ratio:.1f}x elements/sec")
 EOF
 
 step "telemetry overhead gate (armed vs disarmed)"

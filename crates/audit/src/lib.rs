@@ -41,6 +41,16 @@
 //! threads timeshare and every busy time is scaled together. A module
 //! whose measured share falls short of prediction is losing time the
 //! model did not account for — and the stall ledger says to whom.
+//!
+//! **Fused-backend caveat.** When the executor compiles a validated
+//! fusion region into a single loop (`FBLAS_BACKEND=fused`/`auto`),
+//! that whole region runs as one compute lane named `fused:<region>`:
+//! there are no channels inside it, so no per-channel stall ledger and
+//! no per-module busy split within the region. Modeled cycles are
+//! still emitted per fused *op* and remain backend-invariant; only
+//! wall-clock drift *attribution* loses intra-region resolution. Runs
+//! that need per-module drift attribution should pin `FBLAS_CHUNK=1`
+//! **and** `FBLAS_BACKEND=threaded`.
 
 #![warn(missing_docs)]
 

@@ -42,9 +42,11 @@ impl AppReport {
 }
 
 /// RAII observation of one routine invocation: when the global metrics
-/// runtime is armed, records `fblas_routine_runs_total{routine}` and the
-/// wall latency into `fblas_routine_us{routine}` on drop (error paths
-/// included). Disarmed cost: one relaxed load.
+/// runtime is armed, records `fblas_routine_runs_total{routine,backend}`
+/// and the wall latency into `fblas_routine_us{routine,backend}` on drop
+/// (error paths included). The `backend` label carries the resolved
+/// `FBLAS_BACKEND` knob, so dashboards can split latency by execution
+/// path. Disarmed cost: one relaxed load.
 pub(crate) struct RoutineObservation {
     started: Option<(std::time::Instant, &'static str)>,
 }
@@ -61,7 +63,8 @@ impl Drop for RoutineObservation {
     fn drop(&mut self) {
         if let Some((t0, routine)) = self.started {
             if let Some(reg) = fblas_metrics::registry() {
-                let l: &[(&str, &str)] = &[("routine", routine)];
+                let backend = crate::composition::Backend::resolve().as_str();
+                let l: &[(&str, &str)] = &[("routine", routine), ("backend", backend)];
                 reg.counter("fblas_routine_runs_total", l).inc();
                 reg.histogram("fblas_routine_us", l)
                     .record(fblas_metrics::elapsed_us(t0));

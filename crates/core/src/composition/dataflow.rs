@@ -1,6 +1,6 @@
 //! Generic forward/backward worklist dataflow engine over module DAGs.
 //!
-//! The rate analyzer ([`fblas_core::composition::rates`]) answers *does
+//! The rate analyzer ([`super::rates`]) answers *does
 //! this composition run to completion* by abstract execution. The
 //! passes layered on top of it — fusion legality, channel liveness,
 //! dead-module elimination — are classic dataflow problems: facts
@@ -16,7 +16,7 @@
 //! [`Solution::converged`] rather than by panicking, so a lint pass
 //! can degrade to "no verdict" instead of taking the CLI down.
 
-use fblas_core::composition::Mdag;
+use super::Mdag;
 
 /// Direction a dataflow analysis propagates facts in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

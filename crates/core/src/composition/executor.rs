@@ -28,7 +28,10 @@ use parking_lot::Mutex;
 use serde::Serialize;
 
 use super::abft;
-use super::planner::{ContractCause, Op, Plan, PlanError, PlannerConfig, Program};
+use super::fused::{self, Backend};
+use super::planner::{
+    ContractCause, Op, Plan, PlanError, PlannedComponent, PlannerConfig, Program,
+};
 use crate::helpers::fanout::duplicate_many;
 use crate::helpers::{read_matrix, read_vector_replayed, write_matrix, write_vector};
 use crate::host::buffer::DeviceBuffer;
@@ -138,9 +141,51 @@ pub fn execute_plan_traced<T: Scalar>(
     buffers: &HashMap<String, DeviceBuffer<T>>,
     tracer: Option<&Tracer>,
 ) -> Result<ExecOutcome<T>, ExecError> {
+    execute_plan_with_backend(program, plan, cfg, buffers, tracer, Backend::resolve())
+}
+
+/// [`execute_plan`] forcing the fused compiled backend regardless of the
+/// `FBLAS_BACKEND` environment knob. Fusion remains *best-effort*:
+/// regions whose proof obligations do not re-verify (and everything that
+/// is not a legal region) still run threaded.
+pub fn execute_plan_fused<T: Scalar>(
+    program: &Program,
+    plan: &Plan,
+    cfg: &PlannerConfig,
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+) -> Result<ExecOutcome<T>, ExecError> {
+    execute_plan_with_backend(program, plan, cfg, buffers, None, Backend::Fused)
+}
+
+/// [`execute_plan_traced`] forcing the fused backend.
+pub fn execute_plan_fused_traced<T: Scalar>(
+    program: &Program,
+    plan: &Plan,
+    cfg: &PlannerConfig,
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+    tracer: Option<&Tracer>,
+) -> Result<ExecOutcome<T>, ExecError> {
+    execute_plan_with_backend(program, plan, cfg, buffers, tracer, Backend::Fused)
+}
+
+/// [`execute_plan_traced`] with an explicit backend selection instead of
+/// the `FBLAS_BACKEND` environment resolution — the form in-process
+/// comparisons (differential tests, benchmarks) use so both backends can
+/// run side by side without environment races.
+pub fn execute_plan_with_backend<T: Scalar>(
+    program: &Program,
+    plan: &Plan,
+    cfg: &PlannerConfig,
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+    tracer: Option<&Tracer>,
+    backend: Backend,
+) -> Result<ExecOutcome<T>, ExecError> {
     cfg.validate()?;
     check_bindings(program, buffers)?;
     propagate_run_id(tracer);
+    if let Some(t) = tracer {
+        t.set_backend(backend.as_str());
+    }
     let metrics = ExecMetrics::arm();
 
     let scalars: Arc<Mutex<HashMap<String, T>>> = Arc::new(Mutex::new(HashMap::new()));
@@ -154,16 +199,8 @@ pub fn execute_plan_traced<T: Scalar>(
             t.metrics().counter_add("exec.components", 1);
         }
         let comp_t0 = metrics.as_ref().map(|_| std::time::Instant::now());
-        run_component(
-            program,
-            cfg,
-            &component.ops,
-            &component.gemv_variants,
-            &router,
-            &scalars,
-            tracer,
-            None,
-            &opts,
+        dispatch_component(
+            backend, program, cfg, component, &router, &scalars, tracer, None, &opts,
         )?;
         if let (Some(m), Some(t0)) = (&metrics, comp_t0) {
             m.component_done(t0);
@@ -193,6 +230,52 @@ pub fn execute_plan_audited<T: Scalar>(
     freq_hz: f64,
     tolerance: f64,
 ) -> Result<(ExecOutcome<T>, Vec<AuditReport>), ExecError> {
+    execute_plan_audited_with_backend(
+        program,
+        plan,
+        cfg,
+        buffers,
+        freq_hz,
+        tolerance,
+        Backend::resolve(),
+    )
+}
+
+/// [`execute_plan_audited`] forcing the fused backend. A fused region
+/// appears in the measured side as a *single* compute lane
+/// (`fused:<name>`) — there are no channels inside a region, so there is
+/// no per-channel stall ledger to attribute; the predicted side still
+/// carries the per-op analytic model, which is backend-invariant.
+pub fn execute_plan_fused_audited<T: Scalar>(
+    program: &Program,
+    plan: &Plan,
+    cfg: &PlannerConfig,
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+    freq_hz: f64,
+    tolerance: f64,
+) -> Result<(ExecOutcome<T>, Vec<AuditReport>), ExecError> {
+    execute_plan_audited_with_backend(
+        program,
+        plan,
+        cfg,
+        buffers,
+        freq_hz,
+        tolerance,
+        Backend::Fused,
+    )
+}
+
+/// [`execute_plan_audited`] with an explicit backend selection.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_audited_with_backend<T: Scalar>(
+    program: &Program,
+    plan: &Plan,
+    cfg: &PlannerConfig,
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+    freq_hz: f64,
+    tolerance: f64,
+    backend: Backend,
+) -> Result<(ExecOutcome<T>, Vec<AuditReport>), ExecError> {
     cfg.validate()?;
     check_bindings(program, buffers)?;
 
@@ -205,12 +288,13 @@ pub fn execute_plan_audited<T: Scalar>(
         // busy-share normalization over them) scoped to the modules that
         // actually ran together.
         let tracer = Tracer::new();
+        tracer.set_backend(backend.as_str());
         let mut predictions: Vec<ModulePrediction> = Vec::new();
-        run_component(
+        dispatch_component(
+            backend,
             program,
             cfg,
-            &component.ops,
-            &component.gemv_variants,
+            component,
             &router,
             &scalars,
             Some(&tracer),
@@ -453,12 +537,66 @@ pub fn execute_plan_with_recovery<T: Scalar>(
     hook: Option<Arc<dyn FaultHook>>,
     tracer: Option<&Tracer>,
 ) -> Result<(ExecOutcome<T>, RecoveryReport), Box<RecoveryError>> {
+    execute_plan_with_recovery_backend(
+        program,
+        plan,
+        cfg,
+        buffers,
+        policy,
+        hook,
+        tracer,
+        Backend::resolve(),
+    )
+}
+
+/// [`execute_plan_with_recovery`] forcing the fused backend. When `hook`
+/// is armed the fusion analysis rejects every region (`recovery-guards`
+/// obligation), so fault-injected attempts run fully threaded and the
+/// resulting [`RecoveryReport`] is identical to the threaded backend's
+/// by construction; hook-free runs fuse as usual, with staged write-back
+/// unchanged.
+pub fn execute_plan_fused_with_recovery<T: Scalar>(
+    program: &Program,
+    plan: &Plan,
+    cfg: &PlannerConfig,
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+    policy: &RetryPolicy,
+    hook: Option<Arc<dyn FaultHook>>,
+    tracer: Option<&Tracer>,
+) -> Result<(ExecOutcome<T>, RecoveryReport), Box<RecoveryError>> {
+    execute_plan_with_recovery_backend(
+        program,
+        plan,
+        cfg,
+        buffers,
+        policy,
+        hook,
+        tracer,
+        Backend::Fused,
+    )
+}
+
+/// [`execute_plan_with_recovery`] with an explicit backend selection.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_with_recovery_backend<T: Scalar>(
+    program: &Program,
+    plan: &Plan,
+    cfg: &PlannerConfig,
+    buffers: &HashMap<String, DeviceBuffer<T>>,
+    policy: &RetryPolicy,
+    hook: Option<Arc<dyn FaultHook>>,
+    tracer: Option<&Tracer>,
+    backend: Backend,
+) -> Result<(ExecOutcome<T>, RecoveryReport), Box<RecoveryError>> {
     let mut report = RecoveryReport {
         components: plan.components.len(),
         run_id: fblas_metrics::current_run_id().map(|id| id.to_string()),
         ..RecoveryReport::default()
     };
     propagate_run_id(tracer);
+    if let Some(t) = tracer {
+        t.set_backend(backend.as_str());
+    }
     if let Err(e) = cfg.validate() {
         return Err(Box::new(RecoveryError {
             error: e.into(),
@@ -505,8 +643,24 @@ pub fn execute_plan_with_recovery<T: Scalar>(
                 .collect();
             let attempt_scalars: Arc<Mutex<HashMap<String, T>>> =
                 Arc::new(Mutex::new(HashMap::new()));
+            // Fused schedules split a component into sequential units
+            // that hand values off through the operand buffers, so a
+            // later unit must *read* what an earlier unit staged. The
+            // overlay map resolves reads staged-first (buffer handles
+            // clone shallowly — the overlay aliases the scratch
+            // storage); the threaded backend keeps reading committed
+            // state only, since its in-component traffic never touches
+            // buffers.
+            let merged: Option<HashMap<String, DeviceBuffer<T>>> =
+                backend.fused_allowed().then(|| {
+                    let mut m = buffers.clone();
+                    for (k, v) in &staged {
+                        m.insert(k.clone(), v.clone());
+                    }
+                    m
+                });
             let router = BufRouter {
-                inputs: buffers,
+                inputs: merged.as_ref().unwrap_or(buffers),
                 outputs: Some(&staged),
             };
             let opts = ComponentOptions {
@@ -519,11 +673,11 @@ pub fn execute_plan_with_recovery<T: Scalar>(
             // recovery history attached) below.
             let result = {
                 let _supp = fblas_metrics::flight::suppress_capture();
-                run_component(
+                dispatch_component(
+                    backend,
                     program,
                     cfg,
-                    &component.ops,
-                    &component.gemv_variants,
+                    component,
                     &router,
                     &attempt_scalars,
                     tracer,
@@ -741,7 +895,7 @@ fn get_buf<'b, T: Scalar>(
 /// resolves to a staged copy while *reads* keep hitting the committed
 /// state (in-component producer→consumer traffic flows through
 /// channels, never buffers, so reads never need the overlay).
-struct BufRouter<'a, T> {
+pub(super) struct BufRouter<'a, T> {
     inputs: &'a HashMap<String, DeviceBuffer<T>>,
     outputs: Option<&'a HashMap<String, DeviceBuffer<T>>>,
 }
@@ -756,12 +910,12 @@ impl<'a, T: Scalar> BufRouter<'a, T> {
     }
 
     /// Buffer a module streams *from*.
-    fn input(&self, name: &str) -> Result<&DeviceBuffer<T>, ExecError> {
+    pub(super) fn input(&self, name: &str) -> Result<&DeviceBuffer<T>, ExecError> {
         get_buf(self.inputs, name)
     }
 
     /// Buffer a module writes *into* (staged copy when overlaid).
-    fn output(&self, name: &str) -> Result<&DeviceBuffer<T>, ExecError> {
+    pub(super) fn output(&self, name: &str) -> Result<&DeviceBuffer<T>, ExecError> {
         if let Some(staged) = self.outputs {
             if let Some(b) = staged.get(name) {
                 return Ok(b);
@@ -773,15 +927,57 @@ impl<'a, T: Scalar> BufRouter<'a, T> {
 
 /// Per-run extras for a component's simulation.
 #[derive(Default)]
-struct ComponentOptions {
+pub(super) struct ComponentOptions {
     /// Fault hook armed on the simulation context before the run.
-    hook: Option<Arc<dyn FaultHook>>,
+    pub(super) hook: Option<Arc<dyn FaultHook>>,
     /// Watchdog wall-clock deadline for the run.
-    deadline: Option<Duration>,
+    pub(super) deadline: Option<Duration>,
+}
+
+/// Route one planned component to its backend: the fused dispatcher
+/// when the backend allows fusion (it degrades to threaded per
+/// component when fusion is not provably safe), the plain threaded
+/// simulation otherwise.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_component<T: Scalar>(
+    backend: Backend,
+    program: &Program,
+    cfg: &PlannerConfig,
+    component: &PlannedComponent,
+    router: &BufRouter<'_, T>,
+    scalars: &Arc<Mutex<HashMap<String, T>>>,
+    tracer: Option<&Tracer>,
+    predictions: Option<&mut Vec<ModulePrediction>>,
+    opts: &ComponentOptions,
+) -> Result<Vec<GuardReport>, ExecError> {
+    if backend.fused_allowed() {
+        fused::run_component_fused(
+            program,
+            cfg,
+            component,
+            router,
+            scalars,
+            tracer,
+            predictions,
+            opts,
+        )
+    } else {
+        run_component(
+            program,
+            cfg,
+            &component.ops,
+            &component.gemv_variants,
+            router,
+            scalars,
+            tracer,
+            predictions,
+            opts,
+        )
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_component<T: Scalar>(
+pub(super) fn run_component<T: Scalar>(
     program: &Program,
     cfg: &PlannerConfig,
     ops: &[usize],

@@ -1,0 +1,663 @@
+//! The fused compiled execution backend (ROADMAP item 1).
+//!
+//! PR 4 measured that *transport*, not compute, dominates the threaded
+//! simulator's wall clock, and the fusion analysis ([`super::fusion`])
+//! proves which module chains of a planned component may legally
+//! collapse. This module closes the loop: a component whose
+//! [`FusionPlan`] admits regions is split into **execution units** —
+//! fused regions run as straight-line single-threaded loops over
+//! chunked slices (no channels, no locks, no thread spawns), and every
+//! other module keeps running on the threaded hlssim path via
+//! [`run_component`]. Units hand off through the operand
+//! [`DeviceBuffer`]s, which is exactly the boundary the threaded
+//! executor already uses: every op output is teed to its buffer, and a
+//! consumer whose producer is absent from the simulation reads the
+//! buffer back. Splitting therefore changes *where* values travel, not
+//! *what* they are.
+//!
+//! Safety posture: the backend re-verifies every region's proof
+//! obligations with [`check_obligations`] at execution time and
+//! degrades to the plain threaded path whenever anything — obligations,
+//! evaluator compilation, an unexpected module name — does not check
+//! out. An armed fault hook rejects all regions (`recovery-guards`),
+//! so chaos/recovery runs under injection are *identical* to the
+//! threaded backend by construction. Value bit-identity of the fused
+//! loop itself is by shared semantics: the per-element function
+//! ([`super::fusion::apply_elementwise_t`]) performs exactly the
+//! multiply / fused-multiply-add the production `scal` / `axpy`
+//! modules perform.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use fblas_audit::ModulePrediction;
+use fblas_hlssim::GuardReport;
+use fblas_trace::{ModuleScope, Tracer};
+use parking_lot::Mutex;
+
+use super::executor::{run_component, BufRouter, ComponentOptions, ExecError};
+use super::fusion::{
+    analyze_fusion, apply_elementwise_t, build_evaluator, check_obligations, sems_for_component,
+    FusedEvaluator, FusionPlan, ModuleSem, Src,
+};
+use super::planner::{Op, PlannedComponent, PlannerConfig, Program};
+use crate::routines::gemv::Gemv;
+use crate::routines::{Axpy, Scal, VecCopy};
+use crate::scalar::Scalar;
+
+/// Vectorization width the executor instantiates reductions at; keeps
+/// the fusion semantics aligned with `run_component`'s `Dot::new(n, 16)`.
+const EXEC_WIDTH: usize = 16;
+
+/// Which execution path a plan runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Every module on the threaded hlssim simulator (the PR-1 path).
+    Threaded,
+    /// Fuse legally fusable regions into single-loop kernels; fall back
+    /// to threaded for everything else. Identical to [`Backend::Auto`]
+    /// in behavior — the distinct variant records the caller's intent.
+    Fused,
+    /// Fuse when legal (the default): bit-identical to `Threaded` by
+    /// the differential keystone, so there is no reason not to.
+    Auto,
+}
+
+impl Backend {
+    /// Resolve the backend from the `FBLAS_BACKEND` environment knob
+    /// (re-read every call; `auto` when unset or invalid).
+    pub fn resolve() -> Backend {
+        match fblas_hlssim::env::backend() {
+            "threaded" => Backend::Threaded,
+            "fused" => Backend::Fused,
+            _ => Backend::Auto,
+        }
+    }
+
+    /// Stable lowercase name (metric labels, trace metadata).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Threaded => "threaded",
+            Backend::Fused => "fused",
+            Backend::Auto => "auto",
+        }
+    }
+
+    /// Whether this backend may run fused regions.
+    pub fn fused_allowed(self) -> bool {
+        !matches!(self, Backend::Threaded)
+    }
+}
+
+/// The fusion analysis of one planned component, exactly as the fused
+/// backend consumes it: semantics from the component's op list (so
+/// coefficients are concrete) and the legality verdict over its MDAG.
+/// `recovery_armed` must be true when a fault hook is armed over the
+/// run — every region is then rejected with a `recovery-guards`
+/// witness and execution stays fully threaded.
+pub fn fusion_plan_for_component(
+    program: &Program,
+    component: &PlannedComponent,
+    recovery_armed: bool,
+) -> (Vec<ModuleSem>, FusionPlan) {
+    let sems = sems_for_component(&component.mdag, program.ops(), EXEC_WIDTH);
+    let plan = analyze_fusion(&component.mdag, &sems, "exec", recovery_armed);
+    (sems, plan)
+}
+
+/// One schedulable unit of a split component.
+enum Unit {
+    /// Program op indices run together on one threaded simulation.
+    Threaded(Vec<usize>),
+    /// Index into [`Schedule::regions`].
+    Fused(usize),
+}
+
+/// A fused region compiled against the component, with every name
+/// already resolved to operand buffers.
+struct CompiledRegion {
+    /// Region name (`fuse0`, …) for the trace lane.
+    name: String,
+    /// The straight-line per-element program.
+    eval: FusedEvaluator,
+    /// Operand name backing each evaluator input stream, in order.
+    input_operands: Vec<String>,
+    /// Operand name each absorbed write sink drains into, in order.
+    sink_operands: Vec<String>,
+    /// Program op indices fused into this region.
+    ops: Vec<usize>,
+    /// Program op indices the region's boundary inputs depend on.
+    deps: Vec<usize>,
+}
+
+/// The unit schedule of one component.
+struct Schedule {
+    units: Vec<Unit>,
+    regions: Vec<CompiledRegion>,
+}
+
+/// Operand a channel-producer node resolves to: `read_<v>` sources and
+/// `<op>#<oi>` compute nodes both tee/stream their operand's buffer.
+fn node_operand(program: &Program, node: &str) -> Option<String> {
+    if let Some(v) = node.strip_prefix("read_") {
+        return Some(v.to_string());
+    }
+    let (_, idx) = node.rsplit_once('#')?;
+    let oi: usize = idx.parse().ok()?;
+    Some(program.ops().get(oi)?.output().to_string())
+}
+
+/// Program op index a module name carries (`scal#3` → 3).
+fn node_op_index(node: &str) -> Option<usize> {
+    node.rsplit_once('#').and_then(|(_, idx)| idx.parse().ok())
+}
+
+/// Compile the component's fusion plan into a unit schedule. `None`
+/// means "run the whole component threaded" — the safe fallback for
+/// anything this backend does not fully understand.
+fn compile_schedule(
+    program: &Program,
+    cfg: &PlannerConfig,
+    component: &PlannedComponent,
+    sems: &[ModuleSem],
+    plan: &FusionPlan,
+) -> Option<Schedule> {
+    if plan.regions.is_empty() {
+        return None;
+    }
+    let comp_ops: HashSet<usize> = component.ops.iter().copied().collect();
+    let mut producer: HashMap<&str, usize> = HashMap::new();
+    for &oi in &component.ops {
+        producer.insert(program.ops()[oi].output(), oi);
+    }
+
+    let mut regions = Vec::new();
+    let mut region_of_op: HashMap<usize, usize> = HashMap::new();
+    for (ri, region) in plan.regions.iter().enumerate() {
+        let eval = build_evaluator(&component.mdag, sems, region).ok()?;
+        // Fused op set: the relay compute members.
+        let mut ops = Vec::new();
+        for m in &region.modules {
+            if let Some(oi) = node_op_index(m) {
+                if !comp_ops.contains(&oi) || region_of_op.contains_key(&oi) {
+                    return None;
+                }
+                region_of_op.insert(oi, ri);
+                ops.push(oi);
+            }
+        }
+        if ops.is_empty() {
+            return None;
+        }
+        // Every input stream and sink must resolve to a bound vector
+        // operand of the program.
+        let mut input_operands = Vec::new();
+        let mut deps = Vec::new();
+        for key in &eval.inputs {
+            let node = key.split_once("->").map(|(f, _)| f).unwrap_or(key);
+            let operand = node_operand(program, node)?;
+            program.vec_len(&operand).ok()?;
+            if let Some(oi) = node_op_index(node) {
+                deps.push(oi);
+            }
+            input_operands.push(operand);
+        }
+        let mut sink_operands = Vec::new();
+        for s in &eval.sinks {
+            let operand = s.module.strip_prefix("write_")?.to_string();
+            program.vec_len(&operand).ok()?;
+            sink_operands.push(operand);
+        }
+        // A boundary output's values must survive through a sink tee
+        // (the planner always tees op outputs to `write_*`); without
+        // one the forwarded stream would be lost.
+        if let Some(out) = eval.output {
+            if !eval.sinks.iter().any(|s| s.src == out) {
+                return None;
+            }
+        }
+        regions.push(CompiledRegion {
+            name: region.name.clone(),
+            eval,
+            input_operands,
+            sink_operands,
+            ops,
+            deps,
+        });
+    }
+
+    // A multi-round GEMV replays its y initial from DRAM; the threaded
+    // executor rejects an in-component producer for it (a replay
+    // contract violation). Splitting must not mask that error by
+    // pulling the producer into a fused region, so bail out.
+    for &oi in &component.ops {
+        if let Op::Gemv { a, y: Some(yn), .. } = &program.ops()[oi] {
+            if let (Ok((n, m)), Some(variant)) =
+                (program.mat_dims(a), component.gemv_variants.get(&oi))
+            {
+                let g = Gemv::new(
+                    *variant,
+                    n,
+                    m,
+                    cfg.tn.min(n.max(1)),
+                    cfg.tm.min(m.max(1)),
+                    EXEC_WIDTH,
+                );
+                if g.y_rounds() > 1 {
+                    if let Some(p) = producer.get(yn.as_str()) {
+                        if region_of_op.contains_key(p) {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // In-component dependencies of each threaded op.
+    let threaded: Vec<usize> = component
+        .ops
+        .iter()
+        .copied()
+        .filter(|oi| !region_of_op.contains_key(oi))
+        .collect();
+    let op_deps = |oi: usize| -> Vec<usize> {
+        program.ops()[oi]
+            .inputs()
+            .iter()
+            .filter_map(|inp| producer.get(*inp).copied())
+            .filter(|p| *p != oi)
+            .collect()
+    };
+
+    // Alternating fixpoint: a maximal closed batch of ready threaded
+    // ops (they stream to each other through channels, exactly as the
+    // unsplit component would), then every ready region, until done.
+    let mut done: HashSet<usize> = HashSet::new();
+    let mut pending: Vec<usize> = threaded;
+    let mut region_done = vec![false; regions.len()];
+    let mut units = Vec::new();
+    loop {
+        let mut batch: Vec<usize> = Vec::new();
+        let mut grew = true;
+        while grew {
+            grew = false;
+            for &oi in &pending {
+                if batch.contains(&oi) {
+                    continue;
+                }
+                let ready = op_deps(oi)
+                    .iter()
+                    .all(|d| done.contains(d) || batch.contains(d));
+                if ready {
+                    batch.push(oi);
+                    grew = true;
+                }
+            }
+        }
+        let batched = !batch.is_empty();
+        if batched {
+            // Preserve the component's op order inside the batch.
+            batch.sort_by_key(|oi| component.ops.iter().position(|c| c == oi));
+            done.extend(batch.iter().copied());
+            pending.retain(|oi| !batch.contains(oi));
+            units.push(Unit::Threaded(batch));
+        }
+        let mut launched = false;
+        for (ri, region) in regions.iter().enumerate() {
+            if !region_done[ri] && region.deps.iter().all(|d| done.contains(d)) {
+                region_done[ri] = true;
+                done.extend(region.ops.iter().copied());
+                units.push(Unit::Fused(ri));
+                launched = true;
+            }
+        }
+        if pending.is_empty() && region_done.iter().all(|d| *d) {
+            break;
+        }
+        if !batched && !launched {
+            // No progress — a dependency shape this scheduler does not
+            // model. Run the whole component threaded.
+            return None;
+        }
+    }
+    Some(Schedule { units, regions })
+}
+
+/// The cycle-model prediction the threaded executor would emit for a
+/// relay op — fused execution must predict identically, because the
+/// analytic `C = L + I·M` model is a property of the *plan*, not of
+/// the backend that runs it.
+fn prediction_for_op<T: Scalar>(
+    program: &Program,
+    cfg: &PlannerConfig,
+    oi: usize,
+) -> Result<ModulePrediction, ExecError> {
+    match &program.ops()[oi] {
+        Op::Scal { x, .. } => {
+            let n = program.vec_len(x)?;
+            let w = cfg.tm.clamp(1, 16);
+            let s = Scal::new(n, w);
+            Ok(ModulePrediction::compute(
+                "scal",
+                s.cost::<T>(),
+                n as u64,
+                w as u64,
+            ))
+        }
+        Op::Copy { x, .. } => {
+            let n = program.vec_len(x)?;
+            let c = VecCopy::new(n, EXEC_WIDTH);
+            Ok(ModulePrediction::compute(
+                "copy",
+                c.cost::<T>(),
+                n as u64,
+                16,
+            ))
+        }
+        Op::Axpy { x, .. } => {
+            let n = program.vec_len(x)?;
+            let a = Axpy::new(n, EXEC_WIDTH);
+            Ok(ModulePrediction::compute(
+                "axpy",
+                a.cost::<T>(),
+                n as u64,
+                16,
+            ))
+        }
+        _ => unreachable!("fused regions contain only relay ops"),
+    }
+}
+
+/// Execute one compiled region as a straight-line loop over chunked
+/// slices of the operand buffers: gather input streams, apply the
+/// per-element step program, write the absorbed sinks back. The
+/// boundary output (if any) needs no action — its values are the tail
+/// relay's, which the absorbed `write_*` tee already persists, and the
+/// downstream unit reads them from that buffer.
+fn run_region<T: Scalar>(
+    region: &CompiledRegion,
+    router: &BufRouter<'_, T>,
+    tracer: Option<&Tracer>,
+) -> Result<(), ExecError> {
+    let _span = ModuleScope::enter(&format!("fused:{}", region.name), tracer);
+    let reg = fblas_metrics::registry();
+    let t0 = reg.as_ref().map(|_| std::time::Instant::now());
+
+    let elements = region.eval.elements as usize;
+    let mut streams: Vec<Vec<T>> = Vec::with_capacity(region.input_operands.len());
+    for operand in &region.input_operands {
+        let data = router.input(operand)?.to_host();
+        if data.len() < elements {
+            return Err(ExecError::WrongLength {
+                operand: operand.clone(),
+                expected: elements,
+                got: data.len(),
+            });
+        }
+        streams.push(data);
+    }
+
+    let mut sink_vals: Vec<Vec<T>> = region
+        .sink_operands
+        .iter()
+        .map(|_| Vec::with_capacity(elements))
+        .collect();
+    let mut slots = vec![T::ZERO; region.eval.steps.len()];
+    let chunk = fblas_hlssim::env::chunk().max(1);
+    let mut t = 0usize;
+    while t < elements {
+        let end = (t + chunk).min(elements);
+        for i in t..end {
+            for step in &region.eval.steps {
+                let mut vals = [T::ZERO; 2];
+                for (k, src) in step.srcs.iter().enumerate().take(2) {
+                    vals[k] = match *src {
+                        Src::Slot(j) => slots[j],
+                        Src::Input(j) => streams[j][i],
+                    };
+                }
+                slots[step.slot] = match apply_elementwise_t(&step.sem, &vals[..step.srcs.len()]) {
+                    Some(v) => v,
+                    None => unreachable!("fused steps carry relay semantics"),
+                };
+            }
+            for (si, sink) in region.eval.sinks.iter().enumerate() {
+                let v = match sink.src {
+                    Src::Slot(j) => slots[j],
+                    Src::Input(j) => streams[j][i],
+                };
+                sink_vals[si].push(v);
+            }
+        }
+        t = end;
+    }
+
+    for (si, operand) in region.sink_operands.iter().enumerate() {
+        router.output(operand)?.from_host(&sink_vals[si]);
+    }
+
+    if let (Some(reg), Some(t0)) = (reg, t0) {
+        reg.counter("fblas_fused_regions_total", &[]).inc();
+        reg.counter("fblas_fused_elems_total", &[])
+            .add(elements as u64);
+        reg.histogram("fblas_fused_region_us", &[])
+            .record(fblas_metrics::elapsed_us(t0));
+    }
+    Ok(())
+}
+
+/// Run one component on the fused backend: analyze, re-verify the
+/// obligations, split into units, and execute — or degrade to one
+/// plain threaded [`run_component`] call whenever fusion is not
+/// provably safe. Audit predictions come out in the component's op
+/// order regardless of unit interleaving, so `merge_predictions` sees
+/// the same sequence both backends.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn run_component_fused<T: Scalar>(
+    program: &Program,
+    cfg: &PlannerConfig,
+    component: &PlannedComponent,
+    router: &BufRouter<'_, T>,
+    scalars: &Arc<Mutex<HashMap<String, T>>>,
+    tracer: Option<&Tracer>,
+    predictions: Option<&mut Vec<ModulePrediction>>,
+    opts: &ComponentOptions,
+) -> Result<Vec<GuardReport>, ExecError> {
+    let recovery_armed = opts.hook.is_some();
+    let (sems, plan) = fusion_plan_for_component(program, component, recovery_armed);
+    let schedule = if plan.regions.is_empty()
+        || !check_obligations(&plan, &component.mdag, &sems, recovery_armed).is_empty()
+    {
+        None
+    } else {
+        compile_schedule(program, cfg, component, &sems, &plan)
+    };
+    let Some(schedule) = schedule else {
+        return run_component(
+            program,
+            cfg,
+            &component.ops,
+            &component.gemv_variants,
+            router,
+            scalars,
+            tracer,
+            predictions,
+            opts,
+        );
+    };
+
+    let mut guards = Vec::new();
+    let mut tagged: Vec<(usize, ModulePrediction)> = Vec::new();
+    for unit in &schedule.units {
+        match unit {
+            Unit::Threaded(ops) => {
+                let mut unit_preds = predictions.as_ref().map(|_| Vec::new());
+                let g = run_component(
+                    program,
+                    cfg,
+                    ops,
+                    &component.gemv_variants,
+                    router,
+                    scalars,
+                    tracer,
+                    unit_preds.as_mut(),
+                    opts,
+                )?;
+                guards.extend(g);
+                if let Some(ps) = unit_preds {
+                    // `run_component` emits exactly one prediction per
+                    // op, in its ops order.
+                    tagged.extend(ops.iter().copied().zip(ps));
+                }
+            }
+            Unit::Fused(ri) => {
+                let region = &schedule.regions[*ri];
+                run_region(region, router, tracer)?;
+                if predictions.is_some() {
+                    for &oi in &region.ops {
+                        tagged.push((oi, prediction_for_op::<T>(program, cfg, oi)?));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(out) = predictions {
+        let pos: HashMap<usize, usize> = component
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, &oi)| (oi, i))
+            .collect();
+        tagged.sort_by_key(|(oi, _)| pos.get(oi).copied().unwrap_or(usize::MAX));
+        out.extend(tagged.into_iter().map(|(_, p)| p));
+    }
+    Ok(guards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composition::{execute_plan_with_backend, plan, Op, Plan, PlannerConfig, Program};
+    use crate::host::buffer::DeviceBuffer;
+
+    /// `b = 1.5·x; c = -0.75·b + y; d = c` — a three-relay chain, the
+    /// canonical fusable shape.
+    fn chain_program(n: usize) -> Program {
+        let mut p = Program::new();
+        p.vector("x", n)
+            .vector("y", n)
+            .vector("b", n)
+            .vector("c", n)
+            .vector("d", n);
+        p.op(Op::Scal {
+            alpha: 1.5,
+            x: "x".into(),
+            out: "b".into(),
+        });
+        p.op(Op::Axpy {
+            alpha: -0.75,
+            x: "b".into(),
+            y: "y".into(),
+            out: "c".into(),
+        });
+        p.op(Op::Copy {
+            x: "c".into(),
+            out: "d".into(),
+        });
+        p
+    }
+
+    fn bind(n: usize) -> HashMap<String, DeviceBuffer<f32>> {
+        let mut bufs = HashMap::new();
+        for (i, name) in ["x", "y", "b", "c", "d"].iter().enumerate() {
+            let data: Vec<f32> = (0..n)
+                .map(|j| ((j as f32 + i as f32 * 13.0) * 0.173).sin())
+                .collect();
+            bufs.insert(name.to_string(), DeviceBuffer::from_vec(*name, data, i % 4));
+        }
+        bufs
+    }
+
+    fn planned(p: &Program, cfg: &PlannerConfig) -> Plan {
+        plan(p, cfg).unwrap()
+    }
+
+    #[test]
+    fn relay_chain_fuses_into_one_region_and_schedules() {
+        let p = chain_program(64);
+        let cfg = PlannerConfig::default();
+        let thep = planned(&p, &cfg);
+        assert_eq!(thep.components.len(), 1);
+        let comp = &thep.components[0];
+        let (sems, fplan) = fusion_plan_for_component(&p, comp, false);
+        assert_eq!(fplan.regions.len(), 1, "{:?}", fplan.rejections);
+        assert!(check_obligations(&fplan, &comp.mdag, &sems, false).is_empty());
+        let schedule = compile_schedule(&p, &cfg, comp, &sems, &fplan).expect("schedulable");
+        assert_eq!(schedule.regions.len(), 1);
+        assert!(schedule.units.iter().any(|u| matches!(u, Unit::Fused(_))));
+        // All three relay ops live in the region; nothing runs threaded.
+        assert_eq!(schedule.regions[0].ops.len(), 3);
+        assert!(!schedule
+            .units
+            .iter()
+            .any(|u| matches!(u, Unit::Threaded(_))));
+        // Every intermediate is drained to its buffer by an absorbed tee.
+        let mut sinks = schedule.regions[0].sink_operands.clone();
+        sinks.sort();
+        assert_eq!(sinks, vec!["b", "c", "d"]);
+    }
+
+    #[test]
+    fn recovery_armed_rejects_all_regions() {
+        let p = chain_program(32);
+        let cfg = PlannerConfig::default();
+        let thep = planned(&p, &cfg);
+        let (_, fplan) = fusion_plan_for_component(&p, &thep.components[0], true);
+        assert!(fplan.regions.is_empty());
+    }
+
+    #[test]
+    fn fused_backend_is_bit_identical_to_threaded_on_the_chain() {
+        let n = 257; // not a multiple of any chunk size
+        let p = chain_program(n);
+        let cfg = PlannerConfig::default();
+        let thep = planned(&p, &cfg);
+
+        let bufs_t = bind(n);
+        let bufs_f = bind(n);
+        execute_plan_with_backend::<f32>(&p, &thep, &cfg, &bufs_t, None, Backend::Threaded)
+            .unwrap();
+        execute_plan_with_backend::<f32>(&p, &thep, &cfg, &bufs_f, None, Backend::Fused).unwrap();
+        for name in ["b", "c", "d"] {
+            let t = bufs_t[name].to_host();
+            let f = bufs_f[name].to_host();
+            assert_eq!(t.len(), f.len());
+            for i in 0..t.len() {
+                assert_eq!(
+                    t[i].to_bits(),
+                    f[i].to_bits(),
+                    "operand {name}[{i}]: threaded {} vs fused {}",
+                    t[i],
+                    f[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backend_resolves_from_env_knob() {
+        // Resolution reads the environment on every call; don't leave
+        // state behind for other tests.
+        std::env::remove_var("FBLAS_BACKEND");
+        assert_eq!(Backend::resolve(), Backend::Auto);
+        std::env::set_var("FBLAS_BACKEND", "threaded");
+        assert_eq!(Backend::resolve(), Backend::Threaded);
+        std::env::set_var("FBLAS_BACKEND", "fused");
+        assert_eq!(Backend::resolve(), Backend::Fused);
+        std::env::remove_var("FBLAS_BACKEND");
+        assert!(Backend::Auto.fused_allowed());
+        assert!(Backend::Fused.fused_allowed());
+        assert!(!Backend::Threaded.fused_allowed());
+    }
+}

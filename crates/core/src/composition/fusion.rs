@@ -24,11 +24,12 @@
 
 use std::collections::BTreeMap;
 
-use fblas_core::composition::{EdgeInfo, Mdag, Op};
 use fblas_hlssim::ModuleKind;
 use serde::{Deserialize, Serialize};
 
-use crate::dataflow::{solve, ExternalReach, FlowGraph};
+use super::dataflow::{solve, ExternalReach, FlowGraph};
+use super::{EdgeInfo, Mdag, Op};
+use crate::scalar::Scalar;
 
 /// Version tag of the artifact schema.
 pub const FUSION_PLAN_SCHEMA: &str = "fblas-fusion-plan-v1";
@@ -491,7 +492,7 @@ pub fn analyze_fusion(
     for members in groups.values() {
         let names = |set: &[usize]| -> Vec<String> {
             set.iter()
-                .map(|&i| g.node_name(fblas_core::composition::NodeId(i)).to_string())
+                .map(|&i| g.node_name(super::NodeId(i)).to_string())
                 .collect()
         };
         if members.len() < 2 {
@@ -580,7 +581,7 @@ pub fn analyze_fusion(
             rejections.push(FusionRejection {
                 modules: names(members),
                 reason: "feedback".to_string(),
-                witness_module: Some(g.node_name(fblas_core::composition::NodeId(v)).to_string()),
+                witness_module: Some(g.node_name(super::NodeId(v)).to_string()),
                 witness_channel: witness.map(|e| channel_name(g, e)),
             });
             continue;
@@ -653,7 +654,7 @@ pub fn analyze_fusion(
         if fused_node[i] {
             continue;
         }
-        let name = g.node_name(fblas_core::composition::NodeId(i)).to_string();
+        let name = g.node_name(super::NodeId(i)).to_string();
         let (reason, channel) = match (&sems[i], &verdicts[i]) {
             (_, Some(RelayVerdict::Blocked { reason, channel })) => (*reason, *channel),
             (_, Some(RelayVerdict::Fusable(_))) => continue, // singleton, already recorded
@@ -661,9 +662,7 @@ pub fn analyze_fusion(
             (ModuleSem::Reduce { .. }, _) => ("rate-change", None),
             (ModuleSem::Stateful, _) => ("stateful", None),
             (ModuleSem::Dup, _) => ("fanout", None),
-            (ModuleSem::Opaque, _)
-                if g.node_kind(fblas_core::composition::NodeId(i)) == ModuleKind::Compute =>
-            {
+            (ModuleSem::Opaque, _) if g.node_kind(super::NodeId(i)) == ModuleKind::Compute => {
                 ("unknown-semantics", None)
             }
             _ => continue, // interface reads/writes need no witness
@@ -778,7 +777,7 @@ pub fn check_obligations(
                                 &mut errs,
                                 format!(
                                     "`{}` fans out to {fanout} computational consumers",
-                                    g.node_name(fblas_core::composition::NodeId(i))
+                                    g.node_name(super::NodeId(i))
                                 ),
                             );
                         }
@@ -813,7 +812,7 @@ pub fn check_obligations(
                             &mut errs,
                             format!(
                                 "external path re-enters at `{}`",
-                                g.node_name(fblas_core::composition::NodeId(v))
+                                g.node_name(super::NodeId(v))
                             ),
                         );
                     }
@@ -827,7 +826,7 @@ pub fn check_obligations(
                                 &mut errs,
                                 format!(
                                     "`{}` is not a stateless relay",
-                                    g.node_name(fblas_core::composition::NodeId(i))
+                                    g.node_name(super::NodeId(i))
                                 ),
                             );
                         }
@@ -838,10 +837,7 @@ pub fn check_obligations(
                         if matches!(sems[i], ModuleSem::Reduce { .. }) {
                             fail(
                                 &mut errs,
-                                format!(
-                                    "`{}` reduces",
-                                    g.node_name(fblas_core::composition::NodeId(i))
-                                ),
+                                format!("`{}` reduces", g.node_name(super::NodeId(i))),
                             );
                         }
                     }
@@ -915,10 +911,21 @@ pub fn verify_witnesses(plan: &FusionPlan, g: &Mdag) -> Vec<String> {
 /// which is exactly why fusing a relay chain is legal and fusing a
 /// W-way reduction (whose order *does* change) is not.
 pub fn apply_elementwise(sem: &ModuleSem, ins: &[f32]) -> Option<f32> {
+    apply_elementwise_t::<f32>(sem, ins)
+}
+
+/// Generic form of [`apply_elementwise`]: the exact operations the
+/// production routine modules perform per element — `scal` multiplies
+/// (`α·x`), `axpy` uses a fused multiply-add (`α.mul_add(x, y)`), and
+/// `copy` forwards. Both the fused backend and the threaded harness
+/// route through this one function.
+pub fn apply_elementwise_t<T: Scalar>(sem: &ModuleSem, ins: &[T]) -> Option<T> {
     match (sem, ins) {
         (ModuleSem::Copy, [x, ..]) => Some(*x),
-        (ModuleSem::Scal { alpha }, [x, ..]) => Some(alpha.unwrap_or(1.0) as f32 * *x),
-        (ModuleSem::Axpy { alpha }, [x, y, ..]) => Some(alpha.unwrap_or(1.0) as f32 * *x + *y),
+        (ModuleSem::Scal { alpha }, [x, ..]) => Some(T::from_f64(alpha.unwrap_or(1.0)) * *x),
+        (ModuleSem::Axpy { alpha }, [x, y, ..]) => {
+            Some(T::from_f64(alpha.unwrap_or(1.0)).mul_add(*x, *y))
+        }
         _ => None,
     }
 }
@@ -998,7 +1005,7 @@ pub fn build_evaluator(
     let mut inputs: Vec<String> = nodes
         .iter()
         .filter(|&&i| sems[i] == ModuleSem::Read)
-        .map(|&i| g.node_name(fblas_core::composition::NodeId(i)).to_string())
+        .map(|&i| g.node_name(super::NodeId(i)).to_string())
         .collect();
     inputs.extend(region.inputs.iter().map(|bc| bc.channel.clone()));
     let input_index = |key: &str| -> Option<usize> { inputs.iter().position(|k| k == key) };
@@ -1049,7 +1056,7 @@ pub fn build_evaluator(
         let slot = slot_of[feeder.from.0]
             .ok_or_else(|| "absorbed write fed from outside the region".to_string())?;
         sinks.push(FusedSink {
-            module: g.node_name(fblas_core::composition::NodeId(w)).to_string(),
+            module: g.node_name(super::NodeId(w)).to_string(),
             src: Src::Slot(slot),
         });
     }

@@ -13,14 +13,26 @@
 //! `fblas-lint` builds its verdicts on it.
 
 mod abft;
+pub mod dataflow;
 pub mod executor;
+pub mod fused;
+pub mod fusion;
 pub mod mdag;
 pub mod planner;
 pub mod rates;
 
 pub use executor::{
-    execute_plan, execute_plan_audited, execute_plan_traced, execute_plan_with_recovery,
-    AttemptRecord, ExecError, ExecOutcome, RecoveryError, RecoveryReport, RetryPolicy,
+    execute_plan, execute_plan_audited, execute_plan_audited_with_backend, execute_plan_fused,
+    execute_plan_fused_audited, execute_plan_fused_traced, execute_plan_fused_with_recovery,
+    execute_plan_traced, execute_plan_with_backend, execute_plan_with_recovery,
+    execute_plan_with_recovery_backend, AttemptRecord, ExecError, ExecOutcome, RecoveryError,
+    RecoveryReport, RetryPolicy,
+};
+pub use fused::{fusion_plan_for_component, Backend};
+pub use fusion::{
+    analyze_fusion, apply_elementwise, apply_elementwise_t, build_evaluator, check_obligations,
+    infer_sems, sems_for_component, verify_witnesses, BoundaryChannel, FusedEvaluator, FusedRegion,
+    FusedRun, FusionPlan, FusionRejection, FusionStats, ModuleSem, Obligation, FUSION_PLAN_SCHEMA,
 };
 pub use mdag::{EdgeId, EdgeInfo, Mdag, NodeId, Validity};
 pub use planner::{

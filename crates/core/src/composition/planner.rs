@@ -110,7 +110,7 @@ pub enum Op {
 }
 
 impl Op {
-    fn inputs(&self) -> Vec<&str> {
+    pub(crate) fn inputs(&self) -> Vec<&str> {
         match self {
             Op::Copy { x, .. } | Op::Scal { x, .. } => vec![x],
             Op::Axpy { x, y, .. } | Op::Dot { x, y, .. } => vec![x, y],

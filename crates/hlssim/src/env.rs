@@ -16,6 +16,7 @@
 //! | `FBLAS_STALL_GRACE_MS` | watchdog stall grace, ms | 250 |
 //! | `FBLAS_WAIT_SLICE_US` | blocked-wait poison re-check slice, µs | 2000 |
 //! | `FBLAS_CHUNK` | elements per batched channel transfer | 256 |
+//! | `FBLAS_BACKEND` | execution backend: threaded, fused, or auto | auto |
 //! | `FBLAS_CHAOS_SEED` | seed for chaos fault plans | unset |
 //! | `FBLAS_RETRY_MAX` | recovery attempts per component | 3 |
 //! | `FBLAS_METRICS` | arm the global telemetry registry | 0 |
@@ -76,6 +77,12 @@ pub const KNOBS: &[KnobSpec] = &[
         name: "FBLAS_CHUNK",
         meaning: "elements per batched channel transfer",
         default: "256",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_BACKEND",
+        meaning: "execution backend: threaded, fused, or auto (fuse when legal)",
+        default: "auto",
         cadence: "call",
     },
     KnobSpec {
@@ -225,6 +232,25 @@ pub fn chunk() -> usize {
     read_knob("FBLAS_CHUNK", "256", parse_chunk, |raw| {
         raw.trim().parse::<usize>().map(|v| v >= 1).unwrap_or(false)
     })
+}
+
+/// The execution backend selector: `FBLAS_BACKEND` as one of
+/// `"threaded"`, `"fused"`, or `"auto"` (the default — fuse legally
+/// fusable regions, keep everything else threaded). Re-read on every
+/// call so benchmarks can sweep backends in-process. The simulator
+/// itself only reports this knob; `fblas-core`'s plan executor
+/// interprets it.
+pub fn backend() -> &'static str {
+    read_knob(
+        "FBLAS_BACKEND",
+        "auto",
+        |raw| match raw.map(str::trim) {
+            Some("threaded") => "threaded",
+            Some("fused") => "fused",
+            _ => "auto",
+        },
+        |raw| matches!(raw.trim(), "threaded" | "fused" | "auto" | ""),
+    )
 }
 
 /// The chaos seed: `FBLAS_CHAOS_SEED` as a u64, `None` when unset or
@@ -380,6 +406,7 @@ pub fn resolved_knobs() -> Vec<(String, String)> {
                 "FBLAS_STALL_GRACE_MS" => stall_grace().as_millis().to_string(),
                 "FBLAS_WAIT_SLICE_US" => wait_slice().as_micros().to_string(),
                 "FBLAS_CHUNK" => chunk().to_string(),
+                "FBLAS_BACKEND" => backend().to_string(),
                 "FBLAS_CHAOS_SEED" => chaos_seed()
                     .map(|s| s.to_string())
                     .unwrap_or_else(|| "unset".to_string()),
@@ -430,6 +457,19 @@ mod tests {
         std::env::set_var("FBLAS_CHAOS_SEED", "xyz");
         assert_eq!(chaos_seed(), None);
         std::env::remove_var("FBLAS_CHAOS_SEED");
+    }
+
+    #[test]
+    fn backend_parses_and_rejects_garbage() {
+        std::env::remove_var("FBLAS_BACKEND");
+        assert_eq!(backend(), "auto");
+        std::env::set_var("FBLAS_BACKEND", "fused");
+        assert_eq!(backend(), "fused");
+        std::env::set_var("FBLAS_BACKEND", "threaded");
+        assert_eq!(backend(), "threaded");
+        std::env::set_var("FBLAS_BACKEND", "quantum");
+        assert_eq!(backend(), "auto");
+        std::env::remove_var("FBLAS_BACKEND");
     }
 
     #[test]
@@ -508,6 +548,7 @@ mod tests {
         let _ = stall_grace();
         let _ = wait_slice();
         let _ = chunk();
+        let _ = backend();
         let _ = chaos_seed();
         let _ = retry_max();
         let _ = metrics_enabled();

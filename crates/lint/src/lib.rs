@@ -54,9 +54,14 @@
 // Tests may unwrap freely; library code must not (see clippy.toml).
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
-pub mod dataflow;
+// Dataflow engine and fusion analysis grew up here but now live in
+// `fblas-core` (the fused execution backend consumes them); the module
+// paths below keep every `fblas_lint::{dataflow, fusion}::*` caller
+// working unchanged.
+pub use fblas_core::composition::dataflow;
+pub use fblas_core::composition::fusion;
+
 pub mod diag;
-pub mod fusion;
 pub mod harness;
 pub mod input;
 pub mod passes;

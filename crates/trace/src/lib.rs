@@ -144,6 +144,9 @@ struct TracerInner {
     /// Correlation key of the logical request this trace belongs to
     /// (16-hex-digit run ID); exported as Perfetto metadata.
     run_id: Mutex<Option<String>>,
+    /// Execution backend the traced run used (`threaded` / `fused` /
+    /// `auto`); exported as Perfetto metadata.
+    backend: Mutex<Option<String>>,
 }
 
 /// Collects lanes, series, and metrics for one (or several) simulation
@@ -169,6 +172,7 @@ impl Tracer {
                 series: Mutex::new(BTreeMap::new()),
                 metrics: MetricsRegistry::new(),
                 run_id: Mutex::new(None),
+                backend: Mutex::new(None),
             }),
         }
     }
@@ -211,6 +215,18 @@ impl Tracer {
     /// The tagged run ID, if any.
     pub fn run_id(&self) -> Option<String> {
         self.inner.run_id.lock().clone()
+    }
+
+    /// Tag this trace with the execution backend that produced it
+    /// (`threaded`, `fused`, or `auto`); the Perfetto exporter emits it
+    /// as metadata so a trace records which execution path it observed.
+    pub fn set_backend(&self, backend: impl Into<String>) {
+        *self.inner.backend.lock() = Some(backend.into());
+    }
+
+    /// The tagged backend name, if any.
+    pub fn backend(&self) -> Option<String> {
+        self.inner.backend.lock().clone()
     }
 
     fn flush_lane(&self, lane: Lane) {

@@ -151,6 +151,11 @@ pub fn trace_value(tracer: &Tracer) -> Value {
         // metrics snapshot, the Prometheus dump, and the RecoveryReport.
         other.push(("run_id", s(run_id)));
     }
+    if let Some(backend) = tracer.backend() {
+        // Which execution path produced the trace: threaded hlssim,
+        // fused single-loop kernels, or auto (fused where legal).
+        other.push(("backend", s(backend)));
+    }
     obj(vec![
         ("traceEvents", Value::Array(events)),
         ("displayTimeUnit", s("ms")),
@@ -213,6 +218,28 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.get("ph").and_then(Value::as_str) == Some("C")));
+    }
+
+    #[test]
+    fn other_data_carries_the_backend_tag_when_set() {
+        let tracer = Tracer::new();
+        {
+            let _scope = ModuleScope::enter("m", Some(&tracer));
+        }
+        // Untagged tracers omit the key entirely (old traces stay stable).
+        let doc: Value = serde_json::from_str(&trace_json(&tracer)).unwrap();
+        assert!(doc.get("otherData").unwrap().get("backend").is_none());
+
+        tracer.set_backend("fused");
+        let doc: Value = serde_json::from_str(&trace_json(&tracer)).unwrap();
+        assert_eq!(
+            doc.get("otherData")
+                .unwrap()
+                .get("backend")
+                .and_then(Value::as_str),
+            Some("fused"),
+            "executor-tagged traces must expose the execution backend"
+        );
     }
 
     #[test]
