@@ -100,6 +100,10 @@ step "bench-diff against committed baselines"
 for bin in table3 table4 table5 table6 fig10 fig11 hbm_scaling bench_throughput bench_chaos bench_observe bench_flight bench_fused; do
     FBLAS_BENCH_DIR="$tmpdir" cargo run --release -q -p fblas-bench --bin "$bin" >/dev/null
 done
+# bench_serve lives in fblas-serve (the server crate), not fblas-bench:
+# its deterministic columns (workers/chaos/requests/ok/failed) gate the
+# serving layer's admission arithmetic the same way.
+FBLAS_BENCH_DIR="$tmpdir" cargo run --release -q -p fblas-serve --bin bench_serve >/dev/null
 cargo run --release -q -p fblas-bench --bin bench-diff -- \
     --baselines benchmarks/baselines --current "$tmpdir"
 
@@ -198,6 +202,48 @@ FBLAS_SNAPSHOT_OUT="$tmpdir/metrics_snapshot.json" \
 cargo run --release -q -p fblas-bench --bin fblas-top -- \
     --snapshot "$tmpdir/metrics_snapshot.json" >/dev/null
 echo "fblas-top renders the snapshot"
+
+step "serve smoke (lockstep determinism + daemon drain)"
+# The fixed lockstep smoke workload — success, lint rejection, quota
+# shed, chaos exhaustion, breaker open/fast-fail/reset, stats, drain —
+# must produce byte-identical response transcripts across two runs:
+# lockstep serializes every admission decision and wall-clock material
+# lives only in the stripped `wall` field.
+cargo run --release -q -p fblas-serve --bin bench_serve -- \
+    --smoke --dump-responses "$tmpdir/serve_smoke_a.txt"
+cargo run --release -q -p fblas-serve --bin bench_serve -- \
+    --smoke --dump-responses "$tmpdir/serve_smoke_b.txt"
+cmp "$tmpdir/serve_smoke_a.txt" "$tmpdir/serve_smoke_b.txt"
+echo "serve smoke transcripts are byte-identical across runs"
+# The daemon must exit 0 on a clean client-driven drain.
+cargo run --release -q -p fblas-serve --bin fblas-serve -- \
+    --addr 127.0.0.1:0 --workers 2 --tenant-qps 0 2>"$tmpdir/serve_daemon.log" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$tmpdir/serve_daemon.log" && break
+    sleep 0.1
+done
+serve_addr="$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$tmpdir/serve_daemon.log")"
+python3 - "$serve_addr" <<'EOF'
+import json, socket, sys
+host, port = sys.argv[1].rsplit(":", 1)
+s = socket.create_connection((host, int(port)), timeout=30)
+f = s.makefile("rw")
+req = {"id": 1, "tenant": "ci", "fill_seed": 3, "program": {
+    "operands": [{"name": "x", "kind": "vector", "len": 16},
+                 {"name": "o", "kind": "vector", "len": 16}],
+    "ops": [{"op": "scal", "alpha": 2.0, "x": "x", "out": "o"}]}}
+f.write(json.dumps(req) + "\n"); f.flush()
+resp = json.loads(f.readline())
+assert resp["status"] == "ok", resp
+f.write('{"control":"drain"}\n'); f.flush()
+drain = json.loads(f.readline())
+assert drain["status"] == "ok", drain
+assert drain["stats"]["admitted"] == drain["stats"]["ok"] == 1, drain
+print("daemon served and drained:", drain["stats"]["ok"], "request")
+EOF
+wait "$serve_pid"
+echo "fblas-serve exited 0 after graceful drain"
 
 step "env knob table sync (fblas-env)"
 # The documented FBLAS_* table must render; the sync test in

@@ -410,7 +410,7 @@ fn main() {
                 ),
             };
             let attempts = rec.attempts.len() as u64;
-            let first_kind = rec.attempts[0].error.clone();
+            let first_kind = rec.attempts[0].error;
             let was_detected = first_kind.is_some();
             let recovered = rec.recovered > 0;
 
@@ -445,7 +445,7 @@ fn main() {
             detected_count += was_detected as u64;
             recovered_count += recovered as u64;
 
-            let kind = first_kind.clone().unwrap_or_else(|| "-".to_string());
+            let kind = first_kind.map_or("-", |k| k.as_str()).to_string();
             println!(
                 "{:<8} {:<14} {:<12} {:>5} {:>4} {:>9} {:>9} {:>10} {:>12}",
                 routine.name,

@@ -342,6 +342,113 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Normalized failure kind of one recovery attempt — the stable
+/// vocabulary the serving layer (and any future client) maps to
+/// response codes without string matching. Serializes to the same
+/// snake-case names `AttemptRecord` has always carried
+/// (`"stall"`, `"deadline"`, `"module_panic"`, `"poisoned"`,
+/// `"disconnect"`, `"corruption"`, `"plan"`, `"error"`), so seeded
+/// recovery reports stay byte-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryErrorKind {
+    /// The watchdog declared the composition deadlocked.
+    Stall,
+    /// The per-attempt wall-clock deadline expired.
+    Deadline,
+    /// A module thread panicked.
+    ModulePanic,
+    /// A peer observed the context poisoned by a dying module.
+    Poisoned,
+    /// A channel endpoint disconnected mid-stream.
+    Disconnect,
+    /// A digest guard or ABFT checksum identity failed after the
+    /// simulation completed.
+    Corruption,
+    /// The plan or program was malformed.
+    Plan,
+    /// Any other execution error (missing/mis-sized buffer bindings).
+    Error,
+}
+
+impl RecoveryErrorKind {
+    /// Every kind, in a stable order (useful for exhaustive client-side
+    /// dispatch tables and tests).
+    pub const ALL: [RecoveryErrorKind; 8] = [
+        RecoveryErrorKind::Stall,
+        RecoveryErrorKind::Deadline,
+        RecoveryErrorKind::ModulePanic,
+        RecoveryErrorKind::Poisoned,
+        RecoveryErrorKind::Disconnect,
+        RecoveryErrorKind::Corruption,
+        RecoveryErrorKind::Plan,
+        RecoveryErrorKind::Error,
+    ];
+
+    /// Classify an [`ExecError`].
+    pub fn of(e: &ExecError) -> RecoveryErrorKind {
+        match e {
+            ExecError::Sim(SimError::Stall { .. }) => RecoveryErrorKind::Stall,
+            ExecError::Sim(SimError::Deadline { .. }) => RecoveryErrorKind::Deadline,
+            ExecError::Sim(SimError::Module { .. }) => RecoveryErrorKind::ModulePanic,
+            ExecError::Sim(SimError::Poisoned { .. }) => RecoveryErrorKind::Poisoned,
+            ExecError::Sim(SimError::Disconnected { .. }) => RecoveryErrorKind::Disconnect,
+            ExecError::Corrupt { .. } => RecoveryErrorKind::Corruption,
+            ExecError::Plan(_) => RecoveryErrorKind::Plan,
+            _ => RecoveryErrorKind::Error,
+        }
+    }
+
+    /// The stable snake-case name this kind serializes to.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryErrorKind::Stall => "stall",
+            RecoveryErrorKind::Deadline => "deadline",
+            RecoveryErrorKind::ModulePanic => "module_panic",
+            RecoveryErrorKind::Poisoned => "poisoned",
+            RecoveryErrorKind::Disconnect => "disconnect",
+            RecoveryErrorKind::Corruption => "corruption",
+            RecoveryErrorKind::Plan => "plan",
+            RecoveryErrorKind::Error => "error",
+        }
+    }
+
+    /// Parse a stable name back into the kind.
+    pub fn parse(s: &str) -> Option<RecoveryErrorKind> {
+        RecoveryErrorKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+
+    /// Whether this kind counts against a plan-shape circuit breaker:
+    /// integrity and liveness failures indicate the *shape* (or the
+    /// faults chasing it) is sick; `plan`/`error` are caller mistakes
+    /// that fail deterministically up front and need no breaker.
+    pub fn trips_breaker(self) -> bool {
+        !matches!(self, RecoveryErrorKind::Plan | RecoveryErrorKind::Error)
+    }
+}
+
+impl std::fmt::Display for RecoveryErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// Manual impls pin the wire names independently of variant spelling.
+impl Serialize for RecoveryErrorKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl serde::Deserialize for RecoveryErrorKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::DeError::custom("expected recovery error kind string"))?;
+        RecoveryErrorKind::parse(s)
+            .ok_or_else(|| serde::DeError::custom(format!("unknown recovery error kind `{s}`")))
+    }
+}
+
 /// One component attempt in a [`RecoveryReport`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct AttemptRecord {
@@ -349,12 +456,10 @@ pub struct AttemptRecord {
     pub component: usize,
     /// 1-based attempt number.
     pub attempt: u32,
-    /// `None` on success; otherwise the normalized failure kind
-    /// (`"stall"`, `"deadline"`, `"module_panic"`, `"poisoned"`,
-    /// `"disconnect"`, `"corruption"`, `"plan"` or `"error"`). Kinds —
+    /// `None` on success; otherwise the normalized failure kind. Kinds —
     /// not raw messages — so two runs of the same seeded fault plan
     /// serialize identically.
-    pub error: Option<String>,
+    pub error: Option<RecoveryErrorKind>,
     /// Whether a channel digest guard was dirty on this attempt.
     pub guard_flagged: bool,
     /// Whether an ABFT checksum identity failed on this attempt.
@@ -454,20 +559,6 @@ fn propagate_run_id(tracer: Option<&Tracer>) {
     }
 }
 
-/// Normalized failure kind for [`AttemptRecord::error`].
-fn error_kind(e: &ExecError) -> &'static str {
-    match e {
-        ExecError::Sim(SimError::Stall { .. }) => "stall",
-        ExecError::Sim(SimError::Deadline { .. }) => "deadline",
-        ExecError::Sim(SimError::Module { .. }) => "module_panic",
-        ExecError::Sim(SimError::Poisoned { .. }) => "poisoned",
-        ExecError::Sim(SimError::Disconnected { .. }) => "disconnect",
-        ExecError::Corrupt { .. } => "corruption",
-        ExecError::Plan(_) => "plan",
-        _ => "error",
-    }
-}
-
 /// Publish the authoritative flight-recorder bundle when a retry budget
 /// is exhausted. Attempt-level captures were suppressed, so this is the
 /// only bundle the run emits; it carries the full [`RecoveryReport`]
@@ -494,7 +585,7 @@ fn capture_exhaustion_postmortem(
     };
     fblas_hlssim::postmortem::capture(
         fblas_metrics::flight::Trigger {
-            kind: error_kind(err).to_string(),
+            kind: RecoveryErrorKind::of(err).as_str().to_string(),
             detail: err.to_string(),
             culprit,
         },
@@ -763,11 +854,11 @@ pub fn execute_plan_with_recovery_backend<T: Scalar>(
                     break;
                 }
                 Some(err) => {
-                    let kind = error_kind(&err);
+                    let kind = RecoveryErrorKind::of(&err);
                     report.attempts.push(AttemptRecord {
                         component: ix,
                         attempt,
-                        error: Some(kind.to_string()),
+                        error: Some(kind),
                         guard_flagged,
                         abft_flagged,
                         recovered: false,
@@ -2028,7 +2119,7 @@ mod tests {
         assert_eq!(report.retries, 1);
         assert_eq!(report.recovered, 1);
         let failed = &report.attempts[0];
-        assert_eq!(failed.error.as_deref(), Some("corruption"));
+        assert_eq!(failed.error, Some(RecoveryErrorKind::Corruption));
         assert!(failed.guard_flagged, "digest guard should have tripped");
         let healed = report
             .attempts
@@ -2058,8 +2149,8 @@ mod tests {
         let failed = &report.attempts[0];
         assert!(
             matches!(
-                failed.error.as_deref(),
-                Some("module_panic") | Some("poisoned")
+                failed.error,
+                Some(RecoveryErrorKind::ModulePanic) | Some(RecoveryErrorKind::Poisoned)
             ),
             "unexpected kind: {:?}",
             failed.error

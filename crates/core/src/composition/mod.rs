@@ -26,7 +26,7 @@ pub use executor::{
     execute_plan_fused_audited, execute_plan_fused_traced, execute_plan_fused_with_recovery,
     execute_plan_traced, execute_plan_with_backend, execute_plan_with_recovery,
     execute_plan_with_recovery_backend, AttemptRecord, ExecError, ExecOutcome, RecoveryError,
-    RecoveryReport, RetryPolicy,
+    RecoveryErrorKind, RecoveryReport, RetryPolicy,
 };
 pub use fused::{fusion_plan_for_component, Backend};
 pub use fusion::{

@@ -25,6 +25,12 @@
 //! | `FBLAS_FLIGHT_HZ` | flight-recorder sampling cadence, frames/sec | 50 |
 //! | `FBLAS_FLIGHT_WINDOW` | flight-recorder ring window, seconds | 10 |
 //! | `FBLAS_FLIGHT_DIR` | directory postmortem bundles are written to | unset |
+//! | `FBLAS_SERVE_ADDR` | fblas-serve listen address | 127.0.0.1:8377 |
+//! | `FBLAS_SERVE_WORKERS` | fblas-serve worker threads | 4 |
+//! | `FBLAS_SERVE_QUEUE` | fblas-serve admission queue depth | 64 |
+//! | `FBLAS_SERVE_TENANT_QPS` | per-tenant token-bucket refill, req/s | 50 |
+//! | `FBLAS_SERVE_BREAKER` | failures per plan shape to open its breaker | 3 |
+//! | `FBLAS_SERVE_DRAIN_MS` | graceful-drain timeout, ms | 5000 |
 //!
 //! Caching follows each knob's use: grace and wait-slice are read once
 //! per process (they configure long-lived machinery), while the chunk
@@ -131,6 +137,42 @@ pub const KNOBS: &[KnobSpec] = &[
         name: "FBLAS_FLIGHT_DIR",
         meaning: "directory postmortem bundles are written to",
         default: "unset (bundles stay in-memory)",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_SERVE_ADDR",
+        meaning: "fblas-serve listen address (host:port)",
+        default: "127.0.0.1:8377",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_SERVE_WORKERS",
+        meaning: "fblas-serve execution worker threads",
+        default: "4",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_SERVE_QUEUE",
+        meaning: "fblas-serve admission queue depth before shedding",
+        default: "64",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_SERVE_TENANT_QPS",
+        meaning: "fblas-serve per-tenant token-bucket refill, requests/sec",
+        default: "50",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_SERVE_BREAKER",
+        meaning: "fblas-serve consecutive plan-shape failures that open the breaker",
+        default: "3",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_SERVE_DRAIN_MS",
+        meaning: "fblas-serve graceful-drain timeout for in-flight requests, ms",
+        default: "5000",
         cadence: "call",
     },
 ];
@@ -366,6 +408,123 @@ pub fn flight_dir() -> Option<std::path::PathBuf> {
     )
 }
 
+/// Default fblas-serve listen address.
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:8377";
+/// Default fblas-serve worker-thread count.
+pub const DEFAULT_SERVE_WORKERS: usize = 4;
+/// Default fblas-serve admission queue depth.
+pub const DEFAULT_SERVE_QUEUE: usize = 64;
+/// Default fblas-serve per-tenant token-bucket refill rate (requests/sec).
+pub const DEFAULT_SERVE_TENANT_QPS: u32 = 50;
+/// Default consecutive-failure threshold that opens a plan-shape breaker.
+pub const DEFAULT_SERVE_BREAKER: u32 = 3;
+/// Default graceful-drain timeout, ms.
+pub const DEFAULT_SERVE_DRAIN_MS: u64 = 5000;
+
+/// fblas-serve listen address: `FBLAS_SERVE_ADDR` when set and shaped
+/// like `host:port`, else [`DEFAULT_SERVE_ADDR`]. Re-read every call.
+pub fn serve_addr() -> String {
+    fn valid(raw: &str) -> bool {
+        let t = raw.trim();
+        matches!(t.rsplit_once(':'), Some((host, port))
+            if !host.is_empty() && port.parse::<u16>().is_ok())
+    }
+    read_knob(
+        "FBLAS_SERVE_ADDR",
+        DEFAULT_SERVE_ADDR,
+        |raw| {
+            raw.map(str::trim)
+                .filter(|v| valid(v))
+                .unwrap_or(DEFAULT_SERVE_ADDR)
+                .to_string()
+        },
+        valid,
+    )
+}
+
+/// fblas-serve worker threads: `FBLAS_SERVE_WORKERS` if a positive
+/// integer (clamped to 256), else [`DEFAULT_SERVE_WORKERS`]. Re-read
+/// every call so benches can sweep worker counts in-process.
+pub fn serve_workers() -> usize {
+    read_knob(
+        "FBLAS_SERVE_WORKERS",
+        "4",
+        |raw| {
+            raw.and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|n| *n >= 1)
+                .map(|n| n.min(256))
+                .unwrap_or(DEFAULT_SERVE_WORKERS)
+        },
+        |raw| raw.trim().parse::<usize>().map(|v| v >= 1).unwrap_or(false),
+    )
+}
+
+/// fblas-serve admission queue depth: `FBLAS_SERVE_QUEUE` if a positive
+/// integer, else [`DEFAULT_SERVE_QUEUE`]. A full queue sheds with a
+/// structured over-capacity response. Re-read every call.
+pub fn serve_queue() -> usize {
+    read_knob(
+        "FBLAS_SERVE_QUEUE",
+        "64",
+        |raw| {
+            raw.and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|n| *n >= 1)
+                .unwrap_or(DEFAULT_SERVE_QUEUE)
+        },
+        |raw| raw.trim().parse::<usize>().map(|v| v >= 1).unwrap_or(false),
+    )
+}
+
+/// Per-tenant token-bucket refill rate in requests/sec:
+/// `FBLAS_SERVE_TENANT_QPS` if a positive integer, else
+/// [`DEFAULT_SERVE_TENANT_QPS`]. Re-read every call.
+pub fn serve_tenant_qps() -> u32 {
+    read_knob(
+        "FBLAS_SERVE_TENANT_QPS",
+        "50",
+        |raw| {
+            raw.and_then(|v| v.trim().parse::<u32>().ok())
+                .filter(|n| *n >= 1)
+                .unwrap_or(DEFAULT_SERVE_TENANT_QPS)
+        },
+        |raw| raw.trim().parse::<u32>().map(|v| v >= 1).unwrap_or(false),
+    )
+}
+
+/// Consecutive failures of one plan shape that open its circuit
+/// breaker: `FBLAS_SERVE_BREAKER` if a positive integer, else
+/// [`DEFAULT_SERVE_BREAKER`]. Re-read every call.
+pub fn serve_breaker() -> u32 {
+    read_knob(
+        "FBLAS_SERVE_BREAKER",
+        "3",
+        |raw| {
+            raw.and_then(|v| v.trim().parse::<u32>().ok())
+                .filter(|n| *n >= 1)
+                .unwrap_or(DEFAULT_SERVE_BREAKER)
+        },
+        |raw| raw.trim().parse::<u32>().map(|v| v >= 1).unwrap_or(false),
+    )
+}
+
+/// Graceful-drain timeout for in-flight requests:
+/// `FBLAS_SERVE_DRAIN_MS` if a positive integer of milliseconds, else
+/// [`DEFAULT_SERVE_DRAIN_MS`]. Re-read every call.
+pub fn serve_drain() -> Duration {
+    read_knob(
+        "FBLAS_SERVE_DRAIN_MS",
+        "5000 ms",
+        |raw| {
+            Duration::from_millis(
+                raw.and_then(|v| v.trim().parse::<u64>().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or(DEFAULT_SERVE_DRAIN_MS),
+            )
+        },
+        parses_positive_u64,
+    )
+}
+
 /// Arm the global telemetry registry if `FBLAS_METRICS` asks for it,
 /// with `FBLAS_METRICS_SHARDS` writer shards. Returns whether the
 /// registry ended up armed. Call this once at program start (bins) or
@@ -419,6 +578,12 @@ pub fn resolved_knobs() -> Vec<(String, String)> {
                 "FBLAS_FLIGHT_DIR" => flight_dir()
                     .map(|p| p.display().to_string())
                     .unwrap_or_else(|| "unset".to_string()),
+                "FBLAS_SERVE_ADDR" => serve_addr(),
+                "FBLAS_SERVE_WORKERS" => serve_workers().to_string(),
+                "FBLAS_SERVE_QUEUE" => serve_queue().to_string(),
+                "FBLAS_SERVE_TENANT_QPS" => serve_tenant_qps().to_string(),
+                "FBLAS_SERVE_BREAKER" => serve_breaker().to_string(),
+                "FBLAS_SERVE_DRAIN_MS" => serve_drain().as_millis().to_string(),
                 other => unreachable!("KNOBS row {other} missing from resolved_knobs"),
             };
             (k.name.to_string(), v)
@@ -528,6 +693,61 @@ mod tests {
     }
 
     #[test]
+    fn serve_knobs_parse_and_reject_garbage() {
+        std::env::remove_var("FBLAS_SERVE_ADDR");
+        assert_eq!(serve_addr(), DEFAULT_SERVE_ADDR);
+        std::env::set_var("FBLAS_SERVE_ADDR", "0.0.0.0:9000");
+        assert_eq!(serve_addr(), "0.0.0.0:9000");
+        std::env::set_var("FBLAS_SERVE_ADDR", "no-port-here");
+        assert_eq!(serve_addr(), DEFAULT_SERVE_ADDR);
+        std::env::set_var("FBLAS_SERVE_ADDR", "host:99999");
+        assert_eq!(serve_addr(), DEFAULT_SERVE_ADDR, "port must fit u16");
+        std::env::remove_var("FBLAS_SERVE_ADDR");
+
+        std::env::remove_var("FBLAS_SERVE_WORKERS");
+        assert_eq!(serve_workers(), DEFAULT_SERVE_WORKERS);
+        std::env::set_var("FBLAS_SERVE_WORKERS", "8");
+        assert_eq!(serve_workers(), 8);
+        std::env::set_var("FBLAS_SERVE_WORKERS", "0");
+        assert_eq!(serve_workers(), DEFAULT_SERVE_WORKERS);
+        std::env::set_var("FBLAS_SERVE_WORKERS", "100000");
+        assert_eq!(serve_workers(), 256, "worker count is clamped");
+        std::env::remove_var("FBLAS_SERVE_WORKERS");
+
+        std::env::remove_var("FBLAS_SERVE_QUEUE");
+        assert_eq!(serve_queue(), DEFAULT_SERVE_QUEUE);
+        std::env::set_var("FBLAS_SERVE_QUEUE", "2");
+        assert_eq!(serve_queue(), 2);
+        std::env::set_var("FBLAS_SERVE_QUEUE", "none");
+        assert_eq!(serve_queue(), DEFAULT_SERVE_QUEUE);
+        std::env::remove_var("FBLAS_SERVE_QUEUE");
+
+        std::env::remove_var("FBLAS_SERVE_TENANT_QPS");
+        assert_eq!(serve_tenant_qps(), DEFAULT_SERVE_TENANT_QPS);
+        std::env::set_var("FBLAS_SERVE_TENANT_QPS", "5");
+        assert_eq!(serve_tenant_qps(), 5);
+        std::env::set_var("FBLAS_SERVE_TENANT_QPS", "0");
+        assert_eq!(serve_tenant_qps(), DEFAULT_SERVE_TENANT_QPS);
+        std::env::remove_var("FBLAS_SERVE_TENANT_QPS");
+
+        std::env::remove_var("FBLAS_SERVE_BREAKER");
+        assert_eq!(serve_breaker(), DEFAULT_SERVE_BREAKER);
+        std::env::set_var("FBLAS_SERVE_BREAKER", "2");
+        assert_eq!(serve_breaker(), 2);
+        std::env::set_var("FBLAS_SERVE_BREAKER", "-1");
+        assert_eq!(serve_breaker(), DEFAULT_SERVE_BREAKER);
+        std::env::remove_var("FBLAS_SERVE_BREAKER");
+
+        std::env::remove_var("FBLAS_SERVE_DRAIN_MS");
+        assert_eq!(serve_drain(), Duration::from_millis(DEFAULT_SERVE_DRAIN_MS));
+        std::env::set_var("FBLAS_SERVE_DRAIN_MS", "250");
+        assert_eq!(serve_drain(), Duration::from_millis(250));
+        std::env::set_var("FBLAS_SERVE_DRAIN_MS", "forever");
+        assert_eq!(serve_drain(), Duration::from_millis(DEFAULT_SERVE_DRAIN_MS));
+        std::env::remove_var("FBLAS_SERVE_DRAIN_MS");
+    }
+
+    #[test]
     fn resolved_knobs_covers_every_documented_knob() {
         // `resolved_knobs` matches on knob names; a KNOBS row it does
         // not know would hit the unreachable arm and fail here.
@@ -557,6 +777,12 @@ mod tests {
         let _ = flight_hz();
         let _ = flight_window_s();
         let _ = flight_dir();
+        let _ = serve_addr();
+        let _ = serve_workers();
+        let _ = serve_queue();
+        let _ = serve_tenant_qps();
+        let _ = serve_breaker();
+        let _ = serve_drain();
         let mut documented: Vec<&'static str> = KNOBS.iter().map(|k| k.name).collect();
         documented.sort_unstable();
         assert_eq!(touched_knobs(), documented);

@@ -253,7 +253,6 @@ mod tests {
 
     #[test]
     fn run_id_appears_in_both_surfaces_inside_scope() {
-        let _guard = crate::span::test_lock();
         let reg = sample_registry();
         let scope = crate::span::RunScope::seeded(99);
         let id = scope.id().to_string();

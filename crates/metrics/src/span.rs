@@ -2,15 +2,19 @@
 //!
 //! A [`RunScope`] marks one logical request — lint → plan → execute →
 //! recovery — with a [`RunId`] that every layer can read via
-//! [`current_run_id`]. The simulator spawns worker OS threads, so the
-//! current run lives in a process-global slot rather than a
-//! thread-local; scopes nest (the guard restores the previous run on
-//! drop) and the serving layer will hold one scope per in-flight
-//! tenant request.
+//! [`current_run_id`]. The current run lives in a *thread-local* slot:
+//! every reader (the executor's report assembly, exposition snapshots,
+//! postmortem capture — the simulator's watchdog runs inline on the
+//! thread that called `Simulation::run`) executes on the thread that
+//! entered the scope, and a serving layer holds one scope per worker
+//! thread, so concurrent tenant requests get non-clashing run IDs and
+//! distinct `postmortem-<runid>.json` bundles. Scopes nest (the guard
+//! restores the previous run on drop) and are `!Send` — a guard must
+//! drop on the thread that created it.
 
+use std::cell::Cell;
 use std::fmt;
-
-use parking_lot::Mutex;
+use std::marker::PhantomData;
 
 /// A 64-bit run identifier, rendered as 16 lowercase hex digits.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -46,36 +50,34 @@ impl fmt::Display for RunId {
     }
 }
 
-fn current() -> &'static Mutex<Option<RunId>> {
-    static CURRENT: Mutex<Option<RunId>> = Mutex::new(None);
-    &CURRENT
+thread_local! {
+    static CURRENT: Cell<Option<RunId>> = const { Cell::new(None) };
 }
 
-/// Serializes tests that enter scopes: the slot is process-global, so
-/// concurrent test threads would otherwise observe each other's runs.
-#[cfg(test)]
-pub(crate) fn test_lock() -> parking_lot::MutexGuard<'static, ()> {
-    static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock()
-}
-
-/// The run ID of the innermost live [`RunScope`], if any.
+/// The run ID of the innermost live [`RunScope`] on *this thread*, if
+/// any.
 pub fn current_run_id() -> Option<RunId> {
-    *current().lock()
+    CURRENT.with(Cell::get)
 }
 
 /// RAII guard marking the extent of one logical request. On drop the
-/// previously current run (if any) is restored.
+/// previously current run (if any) is restored. `!Send`: the scope is
+/// thread-local state and must drop on the thread that entered it.
 pub struct RunScope {
     id: RunId,
     prev: Option<RunId>,
+    _not_send: PhantomData<*const ()>,
 }
 
 impl RunScope {
     /// Enter a scope with an explicit ID.
     pub fn enter(id: RunId) -> Self {
-        let prev = current().lock().replace(id);
-        RunScope { id, prev }
+        let prev = CURRENT.with(|c| c.replace(Some(id)));
+        RunScope {
+            id,
+            prev,
+            _not_send: PhantomData,
+        }
     }
 
     /// Enter a scope with an ID derived from `seed`.
@@ -91,7 +93,7 @@ impl RunScope {
 
 impl Drop for RunScope {
     fn drop(&mut self) {
-        *current().lock() = self.prev;
+        CURRENT.with(|c| c.set(self.prev));
     }
 }
 
@@ -101,7 +103,6 @@ mod tests {
 
     #[test]
     fn scopes_nest_and_restore() {
-        let _guard = test_lock();
         let prev = current_run_id();
         let outer = RunScope::seeded(1);
         assert_eq!(current_run_id(), Some(outer.id()));
@@ -113,6 +114,22 @@ mod tests {
         assert_eq!(current_run_id(), Some(outer.id()));
         drop(outer);
         assert_eq!(current_run_id(), prev);
+    }
+
+    #[test]
+    fn scopes_are_per_thread() {
+        let _outer = RunScope::seeded(7);
+        let mine = current_run_id();
+        let theirs = std::thread::spawn(|| {
+            assert_eq!(current_run_id(), None, "scope leaked across threads");
+            let s = RunScope::seeded(8);
+            (s.id(), current_run_id())
+        })
+        .join()
+        .unwrap();
+        assert_eq!(theirs.1, Some(theirs.0));
+        assert_ne!(theirs.1, mine);
+        assert_eq!(current_run_id(), mine, "other thread's scope bled back");
     }
 
     #[test]

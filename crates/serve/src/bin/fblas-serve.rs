@@ -1,0 +1,104 @@
+//! The fblas-serve daemon.
+//!
+//! ```text
+//! fblas-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!             [--tenant-qps N] [--breaker N] [--drain-ms N]
+//! ```
+//!
+//! Flags override the `FBLAS_SERVE_*` knobs (see `fblas-hlssim`'s env
+//! table). The process serves until a client sends
+//! `{"control":"drain"}`, then drains gracefully and exits — 0 when
+//! every queued and in-flight request completed, 1 when the drain
+//! timed out and queued work was abandoned.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fblas_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fblas-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--tenant-qps N] [--breaker N] [--drain-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(cfg: &mut ServeConfig) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("fblas-serve: {what} needs a value");
+                usage();
+            }
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = take("--addr"),
+            "--workers" => match take("--workers").parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.workers = n.min(256),
+                _ => usage(),
+            },
+            "--queue" => match take("--queue").parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.queue = n,
+                _ => usage(),
+            },
+            "--tenant-qps" => match take("--tenant-qps").parse::<u32>() {
+                Ok(n) => {
+                    cfg.tenant_qps = n;
+                    cfg.tenant_burst = n.max(1);
+                }
+                Err(_) => usage(),
+            },
+            "--breaker" => match take("--breaker").parse::<u32>() {
+                Ok(n) if n >= 1 => cfg.breaker = n,
+                _ => usage(),
+            },
+            "--drain-ms" => match take("--drain-ms").parse::<u64>() {
+                Ok(n) => cfg.drain = Duration::from_millis(n),
+                Err(_) => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("fblas-serve: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServeConfig::from_env();
+    parse_args(&mut cfg);
+    let server = match Server::start(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fblas-serve: failed to bind {}: {e}", cfg.addr);
+            return ExitCode::from(1);
+        }
+    };
+    eprintln!(
+        "fblas-serve: listening on {} ({} workers, queue {}, tenant qps {}, breaker {}, drain {:?})",
+        server.addr(),
+        cfg.workers,
+        cfg.queue,
+        cfg.tenant_qps,
+        cfg.breaker,
+        cfg.drain
+    );
+    let outcome = server.wait();
+    eprintln!(
+        "fblas-serve: drained ({}) — admitted {}, ok {}, failed {}, shed {}",
+        if outcome.clean { "clean" } else { "timeout" },
+        outcome.stats.admitted,
+        outcome.stats.ok,
+        outcome.stats.failed,
+        outcome.stats.shed_quota + outcome.stats.shed_queue + outcome.stats.shed_draining,
+    );
+    if outcome.clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,121 @@
+//! fblas-serve: a fault-contained multi-tenant execution server.
+//!
+//! The rest of the workspace executes one planner program per process:
+//! build, plan, run, exit. This crate turns that into a *service* — a
+//! long-running process accepting planner programs over a JSON-lines
+//! TCP protocol from many tenants at once, where one tenant's
+//! pathological program (a plan that deadlocks, a chaos-armed
+//! corruption storm, a worker panic) cannot take down or starve its
+//! neighbors. Robustness is layered:
+//!
+//! - **Admission control** — every request passes through fblas-lint
+//!   before touching a worker; structurally broken programs bounce with
+//!   full diagnostics instead of wedging the simulator.
+//! - **Tenant quotas** — integer token buckets per tenant; over-quota
+//!   requests shed with `429`-style responses and a retry ETA.
+//! - **Bounded queues** — admission backlog is explicit and finite;
+//!   overload sheds loudly rather than growing latency silently.
+//! - **Deadline propagation** — a request deadline bounds queue wait
+//!   plus the *whole* retry loop, with per-attempt slices handed to the
+//!   recovery executor's watchdog.
+//! - **Circuit breakers** — plan shapes that keep failing open a
+//!   breaker and fast-fail at admission, pointing at the last
+//!   postmortem bundle.
+//! - **Panic isolation + graceful drain** — worker panics become
+//!   structured responses; `{"control":"drain"}` stops admission,
+//!   finishes in-flight work, flushes metrics, and exits clean.
+//!
+//! Protocol details live in [`protocol`]; the server in [`server`];
+//! [`Client`] is the blocking lockstep client the tests, benches, and
+//! CI smoke all share.
+
+pub mod breaker;
+pub mod protocol;
+pub mod quota;
+pub mod server;
+
+pub use breaker::{shape_hash, BreakerOpen, Breakers};
+pub use protocol::{
+    parse_line, parse_response, wanted_outputs, ChaosDoc, FaultDoc, Inbound, Request, Response,
+    STATUS_FAILED, STATUS_OK, STATUS_REJECTED, STATUS_SHED,
+};
+pub use quota::{OverQuota, TenantQuotas};
+pub use server::{DrainOutcome, ServeConfig, Server, ServerStats};
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A blocking lockstep client: send one line, read one line.
+///
+/// Lockstep is the *deterministic* way to drive the server — with one
+/// request outstanding at a time every admission decision (quota
+/// debits, breaker transitions, queue occupancy) happens in a fixed
+/// order, so a seeded workload replays to byte-identical
+/// [`Response::deterministic_line`] transcripts.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. the value of [`Server::addr`]).
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        // Generous read timeout: a lockstep client that waits forever on
+        // a wedged server defeats the point of testing robustness.
+        writer.set_read_timeout(Some(Duration::from_secs(60))).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Send one raw line and read one response line.
+    pub fn roundtrip_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+
+    /// Read the next response line (blocking, up to the read timeout).
+    pub fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        loop {
+            match self.reader.read_line(&mut line) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(_) => {
+                    let trimmed = line.trim_end();
+                    if !trimmed.is_empty() {
+                        return Ok(trimmed.to_string());
+                    }
+                    line.clear();
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Send an execution [`Request`], await and parse its [`Response`].
+    pub fn exec(&mut self, req: &Request) -> std::io::Result<Response> {
+        let line = serde_json::to_string(req)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let resp = self.roundtrip_line(&line)?;
+        parse_response(&resp).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Send a control verb, return the raw response line.
+    pub fn control(&mut self, verb: &str) -> std::io::Result<String> {
+        self.roundtrip_line(&format!(r#"{{"control":{:?}}}"#, verb))
+    }
+}

@@ -15,7 +15,8 @@ use std::time::Duration;
 
 use fblas_chaos::{FaultAction, FaultPlan, FaultSite, ModuleFault};
 use fblas_core::composition::{
-    execute_plan_with_recovery, plan, ExecError, Op, PlannerConfig, Program, RetryPolicy,
+    execute_plan_with_recovery, plan, ExecError, Op, PlannerConfig, Program, RecoveryErrorKind,
+    RetryPolicy,
 };
 use fblas_core::host::DeviceBuffer;
 use fblas_hlssim::{channel, ChunkWriter, ModuleKind, SimError, Simulation};
@@ -214,7 +215,7 @@ fn exhausted_retries_do_not_leak_corrupt_writes() {
     );
     let rec = &err.report;
     assert_eq!(rec.attempts.len(), 1);
-    assert_eq!(rec.attempts[0].error.as_deref(), Some("corruption"));
+    assert_eq!(rec.attempts[0].error, Some(RecoveryErrorKind::Corruption));
     assert_eq!(
         b["o"].to_host(),
         o_before,
@@ -327,8 +328,8 @@ fn single_bit_flips_are_always_detected_across_routines() {
             )
             .unwrap_or_else(|e| panic!("{name} bit {bit}: not recovered: {e}"));
             assert_eq!(
-                rec.attempts[0].error.as_deref(),
-                Some("corruption"),
+                rec.attempts[0].error,
+                Some(RecoveryErrorKind::Corruption),
                 "{name} bit {bit}: flip escaped detection"
             );
             assert_eq!(rec.recovered, 1, "{name} bit {bit}");

@@ -215,6 +215,69 @@ fn recovery_exhaustion_captures_bundle_with_retry_spike() {
     );
 }
 
+/// Two *simultaneous* failing runs on different threads — the serving
+/// layer's steady state — must each get their own run ID and their own
+/// `postmortem-<runid>.json` in `FBLAS_FLIGHT_DIR`. This is the
+/// regression test for the old process-global `RunScope`, under which
+/// concurrent workers clobbered each other's IDs and one bundle file
+/// overwrote the other.
+#[test]
+fn concurrent_failing_runs_write_distinct_postmortems() {
+    let _g = LOCK.lock();
+    let dir = std::env::temp_dir().join(format!("fblas-flight-conc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("FBLAS_FLIGHT_DIR", &dir);
+    arm(500);
+
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+    let run_ids: Vec<String> = [0xAAAA_u64, 0xBBBB_u64]
+        .into_iter()
+        .map(|seed| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let run = fblas_metrics::RunScope::seeded(seed);
+                let (program, cfg, buffers, hook) = gemv_exhaustion_case();
+                let planned = plan(&program, &cfg).expect("gemv plans");
+                barrier.wait();
+                execute_plan_with_recovery::<f64>(
+                    &program,
+                    &planned,
+                    &cfg,
+                    &buffers,
+                    &RetryPolicy {
+                        max_attempts: 3,
+                        ..RetryPolicy::default()
+                    },
+                    Some(Arc::new(hook)),
+                    None,
+                )
+                .expect_err("every attempt is corrupted");
+                run.id().to_string()
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("worker thread survives"))
+        .collect();
+    std::env::remove_var("FBLAS_FLIGHT_DIR");
+
+    assert_ne!(run_ids[0], run_ids[1], "concurrent runs shared a run ID");
+    for id in &run_ids {
+        let path = dir.join(format!("postmortem-{id}.json"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing bundle {}: {e}", path.display()));
+        let doc: Value = serde_json::from_str(&text).expect("bundle parses");
+        assert_eq!(
+            doc.get("run_id").and_then(Value::as_str),
+            Some(id.as_str()),
+            "bundle {} stamped with the wrong run",
+            path.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Two runs of the same seeded chaos scenario must render byte-identical
 /// deterministic documents — the invariant ci.sh compares across two
 /// full executions of the flight_postmortem example.

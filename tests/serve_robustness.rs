@@ -1,0 +1,261 @@
+//! End-to-end robustness tests for fblas-serve.
+//!
+//! Every test starts a real server on an ephemeral port and drives it
+//! over TCP with the lockstep [`Client`] — the same path production
+//! traffic takes. Quotas are refill-free (`tenant_qps: 0`) so every
+//! admission decision is exact and repeatable.
+//!
+//! The invariants under test are the tenancy story of the crate:
+//! sheds are explicit (never silent drops), one tenant's chaos cannot
+//! perturb a neighbor's *bits*, a worker panic kills one request and
+//! nothing else, and drain finishes what it admitted.
+
+use std::time::Duration;
+
+use fblas_serve::{parse_response, Client, Response, ServeConfig, Server};
+
+fn cfg(workers: usize, burst: u32, breaker: u32) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue: 32,
+        tenant_qps: 0,
+        tenant_burst: burst,
+        breaker,
+        drain: Duration::from_secs(20),
+    }
+}
+
+/// A seeded gemv request in the wire dialect; `n` picks the plan shape.
+fn gemv_line(id: u64, tenant: &str, n: usize, fill_seed: u64, chaos_repeat: Option<u32>) -> String {
+    let chaos = match chaos_repeat {
+        Some(repeat) => format!(
+            r#","retry_max":3,"chaos":{{"seed":4242,"repeat":{repeat},"faults":[{{"channel":"write_o","index":5,"bit":7}}]}}"#
+        ),
+        None => String::new(),
+    };
+    format!(
+        r#"{{"id":{id},"tenant":"{tenant}","fill_seed":{fill_seed}{chaos},"program":{{"operands":[{{"name":"A","kind":"matrix","rows":{n},"cols":{n}}},{{"name":"x","kind":"vector","len":{n}}},{{"name":"y","kind":"vector","len":{n}}},{{"name":"o","kind":"vector","len":{n}}}],"ops":[{{"op":"gemv","alpha":1.5,"beta":-0.25,"a":"A","x":"x","y":"y","out":"o"}}],"config":{{"tn":{n},"tm":{n}}}}}}}"#
+    )
+}
+
+fn exec(c: &mut Client, line: &str) -> Response {
+    let raw = c.roundtrip_line(line).expect("roundtrip");
+    parse_response(&raw).expect("response parses")
+}
+
+fn output_bits(r: &Response) -> Vec<u64> {
+    r.outputs
+        .get("o")
+        .expect("response returns operand `o`")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+/// Over-quota requests shed with an explicit 429, and the shed leaves
+/// the admitted requests' results bit-identical to a solo run of the
+/// same seeded request on a fresh server.
+#[test]
+fn quota_sheds_explicitly_and_results_match_solo_run() {
+    let server = Server::start(cfg(2, 2, 1_000)).expect("server starts");
+    let mut c = Client::connect(server.addr()).expect("client connects");
+
+    let r1 = exec(&mut c, &gemv_line(1, "t", 16, 7, None));
+    assert_eq!((r1.status.as_str(), r1.code), ("ok", 200));
+    let r2 = exec(&mut c, &gemv_line(2, "t", 16, 7, None));
+    assert_eq!(r2.status, "ok");
+    // Same seeded request → same bits, even with quota pressure around.
+    assert_eq!(output_bits(&r1), output_bits(&r2));
+
+    let shed = exec(&mut c, &gemv_line(3, "t", 16, 7, None));
+    assert_eq!((shed.status.as_str(), shed.code), ("shed", 429));
+    assert_eq!(shed.kind.as_deref(), Some("quota"));
+    assert_eq!(
+        shed.retry_after_ms, None,
+        "refill-free bucket has no retry ETA"
+    );
+    assert!(shed.scalars.is_empty() && shed.outputs.is_empty());
+
+    // Other tenants have their own bucket.
+    let other = exec(&mut c, &gemv_line(4, "u", 16, 7, None));
+    assert_eq!(other.status, "ok");
+    let busy_bits = output_bits(&r1);
+    assert!(server.drain().clean);
+
+    // Solo run on a fresh server: identical bits for the same request.
+    let solo_srv = Server::start(cfg(1, 2, 1_000)).expect("solo server starts");
+    let mut solo = Client::connect(solo_srv.addr()).expect("solo client connects");
+    let solo_resp = exec(&mut solo, &gemv_line(1, "t", 16, 7, None));
+    assert_eq!(solo_resp.status, "ok");
+    assert_eq!(
+        output_bits(&solo_resp),
+        busy_bits,
+        "multi-tenant execution changed result bits vs solo"
+    );
+    assert_eq!(
+        solo_resp.run_id, r1.run_id,
+        "run seed must be request-determined"
+    );
+    assert!(solo_srv.drain().clean);
+}
+
+/// A chaos tenant burning its whole retry budget on every request —
+/// and eventually tripping its shape's breaker — must not perturb a
+/// healthy neighbor: same bits as solo, no stalls, and the neighbor's
+/// shape never fast-fails.
+#[test]
+fn chaos_tenant_cannot_perturb_healthy_neighbor() {
+    // Solo baseline first.
+    let solo_srv = Server::start(cfg(1, 1_000, 1_000)).expect("solo server starts");
+    let mut solo = Client::connect(solo_srv.addr()).expect("solo client connects");
+    let baseline = exec(&mut solo, &gemv_line(100, "healthy", 16, 9, None));
+    assert_eq!(baseline.status, "ok");
+    let baseline_bits = output_bits(&baseline);
+    assert!(solo_srv.drain().clean);
+
+    // Breaker threshold 3: the chaos tenant's own 24×24 shape opens.
+    let server = Server::start(cfg(2, 1_000, 3)).expect("server starts");
+    let mut chaos = Client::connect(server.addr()).expect("chaos client connects");
+    let mut healthy = Client::connect(server.addr()).expect("healthy client connects");
+
+    for round in 0..3u64 {
+        let bad = exec(&mut chaos, &gemv_line(200 + round, "chaos", 24, 2, Some(5)));
+        assert_eq!(
+            (bad.status.as_str(), bad.code),
+            ("failed", 500),
+            "chaos request must fail terminally, round {round}"
+        );
+        assert_eq!(bad.kind.as_deref(), Some("corruption"));
+        // The neighbor keeps getting bit-exact results between failures.
+        let good = exec(&mut healthy, &gemv_line(100, "healthy", 16, 9, None));
+        assert_eq!(good.status, "ok", "healthy request failed in round {round}");
+        assert_eq!(
+            output_bits(&good),
+            baseline_bits,
+            "chaos neighbor changed healthy tenant's bits, round {round}"
+        );
+    }
+
+    // The chaos shape's breaker is now open: fast-fail at admission.
+    let tripped = exec(&mut chaos, &gemv_line(300, "chaos", 24, 2, None));
+    assert_eq!((tripped.status.as_str(), tripped.code), ("shed", 503));
+    assert_eq!(tripped.kind.as_deref(), Some("breaker_open"));
+
+    // The healthy shape is untouched by the neighbor's breaker.
+    let still_good = exec(&mut healthy, &gemv_line(101, "healthy", 16, 9, None));
+    assert_eq!(still_good.status, "ok");
+    assert_eq!(output_bits(&still_good), baseline_bits);
+    assert!(server.drain().clean);
+}
+
+/// A deliberately panicking request comes back as a structured `panic`
+/// failure, and the worker that caught it keeps serving.
+#[test]
+fn worker_panic_is_contained_to_one_request() {
+    // One worker: if the panic killed it, the follow-up would hang.
+    let server = Server::start(cfg(1, 1_000, 1_000)).expect("server starts");
+    let mut c = Client::connect(server.addr()).expect("client connects");
+
+    let line = r#"{"id":1,"tenant":"t","chaos":{"panic_worker":true},"program":{"operands":[{"name":"x","kind":"vector","len":8},{"name":"o","kind":"vector","len":8}],"ops":[{"op":"scal","alpha":2.0,"x":"x","out":"o"}]}}"#;
+    let boom = exec(&mut c, line);
+    assert_eq!((boom.status.as_str(), boom.code), ("failed", 500));
+    assert_eq!(boom.kind.as_deref(), Some("panic"));
+
+    // The single worker survived and still executes real work.
+    let after = exec(&mut c, &gemv_line(2, "t", 16, 3, None));
+    assert_eq!(after.status, "ok");
+    let outcome = server.drain();
+    assert!(outcome.clean);
+    assert_eq!(outcome.stats.panics, 1);
+    assert_eq!(outcome.stats.ok, 1);
+}
+
+/// An already-expired deadline fails fast with a structured 408 before
+/// burning a simulator run, and a generous deadline doesn't interfere.
+#[test]
+fn expired_deadline_fails_fast_with_408() {
+    let server = Server::start(cfg(1, 1_000, 1_000)).expect("server starts");
+    let mut c = Client::connect(server.addr()).expect("client connects");
+
+    // deadline_ms: 0 is expired by the time a worker picks it up.
+    let mut line = gemv_line(1, "t", 16, 5, None);
+    line = line.replacen("\"tenant\"", "\"deadline_ms\":0,\"tenant\"", 1);
+    let late = exec(&mut c, &line);
+    assert_eq!((late.status.as_str(), late.code), ("failed", 408));
+    assert_eq!(late.kind.as_deref(), Some("deadline"));
+    assert!(late.outputs.is_empty(), "expired request must not execute");
+
+    // A generous deadline still slices into per-attempt budgets and
+    // completes normally.
+    let mut ok_line = gemv_line(2, "t", 16, 5, None);
+    ok_line = ok_line.replacen("\"tenant\"", "\"deadline_ms\":30000,\"tenant\"", 1);
+    let fine = exec(&mut c, &ok_line);
+    assert_eq!(fine.status, "ok");
+    let outcome = server.drain();
+    assert!(outcome.clean);
+    assert_eq!(outcome.stats.deadline_expired, 1);
+}
+
+/// Drain finishes every admitted request (zero loss), refuses new work
+/// with an explicit shed, and reports clean.
+#[test]
+fn graceful_drain_loses_nothing_and_sheds_latecomers() {
+    let server = Server::start(cfg(2, 1_000, 1_000)).expect("server starts");
+    let addr = server.addr();
+
+    // Four tenants in flight on their own connections while the drain
+    // fires from a fifth.
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("tenant connects");
+                let mut ok = 0u64;
+                for i in 0..3u64 {
+                    // After the drain completes the server closes the
+                    // connection; a latecomer seeing EOF is fine — what
+                    // is not fine is an admitted request vanishing.
+                    let Ok(raw) =
+                        c.roundtrip_line(&gemv_line(t * 10 + i, &format!("t{t}"), 16, i, None))
+                    else {
+                        break;
+                    };
+                    let r = parse_response(&raw).expect("response parses");
+                    match r.status.as_str() {
+                        "ok" => ok += 1,
+                        "shed" => {
+                            assert_eq!(r.kind.as_deref(), Some("draining"));
+                            assert_eq!(r.code, 503);
+                        }
+                        other => panic!("unexpected status {other}: {:?}", r.detail),
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+    // Let some requests get admitted before draining.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut ctl = Client::connect(addr).expect("control client connects");
+    let drain_raw = ctl.control("drain").expect("drain roundtrip");
+    assert!(
+        drain_raw.contains(r#""status":"ok""#),
+        "drain must complete cleanly: {drain_raw}"
+    );
+    let completed: u64 = workers
+        .into_iter()
+        .map(|h| h.join().expect("tenant thread joins"))
+        .sum();
+
+    let outcome = server.wait();
+    assert!(outcome.clean, "drain reported unclean");
+    assert_eq!(
+        outcome.stats.ok, completed,
+        "admitted-and-executed count must equal responses the tenants saw"
+    );
+    assert_eq!(
+        outcome.stats.admitted, outcome.stats.ok,
+        "every admitted request must have executed (zero loss)"
+    );
+    assert_eq!(outcome.stats.failed, 0);
+}
