@@ -31,6 +31,7 @@
 //! | `FBLAS_SERVE_TENANT_QPS` | per-tenant token-bucket refill, req/s | 50 |
 //! | `FBLAS_SERVE_BREAKER` | failures per plan shape to open its breaker | 3 |
 //! | `FBLAS_SERVE_DRAIN_MS` | graceful-drain timeout, ms | 5000 |
+//! | `FBLAS_SERVE_WRITE_MS` | response write timeout before dropping a non-reading client, ms | 2000 |
 //!
 //! Caching follows each knob's use: grace and wait-slice are read once
 //! per process (they configure long-lived machinery), while the chunk
@@ -173,6 +174,12 @@ pub const KNOBS: &[KnobSpec] = &[
         name: "FBLAS_SERVE_DRAIN_MS",
         meaning: "fblas-serve graceful-drain timeout for in-flight requests, ms",
         default: "5000",
+        cadence: "call",
+    },
+    KnobSpec {
+        name: "FBLAS_SERVE_WRITE_MS",
+        meaning: "fblas-serve response write timeout before a non-reading client is dropped, ms",
+        default: "2000",
         cadence: "call",
     },
 ];
@@ -420,6 +427,9 @@ pub const DEFAULT_SERVE_TENANT_QPS: u32 = 50;
 pub const DEFAULT_SERVE_BREAKER: u32 = 3;
 /// Default graceful-drain timeout, ms.
 pub const DEFAULT_SERVE_DRAIN_MS: u64 = 5000;
+/// Default response write timeout before a non-reading client is
+/// dropped, ms.
+pub const DEFAULT_SERVE_WRITE_MS: u64 = 2000;
 
 /// fblas-serve listen address: `FBLAS_SERVE_ADDR` when set and shaped
 /// like `host:port`, else [`DEFAULT_SERVE_ADDR`]. Re-read every call.
@@ -525,6 +535,24 @@ pub fn serve_drain() -> Duration {
     )
 }
 
+/// Response write timeout before fblas-serve drops a client that has
+/// stopped reading: `FBLAS_SERVE_WRITE_MS` if a positive integer of
+/// milliseconds, else [`DEFAULT_SERVE_WRITE_MS`]. Re-read every call.
+pub fn serve_write_timeout() -> Duration {
+    read_knob(
+        "FBLAS_SERVE_WRITE_MS",
+        "2000 ms",
+        |raw| {
+            Duration::from_millis(
+                raw.and_then(|v| v.trim().parse::<u64>().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or(DEFAULT_SERVE_WRITE_MS),
+            )
+        },
+        parses_positive_u64,
+    )
+}
+
 /// Arm the global telemetry registry if `FBLAS_METRICS` asks for it,
 /// with `FBLAS_METRICS_SHARDS` writer shards. Returns whether the
 /// registry ended up armed. Call this once at program start (bins) or
@@ -584,6 +612,7 @@ pub fn resolved_knobs() -> Vec<(String, String)> {
                 "FBLAS_SERVE_TENANT_QPS" => serve_tenant_qps().to_string(),
                 "FBLAS_SERVE_BREAKER" => serve_breaker().to_string(),
                 "FBLAS_SERVE_DRAIN_MS" => serve_drain().as_millis().to_string(),
+                "FBLAS_SERVE_WRITE_MS" => serve_write_timeout().as_millis().to_string(),
                 other => unreachable!("KNOBS row {other} missing from resolved_knobs"),
             };
             (k.name.to_string(), v)
@@ -745,6 +774,21 @@ mod tests {
         std::env::set_var("FBLAS_SERVE_DRAIN_MS", "forever");
         assert_eq!(serve_drain(), Duration::from_millis(DEFAULT_SERVE_DRAIN_MS));
         std::env::remove_var("FBLAS_SERVE_DRAIN_MS");
+
+        std::env::remove_var("FBLAS_SERVE_WRITE_MS");
+        assert_eq!(
+            serve_write_timeout(),
+            Duration::from_millis(DEFAULT_SERVE_WRITE_MS)
+        );
+        std::env::set_var("FBLAS_SERVE_WRITE_MS", "500");
+        assert_eq!(serve_write_timeout(), Duration::from_millis(500));
+        std::env::set_var("FBLAS_SERVE_WRITE_MS", "0");
+        assert_eq!(
+            serve_write_timeout(),
+            Duration::from_millis(DEFAULT_SERVE_WRITE_MS),
+            "zero would disable the timeout entirely"
+        );
+        std::env::remove_var("FBLAS_SERVE_WRITE_MS");
     }
 
     #[test]
@@ -783,6 +827,7 @@ mod tests {
         let _ = serve_tenant_qps();
         let _ = serve_breaker();
         let _ = serve_drain();
+        let _ = serve_write_timeout();
         let mut documented: Vec<&'static str> = KNOBS.iter().map(|k| k.name).collect();
         documented.sort_unstable();
         assert_eq!(touched_knobs(), documented);

@@ -70,6 +70,7 @@ fn run_smoke() -> Vec<String> {
         tenant_burst: 4,
         breaker: 3,
         drain: Duration::from_secs(10),
+        write_timeout: Duration::from_secs(5),
     })
     .expect("smoke server binds an ephemeral port");
     let mut c = Client::connect(server.addr()).expect("smoke client connects");
@@ -168,6 +169,7 @@ fn bench_point(workers: usize, armed: bool, per_tenant: usize) -> Vec<(&'static 
         tenant_burst: 1_000_000,
         breaker: 1_000_000, // never trip: chaos rows measure full retries
         drain: Duration::from_secs(30),
+        write_timeout: Duration::from_secs(10),
     })
     .expect("bench server binds");
     let addr = server.addr();

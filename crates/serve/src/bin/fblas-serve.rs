@@ -3,6 +3,7 @@
 //! ```text
 //! fblas-serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!             [--tenant-qps N] [--breaker N] [--drain-ms N]
+//!             [--write-ms N]
 //! ```
 //!
 //! Flags override the `FBLAS_SERVE_*` knobs (see `fblas-hlssim`'s env
@@ -19,7 +20,7 @@ use fblas_serve::{ServeConfig, Server};
 fn usage() -> ! {
     eprintln!(
         "usage: fblas-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--tenant-qps N] [--breaker N] [--drain-ms N]"
+         [--tenant-qps N] [--breaker N] [--drain-ms N] [--write-ms N]"
     );
     std::process::exit(2);
 }
@@ -58,6 +59,10 @@ fn parse_args(cfg: &mut ServeConfig) {
             "--drain-ms" => match take("--drain-ms").parse::<u64>() {
                 Ok(n) => cfg.drain = Duration::from_millis(n),
                 Err(_) => usage(),
+            },
+            "--write-ms" => match take("--write-ms").parse::<u64>() {
+                Ok(n) if n >= 1 => cfg.write_timeout = Duration::from_millis(n),
+                _ => usage(),
             },
             "--help" | "-h" => usage(),
             other => {

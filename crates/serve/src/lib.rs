@@ -18,9 +18,13 @@
 //! - **Deadline propagation** — a request deadline bounds queue wait
 //!   plus the *whole* retry loop, with per-attempt slices handed to the
 //!   recovery executor's watchdog.
-//! - **Circuit breakers** — plan shapes that keep failing open a
-//!   breaker and fast-fail at admission, pointing at the last
-//!   postmortem bundle.
+//! - **Circuit breakers** — a (tenant, plan shape) pair that keeps
+//!   failing opens a breaker and fast-fails at admission, pointing at
+//!   the last postmortem bundle; neighbors running the structurally
+//!   identical program are unaffected.
+//! - **Slow-reader disconnects** — response writes carry a socket
+//!   write timeout; a client that stops reading loses its own
+//!   connection instead of wedging a worker.
 //! - **Panic isolation + graceful drain** — worker panics become
 //!   structured responses; `{"control":"drain"}` stops admission,
 //!   finishes in-flight work, flushes metrics, and exits clean.
@@ -59,13 +63,23 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to `addr` (e.g. the value of [`Server::addr`]).
+    /// Connect to `addr` (e.g. the value of [`Server::addr`]) with a
+    /// generous 60 s read timeout: a lockstep client that waits forever
+    /// on a wedged server defeats the point of testing robustness.
     pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Client> {
+        Client::connect_with_timeout(addr, Duration::from_secs(60))
+    }
+
+    /// Connect with an explicit read timeout; [`Client::read_line`]
+    /// fails with [`std::io::ErrorKind::TimedOut`] once no response
+    /// byte arrives within it.
+    pub fn connect_with_timeout(
+        addr: impl std::net::ToSocketAddrs,
+        timeout: Duration,
+    ) -> std::io::Result<Client> {
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true).ok();
-        // Generous read timeout: a lockstep client that waits forever on
-        // a wedged server defeats the point of testing robustness.
-        writer.set_read_timeout(Some(Duration::from_secs(60))).ok();
+        writer.set_read_timeout(Some(timeout)).ok();
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client { writer, reader })
     }
@@ -96,11 +110,23 @@ impl Client {
                     }
                     line.clear();
                 }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // A socket read timeout surfaces as `WouldBlock` on
+                // Unix and `TimedOut` on Windows; both mean the read
+                // timeout fired. Retrying here would loop forever on a
+                // wedged server — exactly what the timeout exists to
+                // prevent — so fail the read instead.
                 Err(e)
                     if matches!(
                         e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
-                    ) => {}
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "timed out waiting for a response line",
+                    ))
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -117,5 +143,34 @@ impl Client {
     /// Send a control verb, return the raw response line.
     pub fn control(&mut self, verb: &str) -> std::io::Result<String> {
         self.roundtrip_line(&format!(r#"{{"control":{:?}}}"#, verb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    /// Regression: a socket read timeout surfaces as `WouldBlock` on
+    /// Unix; the client must treat it as a fatal timeout, not a retry,
+    /// or a wedged server hangs every caller forever.
+    #[test]
+    fn client_read_times_out_on_silent_server() {
+        // Bind but never accept/respond: the TCP handshake completes in
+        // the kernel, then the server side stays silent.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("listener binds");
+        let addr = listener.local_addr().expect("listener addr");
+        let mut c = Client::connect_with_timeout(addr, Duration::from_millis(100))
+            .expect("client connects");
+        let t0 = Instant::now();
+        let err = c
+            .read_line()
+            .expect_err("silent server must time the read out");
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "timeout must fire promptly, not after the 60s default"
+        );
+        drop(listener);
     }
 }

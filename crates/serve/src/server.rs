@@ -9,15 +9,17 @@
 //! concurrent requests get distinct run IDs and postmortem bundles),
 //! executes through `execute_plan_with_recovery` with the request's
 //! deadline spread across its retry budget, and writes the response
-//! back through the connection's shared write half. Worker panics are
-//! caught and converted to structured `panic` responses; the listener
-//! never dies with a request.
+//! back through the connection's shared write half (bounded by a write
+//! timeout, so a client that stops reading loses its connection rather
+//! than wedging a worker). Worker panics are caught and converted to
+//! structured `panic` responses; the listener never dies with a
+//! request.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -53,10 +55,14 @@ pub struct ServeConfig {
     pub tenant_qps: u32,
     /// Per-tenant bucket capacity, requests.
     pub tenant_burst: u32,
-    /// Consecutive failures of one plan shape that open its breaker.
+    /// Consecutive failures of one (tenant, plan shape) that open its
+    /// breaker.
     pub breaker: u32,
     /// Graceful-drain timeout for queued + in-flight requests.
     pub drain: Duration,
+    /// Socket write timeout per response line; a client that stops
+    /// reading is disconnected once a blocked write exceeds this.
+    pub write_timeout: Duration,
 }
 
 impl ServeConfig {
@@ -71,6 +77,7 @@ impl ServeConfig {
             tenant_burst: qps,
             breaker: env::serve_breaker(),
             drain: env::serve_drain(),
+            write_timeout: env::serve_write_timeout(),
         }
     }
 }
@@ -133,7 +140,52 @@ impl Stats {
 
 /// The shared write half of one connection; responses are written
 /// line-atomically under the lock.
-type Out = Arc<Mutex<TcpStream>>;
+///
+/// Writes are bounded by the configured socket write timeout: a client
+/// that pipelines requests but never reads fills its TCP receive window
+/// and our send buffer, at which point the blocked `write_all` errors
+/// out instead of wedging the calling worker forever. The first failed
+/// write marks the connection dead and shuts the socket down — later
+/// responses for it are discarded, the reader thread sees EOF and
+/// exits, and no worker ever blocks on this connection again. A
+/// non-reading tenant can only lose its *own* connection; it can never
+/// starve the pool.
+struct Conn {
+    stream: Mutex<TcpStream>,
+    dead: AtomicBool,
+}
+
+type Out = Arc<Conn>;
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream: Mutex::new(stream),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Write one response line, or tear the connection down if the
+    /// client has stopped reading (write timeout) or disconnected.
+    fn write_line(&self, line: &str) {
+        if self.dead.load(Ordering::Acquire) {
+            return;
+        }
+        let mut s = self.stream.lock();
+        if self.dead.load(Ordering::Acquire) {
+            return;
+        }
+        let outcome = s
+            .write_all(line.as_bytes())
+            .and_then(|()| s.write_all(b"\n"))
+            .and_then(|()| s.flush());
+        if let Err(e) = outcome {
+            self.dead.store(true, Ordering::Release);
+            let _ = s.shutdown(Shutdown::Both);
+            eprintln!("fblas-serve: dropping unresponsive connection: {e}");
+        }
+    }
+}
 
 struct Job {
     req: Request,
@@ -250,7 +302,8 @@ struct Inner {
     breakers: Breakers,
     state: AtomicU8,
     stats: Stats,
-    finished: Mutex<Option<bool>>,
+    /// `(clean, lost)` once a drain has completed.
+    finished: Mutex<Option<(bool, usize)>>,
     finished_cv: Condvar,
 }
 
@@ -351,17 +404,17 @@ impl Server {
     /// Block until a `drain` control request completes, then join every
     /// thread. Returns the drain outcome.
     pub fn wait(mut self) -> DrainOutcome {
-        let clean = {
+        let (clean, lost) = {
             let mut fin = self.inner.finished.lock();
             while fin.is_none() {
                 self.inner.finished_cv.wait(&mut fin);
             }
-            fin.unwrap_or(false)
+            fin.unwrap_or((false, 0))
         };
         self.join_threads();
         DrainOutcome {
             clean,
-            lost: if clean { 0 } else { usize::MAX },
+            lost,
             stats: self.inner.stats.snapshot(),
         }
     }
@@ -396,7 +449,7 @@ fn initiate_drain(inner: &Inner) -> (bool, usize) {
     inner.state.store(STATE_STOPPED, Ordering::Release);
     flush_metrics_snapshot();
     let mut fin = inner.finished.lock();
-    *fin = Some(clean);
+    *fin = Some((clean, lost));
     drop(fin);
     inner.finished_cv.notify_all();
     (clean, lost)
@@ -448,16 +501,14 @@ fn accept_loop(listener: TcpListener, inner: &Arc<Inner>) {
 }
 
 fn write_line(out: &Out, line: &str) {
-    let mut s = out.lock();
-    let _ = s.write_all(line.as_bytes());
-    let _ = s.write_all(b"\n");
-    let _ = s.flush();
+    out.write_line(line);
 }
 
 fn connection_loop(stream: TcpStream, inner: &Arc<Inner>) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(150)));
+    let _ = stream.set_write_timeout(Some(inner.cfg.write_timeout));
     let out: Out = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
+        Ok(w) => Arc::new(Conn::new(w)),
         Err(e) => {
             eprintln!("fblas-serve: failed to clone stream: {e}");
             return;
@@ -581,13 +632,13 @@ fn admit(req: Request, out: &Out, inner: &Arc<Inner>) {
     }
 
     let shape = shape_hash(&req.program);
-    if let Err(open) = inner.breakers.check(shape) {
+    if let Err(open) = inner.breakers.check(&tenant, shape) {
         inner.stats.breaker_fastfail.fetch_add(1, Ordering::Relaxed);
         inner.count(&tenant, "breaker_open");
         let mut resp = Response::skeleton(req.id, &tenant, STATUS_SHED, 503)
             .with_kind("breaker_open")
             .with_detail(format!(
-                "circuit breaker open for this plan shape after {} consecutive failures",
+                "circuit breaker open for this tenant's plan shape after {} consecutive failures",
                 open.failures
             ));
         resp.postmortem = open.last_postmortem;
@@ -814,7 +865,7 @@ fn execute_job(job: &Job, inner: &Arc<Inner>) -> Response {
         Backend::resolve(),
     ) {
         Ok((outcome, report)) => {
-            inner.breakers.record_success(job.shape);
+            inner.breakers.record_success(tenant, job.shape);
             let mut resp = Response::skeleton(id, tenant, STATUS_OK, 200);
             resp.scalars = outcome.scalars.into_iter().collect();
             for name in wanted_outputs(req) {
@@ -831,7 +882,7 @@ fn execute_job(job: &Job, inner: &Arc<Inner>) -> Response {
             let postmortem = postmortem_path(&run_id);
             inner
                 .breakers
-                .record_failure(job.shape, kind, postmortem.clone());
+                .record_failure(tenant, job.shape, kind, postmortem.clone());
             let code = if kind == RecoveryErrorKind::Deadline {
                 408
             } else {

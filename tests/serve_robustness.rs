@@ -23,6 +23,7 @@ fn cfg(workers: usize, burst: u32, breaker: u32) -> ServeConfig {
         tenant_burst: burst,
         breaker,
         drain: Duration::from_secs(20),
+        write_timeout: Duration::from_secs(5),
     }
 }
 
@@ -146,6 +147,39 @@ fn chaos_tenant_cannot_perturb_healthy_neighbor() {
     let still_good = exec(&mut healthy, &gemv_line(101, "healthy", 16, 9, None));
     assert_eq!(still_good.status, "ok");
     assert_eq!(output_bits(&still_good), baseline_bits);
+    assert!(server.drain().clean);
+}
+
+/// Breakers are keyed by (tenant, shape): a tenant whose requests keep
+/// failing on a shape opens only *its own* breaker — a neighbor
+/// submitting the structurally identical program is never fast-failed
+/// (no cross-tenant denial of service through a shared plan shape).
+#[test]
+fn breaker_is_tenant_scoped_for_identical_shapes() {
+    let server = Server::start(cfg(2, 1_000, 2)).expect("server starts");
+    let mut chaos = Client::connect(server.addr()).expect("chaos client connects");
+    let mut healthy = Client::connect(server.addr()).expect("healthy client connects");
+
+    // Both tenants use the same 16×16 gemv shape. The chaos tenant
+    // burns its retry budget twice — threshold 2 opens its breaker.
+    for round in 0..2u64 {
+        let bad = exec(&mut chaos, &gemv_line(400 + round, "chaos", 16, 2, Some(5)));
+        assert_eq!(
+            (bad.status.as_str(), bad.code),
+            ("failed", 500),
+            "chaos request must fail terminally, round {round}"
+        );
+    }
+    let tripped = exec(&mut chaos, &gemv_line(410, "chaos", 16, 2, None));
+    assert_eq!((tripped.status.as_str(), tripped.code), ("shed", 503));
+    assert_eq!(tripped.kind.as_deref(), Some("breaker_open"));
+
+    // The neighbor's structurally identical request still executes.
+    let good = exec(&mut healthy, &gemv_line(420, "healthy", 16, 2, None));
+    assert_eq!(
+        good.status, "ok",
+        "neighbor must not inherit the chaos tenant's open breaker"
+    );
     assert!(server.drain().clean);
 }
 
